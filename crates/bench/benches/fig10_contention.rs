@@ -1,0 +1,46 @@
+//! Figure 10 bench: contention-channel bandwidth and error over the
+//! (GPU buffer size, work-group count) parameter space.
+
+use bench::fig10_contention;
+use covert::prelude::*;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn bench_fig10(c: &mut Criterion) {
+    println!("\n[fig10] contention channel sweep (95% CI over runs)");
+    for r in fig10_contention(250, 4) {
+        println!(
+            "[fig10] {} MB, {} WGs, IF {:>2}: {:>7.1} ± {:>5.1} kb/s, error {:>5.2} ± {:>4.2}%",
+            r.gpu_buffer_bytes / (1024 * 1024),
+            r.workgroups,
+            r.iteration_factor,
+            r.bandwidth_kbps.mean,
+            r.bandwidth_kbps.ci95_half_width,
+            r.error_rate.mean * 100.0,
+            r.error_rate.ci95_half_width * 100.0
+        );
+    }
+
+    let mut group = c.benchmark_group("fig10_contention_transmission");
+    group.sample_size(10);
+    for workgroups in [1usize, 2, 8] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(workgroups),
+            &workgroups,
+            |b, &workgroups| {
+                let bits = test_pattern(64, 10);
+                b.iter(|| {
+                    let mut channel = ContentionChannel::new(
+                        ContentionChannelConfig::paper_default().with_workgroups(workgroups),
+                    )
+                    .expect("channel setup");
+                    black_box(channel.transmit(&bits))
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig10);
+criterion_main!(benches);

@@ -1,0 +1,29 @@
+//! Figure 4 bench: custom GPU timer characterization.
+//!
+//! Criterion times one characterization pass; the figure's data (mean ticks
+//! per access class) is printed once before the measurement loop.
+
+use bench::fig4_timer_characterization;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench_fig4(c: &mut Criterion) {
+    let (rows, separable) = fig4_timer_characterization(40);
+    println!("\n[fig4] custom timer characterization (separable = {separable})");
+    for r in &rows {
+        println!(
+            "[fig4] {:<8} mean {:>8.1} ticks (~{:>6.1} ns), sd {:>6.2}",
+            r.class, r.mean_ticks, r.mean_ns, r.std_dev
+        );
+    }
+    c.bench_function("fig4_timer_characterization_10_samples", |b| {
+        b.iter(|| black_box(fig4_timer_characterization(black_box(10))));
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_fig4
+}
+criterion_main!(benches);

@@ -1,0 +1,47 @@
+//! Figure 7 bench: LLC-channel bandwidth per L3-eviction strategy and
+//! direction.
+//!
+//! The figure's series are printed once; Criterion then times a short
+//! transmission for each strategy so per-bit cost regressions are visible.
+
+use bench::fig7_llc_strategies;
+use covert::prelude::*;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn bench_fig7(c: &mut Criterion) {
+    println!("\n[fig7] LLC channel bandwidth per strategy");
+    for r in fig7_llc_strategies(200) {
+        println!(
+            "[fig7] {:<22} {:<12} {:>8.1} kb/s (error {:>5.2}%, paper {:>6.1} kb/s)",
+            r.strategy,
+            r.direction,
+            r.bandwidth_kbps,
+            r.error_rate * 100.0,
+            r.paper_kbps
+        );
+    }
+
+    let mut group = c.benchmark_group("fig7_llc_strategy_transmission");
+    group.sample_size(10);
+    for strategy in [L3EvictionStrategy::PreciseL3, L3EvictionStrategy::LlcKnowledgeOnly] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(strategy.label()),
+            &strategy,
+            |b, &strategy| {
+                let bits = test_pattern(32, 7);
+                b.iter(|| {
+                    let mut channel = LlcChannel::new(
+                        LlcChannelConfig::paper_default().with_strategy(strategy),
+                    )
+                    .expect("channel setup");
+                    black_box(channel.transmit(&bits))
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig7);
+criterion_main!(benches);

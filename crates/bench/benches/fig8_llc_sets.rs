@@ -1,0 +1,38 @@
+//! Figure 8 bench: error and bandwidth versus the number of redundant LLC
+//! sets used per protocol role.
+
+use bench::fig8_llc_sets;
+use covert::prelude::*;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn bench_fig8(c: &mut Criterion) {
+    println!("\n[fig8] error/bandwidth vs redundant LLC sets");
+    for r in fig8_llc_sets(300) {
+        println!(
+            "[fig8] {:<12} sets={} {:>8.1} kb/s, error {:>5.2}%",
+            r.direction,
+            r.sets_per_role,
+            r.bandwidth_kbps,
+            r.error_rate * 100.0
+        );
+    }
+
+    let mut group = c.benchmark_group("fig8_llc_sets_transmission");
+    group.sample_size(10);
+    for sets in [1usize, 2, 4] {
+        group.bench_with_input(BenchmarkId::from_parameter(sets), &sets, |b, &sets| {
+            let bits = test_pattern(32, 8);
+            b.iter(|| {
+                let mut channel =
+                    LlcChannel::new(LlcChannelConfig::paper_default().with_sets_per_role(sets))
+                        .expect("channel setup");
+                black_box(channel.transmit(&bits))
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig8);
+criterion_main!(benches);

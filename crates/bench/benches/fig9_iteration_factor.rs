@@ -1,0 +1,43 @@
+//! Figure 9 bench: iteration-factor calibration versus GPU buffer size.
+
+use bench::fig9_iteration_factor;
+use covert::prelude::*;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn bench_fig9(c: &mut Criterion) {
+    println!("\n[fig9] iteration factor vs GPU buffer size (CPU buffer 512 KB)");
+    for r in fig9_iteration_factor() {
+        println!(
+            "[fig9] GPU buffer {:>5} KB -> IF {:>2} (CPU window {:>7.0} ns, GPU pass {:>7.0} ns)",
+            r.gpu_buffer_bytes / 1024,
+            r.iteration_factor,
+            r.cpu_window_ns,
+            r.gpu_pass_ns
+        );
+    }
+
+    let mut group = c.benchmark_group("fig9_calibration");
+    group.sample_size(10);
+    for buffer_kb in [512u64, 2048] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{buffer_kb}KB")),
+            &buffer_kb,
+            |b, &buffer_kb| {
+                b.iter(|| {
+                    let mut channel = ContentionChannel::new(
+                        ContentionChannelConfig::paper_default()
+                            .with_gpu_buffer(buffer_kb * 1024)
+                            .with_workgroups(1),
+                    )
+                    .expect("channel setup");
+                    black_box(channel.calibrate())
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig9);
+criterion_main!(benches);

@@ -1,0 +1,51 @@
+//! Headline bench: the paper's abstract numbers (best LLC channel vs best
+//! contention channel) plus the reverse-engineering pre-requisites.
+
+use bench::{headline, l3_experiment, parallelism_ablation, slice_hash_experiment};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench_headline(c: &mut Criterion) {
+    println!("\n[headline] best configurations vs paper");
+    for r in headline(300) {
+        println!(
+            "[headline] {:<30} {:>8.1} kb/s (err {:>5.2}%)  paper: {:>6.1} kb/s (err {:>4.2}%)",
+            r.channel,
+            r.bandwidth_kbps,
+            r.error_rate * 100.0,
+            r.paper_kbps,
+            r.paper_error * 100.0
+        );
+    }
+    let hash = slice_hash_experiment();
+    println!(
+        "[headline] slice-hash recovery: {} slices, bits match = {}",
+        hash.observed_slices, hash.matches
+    );
+    let l3 = l3_experiment();
+    println!(
+        "[headline] L3 non-inclusive = {}, index bits match = {}",
+        l3.non_inclusive, l3.index_bits_match
+    );
+    for r in parallelism_ablation(120) {
+        println!(
+            "[headline] ablation parallel={}: {:>7.1} kb/s, error {:>5.2}%",
+            r.parallel,
+            r.bandwidth_kbps,
+            r.error_rate * 100.0
+        );
+    }
+
+    let mut group = c.benchmark_group("headline");
+    group.sample_size(10);
+    group.bench_function("headline_160_bits", |b| {
+        b.iter(|| black_box(headline(black_box(160))));
+    });
+    group.bench_function("slice_hash_recovery", |b| {
+        b.iter(|| black_box(slice_hash_experiment()));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_headline);
+criterion_main!(benches);

@@ -1,0 +1,215 @@
+//! `repro` — regenerates every table and figure of the Leaky Buddies
+//! evaluation against the simulated SoC and prints them side by side with
+//! the values the paper reports.
+//!
+//! Usage:
+//!
+//! ```text
+//! repro [--fig4] [--fig7] [--fig8] [--fig9] [--fig10] [--headline]
+//!       [--slice-hash] [--l3] [--ablation] [--all] [--quick]
+//! ```
+//!
+//! With no experiment flag, `--all` is assumed. `--quick` shrinks the bit
+//! counts for a fast smoke run.
+
+use bench::*;
+
+struct Options {
+    fig4: bool,
+    fig7: bool,
+    fig8: bool,
+    fig9: bool,
+    fig10: bool,
+    headline: bool,
+    slice_hash: bool,
+    l3: bool,
+    ablation: bool,
+    quick: bool,
+}
+
+impl Options {
+    fn parse() -> Options {
+        let args: Vec<String> = std::env::args().skip(1).collect();
+        let has = |flag: &str| args.iter().any(|a| a == flag);
+        let any_specific = [
+            "--fig4",
+            "--fig7",
+            "--fig8",
+            "--fig9",
+            "--fig10",
+            "--headline",
+            "--slice-hash",
+            "--l3",
+            "--ablation",
+        ]
+        .iter()
+        .any(|f| has(f));
+        let all = has("--all") || !any_specific;
+        Options {
+            fig4: all || has("--fig4"),
+            fig7: all || has("--fig7"),
+            fig8: all || has("--fig8"),
+            fig9: all || has("--fig9"),
+            fig10: all || has("--fig10"),
+            headline: all || has("--headline"),
+            slice_hash: all || has("--slice-hash"),
+            l3: all || has("--l3"),
+            ablation: all || has("--ablation"),
+            quick: has("--quick"),
+        }
+    }
+}
+
+fn banner(title: &str) {
+    println!();
+    println!("==== {title} ====");
+}
+
+fn main() {
+    let opts = Options::parse();
+    let llc_bits = if opts.quick { 80 } else { 400 };
+    let contention_bits = if opts.quick { 120 } else { 500 };
+    let runs = if opts.quick { 3 } else { 8 };
+
+    if opts.slice_hash {
+        banner("Equations (1)/(2): LLC slice-hash recovery (timing only)");
+        let result = slice_hash_experiment();
+        println!("observed slices        : {}", result.observed_slices);
+        println!("recovered hash bits    : {:?}", result.recovered_bits);
+        println!("ground-truth hash bits : {:?}", result.ground_truth);
+        println!("exact match            : {}", result.matches);
+    }
+
+    if opts.l3 {
+        banner("Section III-D: GPU L3 reverse engineering");
+        let result = l3_experiment();
+        println!(
+            "inclusiveness test     : final access {} ticks -> L3 is {}",
+            result.inclusiveness_ticks,
+            if result.non_inclusive {
+                "NON-inclusive (paper: non-inclusive)"
+            } else {
+                "inclusive"
+            }
+        );
+        println!(
+            "placement index bits   : {:?} (expected 6..=15) match={}",
+            result.index_bits, result.index_bits_match
+        );
+    }
+
+    if opts.fig4 {
+        banner("Figure 4: custom timer characterization");
+        let (rows, separable) = fig4_timer_characterization(if opts.quick { 12 } else { 40 });
+        println!("{:<8} {:>12} {:>10} {:>12}", "class", "mean ticks", "std dev", "approx ns");
+        for r in rows {
+            println!(
+                "{:<8} {:>12.1} {:>10.2} {:>12.1}",
+                r.class, r.mean_ticks, r.std_dev, r.mean_ns
+            );
+        }
+        println!("three levels separable : {separable} (paper: separable)");
+    }
+
+    if opts.fig7 {
+        banner("Figure 7: LLC channel bandwidth per L3 eviction strategy");
+        println!(
+            "{:<22} {:<12} {:>14} {:>10} {:>14}",
+            "strategy", "direction", "measured kb/s", "error", "paper kb/s"
+        );
+        for r in fig7_llc_strategies(llc_bits) {
+            println!(
+                "{:<22} {:<12} {:>14.1} {:>9.2}% {:>14.1}",
+                r.strategy,
+                r.direction,
+                r.bandwidth_kbps,
+                r.error_rate * 100.0,
+                r.paper_kbps
+            );
+        }
+    }
+
+    if opts.fig8 {
+        banner("Figure 8: error and bandwidth vs number of redundant LLC sets");
+        println!("{:<12} {:>6} {:>14} {:>10}", "direction", "sets", "kb/s", "error");
+        for r in fig8_llc_sets(llc_bits) {
+            println!(
+                "{:<12} {:>6} {:>14.1} {:>9.2}%",
+                r.direction,
+                r.sets_per_role,
+                r.bandwidth_kbps,
+                r.error_rate * 100.0
+            );
+        }
+        println!("(paper: GPU-to-CPU 7% @ 1 set -> 2% @ 2 sets, 128 -> 120 kb/s)");
+    }
+
+    if opts.fig9 {
+        banner("Figure 9: iteration factor vs GPU buffer size (CPU buffer 512 KB)");
+        println!(
+            "{:<16} {:>6} {:>16} {:>16}",
+            "GPU buffer", "IF", "CPU window (ns)", "GPU pass (ns)"
+        );
+        for r in fig9_iteration_factor() {
+            println!(
+                "{:<16} {:>6} {:>16.0} {:>16.0}",
+                format!("{} KB", r.gpu_buffer_bytes / 1024),
+                r.iteration_factor,
+                r.cpu_window_ns,
+                r.gpu_pass_ns
+            );
+        }
+        println!("(paper: IF decreases as the GPU buffer grows)");
+    }
+
+    if opts.fig10 {
+        banner("Figure 10: contention channel sweep (bandwidth / error, 95% CI)");
+        println!(
+            "{:<12} {:>4} {:>4} {:>20} {:>22}",
+            "GPU buffer", "WGs", "IF", "kb/s (mean ± CI)", "error % (mean ± CI)"
+        );
+        for r in fig10_contention(contention_bits, runs) {
+            println!(
+                "{:<12} {:>4} {:>4} {:>13.1} ± {:>5.1} {:>15.2} ± {:>5.2}",
+                format!("{} MB", r.gpu_buffer_bytes / (1024 * 1024)),
+                r.workgroups,
+                r.iteration_factor,
+                r.bandwidth_kbps.mean,
+                r.bandwidth_kbps.ci95_half_width,
+                r.error_rate.mean * 100.0,
+                r.error_rate.ci95_half_width * 100.0
+            );
+        }
+        println!("(paper: 390-402 kb/s, best error 0.82% at 2 MB / 2 work-groups)");
+    }
+
+    if opts.ablation {
+        banner("Ablation (Section III-E): GPU thread-level parallelism");
+        for r in parallelism_ablation(if opts.quick { 60 } else { 200 }) {
+            println!(
+                "parallel={:<5} bandwidth {:>8.1} kb/s   error {:>5.2}%",
+                r.parallel,
+                r.bandwidth_kbps,
+                r.error_rate * 100.0
+            );
+        }
+    }
+
+    if opts.headline {
+        banner("Headline numbers (abstract / Section V)");
+        println!(
+            "{:<30} {:>14} {:>10} {:>12} {:>10}",
+            "channel", "measured kb/s", "error", "paper kb/s", "paper err"
+        );
+        for r in headline(if opts.quick { 120 } else { 400 }) {
+            println!(
+                "{:<30} {:>14.1} {:>9.2}% {:>12.1} {:>9.2}%",
+                r.channel,
+                r.bandwidth_kbps,
+                r.error_rate * 100.0,
+                r.paper_kbps,
+                r.paper_error * 100.0
+            );
+        }
+    }
+}

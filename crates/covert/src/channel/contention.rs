@@ -1,0 +1,593 @@
+//! The contention-based covert channel (Section IV of the paper).
+//!
+//! Unlike the LLC channel, this channel shares no stateful structure at all:
+//! the CPU spy simply times accesses to its own LLC-resident buffer, and the
+//! GPU trojan modulates the shared pathway to the LLC (ring interconnect +
+//! LLC ports) by either streaming its own, disjoint buffer (bit `1`) or
+//! staying idle (bit `0`). The receiver decodes by thresholding its measured
+//! access time (Equation 3: `T_total = T_cpu + T_ov`).
+//!
+//! The channel's quality depends on keeping the two sides overlapped despite
+//! the 4:1 clock disparity. The paper introduces the **iteration factor**
+//! (`IF`, Equation 4): the number of times the GPU re-walks its per-bit
+//! window so that its active period matches the CPU's measurement period.
+//! [`ContentionChannel::calibrate`] performs that search, reproducing
+//! Figure 9; the bandwidth/error sweep over buffer sizes and work-group
+//! counts reproduces Figure 10.
+
+use crate::error::ChannelError;
+use crate::metrics::TransmissionReport;
+use cpu_exec::prelude::{AccessPattern, CpuThread, LineBuffer};
+use gpu_exec::prelude::{GpuKernel, GpuTopology, WorkGroupShape};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use soc_sim::clock::Time;
+use soc_sim::page_table::PageKind;
+use soc_sim::prelude::{PhysAddr, Soc, SocConfig};
+
+/// Configuration of the contention channel.
+#[derive(Debug, Clone)]
+pub struct ContentionChannelConfig {
+    /// Spy (CPU) buffer size in bytes; the paper fixes this at 512 KB.
+    pub cpu_buffer_bytes: u64,
+    /// Trojan (GPU) buffer size in bytes (1 MB and 2 MB in Figure 10).
+    pub gpu_buffer_bytes: u64,
+    /// Number of work-groups the trojan launches (x-axis of Figure 10).
+    pub workgroups: usize,
+    /// Number of buffer lines the CPU times per bit (its measurement window).
+    pub cpu_lines_per_bit: usize,
+    /// Iteration factor override; `None` lets [`ContentionChannel::calibrate`]
+    /// choose it.
+    pub iteration_factor: Option<u32>,
+    /// Probability per bit of an ambient background-traffic burst on another
+    /// core (the noise source that bounds the error rate from below).
+    pub background_burst_prob: f64,
+    /// Simulator seed.
+    pub seed: u64,
+    /// SoC configuration.
+    pub soc: SocConfig,
+}
+
+impl ContentionChannelConfig {
+    /// The paper's best configuration: 512 KB CPU buffer, 2 MB GPU buffer,
+    /// 2 work-groups.
+    pub fn paper_default() -> Self {
+        ContentionChannelConfig {
+            cpu_buffer_bytes: 512 * 1024,
+            gpu_buffer_bytes: 2 * 1024 * 1024,
+            workgroups: 2,
+            cpu_lines_per_bit: 256,
+            iteration_factor: None,
+            background_burst_prob: 0.012,
+            seed: 11,
+            soc: SocConfig::kaby_lake_i7_7700k(),
+        }
+    }
+
+    /// Builder-style GPU buffer size override.
+    pub fn with_gpu_buffer(mut self, bytes: u64) -> Self {
+        self.gpu_buffer_bytes = bytes;
+        self
+    }
+
+    /// Builder-style work-group count override.
+    pub fn with_workgroups(mut self, workgroups: usize) -> Self {
+        self.workgroups = workgroups;
+        self
+    }
+
+    /// Builder-style iteration-factor override.
+    pub fn with_iteration_factor(mut self, factor: u32) -> Self {
+        self.iteration_factor = Some(factor);
+        self
+    }
+
+    /// Builder-style seed override.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Number of cache lines in the GPU buffer (Equation 7 numerator).
+    pub fn gpu_buffer_lines(&self) -> u64 {
+        self.gpu_buffer_bytes / 64
+    }
+
+    /// `numElsPerThread` from Equation 7 of the paper: lines per GPU thread.
+    pub fn num_els_per_thread(&self) -> u64 {
+        let threads = (self.workgroups * 256) as u64;
+        self.gpu_buffer_lines().div_ceil(threads)
+    }
+}
+
+impl Default for ContentionChannelConfig {
+    fn default() -> Self {
+        Self::paper_default()
+    }
+}
+
+/// Result of the iteration-factor calibration (Figure 9).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CalibrationResult {
+    /// The chosen iteration factor.
+    pub iteration_factor: u32,
+    /// Measured CPU time per bit window (GPU idle).
+    pub cpu_window_time: Time,
+    /// Measured GPU time for one pass over its per-bit window.
+    pub gpu_pass_time: Time,
+    /// Decision threshold (CPU cycles for one measurement window).
+    pub threshold_cycles: u64,
+    /// Mean quiet-window cycles observed during calibration.
+    pub quiet_cycles: u64,
+    /// Mean contended-window cycles observed during calibration.
+    pub contended_cycles: u64,
+}
+
+/// A fully set-up contention channel (owns the SoC and both processes).
+#[derive(Debug)]
+pub struct ContentionChannel {
+    config: ContentionChannelConfig,
+    soc: Soc,
+    spy: CpuThread,
+    background: CpuThread,
+    gpu: GpuKernel,
+    /// Spy lines in pointer-chase order.
+    cpu_lines: Vec<PhysAddr>,
+    /// Trojan lines in pointer-chase order (disjoint LLC sets from the spy's).
+    gpu_lines: Vec<PhysAddr>,
+    /// Lines used by the ambient background burst generator.
+    background_lines: Vec<PhysAddr>,
+    /// Per-bit GPU window length in lines.
+    gpu_window_lines: usize,
+    cursor_cpu: usize,
+    cursor_gpu: usize,
+    calibration: Option<CalibrationResult>,
+    rng: SmallRng,
+}
+
+/// Fraction of the GPU buffer touched per bit window (before the iteration
+/// factor): the window is `buffer_lines / GPU_WINDOW_DIVISOR`, so a larger
+/// trojan buffer yields a longer single pass and therefore a smaller IF —
+/// the relationship Figure 9 plots.
+const GPU_WINDOW_DIVISOR: u64 = 128;
+
+impl ContentionChannel {
+    /// Sets up the channel: allocates and warms both buffers, filters the
+    /// trojan's lines so the two buffers occupy disjoint LLC sets
+    /// (Equation 6), and launches the trojan kernel.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ChannelError::InvalidConfig`] for degenerate configurations
+    /// and allocation errors otherwise.
+    pub fn new(config: ContentionChannelConfig) -> Result<Self, ChannelError> {
+        if config.workgroups == 0 {
+            return Err(ChannelError::InvalidConfig("workgroups must be at least 1".into()));
+        }
+        if config.cpu_lines_per_bit == 0 {
+            return Err(ChannelError::InvalidConfig("cpu_lines_per_bit must be at least 1".into()));
+        }
+        let llc_capacity = config.soc.llc.capacity_bytes();
+        if config.cpu_buffer_bytes + config.gpu_buffer_bytes >= llc_capacity {
+            return Err(ChannelError::InvalidConfig(format!(
+                "buffers ({} + {} bytes) must fit well inside the {llc_capacity}-byte LLC (Equation 5)",
+                config.cpu_buffer_bytes, config.gpu_buffer_bytes
+            )));
+        }
+        let mut soc = Soc::new(config.soc.clone().with_seed(config.seed));
+
+        // Spy process and buffer.
+        let mut spy_space = soc.create_process();
+        let spy_buf = soc.alloc(&mut spy_space, config.cpu_buffer_bytes, PageKind::Small)?;
+        let cpu_line_buffer = LineBuffer::resolve(&spy_space, &spy_buf);
+        let cpu_lines = cpu_line_buffer.access_order(AccessPattern::PointerChase { seed: config.seed });
+
+        // Trojan process and buffer (SVM-shared with the GPU).
+        let mut trojan_space = soc.create_process();
+        trojan_space.share_with_gpu();
+        let trojan_buf = soc.alloc(&mut trojan_space, config.gpu_buffer_bytes, PageKind::Small)?;
+        let gpu_line_buffer = LineBuffer::resolve(&trojan_space, &trojan_buf);
+
+        // Equation 6: the trojan's lines must not share LLC sets with the
+        // spy's, otherwise LLC conflicts would distort the contention signal.
+        let spy_sets: std::collections::HashSet<_> =
+            cpu_lines.iter().map(|a| soc.llc().set_of(*a)).collect();
+        let gpu_lines: Vec<PhysAddr> = gpu_line_buffer
+            .access_order(AccessPattern::PointerChase { seed: config.seed ^ 0xFF })
+            .into_iter()
+            .filter(|a| !spy_sets.contains(&soc.llc().set_of(*a)))
+            .collect();
+        if gpu_lines.len() < 64 {
+            return Err(ChannelError::EvictionSetNotFound {
+                requested: 64,
+                found: gpu_lines.len(),
+            });
+        }
+
+        // A third, independent buffer models ambient system activity.
+        let mut other_space = soc.create_process();
+        let other_buf = soc.alloc(&mut other_space, 256 * 1024, PageKind::Small)?;
+        let background_lines = LineBuffer::resolve(&other_space, &other_buf)
+            .access_order(AccessPattern::PointerChase { seed: config.seed ^ 0xABCD });
+
+        // Trojan kernel: `workgroups` work-groups of 256 threads.
+        let topology = GpuTopology::gen9_gt2();
+        let shape = WorkGroupShape::paper_default(&topology);
+        let gpu = GpuKernel::launch(topology, shape, config.workgroups);
+
+        let gpu_window_lines = (config.gpu_buffer_lines() / GPU_WINDOW_DIVISOR).max(16) as usize;
+
+        let mut channel = ContentionChannel {
+            rng: SmallRng::seed_from_u64(config.seed ^ 0x5151_1515),
+            spy: CpuThread::pinned(0),
+            background: CpuThread::pinned(2),
+            gpu,
+            cpu_lines,
+            gpu_lines,
+            background_lines,
+            gpu_window_lines,
+            cursor_cpu: 0,
+            cursor_gpu: 0,
+            calibration: None,
+            soc,
+            config,
+        };
+        channel.warm_up();
+        Ok(channel)
+    }
+
+    /// The channel configuration.
+    pub fn config(&self) -> &ContentionChannelConfig {
+        &self.config
+    }
+
+    /// The calibration result, if [`ContentionChannel::calibrate`] has run.
+    pub fn calibration(&self) -> Option<&CalibrationResult> {
+        self.calibration.as_ref()
+    }
+
+    /// Number of trojan lines per per-bit window (before the iteration
+    /// factor).
+    pub fn gpu_window_lines(&self) -> usize {
+        self.gpu_window_lines
+    }
+
+    /// Warm both buffers into the LLC (steps 4 and 5 of Figure 6).
+    fn warm_up(&mut self) {
+        let cpu_lines = self.cpu_lines.clone();
+        for &a in &cpu_lines {
+            self.spy.load(&mut self.soc, a);
+        }
+        let gpu_lines = self.gpu_lines.clone();
+        self.gpu.synchronize_to(self.spy.now());
+        self.gpu.parallel_load(&mut self.soc, &gpu_lines);
+        self.spy.synchronize_to(self.gpu.now());
+    }
+
+    /// Next window of spy lines (wrapping).
+    fn next_cpu_window(&mut self) -> Vec<PhysAddr> {
+        let n = self.config.cpu_lines_per_bit;
+        let mut out = Vec::with_capacity(n);
+        for _ in 0..n {
+            out.push(self.cpu_lines[self.cursor_cpu]);
+            self.cursor_cpu = (self.cursor_cpu + 1) % self.cpu_lines.len();
+        }
+        out
+    }
+
+    /// Next window of trojan lines (wrapping).
+    fn next_gpu_window(&mut self) -> Vec<PhysAddr> {
+        let n = self.gpu_window_lines;
+        let mut out = Vec::with_capacity(n);
+        for _ in 0..n {
+            out.push(self.gpu_lines[self.cursor_gpu]);
+            self.cursor_gpu = (self.cursor_gpu + 1) % self.gpu_lines.len();
+        }
+        out
+    }
+
+    /// Times one CPU measurement window with no concurrent GPU traffic.
+    fn measure_quiet_window(&mut self) -> u64 {
+        let window = self.next_cpu_window();
+        let before = self.spy.rdtsc();
+        for &a in &window {
+            self.spy.load(&mut self.soc, a);
+        }
+        self.spy.rdtsc() - before
+    }
+
+    /// Times one CPU measurement window while the GPU streams `iterations`
+    /// passes over its window, interleaving the two agents in simulated-time
+    /// order so the ring/port contention is physical, not assumed.
+    fn measure_contended_window(&mut self, iterations: u32) -> u64 {
+        // Both loops run concurrently: align their clocks before starting.
+        let t = self.spy.now().max(self.gpu.now());
+        self.spy.synchronize_to(t);
+        self.gpu.synchronize_to(t);
+        let cpu_window = self.next_cpu_window();
+        let mut gpu_accesses: Vec<PhysAddr> = Vec::new();
+        for _ in 0..iterations {
+            gpu_accesses.extend(self.next_gpu_window());
+        }
+        // Oversubscribed subslices add dispatch jitter before the trojan's
+        // traffic starts flowing.
+        let oversub = self
+            .gpu
+            .placements()
+            .iter()
+            .fold(std::collections::HashMap::new(), |mut m, p| {
+                *m.entry(p.subslice).or_insert(0usize) += 1;
+                m
+            })
+            .values()
+            .copied()
+            .max()
+            .unwrap_or(1);
+        if oversub > 1 {
+            let jitter_ns = self.rng.gen_range(0..(oversub as u64) * 400);
+            self.gpu.advance(Time::from_ns(jitter_ns));
+        }
+
+        let group = self.gpu.effective_parallelism();
+        let mut cpu_idx = 0usize;
+        let mut gpu_idx = 0usize;
+        let before = self.spy.rdtsc();
+        while cpu_idx < cpu_window.len() {
+            let gpu_has_work = gpu_idx < gpu_accesses.len();
+            if gpu_has_work && self.gpu.now() <= self.spy.now() {
+                let end = (gpu_idx + group).min(gpu_accesses.len());
+                let chunk = &gpu_accesses[gpu_idx..end].to_vec();
+                self.gpu.parallel_load(&mut self.soc, chunk);
+                gpu_idx = end;
+            } else {
+                self.spy.load(&mut self.soc, cpu_window[cpu_idx]);
+                cpu_idx += 1;
+            }
+        }
+        let cycles = self.spy.rdtsc() - before;
+        // Let the trojan finish any residual iterations so both clocks stay
+        // roughly aligned for the next bit.
+        while gpu_idx < gpu_accesses.len() {
+            let end = (gpu_idx + group).min(gpu_accesses.len());
+            let chunk = &gpu_accesses[gpu_idx..end].to_vec();
+            self.gpu.parallel_load(&mut self.soc, chunk);
+            gpu_idx = end;
+        }
+        cycles
+    }
+
+    /// Calibrates the iteration factor and the decision threshold
+    /// (Figure 9 / Section IV). Uses the configured override if present.
+    pub fn calibrate(&mut self) -> CalibrationResult {
+        // CPU window time with the GPU idle.
+        let reps = 8;
+        let mut quiet = Vec::with_capacity(reps);
+        for _ in 0..reps {
+            quiet.push(self.measure_quiet_window());
+        }
+        let quiet_cycles = quiet.iter().sum::<u64>() / reps as u64;
+        let cpu_window_time = self.spy.clock().cycles_to_time(quiet_cycles);
+
+        // GPU single-pass time over its window. The two loops must be
+        // measured at the same point in simulated time, otherwise the shared
+        // resources would charge the laggard for traffic that has not
+        // happened "yet" from its point of view.
+        self.gpu.synchronize_to(self.spy.now());
+        let gpu_window = self.next_gpu_window();
+        let gpu_start = self.gpu.now();
+        let pass_outcome = self.gpu.parallel_load(&mut self.soc, &gpu_window);
+        let gpu_pass_time = self.gpu.now() - gpu_start;
+        #[cfg(feature = "debug-trace")]
+        eprintln!(
+            "calibrate: window={} parallelism={} l3={} llc={} dram={} pass={}",
+            gpu_window.len(),
+            self.gpu.effective_parallelism(),
+            pass_outcome.count_at_level(soc_sim::prelude::HitLevel::GpuL3),
+            pass_outcome.count_at_level(soc_sim::prelude::HitLevel::Llc),
+            pass_outcome.count_at_level(soc_sim::prelude::HitLevel::Dram),
+            gpu_pass_time
+        );
+        #[cfg(not(feature = "debug-trace"))]
+        let _ = &pass_outcome;
+
+        let iteration_factor = self.config.iteration_factor.unwrap_or_else(|| {
+            let ratio = cpu_window_time.as_ps() as f64 / gpu_pass_time.as_ps().max(1) as f64;
+            ratio.round().max(1.0) as u32
+        });
+
+        // Contended window time with the chosen IF.
+        self.spy.synchronize_to(self.gpu.now());
+        let mut contended = Vec::with_capacity(reps);
+        for _ in 0..reps {
+            contended.push(self.measure_contended_window(iteration_factor));
+        }
+        let contended_cycles = contended.iter().sum::<u64>() / reps as u64;
+        // Place the decision threshold halfway across the observed *gap*
+        // (slowest quiet window to fastest contended window); when the two
+        // populations overlap, fall back to the midpoint of the means.
+        let quiet_max = quiet.iter().copied().max().unwrap_or(quiet_cycles);
+        let contended_min = contended.iter().copied().min().unwrap_or(contended_cycles);
+        let threshold_cycles = if contended_min > quiet_max {
+            (quiet_max + contended_min) / 2
+        } else {
+            (quiet_cycles + contended_cycles) / 2
+        };
+
+        let result = CalibrationResult {
+            iteration_factor,
+            cpu_window_time,
+            gpu_pass_time,
+            threshold_cycles,
+            quiet_cycles,
+            contended_cycles,
+        };
+        self.calibration = Some(result);
+        result
+    }
+
+    /// Transmits one bit and returns the spy's decision.
+    fn transmit_bit(&mut self, bit: bool, calibration: CalibrationResult) -> bool {
+        // Ambient burst: another core occasionally floods the ring too.
+        let burst = self.rng.gen_bool(self.config.background_burst_prob);
+        if burst {
+            self.background.synchronize_to(self.spy.now());
+            let lines = self.background_lines.clone();
+            for &a in lines.iter().take(96) {
+                self.background.clflush(&mut self.soc, a);
+                self.background.load(&mut self.soc, a);
+            }
+        }
+
+        let cycles = if bit {
+            self.measure_contended_window(calibration.iteration_factor)
+        } else {
+            self.measure_quiet_window()
+        };
+        #[cfg(feature = "debug-trace")]
+        eprintln!(
+            "bit={} cycles={} threshold={} quiet={} contended={}",
+            u8::from(bit),
+            cycles,
+            calibration.threshold_cycles,
+            calibration.quiet_cycles,
+            calibration.contended_cycles
+        );
+        // Re-align the two loops between bits.
+        let t = self.spy.now().max(self.gpu.now());
+        self.spy.synchronize_to(t);
+        self.gpu.synchronize_to(t);
+        cycles > calibration.threshold_cycles
+    }
+
+    /// Transmits a bit string; calibrates first if that has not happened yet.
+    pub fn transmit(&mut self, bits: &[bool]) -> TransmissionReport {
+        let calibration = match self.calibration {
+            Some(c) => c,
+            None => self.calibrate(),
+        };
+        let start = self.spy.now().max(self.gpu.now());
+        let received: Vec<bool> = bits.iter().map(|&b| self.transmit_bit(b, calibration)).collect();
+        let end = self.spy.now().max(self.gpu.now());
+        TransmissionReport::new(bits.to_vec(), received, end - start)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::test_pattern;
+
+    fn noiseless_config() -> ContentionChannelConfig {
+        ContentionChannelConfig {
+            soc: SocConfig::kaby_lake_noiseless(),
+            background_burst_prob: 0.0,
+            ..ContentionChannelConfig::paper_default()
+        }
+    }
+
+    #[test]
+    fn calibration_separates_quiet_and_contended_windows() {
+        let mut ch = ContentionChannel::new(noiseless_config()).unwrap();
+        let cal = ch.calibrate();
+        assert!(cal.iteration_factor >= 1);
+        assert!(
+            cal.contended_cycles > cal.quiet_cycles + 200,
+            "contended {} vs quiet {}",
+            cal.contended_cycles,
+            cal.quiet_cycles
+        );
+        assert!(cal.threshold_cycles > cal.quiet_cycles);
+        assert!(cal.threshold_cycles < cal.contended_cycles);
+    }
+
+    #[test]
+    fn noiseless_transmission_is_error_free() {
+        let mut ch = ContentionChannel::new(noiseless_config()).unwrap();
+        let bits = test_pattern(128, 21);
+        let report = ch.transmit(&bits);
+        assert_eq!(report.error_count(), 0, "received {:?}", report.received);
+    }
+
+    #[test]
+    fn contention_channel_is_faster_than_the_llc_channel_regime() {
+        let mut ch = ContentionChannel::new(noiseless_config()).unwrap();
+        let bits = test_pattern(128, 22);
+        let report = ch.transmit(&bits);
+        // The paper reports ~400 kb/s vs ~120 kb/s; at minimum the contention
+        // channel must be well above the LLC channel's regime.
+        assert!(
+            report.bandwidth_kbps() > 150.0,
+            "bandwidth {} kbps",
+            report.bandwidth_kbps()
+        );
+    }
+
+    #[test]
+    fn quiet_system_error_rate_is_low() {
+        let mut ch = ContentionChannel::new(ContentionChannelConfig::paper_default()).unwrap();
+        let bits = test_pattern(600, 23);
+        let report = ch.transmit(&bits);
+        assert!(
+            report.error_rate() < 0.05,
+            "error rate {} too high",
+            report.error_rate()
+        );
+    }
+
+    #[test]
+    fn iteration_factor_decreases_with_gpu_buffer_size() {
+        let mut small =
+            ContentionChannel::new(noiseless_config().with_gpu_buffer(512 * 1024).with_workgroups(1))
+                .unwrap();
+        let mut large =
+            ContentionChannel::new(noiseless_config().with_gpu_buffer(4 * 1024 * 1024).with_workgroups(1))
+                .unwrap();
+        let if_small = small.calibrate().iteration_factor;
+        let if_large = large.calibrate().iteration_factor;
+        assert!(
+            if_small > if_large,
+            "IF should shrink as the GPU buffer grows: {if_small} vs {if_large}"
+        );
+    }
+
+    #[test]
+    fn degenerate_configurations_are_rejected() {
+        let err = ContentionChannel::new(noiseless_config().with_workgroups(0)).unwrap_err();
+        assert!(matches!(err, ChannelError::InvalidConfig(_)));
+        let too_big = ContentionChannelConfig {
+            gpu_buffer_bytes: 16 * 1024 * 1024,
+            ..noiseless_config()
+        };
+        let err = ContentionChannel::new(too_big).unwrap_err();
+        assert!(matches!(err, ChannelError::InvalidConfig(_)));
+        let zero_window = ContentionChannelConfig {
+            cpu_lines_per_bit: 0,
+            ..noiseless_config()
+        };
+        assert!(matches!(
+            ContentionChannel::new(zero_window).unwrap_err(),
+            ChannelError::InvalidConfig(_)
+        ));
+    }
+
+    #[test]
+    fn num_els_per_thread_follows_equation_seven() {
+        let cfg = ContentionChannelConfig::paper_default(); // 2 MB, 2 work-groups
+        assert_eq!(cfg.gpu_buffer_lines(), 32 * 1024);
+        assert_eq!(cfg.num_els_per_thread(), 64);
+        let one_wg = cfg.clone().with_workgroups(1);
+        assert_eq!(one_wg.num_els_per_thread(), 128);
+    }
+
+    #[test]
+    fn trojan_lines_avoid_spy_llc_sets() {
+        let ch = ContentionChannel::new(noiseless_config()).unwrap();
+        let spy_sets: std::collections::HashSet<_> =
+            ch.cpu_lines.iter().map(|a| ch.soc.llc().set_of(*a)).collect();
+        assert!(ch
+            .gpu_lines
+            .iter()
+            .all(|a| !spy_sets.contains(&ch.soc.llc().set_of(*a))));
+        assert!(ch.gpu_window_lines() >= 16);
+    }
+}

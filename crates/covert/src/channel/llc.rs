@@ -1,0 +1,673 @@
+//! The LLC-based Prime+Probe covert channel (Section III of the paper).
+//!
+//! One protocol round moves one bit and consists of the three phases of
+//! Figure 5: a ready-to-send handshake over set group `S_A`, a
+//! ready-to-receive handshake over set group `S_B`, and the data transfer
+//! over set group `S_C`. Each set group contains `sets_per_role` redundant
+//! LLC sets; the receiver fuses the per-set observations by majority vote.
+//!
+//! The asymmetry of the two components shows up in three places, all modelled
+//! here exactly as the paper describes them:
+//!
+//! * the GPU cannot address the LLC directly — every prime/probe from the GPU
+//!   first has to evict its target lines from the non-inclusive L3, using one
+//!   of the [`L3EvictionStrategy`] pollute sets;
+//! * the GPU has no hardware timer, so its probes are classified with the
+//!   custom SLM counter timer characterized by
+//!   [`crate::timer_char::characterize_timer`];
+//! * the 4:1 clock disparity means the two free-running loops drift; the
+//!   drift is bridged with GPU thread-level parallelism and absorbed by the
+//!   handshake, but residual slips corrupt occasional observations. The
+//!   desynchronization model quantifies those slips from the measured phase
+//!   durations (see [`DesyncModel`]).
+
+use crate::error::ChannelError;
+use crate::metrics::TransmissionReport;
+use crate::protocol::{majority_vote, ClassifierConfig, Direction, ProbeObservation, SetRole};
+use crate::reverse::l3::{build_pollute_set, L3EvictionStrategy};
+use crate::reverse::llc_sets::{addresses_in_llc_set, CPU_MISS_THRESHOLD_CYCLES};
+use crate::timer_char::{characterize_timer, TimerCharacterization};
+use cpu_exec::prelude::CpuThread;
+use gpu_exec::prelude::{GpuKernel, GpuTopology, WorkGroupShape};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use soc_sim::clock::Time;
+use soc_sim::llc::LlcSetId;
+use soc_sim::page_table::PageKind;
+use soc_sim::prelude::{PhysAddr, Soc, SocConfig};
+
+/// Configuration of one LLC channel instance.
+#[derive(Debug, Clone)]
+pub struct LlcChannelConfig {
+    /// Transmission direction.
+    pub direction: Direction,
+    /// How the GPU evicts its target lines from the L3.
+    pub strategy: L3EvictionStrategy,
+    /// Redundant LLC sets per protocol role (the paper settles on 2).
+    pub sets_per_role: usize,
+    /// Per-set probe classification.
+    pub classifier: ClassifierConfig,
+    /// Use GPU thread-level parallelism for prime/probe (the paper's
+    /// optimization for the clock disparity). Disabling it is the ablation
+    /// discussed in Section III-E.
+    pub gpu_parallelism: bool,
+    /// Simulator seed.
+    pub seed: u64,
+    /// SoC configuration (noise model, geometry).
+    pub soc: SocConfig,
+}
+
+impl LlcChannelConfig {
+    /// The paper's best configuration: GPU→CPU, precise L3 eviction, 2
+    /// redundant sets, GPU parallelism enabled, quiet system.
+    pub fn paper_default() -> Self {
+        LlcChannelConfig {
+            direction: Direction::GpuToCpu,
+            strategy: L3EvictionStrategy::PreciseL3,
+            sets_per_role: 2,
+            classifier: ClassifierConfig::paper_default(),
+            gpu_parallelism: true,
+            seed: 7,
+            soc: SocConfig::kaby_lake_i7_7700k(),
+        }
+    }
+
+    /// Builder-style direction override.
+    pub fn with_direction(mut self, direction: Direction) -> Self {
+        self.direction = direction;
+        self
+    }
+
+    /// Builder-style strategy override.
+    pub fn with_strategy(mut self, strategy: L3EvictionStrategy) -> Self {
+        self.strategy = strategy;
+        self
+    }
+
+    /// Builder-style redundancy override.
+    pub fn with_sets_per_role(mut self, sets: usize) -> Self {
+        self.sets_per_role = sets;
+        self
+    }
+
+    /// Builder-style seed override.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+}
+
+impl Default for LlcChannelConfig {
+    fn default() -> Self {
+        Self::paper_default()
+    }
+}
+
+/// Quantifies how often the two free-running loops slip out of step.
+///
+/// The per-set slip probability grows with the relative mismatch of the
+/// sender's and receiver's phase durations (the effect GPU parallelism
+/// suppresses); on top of that, every phase observed through the custom GPU
+/// timer carries a common-mode corruption probability (the timer's rate
+/// wobble affects all redundant sets of that phase at once, which is why the
+/// paper sees a higher, redundancy-resistant error on the CPU→GPU channel).
+#[derive(Debug, Clone, Copy)]
+pub struct DesyncModel {
+    /// Scale factor applied to the relative phase-duration mismatch.
+    pub mismatch_weight: f64,
+    /// Common-mode corruption probability per GPU-timed phase.
+    pub timer_corruption: f64,
+    /// Irreducible per-bit slip probability (scheduling, interrupts).
+    pub floor: f64,
+}
+
+impl DesyncModel {
+    /// Calibration used throughout the reproduction.
+    pub fn paper_default() -> Self {
+        DesyncModel {
+            mismatch_weight: 0.09,
+            timer_corruption: 0.018,
+            floor: 0.006,
+        }
+    }
+
+    /// Per-set slip probability for a phase whose two sides took
+    /// `sender_time` and `receiver_time`.
+    pub fn per_set_probability(&self, sender_time: Time, receiver_time: Time) -> f64 {
+        let a = sender_time.as_ps() as f64;
+        let b = receiver_time.as_ps() as f64;
+        if a <= 0.0 || b <= 0.0 {
+            return 0.0;
+        }
+        let mismatch = (a - b).abs() / a.max(b);
+        (self.mismatch_weight * mismatch).clamp(0.0, 0.5)
+    }
+}
+
+impl Default for DesyncModel {
+    fn default() -> Self {
+        Self::paper_default()
+    }
+}
+
+/// The resources backing one redundant LLC set.
+#[derive(Debug, Clone)]
+struct SetResources {
+    /// The pre-agreed LLC set.
+    llc_set: LlcSetId,
+    /// The CPU party's `ways` conflicting lines for this set.
+    cpu_lines: Vec<PhysAddr>,
+    /// The GPU party's `ways` conflicting lines for this set.
+    gpu_lines: Vec<PhysAddr>,
+    /// The GPU pollute set that evicts `gpu_lines` from the L3.
+    gpu_pollute: Vec<PhysAddr>,
+}
+
+/// Timing summary of the last transmitted bit, used for diagnostics and by
+/// the desynchronization model.
+#[derive(Debug, Clone, Copy, Default)]
+struct PhaseTimes {
+    gpu_prime: Time,
+    cpu_probe: Time,
+    cpu_prime: Time,
+    gpu_probe: Time,
+}
+
+/// A fully set-up LLC Prime+Probe channel (owns the simulated SoC and both
+/// attacker processes).
+#[derive(Debug)]
+pub struct LlcChannel {
+    config: LlcChannelConfig,
+    soc: Soc,
+    /// Spy/receiver-side CPU thread (core 0).
+    cpu_receiver: CpuThread,
+    /// CPU thread that launched the GPU kernel (core 1); also acts as the
+    /// CPU-side sender in the CPU→GPU direction.
+    cpu_sender: CpuThread,
+    gpu: GpuKernel,
+    /// Set resources indexed `[role][redundant set]`.
+    sets: Vec<Vec<SetResources>>,
+    timer_char: TimerCharacterization,
+    desync: DesyncModel,
+    rng: SmallRng,
+}
+
+impl LlcChannel {
+    /// Sets up the channel end to end: allocates the trojan and spy buffers
+    /// (1 GiB huge pages each), derives the per-role eviction sets and
+    /// pollute sets, and characterizes the custom timer.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ChannelError`] when buffers cannot be allocated, eviction
+    /// sets cannot be found, or the custom timer cannot separate the cache
+    /// levels under the configured noise.
+    pub fn new(config: LlcChannelConfig) -> Result<Self, ChannelError> {
+        if config.sets_per_role == 0 {
+            return Err(ChannelError::InvalidConfig(
+                "sets_per_role must be at least 1".into(),
+            ));
+        }
+        let mut soc = Soc::new(config.soc.clone().with_seed(config.seed));
+        let ways = soc.llc().config().ways;
+
+        // The two unprivileged processes: the spy and the trojan. SVM shares
+        // the trojan's address space with the GPU; nothing is shared between
+        // the two processes.
+        let mut spy_space = soc.create_process();
+        let mut trojan_space = soc.create_process();
+        trojan_space.share_with_gpu();
+        let spy_buf = soc.alloc(&mut spy_space, 1 << 30, PageKind::Huge)?;
+        let trojan_buf = soc.alloc(&mut trojan_space, 1 << 30, PageKind::Huge)?;
+        let spy_base = spy_space.translate(spy_buf.base).expect("huge page mapped");
+        let trojan_base = trojan_space.translate(trojan_buf.base).expect("huge page mapped");
+
+        // The GPU kernel: one work-group, 16 access + 224 counter threads.
+        let topology = GpuTopology::gen9_gt2();
+        let shape = if config.gpu_parallelism {
+            WorkGroupShape::paper_default(&topology)
+        } else {
+            // Ablation: a single access thread (rest of the first wavefront
+            // idle), counters unchanged.
+            WorkGroupShape::new(topology.max_workgroup_size, topology.wavefront_width, 1)
+        };
+        let gpu = GpuKernel::launch(topology, shape, 1);
+
+        // Characterize the custom timer on the trojan's buffer before wiring
+        // up the sets (the thresholds drive the GPU-side probe decisions).
+        let mut gpu_for_char = GpuKernel::launch_attack_kernel();
+        let timer_char = characterize_timer(
+            &mut soc,
+            &mut gpu_for_char,
+            PhysAddr::new(trojan_base.value() + (512 << 20)),
+            PhysAddr::new(trojan_base.value() + (640 << 20)),
+            256 << 20,
+            24,
+        );
+        if !timer_char.is_separable() {
+            return Err(ChannelError::TimerNotSeparable);
+        }
+
+        // Pre-agreed LLC sets: spread over slices and set indices so the
+        // role groups never interfere with each other in the LLC or the L3.
+        let slice_count = soc.llc().slice_count();
+        let total_sets = SetRole::ALL.len() * config.sets_per_role;
+        let agreed: Vec<LlcSetId> = (0..total_sets)
+            .map(|i| LlcSetId {
+                slice: i % slice_count,
+                set: 97 + i * 5,
+            })
+            .collect();
+        let mut sets = Vec::with_capacity(SetRole::ALL.len());
+        let mut set_counter = 0usize;
+        for _role in SetRole::ALL {
+            let mut role_sets = Vec::with_capacity(config.sets_per_role);
+            for _ in 0..config.sets_per_role {
+                let llc_set = agreed[set_counter];
+                set_counter += 1;
+                // The spy searches the first half of its huge page, the
+                // trojan the first half of its own; the trojan's second half
+                // is the pollute pool.
+                let cpu_lines =
+                    addresses_in_llc_set(&soc, llc_set, spy_base, 512 << 20, ways)?;
+                let gpu_lines =
+                    addresses_in_llc_set(&soc, llc_set, trojan_base, 256 << 20, ways)?;
+                let mut gpu_pollute = build_pollute_set(
+                    &soc,
+                    config.strategy,
+                    gpu_lines[0],
+                    PhysAddr::new(trojan_base.value() + (256 << 20)),
+                    256 << 20,
+                )?;
+                // No pollute address may alias *any* pre-agreed set (not just
+                // this one), otherwise walking it would corrupt the other
+                // roles' signals — the self-interference hazard of
+                // Section III-D. Constructive strategies already avoid the
+                // current target's set; this filter extends the constraint to
+                // the whole agreed group (and is what makes the whole-L3
+                // clearing strategy usable at all).
+                gpu_pollute.retain(|a| !agreed.contains(&soc.llc().set_of(*a)));
+                role_sets.push(SetResources {
+                    llc_set,
+                    cpu_lines,
+                    gpu_lines,
+                    gpu_pollute,
+                });
+            }
+            sets.push(role_sets);
+        }
+
+        Ok(LlcChannel {
+            rng: SmallRng::seed_from_u64(config.seed ^ 0xA5A5_5A5A),
+            cpu_receiver: CpuThread::pinned(0),
+            cpu_sender: CpuThread::pinned(1),
+            gpu,
+            sets,
+            timer_char,
+            desync: DesyncModel::paper_default(),
+            soc,
+            config,
+        })
+    }
+
+    /// The channel configuration.
+    pub fn config(&self) -> &LlcChannelConfig {
+        &self.config
+    }
+
+    /// The custom-timer characterization used by GPU-side probes.
+    pub fn timer_characterization(&self) -> &TimerCharacterization {
+        &self.timer_char
+    }
+
+    /// The pre-agreed LLC sets, per role.
+    pub fn agreed_sets(&self, role: SetRole) -> Vec<LlcSetId> {
+        let idx = SetRole::ALL.iter().position(|r| *r == role).expect("known role");
+        self.sets[idx].iter().map(|s| s.llc_set).collect()
+    }
+
+    /// Overrides the desynchronization model (for ablations).
+    pub fn set_desync_model(&mut self, model: DesyncModel) {
+        self.desync = model;
+    }
+
+    /// Thread-level parallelism the GPU dedicates to one set's accesses.
+    ///
+    /// The redundant sets of a role are handled by disjoint groups of access
+    /// threads running concurrently (the paper's work-group has 256 threads,
+    /// far more than the 16-per-set minimum), so with parallelism enabled the
+    /// GPU-side cost of a phase barely grows with the redundancy level.
+    fn gpu_set_parallelism(&self) -> usize {
+        if self.config.gpu_parallelism {
+            (self.gpu.effective_parallelism() * self.config.sets_per_role).min(128)
+        } else {
+            self.gpu.effective_parallelism()
+        }
+    }
+
+    /// GPU primes every redundant set of `role`: pollute the L3, then touch
+    /// the GPU's lines so they land in the LLC and displace the other side's.
+    fn gpu_prime(&mut self, role: SetRole) -> Time {
+        let start = self.gpu.now();
+        let parallelism = self.gpu_set_parallelism();
+        let role_idx = SetRole::ALL.iter().position(|r| *r == role).expect("known role");
+        for i in 0..self.sets[role_idx].len() {
+            let pollute = self.sets[role_idx][i].gpu_pollute.clone();
+            let lines = self.sets[role_idx][i].gpu_lines.clone();
+            self.gpu.parallel_load_with(&mut self.soc, &pollute, parallelism);
+            self.gpu.parallel_load_with(&mut self.soc, &lines, parallelism);
+        }
+        self.gpu.now() - start
+    }
+
+    /// GPU probes every redundant set of `role` with the custom timer,
+    /// returning one observation per set.
+    fn gpu_probe(&mut self, role: SetRole) -> (Vec<ProbeObservation>, Time) {
+        let start = self.gpu.now();
+        let parallelism = self.gpu_set_parallelism();
+        let role_idx = SetRole::ALL.iter().position(|r| *r == role).expect("known role");
+        let threshold = self.timer_char.llc_memory_threshold();
+        let mut observations = Vec::new();
+        for i in 0..self.sets[role_idx].len() {
+            let pollute = self.sets[role_idx][i].gpu_pollute.clone();
+            let lines = self.sets[role_idx][i].gpu_lines.clone();
+            // Push the probe lines out of the L3 first, so the timed accesses
+            // observe the LLC (fast, line still ours) or DRAM (slow, evicted).
+            self.gpu.parallel_load_with(&mut self.soc, &pollute, parallelism);
+            let noise = self.soc.timer_noise_factor();
+            let outcome = self.gpu.parallel_load_with(&mut self.soc, &lines, parallelism);
+            let slow = outcome
+                .outcomes
+                .iter()
+                .filter(|o| self.gpu.timer().ticks_for(o.latency, noise) > threshold)
+                .count();
+            observations.push(ProbeObservation::new(slow, lines.len()));
+        }
+        (observations, self.gpu.now() - start)
+    }
+
+    /// CPU (receiver or sender, depending on direction) primes every
+    /// redundant set of `role` by walking its own lines.
+    fn cpu_prime(&mut self, role: SetRole, use_receiver: bool) -> Time {
+        let role_idx = SetRole::ALL.iter().position(|r| *r == role).expect("known role");
+        let thread = if use_receiver { &mut self.cpu_receiver } else { &mut self.cpu_sender };
+        let start = thread.now();
+        for i in 0..self.sets[role_idx].len() {
+            let lines = self.sets[role_idx][i].cpu_lines.clone();
+            // Two passes make the prime robust against LRU interleaving.
+            thread.load_all(&mut self.soc, &lines);
+            thread.load_all(&mut self.soc, &lines);
+        }
+        thread.now() - start
+    }
+
+    /// CPU probes every redundant set of `role`, timing each way.
+    fn cpu_probe(&mut self, role: SetRole, use_receiver: bool) -> (Vec<ProbeObservation>, Time) {
+        let role_idx = SetRole::ALL.iter().position(|r| *r == role).expect("known role");
+        let thread = if use_receiver { &mut self.cpu_receiver } else { &mut self.cpu_sender };
+        let start = thread.now();
+        let mut observations = Vec::new();
+        for i in 0..self.sets[role_idx].len() {
+            let lines = self.sets[role_idx][i].cpu_lines.clone();
+            let mut slow = 0usize;
+            for &a in &lines {
+                let (cycles, _) = thread.timed_load(&mut self.soc, a);
+                if cycles > CPU_MISS_THRESHOLD_CYCLES {
+                    slow += 1;
+                }
+            }
+            observations.push(ProbeObservation::new(slow, lines.len()));
+        }
+        (observations, thread.now() - start)
+    }
+
+    /// Applies the desynchronization model to a set of observations.
+    fn apply_desync(
+        &mut self,
+        observations: &mut [ProbeObservation],
+        sender_time: Time,
+        receiver_time: Time,
+        gpu_timed_phase: bool,
+    ) {
+        let per_set = self.desync.per_set_probability(sender_time, receiver_time);
+        let ways = self.soc.llc().config().ways;
+        for obs in observations.iter_mut() {
+            if self.rng.gen_bool(per_set) {
+                *obs = ProbeObservation::new(self.rng.gen_range(0..=ways), ways);
+            }
+        }
+        if gpu_timed_phase && self.rng.gen_bool(self.desync.timer_corruption) {
+            // Common-mode timer wobble: all sets of the phase are affected.
+            for obs in observations.iter_mut() {
+                *obs = ProbeObservation::new(self.rng.gen_range(0..=ways), ways);
+            }
+        }
+    }
+
+    /// Synchronizes all three agents to the latest local time among them.
+    fn barrier(&mut self) {
+        let t = self
+            .cpu_receiver
+            .now()
+            .max(self.cpu_sender.now())
+            .max(self.gpu.now());
+        self.cpu_receiver.synchronize_to(t);
+        self.cpu_sender.synchronize_to(t);
+        self.gpu.synchronize_to(t);
+    }
+
+    /// Transmits one bit, returning the receiver's decoded value.
+    fn transmit_bit(&mut self, bit: bool) -> bool {
+        let mut times = PhaseTimes::default();
+        let floor_slip = self.rng.gen_bool(self.desync.floor);
+        match self.config.direction {
+            Direction::GpuToCpu => {
+                // Phase 1 — ready to send: GPU primes S_A, CPU probes it.
+                times.gpu_prime = self.gpu_prime(SetRole::ReadyToSend);
+                self.barrier();
+                let (mut rts_obs, t) = self.cpu_probe(SetRole::ReadyToSend, true);
+                times.cpu_probe = t;
+                self.apply_desync(&mut rts_obs, times.gpu_prime, times.cpu_probe, false);
+                let rts_ok = majority_vote(&rts_obs, self.config.classifier);
+
+                // Phase 2 — ready to receive: CPU primes S_B, GPU probes it.
+                times.cpu_prime = self.cpu_prime(SetRole::ReadyToReceive, true);
+                self.barrier();
+                let (mut rtr_obs, t) = self.gpu_probe(SetRole::ReadyToReceive);
+                times.gpu_probe = t;
+                self.apply_desync(&mut rtr_obs, times.cpu_prime, times.gpu_probe, true);
+                let rtr_ok = majority_vote(&rtr_obs, self.config.classifier);
+
+                // Phase 3 — data: GPU primes S_C for a 1, stays idle for a 0.
+                if bit {
+                    self.gpu_prime(SetRole::Data);
+                } else {
+                    // The GPU still runs its loop iteration; it just skips the
+                    // priming accesses.
+                    self.gpu.advance(Time::from_ps(times.gpu_prime.as_ps() / 4));
+                }
+                self.barrier();
+                let (mut data_obs, t) = self.cpu_probe(SetRole::Data, true);
+                self.apply_desync(&mut data_obs, times.gpu_prime, t, false);
+                self.barrier();
+
+                let handshake_ok = rts_ok && rtr_ok && !floor_slip;
+                if handshake_ok {
+                    majority_vote(&data_obs, self.config.classifier)
+                } else {
+                    // A slipped round decodes garbage.
+                    self.rng.gen_bool(0.5)
+                }
+            }
+            Direction::CpuToGpu => {
+                // Mirror image: the CPU (sender, core 1) primes, the GPU probes
+                // the handshake and the data set with the custom timer.
+                times.cpu_prime = self.cpu_prime(SetRole::ReadyToSend, false);
+                self.barrier();
+                let (mut rts_obs, t) = self.gpu_probe(SetRole::ReadyToSend);
+                times.gpu_probe = t;
+                self.apply_desync(&mut rts_obs, times.cpu_prime, times.gpu_probe, true);
+                let rts_ok = majority_vote(&rts_obs, self.config.classifier);
+
+                times.gpu_prime = self.gpu_prime(SetRole::ReadyToReceive);
+                self.barrier();
+                let (mut rtr_obs, t) = self.cpu_probe(SetRole::ReadyToReceive, false);
+                times.cpu_probe = t;
+                self.apply_desync(&mut rtr_obs, times.gpu_prime, times.cpu_probe, false);
+                let rtr_ok = majority_vote(&rtr_obs, self.config.classifier);
+
+                if bit {
+                    self.cpu_prime(SetRole::Data, false);
+                } else {
+                    self.cpu_sender
+                        .advance(Time::from_ps(times.cpu_prime.as_ps() / 4));
+                }
+                self.barrier();
+                let (mut data_obs, t) = self.gpu_probe(SetRole::Data);
+                self.apply_desync(&mut data_obs, times.cpu_prime, t, true);
+                self.barrier();
+
+                let handshake_ok = rts_ok && rtr_ok && !floor_slip;
+                if handshake_ok {
+                    majority_vote(&data_obs, self.config.classifier)
+                } else {
+                    self.rng.gen_bool(0.5)
+                }
+            }
+        }
+    }
+
+    /// Transmits a bit string and reports bandwidth and error rate.
+    pub fn transmit(&mut self, bits: &[bool]) -> TransmissionReport {
+        // Warm-up round so steady-state cache contents do not skew the first
+        // real bit.
+        self.transmit_bit(true);
+        self.transmit_bit(false);
+        let start = self
+            .cpu_receiver
+            .now()
+            .max(self.cpu_sender.now())
+            .max(self.gpu.now());
+        let received: Vec<bool> = bits.iter().map(|&b| self.transmit_bit(b)).collect();
+        let end = self
+            .cpu_receiver
+            .now()
+            .max(self.cpu_sender.now())
+            .max(self.gpu.now());
+        TransmissionReport::new(bits.to_vec(), received, end - start)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::test_pattern;
+    use soc_sim::prelude::NoiseConfig;
+
+    fn noiseless_config() -> LlcChannelConfig {
+        LlcChannelConfig {
+            soc: SocConfig::kaby_lake_noiseless(),
+            ..LlcChannelConfig::paper_default()
+        }
+    }
+
+    /// A desync model with everything switched off, for deterministic tests.
+    fn no_desync() -> DesyncModel {
+        DesyncModel {
+            mismatch_weight: 0.0,
+            timer_corruption: 0.0,
+            floor: 0.0,
+        }
+    }
+
+    #[test]
+    fn noiseless_channel_is_error_free() {
+        let mut ch = LlcChannel::new(noiseless_config()).unwrap();
+        ch.set_desync_model(no_desync());
+        let bits = test_pattern(64, 1);
+        let report = ch.transmit(&bits);
+        assert_eq!(report.error_count(), 0, "received {:?}", report.received);
+        assert!(report.bandwidth_kbps() > 10.0, "bw {}", report.bandwidth_kbps());
+    }
+
+    #[test]
+    fn noiseless_cpu_to_gpu_channel_is_error_free() {
+        let mut ch = LlcChannel::new(noiseless_config().with_direction(Direction::CpuToGpu)).unwrap();
+        ch.set_desync_model(no_desync());
+        let bits = test_pattern(48, 2);
+        let report = ch.transmit(&bits);
+        assert_eq!(report.error_count(), 0);
+    }
+
+    #[test]
+    fn precise_strategy_is_faster_than_full_clear() {
+        let bits = test_pattern(24, 3);
+        let mut precise = LlcChannel::new(noiseless_config()).unwrap();
+        precise.set_desync_model(no_desync());
+        let bw_precise = precise.transmit(&bits).bandwidth_kbps();
+        let mut full =
+            LlcChannel::new(noiseless_config().with_strategy(L3EvictionStrategy::FullL3Clear)).unwrap();
+        full.set_desync_model(no_desync());
+        let bw_full = full.transmit(&bits).bandwidth_kbps();
+        assert!(
+            bw_precise > bw_full * 10.0,
+            "precise {bw_precise} kbps should dwarf full-clear {bw_full} kbps"
+        );
+    }
+
+    #[test]
+    fn quiet_system_error_rate_is_low_with_two_sets() {
+        let mut ch = LlcChannel::new(LlcChannelConfig::paper_default()).unwrap();
+        let bits = test_pattern(400, 4);
+        let report = ch.transmit(&bits);
+        let err = report.error_rate();
+        assert!(err < 0.08, "error rate {err} too high for the 2-set configuration");
+        assert!(report.bandwidth_kbps() > 30.0);
+    }
+
+    #[test]
+    fn redundancy_reduces_error_rate() {
+        let bits = test_pattern(500, 5);
+        let mut one_set = LlcChannel::new(LlcChannelConfig::paper_default().with_sets_per_role(1)).unwrap();
+        let err_one = one_set.transmit(&bits).error_rate();
+        let mut two_sets =
+            LlcChannel::new(LlcChannelConfig::paper_default().with_sets_per_role(2)).unwrap();
+        let err_two = two_sets.transmit(&bits).error_rate();
+        assert!(
+            err_two < err_one,
+            "2-set error {err_two} should be below 1-set error {err_one}"
+        );
+    }
+
+    #[test]
+    fn agreed_sets_are_distinct_across_roles() {
+        let ch = LlcChannel::new(noiseless_config()).unwrap();
+        let mut all = Vec::new();
+        for role in SetRole::ALL {
+            all.extend(ch.agreed_sets(role));
+        }
+        let unique: std::collections::HashSet<_> = all.iter().collect();
+        assert_eq!(unique.len(), all.len(), "roles must not share LLC sets");
+        assert_eq!(all.len(), 3 * ch.config().sets_per_role);
+    }
+
+    #[test]
+    fn zero_sets_per_role_is_rejected() {
+        let err = LlcChannel::new(noiseless_config().with_sets_per_role(0)).unwrap_err();
+        assert!(matches!(err, ChannelError::InvalidConfig(_)));
+    }
+
+    #[test]
+    fn unusable_timer_is_reported() {
+        let cfg = LlcChannelConfig {
+            soc: SocConfig::kaby_lake_i7_7700k().with_noise(NoiseConfig {
+                latency_jitter_ps: 80_000.0,
+                spurious_eviction_prob: 0.0,
+                timer_rate_jitter: 0.8,
+            }),
+            ..LlcChannelConfig::paper_default()
+        };
+        let err = LlcChannel::new(cfg).unwrap_err();
+        assert_eq!(err, ChannelError::TimerNotSeparable);
+    }
+}

@@ -1,0 +1,12 @@
+//! The two cross-component covert channels of the paper.
+//!
+//! * [`llc`] — the Prime+Probe channel over shared LLC sets (Section III),
+//!   available in both directions (GPU→CPU and CPU→GPU) and with the three
+//!   L3-eviction strategies of Figure 7.
+//! * [`contention`] — the ring-bus / LLC-port contention channel
+//!   (Section IV), which needs no shared cache sets at all: the receiver
+//!   simply times its own LLC traffic and detects the slowdown caused by the
+//!   sender's concurrent traffic.
+
+pub mod contention;
+pub mod llc;

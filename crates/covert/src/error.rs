@@ -1,0 +1,77 @@
+//! Error types for the covert-channel library.
+
+use soc_sim::page_table::MapError;
+use std::fmt;
+
+/// Errors raised while setting up or running a covert channel.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ChannelError {
+    /// A buffer allocation failed.
+    Allocation(MapError),
+    /// An eviction set of the requested size could not be constructed.
+    EvictionSetNotFound {
+        /// How many conflicting addresses were requested.
+        requested: usize,
+        /// How many were found.
+        found: usize,
+    },
+    /// The custom GPU timer cannot separate the cache levels under the
+    /// current configuration (its resolution is too coarse).
+    TimerNotSeparable,
+    /// A channel configuration parameter was invalid.
+    InvalidConfig(String),
+}
+
+impl fmt::Display for ChannelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ChannelError::Allocation(e) => write!(f, "buffer allocation failed: {e}"),
+            ChannelError::EvictionSetNotFound { requested, found } => write!(
+                f,
+                "could not build an eviction set: requested {requested} conflicting lines, found {found}"
+            ),
+            ChannelError::TimerNotSeparable => {
+                write!(f, "custom timer cannot separate cache levels at this resolution")
+            }
+            ChannelError::InvalidConfig(msg) => write!(f, "invalid channel configuration: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ChannelError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ChannelError::Allocation(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<MapError> for ChannelError {
+    fn from(e: MapError) -> Self {
+        ChannelError::Allocation(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let e = ChannelError::EvictionSetNotFound { requested: 16, found: 3 };
+        let s = format!("{e}");
+        assert!(s.contains("16") && s.contains("3"));
+        assert!(!format!("{}", ChannelError::TimerNotSeparable).is_empty());
+        assert!(format!("{}", ChannelError::InvalidConfig("x".into())).contains('x'));
+    }
+
+    #[test]
+    fn map_error_converts_and_exposes_source() {
+        use std::error::Error;
+        let e: ChannelError = MapError::EmptyAllocation.into();
+        assert!(matches!(e, ChannelError::Allocation(_)));
+        assert!(e.source().is_some());
+        assert!(ChannelError::TimerNotSeparable.source().is_none());
+    }
+}

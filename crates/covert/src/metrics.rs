@@ -1,0 +1,222 @@
+//! Channel evaluation metrics: bandwidth, bit-error rate, confidence
+//! intervals.
+//!
+//! The paper reports every configuration as a (bandwidth, error-rate) pair,
+//! with 95 % confidence intervals over 1000 runs for the contention channel
+//! (Figure 10). This module provides those computations for the benchmark
+//! harness.
+
+use soc_sim::clock::Time;
+
+/// Result of transmitting a known bit string over a channel.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TransmissionReport {
+    /// Bits the trojan attempted to send.
+    pub sent: Vec<bool>,
+    /// Bits the spy decoded.
+    pub received: Vec<bool>,
+    /// Total simulated wall-clock time of the transmission.
+    pub elapsed: Time,
+}
+
+impl TransmissionReport {
+    /// Creates a report.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the sent and received strings have different lengths.
+    pub fn new(sent: Vec<bool>, received: Vec<bool>, elapsed: Time) -> Self {
+        assert_eq!(sent.len(), received.len(), "sent/received length mismatch");
+        TransmissionReport {
+            sent,
+            received,
+            elapsed,
+        }
+    }
+
+    /// Number of bits transmitted.
+    pub fn bit_count(&self) -> usize {
+        self.sent.len()
+    }
+
+    /// Number of bit errors.
+    pub fn error_count(&self) -> usize {
+        self.sent
+            .iter()
+            .zip(&self.received)
+            .filter(|(s, r)| s != r)
+            .count()
+    }
+
+    /// Bit-error rate in `[0, 1]`.
+    pub fn error_rate(&self) -> f64 {
+        if self.sent.is_empty() {
+            0.0
+        } else {
+            self.error_count() as f64 / self.sent.len() as f64
+        }
+    }
+
+    /// Raw channel bandwidth in kilobits per second (as the paper reports
+    /// it: transmitted bits over elapsed time, not discounted by errors).
+    pub fn bandwidth_kbps(&self) -> f64 {
+        let secs = self.elapsed.as_secs_f64();
+        if secs <= 0.0 {
+            return 0.0;
+        }
+        self.sent.len() as f64 / secs / 1_000.0
+    }
+
+    /// Average time per transmitted bit.
+    pub fn time_per_bit(&self) -> Time {
+        if self.sent.is_empty() {
+            Time::ZERO
+        } else {
+            Time::from_ps(self.elapsed.as_ps() / self.sent.len() as u64)
+        }
+    }
+}
+
+/// Summary statistics of a set of samples (one per experiment run).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SampleStats {
+    /// Number of samples.
+    pub n: usize,
+    /// Sample mean.
+    pub mean: f64,
+    /// Sample standard deviation (unbiased).
+    pub std_dev: f64,
+    /// Half-width of the 95 % confidence interval of the mean.
+    pub ci95_half_width: f64,
+    /// Smallest sample.
+    pub min: f64,
+    /// Largest sample.
+    pub max: f64,
+}
+
+impl SampleStats {
+    /// Computes statistics over `samples`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `samples` is empty.
+    pub fn from_samples(samples: &[f64]) -> Self {
+        assert!(!samples.is_empty(), "need at least one sample");
+        let n = samples.len();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = if n > 1 {
+            samples.iter().map(|s| (s - mean).powi(2)).sum::<f64>() / (n as f64 - 1.0)
+        } else {
+            0.0
+        };
+        let std_dev = var.sqrt();
+        let ci95_half_width = if n > 1 {
+            1.96 * std_dev / (n as f64).sqrt()
+        } else {
+            0.0
+        };
+        let min = samples.iter().copied().fold(f64::INFINITY, f64::min);
+        let max = samples.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        SampleStats {
+            n,
+            mean,
+            std_dev,
+            ci95_half_width,
+            min,
+            max,
+        }
+    }
+
+    /// Lower bound of the 95 % confidence interval.
+    pub fn ci95_low(&self) -> f64 {
+        self.mean - self.ci95_half_width
+    }
+
+    /// Upper bound of the 95 % confidence interval.
+    pub fn ci95_high(&self) -> f64 {
+        self.mean + self.ci95_half_width
+    }
+}
+
+/// Generates a deterministic pseudo-random payload of `bits` bits, used by
+/// the evaluation harness so every experiment transmits the same data.
+pub fn test_pattern(bits: usize, seed: u64) -> Vec<bool> {
+    // xorshift64* — small, deterministic, no external dependency needed here.
+    let mut state = seed.wrapping_mul(2685821657736338717).max(1);
+    (0..bits)
+        .map(|_| {
+            state ^= state >> 12;
+            state ^= state << 25;
+            state ^= state >> 27;
+            (state.wrapping_mul(0x2545F4914F6CDD1D) >> 63) & 1 == 1
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn error_rate_and_bandwidth() {
+        let sent = vec![true, false, true, true];
+        let received = vec![true, true, true, false];
+        let r = TransmissionReport::new(sent, received, Time::from_us(40));
+        assert_eq!(r.bit_count(), 4);
+        assert_eq!(r.error_count(), 2);
+        assert!((r.error_rate() - 0.5).abs() < 1e-12);
+        // 4 bits in 40 us -> 100 kbps.
+        assert!((r.bandwidth_kbps() - 100.0).abs() < 1e-6);
+        assert_eq!(r.time_per_bit(), Time::from_us(10));
+    }
+
+    #[test]
+    fn empty_report_is_well_defined() {
+        let r = TransmissionReport::new(vec![], vec![], Time::ZERO);
+        assert_eq!(r.error_rate(), 0.0);
+        assert_eq!(r.bandwidth_kbps(), 0.0);
+        assert_eq!(r.time_per_bit(), Time::ZERO);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn mismatched_lengths_panic() {
+        let _ = TransmissionReport::new(vec![true], vec![], Time::ZERO);
+    }
+
+    #[test]
+    fn sample_stats_basics() {
+        let s = SampleStats::from_samples(&[1.0, 2.0, 3.0, 4.0, 5.0]);
+        assert_eq!(s.n, 5);
+        assert!((s.mean - 3.0).abs() < 1e-12);
+        assert!((s.std_dev - 1.5811).abs() < 1e-3);
+        assert!(s.ci95_low() < 3.0 && s.ci95_high() > 3.0);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 5.0);
+    }
+
+    #[test]
+    fn single_sample_has_zero_ci() {
+        let s = SampleStats::from_samples(&[7.5]);
+        assert_eq!(s.std_dev, 0.0);
+        assert_eq!(s.ci95_half_width, 0.0);
+        assert_eq!(s.mean, 7.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one sample")]
+    fn empty_samples_panic() {
+        let _ = SampleStats::from_samples(&[]);
+    }
+
+    #[test]
+    fn test_pattern_is_deterministic_and_balanced() {
+        let a = test_pattern(1000, 42);
+        let b = test_pattern(1000, 42);
+        let c = test_pattern(1000, 43);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        let ones = a.iter().filter(|&&x| x).count();
+        assert!(ones > 350 && ones < 650, "pattern should be roughly balanced: {ones}");
+    }
+}

@@ -1,0 +1,415 @@
+//! GPU L3 reverse engineering (Section III-D of the paper).
+//!
+//! Three results are needed from this module:
+//!
+//! 1. **Inclusiveness** — the LLC is *not* inclusive of the GPU L3, so the
+//!    CPU cannot evict GPU-cached lines with `clflush`; eviction must happen
+//!    from the GPU side ([`l3_inclusiveness_test`]).
+//! 2. **Placement geometry** — which address bits place a line in the L3
+//!    ([`discover_l3_index_bits`]); the paper finds 16 bits: 6 offset + 5 set
+//!    + 2 bank + 3 sub-bank.
+//! 3. **Eviction ("pollute") sets** — for every LLC-set target address, a set
+//!    of addresses that share its L3 placement but fall in *other* LLC sets,
+//!    so that walking them pushes the target out of the L3 without polluting
+//!    the LLC set used for communication ([`build_pollute_set`],
+//!    [`L3EvictionStrategy`]).
+
+use crate::error::ChannelError;
+use cpu_exec::prelude::CpuThread;
+use gpu_exec::prelude::GpuKernel;
+use soc_sim::address::CACHE_LINE_SIZE;
+use soc_sim::prelude::{HitLevel, PhysAddr, Soc};
+
+/// Number of passes over an L3 conflict set needed for a reliable pLRU
+/// eviction (the paper reports 5 or more).
+pub const L3_EVICTION_PASSES: usize = 5;
+
+/// Result of the inclusiveness experiment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct InclusivenessResult {
+    /// Custom-timer ticks of the final GPU access.
+    pub final_access_ticks: u64,
+    /// Hit level actually observed by the simulator (ground truth used only
+    /// for validation in tests).
+    pub observed_level: HitLevel,
+    /// The attacker's conclusion from timing alone: `true` means the final
+    /// GPU access was an L3 hit, i.e. the LLC is **not** inclusive of the L3.
+    pub l3_is_non_inclusive: bool,
+}
+
+/// Runs the paper's inclusiveness experiment on `target`:
+/// GPU access (fills L3 + LLC) → CPU access → CPU `clflush` → timed GPU
+/// access. If the final access is fast (L3-hit range), the flush did not
+/// back-invalidate the L3 and the hierarchy is non-inclusive.
+///
+/// `l3_hit_threshold_ticks` is the decision threshold, typically obtained
+/// from [`crate::timer_char::characterize_timer`].
+pub fn l3_inclusiveness_test(
+    soc: &mut Soc,
+    gpu: &mut GpuKernel,
+    cpu: &mut CpuThread,
+    target: PhysAddr,
+    l3_hit_threshold_ticks: u64,
+) -> InclusivenessResult {
+    // Step 1: GPU brings the line into L3 and LLC.
+    gpu.load(soc, target);
+    // Step 2: CPU accesses the same data (it is a shared buffer in the
+    // experiment), then flushes it from every level it controls.
+    cpu.synchronize_to(gpu.now());
+    cpu.load(soc, target);
+    cpu.clflush(soc, target);
+    // Step 3: GPU times a re-access.
+    gpu.synchronize_to(cpu.now());
+    let (ticks, outcome) = gpu.timed_load(soc, target);
+    InclusivenessResult {
+        final_access_ticks: ticks,
+        observed_level: outcome.level,
+        l3_is_non_inclusive: ticks <= l3_hit_threshold_ticks,
+    }
+}
+
+/// Discovers which address bits participate in L3 placement.
+///
+/// For every candidate bit, the test builds a conflict set of addresses that
+/// agree with a target on all *other* candidate bits but have the candidate
+/// bit flipped, walks it [`L3_EVICTION_PASSES`] times, and then re-times the
+/// target from the GPU. If the target is still an L3 hit, the flipped bit
+/// moved the conflict set to a different L3 bucket — so the bit *is* part of
+/// the placement index. If the target got evicted, the bit is ignored by the
+/// placement function.
+///
+/// Returns the bits (within `candidate_bits`) found to be part of the index.
+/// With the Gen9 geometry this is exactly bits 6..=15.
+pub fn discover_l3_index_bits(
+    soc: &mut Soc,
+    gpu: &mut GpuKernel,
+    pool_base: PhysAddr,
+    candidate_bits: &[u32],
+    l3_hit_threshold_ticks: u64,
+) -> Vec<u32> {
+    let ways = soc.gpu_l3().ways();
+    let mut index_bits = Vec::new();
+    for (i, &bit) in candidate_bits.iter().enumerate() {
+        // A fresh target for every bit test, far from previous ones.
+        let target = PhysAddr::new(pool_base.value() + (i as u64 + 1) * (1 << 21));
+        gpu.load(soc, target);
+        // Conflict addresses: same low bits as the target except `bit` flipped,
+        // differing in high bits so they are distinct lines.
+        let conflicts: Vec<PhysAddr> = (1..=(ways as u64 + 4))
+            .map(|k| PhysAddr::new((target.value() ^ (1u64 << bit)) + (k << 22)))
+            .collect();
+        for _ in 0..L3_EVICTION_PASSES {
+            for &c in &conflicts {
+                gpu.load(soc, c);
+            }
+        }
+        let (ticks, _) = gpu.timed_load(soc, target);
+        let still_l3_hit = ticks <= l3_hit_threshold_ticks;
+        if still_l3_hit {
+            // Flipping the bit broke the conflict: the bit is part of the index.
+            index_bits.push(bit);
+        }
+    }
+    index_bits
+}
+
+/// Strategy used to force the GPU's target addresses out of the L3 so that
+/// prime/probe traffic actually reaches the LLC (the three bars of Figure 7).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum L3EvictionStrategy {
+    /// Walk a buffer as large as the whole L3 data array (512 KB) every time.
+    /// Needs no reverse engineering but is extremely slow (~1 kb/s channel).
+    FullL3Clear,
+    /// Use a fixed-size pollute set chosen only with LLC-level knowledge
+    /// (addresses guaranteed to live in other LLC sets, but with unknown L3
+    /// placement, so many more of them are needed).
+    LlcKnowledgeOnly,
+    /// Use precise L3 eviction sets: addresses that share the target's 16
+    /// placement bits but map to different LLC sets. The paper's final,
+    /// fastest configuration (~120 kb/s).
+    PreciseL3,
+}
+
+impl L3EvictionStrategy {
+    /// All strategies in the order Figure 7 reports them.
+    pub const ALL: [L3EvictionStrategy; 3] = [
+        L3EvictionStrategy::FullL3Clear,
+        L3EvictionStrategy::LlcKnowledgeOnly,
+        L3EvictionStrategy::PreciseL3,
+    ];
+
+    /// Label used by the benchmark harness.
+    pub fn label(self) -> &'static str {
+        match self {
+            L3EvictionStrategy::FullL3Clear => "full-L3-clear",
+            L3EvictionStrategy::LlcKnowledgeOnly => "LLC-knowledge-only",
+            L3EvictionStrategy::PreciseL3 => "precise-L3-eviction",
+        }
+    }
+}
+
+/// Builds the precise L3 eviction set for a single target: addresses sharing
+/// the target's placement bits `[6, 16)` but guaranteed to live in *different*
+/// LLC sets (so they never pollute the communication set), drawn from the
+/// pollute pool starting at `pool_base`.
+///
+/// # Errors
+///
+/// Returns [`ChannelError::EvictionSetNotFound`] if the pool does not contain
+/// `count` suitable addresses (the pool is scanned for `count * 64` MiB at
+/// most).
+pub fn precise_l3_eviction_set(
+    soc: &Soc,
+    target: PhysAddr,
+    pool_base: PhysAddr,
+    pool_len: u64,
+    count: usize,
+) -> Result<Vec<PhysAddr>, ChannelError> {
+    let l3 = soc.gpu_l3();
+    let llc = soc.llc();
+    let target_llc_set = llc.set_of(target);
+    let target_index = l3.placement_index(target);
+    let mut out = Vec::with_capacity(count);
+    // Addresses with the same 16 placement bits recur every 64 KiB.
+    let placement_period = 1u64 << 16;
+    let aligned_low = target.value() & (placement_period - 1);
+    let mut candidate = (pool_base.value() & !(placement_period - 1)) + aligned_low;
+    if candidate < pool_base.value() {
+        candidate += placement_period;
+    }
+    let pool_end = pool_base.value() + pool_len;
+    while out.len() < count && candidate + CACHE_LINE_SIZE <= pool_end {
+        let a = PhysAddr::new(candidate);
+        if a.line_base() != target.line_base()
+            && l3.placement_index(a) == target_index
+            && llc.set_of(a) != target_llc_set
+        {
+            out.push(a);
+        }
+        candidate += placement_period;
+    }
+    if out.len() < count {
+        return Err(ChannelError::EvictionSetNotFound {
+            requested: count,
+            found: out.len(),
+        });
+    }
+    Ok(out)
+}
+
+/// Builds the pollute set for one target under the given strategy.
+///
+/// * `FullL3Clear` ignores the target and returns a walk over the whole L3
+///   capacity starting at `pool_base`.
+/// * `LlcKnowledgeOnly` returns `llc_only_factor`× more addresses than the
+///   precise strategy, chosen only to avoid the target's LLC set (their L3
+///   placement is left to chance, which is why more are needed).
+/// * `PreciseL3` returns `ways × L3_EVICTION_PASSES` precisely conflicting
+///   addresses.
+///
+/// # Errors
+///
+/// Propagates [`ChannelError::EvictionSetNotFound`] when the pool is too
+/// small.
+pub fn build_pollute_set(
+    soc: &Soc,
+    strategy: L3EvictionStrategy,
+    target: PhysAddr,
+    pool_base: PhysAddr,
+    pool_len: u64,
+) -> Result<Vec<PhysAddr>, ChannelError> {
+    let ways = soc.gpu_l3().ways();
+    match strategy {
+        L3EvictionStrategy::FullL3Clear => {
+            let l3_capacity = soc.gpu_l3().config().data_capacity_bytes;
+            let lines = (l3_capacity / CACHE_LINE_SIZE) as usize;
+            if (pool_len / CACHE_LINE_SIZE) < lines as u64 {
+                return Err(ChannelError::EvictionSetNotFound {
+                    requested: lines,
+                    found: (pool_len / CACHE_LINE_SIZE) as usize,
+                });
+            }
+            Ok((0..lines)
+                .map(|i| PhysAddr::new(pool_base.value() + i as u64 * CACHE_LINE_SIZE))
+                .collect())
+        }
+        L3EvictionStrategy::LlcKnowledgeOnly => {
+            // Without L3 knowledge the attacker walks a generous number of
+            // lines spread across the pool, skipping anything in the target's
+            // LLC set. Because the walk cannot be aimed at the target's L3
+            // bucket, empirically ~6x the precise set size is needed before
+            // the pLRU reliably discards the target.
+            let needed = ways * L3_EVICTION_PASSES * 6;
+            let llc = soc.llc();
+            let target_set = llc.set_of(target);
+            let mut out = Vec::with_capacity(needed);
+            let mut offset = 0u64;
+            // Stride of 4 KiB + one line decorrelates the L3 placement while
+            // still covering many L3 buckets quickly.
+            let stride = 4096 + CACHE_LINE_SIZE;
+            while out.len() < needed && offset + CACHE_LINE_SIZE <= pool_len {
+                let a = PhysAddr::new(pool_base.value() + offset);
+                if llc.set_of(a) != target_set {
+                    out.push(a);
+                }
+                offset += stride;
+            }
+            if out.len() < needed {
+                return Err(ChannelError::EvictionSetNotFound {
+                    requested: needed,
+                    found: out.len(),
+                });
+            }
+            Ok(out)
+        }
+        L3EvictionStrategy::PreciseL3 => {
+            precise_l3_eviction_set(soc, target, pool_base, pool_len, ways * L3_EVICTION_PASSES)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use soc_sim::prelude::SocConfig;
+
+    fn setup() -> (Soc, GpuKernel, CpuThread) {
+        (
+            Soc::new(SocConfig::kaby_lake_noiseless()),
+            GpuKernel::launch_attack_kernel(),
+            CpuThread::pinned(0),
+        )
+    }
+
+    /// A reasonable L3-hit threshold in ticks for the noiseless default timer
+    /// (~2.6 ns per tick, L3 hit ~90 ns, LLC hit ~200 ns -> threshold 55).
+    const L3_THRESHOLD_TICKS: u64 = 55;
+
+    #[test]
+    fn inclusiveness_experiment_finds_non_inclusive_l3() {
+        let (mut soc, mut gpu, mut cpu) = setup();
+        let result = l3_inclusiveness_test(
+            &mut soc,
+            &mut gpu,
+            &mut cpu,
+            PhysAddr::new(0x40_0000),
+            L3_THRESHOLD_TICKS,
+        );
+        assert!(result.l3_is_non_inclusive, "ticks: {}", result.final_access_ticks);
+        assert_eq!(result.observed_level, HitLevel::GpuL3);
+    }
+
+    #[test]
+    fn discovered_index_bits_match_gen9_placement() {
+        let (mut soc, mut gpu, _) = setup();
+        let candidates: Vec<u32> = (6..20).collect();
+        let bits = discover_l3_index_bits(
+            &mut soc,
+            &mut gpu,
+            PhysAddr::new(0x800_0000),
+            &candidates,
+            L3_THRESHOLD_TICKS,
+        );
+        assert_eq!(bits, (6..16).collect::<Vec<u32>>(), "placement uses bits 6..16");
+    }
+
+    #[test]
+    fn precise_set_shares_placement_but_not_llc_set() {
+        let (soc, _, _) = setup();
+        let target = PhysAddr::new(0x123_4560 & !0x3F);
+        let set = precise_l3_eviction_set(
+            &soc,
+            target,
+            PhysAddr::new(0x1000_0000),
+            64 * 1024 * 1024,
+            40,
+        )
+        .unwrap();
+        assert_eq!(set.len(), 40);
+        let l3 = soc.gpu_l3();
+        let llc = soc.llc();
+        for a in &set {
+            assert_eq!(l3.placement_index(*a), l3.placement_index(target));
+            assert_ne!(llc.set_of(*a), llc.set_of(target));
+            assert_ne!(a.line_base(), target.line_base());
+        }
+    }
+
+    #[test]
+    fn precise_set_reports_exhaustion() {
+        let (soc, _, _) = setup();
+        let err = precise_l3_eviction_set(
+            &soc,
+            PhysAddr::new(0x0),
+            PhysAddr::new(0x1000_0000),
+            128 * 1024, // far too small for 40 matches at 64 KiB period
+            40,
+        )
+        .unwrap_err();
+        assert!(matches!(err, ChannelError::EvictionSetNotFound { .. }));
+    }
+
+    #[test]
+    fn pollute_set_sizes_are_ordered_by_strategy() {
+        let (soc, _, _) = setup();
+        let target = PhysAddr::new(0x40);
+        let pool = PhysAddr::new(0x2000_0000);
+        let pool_len = 64 * 1024 * 1024;
+        let full = build_pollute_set(&soc, L3EvictionStrategy::FullL3Clear, target, pool, pool_len).unwrap();
+        let llc_only =
+            build_pollute_set(&soc, L3EvictionStrategy::LlcKnowledgeOnly, target, pool, pool_len).unwrap();
+        let precise = build_pollute_set(&soc, L3EvictionStrategy::PreciseL3, target, pool, pool_len).unwrap();
+        assert_eq!(full.len(), 8192, "whole 512 KB L3");
+        assert!(llc_only.len() > precise.len());
+        assert!(full.len() > llc_only.len());
+        assert_eq!(precise.len(), soc.gpu_l3().ways() * L3_EVICTION_PASSES);
+    }
+
+    #[test]
+    fn llc_only_pollute_set_avoids_target_llc_set() {
+        let (soc, _, _) = setup();
+        let target = PhysAddr::new(0x7FC0);
+        let set = build_pollute_set(
+            &soc,
+            L3EvictionStrategy::LlcKnowledgeOnly,
+            target,
+            PhysAddr::new(0x3000_0000),
+            64 * 1024 * 1024,
+        )
+        .unwrap();
+        let llc = soc.llc();
+        assert!(set.iter().all(|a| llc.set_of(*a) != llc.set_of(target)));
+    }
+
+    #[test]
+    fn walking_precise_set_evicts_target_from_l3_but_not_llc() {
+        let (mut soc, mut gpu, _) = setup();
+        let target = PhysAddr::new(0x555_5540 & !0x3F);
+        gpu.load(&mut soc, target);
+        assert!(soc.gpu_l3().contains(target));
+        assert!(soc.llc().contains(target));
+        let pollute = precise_l3_eviction_set(
+            &soc,
+            target,
+            PhysAddr::new(0x1800_0000),
+            128 * 1024 * 1024,
+            soc.gpu_l3().ways() * L3_EVICTION_PASSES,
+        )
+        .unwrap();
+        for &a in &pollute {
+            gpu.load(&mut soc, a);
+        }
+        assert!(!soc.gpu_l3().contains(target), "target must leave the L3");
+        assert!(soc.llc().contains(target), "target must stay in the LLC");
+        // And the next GPU access to the target is therefore an LLC hit.
+        let out = gpu.load(&mut soc, target);
+        assert_eq!(out.level, HitLevel::Llc);
+    }
+
+    #[test]
+    fn strategy_labels_are_unique() {
+        let labels: std::collections::HashSet<_> =
+            L3EvictionStrategy::ALL.iter().map(|s| s.label()).collect();
+        assert_eq!(labels.len(), 3);
+    }
+}

@@ -1,0 +1,304 @@
+//! LLC eviction-set construction (Section III-C of the paper).
+//!
+//! A Prime+Probe attacker needs, for every LLC set used by the protocol, a
+//! collection of `ways` addresses of its own that map to that set. Two
+//! construction routes are provided:
+//!
+//! * **Timing-only group testing** ([`find_minimal_eviction_set`]): starting
+//!   from a pool of candidate addresses, repeatedly discard groups whose
+//!   removal does not stop the pool from evicting the victim, until exactly
+//!   `ways` addresses remain. This is the classic reduction of Vila et al.
+//!   cited by the paper and needs no knowledge of the slice hash.
+//! * **Address arithmetic over huge pages** ([`addresses_in_llc_set`]): with
+//!   1 GiB pages the attacker knows the low 30 physical-address bits, and
+//!   after recovering the slice hash (see [`crate::reverse::slice_hash`]) can
+//!   compute set membership directly. This is what the channel setup uses,
+//!   since it is what the paper's end-to-end attack does.
+//!
+//! On the GPU side no separate construction is needed: with OpenCL shared
+//! virtual memory and zero-copy buffers the GPU observes the same physical
+//! addresses, so the CPU-derived sets remain valid
+//! ([`validate_set_from_gpu`]).
+
+use crate::error::ChannelError;
+use cpu_exec::prelude::CpuThread;
+use gpu_exec::prelude::GpuKernel;
+use soc_sim::address::CACHE_LINE_SIZE;
+use soc_sim::llc::LlcSetId;
+use soc_sim::prelude::{PhysAddr, Soc};
+
+/// Default CPU cycle threshold separating an LLC hit (~45 cycles on the
+/// modelled part) from a DRAM access (~300 cycles).
+pub const CPU_MISS_THRESHOLD_CYCLES: u64 = 150;
+
+/// Tests whether walking `candidates` evicts `victim` from the cache
+/// hierarchy, observed purely through timing from the CPU.
+///
+/// The victim is loaded, the candidate set is walked twice (to defeat LRU
+/// ordering effects), and the victim is re-timed: a slow access means the
+/// candidates conflict with it in the LLC (the back-invalidation of the
+/// inclusive LLC also removed it from L1/L2).
+pub fn evicts_victim(
+    cpu: &mut CpuThread,
+    soc: &mut Soc,
+    victim: PhysAddr,
+    candidates: &[PhysAddr],
+    threshold_cycles: u64,
+) -> bool {
+    cpu.load(soc, victim);
+    for _ in 0..2 {
+        for &c in candidates {
+            cpu.load(soc, c);
+        }
+    }
+    let (cycles, _) = cpu.timed_load(soc, victim);
+    cycles > threshold_cycles
+}
+
+/// Reduces `pool` (which must already evict `victim`) to a minimal eviction
+/// set of exactly `ways` addresses using group testing.
+///
+/// # Errors
+///
+/// Returns [`ChannelError::EvictionSetNotFound`] if the pool does not evict
+/// the victim to begin with, or if the reduction gets stuck (noise).
+pub fn find_minimal_eviction_set(
+    cpu: &mut CpuThread,
+    soc: &mut Soc,
+    victim: PhysAddr,
+    pool: &[PhysAddr],
+    ways: usize,
+    threshold_cycles: u64,
+) -> Result<Vec<PhysAddr>, ChannelError> {
+    let mut working: Vec<PhysAddr> = pool.to_vec();
+    if !evicts_victim(cpu, soc, victim, &working, threshold_cycles) {
+        return Err(ChannelError::EvictionSetNotFound {
+            requested: ways,
+            found: 0,
+        });
+    }
+    // Group-testing reduction: split into ways+1 groups; at least one group
+    // can be removed while preserving the eviction property.
+    while working.len() > ways {
+        // Split into ways+1 near-equal groups; by the pigeonhole principle at
+        // least one group contains no member of the victim's minimal set and
+        // can be discarded.
+        let groups = ways + 1;
+        let mut removed_any = false;
+        for g in 0..groups {
+            let start = g * working.len() / groups;
+            let end = (g + 1) * working.len() / groups;
+            if start >= end {
+                continue;
+            }
+            let reduced: Vec<PhysAddr> = working[..start]
+                .iter()
+                .chain(working[end..].iter())
+                .copied()
+                .collect();
+            if reduced.len() >= ways && evicts_victim(cpu, soc, victim, &reduced, threshold_cycles) {
+                working = reduced;
+                removed_any = true;
+                break;
+            }
+        }
+        if !removed_any {
+            // Cannot shrink further (noise or the pool is already minimal).
+            break;
+        }
+    }
+    if working.len() == ways {
+        Ok(working)
+    } else {
+        Err(ChannelError::EvictionSetNotFound {
+            requested: ways,
+            found: working.len(),
+        })
+    }
+}
+
+/// Computes `count` line addresses inside `[region_base, region_base + len)`
+/// that map to the LLC set `set`, by address arithmetic (the attacker's
+/// equivalent after recovering the slice hash and with a 1 GiB huge page
+/// giving physical contiguity).
+///
+/// # Errors
+///
+/// Returns [`ChannelError::EvictionSetNotFound`] if the region does not
+/// contain enough matching lines.
+pub fn addresses_in_llc_set(
+    soc: &Soc,
+    set: LlcSetId,
+    region_base: PhysAddr,
+    region_len: u64,
+    count: usize,
+) -> Result<Vec<PhysAddr>, ChannelError> {
+    let llc = soc.llc();
+    let mut out = Vec::with_capacity(count);
+    let mut addr = region_base.line_base();
+    let end = region_base.value() + region_len;
+    while out.len() < count && addr.value() + CACHE_LINE_SIZE <= end {
+        if llc.set_of(addr) == set {
+            out.push(addr);
+        }
+        addr = addr.add(CACHE_LINE_SIZE);
+    }
+    if out.len() < count {
+        return Err(ChannelError::EvictionSetNotFound {
+            requested: count,
+            found: out.len(),
+        });
+    }
+    Ok(out)
+}
+
+/// Validates from the GPU side (through shared virtual memory) that an
+/// eviction set built on the CPU indeed collides in the LLC: the GPU walks
+/// the set, then the CPU re-times the victim and must see a miss.
+///
+/// Returns the victim's measured CPU cycles and whether they exceeded the
+/// threshold.
+pub fn validate_set_from_gpu(
+    cpu: &mut CpuThread,
+    gpu: &mut GpuKernel,
+    soc: &mut Soc,
+    victim: PhysAddr,
+    eviction_set: &[PhysAddr],
+    threshold_cycles: u64,
+) -> (u64, bool) {
+    cpu.load(soc, victim);
+    gpu.synchronize_to(cpu.now());
+    // The GPU must push the lines all the way to the LLC; walking the set a
+    // few times also forces them out of the GPU L3 progressively, and the
+    // parallel probe keeps this cheap.
+    for _ in 0..2 {
+        gpu.parallel_load(soc, eviction_set);
+    }
+    cpu.synchronize_to(gpu.now());
+    let (cycles, _) = cpu.timed_load(soc, victim);
+    (cycles, cycles > threshold_cycles)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use soc_sim::prelude::SocConfig;
+
+    fn setup() -> (Soc, CpuThread) {
+        (Soc::new(SocConfig::kaby_lake_noiseless()), CpuThread::pinned(0))
+    }
+
+    #[test]
+    fn conflicting_pool_evicts_victim() {
+        let (mut soc, mut cpu) = setup();
+        let victim = PhysAddr::new(0x40_0000);
+        let set = soc.llc().set_of(victim);
+        let pool = soc
+            .llc()
+            .enumerate_set_addresses(set, PhysAddr::new(0x100_0000), 20);
+        assert!(evicts_victim(&mut cpu, &mut soc, victim, &pool, CPU_MISS_THRESHOLD_CYCLES));
+    }
+
+    #[test]
+    fn non_conflicting_pool_does_not_evict() {
+        let (mut soc, mut cpu) = setup();
+        let victim = PhysAddr::new(0x40_0000);
+        let set = soc.llc().set_of(victim);
+        // Addresses in other LLC sets, and few enough (< L1/L2 capacity in
+        // every set) not to evict the victim from the private caches either.
+        let pool: Vec<PhysAddr> = soc
+            .llc()
+            .enumerate_set_addresses(
+                LlcSetId {
+                    slice: set.slice,
+                    set: (set.set + 7) % 2048,
+                },
+                PhysAddr::new(0x100_0000),
+                16,
+            );
+        assert!(!evicts_victim(&mut cpu, &mut soc, victim, &pool, CPU_MISS_THRESHOLD_CYCLES));
+    }
+
+    #[test]
+    fn reduction_finds_exactly_ways_addresses_all_in_victim_set() {
+        let (mut soc, mut cpu) = setup();
+        let victim = PhysAddr::new(0x77_0000);
+        let set = soc.llc().set_of(victim);
+        let ways = soc.llc().config().ways;
+        // Pool: 24 genuine conflicts + 40 decoys from other sets.
+        let mut pool = soc
+            .llc()
+            .enumerate_set_addresses(set, PhysAddr::new(0x200_0000), 24);
+        for i in 0..40u64 {
+            let a = PhysAddr::new(0x300_0000 + i * 4096 + i * 64);
+            if soc.llc().set_of(a) != set {
+                pool.push(a);
+            }
+        }
+        let minimal = find_minimal_eviction_set(
+            &mut cpu,
+            &mut soc,
+            victim,
+            &pool,
+            ways,
+            CPU_MISS_THRESHOLD_CYCLES,
+        )
+        .unwrap();
+        assert_eq!(minimal.len(), ways);
+        for a in &minimal {
+            assert_eq!(soc.llc().set_of(*a), set, "reduced set member in wrong LLC set");
+        }
+    }
+
+    #[test]
+    fn reduction_fails_cleanly_for_useless_pool() {
+        let (mut soc, mut cpu) = setup();
+        let victim = PhysAddr::new(0x88_0000);
+        let pool: Vec<PhysAddr> = (0..8).map(|i| PhysAddr::new(0x900_0000 + i * 64)).collect();
+        let err = find_minimal_eviction_set(
+            &mut cpu,
+            &mut soc,
+            victim,
+            &pool,
+            16,
+            CPU_MISS_THRESHOLD_CYCLES,
+        )
+        .unwrap_err();
+        assert!(matches!(err, ChannelError::EvictionSetNotFound { .. }));
+    }
+
+    #[test]
+    fn address_arithmetic_matches_ground_truth() {
+        let (soc, _) = setup();
+        let set = soc.llc().set_of(PhysAddr::new(0xABC0_0040));
+        let addrs =
+            addresses_in_llc_set(&soc, set, PhysAddr::new(0x4000_0000), 512 * 1024 * 1024, 16).unwrap();
+        assert_eq!(addrs.len(), 16);
+        assert!(addrs.iter().all(|a| soc.llc().set_of(*a) == set));
+        // Requesting more than the region contains errors out.
+        let err = addresses_in_llc_set(&soc, set, PhysAddr::new(0x4000_0000), 1024 * 1024, 1000)
+            .unwrap_err();
+        assert!(matches!(err, ChannelError::EvictionSetNotFound { .. }));
+    }
+
+    #[test]
+    fn gpu_side_validation_sees_the_eviction() {
+        let (mut soc, mut cpu) = setup();
+        let mut gpu = GpuKernel::launch_attack_kernel();
+        let victim = PhysAddr::new(0x55_0000);
+        let set = soc.llc().set_of(victim);
+        let ways = soc.llc().config().ways;
+        let eviction_set = soc
+            .llc()
+            .enumerate_set_addresses(set, PhysAddr::new(0x600_0000), ways);
+        let (cycles, evicted) = validate_set_from_gpu(
+            &mut cpu,
+            &mut gpu,
+            &mut soc,
+            victim,
+            &eviction_set,
+            CPU_MISS_THRESHOLD_CYCLES,
+        );
+        assert!(evicted, "GPU walk must evict the CPU victim (took {cycles} cycles)");
+    }
+}

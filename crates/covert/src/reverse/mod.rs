@@ -1,0 +1,16 @@
+//! Reverse engineering of the asymmetric cache hierarchy.
+//!
+//! Before either covert channel can run, the attacker must understand how the
+//! two components see the shared LLC (Sections III-C and III-D of the paper):
+//!
+//! * [`slice_hash`] — recover, from timing alone, which physical address bits
+//!   feed the LLC slice-selection hash (the paper's Equations 1 and 2);
+//! * [`llc_sets`] — build LLC eviction sets from the CPU side and reuse them
+//!   on the GPU side through shared virtual memory;
+//! * [`l3`] — establish that the GPU L3 is not inclusive of the LLC, discover
+//!   its placement geometry, and build the L3 eviction ("pollute") sets that
+//!   force GPU references out to the LLC.
+
+pub mod l3;
+pub mod llc_sets;
+pub mod slice_hash;

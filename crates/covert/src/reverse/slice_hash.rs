@@ -1,0 +1,249 @@
+//! Timing-based recovery of the LLC slice-selection hash (Section III-C,
+//! Equations 1 and 2 of the paper).
+//!
+//! The attacker allocates a 1 GiB huge page, so virtual offsets equal
+//! physical offsets for the low 30 address bits. Probe addresses are chosen
+//! to share every LLC set-index bit and differ only in higher bits; two such
+//! addresses collide in the LLC if and only if the slice hash maps them to
+//! the same slice. Grouping the probes by timing-observed collisions
+//! therefore partitions them by slice, and comparing the groups of `base` and
+//! `base ^ (1 << b)` reveals whether bit `b` feeds the hash.
+//!
+//! Within a single huge page only bits below 30 can be varied, so the
+//! recovery reports the hash's input bits on that range; the paper's
+//! Equations 1/2 extend to bit 37 using additional pages. The recovered
+//! partition is validated against the simulator's ground-truth hash in the
+//! test suite and in `EXPERIMENTS.md`.
+
+use crate::reverse::llc_sets::{evicts_victim, find_minimal_eviction_set, CPU_MISS_THRESHOLD_CYCLES};
+use cpu_exec::prelude::CpuThread;
+use soc_sim::prelude::{PhysAddr, Soc};
+use std::collections::BTreeMap;
+
+/// Lowest address bit that can vary without changing the LLC set index
+/// (set index uses bits `[6, 17)` on the modelled 2048-set slices).
+pub const FIRST_NON_INDEX_BIT: u32 = 17;
+
+/// Highest (exclusive) address bit controllable inside one 1 GiB huge page.
+pub const HUGE_PAGE_BIT_LIMIT: u32 = 30;
+
+/// Result of the slice-hash recovery.
+#[derive(Debug, Clone)]
+pub struct SliceHashRecovery {
+    /// The probe addresses, grouped by timing-observed slice.
+    pub groups: Vec<Vec<PhysAddr>>,
+    /// For each examined bit, whether flipping it moved the base address to a
+    /// different slice (i.e. the bit feeds the hash).
+    pub bit_influence: BTreeMap<u32, bool>,
+}
+
+impl SliceHashRecovery {
+    /// Number of distinct slices observed.
+    pub fn observed_slices(&self) -> usize {
+        self.groups.len()
+    }
+
+    /// Bits found to influence slice selection, ascending.
+    pub fn influencing_bits(&self) -> Vec<u32> {
+        self.bit_influence
+            .iter()
+            .filter_map(|(&b, &inf)| inf.then_some(b))
+            .collect()
+    }
+}
+
+/// Builds the probe-address population: `count` line addresses inside the
+/// huge page at `huge_base` that differ from `huge_base` only in bits
+/// `[FIRST_NON_INDEX_BIT, HUGE_PAGE_BIT_LIMIT)`.
+pub fn probe_addresses(huge_base: PhysAddr, count: usize) -> Vec<PhysAddr> {
+    (0..count as u64)
+        .map(|i| PhysAddr::new(huge_base.value() + (i << FIRST_NON_INDEX_BIT)))
+        .collect()
+}
+
+/// Partitions `probes` into same-slice groups using only timing.
+///
+/// For each yet-unassigned probe (the "seed"), a minimal eviction set is
+/// found within the remaining pool via group testing — its members are, by
+/// construction, in the seed's slice. Every other remaining probe is then
+/// classified by whether that minimal set evicts it. With 4 slices of a
+/// 16-way LLC, 96 probes (~24 per slice) are ample.
+pub fn group_by_slice(
+    cpu: &mut CpuThread,
+    soc: &mut Soc,
+    probes: &[PhysAddr],
+    threshold_cycles: u64,
+) -> Vec<Vec<PhysAddr>> {
+    let ways = soc.llc().config().ways;
+    let mut remaining: Vec<PhysAddr> = probes.to_vec();
+    let mut groups: Vec<Vec<PhysAddr>> = Vec::new();
+    while !remaining.is_empty() {
+        let seed = remaining[0];
+        let pool: Vec<PhysAddr> = remaining[1..].to_vec();
+        if pool.len() < ways {
+            // Too few probes left to form another conflict set: keep them as
+            // one residual group.
+            groups.push(remaining.clone());
+            break;
+        }
+        let reference =
+            match find_minimal_eviction_set(cpu, soc, seed, &pool, ways, threshold_cycles) {
+                Ok(r) => r,
+                Err(_) => {
+                    // The seed conflicts with nothing left: it forms a
+                    // singleton group (can happen for residual probes).
+                    groups.push(vec![seed]);
+                    remaining.remove(0);
+                    continue;
+                }
+            };
+        let mut group = vec![seed];
+        for &x in &pool {
+            // Members of the reference set trivially belong to the group; for
+            // everything else, ask the timing oracle.
+            if reference.contains(&x) || evicts_victim(cpu, soc, x, &reference, threshold_cycles) {
+                group.push(x);
+            }
+        }
+        remaining.retain(|a| !group.contains(a));
+        groups.push(group);
+    }
+    groups
+}
+
+/// Recovers which physical-address bits in `[FIRST_NON_INDEX_BIT,
+/// HUGE_PAGE_BIT_LIMIT)` influence the slice hash, and the slice partition of
+/// the probe population.
+///
+/// `probe_count` probes are used for the grouping (96 is ample for a 4-slice,
+/// 16-way LLC).
+pub fn recover_slice_hash(
+    cpu: &mut CpuThread,
+    soc: &mut Soc,
+    huge_base: PhysAddr,
+    probe_count: usize,
+) -> SliceHashRecovery {
+    let probes = probe_addresses(huge_base, probe_count);
+    let groups = group_by_slice(cpu, soc, &probes, CPU_MISS_THRESHOLD_CYCLES);
+
+    // Reference conflict sets per group (first `ways` members of each group).
+    let ways = soc.llc().config().ways;
+    let references: Vec<Vec<PhysAddr>> = groups
+        .iter()
+        .map(|g| g.iter().copied().take(ways).collect())
+        .collect();
+
+    let classify = |cpu: &mut CpuThread, soc: &mut Soc, addr: PhysAddr| -> Option<usize> {
+        // Known members are classified structurally; anything else by timing.
+        if let Some(i) = groups.iter().position(|g| g.contains(&addr)) {
+            return Some(i);
+        }
+        references
+            .iter()
+            .enumerate()
+            .filter(|(_, r)| r.len() >= ways)
+            .find(|(_, r)| evicts_victim(cpu, soc, addr, r, CPU_MISS_THRESHOLD_CYCLES))
+            .map(|(i, _)| i)
+    };
+
+    let base_group = classify(cpu, soc, huge_base);
+    let mut bit_influence = BTreeMap::new();
+    for bit in FIRST_NON_INDEX_BIT..HUGE_PAGE_BIT_LIMIT {
+        let flipped = PhysAddr::new(huge_base.value() ^ (1u64 << bit));
+        let flipped_group = classify(cpu, soc, flipped);
+        let influences = match (base_group, flipped_group) {
+            (Some(a), Some(b)) => a != b,
+            // If either address could not be classified, conservatively report
+            // the bit as influencing (it landed outside every known group).
+            _ => true,
+        };
+        bit_influence.insert(bit, influences);
+    }
+
+    SliceHashRecovery {
+        groups,
+        bit_influence,
+    }
+}
+
+/// Ground-truth check helper: returns the bits in `[lo, hi)` that the given
+/// XOR-mask hash actually uses (union of all output-bit masks). Used by tests
+/// and the reproduction harness to score the recovery.
+pub fn ground_truth_bits(hash: &soc_sim::slice_hash::SliceHash, lo: u32, hi: u32) -> Vec<u32> {
+    let union: u64 = hash.masks().iter().fold(0, |acc, m| acc | m);
+    (lo..hi).filter(|&b| (union >> b) & 1 == 1).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use soc_sim::prelude::SocConfig;
+
+    fn setup() -> (Soc, CpuThread) {
+        (Soc::new(SocConfig::kaby_lake_noiseless()), CpuThread::pinned(0))
+    }
+
+    /// Physically 1 GiB-aligned base so the low 30 bits are fully
+    /// attacker-controlled, mirroring a huge-page allocation.
+    const HUGE_BASE: PhysAddr = PhysAddr::new(0x1_0000_0000);
+
+    #[test]
+    fn probe_addresses_share_set_index_bits() {
+        let (soc, _) = setup();
+        let probes = probe_addresses(HUGE_BASE, 32);
+        let llc = soc.llc();
+        let base_set_index = llc.set_of(HUGE_BASE).set;
+        assert!(probes.iter().all(|p| llc.set_of(*p).set == base_set_index));
+        // But they spread over all four slices.
+        let slices: std::collections::HashSet<_> = probes.iter().map(|p| llc.set_of(*p).slice).collect();
+        assert_eq!(slices.len(), 4);
+    }
+
+    #[test]
+    fn grouping_recovers_the_slice_partition() {
+        let (mut soc, mut cpu) = setup();
+        let probes = probe_addresses(HUGE_BASE, 96);
+        let groups = group_by_slice(&mut cpu, &mut soc, &probes, CPU_MISS_THRESHOLD_CYCLES);
+        assert_eq!(groups.len(), 4, "four slices expected, got {}", groups.len());
+        // Every timing-derived group must be slice-pure according to the
+        // ground-truth hash.
+        let llc = soc.llc();
+        for g in &groups {
+            let slices: std::collections::HashSet<_> = g.iter().map(|a| llc.set_of(*a).slice).collect();
+            assert_eq!(slices.len(), 1, "group mixes slices: {slices:?}");
+        }
+        // And together they cover every probe exactly once.
+        let total: usize = groups.iter().map(|g| g.len()).sum();
+        assert_eq!(total, 96);
+    }
+
+    #[test]
+    fn recovered_bits_match_equations_one_and_two() {
+        let (mut soc, mut cpu) = setup();
+        let recovery = recover_slice_hash(&mut cpu, &mut soc, HUGE_BASE, 96);
+        assert_eq!(recovery.observed_slices(), 4);
+        let expected = ground_truth_bits(
+            &soc_sim::slice_hash::SliceHash::kaby_lake_i7_7700k(),
+            FIRST_NON_INDEX_BIT,
+            HUGE_PAGE_BIT_LIMIT,
+        );
+        assert_eq!(
+            recovery.influencing_bits(),
+            expected,
+            "recovered hash-input bits must match the ground truth on the huge-page range"
+        );
+    }
+
+    #[test]
+    fn ground_truth_bits_helper_reads_masks() {
+        let hash = soc_sim::slice_hash::SliceHash::kaby_lake_i7_7700k();
+        let bits = ground_truth_bits(&hash, 17, 30);
+        // From Equations (1)/(2): every bit in 17..=29 appears in S0 or S1.
+        assert_eq!(bits, (17..30).collect::<Vec<u32>>());
+        let none = ground_truth_bits(&hash, 0, 6);
+        assert!(none.is_empty(), "no hash input below the line offset");
+        // Bits 8 and 9 feed neither output bit on this part.
+        let low = ground_truth_bits(&hash, 6, 10);
+        assert_eq!(low, vec![6, 7]);
+    }
+}

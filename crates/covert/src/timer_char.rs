@@ -1,0 +1,204 @@
+//! Custom-timer characterization (Figure 4 of the paper).
+//!
+//! Before the LLC channel can run, the attacker must verify that the SLM
+//! counter timer separates the three access-time populations the GPU can
+//! observe — L3 hit, LLC hit, and system memory — and derive the decision
+//! thresholds used by the probe classification. This module reproduces the
+//! paper's characterization experiment: for a series of fresh cache lines it
+//! measures each line from DRAM, then from the LLC (after a precise L3
+//! eviction), then from the L3, all with the custom timer.
+
+use crate::metrics::SampleStats;
+use crate::reverse::l3::{precise_l3_eviction_set, L3_EVICTION_PASSES};
+use gpu_exec::prelude::GpuKernel;
+use soc_sim::prelude::{PhysAddr, Soc};
+
+/// Which population a single timer reading is believed to come from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum GpuAccessClass {
+    /// Served by the GPU L3.
+    L3Hit,
+    /// Served by the shared LLC.
+    LlcHit,
+    /// Served by system memory.
+    Memory,
+}
+
+/// Distributions of custom-timer readings per access class, plus the derived
+/// thresholds.
+#[derive(Debug, Clone)]
+pub struct TimerCharacterization {
+    /// Statistics of the L3-hit readings (ticks).
+    pub l3: SampleStats,
+    /// Statistics of the LLC-hit readings (ticks).
+    pub llc: SampleStats,
+    /// Statistics of the memory readings (ticks).
+    pub memory: SampleStats,
+    /// Raw samples `(l3, llc, memory)` per measured line, for plotting.
+    pub samples: Vec<(u64, u64, u64)>,
+}
+
+impl TimerCharacterization {
+    /// Threshold (in ticks) separating L3 hits from LLC hits: the midpoint of
+    /// the two means.
+    pub fn l3_llc_threshold(&self) -> u64 {
+        ((self.l3.mean + self.llc.mean) / 2.0).round() as u64
+    }
+
+    /// Threshold (in ticks) separating LLC hits from memory accesses.
+    pub fn llc_memory_threshold(&self) -> u64 {
+        ((self.llc.mean + self.memory.mean) / 2.0).round() as u64
+    }
+
+    /// Returns `true` when the three populations are cleanly separated:
+    /// each pair of neighbouring means differs by more than the sum of their
+    /// standard deviations.
+    pub fn is_separable(&self) -> bool {
+        let l3_llc_gap = self.llc.mean - self.l3.mean;
+        let llc_mem_gap = self.memory.mean - self.llc.mean;
+        l3_llc_gap > (self.l3.std_dev + self.llc.std_dev)
+            && llc_mem_gap > (self.llc.std_dev + self.memory.std_dev)
+    }
+
+    /// Classifies a single timer reading.
+    pub fn classify(&self, ticks: u64) -> GpuAccessClass {
+        if ticks <= self.l3_llc_threshold() {
+            GpuAccessClass::L3Hit
+        } else if ticks <= self.llc_memory_threshold() {
+            GpuAccessClass::LlcHit
+        } else {
+            GpuAccessClass::Memory
+        }
+    }
+}
+
+/// Runs the characterization over `samples` distinct cache lines.
+///
+/// `target_base` is the start of a region of untouched lines (one per sample,
+/// spaced 2 MiB apart so samples never collide in any cache); `pollute_base`
+/// and `pollute_len` delimit the pool used to build the precise L3 eviction
+/// sets that push a line from the L3 while keeping it in the LLC.
+///
+/// # Panics
+///
+/// Panics if `samples` is zero.
+pub fn characterize_timer(
+    soc: &mut Soc,
+    gpu: &mut GpuKernel,
+    target_base: PhysAddr,
+    pollute_base: PhysAddr,
+    pollute_len: u64,
+    samples: usize,
+) -> TimerCharacterization {
+    assert!(samples > 0, "need at least one characterization sample");
+    let ways = soc.gpu_l3().ways();
+    let mut raw = Vec::with_capacity(samples);
+    for i in 0..samples {
+        // A fresh line per sample, far from every other sample.
+        let target = PhysAddr::new(target_base.value() + i as u64 * (2 << 20));
+
+        // (1) Memory access: the line has never been touched.
+        let (memory_ticks, _) = gpu.timed_load(soc, target);
+
+        // (2) LLC access: evict the line from the L3 (but not the LLC) using
+        // its precise L3 conflict set, then re-time it.
+        let pollute = precise_l3_eviction_set(
+            soc,
+            target,
+            pollute_base,
+            pollute_len,
+            ways * L3_EVICTION_PASSES,
+        )
+        .expect("pollute pool large enough for characterization");
+        for &p in &pollute {
+            gpu.load(soc, p);
+        }
+        let (llc_ticks, _) = gpu.timed_load(soc, target);
+
+        // (3) L3 access: the line is now resident in both L3 and LLC.
+        let (l3_ticks, _) = gpu.timed_load(soc, target);
+
+        raw.push((l3_ticks, llc_ticks, memory_ticks));
+    }
+
+    let l3: Vec<f64> = raw.iter().map(|s| s.0 as f64).collect();
+    let llc: Vec<f64> = raw.iter().map(|s| s.1 as f64).collect();
+    let memory: Vec<f64> = raw.iter().map(|s| s.2 as f64).collect();
+    TimerCharacterization {
+        l3: SampleStats::from_samples(&l3),
+        llc: SampleStats::from_samples(&llc),
+        memory: SampleStats::from_samples(&memory),
+        samples: raw,
+    }
+}
+
+/// Convenience wrapper used by examples and benches: characterizes the timer
+/// on a freshly launched attack kernel against the given SoC, using fixed
+/// well-separated physical regions.
+pub fn characterize_default(soc: &mut Soc, samples: usize) -> TimerCharacterization {
+    let mut gpu = GpuKernel::launch_attack_kernel();
+    characterize_timer(
+        soc,
+        &mut gpu,
+        PhysAddr::new(0x4000_0000),
+        PhysAddr::new(0x8000_0000),
+        256 * 1024 * 1024,
+        samples,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use soc_sim::prelude::{NoiseConfig, SocConfig};
+
+    #[test]
+    fn noiseless_characterization_is_cleanly_separable() {
+        let mut soc = Soc::new(SocConfig::kaby_lake_noiseless());
+        let ch = characterize_default(&mut soc, 20);
+        assert!(ch.is_separable(), "l3 {:?} llc {:?} mem {:?}", ch.l3, ch.llc, ch.memory);
+        assert!(ch.l3.mean < ch.llc.mean && ch.llc.mean < ch.memory.mean);
+        assert_eq!(ch.samples.len(), 20);
+    }
+
+    #[test]
+    fn quiet_system_noise_still_separable() {
+        // The paper's Figure 4 shows clear separation on the real (noisy)
+        // machine; the quiet-system noise model must preserve that.
+        let mut soc = Soc::new(SocConfig::kaby_lake_i7_7700k());
+        let ch = characterize_default(&mut soc, 30);
+        assert!(ch.is_separable());
+    }
+
+    #[test]
+    fn thresholds_are_ordered_and_classify_correctly() {
+        let mut soc = Soc::new(SocConfig::kaby_lake_noiseless());
+        let ch = characterize_default(&mut soc, 10);
+        assert!(ch.l3_llc_threshold() < ch.llc_memory_threshold());
+        assert_eq!(ch.classify(ch.l3.mean as u64), GpuAccessClass::L3Hit);
+        assert_eq!(ch.classify(ch.llc.mean as u64), GpuAccessClass::LlcHit);
+        assert_eq!(ch.classify(ch.memory.mean as u64), GpuAccessClass::Memory);
+    }
+
+    #[test]
+    fn heavy_timer_noise_can_break_separability() {
+        // With an absurdly wobbly counter the characterization must report
+        // that the channel cannot be built (ChannelError::TimerNotSeparable
+        // is raised by the channel setup in that case).
+        let cfg = SocConfig::kaby_lake_i7_7700k().with_noise(NoiseConfig {
+            latency_jitter_ps: 60_000.0,
+            spurious_eviction_prob: 0.0,
+            timer_rate_jitter: 0.6,
+        });
+        let mut soc = Soc::new(cfg);
+        let ch = characterize_default(&mut soc, 30);
+        assert!(!ch.is_separable());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one characterization sample")]
+    fn zero_samples_panics() {
+        let mut soc = Soc::new(SocConfig::kaby_lake_noiseless());
+        let _ = characterize_default(&mut soc, 0);
+    }
+}

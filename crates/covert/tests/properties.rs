@@ -1,0 +1,130 @@
+//! Property-based tests of the covert-channel protocol and metrics layers.
+
+use covert::prelude::*;
+use proptest::prelude::*;
+use soc_sim::clock::Time;
+
+proptest! {
+    /// Byte framing roundtrips for arbitrary payloads.
+    #[test]
+    fn bytes_to_bits_roundtrips(payload in proptest::collection::vec(any::<u8>(), 0..64)) {
+        let bits = bytes_to_bits(&payload);
+        prop_assert_eq!(bits.len(), payload.len() * 8);
+        prop_assert_eq!(bits_to_bytes(&bits), payload);
+    }
+
+    /// A transmission report's error count never exceeds its bit count, and
+    /// the error rate stays within [0, 1].
+    #[test]
+    fn report_error_rate_is_bounded(
+        sent in proptest::collection::vec(any::<bool>(), 1..128),
+        flips in proptest::collection::vec(any::<bool>(), 1..128),
+        elapsed_us in 1u64..10_000,
+    ) {
+        let received: Vec<bool> = sent
+            .iter()
+            .zip(flips.iter().cycle())
+            .map(|(&s, &f)| s ^ f)
+            .collect();
+        let report = TransmissionReport::new(sent.clone(), received, Time::from_us(elapsed_us));
+        prop_assert!(report.error_count() <= report.bit_count());
+        prop_assert!((0.0..=1.0).contains(&report.error_rate()));
+        prop_assert!(report.bandwidth_kbps() > 0.0);
+        prop_assert!(report.time_per_bit().as_ps() <= Time::from_us(elapsed_us).as_ps());
+    }
+
+    /// Majority voting over unanimous observations always returns that value.
+    #[test]
+    fn unanimous_observations_decide_the_vote(
+        slow in 0usize..=16,
+        copies in 1usize..6,
+    ) {
+        let obs: Vec<ProbeObservation> =
+            (0..copies).map(|_| ProbeObservation::new(slow, 16)).collect();
+        let cfg = ClassifierConfig::paper_default();
+        let expected = slow >= cfg.per_set_threshold;
+        prop_assert_eq!(majority_vote(&obs, cfg), expected);
+    }
+
+    /// Adding a fully-primed observation never flips a unanimous "1" vote,
+    /// and adding an idle observation never flips a unanimous "0" vote.
+    #[test]
+    fn vote_is_monotone_in_supporting_evidence(copies in 1usize..5) {
+        let cfg = ClassifierConfig::paper_default();
+        let primed = ProbeObservation::new(16, 16);
+        let idle = ProbeObservation::new(0, 16);
+        let mut ones: Vec<ProbeObservation> = (0..copies).map(|_| primed).collect();
+        prop_assert!(majority_vote(&ones, cfg));
+        ones.push(primed);
+        prop_assert!(majority_vote(&ones, cfg));
+        let mut zeros: Vec<ProbeObservation> = (0..copies).map(|_| idle).collect();
+        prop_assert!(!majority_vote(&zeros, cfg));
+        zeros.push(idle);
+        prop_assert!(!majority_vote(&zeros, cfg));
+    }
+
+    /// Sample statistics honour basic order relations.
+    #[test]
+    fn sample_stats_are_ordered(samples in proptest::collection::vec(0.0f64..1e6, 1..64)) {
+        let stats = SampleStats::from_samples(&samples);
+        prop_assert!(stats.min <= stats.mean + 1e-9);
+        prop_assert!(stats.mean <= stats.max + 1e-9);
+        prop_assert!(stats.std_dev >= 0.0);
+        prop_assert!(stats.ci95_low() <= stats.ci95_high());
+        prop_assert_eq!(stats.n, samples.len());
+    }
+
+    /// The deterministic test pattern is reproducible and length-exact.
+    #[test]
+    fn test_pattern_is_reproducible(bits in 0usize..512, seed in any::<u64>()) {
+        let a = test_pattern(bits, seed);
+        let b = test_pattern(bits, seed);
+        prop_assert_eq!(a.len(), bits);
+        prop_assert_eq!(a, b);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Precise L3 eviction sets always honour both constraints: same L3
+    /// placement as the target, different LLC set — for arbitrary targets.
+    #[test]
+    fn precise_pollute_sets_respect_both_constraints(target_line in 0u64..0x40_0000) {
+        use soc_sim::prelude::{Soc, SocConfig, PhysAddr};
+        let soc = Soc::new(SocConfig::kaby_lake_noiseless());
+        let target = PhysAddr::new(target_line * 64);
+        let set = precise_l3_eviction_set(
+            &soc,
+            target,
+            PhysAddr::new(0x8000_0000),
+            128 * 1024 * 1024,
+            24,
+        ).unwrap();
+        prop_assert_eq!(set.len(), 24);
+        for a in set {
+            prop_assert_eq!(
+                soc.gpu_l3().placement_index(a),
+                soc.gpu_l3().placement_index(target)
+            );
+            prop_assert_ne!(soc.llc().set_of(a), soc.llc().set_of(target));
+        }
+    }
+
+    /// Address-arithmetic eviction sets contain exactly the requested number
+    /// of distinct, set-pure lines.
+    #[test]
+    fn llc_set_addresses_are_distinct_and_pure(set_index in 0usize..2048, slice in 0usize..4, count in 1usize..24) {
+        use soc_sim::llc::LlcSetId;
+        use soc_sim::prelude::{Soc, SocConfig, PhysAddr};
+        let soc = Soc::new(SocConfig::kaby_lake_noiseless());
+        let id = LlcSetId { slice, set: set_index };
+        let addrs = addresses_in_llc_set(&soc, id, PhysAddr::new(0x4000_0000), 512 * 1024 * 1024, count).unwrap();
+        prop_assert_eq!(addrs.len(), count);
+        let unique: std::collections::HashSet<_> = addrs.iter().collect();
+        prop_assert_eq!(unique.len(), count);
+        for a in &addrs {
+            prop_assert_eq!(soc.llc().set_of(*a), id);
+        }
+    }
+}

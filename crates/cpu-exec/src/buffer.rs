@@ -1,0 +1,193 @@
+//! Attacker-controlled memory buffers and access patterns.
+//!
+//! Both channels access their buffers at cache-line granularity and in a
+//! *random pointer-chasing* order so the hardware prefetchers cannot follow
+//! the stream and perturb the LLC contents (Section IV of the paper). This
+//! module converts a mapped buffer into physical line addresses and produces
+//! the access orders used by the attack code.
+
+use rand::rngs::SmallRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use soc_sim::address::CACHE_LINE_SIZE;
+use soc_sim::page_table::{AddressSpace, MappedBuffer};
+use soc_sim::prelude::PhysAddr;
+
+/// How the lines of a buffer are walked.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AccessPattern {
+    /// Ascending address order (prefetcher friendly — used as a baseline).
+    Sequential,
+    /// Fixed stride in lines (e.g. one line per 4 KiB page).
+    Strided {
+        /// Stride expressed in cache lines.
+        lines: usize,
+    },
+    /// Random permutation of all lines (pointer chasing), seeded for
+    /// reproducibility.
+    PointerChase {
+        /// Permutation seed.
+        seed: u64,
+    },
+}
+
+/// A buffer resolved to physical cache-line addresses.
+#[derive(Debug, Clone)]
+pub struct LineBuffer {
+    lines: Vec<PhysAddr>,
+}
+
+impl LineBuffer {
+    /// Resolves every cache line of `buffer` through `space`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any page of the buffer is unmapped (cannot happen for
+    /// buffers returned by [`soc_sim::system::Soc::alloc`]).
+    pub fn resolve(space: &AddressSpace, buffer: &MappedBuffer) -> Self {
+        let lines = buffer
+            .lines()
+            .map(|va| space.translate(va).expect("buffer page must be mapped"))
+            .collect();
+        LineBuffer { lines }
+    }
+
+    /// Builds a line buffer directly from physical addresses (for tests and
+    /// for eviction sets that are already physical).
+    pub fn from_phys(lines: Vec<PhysAddr>) -> Self {
+        LineBuffer { lines }
+    }
+
+    /// Number of cache lines.
+    pub fn len(&self) -> usize {
+        self.lines.len()
+    }
+
+    /// Returns `true` when the buffer holds no lines.
+    pub fn is_empty(&self) -> bool {
+        self.lines.is_empty()
+    }
+
+    /// The physical line addresses in ascending virtual order.
+    pub fn lines(&self) -> &[PhysAddr] {
+        &self.lines
+    }
+
+    /// Size in bytes.
+    pub fn byte_len(&self) -> u64 {
+        self.lines.len() as u64 * CACHE_LINE_SIZE
+    }
+
+    /// Produces the access order for the given pattern.
+    pub fn access_order(&self, pattern: AccessPattern) -> Vec<PhysAddr> {
+        match pattern {
+            AccessPattern::Sequential => self.lines.clone(),
+            AccessPattern::Strided { lines } => {
+                let stride = lines.max(1);
+                let mut out = Vec::with_capacity(self.lines.len());
+                for start in 0..stride {
+                    let mut i = start;
+                    while i < self.lines.len() {
+                        out.push(self.lines[i]);
+                        i += stride;
+                    }
+                }
+                out
+            }
+            AccessPattern::PointerChase { seed } => {
+                let mut out = self.lines.clone();
+                let mut rng = SmallRng::seed_from_u64(seed);
+                out.shuffle(&mut rng);
+                out
+            }
+        }
+    }
+
+    /// Keeps only the first `n` lines (useful to trim a buffer to a working
+    /// set that fits the LLC).
+    pub fn truncated(&self, n: usize) -> LineBuffer {
+        LineBuffer {
+            lines: self.lines.iter().copied().take(n).collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use soc_sim::prelude::{PageKind, Soc, SocConfig};
+
+    fn buffer_of(len: u64) -> LineBuffer {
+        let mut soc = Soc::new(SocConfig::kaby_lake_noiseless());
+        let mut space = soc.create_process();
+        let buf = soc.alloc(&mut space, len, PageKind::Small).unwrap();
+        LineBuffer::resolve(&space, &buf)
+    }
+
+    #[test]
+    fn resolve_produces_one_entry_per_line() {
+        let b = buffer_of(8 * 1024);
+        assert_eq!(b.len(), 128);
+        assert_eq!(b.byte_len(), 8 * 1024);
+        assert!(!b.is_empty());
+        assert!(b.lines().iter().all(|a| a.line_offset() == 0));
+    }
+
+    #[test]
+    fn sequential_order_is_identity() {
+        let b = buffer_of(4 * 1024);
+        assert_eq!(b.access_order(AccessPattern::Sequential), b.lines());
+    }
+
+    #[test]
+    fn pointer_chase_is_a_permutation_and_deterministic() {
+        let b = buffer_of(16 * 1024);
+        let p1 = b.access_order(AccessPattern::PointerChase { seed: 9 });
+        let p2 = b.access_order(AccessPattern::PointerChase { seed: 9 });
+        let p3 = b.access_order(AccessPattern::PointerChase { seed: 10 });
+        assert_eq!(p1, p2, "same seed, same order");
+        assert_ne!(p1, p3, "different seed, different order");
+        assert_ne!(p1, b.lines(), "shuffled order differs from sequential");
+        let mut sorted = p1.clone();
+        sorted.sort();
+        let mut expected = b.lines().to_vec();
+        expected.sort();
+        assert_eq!(sorted, expected, "permutation covers every line exactly once");
+    }
+
+    #[test]
+    fn strided_order_covers_all_lines() {
+        let b = buffer_of(4 * 1024);
+        let order = b.access_order(AccessPattern::Strided { lines: 8 });
+        assert_eq!(order.len(), b.len());
+        let mut sorted = order.clone();
+        sorted.sort();
+        let mut expected = b.lines().to_vec();
+        expected.sort();
+        assert_eq!(sorted, expected);
+        // First elements step by 8 lines within the same page.
+        assert_eq!(order[1].value() - order[0].value(), 8 * CACHE_LINE_SIZE);
+    }
+
+    #[test]
+    fn zero_stride_is_treated_as_one() {
+        let b = buffer_of(1024);
+        let order = b.access_order(AccessPattern::Strided { lines: 0 });
+        assert_eq!(order, b.lines());
+    }
+
+    #[test]
+    fn truncated_keeps_prefix() {
+        let b = buffer_of(4 * 1024);
+        let t = b.truncated(10);
+        assert_eq!(t.len(), 10);
+        assert_eq!(t.lines(), &b.lines()[..10]);
+    }
+
+    #[test]
+    fn from_phys_roundtrip() {
+        let lines = vec![PhysAddr::new(0), PhysAddr::new(64)];
+        let b = LineBuffer::from_phys(lines.clone());
+        assert_eq!(b.lines(), lines.as_slice());
+    }
+}

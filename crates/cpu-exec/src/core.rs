@@ -1,0 +1,226 @@
+//! CPU-side execution model.
+//!
+//! The spy (or trojan) running on the CPU is an ordinary unprivileged process
+//! with access to a high-resolution timestamp counter (`rdtsc` /
+//! `clock_gettime`), `clflush`, and plain loads. [`CpuThread`] models one such
+//! thread pinned to a core: it owns its local notion of time (advanced by
+//! every operation it performs) and converts latencies into timestamp-counter
+//! cycles exactly the way the real attack code does.
+
+use soc_sim::clock::{ClockDomain, Time};
+use soc_sim::page_table::AddressSpace;
+use soc_sim::prelude::{AccessOutcome, PhysAddr, Soc, VirtAddr};
+
+/// Errors from CPU-side operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CpuError {
+    /// A virtual address had no mapping in the process page table.
+    UnmappedAddress(VirtAddr),
+}
+
+impl std::fmt::Display for CpuError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CpuError::UnmappedAddress(va) => write!(f, "unmapped virtual address {va}"),
+        }
+    }
+}
+
+impl std::error::Error for CpuError {}
+
+/// One attacker thread pinned to a CPU core.
+#[derive(Debug, Clone)]
+pub struct CpuThread {
+    core: usize,
+    clock: ClockDomain,
+    local_time: Time,
+}
+
+impl CpuThread {
+    /// Creates a thread pinned to `core`, using the given core clock.
+    pub fn new(core: usize, clock: ClockDomain) -> Self {
+        CpuThread {
+            core,
+            clock,
+            local_time: Time::ZERO,
+        }
+    }
+
+    /// Creates a thread pinned to `core` on the default 4.2 GHz clock.
+    pub fn pinned(core: usize) -> Self {
+        CpuThread::new(core, ClockDomain::from_ghz("cpu", 4.2))
+    }
+
+    /// The core this thread is pinned to.
+    pub fn core(&self) -> usize {
+        self.core
+    }
+
+    /// Current local time of this thread.
+    pub fn now(&self) -> Time {
+        self.local_time
+    }
+
+    /// The core clock domain.
+    pub fn clock(&self) -> &ClockDomain {
+        &self.clock
+    }
+
+    /// Advances local time by `delta` (models computation or deliberate spin
+    /// delays).
+    pub fn advance(&mut self, delta: Time) {
+        self.local_time += delta;
+    }
+
+    /// Sets the local time (used when synchronizing agents at a barrier).
+    pub fn synchronize_to(&mut self, t: Time) {
+        self.local_time = self.local_time.max(t);
+    }
+
+    /// Reads the timestamp counter (in core cycles).
+    pub fn rdtsc(&self) -> u64 {
+        self.clock.time_to_cycles(self.local_time)
+    }
+
+    /// Loads the line at physical address `paddr`, advancing local time.
+    pub fn load(&mut self, soc: &mut Soc, paddr: PhysAddr) -> AccessOutcome {
+        let outcome = soc.cpu_access(self.core, paddr, self.local_time);
+        self.local_time += outcome.latency;
+        outcome
+    }
+
+    /// Loads the line at virtual address `va` through `space`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CpuError::UnmappedAddress`] when `va` is not mapped.
+    pub fn load_virt(
+        &mut self,
+        soc: &mut Soc,
+        space: &AddressSpace,
+        va: VirtAddr,
+    ) -> Result<AccessOutcome, CpuError> {
+        let pa = space.translate(va).ok_or(CpuError::UnmappedAddress(va))?;
+        Ok(self.load(soc, pa))
+    }
+
+    /// Loads `paddr` and returns the measured latency in timestamp-counter
+    /// cycles, exactly as the attack's `rdtsc(); load; rdtsc()` sequence
+    /// observes it.
+    pub fn timed_load(&mut self, soc: &mut Soc, paddr: PhysAddr) -> (u64, AccessOutcome) {
+        let before = self.rdtsc();
+        let outcome = self.load(soc, paddr);
+        let after = self.rdtsc();
+        (after - before, outcome)
+    }
+
+    /// Loads a sequence of lines back to back (e.g. a prime or probe pass),
+    /// returning total latency and per-access outcomes.
+    pub fn load_all(&mut self, soc: &mut Soc, addrs: &[PhysAddr]) -> (Time, Vec<AccessOutcome>) {
+        let start = self.local_time;
+        let outcomes = addrs.iter().map(|&a| self.load(soc, a)).collect();
+        (self.local_time - start, outcomes)
+    }
+
+    /// Executes `clflush` on the line containing `paddr`.
+    pub fn clflush(&mut self, soc: &mut Soc, paddr: PhysAddr) {
+        let latency = soc.clflush(paddr, self.local_time);
+        self.local_time += latency;
+    }
+
+    /// Busy-waits for the given number of core cycles.
+    pub fn spin_cycles(&mut self, cycles: u64) {
+        self.local_time += self.clock.cycles_to_time(cycles);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use soc_sim::prelude::{HitLevel, PageKind, SocConfig};
+
+    fn setup() -> (Soc, CpuThread) {
+        (Soc::new(SocConfig::kaby_lake_noiseless()), CpuThread::pinned(0))
+    }
+
+    #[test]
+    fn load_advances_local_time() {
+        let (mut soc, mut t) = setup();
+        assert_eq!(t.now(), Time::ZERO);
+        let out = t.load(&mut soc, PhysAddr::new(0x1000));
+        assert_eq!(t.now(), out.latency);
+        assert_eq!(out.level, HitLevel::Dram);
+    }
+
+    #[test]
+    fn timed_load_measures_cycles_consistent_with_latency() {
+        let (mut soc, mut t) = setup();
+        let a = PhysAddr::new(0x2000);
+        t.load(&mut soc, a); // warm
+        let (cycles, out) = t.timed_load(&mut soc, a);
+        assert_eq!(out.level, HitLevel::CpuL1);
+        let expected = t.clock().time_to_cycles(out.latency);
+        assert!((cycles as i64 - expected as i64).abs() <= 1);
+    }
+
+    #[test]
+    fn llc_hit_takes_more_cycles_than_l1_hit() {
+        let (mut soc, mut t) = setup();
+        let a = PhysAddr::new(0x3000);
+        t.load(&mut soc, a);
+        let (l1_cycles, _) = t.timed_load(&mut soc, a);
+        // Flush from private caches (clflush also removes from the LLC), then
+        // warm the LLC again from another core so this core sees an LLC hit.
+        let mut other = CpuThread::pinned(1);
+        t.clflush(&mut soc, a);
+        other.load(&mut soc, a);
+        let (llc_cycles, out) = t.timed_load(&mut soc, a);
+        assert_eq!(out.level, HitLevel::Llc);
+        assert!(llc_cycles > l1_cycles * 3, "LLC {llc_cycles} vs L1 {l1_cycles}");
+    }
+
+    #[test]
+    fn load_virt_translates_and_errors_on_unmapped() {
+        let (mut soc, mut t) = setup();
+        let mut space = soc.create_process();
+        let buf = soc.alloc(&mut space, 4096, PageKind::Small).unwrap();
+        let out = t.load_virt(&mut soc, &space, buf.base).unwrap();
+        assert_eq!(out.level, HitLevel::Dram);
+        let err = t.load_virt(&mut soc, &space, VirtAddr::new(0xdead_0000)).unwrap_err();
+        assert!(matches!(err, CpuError::UnmappedAddress(_)));
+        assert!(!format!("{err}").is_empty());
+    }
+
+    #[test]
+    fn load_all_sums_latencies() {
+        let (mut soc, mut t) = setup();
+        let addrs: Vec<PhysAddr> = (0..8).map(|i| PhysAddr::new(0x10_0000 + i * 64)).collect();
+        let (total, outcomes) = t.load_all(&mut soc, &addrs);
+        assert_eq!(outcomes.len(), 8);
+        let sum: u64 = outcomes.iter().map(|o| o.latency.as_ps()).sum();
+        assert_eq!(total.as_ps(), sum);
+    }
+
+    #[test]
+    fn spin_and_synchronize() {
+        let (_soc, mut t) = setup();
+        t.spin_cycles(4200);
+        assert!(t.now() >= Time::from_ns(999) && t.now() <= Time::from_ns(1001));
+        t.synchronize_to(Time::from_us(5));
+        assert_eq!(t.now(), Time::from_us(5));
+        // Synchronizing backwards never rewinds time.
+        t.synchronize_to(Time::ZERO);
+        assert_eq!(t.now(), Time::from_us(5));
+        assert_eq!(t.rdtsc(), t.clock().time_to_cycles(Time::from_us(5)));
+    }
+
+    #[test]
+    fn clflush_removes_line_from_llc() {
+        let (mut soc, mut t) = setup();
+        let a = PhysAddr::new(0x5000);
+        t.load(&mut soc, a);
+        assert!(soc.llc().contains(a));
+        t.clflush(&mut soc, a);
+        assert!(!soc.llc().contains(a));
+    }
+}

@@ -1,0 +1,30 @@
+//! # cpu-exec — CPU-side execution model for the Leaky Buddies reproduction
+//!
+//! Models the attacker thread(s) running on the CPU cores of the simulated
+//! SoC: cycle-accurate timestamps (`rdtsc`), cache-line loads, `clflush`, and
+//! the pointer-chasing buffer walks both covert channels rely on.
+//!
+//! ```
+//! use cpu_exec::prelude::*;
+//! use soc_sim::prelude::*;
+//!
+//! let mut soc = Soc::new(SocConfig::kaby_lake_noiseless());
+//! let mut spy = CpuThread::pinned(0);
+//! let (cycles, outcome) = spy.timed_load(&mut soc, PhysAddr::new(0x1000));
+//! assert_eq!(outcome.level, HitLevel::Dram);
+//! assert!(cycles > 100, "a cold miss costs hundreds of cycles");
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod buffer;
+pub mod core;
+
+/// Commonly used items, re-exported for convenience.
+pub mod prelude {
+    pub use crate::buffer::{AccessPattern, LineBuffer};
+    pub use crate::core::{CpuError, CpuThread};
+}
+
+pub use prelude::*;

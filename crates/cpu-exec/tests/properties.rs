@@ -1,0 +1,59 @@
+//! Property-based tests of the CPU execution model.
+
+use cpu_exec::prelude::*;
+use proptest::prelude::*;
+use soc_sim::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Every access pattern of a buffer is a permutation of its lines.
+    #[test]
+    fn access_patterns_are_permutations(pages in 1u64..16, seed in any::<u64>(), stride in 0usize..32) {
+        let mut soc = Soc::new(SocConfig::kaby_lake_noiseless());
+        let mut space = soc.create_process();
+        let buf = soc.alloc(&mut space, pages * 4096, PageKind::Small).unwrap();
+        let lines = LineBuffer::resolve(&space, &buf);
+        for pattern in [
+            AccessPattern::Sequential,
+            AccessPattern::Strided { lines: stride },
+            AccessPattern::PointerChase { seed },
+        ] {
+            let order = lines.access_order(pattern);
+            prop_assert_eq!(order.len(), lines.len());
+            let mut sorted = order;
+            sorted.sort();
+            let mut expected = lines.lines().to_vec();
+            expected.sort();
+            prop_assert_eq!(sorted, expected);
+        }
+    }
+
+    /// A thread's local time never decreases, regardless of the operation
+    /// sequence, and rdtsc is consistent with the local clock.
+    #[test]
+    fn local_time_is_monotone(ops in proptest::collection::vec(0u8..4, 1..40)) {
+        let mut soc = Soc::new(SocConfig::kaby_lake_noiseless());
+        let mut thread = CpuThread::pinned(0);
+        let mut last = thread.now();
+        for (i, op) in ops.iter().enumerate() {
+            let addr = PhysAddr::new(0x10_0000 + (i as u64) * 64);
+            match op {
+                0 => {
+                    thread.load(&mut soc, addr);
+                }
+                1 => {
+                    thread.clflush(&mut soc, addr);
+                }
+                2 => thread.spin_cycles(100),
+                _ => {
+                    let (cycles, _) = thread.timed_load(&mut soc, addr);
+                    prop_assert!(cycles > 0);
+                }
+            }
+            prop_assert!(thread.now() >= last);
+            last = thread.now();
+            prop_assert_eq!(thread.rdtsc(), thread.clock().time_to_cycles(thread.now()));
+        }
+    }
+}

@@ -1,0 +1,338 @@
+//! The GPU-side "process": a launched OpenCL-style kernel.
+//!
+//! [`GpuKernel`] models the attack kernel after it has been dispatched to the
+//! device: it knows its work-group shape, where its work-groups landed
+//! (round-robin over subslices), owns the GPU-local notion of time and the
+//! custom SLM counter timer, and issues loads to the SoC with the
+//! memory-level parallelism its thread configuration allows.
+
+use crate::dispatch::{Dispatcher, WorkGroupPlacement};
+use crate::timer::CounterTimer;
+use crate::topology::GpuTopology;
+use crate::wavefront::WorkGroupShape;
+use soc_sim::clock::{ClockDomain, Time};
+use soc_sim::page_table::AddressSpace;
+use soc_sim::prelude::{AccessOutcome, ParallelOutcome, PhysAddr, Soc, VirtAddr};
+
+/// Errors from GPU-side operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GpuError {
+    /// A virtual address had no mapping in the (SVM-shared) page table.
+    UnmappedAddress(VirtAddr),
+    /// The kernel was launched without SVM sharing but asked to translate a
+    /// virtual address.
+    AddressSpaceNotShared,
+}
+
+impl std::fmt::Display for GpuError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            GpuError::UnmappedAddress(va) => write!(f, "unmapped virtual address {va}"),
+            GpuError::AddressSpaceNotShared => {
+                write!(f, "address space is not shared with the GPU (missing SVM)")
+            }
+        }
+    }
+}
+
+impl std::error::Error for GpuError {}
+
+/// Per-subslice limit on outstanding memory requests (models the load/store
+/// pipeline depth that caps memory-level parallelism).
+const MLP_PER_SUBSLICE: usize = 16;
+
+/// A kernel resident on the GPU.
+#[derive(Debug, Clone)]
+pub struct GpuKernel {
+    topology: GpuTopology,
+    shape: WorkGroupShape,
+    placements: Vec<WorkGroupPlacement>,
+    clock: ClockDomain,
+    local_time: Time,
+    timer: CounterTimer,
+}
+
+impl GpuKernel {
+    /// Launches a kernel of `workgroups` work-groups with the given shape on
+    /// a Gen9 device clocked at 1.1 GHz.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `workgroups` is zero.
+    pub fn launch(topology: GpuTopology, shape: WorkGroupShape, workgroups: usize) -> Self {
+        assert!(workgroups > 0, "a kernel launch needs at least one work-group");
+        let mut dispatcher = Dispatcher::new(topology);
+        let placements = dispatcher.dispatch(workgroups);
+        let timer = CounterTimer::new(shape.clone(), Time::from_ns(18));
+        GpuKernel {
+            topology,
+            shape,
+            placements,
+            clock: ClockDomain::from_ghz("gpu", 1.1),
+            local_time: Time::ZERO,
+            timer,
+        }
+    }
+
+    /// Launches the paper's single-work-group attack kernel (256 threads: 16
+    /// access + 224 counter).
+    pub fn launch_attack_kernel() -> Self {
+        let topology = GpuTopology::gen9_gt2();
+        let shape = WorkGroupShape::paper_default(&topology);
+        GpuKernel::launch(topology, shape, 1)
+    }
+
+    /// Device topology.
+    pub fn topology(&self) -> &GpuTopology {
+        &self.topology
+    }
+
+    /// Work-group shape.
+    pub fn shape(&self) -> &WorkGroupShape {
+        &self.shape
+    }
+
+    /// Work-group placements chosen by the dispatcher.
+    pub fn placements(&self) -> &[WorkGroupPlacement] {
+        &self.placements
+    }
+
+    /// Number of work-groups.
+    pub fn workgroups(&self) -> usize {
+        self.placements.len()
+    }
+
+    /// The custom SLM counter timer.
+    pub fn timer(&self) -> &CounterTimer {
+        &self.timer
+    }
+
+    /// GPU clock domain.
+    pub fn clock(&self) -> &ClockDomain {
+        &self.clock
+    }
+
+    /// Current GPU-local time.
+    pub fn now(&self) -> Time {
+        self.local_time
+    }
+
+    /// Advances local time (models compute work or a deliberate delay loop).
+    pub fn advance(&mut self, delta: Time) {
+        self.local_time += delta;
+    }
+
+    /// Moves local time forward to `t` if it is in the future (barrier /
+    /// handshake synchronization).
+    pub fn synchronize_to(&mut self, t: Time) {
+        self.local_time = self.local_time.max(t);
+    }
+
+    /// Effective memory-level parallelism of this launch: the access threads
+    /// of each work-group can keep `MLP_PER_SUBSLICE` requests in flight per
+    /// occupied subslice, and work-groups stacked on the same subslice share
+    /// that budget.
+    pub fn effective_parallelism(&self) -> usize {
+        let mut per_subslice = vec![0usize; self.topology.subslice_count()];
+        for p in &self.placements {
+            per_subslice[p.subslice] += 1;
+        }
+        let occupied = per_subslice.iter().filter(|&&c| c > 0).count().max(1);
+        let threads = self.shape.access_threads * self.workgroups();
+        threads.min(occupied * MLP_PER_SUBSLICE).max(1)
+    }
+
+    /// Translates a virtual address through an SVM-shared address space.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GpuError::AddressSpaceNotShared`] when the space was never
+    /// shared with the GPU, and [`GpuError::UnmappedAddress`] for unmapped
+    /// addresses.
+    pub fn translate(&self, space: &AddressSpace, va: VirtAddr) -> Result<PhysAddr, GpuError> {
+        if !space.is_gpu_shared() {
+            return Err(GpuError::AddressSpaceNotShared);
+        }
+        space.translate(va).ok_or(GpuError::UnmappedAddress(va))
+    }
+
+    /// Performs a single load from the GPU, advancing local time.
+    pub fn load(&mut self, soc: &mut Soc, paddr: PhysAddr) -> AccessOutcome {
+        let outcome = soc.gpu_access(paddr, self.local_time);
+        self.local_time += outcome.latency;
+        outcome
+    }
+
+    /// Loads a batch of lines using the launch's effective memory-level
+    /// parallelism (the paper probes all 16 ways of an LLC set in parallel
+    /// with 16 threads). Advances local time by the batch latency.
+    pub fn parallel_load(&mut self, soc: &mut Soc, addrs: &[PhysAddr]) -> ParallelOutcome {
+        let parallelism = self.effective_parallelism();
+        self.parallel_load_with(soc, addrs, parallelism)
+    }
+
+    /// Loads a batch of lines with an explicit thread count, for callers that
+    /// dedicate more of the work-group's threads to the access phase (e.g.
+    /// probing several redundant LLC sets concurrently). The count is capped
+    /// at the work-group's total thread budget.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `parallelism` is zero.
+    pub fn parallel_load_with(
+        &mut self,
+        soc: &mut Soc,
+        addrs: &[PhysAddr],
+        parallelism: usize,
+    ) -> ParallelOutcome {
+        assert!(parallelism > 0, "parallelism must be at least 1");
+        let budget = self.shape.size * self.workgroups();
+        let outcome = soc.gpu_access_parallel(addrs, parallelism.min(budget), self.local_time);
+        self.local_time += outcome.total_latency;
+        outcome
+    }
+
+    /// Loads a batch of lines and measures the elapsed custom-timer ticks,
+    /// as Algorithm 1 does around its timed accesses.
+    pub fn timed_parallel_load(&mut self, soc: &mut Soc, addrs: &[PhysAddr]) -> (u64, ParallelOutcome) {
+        let noise = soc.timer_noise_factor();
+        let start_ticks = self.timer.read(self.local_time, noise);
+        let outcome = self.parallel_load(soc, addrs);
+        let end_ticks = self.timer.read(self.local_time, noise);
+        (end_ticks.saturating_sub(start_ticks), outcome)
+    }
+
+    /// Loads a single line and measures the elapsed custom-timer ticks.
+    pub fn timed_load(&mut self, soc: &mut Soc, paddr: PhysAddr) -> (u64, AccessOutcome) {
+        let noise = soc.timer_noise_factor();
+        let start_ticks = self.timer.read(self.local_time, noise);
+        let outcome = self.load(soc, paddr);
+        let end_ticks = self.timer.read(self.local_time, noise);
+        (end_ticks.saturating_sub(start_ticks), outcome)
+    }
+
+    /// Restarts the custom timer at the current local time.
+    pub fn restart_timer(&mut self) {
+        let now = self.local_time;
+        self.timer.restart(now);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use soc_sim::prelude::{HitLevel, PageKind, SocConfig};
+
+    fn soc() -> Soc {
+        Soc::new(SocConfig::kaby_lake_noiseless())
+    }
+
+    #[test]
+    fn attack_kernel_launch_matches_paper_configuration() {
+        let k = GpuKernel::launch_attack_kernel();
+        assert_eq!(k.workgroups(), 1);
+        assert_eq!(k.shape().access_threads, 16);
+        assert_eq!(k.shape().counter_threads(), 224);
+        assert_eq!(k.placements()[0].subslice, 0);
+        assert_eq!(k.effective_parallelism(), 16);
+        assert!(k.clock().frequency_ghz() < 2.0, "GPU clock is slower than the CPU");
+    }
+
+    #[test]
+    fn effective_parallelism_grows_with_workgroups_until_saturation() {
+        let topology = GpuTopology::gen9_gt2();
+        let shape = WorkGroupShape::paper_default(&topology);
+        let one = GpuKernel::launch(topology, shape.clone(), 1).effective_parallelism();
+        let two = GpuKernel::launch(topology, shape.clone(), 2).effective_parallelism();
+        let three = GpuKernel::launch(topology, shape.clone(), 3).effective_parallelism();
+        let eight = GpuKernel::launch(topology, shape, 8).effective_parallelism();
+        assert!(two > one);
+        assert!(three >= two);
+        // Past 3 work-groups every subslice is occupied; parallelism saturates.
+        assert_eq!(eight, three);
+    }
+
+    #[test]
+    fn load_advances_gpu_time_and_fills_l3() {
+        let mut soc = soc();
+        let mut k = GpuKernel::launch_attack_kernel();
+        let a = PhysAddr::new(0x7000);
+        let cold = k.load(&mut soc, a);
+        assert_eq!(cold.level, HitLevel::Dram);
+        assert_eq!(k.now(), cold.latency);
+        let warm = k.load(&mut soc, a);
+        assert_eq!(warm.level, HitLevel::GpuL3);
+    }
+
+    #[test]
+    fn timed_load_distinguishes_l3_from_dram() {
+        let mut soc = soc();
+        let mut k = GpuKernel::launch_attack_kernel();
+        let a = PhysAddr::new(0x9000);
+        let (dram_ticks, _) = k.timed_load(&mut soc, a);
+        let (l3_ticks, out) = k.timed_load(&mut soc, a);
+        assert_eq!(out.level, HitLevel::GpuL3);
+        assert!(dram_ticks > l3_ticks, "DRAM {dram_ticks} ticks vs L3 {l3_ticks} ticks");
+    }
+
+    #[test]
+    fn parallel_load_uses_thread_level_parallelism() {
+        let mut soc = soc();
+        let mut k = GpuKernel::launch_attack_kernel();
+        let addrs: Vec<PhysAddr> = (0..16).map(|i| PhysAddr::new(0x20_0000 + i * 64)).collect();
+        // Warm everything into the L3.
+        k.parallel_load(&mut soc, &addrs);
+        let before = k.now();
+        let outcome = k.parallel_load(&mut soc, &addrs);
+        assert_eq!(outcome.count_at_level(HitLevel::GpuL3), 16);
+        // 16 L3 hits in parallel should cost close to one L3 hit, not 16.
+        let elapsed = k.now() - before;
+        assert!(elapsed < Time::from_ns(90 * 4), "parallel probe too slow: {elapsed}");
+    }
+
+    #[test]
+    fn translate_requires_svm_sharing() {
+        let mut soc = soc();
+        let mut space = soc.create_process();
+        let buf = soc.alloc(&mut space, 4096, PageKind::Small).unwrap();
+        let k = GpuKernel::launch_attack_kernel();
+        assert_eq!(
+            k.translate(&space, buf.base).unwrap_err(),
+            GpuError::AddressSpaceNotShared
+        );
+        space.share_with_gpu();
+        let pa = k.translate(&space, buf.base).unwrap();
+        assert_eq!(pa, space.translate(buf.base).unwrap());
+        let err = k.translate(&space, VirtAddr::new(0x1)).unwrap_err();
+        assert!(matches!(err, GpuError::UnmappedAddress(_)));
+        assert!(!format!("{err}").is_empty());
+    }
+
+    #[test]
+    fn timer_restart_zeroes_measurement_origin() {
+        let mut k = GpuKernel::launch_attack_kernel();
+        k.advance(Time::from_us(100));
+        k.restart_timer();
+        assert_eq!(k.timer().read(k.now(), 1.0), 0);
+        k.advance(Time::from_ns(260));
+        assert!(k.timer().read(k.now(), 1.0) >= 90);
+    }
+
+    #[test]
+    fn synchronize_never_moves_backwards() {
+        let mut k = GpuKernel::launch_attack_kernel();
+        k.advance(Time::from_us(3));
+        k.synchronize_to(Time::from_us(1));
+        assert_eq!(k.now(), Time::from_us(3));
+        k.synchronize_to(Time::from_us(9));
+        assert_eq!(k.now(), Time::from_us(9));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one work-group")]
+    fn zero_workgroup_launch_panics() {
+        let topology = GpuTopology::gen9_gt2();
+        let shape = WorkGroupShape::paper_default(&topology);
+        let _ = GpuKernel::launch(topology, shape, 0);
+    }
+}

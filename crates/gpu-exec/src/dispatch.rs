@@ -1,0 +1,132 @@
+//! Work-group dispatch.
+//!
+//! The paper observes experimentally that the global thread dispatcher places
+//! consecutive work-groups on subslices in round-robin order, and that within
+//! a subslice the wavefronts of a work-group are likewise issued to EUs round
+//! robin (Section II-A). The contention channel varies the number of
+//! work-groups, so the dispatcher also tracks per-subslice occupancy and the
+//! resulting loss of memory-level parallelism when subslices are
+//! oversubscribed.
+
+use crate::topology::GpuTopology;
+
+/// A dispatched work-group.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WorkGroupPlacement {
+    /// Work-group index within the kernel launch.
+    pub workgroup: usize,
+    /// Subslice the work-group was assigned to.
+    pub subslice: usize,
+    /// Number of work-groups already resident on that subslice (0 = first).
+    pub slot: usize,
+}
+
+/// Round-robin work-group dispatcher.
+#[derive(Debug, Clone)]
+pub struct Dispatcher {
+    topology: GpuTopology,
+    next_subslice: usize,
+    per_subslice: Vec<usize>,
+}
+
+impl Dispatcher {
+    /// Creates a dispatcher for the given topology.
+    pub fn new(topology: GpuTopology) -> Self {
+        let subslices = topology.subslice_count();
+        Dispatcher {
+            topology,
+            next_subslice: 0,
+            per_subslice: vec![0; subslices],
+        }
+    }
+
+    /// Topology this dispatcher manages.
+    pub fn topology(&self) -> &GpuTopology {
+        &self.topology
+    }
+
+    /// Dispatches one work-group, returning its placement.
+    pub fn dispatch_one(&mut self, workgroup: usize) -> WorkGroupPlacement {
+        let subslice = self.next_subslice;
+        self.next_subslice = (self.next_subslice + 1) % self.per_subslice.len();
+        let slot = self.per_subslice[subslice];
+        self.per_subslice[subslice] += 1;
+        WorkGroupPlacement {
+            workgroup,
+            subslice,
+            slot,
+        }
+    }
+
+    /// Dispatches `count` work-groups and returns their placements in launch
+    /// order.
+    pub fn dispatch(&mut self, count: usize) -> Vec<WorkGroupPlacement> {
+        (0..count).map(|wg| self.dispatch_one(wg)).collect()
+    }
+
+    /// Number of work-groups currently resident on each subslice.
+    pub fn occupancy(&self) -> &[usize] {
+        &self.per_subslice
+    }
+
+    /// The maximum number of work-groups sharing any single subslice — the
+    /// oversubscription factor that throttles per-work-group memory
+    /// parallelism in the contention channel's model.
+    pub fn max_oversubscription(&self) -> usize {
+        self.per_subslice.iter().copied().max().unwrap_or(0).max(1)
+    }
+
+    /// Clears all placements (new kernel launch).
+    pub fn reset(&mut self) {
+        self.next_subslice = 0;
+        self.per_subslice.iter_mut().for_each(|c| *c = 0);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dispatch_is_round_robin() {
+        let mut d = Dispatcher::new(GpuTopology::gen9_gt2());
+        let placements = d.dispatch(6);
+        let subslices: Vec<usize> = placements.iter().map(|p| p.subslice).collect();
+        assert_eq!(subslices, vec![0, 1, 2, 0, 1, 2]);
+        assert_eq!(placements[3].slot, 1, "second round lands in slot 1");
+        assert_eq!(d.occupancy(), &[2, 2, 2]);
+    }
+
+    #[test]
+    fn single_workgroup_occupies_one_subslice() {
+        let mut d = Dispatcher::new(GpuTopology::gen9_gt2());
+        d.dispatch(1);
+        assert_eq!(d.occupancy(), &[1, 0, 0]);
+        assert_eq!(d.max_oversubscription(), 1);
+    }
+
+    #[test]
+    fn oversubscription_grows_past_subslice_count() {
+        let mut d = Dispatcher::new(GpuTopology::gen9_gt2());
+        d.dispatch(8);
+        assert_eq!(d.max_oversubscription(), 3);
+        assert_eq!(d.occupancy().iter().sum::<usize>(), 8);
+    }
+
+    #[test]
+    fn reset_clears_state() {
+        let mut d = Dispatcher::new(GpuTopology::gen9_gt2());
+        d.dispatch(5);
+        d.reset();
+        assert_eq!(d.occupancy(), &[0, 0, 0]);
+        assert_eq!(d.max_oversubscription(), 1);
+        assert_eq!(d.dispatch_one(0).subslice, 0);
+    }
+
+    #[test]
+    fn empty_dispatcher_reports_unit_oversubscription() {
+        let d = Dispatcher::new(GpuTopology::gen9_gt2());
+        assert_eq!(d.max_oversubscription(), 1);
+        assert_eq!(d.topology().subslice_count(), 3);
+    }
+}

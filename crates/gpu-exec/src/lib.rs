@@ -1,0 +1,39 @@
+//! # gpu-exec — integrated-GPU execution model for the Leaky Buddies reproduction
+//!
+//! Models the OpenCL-visible behaviour of the Gen9 integrated GPU that the
+//! paper's attack kernels rely on: the EU/subslice/slice topology, round-robin
+//! work-group dispatch, SIMD-32 wavefronts, the custom SLM counter timer
+//! (Algorithm 1 of the paper) and memory accesses issued with thread-level
+//! parallelism against the shared SoC hierarchy.
+//!
+//! ```
+//! use gpu_exec::prelude::*;
+//! use soc_sim::prelude::*;
+//!
+//! let mut soc = Soc::new(SocConfig::kaby_lake_noiseless());
+//! let mut kernel = GpuKernel::launch_attack_kernel();
+//! let (cold_ticks, _) = kernel.timed_load(&mut soc, PhysAddr::new(0x4000));
+//! let (warm_ticks, outcome) = kernel.timed_load(&mut soc, PhysAddr::new(0x4000));
+//! assert_eq!(outcome.level, HitLevel::GpuL3);
+//! assert!(cold_ticks > warm_ticks);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod device;
+pub mod dispatch;
+pub mod timer;
+pub mod topology;
+pub mod wavefront;
+
+/// Commonly used items, re-exported for convenience.
+pub mod prelude {
+    pub use crate::device::{GpuError, GpuKernel};
+    pub use crate::dispatch::{Dispatcher, WorkGroupPlacement};
+    pub use crate::timer::CounterTimer;
+    pub use crate::topology::GpuTopology;
+    pub use crate::wavefront::{ThreadRole, WorkGroupShape};
+}
+
+pub use prelude::*;

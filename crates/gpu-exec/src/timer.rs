@@ -1,0 +1,150 @@
+//! The paper's custom GPU timer (Section III-B, Algorithm 1).
+//!
+//! OpenCL on the integrated GPU exposes no user-level high-resolution clock,
+//! so the attack builds one: most threads of the work-group (all wavefronts
+//! after the first, 224 threads in the paper's configuration) spin on
+//! `atomic_add(&counter, 1)` against a word in shared local memory, while the
+//! 16 access threads read the counter before and after a memory access. The
+//! counter value difference is the "time" measurement.
+//!
+//! The model captures the two properties the attack depends on:
+//!
+//! * the counter advances at a rate proportional to the number of counter
+//!   threads (more threads → finer resolution, which is why a single counter
+//!   wavefront is not enough to separate the cache levels);
+//! * because SLM sits on its own data path, the rate is independent of the
+//!   memory traffic being timed, but it does wobble with scheduling noise
+//!   (modelled by the SoC noise model's timer factor).
+
+use crate::wavefront::WorkGroupShape;
+use soc_sim::clock::Time;
+
+/// The software counter timer running inside one work-group.
+#[derive(Debug, Clone)]
+pub struct CounterTimer {
+    shape: WorkGroupShape,
+    /// Mean counter increments per nanosecond.
+    rate_ticks_per_ns: f64,
+    /// Local GPU time at which the counter was (re)started.
+    started_at: Time,
+}
+
+impl CounterTimer {
+    /// Builds a timer for a work-group of the given shape, on a device whose
+    /// SLM atomic latency is `slm_atomic_latency`.
+    ///
+    /// The increment rate model: each counter thread retires one atomic every
+    /// `slm_atomic_latency * wavefront_width` (the EU interleaves the other
+    /// lanes of its wavefront and the atomics to a single SLM word partially
+    /// serialise), so the aggregate rate grows linearly with the number of
+    /// counter threads.
+    pub fn new(shape: WorkGroupShape, slm_atomic_latency: Time) -> Self {
+        let per_thread_period_ns =
+            slm_atomic_latency.as_ns_f64() * shape.wavefront_width as f64;
+        let rate = shape.counter_threads() as f64 / per_thread_period_ns;
+        CounterTimer {
+            shape,
+            rate_ticks_per_ns: rate,
+            started_at: Time::ZERO,
+        }
+    }
+
+    /// The work-group shape driving this timer.
+    pub fn shape(&self) -> &WorkGroupShape {
+        &self.shape
+    }
+
+    /// Mean counter increments per nanosecond.
+    pub fn rate_ticks_per_ns(&self) -> f64 {
+        self.rate_ticks_per_ns
+    }
+
+    /// Timer resolution: nanoseconds represented by a single counter tick.
+    pub fn resolution_ns(&self) -> f64 {
+        1.0 / self.rate_ticks_per_ns
+    }
+
+    /// Restarts the counter at local time `now` (models re-zeroing the SLM
+    /// word between measurements).
+    pub fn restart(&mut self, now: Time) {
+        self.started_at = now;
+    }
+
+    /// Reads the counter at local time `now`, applying a multiplicative rate
+    /// `noise_factor` (1.0 = nominal; sample it from
+    /// [`soc_sim::system::Soc::timer_noise_factor`]).
+    pub fn read(&self, now: Time, noise_factor: f64) -> u64 {
+        let elapsed_ns = now.saturating_sub(self.started_at).as_ns_f64();
+        (elapsed_ns * self.rate_ticks_per_ns * noise_factor).round() as u64
+    }
+
+    /// Converts an elapsed-tick count back to nanoseconds (nominal rate).
+    pub fn ticks_to_ns(&self, ticks: u64) -> f64 {
+        ticks as f64 / self.rate_ticks_per_ns
+    }
+
+    /// Number of ticks a duration of `duration` would nominally produce.
+    pub fn ticks_for(&self, duration: Time, noise_factor: f64) -> u64 {
+        (duration.as_ns_f64() * self.rate_ticks_per_ns * noise_factor).round() as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::topology::GpuTopology;
+
+    fn paper_timer() -> CounterTimer {
+        let shape = WorkGroupShape::paper_default(&GpuTopology::gen9_gt2());
+        CounterTimer::new(shape, Time::from_ns(18))
+    }
+
+    #[test]
+    fn paper_timer_resolution_is_a_few_ns() {
+        let t = paper_timer();
+        // 224 counter threads / (18 ns * 32) ~ 0.39 ticks/ns -> ~2.6 ns/tick.
+        assert!(t.rate_ticks_per_ns() > 0.3 && t.rate_ticks_per_ns() < 0.5);
+        assert!(t.resolution_ns() > 2.0 && t.resolution_ns() < 3.5);
+    }
+
+    #[test]
+    fn fewer_counter_threads_give_coarser_resolution() {
+        // A 64-thread work-group leaves only 32 counter threads (one
+        // wavefront) — the configuration the paper found inadequate.
+        let small = CounterTimer::new(WorkGroupShape::new(64, 32, 16), Time::from_ns(18));
+        let large = paper_timer();
+        assert!(small.resolution_ns() > large.resolution_ns() * 5.0);
+        // With ~18 ns per tick, a 90 ns L3 hit and a 200 ns LLC hit differ by
+        // only ~6 ticks — hard to separate once noise is added.
+        assert!(small.resolution_ns() > 15.0);
+    }
+
+    #[test]
+    fn read_grows_linearly_with_elapsed_time() {
+        let mut t = paper_timer();
+        t.restart(Time::from_us(1));
+        let a = t.read(Time::from_us(1) + Time::from_ns(100), 1.0);
+        let b = t.read(Time::from_us(1) + Time::from_ns(200), 1.0);
+        assert!(b > a);
+        assert!((b as f64 / a as f64 - 2.0).abs() < 0.1);
+        // Reading before the start returns zero.
+        assert_eq!(t.read(Time::ZERO, 1.0), 0);
+    }
+
+    #[test]
+    fn ticks_roundtrip_through_ns() {
+        let t = paper_timer();
+        let ticks = t.ticks_for(Time::from_ns(250), 1.0);
+        let ns = t.ticks_to_ns(ticks);
+        assert!((ns - 250.0).abs() < t.resolution_ns());
+    }
+
+    #[test]
+    fn noise_factor_scales_reading() {
+        let t = paper_timer();
+        let nominal = t.ticks_for(Time::from_us(1), 1.0);
+        let fast = t.ticks_for(Time::from_us(1), 1.1);
+        let slow = t.ticks_for(Time::from_us(1), 0.9);
+        assert!(fast > nominal && nominal > slow);
+    }
+}

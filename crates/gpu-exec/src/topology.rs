@@ -1,0 +1,114 @@
+//! iGPU compute topology: EUs, subslices and slices.
+//!
+//! On Gen9 a *subslice* groups 8 execution units (EUs) and owns a thread
+//! dispatcher, a sampler and a port into the L3; three subslices make a
+//! *slice*, which adds the L3/SLM complex (Figure 2 of the paper). Work-groups
+//! are dispatched to subslices round-robin, which is why the paper can pin its
+//! single attack work-group to one subslice and its SLM.
+
+/// Execution unit identifier within a subslice.
+pub type EuId = usize;
+
+/// Static description of the GPU compute topology.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GpuTopology {
+    /// Number of slices.
+    pub slices: usize,
+    /// Subslices per slice.
+    pub subslices_per_slice: usize,
+    /// EUs per subslice.
+    pub eus_per_subslice: usize,
+    /// Hardware threads per EU.
+    pub threads_per_eu: usize,
+    /// SIMD width of a wavefront for the attack kernel (the paper's kernels
+    /// compile to SIMD-32).
+    pub wavefront_width: usize,
+    /// Maximum work-group size (256 on Gen9 for the paper's kernel).
+    pub max_workgroup_size: usize,
+}
+
+impl GpuTopology {
+    /// Gen9 GT2 (HD Graphics 630, the paper's part): 1 slice, 3 subslices,
+    /// 8 EUs each, 7 threads per EU, SIMD-32 wavefronts, 256-thread
+    /// work-groups.
+    pub fn gen9_gt2() -> Self {
+        GpuTopology {
+            slices: 1,
+            subslices_per_slice: 3,
+            eus_per_subslice: 8,
+            threads_per_eu: 7,
+            wavefront_width: 32,
+            max_workgroup_size: 256,
+        }
+    }
+
+    /// Total number of subslices.
+    pub fn subslice_count(&self) -> usize {
+        self.slices * self.subslices_per_slice
+    }
+
+    /// Total number of EUs.
+    pub fn eu_count(&self) -> usize {
+        self.subslice_count() * self.eus_per_subslice
+    }
+
+    /// Total number of hardware threads.
+    pub fn hardware_thread_count(&self) -> usize {
+        self.eu_count() * self.threads_per_eu
+    }
+
+    /// Number of wavefronts a work-group of `size` threads occupies.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `size` is zero or exceeds [`GpuTopology::max_workgroup_size`].
+    pub fn wavefronts_per_workgroup(&self, size: usize) -> usize {
+        assert!(size > 0, "work-group size must be non-zero");
+        assert!(
+            size <= self.max_workgroup_size,
+            "work-group size {size} exceeds the device maximum {}",
+            self.max_workgroup_size
+        );
+        size.div_ceil(self.wavefront_width)
+    }
+}
+
+impl Default for GpuTopology {
+    fn default() -> Self {
+        Self::gen9_gt2()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gen9_gt2_has_24_eus() {
+        let t = GpuTopology::gen9_gt2();
+        assert_eq!(t.subslice_count(), 3);
+        assert_eq!(t.eu_count(), 24);
+        assert_eq!(t.hardware_thread_count(), 168);
+    }
+
+    #[test]
+    fn wavefront_counting_rounds_up() {
+        let t = GpuTopology::gen9_gt2();
+        assert_eq!(t.wavefronts_per_workgroup(32), 1);
+        assert_eq!(t.wavefronts_per_workgroup(33), 2);
+        assert_eq!(t.wavefronts_per_workgroup(256), 8);
+        assert_eq!(t.wavefronts_per_workgroup(1), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds the device maximum")]
+    fn oversized_workgroup_panics() {
+        GpuTopology::gen9_gt2().wavefronts_per_workgroup(257);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-zero")]
+    fn zero_workgroup_panics() {
+        GpuTopology::gen9_gt2().wavefronts_per_workgroup(0);
+    }
+}

@@ -1,0 +1,183 @@
+//! Wavefront (SIMD thread group) modelling.
+//!
+//! Threads of a work-group execute in SIMD lock-step groups ("wavefronts",
+//! warps in NVIDIA terminology). Two properties matter for the attack:
+//!
+//! * **Branch divergence serialises execution** within a wavefront, so the
+//!   paper starts its counter threads at a wavefront boundary: the timing
+//!   threads (IDs 0–15) and the counter threads (IDs ≥ 32) must not share a
+//!   wavefront or the counter would stall while the timed loads execute
+//!   (Section III-B).
+//! * Thread IDs map to wavefronts contiguously: wavefront `k` holds threads
+//!   `[k * W, (k + 1) * W)`.
+
+use crate::topology::GpuTopology;
+use std::ops::Range;
+
+/// The role a thread plays in the paper's attack kernel (Algorithm 1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ThreadRole {
+    /// Threads 0..16: perform the timed memory accesses (one per LLC way).
+    Access,
+    /// Threads in the first wavefront but above the access group: idle
+    /// (they only exist to pad the wavefront).
+    Idle,
+    /// Threads from the second wavefront onwards: increment the SLM counter.
+    Counter,
+}
+
+/// Partition of a work-group into wavefronts and roles.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WorkGroupShape {
+    /// Total threads in the work-group.
+    pub size: usize,
+    /// Wavefront width.
+    pub wavefront_width: usize,
+    /// Number of access (attack) threads.
+    pub access_threads: usize,
+}
+
+impl WorkGroupShape {
+    /// The paper's configuration: 256-thread work-group, SIMD-32 wavefronts,
+    /// 16 access threads (one per LLC way) and 224 counter threads.
+    pub fn paper_default(topology: &GpuTopology) -> Self {
+        WorkGroupShape {
+            size: topology.max_workgroup_size,
+            wavefront_width: topology.wavefront_width,
+            access_threads: 16,
+        }
+    }
+
+    /// Creates a shape, validating the constraints the attack relies on.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the access threads do not fit in the first wavefront, or if
+    /// the work-group has fewer than two wavefronts (no room for counters).
+    pub fn new(size: usize, wavefront_width: usize, access_threads: usize) -> Self {
+        assert!(
+            access_threads <= wavefront_width,
+            "access threads must fit in the first wavefront"
+        );
+        assert!(
+            size >= 2 * wavefront_width,
+            "need at least two wavefronts: one for access, one for counters"
+        );
+        WorkGroupShape {
+            size,
+            wavefront_width,
+            access_threads,
+        }
+    }
+
+    /// Number of wavefronts.
+    pub fn wavefront_count(&self) -> usize {
+        self.size.div_ceil(self.wavefront_width)
+    }
+
+    /// Thread-ID range of wavefront `k`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k` is out of range.
+    pub fn wavefront_threads(&self, k: usize) -> Range<usize> {
+        assert!(k < self.wavefront_count(), "wavefront index out of range");
+        let start = k * self.wavefront_width;
+        start..(start + self.wavefront_width).min(self.size)
+    }
+
+    /// Number of counter threads (all threads from the second wavefront on).
+    pub fn counter_threads(&self) -> usize {
+        self.size - self.wavefront_width
+    }
+
+    /// Role of the thread with the given local ID.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `thread_id >= size`.
+    pub fn role_of(&self, thread_id: usize) -> ThreadRole {
+        assert!(thread_id < self.size, "thread id out of range");
+        if thread_id < self.access_threads {
+            ThreadRole::Access
+        } else if thread_id < self.wavefront_width {
+            ThreadRole::Idle
+        } else {
+            ThreadRole::Counter
+        }
+    }
+
+    /// Returns `true` when the access threads and the counter threads never
+    /// share a wavefront — the divergence-safety property the timer needs.
+    pub fn counter_is_divergence_safe(&self) -> bool {
+        // Counter threads start exactly at the second wavefront boundary.
+        self.access_threads <= self.wavefront_width
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn paper_shape() -> WorkGroupShape {
+        WorkGroupShape::paper_default(&GpuTopology::gen9_gt2())
+    }
+
+    #[test]
+    fn paper_shape_matches_section_iii_b() {
+        let s = paper_shape();
+        assert_eq!(s.size, 256);
+        assert_eq!(s.access_threads, 16);
+        assert_eq!(s.counter_threads(), 224);
+        assert_eq!(s.wavefront_count(), 8);
+        assert!(s.counter_is_divergence_safe());
+    }
+
+    #[test]
+    fn roles_follow_thread_ids() {
+        let s = paper_shape();
+        assert_eq!(s.role_of(0), ThreadRole::Access);
+        assert_eq!(s.role_of(15), ThreadRole::Access);
+        assert_eq!(s.role_of(16), ThreadRole::Idle);
+        assert_eq!(s.role_of(31), ThreadRole::Idle);
+        assert_eq!(s.role_of(32), ThreadRole::Counter);
+        assert_eq!(s.role_of(255), ThreadRole::Counter);
+    }
+
+    #[test]
+    fn wavefront_ranges_tile_the_workgroup() {
+        let s = paper_shape();
+        let mut covered = 0;
+        for k in 0..s.wavefront_count() {
+            let r = s.wavefront_threads(k);
+            assert_eq!(r.len(), 32);
+            covered += r.len();
+        }
+        assert_eq!(covered, 256);
+        assert_eq!(s.wavefront_threads(1), 32..64);
+    }
+
+    #[test]
+    #[should_panic(expected = "fit in the first wavefront")]
+    fn too_many_access_threads_panics() {
+        WorkGroupShape::new(256, 32, 33);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two wavefronts")]
+    fn single_wavefront_workgroup_panics() {
+        WorkGroupShape::new(32, 32, 16);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn wavefront_index_out_of_range_panics() {
+        paper_shape().wavefront_threads(8);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn thread_id_out_of_range_panics() {
+        paper_shape().role_of(256);
+    }
+}

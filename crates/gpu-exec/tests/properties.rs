@@ -1,0 +1,62 @@
+//! Property-based tests of the GPU execution model.
+
+use gpu_exec::prelude::*;
+use proptest::prelude::*;
+use soc_sim::clock::Time;
+
+proptest! {
+    /// Round-robin dispatch balances work-groups across subslices: the
+    /// difference between the most and least loaded subslice is at most one.
+    #[test]
+    fn dispatch_is_balanced(workgroups in 1usize..64) {
+        let mut dispatcher = Dispatcher::new(GpuTopology::gen9_gt2());
+        dispatcher.dispatch(workgroups);
+        let occupancy = dispatcher.occupancy();
+        let max = occupancy.iter().copied().max().unwrap();
+        let min = occupancy.iter().copied().min().unwrap();
+        prop_assert!(max - min <= 1);
+        prop_assert_eq!(occupancy.iter().sum::<usize>(), workgroups);
+    }
+
+    /// Every thread of a valid work-group shape has exactly one role, and the
+    /// counter threads always start at a wavefront boundary.
+    #[test]
+    fn thread_roles_partition_the_workgroup(extra_wavefronts in 1usize..7, access in 1usize..=32) {
+        let size = 32 * (1 + extra_wavefronts);
+        let shape = WorkGroupShape::new(size, 32, access);
+        let mut counts = std::collections::HashMap::new();
+        for t in 0..size {
+            *counts.entry(shape.role_of(t)).or_insert(0usize) += 1;
+        }
+        prop_assert_eq!(counts.values().sum::<usize>(), size);
+        prop_assert_eq!(counts.get(&ThreadRole::Access).copied().unwrap_or(0), access);
+        prop_assert_eq!(shape.counter_threads(), size - 32);
+        prop_assert!(shape.counter_is_divergence_safe());
+    }
+
+    /// The custom timer's reading grows monotonically with elapsed time and
+    /// scales linearly with the nominal rate.
+    #[test]
+    fn timer_reading_is_monotone(a_ns in 0u64..1_000_000, b_ns in 0u64..1_000_000) {
+        let shape = WorkGroupShape::paper_default(&GpuTopology::gen9_gt2());
+        let timer = CounterTimer::new(shape, Time::from_ns(18));
+        let (lo, hi) = (a_ns.min(b_ns), a_ns.max(b_ns));
+        prop_assert!(timer.read(Time::from_ns(lo), 1.0) <= timer.read(Time::from_ns(hi), 1.0));
+        let ticks = timer.ticks_for(Time::from_ns(hi), 1.0);
+        let ns = timer.ticks_to_ns(ticks);
+        prop_assert!((ns - hi as f64).abs() <= timer.resolution_ns());
+    }
+
+    /// Effective parallelism is positive, never exceeds the total access
+    /// threads, and never decreases when more work-groups are launched.
+    #[test]
+    fn effective_parallelism_is_monotone_in_workgroups(workgroups in 1usize..12) {
+        let topology = GpuTopology::gen9_gt2();
+        let shape = WorkGroupShape::paper_default(&topology);
+        let less = GpuKernel::launch(topology, shape.clone(), workgroups).effective_parallelism();
+        let more = GpuKernel::launch(topology, shape.clone(), workgroups + 1).effective_parallelism();
+        prop_assert!(less >= 1);
+        prop_assert!(less <= shape.access_threads * workgroups);
+        prop_assert!(more >= less);
+    }
+}

@@ -1,0 +1,213 @@
+//! Physical and virtual address newtypes and cache-line arithmetic.
+//!
+//! The LLC of the simulated SoC is physically indexed, while attacker code
+//! works with virtual addresses, so both address kinds get their own newtype
+//! to keep the covert-channel code honest about which one it is handling
+//! ([`PhysAddr`] vs [`VirtAddr`]).
+
+use std::fmt;
+
+/// Size of a cache line in bytes, identical on every level of the hierarchy
+/// (CPU L1/L2, LLC, GPU L3).
+pub const CACHE_LINE_SIZE: u64 = 64;
+
+/// Number of low address bits that select the byte within a cache line.
+pub const CACHE_LINE_BITS: u32 = 6;
+
+/// Size of a small (4 KiB) page.
+pub const SMALL_PAGE_SIZE: u64 = 4 * 1024;
+
+/// Size of a huge (1 GiB) page, as used by the slice-hash reverse engineering
+/// in the paper (Section III-C).
+pub const HUGE_PAGE_SIZE: u64 = 1024 * 1024 * 1024;
+
+/// A physical address in the simulated machine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct PhysAddr(pub u64);
+
+/// A virtual address inside one process address space.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct VirtAddr(pub u64);
+
+macro_rules! addr_common {
+    ($ty:ident) => {
+        impl $ty {
+            /// Creates an address from a raw integer value.
+            pub const fn new(value: u64) -> Self {
+                Self(value)
+            }
+
+            /// Returns the raw integer value of the address.
+            pub const fn value(self) -> u64 {
+                self.0
+            }
+
+            /// Returns the address of the first byte of the containing cache
+            /// line.
+            pub const fn line_base(self) -> Self {
+                Self(self.0 & !(CACHE_LINE_SIZE - 1))
+            }
+
+            /// Returns the byte offset within the containing cache line.
+            pub const fn line_offset(self) -> u64 {
+                self.0 & (CACHE_LINE_SIZE - 1)
+            }
+
+            /// Returns the cache-line number (address divided by the line
+            /// size).
+            pub const fn line_number(self) -> u64 {
+                self.0 >> CACHE_LINE_BITS
+            }
+
+            /// Returns the address advanced by `bytes`.
+            pub const fn add(self, bytes: u64) -> Self {
+                Self(self.0 + bytes)
+            }
+
+            /// Extracts the given bit (0 = least significant) as 0 or 1.
+            pub const fn bit(self, index: u32) -> u64 {
+                (self.0 >> index) & 1
+            }
+
+            /// Extracts the inclusive-exclusive bit range `[lo, hi)`.
+            pub const fn bits(self, lo: u32, hi: u32) -> u64 {
+                debug_assert!(lo < hi && hi <= 64);
+                let width = hi - lo;
+                if width == 64 {
+                    self.0 >> lo
+                } else {
+                    (self.0 >> lo) & ((1u64 << width) - 1)
+                }
+            }
+
+            /// Returns `true` when the address is aligned to `align` bytes
+            /// (`align` must be a power of two).
+            pub const fn is_aligned(self, align: u64) -> bool {
+                debug_assert!(align.is_power_of_two());
+                self.0 & (align - 1) == 0
+            }
+
+            /// Rounds the address down to a multiple of `align` bytes
+            /// (`align` must be a power of two).
+            pub const fn align_down(self, align: u64) -> Self {
+                debug_assert!(align.is_power_of_two());
+                Self(self.0 & !(align - 1))
+            }
+
+            /// Rounds the address up to a multiple of `align` bytes
+            /// (`align` must be a power of two).
+            pub const fn align_up(self, align: u64) -> Self {
+                debug_assert!(align.is_power_of_two());
+                Self((self.0 + align - 1) & !(align - 1))
+            }
+        }
+
+        impl fmt::Display for $ty {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, "{}({:#x})", stringify!($ty), self.0)
+            }
+        }
+
+        impl fmt::LowerHex for $ty {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                fmt::LowerHex::fmt(&self.0, f)
+            }
+        }
+
+        impl From<u64> for $ty {
+            fn from(value: u64) -> Self {
+                Self(value)
+            }
+        }
+
+        impl From<$ty> for u64 {
+            fn from(value: $ty) -> u64 {
+                value.0
+            }
+        }
+    };
+}
+
+addr_common!(PhysAddr);
+addr_common!(VirtAddr);
+
+impl VirtAddr {
+    /// Returns the 4 KiB virtual page number.
+    pub const fn small_page_number(self) -> u64 {
+        self.0 / SMALL_PAGE_SIZE
+    }
+
+    /// Returns the offset within the 4 KiB page.
+    pub const fn small_page_offset(self) -> u64 {
+        self.0 % SMALL_PAGE_SIZE
+    }
+}
+
+impl PhysAddr {
+    /// Returns the 4 KiB physical frame number.
+    pub const fn frame_number(self) -> u64 {
+        self.0 / SMALL_PAGE_SIZE
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn line_base_masks_low_bits() {
+        let a = PhysAddr::new(0x1234_5678);
+        assert_eq!(a.line_base().value(), 0x1234_5640);
+        assert_eq!(a.line_offset(), 0x38);
+    }
+
+    #[test]
+    fn line_number_is_shifted_address() {
+        let a = PhysAddr::new(0x40);
+        assert_eq!(a.line_number(), 1);
+        assert_eq!(PhysAddr::new(0x7f).line_number(), 1);
+        assert_eq!(PhysAddr::new(0x80).line_number(), 2);
+    }
+
+    #[test]
+    fn bit_and_bits_extraction() {
+        let a = PhysAddr::new(0b1011_0100);
+        assert_eq!(a.bit(2), 1);
+        assert_eq!(a.bit(3), 0);
+        assert_eq!(a.bits(2, 6), 0b1101);
+        assert_eq!(a.bits(0, 64), 0b1011_0100);
+    }
+
+    #[test]
+    fn alignment_helpers() {
+        let a = VirtAddr::new(0x1001);
+        assert!(!a.is_aligned(0x1000));
+        assert_eq!(a.align_down(0x1000).value(), 0x1000);
+        assert_eq!(a.align_up(0x1000).value(), 0x2000);
+        assert!(VirtAddr::new(0x2000).is_aligned(0x1000));
+        assert_eq!(VirtAddr::new(0x2000).align_up(0x1000).value(), 0x2000);
+    }
+
+    #[test]
+    fn page_numbers() {
+        let v = VirtAddr::new(3 * SMALL_PAGE_SIZE + 17);
+        assert_eq!(v.small_page_number(), 3);
+        assert_eq!(v.small_page_offset(), 17);
+        assert_eq!(PhysAddr::new(5 * SMALL_PAGE_SIZE).frame_number(), 5);
+    }
+
+    #[test]
+    fn conversions_roundtrip() {
+        let raw = 0xdead_beef_u64;
+        let p: PhysAddr = raw.into();
+        let back: u64 = p.into();
+        assert_eq!(back, raw);
+        assert_eq!(format!("{:x}", p), "deadbeef");
+    }
+
+    #[test]
+    fn display_is_never_empty() {
+        assert!(!format!("{}", PhysAddr::new(0)).is_empty());
+        assert!(!format!("{}", VirtAddr::new(0)).is_empty());
+    }
+}

@@ -1,0 +1,278 @@
+//! Simulated time and clock domains.
+//!
+//! The CPU (4.2 GHz) and the integrated GPU (1.1 GHz) of the modelled Kaby
+//! Lake part run in different clock domains; the 4:1 frequency disparity is
+//! one of the central challenges the paper solves (Section III-E, "Optimization
+//! around heterogeneous components"). All shared structures therefore operate
+//! on a global [`Time`] expressed in picoseconds, and each agent converts
+//! between its own cycles and global time through a [`ClockDomain`].
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Sub};
+
+/// A point in (or duration of) simulated time, in picoseconds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Time(pub u64);
+
+impl Time {
+    /// Time zero.
+    pub const ZERO: Time = Time(0);
+
+    /// Creates a time value from picoseconds.
+    pub const fn from_ps(ps: u64) -> Self {
+        Time(ps)
+    }
+
+    /// Creates a time value from nanoseconds.
+    pub const fn from_ns(ns: u64) -> Self {
+        Time(ns * 1_000)
+    }
+
+    /// Creates a time value from microseconds.
+    pub const fn from_us(us: u64) -> Self {
+        Time(us * 1_000_000)
+    }
+
+    /// Returns the value in picoseconds.
+    pub const fn as_ps(self) -> u64 {
+        self.0
+    }
+
+    /// Returns the value in (truncated) nanoseconds.
+    pub const fn as_ns(self) -> u64 {
+        self.0 / 1_000
+    }
+
+    /// Returns the value as fractional nanoseconds.
+    pub fn as_ns_f64(self) -> f64 {
+        self.0 as f64 / 1_000.0
+    }
+
+    /// Returns the value as fractional microseconds.
+    pub fn as_us_f64(self) -> f64 {
+        self.0 as f64 / 1_000_000.0
+    }
+
+    /// Returns the value as fractional seconds.
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1e12
+    }
+
+    /// Saturating subtraction.
+    pub const fn saturating_sub(self, other: Time) -> Time {
+        Time(self.0.saturating_sub(other.0))
+    }
+
+    /// Returns the later of two times.
+    pub fn max(self, other: Time) -> Time {
+        Time(self.0.max(other.0))
+    }
+
+    /// Returns the earlier of two times.
+    pub fn min(self, other: Time) -> Time {
+        Time(self.0.min(other.0))
+    }
+}
+
+impl Add for Time {
+    type Output = Time;
+
+    fn add(self, rhs: Time) -> Time {
+        Time(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for Time {
+    fn add_assign(&mut self, rhs: Time) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for Time {
+    type Output = Time;
+
+    fn sub(self, rhs: Time) -> Time {
+        Time(self.0 - rhs.0)
+    }
+}
+
+impl fmt::Display for Time {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.0 >= 1_000_000 {
+            write!(f, "{:.3} us", self.as_us_f64())
+        } else if self.0 >= 1_000 {
+            write!(f, "{:.3} ns", self.as_ns_f64())
+        } else {
+            write!(f, "{} ps", self.0)
+        }
+    }
+}
+
+/// A fixed-frequency clock domain.
+///
+/// # Examples
+///
+/// ```
+/// use soc_sim::clock::{ClockDomain, Time};
+///
+/// let cpu = ClockDomain::from_ghz("cpu", 4.2);
+/// let one_hundred_cycles = cpu.cycles_to_time(100);
+/// assert_eq!(cpu.time_to_cycles(one_hundred_cycles), 100);
+/// assert!(one_hundred_cycles < Time::from_ns(24));
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClockDomain {
+    name: String,
+    picos_per_cycle: f64,
+}
+
+impl ClockDomain {
+    /// Creates a clock domain from a frequency in GHz.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ghz` is not strictly positive and finite.
+    pub fn from_ghz(name: &str, ghz: f64) -> Self {
+        assert!(ghz.is_finite() && ghz > 0.0, "frequency must be positive");
+        ClockDomain {
+            name: name.to_string(),
+            picos_per_cycle: 1_000.0 / ghz,
+        }
+    }
+
+    /// Creates a clock domain from a frequency in MHz.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `mhz` is not strictly positive and finite.
+    pub fn from_mhz(name: &str, mhz: f64) -> Self {
+        Self::from_ghz(name, mhz / 1_000.0)
+    }
+
+    /// Returns the clock domain name (e.g. `"cpu"`).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Returns the frequency in GHz.
+    pub fn frequency_ghz(&self) -> f64 {
+        1_000.0 / self.picos_per_cycle
+    }
+
+    /// Returns the duration of one cycle in picoseconds (fractional).
+    pub fn picos_per_cycle(&self) -> f64 {
+        self.picos_per_cycle
+    }
+
+    /// Converts a cycle count into global time (rounded to the nearest
+    /// picosecond).
+    pub fn cycles_to_time(&self, cycles: u64) -> Time {
+        Time((cycles as f64 * self.picos_per_cycle).round() as u64)
+    }
+
+    /// Converts a global duration into whole cycles of this domain
+    /// (rounded to the nearest cycle).
+    pub fn time_to_cycles(&self, time: Time) -> u64 {
+        (time.as_ps() as f64 / self.picos_per_cycle).round() as u64
+    }
+}
+
+/// The three clock domains of the modelled SoC.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SocClocks {
+    /// CPU core clock (default 4.2 GHz, i7-7700k turbo).
+    pub cpu: ClockDomain,
+    /// GPU clock (default 1.1 GHz, Gen9 HD Graphics).
+    pub gpu: ClockDomain,
+    /// Ring interconnect / LLC clock (default equal to the CPU clock).
+    pub ring: ClockDomain,
+}
+
+impl SocClocks {
+    /// Clock configuration of the paper's Kaby Lake i7-7700k test machine.
+    pub fn kaby_lake() -> Self {
+        SocClocks {
+            cpu: ClockDomain::from_ghz("cpu", 4.2),
+            gpu: ClockDomain::from_ghz("gpu", 1.1),
+            ring: ClockDomain::from_ghz("ring", 4.2),
+        }
+    }
+
+    /// Ratio of CPU to GPU frequency (~3.8 on the default configuration).
+    pub fn frequency_disparity(&self) -> f64 {
+        self.cpu.frequency_ghz() / self.gpu.frequency_ghz()
+    }
+}
+
+impl Default for SocClocks {
+    fn default() -> Self {
+        Self::kaby_lake()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn time_constructors_and_accessors() {
+        assert_eq!(Time::from_ns(3).as_ps(), 3_000);
+        assert_eq!(Time::from_us(2).as_ns(), 2_000);
+        assert_eq!(Time::from_ps(1500).as_ns(), 1);
+        assert!((Time::from_ps(1500).as_ns_f64() - 1.5).abs() < 1e-9);
+        assert!((Time::from_us(1).as_secs_f64() - 1e-6).abs() < 1e-15);
+    }
+
+    #[test]
+    fn time_arithmetic() {
+        let a = Time::from_ns(5);
+        let b = Time::from_ns(3);
+        assert_eq!(a + b, Time::from_ns(8));
+        assert_eq!(a - b, Time::from_ns(2));
+        assert_eq!(b.saturating_sub(a), Time::ZERO);
+        assert_eq!(a.max(b), a);
+        assert_eq!(a.min(b), b);
+        let mut c = a;
+        c += b;
+        assert_eq!(c, Time::from_ns(8));
+    }
+
+    #[test]
+    fn time_display_scales_units() {
+        assert_eq!(format!("{}", Time::from_ps(500)), "500 ps");
+        assert!(format!("{}", Time::from_ns(500)).contains("ns"));
+        assert!(format!("{}", Time::from_us(5)).contains("us"));
+    }
+
+    #[test]
+    fn clock_domain_roundtrip() {
+        let gpu = ClockDomain::from_ghz("gpu", 1.1);
+        for cycles in [1, 10, 1_000, 123_456] {
+            let t = gpu.cycles_to_time(cycles);
+            let back = gpu.time_to_cycles(t);
+            assert!((back as i64 - cycles as i64).abs() <= 1, "{back} vs {cycles}");
+        }
+    }
+
+    #[test]
+    fn clock_domain_from_mhz() {
+        let d = ClockDomain::from_mhz("x", 1100.0);
+        assert!((d.frequency_ghz() - 1.1).abs() < 1e-9);
+        assert_eq!(d.name(), "x");
+    }
+
+    #[test]
+    #[should_panic(expected = "frequency must be positive")]
+    fn zero_frequency_panics() {
+        let _ = ClockDomain::from_ghz("bad", 0.0);
+    }
+
+    #[test]
+    fn kaby_lake_disparity_is_about_four() {
+        let clocks = SocClocks::kaby_lake();
+        let disparity = clocks.frequency_disparity();
+        assert!(disparity > 3.5 && disparity < 4.0, "disparity {disparity}");
+        // A CPU cycle is shorter than a GPU cycle.
+        assert!(clocks.cpu.picos_per_cycle() < clocks.gpu.picos_per_cycle());
+    }
+}

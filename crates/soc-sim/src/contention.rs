@@ -1,0 +1,241 @@
+//! Occupancy-based contention model for time-multiplexed shared resources.
+//!
+//! The second covert channel of the paper does not rely on shared *state* at
+//! all: it only needs a bandwidth-limited structure (the ring interconnect and
+//! the LLC ports) whose use by one component measurably slows down the other
+//! (Section IV). [`ContentionResource`] captures exactly that: a resource with
+//! a per-transaction service time that can serve one transaction at a time, so
+//! overlapping requests queue and observe extra latency.
+
+use crate::clock::Time;
+
+/// A single-server shared resource with deterministic service time.
+#[derive(Debug, Clone)]
+pub struct ContentionResource {
+    name: String,
+    busy_until: Time,
+    transactions: u64,
+    contended_transactions: u64,
+    total_queue_delay: Time,
+    total_busy: Time,
+}
+
+impl ContentionResource {
+    /// Creates an idle resource with the given diagnostic name.
+    pub fn new(name: &str) -> Self {
+        ContentionResource {
+            name: name.to_string(),
+            busy_until: Time::ZERO,
+            transactions: 0,
+            contended_transactions: 0,
+            total_queue_delay: Time::ZERO,
+            total_busy: Time::ZERO,
+        }
+    }
+
+    /// Resource name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Submits a transaction arriving at `now` that occupies the resource for
+    /// `service`. Returns the queuing delay experienced (zero when the
+    /// resource was idle), i.e. the extra latency caused purely by contention.
+    pub fn acquire(&mut self, now: Time, service: Time) -> Time {
+        let start = self.busy_until.max(now);
+        let queue_delay = start - now;
+        self.busy_until = start + service;
+        self.transactions += 1;
+        if queue_delay > Time::ZERO {
+            self.contended_transactions += 1;
+        }
+        self.total_queue_delay += queue_delay;
+        self.total_busy += service;
+        queue_delay
+    }
+
+    /// Instant at which the resource becomes idle again.
+    pub fn busy_until(&self) -> Time {
+        self.busy_until
+    }
+
+    /// Total number of transactions served.
+    pub fn transactions(&self) -> u64 {
+        self.transactions
+    }
+
+    /// Number of transactions that experienced a non-zero queuing delay.
+    pub fn contended_transactions(&self) -> u64 {
+        self.contended_transactions
+    }
+
+    /// Sum of all queuing delays.
+    pub fn total_queue_delay(&self) -> Time {
+        self.total_queue_delay
+    }
+
+    /// Average queuing delay per transaction, in picoseconds.
+    pub fn mean_queue_delay_ps(&self) -> f64 {
+        if self.transactions == 0 {
+            0.0
+        } else {
+            self.total_queue_delay.as_ps() as f64 / self.transactions as f64
+        }
+    }
+
+    /// Fraction of transactions that queued behind another requester.
+    pub fn contention_ratio(&self) -> f64 {
+        if self.transactions == 0 {
+            0.0
+        } else {
+            self.contended_transactions as f64 / self.transactions as f64
+        }
+    }
+
+    /// Clears statistics (the busy horizon is preserved).
+    pub fn reset_stats(&mut self) {
+        self.transactions = 0;
+        self.contended_transactions = 0;
+        self.total_queue_delay = Time::ZERO;
+        self.total_busy = Time::ZERO;
+    }
+}
+
+/// The bidirectional ring interconnect connecting the CPU cores, the GPU and
+/// the LLC slices.
+///
+/// Transfers are modelled as: a fixed hop latency plus occupancy of the shared
+/// ring for `ceil(bytes / width)` ring cycles. When the CPU and the GPU stream
+/// requests concurrently their transactions interleave on the ring and each
+/// side observes queuing delay — the physical effect behind the contention
+/// covert channel.
+#[derive(Debug, Clone)]
+pub struct RingBus {
+    resource: ContentionResource,
+    /// Ring data width in bytes per ring cycle (32 B on the modelled SoC).
+    width_bytes: u64,
+    /// Duration of one ring cycle.
+    cycle: Time,
+    /// Fixed hop/arbitration latency added to every transfer.
+    hop_latency: Time,
+}
+
+impl RingBus {
+    /// Creates a ring bus.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width_bytes` is zero.
+    pub fn new(width_bytes: u64, cycle: Time, hop_latency: Time) -> Self {
+        assert!(width_bytes > 0, "ring width must be non-zero");
+        RingBus {
+            resource: ContentionResource::new("ring"),
+            width_bytes,
+            cycle,
+            hop_latency,
+        }
+    }
+
+    /// Ring configuration of the modelled Kaby Lake SoC: 32 B wide,
+    /// one ring cycle per 32 B flit at 4.2 GHz (238 ps), ~2 ns hop latency.
+    pub fn kaby_lake() -> Self {
+        RingBus::new(32, Time::from_ps(238), Time::from_ps(2_000))
+    }
+
+    /// Transfers `bytes` over the ring starting at `now`; returns the total
+    /// latency contribution of the ring (hop + queuing + serialization).
+    pub fn transfer(&mut self, now: Time, bytes: u64) -> Time {
+        let flits = bytes.div_ceil(self.width_bytes).max(1);
+        let service = Time::from_ps(flits * self.cycle.as_ps());
+        let queue_delay = self.resource.acquire(now, service);
+        self.hop_latency + queue_delay + service
+    }
+
+    /// Access to the underlying contention statistics.
+    pub fn resource(&self) -> &ContentionResource {
+        &self.resource
+    }
+
+    /// Clears contention statistics.
+    pub fn reset_stats(&mut self) {
+        self.resource.reset_stats();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn idle_resource_has_no_queue_delay() {
+        let mut r = ContentionResource::new("port");
+        let d = r.acquire(Time::from_ns(10), Time::from_ns(2));
+        assert_eq!(d, Time::ZERO);
+        assert_eq!(r.busy_until(), Time::from_ns(12));
+        assert_eq!(r.transactions(), 1);
+        assert_eq!(r.contended_transactions(), 0);
+    }
+
+    #[test]
+    fn overlapping_requests_queue() {
+        let mut r = ContentionResource::new("port");
+        r.acquire(Time::from_ns(10), Time::from_ns(5));
+        // Second request arrives while the first is still being served.
+        let d = r.acquire(Time::from_ns(12), Time::from_ns(5));
+        assert_eq!(d, Time::from_ns(3));
+        assert_eq!(r.busy_until(), Time::from_ns(20));
+        assert_eq!(r.contended_transactions(), 1);
+        assert!(r.contention_ratio() > 0.49);
+        assert!(r.mean_queue_delay_ps() > 0.0);
+    }
+
+    #[test]
+    fn requests_after_idle_gap_do_not_queue() {
+        let mut r = ContentionResource::new("port");
+        r.acquire(Time::from_ns(0), Time::from_ns(1));
+        let d = r.acquire(Time::from_ns(100), Time::from_ns(1));
+        assert_eq!(d, Time::ZERO);
+    }
+
+    #[test]
+    fn reset_stats_preserves_busy_horizon() {
+        let mut r = ContentionResource::new("port");
+        r.acquire(Time::from_ns(0), Time::from_ns(50));
+        r.reset_stats();
+        assert_eq!(r.transactions(), 0);
+        assert_eq!(r.total_queue_delay(), Time::ZERO);
+        assert_eq!(r.busy_until(), Time::from_ns(50));
+    }
+
+    #[test]
+    fn ring_transfer_latency_scales_with_size() {
+        let mut ring = RingBus::new(32, Time::from_ps(250), Time::from_ps(1_000));
+        let small = ring.transfer(Time::ZERO, 32);
+        let large = ring.transfer(Time::from_us(1), 128);
+        assert_eq!(small, Time::from_ps(1_250));
+        // 4 flits of 250 ps + 1 ns hop.
+        assert_eq!(large, Time::from_ps(2_000));
+    }
+
+    #[test]
+    fn ring_contention_adds_latency_for_second_requester() {
+        let mut ring = RingBus::kaby_lake();
+        // Uncontended baseline.
+        let solo = ring.transfer(Time::from_us(100), 64);
+        // Now two back-to-back transfers at the same instant: the second queues.
+        let t = Time::from_us(200);
+        let first = ring.transfer(t, 64);
+        let second = ring.transfer(t, 64);
+        assert_eq!(first, solo);
+        assert!(second > first, "contended transfer must be slower");
+        assert!(ring.resource().contended_transactions() >= 1);
+        ring.reset_stats();
+        assert_eq!(ring.resource().transactions(), 0);
+    }
+
+    #[test]
+    fn zero_byte_transfer_still_occupies_one_flit() {
+        let mut ring = RingBus::new(32, Time::from_ps(250), Time::ZERO);
+        assert_eq!(ring.transfer(Time::ZERO, 0), Time::from_ps(250));
+    }
+}

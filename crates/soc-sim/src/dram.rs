@@ -1,0 +1,110 @@
+//! System memory (DRAM + memory controller) latency model.
+//!
+//! LLC misses from either component are serviced by the same memory
+//! controller, so DRAM is modelled as a base access latency plus a shared
+//! channel with a per-transaction service time — another (weaker) contention
+//! domain shared between CPU and GPU.
+
+use crate::clock::Time;
+use crate::contention::ContentionResource;
+
+/// DRAM / memory-controller model.
+#[derive(Debug, Clone)]
+pub struct Dram {
+    base_latency: Time,
+    channel_service: Time,
+    channel: ContentionResource,
+    accesses: u64,
+}
+
+impl Dram {
+    /// Creates a DRAM model with the given base access latency and per-access
+    /// channel occupancy.
+    pub fn new(base_latency: Time, channel_service: Time) -> Self {
+        Dram {
+            base_latency,
+            channel_service,
+            channel: ContentionResource::new("dram-channel"),
+            accesses: 0,
+        }
+    }
+
+    /// Dual-channel DDR4-2400-class defaults: ~60 ns base latency, ~3.3 ns of
+    /// channel occupancy per 64 B line.
+    pub fn ddr4_default() -> Self {
+        Dram::new(Time::from_ns(60), Time::from_ps(3_300))
+    }
+
+    /// Performs one line-sized access starting at `now`; returns its latency.
+    pub fn access(&mut self, now: Time) -> Time {
+        self.accesses += 1;
+        let queue = self.channel.acquire(now, self.channel_service);
+        self.base_latency + queue + self.channel_service
+    }
+
+    /// Base (uncontended, unqueued) access latency.
+    pub fn base_latency(&self) -> Time {
+        self.base_latency
+    }
+
+    /// Total number of accesses served.
+    pub fn accesses(&self) -> u64 {
+        self.accesses
+    }
+
+    /// Contention statistics for the memory channel.
+    pub fn channel(&self) -> &ContentionResource {
+        &self.channel
+    }
+
+    /// Clears access and contention statistics.
+    pub fn reset_stats(&mut self) {
+        self.accesses = 0;
+        self.channel.reset_stats();
+    }
+}
+
+impl Default for Dram {
+    fn default() -> Self {
+        Self::ddr4_default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uncontended_access_is_base_plus_service() {
+        let mut d = Dram::new(Time::from_ns(60), Time::from_ns(3));
+        let lat = d.access(Time::from_us(5));
+        assert_eq!(lat, Time::from_ns(63));
+        assert_eq!(d.accesses(), 1);
+    }
+
+    #[test]
+    fn concurrent_accesses_queue_on_the_channel() {
+        let mut d = Dram::new(Time::from_ns(60), Time::from_ns(3));
+        let t = Time::from_us(1);
+        let first = d.access(t);
+        let second = d.access(t);
+        assert!(second > first);
+        assert_eq!(second - first, Time::from_ns(3));
+    }
+
+    #[test]
+    fn default_is_ddr4_class() {
+        let d = Dram::default();
+        assert!(d.base_latency() >= Time::from_ns(40));
+        assert!(d.base_latency() <= Time::from_ns(100));
+    }
+
+    #[test]
+    fn reset_stats_clears_counters() {
+        let mut d = Dram::default();
+        d.access(Time::ZERO);
+        d.reset_stats();
+        assert_eq!(d.accesses(), 0);
+        assert_eq!(d.channel().transactions(), 0);
+    }
+}

@@ -1,0 +1,71 @@
+//! # soc-sim — a timing simulator of an integrated CPU–GPU system-on-chip
+//!
+//! This crate is the hardware substrate for the reproduction of *Leaky
+//! Buddies: Cross-Component Covert Channels on Integrated CPU-GPU Systems*
+//! (ISCA 2021). The paper measures its covert channels on a real Intel Kaby
+//! Lake i7-7700k with Gen9 HD Graphics; this crate models the parts of that
+//! SoC the attacks depend on:
+//!
+//! * a physically indexed, **sliced LLC** shared by CPU and GPU, with the
+//!   complex XOR slice hash the paper reverse-engineers (Equations 1 and 2),
+//!   inclusive of the CPU caches but not of the GPU L3;
+//! * the **GPU L3** with its bank/sub-bank geometry, 16-bit placement
+//!   function and tree-pLRU replacement;
+//! * per-subslice **shared local memory** on a separate data path (the basis
+//!   of the custom GPU timer);
+//! * the **ring interconnect** and **LLC ports**, modelled as shared
+//!   resources with queuing so simultaneous CPU and GPU traffic produces the
+//!   measurable contention the second covert channel exploits;
+//! * **asymmetric clock domains** (4.2 GHz CPU vs 1.1 GHz GPU);
+//! * process **address spaces** with 4 KiB / 1 GiB pages, shared virtual
+//!   memory and zero-copy buffers.
+//!
+//! # Quick example
+//!
+//! ```
+//! use soc_sim::prelude::*;
+//!
+//! let mut soc = Soc::new(SocConfig::kaby_lake_noiseless());
+//! let mut process = soc.create_process();
+//! let buffer = soc.alloc(&mut process, 4096, PageKind::Small)?;
+//! let pa = process.translate(buffer.base).expect("just mapped");
+//!
+//! // Cold access goes to DRAM, the next one hits in the core's L1.
+//! let cold = soc.cpu_access(0, pa, Time::ZERO);
+//! let warm = soc.cpu_access(0, pa, cold.latency);
+//! assert_eq!(cold.level, HitLevel::Dram);
+//! assert_eq!(warm.level, HitLevel::CpuL1);
+//! # Ok::<(), soc_sim::page_table::MapError>(())
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod address;
+pub mod clock;
+pub mod contention;
+pub mod dram;
+pub mod gpu_l3;
+pub mod llc;
+pub mod noise;
+pub mod page_table;
+pub mod replacement;
+pub mod set_assoc;
+pub mod slice_hash;
+pub mod slm;
+pub mod stats;
+pub mod system;
+
+/// Commonly used items, re-exported for convenience.
+pub mod prelude {
+    pub use crate::address::{PhysAddr, VirtAddr, CACHE_LINE_SIZE};
+    pub use crate::clock::{ClockDomain, SocClocks, Time};
+    pub use crate::gpu_l3::GpuL3Config;
+    pub use crate::llc::{LlcConfig, LlcSetId};
+    pub use crate::noise::NoiseConfig;
+    pub use crate::page_table::{AddressSpace, MappedBuffer, PageKind};
+    pub use crate::slice_hash::SliceHash;
+    pub use crate::system::{AccessOutcome, HitLevel, LatencyConfig, ParallelOutcome, Requester, Soc, SocConfig};
+}
+
+pub use prelude::*;

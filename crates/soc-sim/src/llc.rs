@@ -1,0 +1,375 @@
+//! The shared, sliced last-level cache (LLC).
+//!
+//! On the modelled part the LLC is 8 MB, 16-way set associative with 64 B
+//! lines, split into four 2 MB slices of 2048 sets each. A physical address
+//! selects a slice through the complex XOR hash of [`crate::slice_hash`] and a
+//! set within the slice through low-order line-number bits. The LLC is
+//! *inclusive* of the CPU-side caches (evicting a line here back-invalidates
+//! L1/L2) but *not* inclusive of the GPU L3 — the asymmetry at the heart of
+//! the paper's Section III-D.
+
+use crate::address::{PhysAddr, CACHE_LINE_SIZE};
+use crate::clock::Time;
+use crate::contention::ContentionResource;
+use crate::replacement::ReplacementPolicy;
+use crate::set_assoc::{CacheGeometry, FillOutcome, Indexing, SetAssocCache};
+use crate::slice_hash::SliceHash;
+use rand::rngs::SmallRng;
+use std::fmt;
+
+/// Identifies one set of the LLC: a slice plus a set index within the slice.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct LlcSetId {
+    /// Slice index (0-based).
+    pub slice: usize,
+    /// Set index within the slice.
+    pub set: usize,
+}
+
+impl fmt::Display for LlcSetId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "slice {} set {}", self.slice, self.set)
+    }
+}
+
+/// Static LLC configuration.
+#[derive(Debug, Clone)]
+pub struct LlcConfig {
+    /// Number of sets per slice (2048 on the modelled part).
+    pub sets_per_slice: usize,
+    /// Associativity (16 on the modelled part).
+    pub ways: usize,
+    /// Replacement policy (true LRU).
+    pub policy: ReplacementPolicy,
+    /// Slice-selection hash.
+    pub hash: SliceHash,
+    /// Per-slice port service time (one request at a time per slice port).
+    pub port_service: Time,
+}
+
+impl LlcConfig {
+    /// LLC of the Kaby Lake i7-7700k: 8 MB, 4 slices x 2048 sets x 16 ways.
+    pub fn kaby_lake_i7_7700k() -> Self {
+        LlcConfig {
+            sets_per_slice: 2048,
+            ways: 16,
+            policy: ReplacementPolicy::Lru,
+            hash: SliceHash::kaby_lake_i7_7700k(),
+            port_service: Time::from_ps(1_000),
+        }
+    }
+
+    /// A scaled-down LLC (fewer sets/slices) for fast unit tests.
+    pub fn tiny_for_tests() -> Self {
+        LlcConfig {
+            sets_per_slice: 64,
+            ways: 4,
+            policy: ReplacementPolicy::Lru,
+            hash: SliceHash::low_order(6, 1),
+            port_service: Time::from_ps(1_000),
+        }
+    }
+
+    /// Number of slices implied by the hash.
+    pub fn slices(&self) -> usize {
+        self.hash.slice_count()
+    }
+
+    /// Total capacity in bytes.
+    pub fn capacity_bytes(&self) -> u64 {
+        self.slices() as u64 * self.sets_per_slice as u64 * self.ways as u64 * CACHE_LINE_SIZE
+    }
+}
+
+/// The sliced last-level cache.
+#[derive(Debug, Clone)]
+pub struct Llc {
+    config: LlcConfig,
+    slices: Vec<SetAssocCache>,
+    ports: Vec<ContentionResource>,
+}
+
+impl Llc {
+    /// Creates an empty LLC.
+    pub fn new(config: LlcConfig) -> Self {
+        let geometry = CacheGeometry {
+            sets: config.sets_per_slice,
+            ways: config.ways,
+            policy: config.policy,
+            indexing: Indexing::LowOrder,
+        };
+        let slices = (0..config.slices()).map(|_| SetAssocCache::new(geometry)).collect();
+        let ports = (0..config.slices())
+            .map(|i| ContentionResource::new(&format!("llc-port-{i}")))
+            .collect();
+        Llc {
+            config,
+            slices,
+            ports,
+        }
+    }
+
+    /// Returns the LLC configuration.
+    pub fn config(&self) -> &LlcConfig {
+        &self.config
+    }
+
+    /// Number of slices.
+    pub fn slice_count(&self) -> usize {
+        self.slices.len()
+    }
+
+    /// Maps a physical address to its LLC set.
+    pub fn set_of(&self, addr: PhysAddr) -> LlcSetId {
+        let slice = self.config.hash.slice_of(addr);
+        let set = self.slices[slice].set_index(addr);
+        LlcSetId { slice, set }
+    }
+
+    /// Returns `true` when the line containing `addr` is resident.
+    pub fn contains(&self, addr: PhysAddr) -> bool {
+        let slice = self.config.hash.slice_of(addr);
+        self.slices[slice].contains(addr)
+    }
+
+    /// Looks up `addr` (updating LRU state); returns `true` on hit.
+    pub fn access(&mut self, addr: PhysAddr) -> bool {
+        let slice = self.config.hash.slice_of(addr);
+        self.slices[slice].access(addr)
+    }
+
+    /// Fills the line containing `addr`, returning any evicted line.
+    /// The caller is responsible for back-invalidating inclusive upper levels.
+    pub fn fill(&mut self, addr: PhysAddr, rng: &mut SmallRng) -> FillOutcome {
+        let slice = self.config.hash.slice_of(addr);
+        self.slices[slice].fill(addr, rng)
+    }
+
+    /// Fills the line containing `addr`, allocating only into ways
+    /// `[lo, hi)` — the allocation rule under way partitioning (the paper's
+    /// Section VI mitigation). Lookups are unaffected by partitioning.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the way range is empty or exceeds the associativity.
+    pub fn fill_within(
+        &mut self,
+        addr: PhysAddr,
+        rng: &mut SmallRng,
+        lo: usize,
+        hi: usize,
+    ) -> FillOutcome {
+        let slice = self.config.hash.slice_of(addr);
+        self.slices[slice].fill_within(addr, rng, lo, hi)
+    }
+
+    /// Invalidates the line containing `addr` (e.g. for `clflush`).
+    /// Returns `true` if it was present.
+    pub fn invalidate(&mut self, addr: PhysAddr) -> bool {
+        let slice = self.config.hash.slice_of(addr);
+        self.slices[slice].invalidate(addr)
+    }
+
+    /// Evicts one random resident line from the set containing `addr`
+    /// (ambient-noise injection). Returns the evicted line, if the set was
+    /// non-empty.
+    pub fn evict_random_from_set(&mut self, addr: PhysAddr, rng: &mut SmallRng) -> Option<PhysAddr> {
+        use rand::Rng;
+        let id = self.set_of(addr);
+        let resident = self.slices[id.slice].resident_lines(id.set);
+        if resident.is_empty() {
+            return None;
+        }
+        let victim = resident[rng.gen_range(0..resident.len())];
+        self.slices[id.slice].invalidate(victim);
+        Some(victim)
+    }
+
+    /// Lines currently resident in an LLC set.
+    pub fn resident_lines(&self, id: LlcSetId) -> Vec<PhysAddr> {
+        self.slices[id.slice].resident_lines(id.set)
+    }
+
+    /// Acquires the slice port for `addr` at `now`; returns the queuing delay
+    /// caused by port contention.
+    pub fn acquire_port(&mut self, addr: PhysAddr, now: Time) -> Time {
+        let slice = self.config.hash.slice_of(addr);
+        let service = self.config.port_service;
+        self.ports[slice].acquire(now, service)
+    }
+
+    /// Per-slice port contention statistics.
+    pub fn port(&self, slice: usize) -> &ContentionResource {
+        &self.ports[slice]
+    }
+
+    /// Aggregate (hits, misses, evictions) across all slices.
+    pub fn stats(&self) -> (u64, u64, u64) {
+        self.slices.iter().map(|s| s.stats()).fold((0, 0, 0), |acc, s| {
+            (acc.0 + s.0, acc.1 + s.1, acc.2 + s.2)
+        })
+    }
+
+    /// Clears hit/miss statistics and port statistics.
+    pub fn reset_stats(&mut self) {
+        for s in &mut self.slices {
+            s.reset_stats();
+        }
+        for p in &mut self.ports {
+            p.reset_stats();
+        }
+    }
+
+    /// Invalidates every line in every slice.
+    pub fn invalidate_all(&mut self) {
+        for s in &mut self.slices {
+            s.invalidate_all();
+        }
+    }
+
+    /// Total number of valid lines.
+    pub fn occupancy(&self) -> usize {
+        self.slices.iter().map(|s| s.occupancy()).sum()
+    }
+
+    /// Enumerates `count` line-aligned physical addresses that all map to the
+    /// given LLC set, scanning upward from `start`. This is the simulator-side
+    /// ground truth the reverse-engineering code is validated against.
+    pub fn enumerate_set_addresses(&self, id: LlcSetId, start: PhysAddr, count: usize) -> Vec<PhysAddr> {
+        let mut out = Vec::with_capacity(count);
+        let mut addr = start.line_base();
+        while out.len() < count {
+            if self.set_of(addr) == id {
+                out.push(addr);
+            }
+            addr = addr.add(CACHE_LINE_SIZE);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng() -> SmallRng {
+        SmallRng::seed_from_u64(42)
+    }
+
+    #[test]
+    fn kaby_lake_capacity_is_8mb() {
+        let cfg = LlcConfig::kaby_lake_i7_7700k();
+        assert_eq!(cfg.slices(), 4);
+        assert_eq!(cfg.capacity_bytes(), 8 * 1024 * 1024);
+    }
+
+    #[test]
+    fn set_of_uses_hash_and_low_order_bits() {
+        let llc = Llc::new(LlcConfig::kaby_lake_i7_7700k());
+        let a = PhysAddr::new(0x12345 * 64);
+        let id = llc.set_of(a);
+        assert!(id.slice < 4);
+        assert!(id.set < 2048);
+        // Same line -> same set.
+        assert_eq!(llc.set_of(a.add(63)), id);
+        assert_eq!(format!("{id}"), format!("slice {} set {}", id.slice, id.set));
+    }
+
+    #[test]
+    fn fill_then_access_hits() {
+        let mut llc = Llc::new(LlcConfig::tiny_for_tests());
+        let mut rng = rng();
+        let a = PhysAddr::new(0x4000);
+        assert!(!llc.access(a));
+        llc.fill(a, &mut rng);
+        assert!(llc.access(a));
+        assert!(llc.contains(a));
+        let (h, m, _) = llc.stats();
+        assert_eq!((h, m), (1, 1));
+    }
+
+    #[test]
+    fn filling_ways_plus_one_conflicting_lines_evicts() {
+        let cfg = LlcConfig::tiny_for_tests();
+        let ways = cfg.ways;
+        let mut llc = Llc::new(cfg);
+        let mut rng = rng();
+        let base = PhysAddr::new(0);
+        let target_set = llc.set_of(base);
+        let addrs = llc.enumerate_set_addresses(target_set, base, ways + 1);
+        for &a in &addrs {
+            llc.fill(a, &mut rng);
+        }
+        // The first-filled line must have been evicted by LRU.
+        assert!(!llc.contains(addrs[0]));
+        assert!(llc.contains(addrs[ways]));
+        assert_eq!(llc.resident_lines(target_set).len(), ways);
+    }
+
+    #[test]
+    fn invalidate_removes_and_reports() {
+        let mut llc = Llc::new(LlcConfig::tiny_for_tests());
+        let mut rng = rng();
+        let a = PhysAddr::new(0x8000);
+        llc.fill(a, &mut rng);
+        assert!(llc.invalidate(a));
+        assert!(!llc.contains(a));
+        assert!(!llc.invalidate(a));
+    }
+
+    #[test]
+    fn evict_random_from_set_picks_a_resident_line() {
+        let mut llc = Llc::new(LlcConfig::tiny_for_tests());
+        let mut rng = rng();
+        let a = PhysAddr::new(0x0);
+        assert!(llc.evict_random_from_set(a, &mut rng).is_none());
+        llc.fill(a, &mut rng);
+        let evicted = llc.evict_random_from_set(a, &mut rng);
+        assert_eq!(evicted, Some(a.line_base()));
+        assert_eq!(llc.occupancy(), 0);
+    }
+
+    #[test]
+    fn port_contention_is_per_slice() {
+        let mut llc = Llc::new(LlcConfig::kaby_lake_i7_7700k());
+        // Find two addresses in different slices.
+        let a = PhysAddr::new(0);
+        let mut b = PhysAddr::new(64);
+        while llc.set_of(b).slice == llc.set_of(a).slice {
+            b = b.add(64);
+        }
+        let t = Time::from_us(1);
+        assert_eq!(llc.acquire_port(a, t), Time::ZERO);
+        // Same slice again at the same time: queues.
+        assert!(llc.acquire_port(a, t) > Time::ZERO);
+        // Different slice: independent port, no queuing.
+        assert_eq!(llc.acquire_port(b, t), Time::ZERO);
+        assert!(llc.port(llc.set_of(a).slice).transactions() >= 2);
+    }
+
+    #[test]
+    fn enumerate_set_addresses_all_map_to_requested_set() {
+        let llc = Llc::new(LlcConfig::kaby_lake_i7_7700k());
+        let target = llc.set_of(PhysAddr::new(0x123456 * 64));
+        let addrs = llc.enumerate_set_addresses(target, PhysAddr::new(0), 32);
+        assert_eq!(addrs.len(), 32);
+        for a in addrs {
+            assert_eq!(llc.set_of(a), target);
+        }
+    }
+
+    #[test]
+    fn invalidate_all_and_reset_stats() {
+        let mut llc = Llc::new(LlcConfig::tiny_for_tests());
+        let mut rng = rng();
+        for i in 0..100u64 {
+            llc.fill(PhysAddr::new(i * 64), &mut rng);
+        }
+        assert!(llc.occupancy() > 0);
+        llc.invalidate_all();
+        llc.reset_stats();
+        assert_eq!(llc.occupancy(), 0);
+        assert_eq!(llc.stats(), (0, 0, 0));
+    }
+}

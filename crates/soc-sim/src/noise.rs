@@ -1,0 +1,178 @@
+//! Measurement noise and ambient system activity.
+//!
+//! The paper's channels are evaluated on a "generally quiet" but unmodified
+//! system, and still see 0.8–9 % bit error depending on configuration. The
+//! noise model reproduces the three dominant sources of error:
+//!
+//! 1. **Latency jitter** — run-to-run variation of an individual access
+//!    (DVFS transitions, TLB walks, prefetcher interference, …).
+//! 2. **Spurious evictions** — ambient traffic occasionally evicting one of
+//!    the attacker's primed LLC lines, turning a transmitted `0` into an
+//!    observed `1`.
+//! 3. **Timer noise** — the GPU custom timer is a software counter and its
+//!    increment rate wobbles with scheduling of the counter wavefronts.
+
+use crate::clock::Time;
+use rand::rngs::SmallRng;
+use rand::Rng;
+
+/// Tunable noise parameters.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NoiseConfig {
+    /// Standard deviation of the additive latency jitter, in picoseconds.
+    pub latency_jitter_ps: f64,
+    /// Probability that an LLC access is preceded by a spurious eviction of a
+    /// random line in the accessed set (ambient traffic).
+    pub spurious_eviction_prob: f64,
+    /// Relative standard deviation of the GPU custom-timer increment rate.
+    pub timer_rate_jitter: f64,
+}
+
+impl NoiseConfig {
+    /// The "generally quiet system" of the paper's experimental setup.
+    pub fn quiet_system() -> Self {
+        NoiseConfig {
+            latency_jitter_ps: 1_500.0,
+            spurious_eviction_prob: 0.0015,
+            timer_rate_jitter: 0.03,
+        }
+    }
+
+    /// A perfectly noiseless configuration (useful for unit tests).
+    pub fn none() -> Self {
+        NoiseConfig {
+            latency_jitter_ps: 0.0,
+            spurious_eviction_prob: 0.0,
+            timer_rate_jitter: 0.0,
+        }
+    }
+
+    /// A loaded system with significantly more ambient interference.
+    pub fn noisy_system() -> Self {
+        NoiseConfig {
+            latency_jitter_ps: 6_000.0,
+            spurious_eviction_prob: 0.02,
+            timer_rate_jitter: 0.10,
+        }
+    }
+}
+
+impl Default for NoiseConfig {
+    fn default() -> Self {
+        Self::quiet_system()
+    }
+}
+
+/// Runtime noise sampler.
+#[derive(Debug, Clone)]
+pub struct NoiseModel {
+    config: NoiseConfig,
+}
+
+impl NoiseModel {
+    /// Creates a sampler for the given configuration.
+    pub fn new(config: NoiseConfig) -> Self {
+        NoiseModel { config }
+    }
+
+    /// Returns the active configuration.
+    pub fn config(&self) -> &NoiseConfig {
+        &self.config
+    }
+
+    /// Samples a non-negative latency perturbation to add to an access.
+    pub fn latency_jitter(&self, rng: &mut SmallRng) -> Time {
+        if self.config.latency_jitter_ps <= 0.0 {
+            return Time::ZERO;
+        }
+        // Box-Muller transform; fold the Gaussian to keep latencies causal.
+        let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
+        let u2: f64 = rng.gen_range(0.0..1.0);
+        let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+        let ps = (z.abs() * self.config.latency_jitter_ps).round() as u64;
+        Time::from_ps(ps)
+    }
+
+    /// Returns `true` when ambient traffic evicts a line from the accessed
+    /// set before this access.
+    pub fn spurious_eviction(&self, rng: &mut SmallRng) -> bool {
+        self.config.spurious_eviction_prob > 0.0
+            && rng.gen_bool(self.config.spurious_eviction_prob.min(1.0))
+    }
+
+    /// Samples a multiplicative factor for the GPU custom-timer rate
+    /// (centred on 1.0).
+    pub fn timer_rate_factor(&self, rng: &mut SmallRng) -> f64 {
+        if self.config.timer_rate_jitter <= 0.0 {
+            return 1.0;
+        }
+        let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
+        let u2: f64 = rng.gen_range(0.0..1.0);
+        let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+        (1.0 + z * self.config.timer_rate_jitter).max(0.1)
+    }
+}
+
+impl Default for NoiseModel {
+    fn default() -> Self {
+        NoiseModel::new(NoiseConfig::default())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn noiseless_config_produces_no_noise() {
+        let m = NoiseModel::new(NoiseConfig::none());
+        let mut rng = SmallRng::seed_from_u64(1);
+        for _ in 0..100 {
+            assert_eq!(m.latency_jitter(&mut rng), Time::ZERO);
+            assert!(!m.spurious_eviction(&mut rng));
+            assert_eq!(m.timer_rate_factor(&mut rng), 1.0);
+        }
+    }
+
+    #[test]
+    fn jitter_is_bounded_and_nonzero_on_average() {
+        let m = NoiseModel::new(NoiseConfig::quiet_system());
+        let mut rng = SmallRng::seed_from_u64(2);
+        let samples: Vec<u64> = (0..2_000).map(|_| m.latency_jitter(&mut rng).as_ps()).collect();
+        let mean = samples.iter().sum::<u64>() as f64 / samples.len() as f64;
+        // Folded normal mean = sigma * sqrt(2/pi) ~ 0.8 * sigma.
+        assert!(mean > 500.0 && mean < 3_000.0, "mean jitter {mean}");
+        assert!(samples.iter().all(|&s| s < 20_000), "jitter unexpectedly large");
+    }
+
+    #[test]
+    fn spurious_eviction_rate_matches_config() {
+        let m = NoiseModel::new(NoiseConfig {
+            spurious_eviction_prob: 0.25,
+            ..NoiseConfig::none()
+        });
+        let mut rng = SmallRng::seed_from_u64(3);
+        let n = 20_000;
+        let count = (0..n).filter(|_| m.spurious_eviction(&mut rng)).count();
+        let rate = count as f64 / n as f64;
+        assert!((rate - 0.25).abs() < 0.02, "rate {rate}");
+    }
+
+    #[test]
+    fn timer_rate_factor_is_centred_on_one() {
+        let m = NoiseModel::new(NoiseConfig::quiet_system());
+        let mut rng = SmallRng::seed_from_u64(4);
+        let mean: f64 = (0..2_000).map(|_| m.timer_rate_factor(&mut rng)).sum::<f64>() / 2_000.0;
+        assert!((mean - 1.0).abs() < 0.02, "mean factor {mean}");
+    }
+
+    #[test]
+    fn presets_are_ordered_by_noise_level() {
+        let quiet = NoiseConfig::quiet_system();
+        let noisy = NoiseConfig::noisy_system();
+        assert!(noisy.latency_jitter_ps > quiet.latency_jitter_ps);
+        assert!(noisy.spurious_eviction_prob > quiet.spurious_eviction_prob);
+        assert_eq!(NoiseConfig::default(), quiet);
+    }
+}

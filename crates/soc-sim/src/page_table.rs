@@ -1,0 +1,378 @@
+//! Process address spaces, paging and shared virtual memory.
+//!
+//! The LLC is physically indexed, so the attacker must reason about physical
+//! addresses. The paper uses two OS/driver mechanisms:
+//!
+//! * **1 GiB huge pages** on the CPU side, which make the low 30 bits of the
+//!   virtual address equal to the low 30 bits of the physical address and
+//!   thereby expose the slice-hash inputs to user space (Section III-C);
+//! * **OpenCL Shared Virtual Memory (SVM) + zero-copy buffers**, which give
+//!   the GPU kernel the *same* virtual → physical mapping as the CPU process
+//!   that launched it, so eviction sets found on the CPU remain valid on the
+//!   GPU (Section III-C, "GPU LLC Conflict Sets").
+//!
+//! [`AddressSpace`] models one process; [`AddressSpace::share_with_gpu`]
+//! models SVM by handing the GPU the same translations.
+
+use crate::address::{PhysAddr, VirtAddr, HUGE_PAGE_SIZE, SMALL_PAGE_SIZE};
+use rand::rngs::SmallRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use std::collections::HashMap;
+use std::fmt;
+
+/// Page size used when mapping a buffer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PageKind {
+    /// 4 KiB pages with an unpredictable (randomised) physical layout — the
+    /// default for ordinary allocations.
+    Small,
+    /// 1 GiB huge pages: physically contiguous and 1 GiB-aligned, so the low
+    /// 30 bits of VA and PA coincide.
+    Huge,
+}
+
+impl PageKind {
+    /// Page size in bytes.
+    pub const fn size(self) -> u64 {
+        match self {
+            PageKind::Small => SMALL_PAGE_SIZE,
+            PageKind::Huge => HUGE_PAGE_SIZE,
+        }
+    }
+}
+
+/// Errors returned by address-space operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MapError {
+    /// The requested allocation size was zero.
+    EmptyAllocation,
+    /// Physical memory is exhausted.
+    OutOfPhysicalMemory,
+}
+
+impl fmt::Display for MapError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MapError::EmptyAllocation => write!(f, "allocation size must be non-zero"),
+            MapError::OutOfPhysicalMemory => write!(f, "out of simulated physical memory"),
+        }
+    }
+}
+
+impl std::error::Error for MapError {}
+
+/// A contiguous virtual allocation returned by [`AddressSpace::alloc`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MappedBuffer {
+    /// First virtual address of the buffer.
+    pub base: VirtAddr,
+    /// Size in bytes.
+    pub len: u64,
+    /// Page kind backing the buffer.
+    pub page_kind: PageKind,
+}
+
+impl MappedBuffer {
+    /// Virtual address at byte `offset` into the buffer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `offset >= len`.
+    pub fn at(&self, offset: u64) -> VirtAddr {
+        assert!(offset < self.len, "offset {offset} out of bounds (len {})", self.len);
+        self.base.add(offset)
+    }
+
+    /// Iterates over the virtual addresses of every cache line in the buffer.
+    pub fn lines(&self) -> impl Iterator<Item = VirtAddr> + '_ {
+        (0..self.len / crate::address::CACHE_LINE_SIZE).map(|i| self.base.add(i * crate::address::CACHE_LINE_SIZE))
+    }
+
+    /// Number of whole cache lines in the buffer.
+    pub fn line_count(&self) -> u64 {
+        self.len / crate::address::CACHE_LINE_SIZE
+    }
+}
+
+/// Allocates physical frames for the whole machine.
+#[derive(Debug, Clone)]
+pub struct PhysFrameAllocator {
+    /// Shuffled pool of free 4 KiB frame numbers.
+    free_small_frames: Vec<u64>,
+    /// Next free 1 GiB-aligned region (grows upward from above the small pool).
+    next_huge_base: u64,
+    total_bytes: u64,
+}
+
+impl PhysFrameAllocator {
+    /// Creates an allocator managing `total_bytes` of physical memory, with a
+    /// randomised small-frame pool (seeded for reproducibility).
+    pub fn new(total_bytes: u64, seed: u64) -> Self {
+        let small_pool_bytes = total_bytes / 2;
+        let frames = small_pool_bytes / SMALL_PAGE_SIZE;
+        let mut free_small_frames: Vec<u64> = (0..frames).collect();
+        let mut rng = SmallRng::seed_from_u64(seed);
+        free_small_frames.shuffle(&mut rng);
+        PhysFrameAllocator {
+            free_small_frames,
+            next_huge_base: small_pool_bytes.next_multiple_of(HUGE_PAGE_SIZE),
+            total_bytes,
+        }
+    }
+
+    /// 8 GiB machine, matching a typical desktop configuration.
+    pub fn default_8gib(seed: u64) -> Self {
+        PhysFrameAllocator::new(8 * 1024 * 1024 * 1024, seed)
+    }
+
+    /// Allocates one 4 KiB frame.
+    pub fn alloc_small(&mut self) -> Result<PhysAddr, MapError> {
+        self.free_small_frames
+            .pop()
+            .map(|f| PhysAddr::new(f * SMALL_PAGE_SIZE))
+            .ok_or(MapError::OutOfPhysicalMemory)
+    }
+
+    /// Allocates one 1 GiB-aligned huge region.
+    pub fn alloc_huge(&mut self) -> Result<PhysAddr, MapError> {
+        if self.next_huge_base + HUGE_PAGE_SIZE > self.total_bytes {
+            return Err(MapError::OutOfPhysicalMemory);
+        }
+        let base = self.next_huge_base;
+        self.next_huge_base += HUGE_PAGE_SIZE;
+        Ok(PhysAddr::new(base))
+    }
+
+    /// Total managed physical memory in bytes.
+    pub fn total_bytes(&self) -> u64 {
+        self.total_bytes
+    }
+}
+
+/// One process's virtual address space (page table).
+///
+/// When a process launches a GPU kernel with SVM/zero-copy buffers, the GPU
+/// uses *this same* address space — modelled by simply reusing the structure
+/// for GPU-side translations (see [`AddressSpace::share_with_gpu`]).
+#[derive(Debug, Clone)]
+pub struct AddressSpace {
+    /// Process identifier (diagnostic only).
+    pid: u32,
+    /// 4 KiB page mappings: virtual page number → physical frame base.
+    small_pages: HashMap<u64, PhysAddr>,
+    /// Huge page mappings: virtual huge-page number → physical region base.
+    huge_pages: HashMap<u64, PhysAddr>,
+    /// Next unused virtual address for small allocations.
+    next_small_va: u64,
+    /// Next unused virtual address for huge allocations.
+    next_huge_va: u64,
+    /// Whether the GPU currently shares this address space (SVM).
+    gpu_shared: bool,
+}
+
+impl AddressSpace {
+    /// Creates an empty address space for process `pid`.
+    pub fn new(pid: u32) -> Self {
+        AddressSpace {
+            pid,
+            small_pages: HashMap::new(),
+            huge_pages: HashMap::new(),
+            // Arbitrary, distinct VA arenas for the two page sizes.
+            next_small_va: 0x0000_5555_0000_0000,
+            next_huge_va: 0x0000_7f00_0000_0000,
+            gpu_shared: false,
+        }
+    }
+
+    /// Process id.
+    pub fn pid(&self) -> u32 {
+        self.pid
+    }
+
+    /// Allocates and maps a buffer of `len` bytes backed by `kind` pages.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MapError::EmptyAllocation`] for `len == 0` and
+    /// [`MapError::OutOfPhysicalMemory`] when the frame allocator is
+    /// exhausted.
+    pub fn alloc(
+        &mut self,
+        len: u64,
+        kind: PageKind,
+        frames: &mut PhysFrameAllocator,
+    ) -> Result<MappedBuffer, MapError> {
+        if len == 0 {
+            return Err(MapError::EmptyAllocation);
+        }
+        match kind {
+            PageKind::Small => {
+                let base = VirtAddr::new(self.next_small_va);
+                let pages = len.div_ceil(SMALL_PAGE_SIZE);
+                for i in 0..pages {
+                    let frame = frames.alloc_small()?;
+                    let vpn = (base.value() + i * SMALL_PAGE_SIZE) / SMALL_PAGE_SIZE;
+                    self.small_pages.insert(vpn, frame);
+                }
+                self.next_small_va += pages * SMALL_PAGE_SIZE;
+                Ok(MappedBuffer { base, len, page_kind: kind })
+            }
+            PageKind::Huge => {
+                let base = VirtAddr::new(self.next_huge_va);
+                let pages = len.div_ceil(HUGE_PAGE_SIZE);
+                for i in 0..pages {
+                    let region = frames.alloc_huge()?;
+                    let vhpn = (base.value() + i * HUGE_PAGE_SIZE) / HUGE_PAGE_SIZE;
+                    self.huge_pages.insert(vhpn, region);
+                }
+                self.next_huge_va += pages * HUGE_PAGE_SIZE;
+                Ok(MappedBuffer { base, len, page_kind: kind })
+            }
+        }
+    }
+
+    /// Translates a virtual address to its physical address, or `None` when
+    /// unmapped.
+    pub fn translate(&self, va: VirtAddr) -> Option<PhysAddr> {
+        let vhpn = va.value() / HUGE_PAGE_SIZE;
+        if let Some(region) = self.huge_pages.get(&vhpn) {
+            return Some(PhysAddr::new(region.value() + va.value() % HUGE_PAGE_SIZE));
+        }
+        let vpn = va.value() / SMALL_PAGE_SIZE;
+        self.small_pages
+            .get(&vpn)
+            .map(|frame| PhysAddr::new(frame.value() + va.value() % SMALL_PAGE_SIZE))
+    }
+
+    /// Marks the address space as shared with the GPU (OpenCL SVM). After
+    /// this call GPU-side translations go through the same page table, so any
+    /// eviction set expressed in virtual addresses is valid on both sides.
+    pub fn share_with_gpu(&mut self) {
+        self.gpu_shared = true;
+    }
+
+    /// Whether the GPU shares this address space.
+    pub fn is_gpu_shared(&self) -> bool {
+        self.gpu_shared
+    }
+
+    /// Number of mapped 4 KiB pages.
+    pub fn small_page_count(&self) -> usize {
+        self.small_pages.len()
+    }
+
+    /// Number of mapped 1 GiB pages.
+    pub fn huge_page_count(&self) -> usize {
+        self.huge_pages.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::address::CACHE_LINE_SIZE;
+
+    #[test]
+    fn small_alloc_translates_every_page() {
+        let mut frames = PhysFrameAllocator::default_8gib(1);
+        let mut asid = AddressSpace::new(100);
+        let buf = asid.alloc(10 * SMALL_PAGE_SIZE, PageKind::Small, &mut frames).unwrap();
+        assert_eq!(asid.small_page_count(), 10);
+        for i in 0..10 {
+            let va = buf.at(i * SMALL_PAGE_SIZE + 7);
+            let pa = asid.translate(va).expect("mapped");
+            assert_eq!(pa.value() % SMALL_PAGE_SIZE, 7, "page offset preserved");
+        }
+    }
+
+    #[test]
+    fn small_pages_are_not_physically_contiguous() {
+        let mut frames = PhysFrameAllocator::default_8gib(2);
+        let mut asid = AddressSpace::new(1);
+        let buf = asid.alloc(4 * SMALL_PAGE_SIZE, PageKind::Small, &mut frames).unwrap();
+        let pa: Vec<u64> = (0..4)
+            .map(|i| asid.translate(buf.at(i * SMALL_PAGE_SIZE)).unwrap().value())
+            .collect();
+        let contiguous = pa.windows(2).all(|w| w[1] == w[0] + SMALL_PAGE_SIZE);
+        assert!(!contiguous, "randomised frame pool should not be contiguous: {pa:?}");
+    }
+
+    #[test]
+    fn huge_page_preserves_low_30_bits() {
+        let mut frames = PhysFrameAllocator::default_8gib(3);
+        let mut asid = AddressSpace::new(1);
+        let buf = asid.alloc(HUGE_PAGE_SIZE, PageKind::Huge, &mut frames).unwrap();
+        for offset in [0u64, 64, 4096, 1 << 20, HUGE_PAGE_SIZE - 64] {
+            let va = buf.at(offset);
+            let pa = asid.translate(va).unwrap();
+            assert_eq!(pa.value() % HUGE_PAGE_SIZE, offset, "PA low bits must equal VA offset");
+            assert!(pa.is_aligned(1), "sanity");
+        }
+        assert_eq!(asid.huge_page_count(), 1);
+    }
+
+    #[test]
+    fn unmapped_address_translates_to_none() {
+        let asid = AddressSpace::new(1);
+        assert_eq!(asid.translate(VirtAddr::new(0x1234)), None);
+    }
+
+    #[test]
+    fn zero_length_alloc_is_an_error() {
+        let mut frames = PhysFrameAllocator::default_8gib(4);
+        let mut asid = AddressSpace::new(1);
+        let err = asid.alloc(0, PageKind::Small, &mut frames).unwrap_err();
+        assert_eq!(err, MapError::EmptyAllocation);
+        assert!(!format!("{err}").is_empty());
+    }
+
+    #[test]
+    fn huge_allocations_exhaust_physical_memory() {
+        let mut frames = PhysFrameAllocator::new(4 * HUGE_PAGE_SIZE, 5);
+        let mut asid = AddressSpace::new(1);
+        // Half the machine is reserved for the small pool, so only ~2 huge
+        // regions fit.
+        let mut allocated = 0;
+        loop {
+            match asid.alloc(HUGE_PAGE_SIZE, PageKind::Huge, &mut frames) {
+                Ok(_) => allocated += 1,
+                Err(MapError::OutOfPhysicalMemory) => break,
+                Err(e) => panic!("unexpected error {e}"),
+            }
+            assert!(allocated < 100, "allocator failed to report exhaustion");
+        }
+        assert!(allocated >= 1);
+    }
+
+    #[test]
+    fn svm_sharing_flag() {
+        let mut asid = AddressSpace::new(7);
+        assert!(!asid.is_gpu_shared());
+        asid.share_with_gpu();
+        assert!(asid.is_gpu_shared());
+        assert_eq!(asid.pid(), 7);
+    }
+
+    #[test]
+    fn buffer_lines_iterator_covers_whole_buffer() {
+        let mut frames = PhysFrameAllocator::default_8gib(6);
+        let mut asid = AddressSpace::new(1);
+        let buf = asid.alloc(SMALL_PAGE_SIZE, PageKind::Small, &mut frames).unwrap();
+        let lines: Vec<_> = buf.lines().collect();
+        assert_eq!(lines.len() as u64, SMALL_PAGE_SIZE / CACHE_LINE_SIZE);
+        assert_eq!(lines[0], buf.base);
+        assert_eq!(buf.line_count(), lines.len() as u64);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn buffer_at_out_of_bounds_panics() {
+        let buf = MappedBuffer {
+            base: VirtAddr::new(0x1000),
+            len: 64,
+            page_kind: PageKind::Small,
+        };
+        let _ = buf.at(64);
+    }
+}

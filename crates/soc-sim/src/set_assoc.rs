@@ -1,0 +1,397 @@
+//! Generic set-associative cache used as the building block for the CPU L1/L2
+//! caches, each LLC slice and each GPU L3 structure.
+//!
+//! The cache only tracks tags (line presence); data values never matter for a
+//! timing covert channel, so the simulator stores none.
+
+use crate::address::{PhysAddr, CACHE_LINE_BITS, CACHE_LINE_SIZE};
+use crate::replacement::{ReplacementPolicy, ReplacementState};
+use rand::rngs::SmallRng;
+
+/// How a physical address is mapped to a set index within one cache structure.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Indexing {
+    /// `set = (line_number) mod num_sets` — the classic low-order scheme used
+    /// by the CPU L1/L2 and within an LLC slice.
+    LowOrder,
+    /// `set = bits [lo, hi) of the address` — used by the GPU L3, where the
+    /// paper determines that 10 index bits (bits 6..16) select the
+    /// set/bank/sub-bank (Section III-D).
+    AddressBits {
+        /// First (lowest) address bit of the index field.
+        lo: u32,
+        /// One past the last address bit of the index field.
+        hi: u32,
+    },
+}
+
+/// Geometry and policy of a set-associative cache.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheGeometry {
+    /// Number of sets.
+    pub sets: usize,
+    /// Number of ways per set.
+    pub ways: usize,
+    /// Replacement policy.
+    pub policy: ReplacementPolicy,
+    /// Set-index mapping.
+    pub indexing: Indexing,
+}
+
+impl CacheGeometry {
+    /// Total capacity in bytes.
+    pub fn capacity_bytes(&self) -> u64 {
+        self.sets as u64 * self.ways as u64 * CACHE_LINE_SIZE
+    }
+}
+
+/// Result of inserting a line into the cache.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FillOutcome {
+    /// The line was already present (the fill degenerated to a touch).
+    AlreadyPresent,
+    /// The line was inserted into an empty way.
+    InsertedClean,
+    /// The line was inserted and `evicted` was displaced.
+    Evicted(PhysAddr),
+}
+
+impl FillOutcome {
+    /// Returns the evicted line, if any.
+    pub fn evicted(self) -> Option<PhysAddr> {
+        match self {
+            FillOutcome::Evicted(a) => Some(a),
+            _ => None,
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+struct CacheSet {
+    /// Tag (= line base address) stored in each way, `None` when invalid.
+    lines: Vec<Option<PhysAddr>>,
+    replacement: ReplacementState,
+}
+
+/// A set-associative, physically indexed, tag-only cache.
+#[derive(Debug, Clone)]
+pub struct SetAssocCache {
+    geometry: CacheGeometry,
+    sets: Vec<CacheSet>,
+    hits: u64,
+    misses: u64,
+    evictions: u64,
+}
+
+impl SetAssocCache {
+    /// Creates an empty cache with the given geometry.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the geometry has zero sets or zero ways.
+    pub fn new(geometry: CacheGeometry) -> Self {
+        assert!(geometry.sets > 0, "cache needs at least one set");
+        assert!(geometry.ways > 0, "cache needs at least one way");
+        let sets = (0..geometry.sets)
+            .map(|_| CacheSet {
+                lines: vec![None; geometry.ways],
+                replacement: geometry.policy.new_state(geometry.ways),
+            })
+            .collect();
+        SetAssocCache {
+            geometry,
+            sets,
+            hits: 0,
+            misses: 0,
+            evictions: 0,
+        }
+    }
+
+    /// Returns the cache geometry.
+    pub fn geometry(&self) -> &CacheGeometry {
+        &self.geometry
+    }
+
+    /// Computes the set index for a physical address.
+    pub fn set_index(&self, addr: PhysAddr) -> usize {
+        match self.geometry.indexing {
+            Indexing::LowOrder => (addr.line_number() as usize) % self.geometry.sets,
+            Indexing::AddressBits { lo, hi } => {
+                debug_assert!(lo >= CACHE_LINE_BITS, "index bits must be above the line offset");
+                (addr.bits(lo, hi) as usize) % self.geometry.sets
+            }
+        }
+    }
+
+    /// Returns `true` when the line containing `addr` is present.
+    pub fn contains(&self, addr: PhysAddr) -> bool {
+        let line = addr.line_base();
+        let set = &self.sets[self.set_index(line)];
+        set.lines.iter().any(|l| *l == Some(line))
+    }
+
+    /// Looks up `addr`, updating replacement state and hit statistics.
+    /// Returns `true` on a hit.
+    pub fn access(&mut self, addr: PhysAddr) -> bool {
+        let line = addr.line_base();
+        let idx = self.set_index(line);
+        let set = &mut self.sets[idx];
+        if let Some(way) = set.lines.iter().position(|l| *l == Some(line)) {
+            set.replacement.touch(way);
+            self.hits += 1;
+            true
+        } else {
+            self.misses += 1;
+            false
+        }
+    }
+
+    /// Inserts the line containing `addr`, evicting a victim if the set is
+    /// full. The caller provides the RNG used only by the random policy.
+    pub fn fill(&mut self, addr: PhysAddr, rng: &mut SmallRng) -> FillOutcome {
+        let ways = self.geometry.ways;
+        self.fill_within(addr, rng, 0, ways)
+    }
+
+    /// Inserts the line containing `addr`, but only ever allocates into ways
+    /// `[lo, hi)` of the set — the allocation rule of a way-partitioned cache.
+    /// Hits anywhere in the set still count (partitioning restricts placement,
+    /// not lookup).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo >= hi` or `hi` exceeds the associativity.
+    pub fn fill_within(
+        &mut self,
+        addr: PhysAddr,
+        rng: &mut SmallRng,
+        lo: usize,
+        hi: usize,
+    ) -> FillOutcome {
+        assert!(lo < hi && hi <= self.geometry.ways, "invalid way partition");
+        let line = addr.line_base();
+        let idx = self.set_index(line);
+        let set = &mut self.sets[idx];
+        if let Some(way) = set.lines.iter().position(|l| *l == Some(line)) {
+            set.replacement.touch(way);
+            return FillOutcome::AlreadyPresent;
+        }
+        if let Some(way) = (lo..hi).find(|&w| set.lines[w].is_none()) {
+            set.lines[way] = Some(line);
+            set.replacement.touch(way);
+            return FillOutcome::InsertedClean;
+        }
+        let way = set.replacement.victim_within(lo, hi, rng);
+        let evicted = set.lines[way].expect("full partition has no empty way");
+        set.lines[way] = Some(line);
+        set.replacement.touch(way);
+        self.evictions += 1;
+        FillOutcome::Evicted(evicted)
+    }
+
+    /// Invalidates the line containing `addr`. Returns `true` if it was
+    /// present.
+    pub fn invalidate(&mut self, addr: PhysAddr) -> bool {
+        let line = addr.line_base();
+        let idx = self.set_index(line);
+        let set = &mut self.sets[idx];
+        if let Some(way) = set.lines.iter().position(|l| *l == Some(line)) {
+            set.lines[way] = None;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Invalidates every line in the cache.
+    pub fn invalidate_all(&mut self) {
+        for set in &mut self.sets {
+            for line in &mut set.lines {
+                *line = None;
+            }
+        }
+    }
+
+    /// Returns the lines currently resident in set `index` (valid ways only).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= sets`.
+    pub fn resident_lines(&self, index: usize) -> Vec<PhysAddr> {
+        self.sets[index]
+            .lines
+            .iter()
+            .flatten()
+            .copied()
+            .collect()
+    }
+
+    /// Number of valid lines across the whole cache.
+    pub fn occupancy(&self) -> usize {
+        self.sets
+            .iter()
+            .map(|s| s.lines.iter().filter(|l| l.is_some()).count())
+            .sum()
+    }
+
+    /// (hits, misses, evictions) counters since construction.
+    pub fn stats(&self) -> (u64, u64, u64) {
+        (self.hits, self.misses, self.evictions)
+    }
+
+    /// Resets the hit/miss/eviction counters.
+    pub fn reset_stats(&mut self) {
+        self.hits = 0;
+        self.misses = 0;
+        self.evictions = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn small_cache(ways: usize, policy: ReplacementPolicy) -> SetAssocCache {
+        SetAssocCache::new(CacheGeometry {
+            sets: 4,
+            ways,
+            policy,
+            indexing: Indexing::LowOrder,
+        })
+    }
+
+    #[test]
+    fn capacity_matches_geometry() {
+        let g = CacheGeometry {
+            sets: 2048,
+            ways: 16,
+            policy: ReplacementPolicy::Lru,
+            indexing: Indexing::LowOrder,
+        };
+        assert_eq!(g.capacity_bytes(), 2 * 1024 * 1024);
+    }
+
+    #[test]
+    fn hit_after_fill() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        let mut c = small_cache(2, ReplacementPolicy::Lru);
+        let a = PhysAddr::new(0x1000);
+        assert!(!c.access(a));
+        c.fill(a, &mut rng);
+        assert!(c.access(a));
+        assert!(c.contains(PhysAddr::new(0x1004)), "same line, different byte");
+        let (hits, misses, _) = c.stats();
+        assert_eq!((hits, misses), (1, 1));
+    }
+
+    #[test]
+    fn lru_eviction_order() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        let mut c = small_cache(2, ReplacementPolicy::Lru);
+        // Three lines mapping to set 0 of a 4-set low-order cache: line numbers 0, 4, 8.
+        let a = PhysAddr::new(0);
+        let b = PhysAddr::new(4 * CACHE_LINE_SIZE);
+        let d = PhysAddr::new(8 * CACHE_LINE_SIZE);
+        assert_eq!(c.set_index(a), c.set_index(b));
+        assert_eq!(c.set_index(a), c.set_index(d));
+        c.fill(a, &mut rng);
+        c.fill(b, &mut rng);
+        // Touch `a` so `b` becomes LRU.
+        c.access(a);
+        let outcome = c.fill(d, &mut rng);
+        assert_eq!(outcome.evicted(), Some(b.line_base()));
+        assert!(c.contains(a) && c.contains(d) && !c.contains(b));
+    }
+
+    #[test]
+    fn fill_existing_line_is_not_an_eviction() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        let mut c = small_cache(2, ReplacementPolicy::Lru);
+        let a = PhysAddr::new(0x40);
+        assert_eq!(c.fill(a, &mut rng), FillOutcome::InsertedClean);
+        assert_eq!(c.fill(a, &mut rng), FillOutcome::AlreadyPresent);
+        assert_eq!(c.stats().2, 0);
+    }
+
+    #[test]
+    fn invalidate_removes_line() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        let mut c = small_cache(2, ReplacementPolicy::Lru);
+        let a = PhysAddr::new(0x80);
+        c.fill(a, &mut rng);
+        assert!(c.invalidate(a));
+        assert!(!c.contains(a));
+        assert!(!c.invalidate(a), "second invalidate is a no-op");
+    }
+
+    #[test]
+    fn invalidate_all_empties_cache() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        let mut c = small_cache(4, ReplacementPolicy::TreePlru);
+        for i in 0..32 {
+            c.fill(PhysAddr::new(i * CACHE_LINE_SIZE), &mut rng);
+        }
+        assert!(c.occupancy() > 0);
+        c.invalidate_all();
+        assert_eq!(c.occupancy(), 0);
+    }
+
+    #[test]
+    fn address_bits_indexing() {
+        // Index by bits [6, 8): 4 sets.
+        let mut c = SetAssocCache::new(CacheGeometry {
+            sets: 4,
+            ways: 1,
+            policy: ReplacementPolicy::Lru,
+            indexing: Indexing::AddressBits { lo: 6, hi: 8 },
+        });
+        assert_eq!(c.set_index(PhysAddr::new(0b00_000000)), 0);
+        assert_eq!(c.set_index(PhysAddr::new(0b01_000000)), 1);
+        assert_eq!(c.set_index(PhysAddr::new(0b10_000000)), 2);
+        assert_eq!(c.set_index(PhysAddr::new(0b11_000000)), 3);
+        // Bits above the field do not change the set.
+        assert_eq!(
+            c.set_index(PhysAddr::new(0x1000 + 0b01_000000)),
+            c.set_index(PhysAddr::new(0b01_000000))
+        );
+        let mut rng = SmallRng::seed_from_u64(3);
+        let a = PhysAddr::new(0b01_000000);
+        let b = PhysAddr::new(0x100 + 0b01_000000);
+        c.fill(a, &mut rng);
+        let out = c.fill(b, &mut rng);
+        assert_eq!(out.evicted(), Some(a), "single-way set conflict evicts");
+    }
+
+    #[test]
+    fn resident_lines_reports_set_contents() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        let mut c = small_cache(2, ReplacementPolicy::Lru);
+        let a = PhysAddr::new(0);
+        let b = PhysAddr::new(4 * CACHE_LINE_SIZE);
+        c.fill(a, &mut rng);
+        c.fill(b, &mut rng);
+        let mut resident = c.resident_lines(0);
+        resident.sort();
+        assert_eq!(resident, vec![a, b]);
+    }
+
+    #[test]
+    fn plru_full_set_eviction_never_evicts_mru() {
+        let mut rng = SmallRng::seed_from_u64(9);
+        let mut c = SetAssocCache::new(CacheGeometry {
+            sets: 1,
+            ways: 8,
+            policy: ReplacementPolicy::TreePlru,
+            indexing: Indexing::LowOrder,
+        });
+        for i in 0..8u64 {
+            c.fill(PhysAddr::new(i * CACHE_LINE_SIZE), &mut rng);
+        }
+        // Touch line 3, then insert a new line: line 3 must survive.
+        let kept = PhysAddr::new(3 * CACHE_LINE_SIZE);
+        c.access(kept);
+        c.fill(PhysAddr::new(100 * CACHE_LINE_SIZE), &mut rng);
+        assert!(c.contains(kept));
+    }
+}

@@ -1,0 +1,206 @@
+//! LLC slice-selection hash.
+//!
+//! The modelled 8 MB LLC is split into four 2 MB slices; a physical address is
+//! routed to a slice by a complex, undocumented XOR hash of its high bits.
+//! The paper reverse-engineers this hash on the Kaby Lake i7-7700k and reports
+//! it as Equations (1) and (2): each slice-select bit is the XOR (parity) of a
+//! fixed subset of physical address bits. [`SliceHash`] implements exactly
+//! that family of functions; [`SliceHash::kaby_lake_i7_7700k`] is the paper's
+//! instance, and arbitrary XOR-mask hashes can be built for testing the
+//! reverse-engineering code against other ground truths.
+
+use crate::address::PhysAddr;
+use std::fmt;
+
+/// Builds a bit mask with a 1 in each listed bit position.
+const fn mask_of_bits(bits: &[u32]) -> u64 {
+    let mut mask = 0u64;
+    let mut i = 0;
+    while i < bits.len() {
+        mask |= 1u64 << bits[i];
+        i += 1;
+    }
+    mask
+}
+
+/// Address bits XORed into slice-select bit S0 on the i7-7700k (Equation 1).
+pub const KABY_LAKE_S0_BITS: &[u32] = &[
+    36, 35, 33, 32, 30, 28, 27, 26, 25, 24, 22, 20, 18, 17, 16, 14, 12, 10, 6,
+];
+
+/// Address bits XORed into slice-select bit S1 on the i7-7700k (Equation 2).
+pub const KABY_LAKE_S1_BITS: &[u32] = &[
+    37, 35, 34, 33, 31, 29, 28, 26, 24, 23, 22, 21, 20, 19, 17, 15, 13, 11, 7,
+];
+
+/// An XOR-parity slice hash: slice bit `i` is the parity of `addr & masks[i]`.
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct SliceHash {
+    masks: Vec<u64>,
+}
+
+impl SliceHash {
+    /// Creates a hash from one XOR mask per slice-select bit.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `masks` is empty or has more than 6 entries (64-way sliced
+    /// LLCs do not exist on the parts this simulator models).
+    pub fn new(masks: Vec<u64>) -> Self {
+        assert!(
+            !masks.is_empty() && masks.len() <= 6,
+            "slice hash must have between 1 and 6 output bits"
+        );
+        SliceHash { masks }
+    }
+
+    /// The i7-7700k (Kaby Lake, 4-slice) hash from Equations (1) and (2) of
+    /// the paper.
+    pub fn kaby_lake_i7_7700k() -> Self {
+        SliceHash::new(vec![
+            mask_of_bits(KABY_LAKE_S0_BITS),
+            mask_of_bits(KABY_LAKE_S1_BITS),
+        ])
+    }
+
+    /// A trivial hash that uses plain address bits `[lo, lo + bits)` as the
+    /// slice index (useful as an "easy" ground truth in tests).
+    pub fn low_order(lo: u32, bits: u32) -> Self {
+        SliceHash::new((0..bits).map(|i| 1u64 << (lo + i)).collect())
+    }
+
+    /// Number of slice-select output bits.
+    pub fn output_bits(&self) -> usize {
+        self.masks.len()
+    }
+
+    /// Number of slices addressed by this hash (2^output_bits).
+    pub fn slice_count(&self) -> usize {
+        1 << self.masks.len()
+    }
+
+    /// The XOR masks, one per output bit (bit 0 first).
+    pub fn masks(&self) -> &[u64] {
+        &self.masks
+    }
+
+    /// Computes the slice index for a physical address.
+    pub fn slice_of(&self, addr: PhysAddr) -> usize {
+        let mut slice = 0usize;
+        for (i, mask) in self.masks.iter().enumerate() {
+            let parity = (addr.value() & mask).count_ones() & 1;
+            slice |= (parity as usize) << i;
+        }
+        slice
+    }
+}
+
+impl fmt::Debug for SliceHash {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut d = f.debug_struct("SliceHash");
+        for (i, mask) in self.masks.iter().enumerate() {
+            d.field(&format!("s{i}_mask"), &format_args!("{mask:#x}"));
+        }
+        d.finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kaby_lake_hash_has_four_slices() {
+        let h = SliceHash::kaby_lake_i7_7700k();
+        assert_eq!(h.output_bits(), 2);
+        assert_eq!(h.slice_count(), 4);
+    }
+
+    #[test]
+    fn masks_match_equations() {
+        let h = SliceHash::kaby_lake_i7_7700k();
+        // Every bit listed in the equations must be set, and no others.
+        let s0 = h.masks()[0];
+        let s1 = h.masks()[1];
+        assert_eq!(s0.count_ones() as usize, KABY_LAKE_S0_BITS.len());
+        assert_eq!(s1.count_ones() as usize, KABY_LAKE_S1_BITS.len());
+        for &b in KABY_LAKE_S0_BITS {
+            assert_eq!((s0 >> b) & 1, 1, "S0 missing bit {b}");
+        }
+        for &b in KABY_LAKE_S1_BITS {
+            assert_eq!((s1 >> b) & 1, 1, "S1 missing bit {b}");
+        }
+    }
+
+    #[test]
+    fn slice_of_is_xor_parity() {
+        let h = SliceHash::kaby_lake_i7_7700k();
+        // Flipping a bit that appears only in S0 toggles only the low slice bit.
+        let base = PhysAddr::new(0);
+        assert_eq!(h.slice_of(base), 0);
+        let flip_b6 = PhysAddr::new(1 << 6);
+        assert_eq!(h.slice_of(flip_b6), 0b01);
+        let flip_b7 = PhysAddr::new(1 << 7);
+        assert_eq!(h.slice_of(flip_b7), 0b10);
+        // Bit 35 appears in both equations: flips both slice bits.
+        let flip_b35 = PhysAddr::new(1 << 35);
+        assert_eq!(h.slice_of(flip_b35), 0b11);
+        // XOR property: flipping the same bit twice returns to slice 0.
+        let both = PhysAddr::new((1 << 6) ^ (1 << 6));
+        assert_eq!(h.slice_of(both), 0);
+    }
+
+    #[test]
+    fn hash_is_linear_over_gf2() {
+        // slice(a ^ b) == slice(a) ^ slice(b) for an XOR-parity hash.
+        let h = SliceHash::kaby_lake_i7_7700k();
+        let samples = [0x0u64, 0x40, 0x1000, 0xdead_b000, 0x3_4567_8000, 0x24_0000_0040];
+        for &a in &samples {
+            for &b in &samples {
+                let sa = h.slice_of(PhysAddr::new(a));
+                let sb = h.slice_of(PhysAddr::new(b));
+                let sab = h.slice_of(PhysAddr::new(a ^ b));
+                assert_eq!(sab, sa ^ sb, "a={a:#x} b={b:#x}");
+            }
+        }
+    }
+
+    #[test]
+    fn slices_are_roughly_balanced() {
+        let h = SliceHash::kaby_lake_i7_7700k();
+        let mut counts = [0usize; 4];
+        // Walk cache-line-aligned addresses over a 1 MiB region.
+        for i in 0..16_384u64 {
+            counts[h.slice_of(PhysAddr::new(i * 64))] += 1;
+        }
+        for &c in &counts {
+            assert!(
+                (3_500..=4_700).contains(&c),
+                "slice population unbalanced: {counts:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn low_order_hash_uses_plain_bits() {
+        let h = SliceHash::low_order(6, 2);
+        assert_eq!(h.slice_of(PhysAddr::new(0b00_000000)), 0);
+        assert_eq!(h.slice_of(PhysAddr::new(0b01_000000)), 1);
+        assert_eq!(h.slice_of(PhysAddr::new(0b10_000000)), 2);
+        assert_eq!(h.slice_of(PhysAddr::new(0b11_000000)), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "between 1 and 6")]
+    fn empty_mask_list_rejected() {
+        let _ = SliceHash::new(vec![]);
+    }
+
+    #[test]
+    fn debug_format_shows_masks() {
+        let h = SliceHash::low_order(6, 1);
+        let s = format!("{h:?}");
+        assert!(s.contains("s0_mask"));
+        assert!(s.contains("0x40"));
+    }
+}

@@ -1,0 +1,158 @@
+//! Shared Local Memory (SLM).
+//!
+//! Each GPU subslice has 64 KB of SLM inside the L3 complex but on a
+//! *separate data path*: SLM traffic does not contend with L3/LLC traffic and
+//! vice versa (Section III-D of the paper). This property is what makes the
+//! paper's custom software timer possible — the counter wavefronts hammer an
+//! SLM word with atomics while the measuring threads access memory through the
+//! normal path, without the two perturbing each other.
+
+use crate::clock::Time;
+
+/// Size of the SLM available to one work-group / subslice, in bytes.
+pub const SLM_BYTES_PER_SUBSLICE: u64 = 64 * 1024;
+
+/// A single subslice's shared local memory.
+///
+/// Only word-granularity atomic operations are modelled (that is all the
+/// custom timer needs); the backing store is a small array of `u64` words.
+#[derive(Debug, Clone)]
+pub struct Slm {
+    words: Vec<u64>,
+    access_latency: Time,
+    atomic_ops: u64,
+}
+
+impl Slm {
+    /// Creates an SLM with `words` addressable 64-bit words and the given
+    /// per-operation latency.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `words` is zero.
+    pub fn new(words: usize, access_latency: Time) -> Self {
+        assert!(words > 0, "SLM must have at least one word");
+        Slm {
+            words: vec![0; words],
+            access_latency,
+            atomic_ops: 0,
+        }
+    }
+
+    /// Gen9 defaults: 64 KB of SLM, ~20 GPU cycles (~18 ns at 1.1 GHz) per
+    /// atomic operation.
+    pub fn gen9() -> Self {
+        Slm::new((SLM_BYTES_PER_SUBSLICE / 8) as usize, Time::from_ns(18))
+    }
+
+    /// Number of addressable words.
+    pub fn word_count(&self) -> usize {
+        self.words.len()
+    }
+
+    /// Latency of one SLM operation.
+    pub fn access_latency(&self) -> Time {
+        self.access_latency
+    }
+
+    /// Atomically adds `value` to the word at `index`, returning the previous
+    /// value (like OpenCL `atomic_add`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of range.
+    pub fn atomic_add(&mut self, index: usize, value: u64) -> u64 {
+        let old = self.words[index];
+        self.words[index] = old.wrapping_add(value);
+        self.atomic_ops += 1;
+        old
+    }
+
+    /// Atomically reads the word at `index` (an `atomic_add(index, 0)` in the
+    /// paper's Algorithm 1).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of range.
+    pub fn atomic_read(&mut self, index: usize) -> u64 {
+        self.atomic_ops += 1;
+        self.words[index]
+    }
+
+    /// Non-atomic store (used to reset the counter between measurements).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of range.
+    pub fn store(&mut self, index: usize, value: u64) {
+        self.words[index] = value;
+    }
+
+    /// Number of atomic operations performed so far.
+    pub fn atomic_ops(&self) -> u64 {
+        self.atomic_ops
+    }
+
+    /// Resets the operation counter (contents are preserved).
+    pub fn reset_stats(&mut self) {
+        self.atomic_ops = 0;
+    }
+}
+
+impl Default for Slm {
+    fn default() -> Self {
+        Self::gen9()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gen9_slm_has_64kb() {
+        let slm = Slm::gen9();
+        assert_eq!(slm.word_count() as u64 * 8, SLM_BYTES_PER_SUBSLICE);
+        assert!(slm.access_latency() > Time::ZERO);
+    }
+
+    #[test]
+    fn atomic_add_returns_old_value() {
+        let mut slm = Slm::new(4, Time::from_ns(1));
+        assert_eq!(slm.atomic_add(0, 5), 0);
+        assert_eq!(slm.atomic_add(0, 3), 5);
+        assert_eq!(slm.atomic_read(0), 8);
+        assert_eq!(slm.atomic_ops(), 3);
+    }
+
+    #[test]
+    fn atomic_add_wraps_on_overflow() {
+        let mut slm = Slm::new(1, Time::ZERO);
+        slm.store(0, u64::MAX);
+        assert_eq!(slm.atomic_add(0, 2), u64::MAX);
+        assert_eq!(slm.atomic_read(0), 1);
+    }
+
+    #[test]
+    fn store_resets_counter_word() {
+        let mut slm = Slm::new(2, Time::ZERO);
+        slm.atomic_add(1, 100);
+        slm.store(1, 0);
+        assert_eq!(slm.atomic_read(1), 0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn out_of_range_index_panics() {
+        let mut slm = Slm::new(1, Time::ZERO);
+        slm.atomic_add(1, 1);
+    }
+
+    #[test]
+    fn reset_stats_clears_op_count() {
+        let mut slm = Slm::new(1, Time::ZERO);
+        slm.atomic_add(0, 1);
+        slm.reset_stats();
+        assert_eq!(slm.atomic_ops(), 0);
+    }
+}

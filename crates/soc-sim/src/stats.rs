@@ -1,0 +1,106 @@
+//! Aggregate simulator statistics.
+
+use crate::clock::Time;
+
+/// Counters accumulated by the [`crate::system::Soc`] across all accesses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SocStats {
+    /// CPU accesses that hit in L1.
+    pub cpu_l1_hits: u64,
+    /// CPU accesses that hit in L2.
+    pub cpu_l2_hits: u64,
+    /// CPU accesses that hit in the LLC.
+    pub cpu_llc_hits: u64,
+    /// CPU accesses served from DRAM.
+    pub cpu_dram_accesses: u64,
+    /// GPU accesses that hit in the GPU L3.
+    pub gpu_l3_hits: u64,
+    /// GPU accesses that hit in the LLC.
+    pub gpu_llc_hits: u64,
+    /// GPU accesses served from DRAM.
+    pub gpu_dram_accesses: u64,
+    /// Number of `clflush` operations executed.
+    pub clflushes: u64,
+    /// Lines invalidated in CPU caches by inclusive-LLC back-invalidation.
+    pub back_invalidations: u64,
+    /// Spurious (noise-injected) LLC evictions.
+    pub spurious_evictions: u64,
+}
+
+impl SocStats {
+    /// Total CPU-initiated accesses.
+    pub fn cpu_accesses(&self) -> u64 {
+        self.cpu_l1_hits + self.cpu_l2_hits + self.cpu_llc_hits + self.cpu_dram_accesses
+    }
+
+    /// Total GPU-initiated accesses.
+    pub fn gpu_accesses(&self) -> u64 {
+        self.gpu_l3_hits + self.gpu_llc_hits + self.gpu_dram_accesses
+    }
+
+    /// Total accesses from both components.
+    pub fn total_accesses(&self) -> u64 {
+        self.cpu_accesses() + self.gpu_accesses()
+    }
+}
+
+/// A snapshot of contention-related statistics, useful for assertions in
+/// benchmarks and tests about *where* latency went.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ContentionSnapshot {
+    /// Ring transactions observed.
+    pub ring_transactions: u64,
+    /// Ring transactions that experienced queuing.
+    pub ring_contended: u64,
+    /// Total ring queuing delay.
+    pub ring_queue_delay: Time,
+    /// DRAM channel transactions.
+    pub dram_transactions: u64,
+    /// Total DRAM channel queuing delay.
+    pub dram_queue_delay: Time,
+}
+
+impl ContentionSnapshot {
+    /// Fraction of ring transactions that queued.
+    pub fn ring_contention_ratio(&self) -> f64 {
+        if self.ring_transactions == 0 {
+            0.0
+        } else {
+            self.ring_contended as f64 / self.ring_transactions as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn totals_add_up() {
+        let s = SocStats {
+            cpu_l1_hits: 1,
+            cpu_l2_hits: 2,
+            cpu_llc_hits: 3,
+            cpu_dram_accesses: 4,
+            gpu_l3_hits: 5,
+            gpu_llc_hits: 6,
+            gpu_dram_accesses: 7,
+            ..Default::default()
+        };
+        assert_eq!(s.cpu_accesses(), 10);
+        assert_eq!(s.gpu_accesses(), 18);
+        assert_eq!(s.total_accesses(), 28);
+    }
+
+    #[test]
+    fn contention_ratio_handles_zero() {
+        let c = ContentionSnapshot::default();
+        assert_eq!(c.ring_contention_ratio(), 0.0);
+        let c2 = ContentionSnapshot {
+            ring_transactions: 10,
+            ring_contended: 5,
+            ..Default::default()
+        };
+        assert!((c2.ring_contention_ratio() - 0.5).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,875 @@
+//! The assembled SoC: CPU caches + GPU L3 + shared LLC + ring + DRAM.
+//!
+//! [`Soc`] is the façade every higher layer (the CPU and GPU execution models
+//! and the covert channels) talks to. It owns every structure of the memory
+//! hierarchy and routes accesses along the two asymmetric paths of Figure 1 of
+//! the paper:
+//!
+//! * CPU core → L1 → L2 → ring → LLC slice → DRAM (LLC inclusive of L1/L2);
+//! * GPU → L3 → ring → LLC slice → DRAM (LLC *not* inclusive of the L3).
+//!
+//! Every access is stamped with the requester's current simulated time so the
+//! shared resources (ring, LLC ports, DRAM channel) produce realistic queuing
+//! delays when the two components overlap — the effect exploited by the
+//! contention covert channel.
+
+use crate::address::{PhysAddr, CACHE_LINE_SIZE};
+use crate::clock::{SocClocks, Time};
+use crate::contention::RingBus;
+use crate::dram::Dram;
+use crate::gpu_l3::{GpuL3, GpuL3Config};
+use crate::llc::{Llc, LlcConfig};
+use crate::noise::{NoiseConfig, NoiseModel};
+use crate::page_table::{AddressSpace, MapError, MappedBuffer, PageKind, PhysFrameAllocator};
+use crate::replacement::ReplacementPolicy;
+use crate::set_assoc::{CacheGeometry, Indexing, SetAssocCache};
+use crate::slm::Slm;
+use crate::stats::{ContentionSnapshot, SocStats};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+/// Who issued a memory access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Requester {
+    /// A CPU core (by index).
+    CpuCore(usize),
+    /// The integrated GPU.
+    Gpu,
+}
+
+/// The level of the hierarchy that served an access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum HitLevel {
+    /// CPU L1 data cache.
+    CpuL1,
+    /// CPU L2 cache.
+    CpuL2,
+    /// GPU L3 cache.
+    GpuL3,
+    /// Shared last-level cache.
+    Llc,
+    /// System memory.
+    Dram,
+}
+
+impl HitLevel {
+    /// Returns `true` when the access had to leave the requesting component
+    /// (i.e. it was served by the LLC or DRAM).
+    pub fn is_shared_level(self) -> bool {
+        matches!(self, HitLevel::Llc | HitLevel::Dram)
+    }
+}
+
+/// Outcome of a single memory access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AccessOutcome {
+    /// End-to-end latency of the access.
+    pub latency: Time,
+    /// Level that served the access.
+    pub level: HitLevel,
+    /// Portion of the latency caused by queuing on shared resources
+    /// (ring, LLC port, DRAM channel) — the contention signal.
+    pub contention_delay: Time,
+}
+
+/// Outcome of a GPU access performed by several threads in parallel.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParallelOutcome {
+    /// Wall-clock latency of the whole parallel group sequence.
+    pub total_latency: Time,
+    /// Per-address outcomes, in input order.
+    pub outcomes: Vec<AccessOutcome>,
+}
+
+impl ParallelOutcome {
+    /// Number of accesses that were served by the given level.
+    pub fn count_at_level(&self, level: HitLevel) -> usize {
+        self.outcomes.iter().filter(|o| o.level == level).count()
+    }
+
+    /// Number of accesses served by the LLC or DRAM (i.e. that missed inside
+    /// the GPU).
+    pub fn shared_level_count(&self) -> usize {
+        self.outcomes.iter().filter(|o| o.level.is_shared_level()).count()
+    }
+}
+
+/// Fixed-latency parameters of the access paths.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LatencyConfig {
+    /// CPU L1 hit latency.
+    pub cpu_l1_hit: Time,
+    /// CPU L2 hit latency.
+    pub cpu_l2_hit: Time,
+    /// LLC array access latency (added on top of ring/port time).
+    pub llc_array: Time,
+    /// GPU L3 hit latency (includes the GPU's load/sampler pipeline overhead).
+    pub gpu_l3_hit: Time,
+    /// GPU L3 lookup cost paid before forwarding a miss to the ring.
+    pub gpu_l3_lookup: Time,
+    /// Extra GPU-side overhead for requests that reach the LLC or DRAM
+    /// (command streamer / thread dispatch path).
+    pub gpu_uncore_extra: Time,
+    /// Latency of a `clflush` instruction.
+    pub clflush: Time,
+    /// Issue overhead per additional access in a parallel GPU group.
+    pub gpu_issue_overhead: Time,
+}
+
+impl LatencyConfig {
+    /// Latencies calibrated for the modelled Kaby Lake + Gen9 part. The CPU
+    /// side follows commonly published figures (L1 ~1 ns, L2 ~3 ns, LLC
+    /// ~10 ns, DRAM ~70 ns); the GPU side is slower and compressed, which is
+    /// why the paper needs the custom timer to tell the levels apart
+    /// (L3 ~90 ns, LLC ~200 ns, DRAM ~270 ns).
+    pub fn kaby_lake() -> Self {
+        LatencyConfig {
+            cpu_l1_hit: Time::from_ps(950),
+            cpu_l2_hit: Time::from_ps(2_900),
+            llc_array: Time::from_ns(7),
+            gpu_l3_hit: Time::from_ns(90),
+            gpu_l3_lookup: Time::from_ns(30),
+            gpu_uncore_extra: Time::from_ns(160),
+            clflush: Time::from_ns(5),
+            gpu_issue_overhead: Time::from_ns(2),
+        }
+    }
+}
+
+impl Default for LatencyConfig {
+    fn default() -> Self {
+        Self::kaby_lake()
+    }
+}
+
+/// Geometry of one CPU core's private caches.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CpuCacheConfig {
+    /// L1D sets (64 on the modelled part).
+    pub l1_sets: usize,
+    /// L1D ways (8).
+    pub l1_ways: usize,
+    /// L2 sets (1024).
+    pub l2_sets: usize,
+    /// L2 ways (4).
+    pub l2_ways: usize,
+}
+
+impl CpuCacheConfig {
+    /// Kaby Lake: 32 KB 8-way L1D, 256 KB 4-way L2.
+    pub fn kaby_lake() -> Self {
+        CpuCacheConfig {
+            l1_sets: 64,
+            l1_ways: 8,
+            l2_sets: 1024,
+            l2_ways: 4,
+        }
+    }
+}
+
+impl Default for CpuCacheConfig {
+    fn default() -> Self {
+        Self::kaby_lake()
+    }
+}
+
+/// Way-partitioning of the LLC between the CPU cores and the GPU — the
+/// static-partitioning mitigation the paper discusses in Section VI. CPU
+/// allocations are confined to ways `[0, cpu_ways)` of every set and GPU
+/// allocations to the remaining ways, so neither component can evict the
+/// other's lines (lookups are unaffected).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LlcPartition {
+    /// Number of ways reserved for the CPU cores (the GPU gets the rest).
+    pub cpu_ways: usize,
+}
+
+impl LlcPartition {
+    /// An even split of a 16-way LLC.
+    pub fn even_split() -> Self {
+        LlcPartition { cpu_ways: 8 }
+    }
+}
+
+/// Full SoC configuration.
+#[derive(Debug, Clone)]
+pub struct SocConfig {
+    /// Clock domains.
+    pub clocks: SocClocks,
+    /// Number of CPU cores (4 on the i7-7700k).
+    pub cpu_cores: usize,
+    /// Per-core cache geometry.
+    pub cpu_caches: CpuCacheConfig,
+    /// LLC configuration.
+    pub llc: LlcConfig,
+    /// GPU L3 configuration.
+    pub gpu_l3: GpuL3Config,
+    /// Fixed latencies.
+    pub latencies: LatencyConfig,
+    /// Noise model configuration.
+    pub noise: NoiseConfig,
+    /// Optional LLC way-partitioning between CPU and GPU (Section VI
+    /// mitigation); `None` models the unmodified, vulnerable hardware.
+    pub llc_partition: Option<LlcPartition>,
+    /// Physical memory size in bytes.
+    pub phys_mem_bytes: u64,
+    /// RNG seed (controls frame allocation, replacement tie-breaks and noise).
+    pub seed: u64,
+}
+
+impl SocConfig {
+    /// The paper's experimental platform: i7-7700k (4 cores, 8 MB LLC) with
+    /// Gen9 HD Graphics, quiet system.
+    pub fn kaby_lake_i7_7700k() -> Self {
+        SocConfig {
+            clocks: SocClocks::kaby_lake(),
+            cpu_cores: 4,
+            cpu_caches: CpuCacheConfig::kaby_lake(),
+            llc: LlcConfig::kaby_lake_i7_7700k(),
+            gpu_l3: GpuL3Config::gen9(),
+            latencies: LatencyConfig::kaby_lake(),
+            noise: NoiseConfig::quiet_system(),
+            llc_partition: None,
+            phys_mem_bytes: 8 * 1024 * 1024 * 1024,
+            seed: 0xC0FFEE,
+        }
+    }
+
+    /// The same platform with the noise model disabled (for deterministic
+    /// unit tests).
+    pub fn kaby_lake_noiseless() -> Self {
+        SocConfig {
+            noise: NoiseConfig::none(),
+            ..Self::kaby_lake_i7_7700k()
+        }
+    }
+
+    /// Overrides the RNG seed (builder style).
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Overrides the noise configuration (builder style).
+    pub fn with_noise(mut self, noise: NoiseConfig) -> Self {
+        self.noise = noise;
+        self
+    }
+
+    /// Enables LLC way-partitioning between the CPU and the GPU (builder
+    /// style) — the Section VI mitigation.
+    pub fn with_llc_partition(mut self, partition: LlcPartition) -> Self {
+        self.llc_partition = Some(partition);
+        self
+    }
+}
+
+impl Default for SocConfig {
+    fn default() -> Self {
+        Self::kaby_lake_i7_7700k()
+    }
+}
+
+#[derive(Debug, Clone)]
+struct CpuPrivateCaches {
+    l1: SetAssocCache,
+    l2: SetAssocCache,
+}
+
+impl CpuPrivateCaches {
+    fn new(cfg: &CpuCacheConfig) -> Self {
+        CpuPrivateCaches {
+            l1: SetAssocCache::new(CacheGeometry {
+                sets: cfg.l1_sets,
+                ways: cfg.l1_ways,
+                policy: ReplacementPolicy::Lru,
+                indexing: Indexing::LowOrder,
+            }),
+            l2: SetAssocCache::new(CacheGeometry {
+                sets: cfg.l2_sets,
+                ways: cfg.l2_ways,
+                policy: ReplacementPolicy::Lru,
+                indexing: Indexing::LowOrder,
+            }),
+        }
+    }
+}
+
+/// The simulated system-on-chip.
+#[derive(Debug, Clone)]
+pub struct Soc {
+    config: SocConfig,
+    cpu_caches: Vec<CpuPrivateCaches>,
+    gpu_l3: GpuL3,
+    slm: Slm,
+    llc: Llc,
+    ring: RingBus,
+    dram: Dram,
+    noise: NoiseModel,
+    frames: PhysFrameAllocator,
+    rng: SmallRng,
+    stats: SocStats,
+    next_pid: u32,
+}
+
+impl Soc {
+    /// Builds an SoC from a configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration requests zero CPU cores.
+    pub fn new(config: SocConfig) -> Self {
+        assert!(config.cpu_cores > 0, "SoC needs at least one CPU core");
+        let ring_cycle = Time::from_ps(config.clocks.ring.picos_per_cycle().round() as u64);
+        let cpu_caches = (0..config.cpu_cores)
+            .map(|_| CpuPrivateCaches::new(&config.cpu_caches))
+            .collect();
+        Soc {
+            cpu_caches,
+            gpu_l3: GpuL3::new(config.gpu_l3),
+            slm: Slm::gen9(),
+            llc: Llc::new(config.llc.clone()),
+            ring: RingBus::new(32, ring_cycle, Time::from_ns(2)),
+            dram: Dram::ddr4_default(),
+            noise: NoiseModel::new(config.noise.clone()),
+            frames: PhysFrameAllocator::new(config.phys_mem_bytes, config.seed ^ 0x9E37_79B9),
+            rng: SmallRng::seed_from_u64(config.seed),
+            stats: SocStats::default(),
+            next_pid: 1,
+            config,
+        }
+    }
+
+    /// Convenience constructor for the paper's platform.
+    pub fn kaby_lake() -> Self {
+        Soc::new(SocConfig::kaby_lake_i7_7700k())
+    }
+
+    /// Returns the configuration.
+    pub fn config(&self) -> &SocConfig {
+        &self.config
+    }
+
+    /// Creates a new process address space.
+    pub fn create_process(&mut self) -> AddressSpace {
+        let pid = self.next_pid;
+        self.next_pid += 1;
+        AddressSpace::new(pid)
+    }
+
+    /// Allocates and maps a buffer in `space`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`MapError`] from the frame allocator.
+    pub fn alloc(
+        &mut self,
+        space: &mut AddressSpace,
+        len: u64,
+        kind: PageKind,
+    ) -> Result<MappedBuffer, MapError> {
+        space.alloc(len, kind, &mut self.frames)
+    }
+
+    /// Shared LLC (read-only view).
+    pub fn llc(&self) -> &Llc {
+        &self.llc
+    }
+
+    /// GPU L3 (read-only view).
+    pub fn gpu_l3(&self) -> &GpuL3 {
+        &self.gpu_l3
+    }
+
+    /// Shared local memory of the subslice running the attacker work-group.
+    pub fn slm(&self) -> &Slm {
+        &self.slm
+    }
+
+    /// Mutable SLM access (used by the GPU execution model's atomics).
+    pub fn slm_mut(&mut self) -> &mut Slm {
+        &mut self.slm
+    }
+
+    /// Aggregate statistics.
+    pub fn stats(&self) -> SocStats {
+        self.stats
+    }
+
+    /// Samples a multiplicative noise factor for the GPU custom timer's
+    /// increment rate (centred on 1.0; see [`crate::noise::NoiseModel`]).
+    pub fn timer_noise_factor(&mut self) -> f64 {
+        self.noise.timer_rate_factor(&mut self.rng)
+    }
+
+    /// Snapshot of contention counters on the shared resources.
+    pub fn contention_snapshot(&self) -> ContentionSnapshot {
+        ContentionSnapshot {
+            ring_transactions: self.ring.resource().transactions(),
+            ring_contended: self.ring.resource().contended_transactions(),
+            ring_queue_delay: self.ring.resource().total_queue_delay(),
+            dram_transactions: self.dram.channel().transactions(),
+            dram_queue_delay: self.dram.channel().total_queue_delay(),
+        }
+    }
+
+    /// Clears all statistics counters (cache contents are preserved).
+    pub fn reset_stats(&mut self) {
+        self.stats = SocStats::default();
+        self.llc.reset_stats();
+        self.gpu_l3.reset_stats();
+        self.ring.reset_stats();
+        self.dram.reset_stats();
+    }
+
+    fn maybe_inject_noise_eviction(&mut self, paddr: PhysAddr) {
+        if self.noise.spurious_eviction(&mut self.rng) {
+            if self.llc.evict_random_from_set(paddr, &mut self.rng).is_some() {
+                self.stats.spurious_evictions += 1;
+            }
+        }
+    }
+
+    /// The way range the given requester class is allowed to allocate into,
+    /// or `None` when the LLC is unpartitioned.
+    fn partition_ways(&self, from_gpu: bool) -> Option<(usize, usize)> {
+        self.config.llc_partition.map(|p| {
+            let total = self.config.llc.ways;
+            if from_gpu {
+                (p.cpu_ways, total)
+            } else {
+                (0, p.cpu_ways)
+            }
+        })
+    }
+
+    /// Fills a line into the LLC, performing inclusive back-invalidation of
+    /// the CPU private caches for any victim (but never touching the GPU L3 —
+    /// the LLC is not inclusive of it). `from_gpu` selects the allocation
+    /// partition when way-partitioning is enabled.
+    fn llc_fill_with_back_invalidation(&mut self, paddr: PhysAddr, from_gpu: bool) {
+        let outcome = match self.partition_ways(from_gpu) {
+            Some((lo, hi)) => self.llc.fill_within(paddr, &mut self.rng, lo, hi),
+            None => self.llc.fill(paddr, &mut self.rng),
+        };
+        if let Some(victim) = outcome.evicted() {
+            for core in &mut self.cpu_caches {
+                if core.l1.invalidate(victim) {
+                    self.stats.back_invalidations += 1;
+                }
+                if core.l2.invalidate(victim) {
+                    self.stats.back_invalidations += 1;
+                }
+            }
+        }
+    }
+
+    /// Performs a CPU load of the line containing `paddr` from core `core`,
+    /// arriving at the core's local time `now`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `core` is out of range.
+    pub fn cpu_access(&mut self, core: usize, paddr: PhysAddr, now: Time) -> AccessOutcome {
+        assert!(core < self.cpu_caches.len(), "core index out of range");
+        let lat = self.config.latencies.clone();
+        let jitter = self.noise.latency_jitter(&mut self.rng);
+
+        if self.cpu_caches[core].l1.access(paddr) {
+            self.stats.cpu_l1_hits += 1;
+            return AccessOutcome {
+                latency: lat.cpu_l1_hit + jitter,
+                level: HitLevel::CpuL1,
+                contention_delay: Time::ZERO,
+            };
+        }
+        if self.cpu_caches[core].l2.access(paddr) {
+            self.stats.cpu_l2_hits += 1;
+            // Fill into L1 on the way back.
+            let _ = self.cpu_caches[core].l1.fill(paddr, &mut self.rng);
+            return AccessOutcome {
+                latency: lat.cpu_l2_hit + jitter,
+                level: HitLevel::CpuL2,
+                contention_delay: Time::ZERO,
+            };
+        }
+
+        // Miss in the private caches: go over the ring to the LLC slice.
+        let ring_latency = self.ring.transfer(now, CACHE_LINE_SIZE);
+        let ring_queue = ring_latency.saturating_sub(Time::from_ns(2)); // informational only
+        let port_queue = self.llc.acquire_port(paddr, now + ring_latency);
+        self.maybe_inject_noise_eviction(paddr);
+
+        let base = lat.cpu_l2_hit + ring_latency + port_queue + lat.llc_array;
+        let contention = port_queue + ring_queue.saturating_sub(self.ring_serialization_time());
+
+        if self.llc.access(paddr) {
+            self.stats.cpu_llc_hits += 1;
+            let _ = self.cpu_caches[core].l2.fill(paddr, &mut self.rng);
+            let _ = self.cpu_caches[core].l1.fill(paddr, &mut self.rng);
+            return AccessOutcome {
+                latency: base + jitter,
+                level: HitLevel::Llc,
+                contention_delay: contention,
+            };
+        }
+
+        // LLC miss: fetch from DRAM, fill LLC (inclusive) and the private caches.
+        let dram_latency = self.dram.access(now + base);
+        self.stats.cpu_dram_accesses += 1;
+        self.llc_fill_with_back_invalidation(paddr, false);
+        let _ = self.cpu_caches[core].l2.fill(paddr, &mut self.rng);
+        let _ = self.cpu_caches[core].l1.fill(paddr, &mut self.rng);
+        let dram_queue = dram_latency.saturating_sub(self.dram.base_latency());
+        AccessOutcome {
+            latency: base + dram_latency + jitter,
+            level: HitLevel::Dram,
+            contention_delay: contention + dram_queue,
+        }
+    }
+
+    fn ring_serialization_time(&self) -> Time {
+        // Two 32 B flits for a 64 B line at the ring cycle time.
+        Time::from_ps(2 * self.config.clocks.ring.picos_per_cycle().round() as u64)
+    }
+
+    /// Performs a GPU load of the line containing `paddr`, arriving at the
+    /// GPU's local time `now`.
+    pub fn gpu_access(&mut self, paddr: PhysAddr, now: Time) -> AccessOutcome {
+        let lat = self.config.latencies.clone();
+        let jitter = self.noise.latency_jitter(&mut self.rng);
+
+        if self.gpu_l3.access(paddr) {
+            self.stats.gpu_l3_hits += 1;
+            return AccessOutcome {
+                latency: lat.gpu_l3_hit + jitter,
+                level: HitLevel::GpuL3,
+                contention_delay: Time::ZERO,
+            };
+        }
+
+        // L3 miss: the request crosses the ring to the LLC.
+        let ring_latency = self.ring.transfer(now + lat.gpu_l3_lookup, CACHE_LINE_SIZE);
+        let ring_queue = ring_latency.saturating_sub(Time::from_ns(2));
+        let port_queue = self.llc.acquire_port(paddr, now + lat.gpu_l3_lookup + ring_latency);
+        self.maybe_inject_noise_eviction(paddr);
+
+        let base = lat.gpu_l3_lookup + ring_latency + port_queue + lat.llc_array + lat.gpu_uncore_extra;
+        let contention = port_queue + ring_queue.saturating_sub(self.ring_serialization_time());
+
+        if self.llc.access(paddr) {
+            self.stats.gpu_llc_hits += 1;
+            let _ = self.gpu_l3.fill(paddr, &mut self.rng);
+            return AccessOutcome {
+                latency: base + jitter,
+                level: HitLevel::Llc,
+                contention_delay: contention,
+            };
+        }
+
+        let dram_latency = self.dram.access(now + base);
+        self.stats.gpu_dram_accesses += 1;
+        // Fill LLC (back-invalidating CPU caches if a victim falls out), then the L3.
+        self.llc_fill_with_back_invalidation(paddr, true);
+        let _ = self.gpu_l3.fill(paddr, &mut self.rng);
+        let dram_queue = dram_latency.saturating_sub(self.dram.base_latency());
+        AccessOutcome {
+            latency: base + dram_latency + jitter,
+            level: HitLevel::Dram,
+            contention_delay: contention + dram_queue,
+        }
+    }
+
+    /// Performs a batch of GPU loads issued by `parallelism` threads at a
+    /// time (the paper probes all 16 ways of an LLC set with 16 threads).
+    ///
+    /// Within one group the accesses overlap: the group costs the maximum of
+    /// its members' latencies plus a small per-access issue overhead. Groups
+    /// execute back-to-back.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `parallelism` is zero.
+    pub fn gpu_access_parallel(
+        &mut self,
+        addrs: &[PhysAddr],
+        parallelism: usize,
+        now: Time,
+    ) -> ParallelOutcome {
+        assert!(parallelism > 0, "parallelism must be at least 1");
+        let mut outcomes = Vec::with_capacity(addrs.len());
+        let mut elapsed = Time::ZERO;
+        for group in addrs.chunks(parallelism) {
+            let mut group_max = Time::ZERO;
+            for &addr in group {
+                let outcome = self.gpu_access(addr, now + elapsed);
+                group_max = group_max.max(outcome.latency);
+                outcomes.push(outcome);
+            }
+            let issue = Time::from_ps(
+                self.config.latencies.gpu_issue_overhead.as_ps() * (group.len() as u64 - 1),
+            );
+            elapsed += group_max + issue;
+        }
+        ParallelOutcome {
+            total_latency: elapsed,
+            outcomes,
+        }
+    }
+
+    /// Executes `clflush` on the line containing `paddr` from a CPU core:
+    /// the line is removed from every CPU private cache and from the LLC, but
+    /// — because the LLC is not inclusive of the GPU L3 — it stays resident in
+    /// the GPU L3 if it was there. Returns the instruction latency.
+    pub fn clflush(&mut self, paddr: PhysAddr, _now: Time) -> Time {
+        for core in &mut self.cpu_caches {
+            core.l1.invalidate(paddr);
+            core.l2.invalidate(paddr);
+        }
+        self.llc.invalidate(paddr);
+        self.stats.clflushes += 1;
+        self.config.latencies.clflush
+    }
+
+    /// Returns `true` when the line is resident in any CPU private cache of
+    /// any core (diagnostic helper for tests).
+    pub fn in_cpu_private_caches(&self, paddr: PhysAddr) -> bool {
+        self.cpu_caches
+            .iter()
+            .any(|c| c.l1.contains(paddr) || c.l2.contains(paddr))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn soc() -> Soc {
+        Soc::new(SocConfig::kaby_lake_noiseless())
+    }
+
+    #[test]
+    fn cold_cpu_access_goes_to_dram_then_hits_l1() {
+        let mut soc = soc();
+        let a = PhysAddr::new(0x40_0000);
+        let first = soc.cpu_access(0, a, Time::ZERO);
+        assert_eq!(first.level, HitLevel::Dram);
+        assert!(first.latency > Time::from_ns(60));
+        let second = soc.cpu_access(0, a, first.latency);
+        assert_eq!(second.level, HitLevel::CpuL1);
+        assert!(second.latency < Time::from_ns(2));
+        let stats = soc.stats();
+        assert_eq!(stats.cpu_dram_accesses, 1);
+        assert_eq!(stats.cpu_l1_hits, 1);
+    }
+
+    #[test]
+    fn latency_ordering_l1_l2_llc_dram() {
+        let mut soc = soc();
+        let a = PhysAddr::new(0x123_4000);
+        let dram = soc.cpu_access(0, a, Time::ZERO);
+        // Evict from L1 by filling conflicting lines (L1 has 64 sets -> stride 64*64 bytes).
+        // Simpler: clflush then re-access so it comes from DRAM again, then
+        // access once more for the L1 hit; compare against an LLC hit produced
+        // from another core.
+        let llc_hit = soc.cpu_access(1, a, Time::from_us(1));
+        assert_eq!(llc_hit.level, HitLevel::Llc);
+        let l1_hit = soc.cpu_access(1, a, Time::from_us(2));
+        assert_eq!(l1_hit.level, HitLevel::CpuL1);
+        assert!(l1_hit.latency < llc_hit.latency);
+        assert!(llc_hit.latency < dram.latency);
+    }
+
+    #[test]
+    fn gpu_access_levels_are_distinguishable() {
+        let mut soc = soc();
+        let a = PhysAddr::new(0x80_0000);
+        let dram = soc.gpu_access(a, Time::ZERO);
+        assert_eq!(dram.level, HitLevel::Dram);
+        let l3 = soc.gpu_access(a, Time::from_us(1));
+        assert_eq!(l3.level, HitLevel::GpuL3);
+        // Invalidate only the L3 copy to force an LLC hit.
+        assert!(soc.gpu_l3.contains(a));
+        soc.gpu_l3.invalidate(a);
+        let llc = soc.gpu_access(a, Time::from_us(2));
+        assert_eq!(llc.level, HitLevel::Llc);
+        assert!(l3.latency < llc.latency, "L3 {} vs LLC {}", l3.latency, llc.latency);
+        assert!(llc.latency < dram.latency, "LLC {} vs DRAM {}", llc.latency, dram.latency);
+    }
+
+    #[test]
+    fn llc_is_not_inclusive_of_gpu_l3() {
+        // The paper's inclusiveness experiment (Section III-D): GPU caches a
+        // line, CPU accesses and clflushes it; the line must survive in the
+        // GPU L3 and the next GPU access must be an L3 hit.
+        let mut soc = soc();
+        let a = PhysAddr::new(0x99_0000);
+        soc.gpu_access(a, Time::ZERO);
+        soc.cpu_access(0, a, Time::from_us(1));
+        soc.clflush(a, Time::from_us(2));
+        assert!(!soc.llc().contains(a), "clflush removes the LLC copy");
+        assert!(!soc.in_cpu_private_caches(a), "clflush removes CPU copies");
+        let after = soc.gpu_access(a, Time::from_us(3));
+        assert_eq!(after.level, HitLevel::GpuL3, "GPU L3 copy must survive clflush");
+    }
+
+    #[test]
+    fn llc_is_inclusive_of_cpu_caches() {
+        let mut soc = soc();
+        let llc_cfg = soc.config().llc.clone();
+        let ways = llc_cfg.ways;
+        // Bring a target line into core 0's caches and the LLC.
+        let target = PhysAddr::new(0);
+        soc.cpu_access(0, target, Time::ZERO);
+        assert!(soc.in_cpu_private_caches(target));
+        let set = soc.llc().set_of(target);
+        // Evict it from the LLC by filling the same LLC set with `ways`
+        // further lines from the GPU side (which never touches core 0's L1/L2
+        // sets enough to evict the target there by itself).
+        let conflicts = soc
+            .llc()
+            .enumerate_set_addresses(set, PhysAddr::new(1 << 21), ways + 2);
+        let mut t = Time::from_us(1);
+        for &c in &conflicts {
+            soc.gpu_access(c, t);
+            t += Time::from_us(1);
+        }
+        assert!(!soc.llc().contains(target), "target evicted from LLC");
+        assert!(
+            !soc.in_cpu_private_caches(target),
+            "inclusive LLC must back-invalidate the CPU copies"
+        );
+        assert!(soc.stats().back_invalidations > 0);
+    }
+
+    #[test]
+    fn concurrent_cpu_gpu_traffic_shows_contention() {
+        let mut soc = soc();
+        // Warm two disjoint buffers into the LLC.
+        let cpu_lines: Vec<PhysAddr> = (0..512u64).map(|i| PhysAddr::new(0x100_0000 + i * 64)).collect();
+        let gpu_lines: Vec<PhysAddr> = (0..512u64).map(|i| PhysAddr::new(0x200_0000 + i * 64)).collect();
+        let mut t = Time::ZERO;
+        for &a in &cpu_lines {
+            t += soc.cpu_access(0, a, t).latency;
+        }
+        for &a in &gpu_lines {
+            t += soc.gpu_access(a, t).latency;
+        }
+        soc.reset_stats();
+
+        // Solo phase: CPU streams its buffer alone (forcing LLC hits by
+        // evicting from the private caches first via clflush of... instead we
+        // use fresh lines far apart so they miss L1/L2 but hit LLC).
+        let mut solo_total = Time::ZERO;
+        let mut now = t;
+        for &a in &cpu_lines {
+            // Evict from private caches so the request reaches the LLC.
+            for core in 0..1 {
+                let _ = core;
+            }
+            soc.clflush(a, now);
+            soc.cpu_access(0, a, now); // re-warm LLC from DRAM
+            let out = soc.cpu_access(1, a, now);
+            solo_total += out.latency;
+            now += Time::from_ns(100);
+        }
+
+        // Contended phase: GPU hammers the ring at the same instants.
+        let mut contended_total = Time::ZERO;
+        for (i, &a) in cpu_lines.iter().enumerate() {
+            let ga = gpu_lines[i % gpu_lines.len()];
+            soc.gpu_l3.invalidate(ga); // force the GPU to cross the ring
+            soc.gpu_access(ga, now);
+            let out = soc.cpu_access(2, a, now);
+            contended_total += out.latency;
+            now += Time::from_ns(100);
+        }
+        assert!(
+            contended_total > solo_total,
+            "contended {contended_total:?} must exceed solo {solo_total:?}"
+        );
+        assert!(soc.contention_snapshot().ring_contention_ratio() > 0.0);
+    }
+
+    #[test]
+    fn gpu_parallel_access_is_faster_than_serial() {
+        let mut soc = soc();
+        let addrs: Vec<PhysAddr> = (0..16u64).map(|i| PhysAddr::new(0x300_0000 + i * 64)).collect();
+        // Warm so that both runs see the same hit levels (GPU L3 hits).
+        for &a in &addrs {
+            soc.gpu_access(a, Time::ZERO);
+        }
+        let serial = soc.gpu_access_parallel(&addrs, 1, Time::from_us(10));
+        let parallel = soc.gpu_access_parallel(&addrs, 16, Time::from_us(20));
+        assert_eq!(serial.outcomes.len(), 16);
+        assert_eq!(parallel.count_at_level(HitLevel::GpuL3), 16);
+        assert!(parallel.total_latency < serial.total_latency);
+        assert_eq!(parallel.shared_level_count(), 0);
+    }
+
+    #[test]
+    fn alloc_and_translate_through_soc() {
+        let mut soc = soc();
+        let mut space = soc.create_process();
+        let buf = soc.alloc(&mut space, 4096, PageKind::Small).unwrap();
+        let pa = space.translate(buf.base).unwrap();
+        let out = soc.cpu_access(0, pa, Time::ZERO);
+        assert_eq!(out.level, HitLevel::Dram);
+        let pid2 = soc.create_process().pid();
+        assert!(pid2 > space.pid());
+    }
+
+    #[test]
+    fn reset_stats_clears_counters() {
+        let mut soc = soc();
+        soc.cpu_access(0, PhysAddr::new(0x1000), Time::ZERO);
+        soc.reset_stats();
+        assert_eq!(soc.stats().total_accesses(), 0);
+        assert_eq!(soc.contention_snapshot().ring_transactions, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "core index out of range")]
+    fn out_of_range_core_panics() {
+        let mut soc = soc();
+        soc.cpu_access(99, PhysAddr::new(0), Time::ZERO);
+    }
+
+    #[test]
+    fn partitioned_llc_confines_each_component_to_its_ways() {
+        let config = SocConfig::kaby_lake_noiseless().with_llc_partition(LlcPartition::even_split());
+        let mut soc = Soc::new(config);
+        let cpu_line = PhysAddr::new(0);
+        soc.cpu_access(0, cpu_line, Time::ZERO);
+        let set = soc.llc().set_of(cpu_line);
+        // The GPU floods the same LLC set with three times its associativity.
+        let conflicts = soc
+            .llc()
+            .enumerate_set_addresses(set, PhysAddr::new(1 << 24), 48);
+        let mut t = Time::from_us(1);
+        for &c in &conflicts {
+            soc.gpu_access(c, t);
+            t += Time::from_us(1);
+        }
+        assert!(
+            soc.llc().contains(cpu_line),
+            "GPU fills must stay out of the CPU's LLC partition"
+        );
+        // Without the partition the same traffic evicts the line.
+        let mut open = Soc::new(SocConfig::kaby_lake_noiseless());
+        open.cpu_access(0, cpu_line, Time::ZERO);
+        let mut t = Time::from_us(1);
+        for &c in &conflicts {
+            open.gpu_access(c, t);
+            t += Time::from_us(1);
+        }
+        assert!(!open.llc().contains(cpu_line));
+    }
+
+    #[test]
+    fn even_split_reserves_half_the_ways() {
+        assert_eq!(LlcPartition::even_split().cpu_ways, 8);
+        let cfg = SocConfig::kaby_lake_i7_7700k().with_llc_partition(LlcPartition { cpu_ways: 4 });
+        assert_eq!(cfg.llc_partition, Some(LlcPartition { cpu_ways: 4 }));
+    }
+}

@@ -1,0 +1,183 @@
+//! Property-based tests of the SoC substrate's core invariants.
+
+use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use soc_sim::address::{PhysAddr, VirtAddr, CACHE_LINE_SIZE};
+use soc_sim::clock::{ClockDomain, Time};
+use soc_sim::replacement::{ReplacementPolicy, TreePlruState};
+use soc_sim::set_assoc::{CacheGeometry, Indexing, SetAssocCache};
+use soc_sim::slice_hash::SliceHash;
+
+proptest! {
+    /// line_base never exceeds the address and always lands on a 64 B boundary.
+    #[test]
+    fn line_base_is_aligned_and_below(addr in any::<u64>()) {
+        let a = PhysAddr::new(addr);
+        let base = a.line_base();
+        prop_assert!(base.value() <= addr);
+        prop_assert_eq!(base.value() % CACHE_LINE_SIZE, 0);
+        prop_assert!(addr - base.value() < CACHE_LINE_SIZE);
+        prop_assert_eq!(base.line_number(), a.line_number());
+    }
+
+    /// Bit-range extraction composes with shifting.
+    #[test]
+    fn bits_extraction_matches_manual_shift(addr in any::<u64>(), lo in 0u32..60, width in 1u32..4) {
+        let hi = lo + width;
+        let a = VirtAddr::new(addr);
+        let expected = (addr >> lo) & ((1u64 << width) - 1);
+        prop_assert_eq!(a.bits(lo, hi), expected);
+    }
+
+    /// align_down / align_up bracket the original address.
+    #[test]
+    fn alignment_brackets_address(addr in 0u64..u64::MAX / 2, shift in 0u32..20) {
+        let align = 1u64 << shift;
+        let a = PhysAddr::new(addr);
+        prop_assert!(a.align_down(align).value() <= addr);
+        prop_assert!(a.align_up(align).value() >= addr);
+        prop_assert!(a.align_up(align).value() - a.align_down(align).value() <= align);
+    }
+
+    /// Clock-domain cycle/time conversions roundtrip within one cycle.
+    #[test]
+    fn clock_roundtrip_is_tight(cycles in 0u64..1_000_000, ghz_tenths in 5u64..60) {
+        let clock = ClockDomain::from_ghz("d", ghz_tenths as f64 / 10.0);
+        let t = clock.cycles_to_time(cycles);
+        let back = clock.time_to_cycles(t);
+        prop_assert!((back as i64 - cycles as i64).abs() <= 1);
+    }
+
+    /// Time addition/subtraction are inverses and saturating_sub never panics.
+    #[test]
+    fn time_arithmetic_is_consistent(a in 0u64..u64::MAX / 4, b in 0u64..u64::MAX / 4) {
+        let ta = Time::from_ps(a);
+        let tb = Time::from_ps(b);
+        prop_assert_eq!((ta + tb) - tb, ta);
+        prop_assert_eq!(ta.saturating_sub(ta + tb), Time::ZERO);
+        prop_assert_eq!(ta.max(tb).as_ps(), a.max(b));
+        prop_assert_eq!(ta.min(tb).as_ps(), a.min(b));
+    }
+
+    /// The Kaby Lake slice hash is linear over GF(2):
+    /// slice(a ^ b) == slice(a) ^ slice(b).
+    #[test]
+    fn slice_hash_is_gf2_linear(a in any::<u64>(), b in any::<u64>()) {
+        let h = SliceHash::kaby_lake_i7_7700k();
+        let sa = h.slice_of(PhysAddr::new(a));
+        let sb = h.slice_of(PhysAddr::new(b));
+        let sab = h.slice_of(PhysAddr::new(a ^ b));
+        prop_assert_eq!(sab, sa ^ sb);
+    }
+
+    /// Slice selection never depends on the byte-offset bits within a line.
+    #[test]
+    fn slice_hash_ignores_line_offset(a in any::<u64>(), offset in 0u64..CACHE_LINE_SIZE) {
+        let h = SliceHash::kaby_lake_i7_7700k();
+        let base = a & !(CACHE_LINE_SIZE - 1);
+        prop_assert_eq!(
+            h.slice_of(PhysAddr::new(base)),
+            h.slice_of(PhysAddr::new(base + offset))
+        );
+    }
+
+    /// Tree pLRU never evicts the most recently touched way.
+    #[test]
+    fn plru_never_evicts_mru(ways_log2 in 1u32..5, touches in proptest::collection::vec(any::<u16>(), 1..64)) {
+        let ways = 1usize << ways_log2;
+        let mut state = TreePlruState::new(ways);
+        for t in touches {
+            let way = t as usize % ways;
+            state.touch(way);
+            prop_assert_ne!(state.victim(), way);
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// A set-associative cache never holds more lines than its capacity, and
+    /// every line it reports as resident was actually inserted.
+    #[test]
+    fn cache_occupancy_never_exceeds_capacity(
+        addrs in proptest::collection::vec(0u64..0x10_0000, 1..200),
+        ways in 1usize..8,
+    ) {
+        let geometry = CacheGeometry {
+            sets: 16,
+            ways,
+            policy: ReplacementPolicy::Lru,
+            indexing: Indexing::LowOrder,
+        };
+        let mut cache = SetAssocCache::new(geometry);
+        let mut rng = SmallRng::seed_from_u64(1);
+        let mut inserted = std::collections::HashSet::new();
+        for a in &addrs {
+            let line = PhysAddr::new(*a).line_base();
+            cache.fill(line, &mut rng);
+            inserted.insert(line);
+        }
+        prop_assert!(cache.occupancy() <= 16 * ways);
+        prop_assert!(cache.occupancy() <= inserted.len());
+        for set in 0..16 {
+            for line in cache.resident_lines(set) {
+                prop_assert!(inserted.contains(&line), "resident line was never inserted");
+                prop_assert_eq!(cache.set_index(line), set);
+            }
+        }
+    }
+
+    /// After filling a line it is resident until it is invalidated or evicted
+    /// by a conflicting fill; invalidation always removes it.
+    #[test]
+    fn fill_then_invalidate_roundtrip(addr in 0u64..0x1000_0000) {
+        let mut cache = SetAssocCache::new(CacheGeometry {
+            sets: 64,
+            ways: 4,
+            policy: ReplacementPolicy::TreePlru,
+            indexing: Indexing::LowOrder,
+        });
+        let mut rng = SmallRng::seed_from_u64(2);
+        let line = PhysAddr::new(addr).line_base();
+        cache.fill(line, &mut rng);
+        prop_assert!(cache.contains(line));
+        prop_assert!(cache.invalidate(line));
+        prop_assert!(!cache.contains(line));
+        prop_assert!(!cache.invalidate(line));
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Page-table translations preserve the in-page offset and are stable.
+    #[test]
+    fn translation_preserves_page_offset(offsets in proptest::collection::vec(0u64..32 * 4096, 1..20)) {
+        use soc_sim::page_table::PageKind;
+        use soc_sim::prelude::{Soc, SocConfig};
+        let mut soc = Soc::new(SocConfig::kaby_lake_noiseless());
+        let mut space = soc.create_process();
+        let buf = soc.alloc(&mut space, 32 * 4096, PageKind::Small).unwrap();
+        for off in offsets {
+            let va = buf.at(off);
+            let pa = space.translate(va).unwrap();
+            prop_assert_eq!(pa.value() % 4096, va.value() % 4096);
+            prop_assert_eq!(space.translate(va), Some(pa), "translation must be stable");
+        }
+    }
+
+    /// The LLC routes every address to a valid (slice, set) pair, identically
+    /// for every byte of the same line.
+    #[test]
+    fn llc_set_mapping_is_line_granular(addr in 0u64..0x2_0000_0000u64) {
+        use soc_sim::llc::{Llc, LlcConfig};
+        let llc = Llc::new(LlcConfig::kaby_lake_i7_7700k());
+        let a = PhysAddr::new(addr);
+        let id = llc.set_of(a);
+        prop_assert!(id.slice < 4);
+        prop_assert!(id.set < 2048);
+        prop_assert_eq!(llc.set_of(a.line_base()), id);
+    }
+}

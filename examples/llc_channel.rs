@@ -1,0 +1,56 @@
+//! LLC channel deep dive: compare the three L3-eviction strategies and the
+//! two transmission directions, and show the effect of redundant LLC sets —
+//! i.e. a miniature version of Figures 7 and 8.
+//!
+//! Run with: `cargo run --release --example llc_channel`
+
+use leaky_buddies::prelude::*;
+
+fn run(config: LlcChannelConfig, bits: &[bool]) -> Result<TransmissionReport, ChannelError> {
+    let mut channel = LlcChannel::new(config)?;
+    Ok(channel.transmit(bits))
+}
+
+fn main() -> Result<(), ChannelError> {
+    let bits = test_pattern(200, 1);
+    let short = test_pattern(24, 2);
+
+    println!("== Eviction strategies (Figure 7) ==");
+    for strategy in L3EvictionStrategy::ALL {
+        // The whole-L3 clear is orders of magnitude slower; use fewer bits.
+        let payload = if strategy == L3EvictionStrategy::FullL3Clear { &short } else { &bits };
+        let report = run(
+            LlcChannelConfig::paper_default().with_strategy(strategy),
+            payload,
+        )?;
+        println!(
+            "  {:<22} {:>8.1} kb/s   error {:>5.2}%",
+            strategy.label(),
+            report.bandwidth_kbps(),
+            report.error_rate() * 100.0
+        );
+    }
+
+    println!("== Directions ==");
+    for direction in [Direction::GpuToCpu, Direction::CpuToGpu] {
+        let report = run(LlcChannelConfig::paper_default().with_direction(direction), &bits)?;
+        println!(
+            "  {:<12} {:>8.1} kb/s   error {:>5.2}%",
+            direction.label(),
+            report.bandwidth_kbps(),
+            report.error_rate() * 100.0
+        );
+    }
+
+    println!("== Redundant LLC sets (Figure 8) ==");
+    for sets in [1usize, 2, 4] {
+        let report = run(LlcChannelConfig::paper_default().with_sets_per_role(sets), &bits)?;
+        println!(
+            "  {} set(s): {:>8.1} kb/s   error {:>5.2}%",
+            sets,
+            report.bandwidth_kbps(),
+            report.error_rate() * 100.0
+        );
+    }
+    Ok(())
+}

@@ -1,0 +1,80 @@
+//! Reverse-engineering walk-through: everything the attacker must learn about
+//! the asymmetric hierarchy before either covert channel can run.
+//!
+//! 1. Characterize the custom GPU timer (Figure 4).
+//! 2. Recover the LLC slice hash from timing (Equations 1/2).
+//! 3. Show the GPU L3 is not inclusive of the LLC and recover its placement
+//!    bits (Section III-D).
+//! 4. Build an LLC eviction set by pure timing (group-testing reduction) and
+//!    validate it from the GPU side through shared virtual memory.
+//!
+//! Run with: `cargo run --release --example reverse_engineering`
+
+use leaky_buddies::prelude::*;
+
+fn main() {
+    let mut soc = Soc::new(SocConfig::kaby_lake_noiseless());
+
+    println!("== 1. Custom timer characterization (Figure 4) ==");
+    let characterization = characterize_default(&mut soc, 20);
+    println!(
+        "  L3 hit   : {:>7.1} ticks (sd {:>5.2})",
+        characterization.l3.mean, characterization.l3.std_dev
+    );
+    println!(
+        "  LLC hit  : {:>7.1} ticks (sd {:>5.2})",
+        characterization.llc.mean, characterization.llc.std_dev
+    );
+    println!(
+        "  memory   : {:>7.1} ticks (sd {:>5.2})",
+        characterization.memory.mean, characterization.memory.std_dev
+    );
+    println!("  separable: {}", characterization.is_separable());
+
+    println!("== 2. LLC slice-hash recovery (Equations 1/2) ==");
+    let mut cpu = CpuThread::pinned(0);
+    let recovery = recover_slice_hash(&mut cpu, &mut soc, PhysAddr::new(0x1_0000_0000), 96);
+    println!("  timing-observed slices : {}", recovery.observed_slices());
+    println!("  hash input bits (17-29): {:?}", recovery.influencing_bits());
+    let truth = ground_truth_bits(&SliceHash::kaby_lake_i7_7700k(), 17, 30);
+    println!("  ground truth           : {truth:?}");
+    println!("  match                  : {}", recovery.influencing_bits() == truth);
+
+    println!("== 3. GPU L3: inclusiveness and placement geometry ==");
+    let mut gpu = GpuKernel::launch_attack_kernel();
+    let threshold = characterization.l3_llc_threshold();
+    let inc = l3_inclusiveness_test(&mut soc, &mut gpu, &mut cpu, PhysAddr::new(0x7000_0000), threshold);
+    println!(
+        "  after CPU clflush the GPU re-access took {} ticks -> L3 is {}",
+        inc.final_access_ticks,
+        if inc.l3_is_non_inclusive { "NOT inclusive of the LLC" } else { "inclusive" }
+    );
+    let bits = discover_l3_index_bits(
+        &mut soc,
+        &mut gpu,
+        PhysAddr::new(0xB000_0000),
+        &(6..20).collect::<Vec<_>>(),
+        threshold,
+    );
+    println!("  L3 placement index bits: {bits:?} (expected 6..=15)");
+
+    println!("== 4. LLC eviction set by timing (group-testing reduction) ==");
+    let victim = PhysAddr::new(0x4400_0000);
+    let target_set = soc.llc().set_of(victim);
+    // Candidate pool: lines sharing the victim's page offset, as an attacker
+    // with 4 KiB pages would gather them, plus decoys.
+    let pool: Vec<PhysAddr> = (1..400u64)
+        .map(|i| PhysAddr::new(victim.value() + i * 128 * 1024))
+        .collect();
+    let ways = soc.llc().config().ways;
+    match find_minimal_eviction_set(&mut cpu, &mut soc, victim, &pool, ways, CPU_MISS_THRESHOLD_CYCLES) {
+        Ok(set) => {
+            let pure = set.iter().all(|a| soc.llc().set_of(*a) == target_set);
+            println!("  reduced {} candidates to {} addresses (all in the victim's set: {pure})", pool.len(), set.len());
+            let (cycles, evicted) =
+                validate_set_from_gpu(&mut cpu, &mut gpu, &mut soc, victim, &set, CPU_MISS_THRESHOLD_CYCLES);
+            println!("  GPU-side validation: victim re-access took {cycles} cycles, evicted = {evicted}");
+        }
+        Err(e) => println!("  eviction-set construction failed: {e}"),
+    }
+}

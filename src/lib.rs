@@ -1,0 +1,44 @@
+//! # leaky-buddies — reproduction of *Leaky Buddies: Cross-Component Covert
+//! Channels on Integrated CPU-GPU Systems* (ISCA 2021)
+//!
+//! This root crate simply re-exports the four workspace crates so examples
+//! and downstream users can depend on a single name:
+//!
+//! * [`soc_sim`] — the timing simulator of the Kaby Lake + Gen9 SoC
+//!   (sliced LLC, GPU L3, SLM, ring interconnect, clock domains);
+//! * [`gpu_exec`] — the integrated-GPU execution model (work-group dispatch,
+//!   wavefronts, the custom SLM counter timer);
+//! * [`cpu_exec`] — the CPU-side attacker primitives (timed loads, `clflush`,
+//!   pointer-chase buffers);
+//! * [`covert`] — the paper's contribution: reverse engineering, the LLC
+//!   Prime+Probe channel and the ring-contention channel, plus evaluation
+//!   metrics.
+//!
+//! See `README.md` for a tour, `DESIGN.md` for the system inventory and the
+//! hardware-substitution argument, and `EXPERIMENTS.md` for paper-vs-measured
+//! results of every figure.
+//!
+//! ```
+//! use leaky_buddies::prelude::*;
+//!
+//! let mut channel = LlcChannel::new(LlcChannelConfig::paper_default())?;
+//! let report = channel.transmit(&bytes_to_bits(b"hi"));
+//! assert_eq!(report.bit_count(), 16);
+//! # Ok::<(), ChannelError>(())
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub use covert;
+pub use cpu_exec;
+pub use gpu_exec;
+pub use soc_sim;
+
+/// One-stop prelude re-exporting the preludes of every workspace crate.
+pub mod prelude {
+    pub use covert::prelude::*;
+    pub use cpu_exec::prelude::*;
+    pub use gpu_exec::prelude::*;
+    pub use soc_sim::prelude::*;
+}

@@ -1,0 +1,58 @@
+//! Ablation of Section III-E: GPU thread-level parallelism is what bridges
+//! the 4:1 CPU/GPU clock disparity. Disabling it (a single access thread)
+//! must lengthen every GPU phase and therefore cut the channel bandwidth and
+//! raise the desynchronization error.
+
+use leaky_buddies::prelude::*;
+
+fn run(parallel: bool, bits: &[bool]) -> TransmissionReport {
+    let config = LlcChannelConfig {
+        gpu_parallelism: parallel,
+        ..LlcChannelConfig::paper_default()
+    };
+    let mut channel = LlcChannel::new(config).expect("channel setup");
+    channel.transmit(bits)
+}
+
+#[test]
+fn disabling_gpu_parallelism_reduces_bandwidth() {
+    let bits = test_pattern(150, 31);
+    let with = run(true, &bits);
+    let without = run(false, &bits);
+    assert!(
+        with.bandwidth_kbps() > without.bandwidth_kbps() * 1.5,
+        "parallel {} kb/s vs serial {} kb/s",
+        with.bandwidth_kbps(),
+        without.bandwidth_kbps()
+    );
+}
+
+#[test]
+fn disabling_gpu_parallelism_does_not_reduce_error() {
+    // With a serial GPU the phase-duration mismatch grows, so the error rate
+    // must not improve meaningfully (it typically worsens); a small slack
+    // absorbs the statistical wobble of a finite transmission.
+    let bits = test_pattern(800, 32);
+    let with = run(true, &bits);
+    let without = run(false, &bits);
+    assert!(
+        without.error_rate() + 0.015 >= with.error_rate(),
+        "serial error {} unexpectedly lower than parallel {}",
+        without.error_rate(),
+        with.error_rate()
+    );
+}
+
+#[test]
+fn parallel_probe_is_faster_than_serial_probe_at_the_soc_level() {
+    // The mechanism behind the ablation: 16 ways probed in parallel cost
+    // roughly one access latency, not sixteen.
+    let mut soc = Soc::new(SocConfig::kaby_lake_noiseless());
+    let addrs: Vec<PhysAddr> = (0..16u64).map(|i| PhysAddr::new(0x900_0000 + i * 64)).collect();
+    for &a in &addrs {
+        soc.gpu_access(a, Time::ZERO);
+    }
+    let serial = soc.gpu_access_parallel(&addrs, 1, Time::from_us(10)).total_latency;
+    let parallel = soc.gpu_access_parallel(&addrs, 16, Time::from_us(20)).total_latency;
+    assert!(parallel.as_ps() * 4 < serial.as_ps());
+}

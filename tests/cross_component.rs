@@ -1,0 +1,131 @@
+//! Cross-crate integration tests of the SoC substrate properties the attacks
+//! rely on: inclusive/non-inclusive behaviour, SVM address sharing, and the
+//! contention visible on the ring when CPU and GPU traffic overlaps.
+
+use leaky_buddies::prelude::*;
+
+#[test]
+fn svm_lets_the_gpu_reuse_cpu_derived_eviction_sets() {
+    let mut soc = Soc::new(SocConfig::kaby_lake_noiseless());
+    let mut space = soc.create_process();
+    space.share_with_gpu();
+    let buf = soc.alloc(&mut space, 1 << 30, PageKind::Huge).unwrap();
+    let base = space.translate(buf.base).unwrap();
+
+    // Derive an eviction set on the CPU side by address arithmetic.
+    let target_set = soc.llc().set_of(base);
+    let ways = soc.llc().config().ways;
+    let eviction_set = addresses_in_llc_set(&soc, target_set, base, 1 << 30, ways).unwrap();
+
+    // The GPU translates the same virtual addresses to the same physical
+    // addresses, so the set is valid from the GPU too.
+    let kernel = GpuKernel::launch_attack_kernel();
+    for (pa, offset) in eviction_set.iter().zip(0u64..) {
+        let va = VirtAddr::new(buf.base.value() + (pa.value() - base.value()));
+        assert_eq!(kernel.translate(&space, va).unwrap(), *pa, "offset {offset}");
+    }
+
+    // And walking it from the GPU evicts a CPU-resident victim.
+    let mut cpu = CpuThread::pinned(0);
+    let mut gpu = GpuKernel::launch_attack_kernel();
+    let victim = eviction_set[0];
+    let others: Vec<PhysAddr> = soc
+        .llc()
+        .enumerate_set_addresses(target_set, PhysAddr::new(0x2000_0000), ways);
+    cpu.load(&mut soc, victim);
+    let (_, evicted) =
+        validate_set_from_gpu(&mut cpu, &mut gpu, &mut soc, victim, &others, CPU_MISS_THRESHOLD_CYCLES);
+    assert!(evicted);
+}
+
+#[test]
+fn clflush_cannot_purge_the_gpu_l3() {
+    // The asymmetric inclusiveness at the heart of Section III-D, exercised
+    // through the public execution-model APIs.
+    let mut soc = Soc::new(SocConfig::kaby_lake_noiseless());
+    let mut cpu = CpuThread::pinned(0);
+    let mut gpu = GpuKernel::launch_attack_kernel();
+    let line = PhysAddr::new(0x66_0000);
+
+    gpu.load(&mut soc, line);
+    cpu.synchronize_to(gpu.now());
+    cpu.load(&mut soc, line);
+    cpu.clflush(&mut soc, line);
+
+    assert!(!soc.llc().contains(line));
+    gpu.synchronize_to(cpu.now());
+    let outcome = gpu.load(&mut soc, line);
+    assert_eq!(outcome.level, HitLevel::GpuL3);
+
+    // The CPU caches, in contrast, *are* under the inclusive LLC: evicting
+    // the line from the LLC back-invalidates them.
+    cpu.load(&mut soc, line);
+    let set = soc.llc().set_of(line);
+    let conflicts = soc
+        .llc()
+        .enumerate_set_addresses(set, PhysAddr::new(0x3000_0000), soc.llc().config().ways + 2);
+    for &c in &conflicts {
+        gpu.load(&mut soc, c);
+    }
+    assert!(!soc.llc().contains(line));
+    assert!(!soc.in_cpu_private_caches(line));
+}
+
+#[test]
+fn concurrent_gpu_traffic_slows_cpu_llc_accesses() {
+    // The physical effect behind the contention channel, measured end to end
+    // through the execution models rather than the channel abstraction.
+    let mut soc = Soc::new(SocConfig::kaby_lake_noiseless());
+    let mut cpu = CpuThread::pinned(0);
+    let mut gpu = GpuKernel::launch_attack_kernel();
+
+    // Warm 256 CPU lines and 1024 GPU lines into the LLC (disjoint regions).
+    let cpu_lines: Vec<PhysAddr> = (0..256u64).map(|i| PhysAddr::new(0x1000_0000 + i * 64)).collect();
+    let gpu_lines: Vec<PhysAddr> = (0..1024u64).map(|i| PhysAddr::new(0x2000_0000 + i * 4096)).collect();
+    for &a in &cpu_lines {
+        cpu.load(&mut soc, a);
+        cpu.clflush(&mut soc, a);
+        cpu.load(&mut soc, a); // back in LLC, and in L1/L2
+    }
+    gpu.synchronize_to(cpu.now());
+    gpu.parallel_load(&mut soc, &gpu_lines);
+    cpu.synchronize_to(gpu.now());
+
+    // Evict from the private caches so every probe reaches the LLC.
+    for &a in &cpu_lines {
+        cpu.clflush(&mut soc, a);
+    }
+    let mut warm = CpuThread::pinned(1);
+    warm.synchronize_to(cpu.now());
+    for &a in &cpu_lines {
+        warm.load(&mut soc, a);
+    }
+    cpu.synchronize_to(warm.now());
+    gpu.synchronize_to(warm.now());
+
+    // Quiet pass.
+    let quiet_start = cpu.now();
+    for &a in &cpu_lines[..128] {
+        cpu.load(&mut soc, a);
+    }
+    let quiet = cpu.now() - quiet_start;
+
+    // Contended pass: the GPU streams its buffer at the same time.
+    gpu.synchronize_to(cpu.now());
+    let contended_start = cpu.now();
+    let mut gpu_cursor = 0usize;
+    for &a in &cpu_lines[128..] {
+        if gpu_cursor + 16 <= gpu_lines.len() && gpu.now() <= cpu.now() {
+            gpu.parallel_load(&mut soc, &gpu_lines[gpu_cursor..gpu_cursor + 16]);
+            gpu_cursor += 16;
+        }
+        cpu.load(&mut soc, a);
+    }
+    let contended = cpu.now() - contended_start;
+
+    assert!(
+        contended > quiet,
+        "contended pass ({contended}) must be slower than the quiet pass ({quiet})"
+    );
+    assert!(soc.contention_snapshot().ring_contention_ratio() > 0.0);
+}

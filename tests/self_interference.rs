@@ -1,0 +1,92 @@
+//! The self-interference hazard of Section III-D: the GPU's L3 eviction
+//! ("pollute") addresses share the target's L3 placement bits, but if they
+//! also fall into the target's **LLC** set they evict the very lines the
+//! channel is trying to observe, destroying the signal. The paper's precise
+//! construction therefore requires pollute addresses to live in *other* LLC
+//! sets; these tests demonstrate both the hazard and the fix.
+
+use leaky_buddies::prelude::*;
+
+/// Builds a "naive" pollute set that conflicts with the target in the L3
+/// *and* (wrongly) in the LLC: addresses that share all 17 low bits.
+fn naive_pollute(soc: &Soc, target: PhysAddr, count: usize) -> Vec<PhysAddr> {
+    let llc = soc.llc();
+    let l3 = soc.gpu_l3();
+    let mut out = Vec::new();
+    let mut candidate = target.value() + (1 << 17);
+    while out.len() < count {
+        let a = PhysAddr::new(candidate);
+        if l3.placement_index(a) == l3.placement_index(target) && llc.set_of(a) == llc.set_of(target) {
+            out.push(a);
+        }
+        candidate += 1 << 17;
+    }
+    out
+}
+
+#[test]
+fn naive_pollute_set_evicts_the_target_from_the_llc_too() {
+    let mut soc = Soc::new(SocConfig::kaby_lake_noiseless());
+    let mut gpu = GpuKernel::launch_attack_kernel();
+    let target = PhysAddr::new(0x123_0000);
+    gpu.load(&mut soc, target);
+    assert!(soc.llc().contains(target));
+
+    // Walking a same-LLC-set pollute buffer (more lines than the LLC has
+    // ways) kicks the target out of the LLC — self-interference.
+    let pollute = naive_pollute(&soc, target, soc.llc().config().ways + 4);
+    for _ in 0..2 {
+        for &a in &pollute {
+            gpu.load(&mut soc, a);
+        }
+    }
+    assert!(
+        !soc.llc().contains(target),
+        "naive pollute set must demonstrate the self-interference hazard"
+    );
+}
+
+#[test]
+fn precise_pollute_set_preserves_the_llc_copy() {
+    let mut soc = Soc::new(SocConfig::kaby_lake_noiseless());
+    let mut gpu = GpuKernel::launch_attack_kernel();
+    let target = PhysAddr::new(0x123_0000);
+    gpu.load(&mut soc, target);
+
+    let pollute = precise_l3_eviction_set(
+        &soc,
+        target,
+        PhysAddr::new(0x4000_0000),
+        256 * 1024 * 1024,
+        soc.gpu_l3().ways() * 5,
+    )
+    .expect("pollute pool");
+    for &a in &pollute {
+        gpu.load(&mut soc, a);
+    }
+    assert!(!soc.gpu_l3().contains(target), "target must leave the L3");
+    assert!(soc.llc().contains(target), "target must stay in the LLC");
+}
+
+#[test]
+fn llc_only_strategy_also_respects_the_constraint() {
+    // Even the weaker "LLC knowledge only" strategy never aliases the
+    // communication set (it just needs more addresses overall).
+    let soc = Soc::new(SocConfig::kaby_lake_noiseless());
+    let target = PhysAddr::new(0xABC_0040);
+    for strategy in [L3EvictionStrategy::LlcKnowledgeOnly, L3EvictionStrategy::PreciseL3] {
+        let pollute = build_pollute_set(
+            &soc,
+            strategy,
+            target,
+            PhysAddr::new(0x8000_0000),
+            256 * 1024 * 1024,
+        )
+        .expect("pollute set");
+        assert!(
+            pollute.iter().all(|a| soc.llc().set_of(*a) != soc.llc().set_of(target)),
+            "{:?} produced an address aliasing the target's LLC set",
+            strategy
+        );
+    }
+}
