@@ -24,17 +24,19 @@ fn bench_fig7(c: &mut Criterion) {
 
     let mut group = c.benchmark_group("fig7_llc_strategy_transmission");
     group.sample_size(10);
-    for strategy in [L3EvictionStrategy::PreciseL3, L3EvictionStrategy::LlcKnowledgeOnly] {
+    for strategy in [
+        L3EvictionStrategy::PreciseL3,
+        L3EvictionStrategy::LlcKnowledgeOnly,
+    ] {
         group.bench_with_input(
             BenchmarkId::from_parameter(strategy.label()),
             &strategy,
             |b, &strategy| {
                 let bits = test_pattern(32, 7);
                 b.iter(|| {
-                    let mut channel = LlcChannel::new(
-                        LlcChannelConfig::paper_default().with_strategy(strategy),
-                    )
-                    .expect("channel setup");
+                    let mut channel =
+                        LlcChannel::new(LlcChannelConfig::paper_default().with_strategy(strategy))
+                            .expect("channel setup");
                     black_box(channel.transmit(&bits))
                 });
             },

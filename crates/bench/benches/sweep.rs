@@ -1,0 +1,39 @@
+//! Scenario-sweep bench: prints the full backend x channel x noise grid and
+//! times the parallel runner against the serial baseline, so scheduler or
+//! engine regressions show up in `cargo bench`.
+
+use bench::{default_grid, SweepRunner};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn bench_sweep(c: &mut Criterion) {
+    println!("\n[sweep] backend x channel x noise grid");
+    for result in SweepRunner::with_default_threads().run(&default_grid(120)) {
+        match result.outcome {
+            Ok(outcome) => println!(
+                "[sweep] {:<58} {:>9.1} kb/s, error {:>5.2}%",
+                result.point.label(),
+                outcome.bandwidth_kbps,
+                outcome.error_rate * 100.0
+            ),
+            Err(err) => println!("[sweep] {:<58} unusable: {err}", result.point.label()),
+        }
+    }
+
+    let mut group = c.benchmark_group("scenario_sweep");
+    group.sample_size(3);
+    for threads in [1usize, 4] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{threads}_threads")),
+            &threads,
+            |b, &threads| {
+                let grid = default_grid(48);
+                b.iter(|| black_box(SweepRunner::new(threads).run(black_box(&grid))));
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_sweep);
+criterion_main!(benches);

@@ -6,7 +6,7 @@
 //!
 //! ```text
 //! repro [--fig4] [--fig7] [--fig8] [--fig9] [--fig10] [--headline]
-//!       [--slice-hash] [--l3] [--ablation] [--all] [--quick]
+//!       [--slice-hash] [--l3] [--ablation] [--sweep] [--all] [--quick]
 //! ```
 //!
 //! With no experiment flag, `--all` is assumed. `--quick` shrinks the bit
@@ -24,6 +24,7 @@ struct Options {
     slice_hash: bool,
     l3: bool,
     ablation: bool,
+    sweep: bool,
     quick: bool,
 }
 
@@ -41,6 +42,7 @@ impl Options {
             "--slice-hash",
             "--l3",
             "--ablation",
+            "--sweep",
         ]
         .iter()
         .any(|f| has(f));
@@ -55,6 +57,7 @@ impl Options {
             slice_hash: all || has("--slice-hash"),
             l3: all || has("--l3"),
             ablation: all || has("--ablation"),
+            sweep: all || has("--sweep"),
             quick: has("--quick"),
         }
     }
@@ -101,7 +104,10 @@ fn main() {
     if opts.fig4 {
         banner("Figure 4: custom timer characterization");
         let (rows, separable) = fig4_timer_characterization(if opts.quick { 12 } else { 40 });
-        println!("{:<8} {:>12} {:>10} {:>12}", "class", "mean ticks", "std dev", "approx ns");
+        println!(
+            "{:<8} {:>12} {:>10} {:>12}",
+            "class", "mean ticks", "std dev", "approx ns"
+        );
         for r in rows {
             println!(
                 "{:<8} {:>12.1} {:>10.2} {:>12.1}",
@@ -131,7 +137,10 @@ fn main() {
 
     if opts.fig8 {
         banner("Figure 8: error and bandwidth vs number of redundant LLC sets");
-        println!("{:<12} {:>6} {:>14} {:>10}", "direction", "sets", "kb/s", "error");
+        println!(
+            "{:<12} {:>6} {:>14} {:>10}",
+            "direction", "sets", "kb/s", "error"
+        );
         for r in fig8_llc_sets(llc_bits) {
             println!(
                 "{:<12} {:>6} {:>14.1} {:>9.2}%",
@@ -192,6 +201,29 @@ fn main() {
                 r.bandwidth_kbps,
                 r.error_rate * 100.0
             );
+        }
+    }
+
+    if opts.sweep {
+        banner("Scenario sweep: backend x channel x noise, in parallel");
+        let runner = SweepRunner::with_default_threads();
+        println!("({} worker threads)", runner.threads());
+        println!(
+            "{:<58} {:>12} {:>9} {:>12} {:>8}",
+            "scenario", "kb/s", "error", "symbol (ns)", "quality"
+        );
+        for result in runner.run(&default_grid(if opts.quick { 64 } else { 200 })) {
+            match result.outcome {
+                Ok(outcome) => println!(
+                    "{:<58} {:>12.1} {:>8.2}% {:>12.0} {:>8.1}",
+                    result.point.label(),
+                    outcome.bandwidth_kbps,
+                    outcome.error_rate * 100.0,
+                    outcome.symbol_time_ns,
+                    outcome.calibration_quality,
+                ),
+                Err(err) => println!("{:<58} unusable: {err}", result.point.label()),
+            }
         }
     }
 

@@ -7,6 +7,13 @@
 
 #![warn(missing_docs)]
 
+pub mod sweep;
+
+pub use sweep::{
+    default_grid, run_point, ChannelKind, NoiseLevel, SweepOutcome, SweepPoint, SweepResult,
+    SweepRunner,
+};
+
 use covert::prelude::*;
 use covert::reverse::slice_hash::{FIRST_NON_INDEX_BIT, HUGE_PAGE_BIT_LIMIT};
 use cpu_exec::prelude::CpuThread;
@@ -72,9 +79,9 @@ pub struct Fig7Row {
 }
 
 /// Figure 7: LLC channel bandwidth under the three L3-eviction strategies,
-/// in both directions.
+/// in both directions. The six (strategy, direction) cells run concurrently
+/// on the [`SweepRunner`].
 pub fn fig7_llc_strategies(bits: usize) -> Vec<Fig7Row> {
-    let pattern = test_pattern(bits, 0xF167);
     let paper = |s: L3EvictionStrategy, d: Direction| match (s, d) {
         (L3EvictionStrategy::FullL3Clear, _) => 1.0,
         (L3EvictionStrategy::LlcKnowledgeOnly, Direction::GpuToCpu) => 70.0,
@@ -82,7 +89,7 @@ pub fn fig7_llc_strategies(bits: usize) -> Vec<Fig7Row> {
         (L3EvictionStrategy::PreciseL3, Direction::GpuToCpu) => 120.0,
         (L3EvictionStrategy::PreciseL3, Direction::CpuToGpu) => 118.0,
     };
-    let mut rows = Vec::new();
+    let mut points = Vec::new();
     for direction in [Direction::GpuToCpu, Direction::CpuToGpu] {
         for strategy in L3EvictionStrategy::ALL {
             // The full-clear configuration is orders of magnitude slower, so
@@ -92,21 +99,32 @@ pub fn fig7_llc_strategies(bits: usize) -> Vec<Fig7Row> {
             } else {
                 bits
             };
-            let config = LlcChannelConfig::paper_default()
-                .with_direction(direction)
-                .with_strategy(strategy);
-            let mut channel = LlcChannel::new(config).expect("channel setup");
-            let report = channel.transmit(&pattern[..effective_bits]);
-            rows.push(Fig7Row {
-                strategy: strategy.label(),
-                direction: direction.label(),
-                bandwidth_kbps: report.bandwidth_kbps(),
-                error_rate: report.error_rate(),
-                paper_kbps: paper(strategy, direction),
+            points.push(SweepPoint {
+                direction,
+                strategy,
+                bits: effective_bits,
+                ..SweepPoint::paper_default(
+                    SocBackend::KabyLakeGen9,
+                    ChannelKind::LlcPrimeProbe,
+                    NoiseLevel::Quiet,
+                )
             });
         }
     }
-    rows
+    SweepRunner::with_default_threads()
+        .run(&points)
+        .into_iter()
+        .map(|result| {
+            let outcome = result.outcome.expect("channel setup");
+            Fig7Row {
+                strategy: result.point.strategy.label(),
+                direction: result.point.direction.label(),
+                bandwidth_kbps: outcome.bandwidth_kbps,
+                error_rate: outcome.error_rate,
+                paper_kbps: paper(result.point.strategy, result.point.direction),
+            }
+        })
+        .collect()
 }
 
 /// One point of Figure 8: error rate and bandwidth as a function of the
@@ -124,26 +142,38 @@ pub struct Fig8Row {
 }
 
 /// Figure 8: error and bandwidth versus the number of redundant LLC sets.
+/// The eight (direction, redundancy) cells run concurrently on the
+/// [`SweepRunner`].
 pub fn fig8_llc_sets(bits: usize) -> Vec<Fig8Row> {
-    let pattern = test_pattern(bits, 0x88);
-    let mut rows = Vec::new();
+    let mut points = Vec::new();
     for direction in [Direction::GpuToCpu, Direction::CpuToGpu] {
         for sets in [1usize, 2, 4, 8] {
-            let config = LlcChannelConfig::paper_default()
-                .with_direction(direction)
-                .with_sets_per_role(sets)
-                .with_seed(29 + sets as u64);
-            let mut channel = LlcChannel::new(config).expect("channel setup");
-            let report = channel.transmit(&pattern);
-            rows.push(Fig8Row {
-                direction: direction.label(),
+            points.push(SweepPoint {
+                direction,
                 sets_per_role: sets,
-                bandwidth_kbps: report.bandwidth_kbps(),
-                error_rate: report.error_rate(),
+                bits,
+                seed: 29 + sets as u64,
+                ..SweepPoint::paper_default(
+                    SocBackend::KabyLakeGen9,
+                    ChannelKind::LlcPrimeProbe,
+                    NoiseLevel::Quiet,
+                )
             });
         }
     }
-    rows
+    SweepRunner::with_default_threads()
+        .run(&points)
+        .into_iter()
+        .map(|result| {
+            let outcome = result.outcome.expect("channel setup");
+            Fig8Row {
+                direction: result.point.direction.label(),
+                sets_per_role: result.point.sets_per_role,
+                bandwidth_kbps: outcome.bandwidth_kbps,
+                error_rate: outcome.error_rate,
+            }
+        })
+        .collect()
 }
 
 /// One point of Figure 9: the calibrated iteration factor for a GPU buffer
@@ -199,37 +229,52 @@ pub struct Fig10Row {
 }
 
 /// Figure 10: contention-channel parameter sweep (GPU buffer size x
-/// work-group count), `runs` independent repetitions per point.
+/// work-group count), `runs` independent repetitions per point. All
+/// `2 x 4 x runs` scenarios run concurrently on the [`SweepRunner`]; the
+/// repetitions of each cell are then folded into confidence intervals.
 pub fn fig10_contention(bits: usize, runs: usize) -> Vec<Fig10Row> {
-    let mut rows = Vec::new();
-    for &buffer in &[1024 * 1024u64, 2 * 1024 * 1024] {
-        for &workgroups in &[1usize, 2, 4, 8] {
-            let mut bandwidths = Vec::with_capacity(runs);
-            let mut errors = Vec::with_capacity(runs);
-            let mut iteration_factor = 1;
+    let buffers = [1024 * 1024u64, 2 * 1024 * 1024];
+    let workgroup_counts = [1usize, 2, 4, 8];
+    let mut points = Vec::new();
+    for &buffer in &buffers {
+        for &workgroups in &workgroup_counts {
             for run in 0..runs {
-                let pattern = test_pattern(bits, 0x1010 + run as u64);
-                let config = ContentionChannelConfig::paper_default()
-                    .with_gpu_buffer(buffer)
-                    .with_workgroups(workgroups)
-                    .with_seed(1000 + run as u64 * 17 + workgroups as u64);
-                let mut channel = ContentionChannel::new(config).expect("channel setup");
-                let cal = channel.calibrate();
-                if run == 0 {
-                    iteration_factor = cal.iteration_factor;
-                }
-                let report = channel.transmit(&pattern);
-                bandwidths.push(report.bandwidth_kbps());
-                errors.push(report.error_rate());
+                points.push(SweepPoint {
+                    gpu_buffer_bytes: buffer,
+                    workgroups,
+                    bits,
+                    seed: 1000 + run as u64 * 17 + workgroups as u64,
+                    ..SweepPoint::paper_default(
+                        SocBackend::KabyLakeGen9,
+                        ChannelKind::RingContention,
+                        NoiseLevel::Quiet,
+                    )
+                });
             }
-            rows.push(Fig10Row {
-                gpu_buffer_bytes: buffer,
-                workgroups,
-                bandwidth_kbps: SampleStats::from_samples(&bandwidths),
-                error_rate: SampleStats::from_samples(&errors),
-                iteration_factor,
-            });
         }
+    }
+    let results = SweepRunner::with_default_threads().run(&points);
+    let mut rows = Vec::new();
+    for chunk in results.chunks(runs.max(1)) {
+        let buffer = chunk[0].point.gpu_buffer_bytes;
+        let workgroups = chunk[0].point.workgroups;
+        let outcomes: Vec<&SweepOutcome> = chunk
+            .iter()
+            .map(|r| r.outcome.as_ref().expect("channel setup"))
+            .collect();
+        let bandwidths: Vec<f64> = outcomes.iter().map(|o| o.bandwidth_kbps).collect();
+        let errors: Vec<f64> = outcomes.iter().map(|o| o.error_rate).collect();
+        let iteration_factor = outcomes[0]
+            .diagnostics
+            .get("iteration_factor")
+            .map_or(1, |f| f as u32);
+        rows.push(Fig10Row {
+            gpu_buffer_bytes: buffer,
+            workgroups,
+            bandwidth_kbps: SampleStats::from_samples(&bandwidths),
+            error_rate: SampleStats::from_samples(&errors),
+            iteration_factor,
+        });
     }
     rows
 }
@@ -254,8 +299,8 @@ pub fn headline(bits: usize) -> Vec<HeadlineRow> {
     let pattern = test_pattern(bits, 0xBEEF);
     let mut llc = LlcChannel::new(LlcChannelConfig::paper_default()).expect("llc channel");
     let llc_report = llc.transmit(&pattern);
-    let mut contention =
-        ContentionChannel::new(ContentionChannelConfig::paper_default()).expect("contention channel");
+    let mut contention = ContentionChannel::new(ContentionChannelConfig::paper_default())
+        .expect("contention channel");
     let contention_report = contention.transmit(&pattern);
     vec![
         HeadlineRow {

@@ -1,0 +1,439 @@
+//! The parallel scenario-sweep runner.
+//!
+//! Every figure of the paper is a sweep over some axis — eviction strategy,
+//! redundant-set count, trojan buffer size, work-group count — and the
+//! unified [`CovertChannel`] abstraction adds two more: the SoC backend and
+//! the ambient noise level. A [`SweepPoint`] names one cell of that grid; the
+//! [`SweepRunner`] fans a list of points across OS threads with
+//! `std::thread::scope`, builds an isolated backend + channel per point, and
+//! drives it through the shared [`Transceiver`] engine.
+//!
+//! Failures are data: a point whose channel cannot even be set up (the
+//! custom timer drowning in noise, buffers overflowing a partitioned LLC)
+//! records its [`ChannelError`] in the result row instead of aborting the
+//! sweep — which is exactly what the mitigation and noise studies need.
+
+use covert::prelude::*;
+use soc_sim::prelude::*;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Which channel family a sweep point exercises.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ChannelKind {
+    /// The LLC Prime+Probe channel (Section III).
+    LlcPrimeProbe,
+    /// The ring/LLC-port contention channel (Section IV).
+    RingContention,
+}
+
+impl ChannelKind {
+    /// Both channel families, in report order.
+    pub const ALL: [ChannelKind; 2] = [ChannelKind::LlcPrimeProbe, ChannelKind::RingContention];
+
+    /// Human-readable label.
+    pub fn label(self) -> &'static str {
+        match self {
+            ChannelKind::LlcPrimeProbe => "llc-prime-probe",
+            ChannelKind::RingContention => "ring-contention",
+        }
+    }
+}
+
+/// Ambient noise level of a sweep point.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum NoiseLevel {
+    /// Noise model disabled (deterministic).
+    Noiseless,
+    /// The paper's "generally quiet" system.
+    Quiet,
+    /// A loaded system with co-running activity.
+    Noisy,
+}
+
+impl NoiseLevel {
+    /// All levels, in increasing severity.
+    pub const ALL: [NoiseLevel; 3] = [NoiseLevel::Noiseless, NoiseLevel::Quiet, NoiseLevel::Noisy];
+
+    /// Human-readable label.
+    pub fn label(self) -> &'static str {
+        match self {
+            NoiseLevel::Noiseless => "noiseless",
+            NoiseLevel::Quiet => "quiet",
+            NoiseLevel::Noisy => "noisy",
+        }
+    }
+
+    /// The noise configuration this level applies to the backend.
+    pub fn config(self) -> NoiseConfig {
+        match self {
+            NoiseLevel::Noiseless => NoiseConfig::none(),
+            NoiseLevel::Quiet => NoiseConfig::quiet_system(),
+            NoiseLevel::Noisy => NoiseConfig::noisy_system(),
+        }
+    }
+}
+
+/// One cell of the scenario grid: backend × channel × noise × per-channel
+/// parameters.
+#[derive(Debug, Clone)]
+pub struct SweepPoint {
+    /// SoC backend variant.
+    pub backend: SocBackend,
+    /// Channel family.
+    pub channel: ChannelKind,
+    /// Ambient noise level.
+    pub noise: NoiseLevel,
+    /// LLC channel: transmission direction.
+    pub direction: Direction,
+    /// LLC channel: L3 eviction strategy.
+    pub strategy: L3EvictionStrategy,
+    /// LLC channel: redundant sets per protocol role.
+    pub sets_per_role: usize,
+    /// Contention channel: trojan buffer size in bytes.
+    pub gpu_buffer_bytes: u64,
+    /// Contention channel: work-group count.
+    pub workgroups: usize,
+    /// Payload bits moved at this point.
+    pub bits: usize,
+    /// Simulation and payload seed.
+    pub seed: u64,
+}
+
+impl SweepPoint {
+    /// A point with the paper-default parameters for `channel` on `backend`.
+    pub fn paper_default(backend: SocBackend, channel: ChannelKind, noise: NoiseLevel) -> Self {
+        SweepPoint {
+            backend,
+            channel,
+            noise,
+            direction: Direction::GpuToCpu,
+            strategy: L3EvictionStrategy::PreciseL3,
+            sets_per_role: 2,
+            gpu_buffer_bytes: 2 * 1024 * 1024,
+            workgroups: 2,
+            bits: 200,
+            seed: 7,
+        }
+    }
+
+    /// Compact label for report rows.
+    pub fn label(&self) -> String {
+        match self.channel {
+            ChannelKind::LlcPrimeProbe => format!(
+                "{} / {} / {} / {} / {} sets",
+                self.backend.label(),
+                self.channel.label(),
+                self.noise.label(),
+                self.strategy.label(),
+                self.sets_per_role,
+            ),
+            ChannelKind::RingContention => format!(
+                "{} / {} / {} / {} KB x {} WGs",
+                self.backend.label(),
+                self.channel.label(),
+                self.noise.label(),
+                self.gpu_buffer_bytes / 1024,
+                self.workgroups,
+            ),
+        }
+    }
+}
+
+/// Measured outcome of one sweep point.
+#[derive(Debug, Clone)]
+pub struct SweepOutcome {
+    /// Channel bandwidth in kb/s.
+    pub bandwidth_kbps: f64,
+    /// Bit-error rate in `[0, 1]`.
+    pub error_rate: f64,
+    /// Calibrated symbol time in nanoseconds.
+    pub symbol_time_ns: f64,
+    /// Calibration separation quality (see [`Calibration::quality`]).
+    pub calibration_quality: f64,
+    /// Frames the engine moved (1 in raw mode).
+    pub frames_sent: usize,
+    /// Frame retransmissions the engine performed.
+    pub retransmissions: usize,
+    /// The channel's self-description after the run (thresholds, iteration
+    /// factor, backend summary).
+    pub diagnostics: ChannelDiagnostics,
+}
+
+/// One row of a completed sweep: the point and its outcome or failure.
+#[derive(Debug, Clone)]
+pub struct SweepResult {
+    /// The scenario that ran.
+    pub point: SweepPoint,
+    /// The measurement, or the error that stopped the scenario.
+    pub outcome: Result<SweepOutcome, ChannelError>,
+}
+
+/// Executes one sweep point to completion on the calling thread.
+pub fn run_point(point: &SweepPoint, engine: &Transceiver) -> SweepResult {
+    let outcome = run_point_inner(point, engine);
+    SweepResult {
+        point: point.clone(),
+        outcome,
+    }
+}
+
+fn run_point_inner(point: &SweepPoint, engine: &Transceiver) -> Result<SweepOutcome, ChannelError> {
+    let soc_config = point
+        .backend
+        .config()
+        .with_noise(point.noise.config())
+        .with_seed(point.seed);
+    let soc = Soc::new(soc_config.clone());
+    let payload = test_pattern(point.bits, point.seed ^ 0x5EED);
+    match point.channel {
+        ChannelKind::LlcPrimeProbe => {
+            let config = LlcChannelConfig {
+                direction: point.direction,
+                strategy: point.strategy,
+                sets_per_role: point.sets_per_role,
+                seed: point.seed,
+                soc: soc_config,
+                ..LlcChannelConfig::paper_default()
+            };
+            let mut channel = LlcChannel::with_backend(soc, config)?;
+            finish_point(&mut channel, engine, &payload)
+        }
+        ChannelKind::RingContention => {
+            let config = ContentionChannelConfig {
+                gpu_buffer_bytes: point.gpu_buffer_bytes,
+                workgroups: point.workgroups,
+                seed: point.seed,
+                soc: soc_config,
+                ..ContentionChannelConfig::paper_default()
+            };
+            let mut channel = ContentionChannel::with_backend(soc, config)?;
+            finish_point(&mut channel, engine, &payload)
+        }
+    }
+}
+
+/// Drives any [`CovertChannel`] through the engine and summarizes the run —
+/// the single code path shared by every channel family and backend.
+fn finish_point<C: CovertChannel>(
+    channel: &mut C,
+    engine: &Transceiver,
+    payload: &[bool],
+) -> Result<SweepOutcome, ChannelError> {
+    let calibration = channel.calibrate()?;
+    let (report, stats) = engine.transmit_detailed(channel, payload)?;
+    Ok(SweepOutcome {
+        bandwidth_kbps: report.bandwidth_kbps(),
+        error_rate: report.error_rate(),
+        symbol_time_ns: calibration.symbol_time.as_ns_f64(),
+        calibration_quality: calibration.quality,
+        frames_sent: stats.frames_sent,
+        retransmissions: stats.retransmissions,
+        diagnostics: channel.diagnostics(),
+    })
+}
+
+/// Fans sweep points across OS threads.
+#[derive(Debug, Clone)]
+pub struct SweepRunner {
+    threads: usize,
+    engine: TransceiverConfig,
+}
+
+impl SweepRunner {
+    /// Runner with an explicit worker count (clamped to at least 1).
+    pub fn new(threads: usize) -> Self {
+        SweepRunner {
+            threads: threads.max(1),
+            engine: TransceiverConfig::raw(),
+        }
+    }
+
+    /// Runner sized to the machine's available parallelism.
+    pub fn with_default_threads() -> Self {
+        let threads = std::thread::available_parallelism().map_or(4, |n| n.get());
+        SweepRunner::new(threads)
+    }
+
+    /// Overrides the engine configuration every point is driven with
+    /// (default: raw pass-through, matching the per-figure evaluation).
+    pub fn with_engine(mut self, engine: TransceiverConfig) -> Self {
+        self.engine = engine;
+        self
+    }
+
+    /// Worker-thread count.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Runs every point, returning results in input order. Each point gets
+    /// its own backend and channel, so points are fully independent and the
+    /// grid order carries no hidden state.
+    pub fn run(&self, points: &[SweepPoint]) -> Vec<SweepResult> {
+        let next = AtomicUsize::new(0);
+        let results: Mutex<Vec<Option<SweepResult>>> = Mutex::new(vec![None; points.len()]);
+        std::thread::scope(|scope| {
+            for _ in 0..self.threads.min(points.len().max(1)) {
+                scope.spawn(|| {
+                    let engine = Transceiver::new(self.engine);
+                    loop {
+                        let index = next.fetch_add(1, Ordering::Relaxed);
+                        if index >= points.len() {
+                            break;
+                        }
+                        let result = run_point(&points[index], &engine);
+                        results.lock().expect("sweep results lock")[index] = Some(result);
+                    }
+                });
+            }
+        });
+        results
+            .into_inner()
+            .expect("sweep results lock")
+            .into_iter()
+            .map(|r| r.expect("every sweep point produces a result"))
+            .collect()
+    }
+}
+
+impl Default for SweepRunner {
+    fn default() -> Self {
+        Self::with_default_threads()
+    }
+}
+
+/// The default multi-axis scenario grid: every backend × both channels ×
+/// (quiet, noisy) ambient levels, at the paper-default channel parameters.
+pub fn default_grid(bits: usize) -> Vec<SweepPoint> {
+    let mut points = Vec::new();
+    for backend in SocBackend::ALL {
+        for channel in ChannelKind::ALL {
+            for noise in [NoiseLevel::Quiet, NoiseLevel::Noisy] {
+                let mut point = SweepPoint::paper_default(backend, channel, noise);
+                point.bits = bits;
+                // Decorrelate the simulators without losing reproducibility.
+                point.seed = 7 + points.len() as u64 * 131;
+                points.push(point);
+            }
+        }
+    }
+    points
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_grid_covers_every_backend_and_channel() {
+        let grid = default_grid(64);
+        assert_eq!(
+            grid.len(),
+            SocBackend::ALL.len() * ChannelKind::ALL.len() * 2
+        );
+        let backends: std::collections::HashSet<_> = grid.iter().map(|p| p.backend).collect();
+        let channels: std::collections::HashSet<_> = grid.iter().map(|p| p.channel).collect();
+        assert_eq!(backends.len(), SocBackend::ALL.len());
+        assert_eq!(channels.len(), ChannelKind::ALL.len());
+    }
+
+    #[test]
+    fn parallel_sweep_reproduces_the_serial_results() {
+        // The same grid must yield identical rows regardless of worker count
+        // or scheduling: every point owns its backend and RNG stream.
+        let grid = default_grid(24);
+        let serial = SweepRunner::new(1).run(&grid);
+        let parallel = SweepRunner::new(4).run(&grid);
+        assert_eq!(serial.len(), parallel.len());
+        for (a, b) in serial.iter().zip(&parallel) {
+            assert_eq!(a.point.label(), b.point.label());
+            match (&a.outcome, &b.outcome) {
+                (Ok(x), Ok(y)) => {
+                    assert_eq!(x.bandwidth_kbps, y.bandwidth_kbps, "{}", a.point.label());
+                    assert_eq!(x.error_rate, y.error_rate, "{}", a.point.label());
+                }
+                (Err(x), Err(y)) => assert_eq!(x, y),
+                _ => panic!(
+                    "serial/parallel outcome kind mismatch at {}",
+                    a.point.label()
+                ),
+            }
+        }
+    }
+
+    #[test]
+    fn partitioned_backend_breaks_llc_but_not_contention() {
+        let llc = SweepPoint {
+            bits: 96,
+            ..SweepPoint::paper_default(
+                SocBackend::KabyLakeGen9Partitioned,
+                ChannelKind::LlcPrimeProbe,
+                NoiseLevel::Noiseless,
+            )
+        };
+        let contention = SweepPoint {
+            bits: 96,
+            channel: ChannelKind::RingContention,
+            ..llc.clone()
+        };
+        let results = SweepRunner::new(2).run(&[llc, contention]);
+        let llc_outcome = results[0].outcome.as_ref().expect("LLC point sets up fine");
+        let contention_outcome = results[1].outcome.as_ref().expect("contention point runs");
+        assert!(
+            llc_outcome.error_rate > 0.25,
+            "partitioning must degrade Prime+Probe, error {}",
+            llc_outcome.error_rate
+        );
+        assert!(
+            contention_outcome.error_rate < 0.05,
+            "partitioning alone must not stop the contention channel, error {}",
+            contention_outcome.error_rate
+        );
+    }
+
+    #[test]
+    fn infeasible_points_record_errors_instead_of_aborting() {
+        // An 8 MB trojan buffer cannot coexist with the spy inside the 8 MB
+        // Kaby Lake LLC; the Gen11-class backend absorbs it. One sweep, both
+        // outcomes.
+        let mut kaby = SweepPoint::paper_default(
+            SocBackend::KabyLakeGen9,
+            ChannelKind::RingContention,
+            NoiseLevel::Noiseless,
+        );
+        kaby.gpu_buffer_bytes = 8 * 1024 * 1024;
+        kaby.bits = 48;
+        let mut gen11 = kaby.clone();
+        gen11.backend = SocBackend::Gen11Class;
+        let results = SweepRunner::new(2).run(&[kaby, gen11]);
+        assert!(matches!(
+            results[0].outcome,
+            Err(ChannelError::InvalidConfig(_))
+        ));
+        let ok = results[1]
+            .outcome
+            .as_ref()
+            .expect("Gen11-class fits the buffers");
+        assert!(ok.error_rate < 0.10);
+    }
+
+    #[test]
+    fn framed_engine_reports_link_stats() {
+        let mut point = SweepPoint::paper_default(
+            SocBackend::KabyLakeGen9,
+            ChannelKind::RingContention,
+            NoiseLevel::Noiseless,
+        );
+        point.bits = 96;
+        let results = SweepRunner::new(1)
+            .with_engine(TransceiverConfig::paper_default())
+            .run(std::slice::from_ref(&point));
+        let outcome = results[0].outcome.as_ref().unwrap();
+        assert!(
+            outcome.frames_sent >= 2,
+            "96 bits at 64/frame needs 2 frames"
+        );
+        assert!(outcome.error_rate < 0.05);
+    }
+}

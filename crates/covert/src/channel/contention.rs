@@ -7,6 +7,10 @@
 //! staying idle (bit `0`). The receiver decodes by thresholding its measured
 //! access time (Equation 3: `T_total = T_cpu + T_ov`).
 //!
+//! The channel implements [`CovertChannel`] and is driven end to end by the
+//! shared [`crate::channel::engine::Transceiver`]; only the physical symbol
+//! exchange lives here. It is generic over the [`MemorySystem`] backend.
+//!
 //! The channel's quality depends on keeping the two sides overlapped despite
 //! the 4:1 clock disparity. The paper introduces the **iteration factor**
 //! (`IF`, Equation 4): the number of times the GPU re-walks its per-bit
@@ -15,6 +19,9 @@
 //! Figure 9; the bandwidth/error sweep over buffer sizes and work-group
 //! counts reproduces Figure 10.
 
+use crate::channel::engine::{
+    Calibration, ChannelDiagnostics, CovertChannel, FrameResult, Transceiver,
+};
 use crate::error::ChannelError;
 use crate::metrics::TransmissionReport;
 use cpu_exec::prelude::{AccessPattern, CpuThread, LineBuffer};
@@ -23,7 +30,7 @@ use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use soc_sim::clock::Time;
 use soc_sim::page_table::PageKind;
-use soc_sim::prelude::{PhysAddr, Soc, SocConfig};
+use soc_sim::prelude::{MemorySystem, PhysAddr, Soc, SocConfig};
 
 /// Configuration of the contention channel.
 #[derive(Debug, Clone)]
@@ -44,7 +51,9 @@ pub struct ContentionChannelConfig {
     pub background_burst_prob: f64,
     /// Simulator seed.
     pub seed: u64,
-    /// SoC configuration.
+    /// SoC configuration used when the channel builds its own backend via
+    /// [`ContentionChannel::new`]; ignored by
+    /// [`ContentionChannel::with_backend`].
     pub soc: SocConfig,
 }
 
@@ -123,11 +132,33 @@ pub struct CalibrationResult {
     pub contended_cycles: u64,
 }
 
+impl CalibrationResult {
+    /// Engine-level summary of this calibration.
+    fn as_engine_calibration(&self) -> Calibration {
+        // The decision statistic is the window cycle count; its two
+        // populations are the quiet and contended means, and the usable gap
+        // is what the threshold splits.
+        let gap = self.contended_cycles.saturating_sub(self.quiet_cycles) as f64;
+        let spread = (self.quiet_cycles as f64).max(1.0) * 0.05;
+        Calibration {
+            symbol_time: self.cpu_window_time,
+            quality: gap / spread,
+            detail: format!(
+                "IF {}, quiet {} cy, contended {} cy, threshold {} cy",
+                self.iteration_factor,
+                self.quiet_cycles,
+                self.contended_cycles,
+                self.threshold_cycles,
+            ),
+        }
+    }
+}
+
 /// A fully set-up contention channel (owns the SoC and both processes).
 #[derive(Debug)]
-pub struct ContentionChannel {
+pub struct ContentionChannel<M: MemorySystem = Soc> {
     config: ContentionChannelConfig,
-    soc: Soc,
+    soc: M,
     spy: CpuThread,
     background: CpuThread,
     gpu: GpuKernel,
@@ -151,36 +182,53 @@ pub struct ContentionChannel {
 /// the relationship Figure 9 plots.
 const GPU_WINDOW_DIVISOR: u64 = 128;
 
-impl ContentionChannel {
-    /// Sets up the channel: allocates and warms both buffers, filters the
-    /// trojan's lines so the two buffers occupy disjoint LLC sets
-    /// (Equation 6), and launches the trojan kernel.
+impl ContentionChannel<Soc> {
+    /// Sets up the channel on a freshly built [`Soc`] backend configured by
+    /// `config.soc`.
     ///
     /// # Errors
     ///
     /// Returns [`ChannelError::InvalidConfig`] for degenerate configurations
     /// and allocation errors otherwise.
     pub fn new(config: ContentionChannelConfig) -> Result<Self, ChannelError> {
+        let soc = Soc::new(config.soc.clone().with_seed(config.seed));
+        Self::with_backend(soc, config)
+    }
+}
+
+impl<M: MemorySystem> ContentionChannel<M> {
+    /// Sets up the channel on an existing backend: allocates and warms both
+    /// buffers, filters the trojan's lines so the two buffers occupy disjoint
+    /// LLC sets (Equation 6), and launches the trojan kernel.
+    ///
+    /// # Errors
+    ///
+    /// Same failure modes as [`ContentionChannel::new`].
+    pub fn with_backend(mut soc: M, config: ContentionChannelConfig) -> Result<Self, ChannelError> {
         if config.workgroups == 0 {
-            return Err(ChannelError::InvalidConfig("workgroups must be at least 1".into()));
+            return Err(ChannelError::InvalidConfig(
+                "workgroups must be at least 1".into(),
+            ));
         }
         if config.cpu_lines_per_bit == 0 {
-            return Err(ChannelError::InvalidConfig("cpu_lines_per_bit must be at least 1".into()));
+            return Err(ChannelError::InvalidConfig(
+                "cpu_lines_per_bit must be at least 1".into(),
+            ));
         }
-        let llc_capacity = config.soc.llc.capacity_bytes();
+        let llc_capacity = soc.config().llc.capacity_bytes();
         if config.cpu_buffer_bytes + config.gpu_buffer_bytes >= llc_capacity {
             return Err(ChannelError::InvalidConfig(format!(
                 "buffers ({} + {} bytes) must fit well inside the {llc_capacity}-byte LLC (Equation 5)",
                 config.cpu_buffer_bytes, config.gpu_buffer_bytes
             )));
         }
-        let mut soc = Soc::new(config.soc.clone().with_seed(config.seed));
 
         // Spy process and buffer.
         let mut spy_space = soc.create_process();
         let spy_buf = soc.alloc(&mut spy_space, config.cpu_buffer_bytes, PageKind::Small)?;
         let cpu_line_buffer = LineBuffer::resolve(&spy_space, &spy_buf);
-        let cpu_lines = cpu_line_buffer.access_order(AccessPattern::PointerChase { seed: config.seed });
+        let cpu_lines =
+            cpu_line_buffer.access_order(AccessPattern::PointerChase { seed: config.seed });
 
         // Trojan process and buffer (SVM-shared with the GPU).
         let mut trojan_space = soc.create_process();
@@ -193,7 +241,9 @@ impl ContentionChannel {
         let spy_sets: std::collections::HashSet<_> =
             cpu_lines.iter().map(|a| soc.llc().set_of(*a)).collect();
         let gpu_lines: Vec<PhysAddr> = gpu_line_buffer
-            .access_order(AccessPattern::PointerChase { seed: config.seed ^ 0xFF })
+            .access_order(AccessPattern::PointerChase {
+                seed: config.seed ^ 0xFF,
+            })
             .into_iter()
             .filter(|a| !spy_sets.contains(&soc.llc().set_of(*a)))
             .collect();
@@ -207,8 +257,11 @@ impl ContentionChannel {
         // A third, independent buffer models ambient system activity.
         let mut other_space = soc.create_process();
         let other_buf = soc.alloc(&mut other_space, 256 * 1024, PageKind::Small)?;
-        let background_lines = LineBuffer::resolve(&other_space, &other_buf)
-            .access_order(AccessPattern::PointerChase { seed: config.seed ^ 0xABCD });
+        let background_lines = LineBuffer::resolve(&other_space, &other_buf).access_order(
+            AccessPattern::PointerChase {
+                seed: config.seed ^ 0xABCD,
+            },
+        );
 
         // Trojan kernel: `workgroups` work-groups of 256 threads.
         let topology = GpuTopology::gen9_gt2();
@@ -239,6 +292,11 @@ impl ContentionChannel {
     /// The channel configuration.
     pub fn config(&self) -> &ContentionChannelConfig {
         &self.config
+    }
+
+    /// The backend the channel runs against.
+    pub fn backend(&self) -> &M {
+        &self.soc
     }
 
     /// The calibration result, if [`ContentionChannel::calibrate`] has run.
@@ -425,6 +483,14 @@ impl ContentionChannel {
         result
     }
 
+    /// Ensures a cached calibration exists and returns it.
+    fn calibration_or_run(&mut self) -> CalibrationResult {
+        match self.calibration {
+            Some(c) => c,
+            None => self.calibrate(),
+        }
+    }
+
     /// Transmits one bit and returns the spy's decision.
     fn transmit_bit(&mut self, bit: bool, calibration: CalibrationResult) -> bool {
         // Ambient burst: another core occasionally floods the ring too.
@@ -459,16 +525,64 @@ impl ContentionChannel {
         cycles > calibration.threshold_cycles
     }
 
-    /// Transmits a bit string; calibrates first if that has not happened yet.
+    /// Transmits a bit string through the shared engine in raw mode;
+    /// calibrates first if that has not happened yet.
     pub fn transmit(&mut self, bits: &[bool]) -> TransmissionReport {
-        let calibration = match self.calibration {
-            Some(c) => c,
-            None => self.calibrate(),
-        };
+        Transceiver::raw()
+            .transmit(self, bits)
+            .expect("raw contention transmission over a constructed channel cannot fail")
+    }
+}
+
+impl<M: MemorySystem> CovertChannel for ContentionChannel<M> {
+    fn calibrate(&mut self) -> Result<Calibration, ChannelError> {
+        Ok(self.calibration_or_run().as_engine_calibration())
+    }
+
+    fn transmit_frame(&mut self, bits: &[bool]) -> Result<FrameResult, ChannelError> {
+        let calibration = self.calibration_or_run();
         let start = self.spy.now().max(self.gpu.now());
-        let received: Vec<bool> = bits.iter().map(|&b| self.transmit_bit(b, calibration)).collect();
+        let received: Vec<bool> = bits
+            .iter()
+            .map(|&b| self.transmit_bit(b, calibration))
+            .collect();
         let end = self.spy.now().max(self.gpu.now());
-        TransmissionReport::new(bits.to_vec(), received, end - start)
+        Ok(FrameResult {
+            received,
+            elapsed: end - start,
+        })
+    }
+
+    fn nominal_symbol_time(&self) -> Time {
+        match &self.calibration {
+            Some(cal) => cal.cpu_window_time,
+            // Pre-calibration estimate: 256 LLC hits at ~10 ns each.
+            None => Time::from_us(3),
+        }
+    }
+
+    fn diagnostics(&self) -> ChannelDiagnostics {
+        let mut entries = vec![
+            (
+                "cpu_buffer_kb",
+                self.config.cpu_buffer_bytes as f64 / 1024.0,
+            ),
+            (
+                "gpu_buffer_kb",
+                self.config.gpu_buffer_bytes as f64 / 1024.0,
+            ),
+            ("workgroups", self.config.workgroups as f64),
+            ("background_burst_prob", self.config.background_burst_prob),
+        ];
+        if let Some(cal) = &self.calibration {
+            entries.push(("iteration_factor", f64::from(cal.iteration_factor)));
+            entries.push(("threshold_cycles", cal.threshold_cycles as f64));
+        }
+        ChannelDiagnostics {
+            channel: "ring-contention",
+            backend: crate::channel::engine::backend_summary(&self.soc),
+            entries,
+        }
     }
 }
 
@@ -476,6 +590,7 @@ impl ContentionChannel {
 mod tests {
     use super::*;
     use crate::metrics::test_pattern;
+    use soc_sim::prelude::SocBackend;
 
     fn noiseless_config() -> ContentionChannelConfig {
         ContentionChannelConfig {
@@ -536,12 +651,18 @@ mod tests {
 
     #[test]
     fn iteration_factor_decreases_with_gpu_buffer_size() {
-        let mut small =
-            ContentionChannel::new(noiseless_config().with_gpu_buffer(512 * 1024).with_workgroups(1))
-                .unwrap();
-        let mut large =
-            ContentionChannel::new(noiseless_config().with_gpu_buffer(4 * 1024 * 1024).with_workgroups(1))
-                .unwrap();
+        let mut small = ContentionChannel::new(
+            noiseless_config()
+                .with_gpu_buffer(512 * 1024)
+                .with_workgroups(1),
+        )
+        .unwrap();
+        let mut large = ContentionChannel::new(
+            noiseless_config()
+                .with_gpu_buffer(4 * 1024 * 1024)
+                .with_workgroups(1),
+        )
+        .unwrap();
         let if_small = small.calibrate().iteration_factor;
         let if_large = large.calibrate().iteration_factor;
         assert!(
@@ -582,12 +703,48 @@ mod tests {
     #[test]
     fn trojan_lines_avoid_spy_llc_sets() {
         let ch = ContentionChannel::new(noiseless_config()).unwrap();
-        let spy_sets: std::collections::HashSet<_> =
-            ch.cpu_lines.iter().map(|a| ch.soc.llc().set_of(*a)).collect();
+        let spy_sets: std::collections::HashSet<_> = ch
+            .cpu_lines
+            .iter()
+            .map(|a| ch.soc.llc().set_of(*a))
+            .collect();
         assert!(ch
             .gpu_lines
             .iter()
             .all(|a| !spy_sets.contains(&ch.soc.llc().set_of(*a))));
         assert!(ch.gpu_window_lines() >= 16);
+    }
+
+    #[test]
+    fn oversized_buffers_fit_inside_a_gen11_class_llc() {
+        // 16 MB of trojan buffer overflows the 8 MB Kaby Lake LLC but fits
+        // the Gen11-class backend: the same configuration flips from a
+        // rejection to a working channel purely by swapping the backend.
+        let config = ContentionChannelConfig {
+            gpu_buffer_bytes: 8 * 1024 * 1024,
+            background_burst_prob: 0.0,
+            ..noiseless_config()
+        };
+        assert!(matches!(
+            ContentionChannel::new(config.clone()).unwrap_err(),
+            ChannelError::InvalidConfig(_)
+        ));
+        let backend = SocBackend::Gen11Class.build(config.seed);
+        let mut ch = ContentionChannel::with_backend(backend, config).unwrap();
+        let report = ch.transmit(&test_pattern(96, 31));
+        assert!(
+            report.error_rate() < 0.10,
+            "Gen11-class error {}",
+            report.error_rate()
+        );
+    }
+
+    #[test]
+    fn engine_calibration_summary_reflects_the_window_gap() {
+        let mut ch = ContentionChannel::new(noiseless_config()).unwrap();
+        let cal = CovertChannel::calibrate(&mut ch).unwrap();
+        assert!(cal.is_usable(), "quality {}", cal.quality);
+        assert_eq!(cal.symbol_time, ch.calibration().unwrap().cpu_window_time);
+        assert!(ch.diagnostics().get("iteration_factor").unwrap() >= 1.0);
     }
 }

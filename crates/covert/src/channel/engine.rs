@@ -1,0 +1,619 @@
+//! The unified channel abstraction and the shared transceiver engine.
+//!
+//! The paper evaluates two covert channels with very different physical
+//! mechanisms — Prime+Probe over shared LLC sets (Section III) and timing
+//! contention on the ring/LLC ports (Section IV) — but an identical outer
+//! loop: calibrate, move a bit string one symbol at a time, classify what the
+//! receiver saw, and report (bandwidth, error rate). This module factors that
+//! outer loop out of the channels:
+//!
+//! * [`CovertChannel`] is the narrow surface a channel implements — move one
+//!   *frame* of raw bits ([`CovertChannel::transmit_frame`]) and describe
+//!   itself ([`CovertChannel::calibrate`], diagnostics, nominal symbol time).
+//! * [`Transceiver`] owns everything above the symbol level: warm-up,
+//!   splitting payloads into frames, the [`crate::protocol::FRAME_PREAMBLE`]
+//!   sync marker, bounded retransmission of desynchronized frames, and
+//!   [`TransmissionReport`] assembly through the non-aborting constructors.
+//! * [`DesyncModel`] — the clock-disparity slip model both GPU-paced channels
+//!   share — lives here so any backend/channel pair can reuse it.
+//!
+//! Channels are generic over [`soc_sim::backend::MemorySystem`], so the same
+//! engine drives a channel against the paper's Kaby Lake + Gen9 model, the
+//! partitioned-LLC mitigation, a Gen11-class topology, or any future backend.
+
+use crate::error::ChannelError;
+use crate::metrics::TransmissionReport;
+use crate::protocol::{deframe_bits, frame_bits, ProbeObservation, FRAME_PREAMBLE};
+use rand::rngs::SmallRng;
+use rand::Rng;
+use soc_sim::clock::Time;
+use soc_sim::prelude::MemorySystem;
+
+/// One-line description of a backend's LLC geometry, shared by every
+/// channel's [`ChannelDiagnostics`].
+pub fn backend_summary<M: MemorySystem>(soc: &M) -> String {
+    let llc = soc.llc().config();
+    format!(
+        "LLC {} MB / {} slices x {} ways{}",
+        llc.capacity_bytes() / (1024 * 1024),
+        llc.slices(),
+        llc.ways,
+        if soc.config().llc_partition.is_some() {
+            ", way-partitioned"
+        } else {
+            ""
+        }
+    )
+}
+
+/// Channel-agnostic summary of a completed calibration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Calibration {
+    /// Nominal simulated time to move one symbol (one protocol round).
+    pub symbol_time: Time,
+    /// Separation quality of the channel's decision statistic: the ratio of
+    /// the two symbol populations' distance to their spread. Greater than 1
+    /// means the calibration found a usable channel.
+    pub quality: f64,
+    /// Human-readable calibration summary for reports.
+    pub detail: String,
+}
+
+impl Calibration {
+    /// Whether the calibration found a usable channel.
+    pub fn is_usable(&self) -> bool {
+        self.quality > 1.0 && self.symbol_time > Time::ZERO
+    }
+}
+
+/// The receiver-side outcome of one transmitted frame.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FrameResult {
+    /// Bits the receiver decoded, in order.
+    pub received: Vec<bool>,
+    /// Simulated time the frame took end to end.
+    pub elapsed: Time,
+}
+
+/// Key/value diagnostics a channel exposes for reports and sweeps.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ChannelDiagnostics {
+    /// Channel family label (e.g. `"llc-prime-probe"`).
+    pub channel: &'static str,
+    /// Description of the backend the channel runs against.
+    pub backend: String,
+    /// Named scalar diagnostics (thresholds, redundancy, noise levels, …).
+    pub entries: Vec<(&'static str, f64)>,
+}
+
+impl ChannelDiagnostics {
+    /// Looks up a named diagnostic.
+    pub fn get(&self, name: &str) -> Option<f64> {
+        self.entries
+            .iter()
+            .find(|(n, _)| *n == name)
+            .map(|&(_, v)| v)
+    }
+}
+
+/// A covert channel, reduced to the surface the [`Transceiver`] needs.
+///
+/// Implementations move raw bits; framing, retries and reporting belong to
+/// the engine. `transmit_frame` must return exactly one received bit per
+/// input bit — the engine checks and surfaces a
+/// [`ChannelError::ReportShape`] otherwise.
+pub trait CovertChannel {
+    /// Calibrates the channel (idempotent: later calls return the cached
+    /// result) and reports the calibration summary.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ChannelError`] when the channel cannot be made usable
+    /// (e.g. the custom timer cannot separate the cache levels).
+    fn calibrate(&mut self) -> Result<Calibration, ChannelError>;
+
+    /// Moves one frame of raw bits, returning the receiver's view.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ChannelError`] on protocol-level failures (empty
+    /// observation sets, calibration failures).
+    fn transmit_frame(&mut self, bits: &[bool]) -> Result<FrameResult, ChannelError>;
+
+    /// Nominal simulated time per symbol (from calibration, or a static
+    /// estimate before calibration has run).
+    fn nominal_symbol_time(&self) -> Time;
+
+    /// Self-description for reports and sweep rows.
+    fn diagnostics(&self) -> ChannelDiagnostics;
+}
+
+/// Quantifies how often two free-running attacker loops slip out of step.
+///
+/// The per-set slip probability grows with the relative mismatch of the
+/// sender's and receiver's phase durations (the effect GPU thread-level
+/// parallelism suppresses); on top of that, every phase observed through the
+/// custom GPU timer carries a common-mode corruption probability (the timer's
+/// rate wobble affects all redundant sets of that phase at once, which is why
+/// the paper sees a higher, redundancy-resistant error on the CPU→GPU
+/// channel).
+#[derive(Debug, Clone, Copy)]
+pub struct DesyncModel {
+    /// Scale factor applied to the relative phase-duration mismatch.
+    pub mismatch_weight: f64,
+    /// Common-mode corruption probability per GPU-timed phase.
+    pub timer_corruption: f64,
+    /// Irreducible per-bit slip probability (scheduling, interrupts).
+    pub floor: f64,
+}
+
+impl DesyncModel {
+    /// Calibration used throughout the reproduction.
+    pub fn paper_default() -> Self {
+        DesyncModel {
+            mismatch_weight: 0.09,
+            timer_corruption: 0.018,
+            floor: 0.006,
+        }
+    }
+
+    /// A model with every slip source disabled (deterministic tests).
+    pub fn disabled() -> Self {
+        DesyncModel {
+            mismatch_weight: 0.0,
+            timer_corruption: 0.0,
+            floor: 0.0,
+        }
+    }
+
+    /// Per-set slip probability for a phase whose two sides took
+    /// `sender_time` and `receiver_time`.
+    pub fn per_set_probability(&self, sender_time: Time, receiver_time: Time) -> f64 {
+        let a = sender_time.as_ps() as f64;
+        let b = receiver_time.as_ps() as f64;
+        if a <= 0.0 || b <= 0.0 {
+            return 0.0;
+        }
+        let mismatch = (a - b).abs() / a.max(b);
+        (self.mismatch_weight * mismatch).clamp(0.0, 0.5)
+    }
+
+    /// Applies the model to one phase's probe observations: independent
+    /// per-set slips scaled by the phase-duration mismatch, plus the
+    /// common-mode timer corruption when the phase was observed through the
+    /// custom GPU timer. Corrupted observations are replaced with uniform
+    /// garbage over `ways` ways.
+    pub fn corrupt_observations(
+        &self,
+        rng: &mut SmallRng,
+        observations: &mut [ProbeObservation],
+        sender_time: Time,
+        receiver_time: Time,
+        gpu_timed_phase: bool,
+        ways: usize,
+    ) {
+        let per_set = self.per_set_probability(sender_time, receiver_time);
+        for obs in observations.iter_mut() {
+            if rng.gen_bool(per_set) {
+                *obs = ProbeObservation::new(rng.gen_range(0..=ways), ways);
+            }
+        }
+        if gpu_timed_phase && rng.gen_bool(self.timer_corruption) {
+            // Common-mode timer wobble: all sets of the phase are affected.
+            for obs in observations.iter_mut() {
+                *obs = ProbeObservation::new(rng.gen_range(0..=ways), ways);
+            }
+        }
+    }
+}
+
+impl Default for DesyncModel {
+    fn default() -> Self {
+        Self::paper_default()
+    }
+}
+
+/// Configuration of the [`Transceiver`] engine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TransceiverConfig {
+    /// Whether payloads are wrapped in preamble-framed chunks. Raw mode moves
+    /// the payload as one unframed frame — the paper's evaluation setting,
+    /// where sender and receiver share the bit clock by construction.
+    pub framed: bool,
+    /// Payload bits per frame (framed mode).
+    pub frame_payload_bits: usize,
+    /// Retransmissions allowed per frame whose sync marker arrives corrupted.
+    pub max_retries: usize,
+    /// Tolerated corrupted preamble bits before a frame counts as
+    /// desynchronized.
+    pub max_sync_errors: usize,
+    /// Alternating warm-up symbols moved (untimed) before the payload.
+    pub warmup_symbols: usize,
+}
+
+impl TransceiverConfig {
+    /// Framed operation with the defaults the reproduction uses: 64-bit
+    /// frames, up to 2 retransmissions, 2 tolerated sync-bit errors.
+    pub fn paper_default() -> Self {
+        TransceiverConfig {
+            framed: true,
+            frame_payload_bits: 64,
+            max_retries: 2,
+            max_sync_errors: 2,
+            warmup_symbols: 2,
+        }
+    }
+
+    /// Raw pass-through: exactly the per-figure evaluation loop the channels
+    /// originally implemented themselves (no preamble, no retries).
+    pub fn raw() -> Self {
+        TransceiverConfig {
+            framed: false,
+            frame_payload_bits: usize::MAX,
+            max_retries: 0,
+            max_sync_errors: 0,
+            warmup_symbols: 0,
+        }
+    }
+}
+
+impl Default for TransceiverConfig {
+    fn default() -> Self {
+        Self::paper_default()
+    }
+}
+
+/// Link-level statistics of one engine transmission.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LinkStats {
+    /// Frames moved, including retransmissions.
+    pub frames_sent: usize,
+    /// Frames whose sync marker arrived corrupted beyond tolerance.
+    pub sync_failures: usize,
+    /// Retransmissions performed.
+    pub retransmissions: usize,
+}
+
+/// The shared transceiver engine: drives any [`CovertChannel`] end to end.
+#[derive(Debug, Clone, Default)]
+pub struct Transceiver {
+    config: TransceiverConfig,
+}
+
+impl Transceiver {
+    /// Engine with an explicit configuration.
+    pub fn new(config: TransceiverConfig) -> Self {
+        Transceiver { config }
+    }
+
+    /// Engine in framed mode with the reproduction defaults.
+    pub fn paper_default() -> Self {
+        Transceiver::new(TransceiverConfig::paper_default())
+    }
+
+    /// Engine in raw pass-through mode.
+    pub fn raw() -> Self {
+        Transceiver::new(TransceiverConfig::raw())
+    }
+
+    /// The engine configuration.
+    pub fn config(&self) -> &TransceiverConfig {
+        &self.config
+    }
+
+    /// Moves `payload` over `channel` and assembles the report.
+    ///
+    /// # Errors
+    ///
+    /// Propagates calibration and protocol errors from the channel, and
+    /// reports [`ChannelError::ReportShape`] if the channel mis-sizes a
+    /// frame.
+    pub fn transmit<C: CovertChannel + ?Sized>(
+        &self,
+        channel: &mut C,
+        payload: &[bool],
+    ) -> Result<TransmissionReport, ChannelError> {
+        self.transmit_detailed(channel, payload)
+            .map(|(report, _)| report)
+    }
+
+    /// Like [`Transceiver::transmit`], additionally returning link-level
+    /// statistics (frames, sync failures, retransmissions).
+    ///
+    /// # Errors
+    ///
+    /// Same failure modes as [`Transceiver::transmit`].
+    pub fn transmit_detailed<C: CovertChannel + ?Sized>(
+        &self,
+        channel: &mut C,
+        payload: &[bool],
+    ) -> Result<(TransmissionReport, LinkStats), ChannelError> {
+        channel.calibrate()?;
+        if self.config.warmup_symbols > 0 {
+            let warmup: Vec<bool> = (0..self.config.warmup_symbols)
+                .map(|i| i % 2 == 0)
+                .collect();
+            channel.transmit_frame(&warmup)?;
+        }
+
+        let mut stats = LinkStats::default();
+        let mut received = Vec::with_capacity(payload.len());
+        let mut elapsed = Time::ZERO;
+
+        if !self.config.framed {
+            let frame = self.send_checked(channel, payload, &mut stats)?;
+            elapsed += frame.elapsed;
+            received = frame.received;
+        } else {
+            for chunk in payload.chunks(self.config.frame_payload_bits.max(1)) {
+                let wire = frame_bits(chunk);
+                let mut attempts = 0usize;
+                loop {
+                    let frame = self.send_checked(channel, &wire, &mut stats)?;
+                    elapsed += frame.elapsed;
+                    match deframe_bits(&frame.received, self.config.max_sync_errors) {
+                        Ok(body) => {
+                            received.extend(body);
+                            break;
+                        }
+                        Err(_) => {
+                            stats.sync_failures += 1;
+                            if attempts < self.config.max_retries {
+                                attempts += 1;
+                                stats.retransmissions += 1;
+                            } else {
+                                // Out of retries: accept the frame body as
+                                // decoded; the bit errors show up in the
+                                // report rather than being silently dropped.
+                                received.extend(&frame.received[FRAME_PREAMBLE.len()..]);
+                                break;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+
+        let report = TransmissionReport::try_new(payload.to_vec(), received, elapsed)?;
+        Ok((report, stats))
+    }
+
+    /// Transmits one frame and checks the shape invariant.
+    fn send_checked<C: CovertChannel + ?Sized>(
+        &self,
+        channel: &mut C,
+        wire: &[bool],
+        stats: &mut LinkStats,
+    ) -> Result<FrameResult, ChannelError> {
+        let frame = channel.transmit_frame(wire)?;
+        stats.frames_sent += 1;
+        if frame.received.len() != wire.len() {
+            return Err(ChannelError::ReportShape {
+                sent: wire.len(),
+                received: frame.received.len(),
+            });
+        }
+        Ok(frame)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::protocol::sync_errors;
+
+    /// A synthetic loopback channel with a configurable per-bit error and a
+    /// deterministic seed, for engine-level tests without a simulator.
+    struct LoopbackChannel {
+        flip_every: usize,
+        sent_bits: usize,
+        calibrated: bool,
+    }
+
+    impl LoopbackChannel {
+        fn perfect() -> Self {
+            LoopbackChannel {
+                flip_every: usize::MAX,
+                sent_bits: 0,
+                calibrated: false,
+            }
+        }
+
+        fn with_flip_every(flip_every: usize) -> Self {
+            LoopbackChannel {
+                flip_every,
+                sent_bits: 0,
+                calibrated: false,
+            }
+        }
+    }
+
+    impl CovertChannel for LoopbackChannel {
+        fn calibrate(&mut self) -> Result<Calibration, ChannelError> {
+            self.calibrated = true;
+            Ok(Calibration {
+                symbol_time: Time::from_us(1),
+                quality: 10.0,
+                detail: "loopback".into(),
+            })
+        }
+
+        fn transmit_frame(&mut self, bits: &[bool]) -> Result<FrameResult, ChannelError> {
+            assert!(self.calibrated, "engine must calibrate before transmitting");
+            let received = bits
+                .iter()
+                .map(|&b| {
+                    self.sent_bits += 1;
+                    if self.flip_every != usize::MAX
+                        && self.sent_bits.is_multiple_of(self.flip_every)
+                    {
+                        !b
+                    } else {
+                        b
+                    }
+                })
+                .collect();
+            Ok(FrameResult {
+                received,
+                elapsed: Time::from_us(bits.len() as u64),
+            })
+        }
+
+        fn nominal_symbol_time(&self) -> Time {
+            Time::from_us(1)
+        }
+
+        fn diagnostics(&self) -> ChannelDiagnostics {
+            ChannelDiagnostics {
+                channel: "loopback",
+                backend: "none".into(),
+                entries: vec![("flip_every", self.flip_every as f64)],
+            }
+        }
+    }
+
+    #[test]
+    fn raw_mode_moves_payload_verbatim() {
+        let mut channel = LoopbackChannel::perfect();
+        let payload: Vec<bool> = (0..100).map(|i| i % 3 == 0).collect();
+        let (report, stats) = Transceiver::raw()
+            .transmit_detailed(&mut channel, &payload)
+            .unwrap();
+        assert_eq!(report.error_count(), 0);
+        assert_eq!(report.bit_count(), 100);
+        assert_eq!(stats.frames_sent, 1);
+        assert_eq!(stats.retransmissions, 0);
+    }
+
+    #[test]
+    fn framed_mode_roundtrips_and_counts_frames() {
+        let mut channel = LoopbackChannel::perfect();
+        let payload: Vec<bool> = (0..130).map(|i| i % 5 == 0).collect();
+        let (report, stats) = Transceiver::paper_default()
+            .transmit_detailed(&mut channel, &payload)
+            .unwrap();
+        assert_eq!(report.error_count(), 0);
+        assert_eq!(report.bit_count(), 130);
+        // 130 bits at 64 per frame -> 3 frames; the warm-up symbols are sent
+        // outside the frame accounting.
+        assert_eq!(stats.frames_sent, 3);
+        assert_eq!(stats.sync_failures, 0);
+    }
+
+    #[test]
+    fn corrupted_sync_triggers_bounded_retransmission() {
+        // Flip every 2nd bit: every preamble arrives with 4 errors out of 8 —
+        // beyond the 2-error tolerance — so every frame fails sync and burns
+        // its retries before being accepted best-effort.
+        let mut channel = LoopbackChannel::with_flip_every(2);
+        let payload: Vec<bool> = vec![true; 32];
+        let config = TransceiverConfig {
+            frame_payload_bits: 32,
+            max_retries: 2,
+            warmup_symbols: 0,
+            ..TransceiverConfig::paper_default()
+        };
+        let (report, stats) = Transceiver::new(config)
+            .transmit_detailed(&mut channel, &payload)
+            .unwrap();
+        assert_eq!(report.bit_count(), 32);
+        assert!(stats.sync_failures >= 1);
+        assert_eq!(
+            stats.retransmissions, 2,
+            "retries are bounded by max_retries"
+        );
+        assert_eq!(stats.frames_sent, 3, "1 original + 2 retransmissions");
+        assert!(
+            report.error_count() > 0,
+            "best-effort frame keeps its bit errors"
+        );
+    }
+
+    #[test]
+    fn shape_violations_surface_as_errors() {
+        struct TruncatingChannel;
+        impl CovertChannel for TruncatingChannel {
+            fn calibrate(&mut self) -> Result<Calibration, ChannelError> {
+                Ok(Calibration {
+                    symbol_time: Time::from_us(1),
+                    quality: 2.0,
+                    detail: String::new(),
+                })
+            }
+            fn transmit_frame(&mut self, bits: &[bool]) -> Result<FrameResult, ChannelError> {
+                Ok(FrameResult {
+                    received: bits[..bits.len() / 2].to_vec(),
+                    elapsed: Time::from_us(1),
+                })
+            }
+            fn nominal_symbol_time(&self) -> Time {
+                Time::from_us(1)
+            }
+            fn diagnostics(&self) -> ChannelDiagnostics {
+                ChannelDiagnostics {
+                    channel: "truncating",
+                    backend: String::new(),
+                    entries: vec![],
+                }
+            }
+        }
+        let err = Transceiver::raw()
+            .transmit(&mut TruncatingChannel, &[true; 10])
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            ChannelError::ReportShape {
+                sent: 10,
+                received: 5
+            }
+        ));
+    }
+
+    #[test]
+    fn preamble_detects_heavy_corruption_but_tolerates_light() {
+        let wire = frame_bits(&[true, false]);
+        assert_eq!(sync_errors(&wire), 0);
+        let mut one_flip = wire.clone();
+        one_flip[0] = !one_flip[0];
+        assert_eq!(sync_errors(&one_flip), 1);
+        assert!(deframe_bits(&one_flip, 2).is_ok());
+        let mut heavy = wire;
+        for bit in heavy.iter_mut().take(5) {
+            *bit = !*bit;
+        }
+        assert!(deframe_bits(&heavy, 2).is_err());
+    }
+
+    #[test]
+    fn calibration_usability_reflects_quality_and_symbol_time() {
+        let good = Calibration {
+            symbol_time: Time::from_us(3),
+            quality: 4.0,
+            detail: String::new(),
+        };
+        assert!(good.is_usable());
+        let overlapping = Calibration {
+            quality: 0.8,
+            ..good.clone()
+        };
+        assert!(!overlapping.is_usable());
+        let degenerate = Calibration {
+            symbol_time: Time::ZERO,
+            ..good
+        };
+        assert!(!degenerate.is_usable());
+    }
+
+    #[test]
+    fn desync_model_probabilities_are_bounded() {
+        let model = DesyncModel::paper_default();
+        let p = model.per_set_probability(Time::from_us(10), Time::from_us(13));
+        assert!(p > 0.0 && p <= 0.5);
+        assert_eq!(model.per_set_probability(Time::ZERO, Time::from_us(1)), 0.0);
+        let disabled = DesyncModel::disabled();
+        assert_eq!(
+            disabled.per_set_probability(Time::from_us(1), Time::from_us(9)),
+            0.0
+        );
+    }
+}

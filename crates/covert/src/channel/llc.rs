@@ -6,6 +6,12 @@
 //! over set group `S_C`. Each set group contains `sets_per_role` redundant
 //! LLC sets; the receiver fuses the per-set observations by majority vote.
 //!
+//! The channel implements [`CovertChannel`] and is driven end to end by the
+//! shared [`crate::channel::engine::Transceiver`]; only the physical symbol
+//! exchange lives here. It is generic over the [`MemorySystem`] backend, so
+//! the same protocol runs against the paper's Kaby Lake + Gen9 model, the
+//! partitioned-LLC mitigation, or a Gen11-class topology.
+//!
 //! The asymmetry of the two components shows up in three places, all modelled
 //! here exactly as the paper describes them:
 //!
@@ -21,9 +27,12 @@
 //!   desynchronization model quantifies those slips from the measured phase
 //!   durations (see [`DesyncModel`]).
 
+use crate::channel::engine::{
+    Calibration, ChannelDiagnostics, CovertChannel, FrameResult, Transceiver,
+};
 use crate::error::ChannelError;
 use crate::metrics::TransmissionReport;
-use crate::protocol::{majority_vote, ClassifierConfig, Direction, ProbeObservation, SetRole};
+use crate::protocol::{try_majority_vote, ClassifierConfig, Direction, ProbeObservation, SetRole};
 use crate::reverse::l3::{build_pollute_set, L3EvictionStrategy};
 use crate::reverse::llc_sets::{addresses_in_llc_set, CPU_MISS_THRESHOLD_CYCLES};
 use crate::timer_char::{characterize_timer, TimerCharacterization};
@@ -34,7 +43,9 @@ use rand::{Rng, SeedableRng};
 use soc_sim::clock::Time;
 use soc_sim::llc::LlcSetId;
 use soc_sim::page_table::PageKind;
-use soc_sim::prelude::{PhysAddr, Soc, SocConfig};
+use soc_sim::prelude::{MemorySystem, PhysAddr, Soc, SocConfig};
+
+pub use crate::channel::engine::DesyncModel;
 
 /// Configuration of one LLC channel instance.
 #[derive(Debug, Clone)]
@@ -53,7 +64,9 @@ pub struct LlcChannelConfig {
     pub gpu_parallelism: bool,
     /// Simulator seed.
     pub seed: u64,
-    /// SoC configuration (noise model, geometry).
+    /// SoC configuration (noise model, geometry) used when the channel builds
+    /// its own backend via [`LlcChannel::new`]; ignored by
+    /// [`LlcChannel::with_backend`].
     pub soc: SocConfig,
 }
 
@@ -103,53 +116,6 @@ impl Default for LlcChannelConfig {
     }
 }
 
-/// Quantifies how often the two free-running loops slip out of step.
-///
-/// The per-set slip probability grows with the relative mismatch of the
-/// sender's and receiver's phase durations (the effect GPU parallelism
-/// suppresses); on top of that, every phase observed through the custom GPU
-/// timer carries a common-mode corruption probability (the timer's rate
-/// wobble affects all redundant sets of that phase at once, which is why the
-/// paper sees a higher, redundancy-resistant error on the CPU→GPU channel).
-#[derive(Debug, Clone, Copy)]
-pub struct DesyncModel {
-    /// Scale factor applied to the relative phase-duration mismatch.
-    pub mismatch_weight: f64,
-    /// Common-mode corruption probability per GPU-timed phase.
-    pub timer_corruption: f64,
-    /// Irreducible per-bit slip probability (scheduling, interrupts).
-    pub floor: f64,
-}
-
-impl DesyncModel {
-    /// Calibration used throughout the reproduction.
-    pub fn paper_default() -> Self {
-        DesyncModel {
-            mismatch_weight: 0.09,
-            timer_corruption: 0.018,
-            floor: 0.006,
-        }
-    }
-
-    /// Per-set slip probability for a phase whose two sides took
-    /// `sender_time` and `receiver_time`.
-    pub fn per_set_probability(&self, sender_time: Time, receiver_time: Time) -> f64 {
-        let a = sender_time.as_ps() as f64;
-        let b = receiver_time.as_ps() as f64;
-        if a <= 0.0 || b <= 0.0 {
-            return 0.0;
-        }
-        let mismatch = (a - b).abs() / a.max(b);
-        (self.mismatch_weight * mismatch).clamp(0.0, 0.5)
-    }
-}
-
-impl Default for DesyncModel {
-    fn default() -> Self {
-        Self::paper_default()
-    }
-}
-
 /// The resources backing one redundant LLC set.
 #[derive(Debug, Clone)]
 struct SetResources {
@@ -176,9 +142,9 @@ struct PhaseTimes {
 /// A fully set-up LLC Prime+Probe channel (owns the simulated SoC and both
 /// attacker processes).
 #[derive(Debug)]
-pub struct LlcChannel {
+pub struct LlcChannel<M: MemorySystem = Soc> {
     config: LlcChannelConfig,
-    soc: Soc,
+    soc: M,
     /// Spy/receiver-side CPU thread (core 0).
     cpu_receiver: CpuThread,
     /// CPU thread that launched the GPU kernel (core 1); also acts as the
@@ -190,12 +156,12 @@ pub struct LlcChannel {
     timer_char: TimerCharacterization,
     desync: DesyncModel,
     rng: SmallRng,
+    calibration: Option<Calibration>,
 }
 
-impl LlcChannel {
-    /// Sets up the channel end to end: allocates the trojan and spy buffers
-    /// (1 GiB huge pages each), derives the per-role eviction sets and
-    /// pollute sets, and characterizes the custom timer.
+impl LlcChannel<Soc> {
+    /// Sets up the channel on a freshly built [`Soc`] backend configured by
+    /// `config.soc`.
     ///
     /// # Errors
     ///
@@ -203,12 +169,25 @@ impl LlcChannel {
     /// sets cannot be found, or the custom timer cannot separate the cache
     /// levels under the configured noise.
     pub fn new(config: LlcChannelConfig) -> Result<Self, ChannelError> {
+        let soc = Soc::new(config.soc.clone().with_seed(config.seed));
+        Self::with_backend(soc, config)
+    }
+}
+
+impl<M: MemorySystem> LlcChannel<M> {
+    /// Sets up the channel end to end on an existing backend: allocates the
+    /// trojan and spy buffers (1 GiB huge pages each), derives the per-role
+    /// eviction sets and pollute sets, and characterizes the custom timer.
+    ///
+    /// # Errors
+    ///
+    /// Same failure modes as [`LlcChannel::new`].
+    pub fn with_backend(mut soc: M, config: LlcChannelConfig) -> Result<Self, ChannelError> {
         if config.sets_per_role == 0 {
             return Err(ChannelError::InvalidConfig(
                 "sets_per_role must be at least 1".into(),
             ));
         }
-        let mut soc = Soc::new(config.soc.clone().with_seed(config.seed));
         let ways = soc.llc().config().ways;
 
         // The two unprivileged processes: the spy and the trojan. SVM shares
@@ -220,7 +199,9 @@ impl LlcChannel {
         let spy_buf = soc.alloc(&mut spy_space, 1 << 30, PageKind::Huge)?;
         let trojan_buf = soc.alloc(&mut trojan_space, 1 << 30, PageKind::Huge)?;
         let spy_base = spy_space.translate(spy_buf.base).expect("huge page mapped");
-        let trojan_base = trojan_space.translate(trojan_buf.base).expect("huge page mapped");
+        let trojan_base = trojan_space
+            .translate(trojan_buf.base)
+            .expect("huge page mapped");
 
         // The GPU kernel: one work-group, 16 access + 224 counter threads.
         let topology = GpuTopology::gen9_gt2();
@@ -268,10 +249,8 @@ impl LlcChannel {
                 // The spy searches the first half of its huge page, the
                 // trojan the first half of its own; the trojan's second half
                 // is the pollute pool.
-                let cpu_lines =
-                    addresses_in_llc_set(&soc, llc_set, spy_base, 512 << 20, ways)?;
-                let gpu_lines =
-                    addresses_in_llc_set(&soc, llc_set, trojan_base, 256 << 20, ways)?;
+                let cpu_lines = addresses_in_llc_set(&soc, llc_set, spy_base, 512 << 20, ways)?;
+                let gpu_lines = addresses_in_llc_set(&soc, llc_set, trojan_base, 256 << 20, ways)?;
                 let mut gpu_pollute = build_pollute_set(
                     &soc,
                     config.strategy,
@@ -307,12 +286,18 @@ impl LlcChannel {
             desync: DesyncModel::paper_default(),
             soc,
             config,
+            calibration: None,
         })
     }
 
     /// The channel configuration.
     pub fn config(&self) -> &LlcChannelConfig {
         &self.config
+    }
+
+    /// The backend the channel runs against.
+    pub fn backend(&self) -> &M {
+        &self.soc
     }
 
     /// The custom-timer characterization used by GPU-side probes.
@@ -322,13 +307,27 @@ impl LlcChannel {
 
     /// The pre-agreed LLC sets, per role.
     pub fn agreed_sets(&self, role: SetRole) -> Vec<LlcSetId> {
-        let idx = SetRole::ALL.iter().position(|r| *r == role).expect("known role");
+        let idx = SetRole::ALL
+            .iter()
+            .position(|r| *r == role)
+            .expect("known role");
         self.sets[idx].iter().map(|s| s.llc_set).collect()
     }
 
-    /// Overrides the desynchronization model (for ablations).
+    /// Overrides the desynchronization model (for ablations). Any cached
+    /// calibration is dropped — the symbol timing and quality it recorded
+    /// were measured under the previous model.
     pub fn set_desync_model(&mut self, model: DesyncModel) {
         self.desync = model;
+        self.calibration = None;
+    }
+
+    /// Latest local time among the three agents.
+    fn latest_time(&self) -> Time {
+        self.cpu_receiver
+            .now()
+            .max(self.cpu_sender.now())
+            .max(self.gpu.now())
     }
 
     /// Thread-level parallelism the GPU dedicates to one set's accesses.
@@ -350,12 +349,17 @@ impl LlcChannel {
     fn gpu_prime(&mut self, role: SetRole) -> Time {
         let start = self.gpu.now();
         let parallelism = self.gpu_set_parallelism();
-        let role_idx = SetRole::ALL.iter().position(|r| *r == role).expect("known role");
+        let role_idx = SetRole::ALL
+            .iter()
+            .position(|r| *r == role)
+            .expect("known role");
         for i in 0..self.sets[role_idx].len() {
             let pollute = self.sets[role_idx][i].gpu_pollute.clone();
             let lines = self.sets[role_idx][i].gpu_lines.clone();
-            self.gpu.parallel_load_with(&mut self.soc, &pollute, parallelism);
-            self.gpu.parallel_load_with(&mut self.soc, &lines, parallelism);
+            self.gpu
+                .parallel_load_with(&mut self.soc, &pollute, parallelism);
+            self.gpu
+                .parallel_load_with(&mut self.soc, &lines, parallelism);
         }
         self.gpu.now() - start
     }
@@ -365,7 +369,10 @@ impl LlcChannel {
     fn gpu_probe(&mut self, role: SetRole) -> (Vec<ProbeObservation>, Time) {
         let start = self.gpu.now();
         let parallelism = self.gpu_set_parallelism();
-        let role_idx = SetRole::ALL.iter().position(|r| *r == role).expect("known role");
+        let role_idx = SetRole::ALL
+            .iter()
+            .position(|r| *r == role)
+            .expect("known role");
         let threshold = self.timer_char.llc_memory_threshold();
         let mut observations = Vec::new();
         for i in 0..self.sets[role_idx].len() {
@@ -373,9 +380,12 @@ impl LlcChannel {
             let lines = self.sets[role_idx][i].gpu_lines.clone();
             // Push the probe lines out of the L3 first, so the timed accesses
             // observe the LLC (fast, line still ours) or DRAM (slow, evicted).
-            self.gpu.parallel_load_with(&mut self.soc, &pollute, parallelism);
+            self.gpu
+                .parallel_load_with(&mut self.soc, &pollute, parallelism);
             let noise = self.soc.timer_noise_factor();
-            let outcome = self.gpu.parallel_load_with(&mut self.soc, &lines, parallelism);
+            let outcome = self
+                .gpu
+                .parallel_load_with(&mut self.soc, &lines, parallelism);
             let slow = outcome
                 .outcomes
                 .iter()
@@ -389,8 +399,15 @@ impl LlcChannel {
     /// CPU (receiver or sender, depending on direction) primes every
     /// redundant set of `role` by walking its own lines.
     fn cpu_prime(&mut self, role: SetRole, use_receiver: bool) -> Time {
-        let role_idx = SetRole::ALL.iter().position(|r| *r == role).expect("known role");
-        let thread = if use_receiver { &mut self.cpu_receiver } else { &mut self.cpu_sender };
+        let role_idx = SetRole::ALL
+            .iter()
+            .position(|r| *r == role)
+            .expect("known role");
+        let thread = if use_receiver {
+            &mut self.cpu_receiver
+        } else {
+            &mut self.cpu_sender
+        };
         let start = thread.now();
         for i in 0..self.sets[role_idx].len() {
             let lines = self.sets[role_idx][i].cpu_lines.clone();
@@ -403,8 +420,15 @@ impl LlcChannel {
 
     /// CPU probes every redundant set of `role`, timing each way.
     fn cpu_probe(&mut self, role: SetRole, use_receiver: bool) -> (Vec<ProbeObservation>, Time) {
-        let role_idx = SetRole::ALL.iter().position(|r| *r == role).expect("known role");
-        let thread = if use_receiver { &mut self.cpu_receiver } else { &mut self.cpu_sender };
+        let role_idx = SetRole::ALL
+            .iter()
+            .position(|r| *r == role)
+            .expect("known role");
+        let thread = if use_receiver {
+            &mut self.cpu_receiver
+        } else {
+            &mut self.cpu_sender
+        };
         let start = thread.now();
         let mut observations = Vec::new();
         for i in 0..self.sets[role_idx].len() {
@@ -421,7 +445,7 @@ impl LlcChannel {
         (observations, thread.now() - start)
     }
 
-    /// Applies the desynchronization model to a set of observations.
+    /// Applies the shared desynchronization model to a set of observations.
     fn apply_desync(
         &mut self,
         observations: &mut [ProbeObservation],
@@ -429,37 +453,30 @@ impl LlcChannel {
         receiver_time: Time,
         gpu_timed_phase: bool,
     ) {
-        let per_set = self.desync.per_set_probability(sender_time, receiver_time);
         let ways = self.soc.llc().config().ways;
-        for obs in observations.iter_mut() {
-            if self.rng.gen_bool(per_set) {
-                *obs = ProbeObservation::new(self.rng.gen_range(0..=ways), ways);
-            }
-        }
-        if gpu_timed_phase && self.rng.gen_bool(self.desync.timer_corruption) {
-            // Common-mode timer wobble: all sets of the phase are affected.
-            for obs in observations.iter_mut() {
-                *obs = ProbeObservation::new(self.rng.gen_range(0..=ways), ways);
-            }
-        }
+        self.desync.corrupt_observations(
+            &mut self.rng,
+            observations,
+            sender_time,
+            receiver_time,
+            gpu_timed_phase,
+            ways,
+        );
     }
 
     /// Synchronizes all three agents to the latest local time among them.
     fn barrier(&mut self) {
-        let t = self
-            .cpu_receiver
-            .now()
-            .max(self.cpu_sender.now())
-            .max(self.gpu.now());
+        let t = self.latest_time();
         self.cpu_receiver.synchronize_to(t);
         self.cpu_sender.synchronize_to(t);
         self.gpu.synchronize_to(t);
     }
 
     /// Transmits one bit, returning the receiver's decoded value.
-    fn transmit_bit(&mut self, bit: bool) -> bool {
+    fn transmit_bit(&mut self, bit: bool) -> Result<bool, ChannelError> {
         let mut times = PhaseTimes::default();
         let floor_slip = self.rng.gen_bool(self.desync.floor);
+        let classifier = self.config.classifier;
         match self.config.direction {
             Direction::GpuToCpu => {
                 // Phase 1 — ready to send: GPU primes S_A, CPU probes it.
@@ -468,7 +485,7 @@ impl LlcChannel {
                 let (mut rts_obs, t) = self.cpu_probe(SetRole::ReadyToSend, true);
                 times.cpu_probe = t;
                 self.apply_desync(&mut rts_obs, times.gpu_prime, times.cpu_probe, false);
-                let rts_ok = majority_vote(&rts_obs, self.config.classifier);
+                let rts_ok = try_majority_vote(&rts_obs, classifier)?;
 
                 // Phase 2 — ready to receive: CPU primes S_B, GPU probes it.
                 times.cpu_prime = self.cpu_prime(SetRole::ReadyToReceive, true);
@@ -476,7 +493,7 @@ impl LlcChannel {
                 let (mut rtr_obs, t) = self.gpu_probe(SetRole::ReadyToReceive);
                 times.gpu_probe = t;
                 self.apply_desync(&mut rtr_obs, times.cpu_prime, times.gpu_probe, true);
-                let rtr_ok = majority_vote(&rtr_obs, self.config.classifier);
+                let rtr_ok = try_majority_vote(&rtr_obs, classifier)?;
 
                 // Phase 3 — data: GPU primes S_C for a 1, stays idle for a 0.
                 if bit {
@@ -493,10 +510,10 @@ impl LlcChannel {
 
                 let handshake_ok = rts_ok && rtr_ok && !floor_slip;
                 if handshake_ok {
-                    majority_vote(&data_obs, self.config.classifier)
+                    try_majority_vote(&data_obs, classifier)
                 } else {
                     // A slipped round decodes garbage.
-                    self.rng.gen_bool(0.5)
+                    Ok(self.rng.gen_bool(0.5))
                 }
             }
             Direction::CpuToGpu => {
@@ -507,14 +524,14 @@ impl LlcChannel {
                 let (mut rts_obs, t) = self.gpu_probe(SetRole::ReadyToSend);
                 times.gpu_probe = t;
                 self.apply_desync(&mut rts_obs, times.cpu_prime, times.gpu_probe, true);
-                let rts_ok = majority_vote(&rts_obs, self.config.classifier);
+                let rts_ok = try_majority_vote(&rts_obs, classifier)?;
 
                 times.gpu_prime = self.gpu_prime(SetRole::ReadyToReceive);
                 self.barrier();
                 let (mut rtr_obs, t) = self.cpu_probe(SetRole::ReadyToReceive, false);
                 times.cpu_probe = t;
                 self.apply_desync(&mut rtr_obs, times.gpu_prime, times.cpu_probe, false);
-                let rtr_ok = majority_vote(&rtr_obs, self.config.classifier);
+                let rtr_ok = try_majority_vote(&rtr_obs, classifier)?;
 
                 if bit {
                     self.cpu_prime(SetRole::Data, false);
@@ -529,32 +546,95 @@ impl LlcChannel {
 
                 let handshake_ok = rts_ok && rtr_ok && !floor_slip;
                 if handshake_ok {
-                    majority_vote(&data_obs, self.config.classifier)
+                    try_majority_vote(&data_obs, classifier)
                 } else {
-                    self.rng.gen_bool(0.5)
+                    Ok(self.rng.gen_bool(0.5))
                 }
             }
         }
     }
 
-    /// Transmits a bit string and reports bandwidth and error rate.
+    /// Transmits a bit string through the shared engine in raw mode and
+    /// reports bandwidth and error rate (the per-figure evaluation loop).
     pub fn transmit(&mut self, bits: &[bool]) -> TransmissionReport {
-        // Warm-up round so steady-state cache contents do not skew the first
-        // real bit.
-        self.transmit_bit(true);
-        self.transmit_bit(false);
-        let start = self
-            .cpu_receiver
-            .now()
-            .max(self.cpu_sender.now())
-            .max(self.gpu.now());
-        let received: Vec<bool> = bits.iter().map(|&b| self.transmit_bit(b)).collect();
-        let end = self
-            .cpu_receiver
-            .now()
-            .max(self.cpu_sender.now())
-            .max(self.gpu.now());
-        TransmissionReport::new(bits.to_vec(), received, end - start)
+        Transceiver::raw()
+            .transmit(self, bits)
+            .expect("raw LLC transmission over a constructed channel cannot fail")
+    }
+}
+
+impl<M: MemorySystem> CovertChannel for LlcChannel<M> {
+    fn calibrate(&mut self) -> Result<Calibration, ChannelError> {
+        if let Some(cal) = &self.calibration {
+            return Ok(cal.clone());
+        }
+        // Two warm-up symbols double as the timing probe: steady-state cache
+        // contents after them, and their duration is the symbol time.
+        let start = self.latest_time();
+        self.transmit_bit(true)?;
+        self.transmit_bit(false)?;
+        let elapsed = self.latest_time() - start;
+        let symbol_time = Time::from_ps(elapsed.as_ps() / 2);
+        // Separation quality of the GPU-side classifier: gap between the LLC
+        // and memory tick populations relative to their spread.
+        let gap = self.timer_char.memory.mean - self.timer_char.llc.mean;
+        let spread = (self.timer_char.llc.std_dev + self.timer_char.memory.std_dev).max(1e-9);
+        let cal = Calibration {
+            symbol_time,
+            quality: gap / spread,
+            detail: format!(
+                "{} over {} redundant sets, {} strategy, symbol {:.1} us",
+                self.config.direction.label(),
+                self.config.sets_per_role,
+                self.config.strategy.label(),
+                symbol_time.as_us_f64(),
+            ),
+        };
+        self.calibration = Some(cal.clone());
+        Ok(cal)
+    }
+
+    fn transmit_frame(&mut self, bits: &[bool]) -> Result<FrameResult, ChannelError> {
+        let start = self.latest_time();
+        let mut received = Vec::with_capacity(bits.len());
+        for &bit in bits {
+            received.push(self.transmit_bit(bit)?);
+        }
+        Ok(FrameResult {
+            received,
+            elapsed: self.latest_time() - start,
+        })
+    }
+
+    fn nominal_symbol_time(&self) -> Time {
+        match &self.calibration {
+            Some(cal) => cal.symbol_time,
+            // Pre-calibration estimate: three phases of two LLC-set walks.
+            None => Time::from_us(8),
+        }
+    }
+
+    fn diagnostics(&self) -> ChannelDiagnostics {
+        ChannelDiagnostics {
+            channel: "llc-prime-probe",
+            backend: crate::channel::engine::backend_summary(&self.soc),
+            entries: vec![
+                ("sets_per_role", self.config.sets_per_role as f64),
+                (
+                    "per_set_threshold",
+                    self.config.classifier.per_set_threshold as f64,
+                ),
+                (
+                    "llc_memory_threshold_ticks",
+                    self.timer_char.llc_memory_threshold() as f64,
+                ),
+                ("desync_floor", self.desync.floor),
+                (
+                    "gpu_parallelism",
+                    f64::from(u8::from(self.config.gpu_parallelism)),
+                ),
+            ],
+        }
     }
 }
 
@@ -562,7 +642,7 @@ impl LlcChannel {
 mod tests {
     use super::*;
     use crate::metrics::test_pattern;
-    use soc_sim::prelude::NoiseConfig;
+    use soc_sim::prelude::{NoiseConfig, SocBackend};
 
     fn noiseless_config() -> LlcChannelConfig {
         LlcChannelConfig {
@@ -587,12 +667,17 @@ mod tests {
         let bits = test_pattern(64, 1);
         let report = ch.transmit(&bits);
         assert_eq!(report.error_count(), 0, "received {:?}", report.received);
-        assert!(report.bandwidth_kbps() > 10.0, "bw {}", report.bandwidth_kbps());
+        assert!(
+            report.bandwidth_kbps() > 10.0,
+            "bw {}",
+            report.bandwidth_kbps()
+        );
     }
 
     #[test]
     fn noiseless_cpu_to_gpu_channel_is_error_free() {
-        let mut ch = LlcChannel::new(noiseless_config().with_direction(Direction::CpuToGpu)).unwrap();
+        let mut ch =
+            LlcChannel::new(noiseless_config().with_direction(Direction::CpuToGpu)).unwrap();
         ch.set_desync_model(no_desync());
         let bits = test_pattern(48, 2);
         let report = ch.transmit(&bits);
@@ -606,7 +691,8 @@ mod tests {
         precise.set_desync_model(no_desync());
         let bw_precise = precise.transmit(&bits).bandwidth_kbps();
         let mut full =
-            LlcChannel::new(noiseless_config().with_strategy(L3EvictionStrategy::FullL3Clear)).unwrap();
+            LlcChannel::new(noiseless_config().with_strategy(L3EvictionStrategy::FullL3Clear))
+                .unwrap();
         full.set_desync_model(no_desync());
         let bw_full = full.transmit(&bits).bandwidth_kbps();
         assert!(
@@ -621,14 +707,18 @@ mod tests {
         let bits = test_pattern(400, 4);
         let report = ch.transmit(&bits);
         let err = report.error_rate();
-        assert!(err < 0.08, "error rate {err} too high for the 2-set configuration");
+        assert!(
+            err < 0.08,
+            "error rate {err} too high for the 2-set configuration"
+        );
         assert!(report.bandwidth_kbps() > 30.0);
     }
 
     #[test]
     fn redundancy_reduces_error_rate() {
         let bits = test_pattern(500, 5);
-        let mut one_set = LlcChannel::new(LlcChannelConfig::paper_default().with_sets_per_role(1)).unwrap();
+        let mut one_set =
+            LlcChannel::new(LlcChannelConfig::paper_default().with_sets_per_role(1)).unwrap();
         let err_one = one_set.transmit(&bits).error_rate();
         let mut two_sets =
             LlcChannel::new(LlcChannelConfig::paper_default().with_sets_per_role(2)).unwrap();
@@ -669,5 +759,57 @@ mod tests {
         };
         let err = LlcChannel::new(cfg).unwrap_err();
         assert_eq!(err, ChannelError::TimerNotSeparable);
+    }
+
+    #[test]
+    fn channel_runs_on_a_gen11_class_backend() {
+        let backend = SocBackend::Gen11Class.build(41);
+        let mut ch =
+            LlcChannel::with_backend(backend, LlcChannelConfig::paper_default().with_seed(41))
+                .unwrap();
+        ch.set_desync_model(no_desync());
+        let report = ch.transmit(&test_pattern(64, 6));
+        assert!(
+            report.error_rate() < 0.10,
+            "Gen11-class backend error {}",
+            report.error_rate()
+        );
+        assert!(ch.diagnostics().backend.contains("16 MB"));
+    }
+
+    #[test]
+    fn calibration_is_cached_and_usable() {
+        let mut ch = LlcChannel::new(noiseless_config()).unwrap();
+        ch.set_desync_model(no_desync());
+        let first = CovertChannel::calibrate(&mut ch).unwrap();
+        assert!(first.is_usable(), "quality {}", first.quality);
+        let second = CovertChannel::calibrate(&mut ch).unwrap();
+        assert_eq!(
+            first, second,
+            "second calibrate must return the cached result"
+        );
+        assert_eq!(ch.nominal_symbol_time(), first.symbol_time);
+    }
+
+    #[test]
+    fn partitioned_backend_degrades_the_channel_not_the_setup() {
+        // The Section VI mitigation breaks cross-component eviction, so the
+        // channel sets up fine but decodes noise — exactly what the sweep
+        // runner needs to record (an outcome, not a crash).
+        let backend = SocBackend::KabyLakeGen9Partitioned.build(17);
+        let mut ch = LlcChannel::with_backend(
+            backend,
+            LlcChannelConfig {
+                soc: SocConfig::kaby_lake_noiseless(),
+                ..LlcChannelConfig::paper_default().with_seed(17)
+            },
+        )
+        .unwrap();
+        let report = ch.transmit(&test_pattern(120, 9));
+        assert!(
+            report.error_rate() > 0.25,
+            "partitioned LLC should break decoding, error {}",
+            report.error_rate()
+        );
     }
 }

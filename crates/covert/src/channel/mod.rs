@@ -1,5 +1,9 @@
-//! The two cross-component covert channels of the paper.
+//! The two cross-component covert channels of the paper, unified behind the
+//! shared transceiver engine.
 //!
+//! * [`engine`] — the [`engine::CovertChannel`] trait every channel
+//!   implements, and the [`engine::Transceiver`] that owns framing,
+//!   classification plumbing, retries and report assembly.
 //! * [`llc`] — the Prime+Probe channel over shared LLC sets (Section III),
 //!   available in both directions (GPU→CPU and CPU→GPU) and with the three
 //!   L3-eviction strategies of Figure 7.
@@ -7,6 +11,10 @@
 //!   (Section IV), which needs no shared cache sets at all: the receiver
 //!   simply times its own LLC traffic and detects the slowdown caused by the
 //!   sender's concurrent traffic.
+//!
+//! Both channels are generic over the [`soc_sim::backend::MemorySystem`]
+//! backend, defaulting to the paper's Kaby Lake + Gen9 [`soc_sim::system::Soc`].
 
 pub mod contention;
+pub mod engine;
 pub mod llc;

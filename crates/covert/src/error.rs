@@ -20,6 +20,18 @@ pub enum ChannelError {
     TimerNotSeparable,
     /// A channel configuration parameter was invalid.
     InvalidConfig(String),
+    /// A classifier was asked to decide a bit from zero probe observations
+    /// (a protocol-level bug surfaced as an error instead of an abort, so a
+    /// sweep over many scenarios can record the failure and keep going).
+    EmptyObservations,
+    /// A channel returned a received bit string whose length does not match
+    /// what was sent.
+    ReportShape {
+        /// Bits handed to the channel.
+        sent: usize,
+        /// Bits the channel returned.
+        received: usize,
+    },
 }
 
 impl fmt::Display for ChannelError {
@@ -34,6 +46,13 @@ impl fmt::Display for ChannelError {
                 write!(f, "custom timer cannot separate cache levels at this resolution")
             }
             ChannelError::InvalidConfig(msg) => write!(f, "invalid channel configuration: {msg}"),
+            ChannelError::EmptyObservations => {
+                write!(f, "classifier received zero probe observations")
+            }
+            ChannelError::ReportShape { sent, received } => write!(
+                f,
+                "channel returned {received} bits for a {sent}-bit transmission"
+            ),
         }
     }
 }
@@ -59,7 +78,10 @@ mod tests {
 
     #[test]
     fn display_messages_are_informative() {
-        let e = ChannelError::EvictionSetNotFound { requested: 16, found: 3 };
+        let e = ChannelError::EvictionSetNotFound {
+            requested: 16,
+            found: 3,
+        };
         let s = format!("{e}");
         assert!(s.contains("16") && s.contains("3"));
         assert!(!format!("{}", ChannelError::TimerNotSeparable).is_empty());

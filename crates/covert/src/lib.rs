@@ -42,16 +42,20 @@ pub mod prelude {
     pub use crate::channel::contention::{
         CalibrationResult, ContentionChannel, ContentionChannelConfig,
     };
-    pub use crate::channel::llc::{DesyncModel, LlcChannel, LlcChannelConfig};
+    pub use crate::channel::engine::{
+        Calibration, ChannelDiagnostics, CovertChannel, DesyncModel, FrameResult, LinkStats,
+        Transceiver, TransceiverConfig,
+    };
+    pub use crate::channel::llc::{LlcChannel, LlcChannelConfig};
     pub use crate::error::ChannelError;
     pub use crate::metrics::{test_pattern, SampleStats, TransmissionReport};
     pub use crate::protocol::{
-        bits_to_bytes, bytes_to_bits, majority_vote, ClassifierConfig, Direction,
-        ProbeObservation, SetRole,
+        bits_to_bytes, bytes_to_bits, deframe_bits, frame_bits, majority_vote, sync_errors,
+        try_majority_vote, ClassifierConfig, Direction, ProbeObservation, SetRole, FRAME_PREAMBLE,
     };
     pub use crate::reverse::l3::{
-        build_pollute_set, discover_l3_index_bits, l3_inclusiveness_test,
-        precise_l3_eviction_set, L3EvictionStrategy,
+        build_pollute_set, discover_l3_index_bits, l3_inclusiveness_test, precise_l3_eviction_set,
+        L3EvictionStrategy,
     };
     pub use crate::reverse::llc_sets::{
         addresses_in_llc_set, evicts_victim, find_minimal_eviction_set, validate_set_from_gpu,

@@ -6,6 +6,7 @@
 //! (Figure 10). This module provides those computations for the benchmark
 //! harness.
 
+use crate::error::ChannelError;
 use soc_sim::clock::Time;
 
 /// Result of transmitting a known bit string over a channel.
@@ -32,6 +33,31 @@ impl TransmissionReport {
             received,
             elapsed,
         }
+    }
+
+    /// Non-aborting constructor used by the transceiver engine: a channel
+    /// that mis-assembles a frame surfaces as a recordable error instead of
+    /// killing a whole scenario sweep.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ChannelError::ReportShape`] when the lengths differ.
+    pub fn try_new(
+        sent: Vec<bool>,
+        received: Vec<bool>,
+        elapsed: Time,
+    ) -> Result<Self, ChannelError> {
+        if sent.len() != received.len() {
+            return Err(ChannelError::ReportShape {
+                sent: sent.len(),
+                received: received.len(),
+            });
+        }
+        Ok(TransmissionReport {
+            sent,
+            received,
+            elapsed,
+        })
     }
 
     /// Number of bits transmitted.
@@ -217,6 +243,9 @@ mod tests {
         assert_eq!(a, b);
         assert_ne!(a, c);
         let ones = a.iter().filter(|&&x| x).count();
-        assert!(ones > 350 && ones < 650, "pattern should be roughly balanced: {ones}");
+        assert!(
+            ones > 350 && ones < 650,
+            "pattern should be roughly balanced: {ones}"
+        );
     }
 }

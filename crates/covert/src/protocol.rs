@@ -14,6 +14,14 @@
 //! paper's final configuration); the receiver combines the per-set
 //! observations by majority vote, trading a little bandwidth for a large
 //! error-rate reduction (Figure 8).
+//!
+//! On top of the per-bit machinery this module provides the engine-level
+//! framing: payloads are cut into frames, each prefixed with the
+//! [`FRAME_PREAMBLE`] sync marker so the receiving side of the
+//! [`crate::channel::engine::Transceiver`] can detect a desynchronized frame
+//! and request a retransmission.
+
+use crate::error::ChannelError;
 
 /// The three roles an LLC set group plays in one bit exchange.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -68,8 +76,14 @@ impl ProbeObservation {
     /// Panics if `slow_ways > total_ways` or `total_ways == 0`.
     pub fn new(slow_ways: usize, total_ways: usize) -> Self {
         assert!(total_ways > 0, "an observation needs at least one way");
-        assert!(slow_ways <= total_ways, "slow ways cannot exceed total ways");
-        ProbeObservation { slow_ways, total_ways }
+        assert!(
+            slow_ways <= total_ways,
+            "slow ways cannot exceed total ways"
+        );
+        ProbeObservation {
+            slow_ways,
+            total_ways,
+        }
     }
 
     /// Interprets the observation as a transmitted bit: the set counts as
@@ -97,7 +111,9 @@ impl ClassifierConfig {
     /// all-16 signal of a genuine prime, well above the 0–1 spurious misses
     /// of ambient noise.
     pub fn paper_default() -> Self {
-        ClassifierConfig { per_set_threshold: 4 }
+        ClassifierConfig {
+            per_set_threshold: 4,
+        }
     }
 }
 
@@ -110,20 +126,81 @@ impl Default for ClassifierConfig {
 /// Combines per-set observations into a single decoded bit by majority vote;
 /// ties are broken by the aggregate number of slow ways (the "strength" of
 /// the eviction signal).
-pub fn majority_vote(observations: &[ProbeObservation], config: ClassifierConfig) -> bool {
-    assert!(!observations.is_empty(), "majority vote needs at least one observation");
+///
+/// This is the non-aborting variant used by the transceiver engine: a sweep
+/// over many scenarios must record a [`ChannelError::EmptyObservations`]
+/// instead of taking the whole run down.
+///
+/// # Errors
+///
+/// Returns [`ChannelError::EmptyObservations`] when `observations` is empty.
+pub fn try_majority_vote(
+    observations: &[ProbeObservation],
+    config: ClassifierConfig,
+) -> Result<bool, ChannelError> {
+    if observations.is_empty() {
+        return Err(ChannelError::EmptyObservations);
+    }
     let votes_for_one = observations
         .iter()
         .filter(|o| o.as_bit(config.per_set_threshold))
         .count();
     let votes_for_zero = observations.len() - votes_for_one;
     if votes_for_one != votes_for_zero {
-        return votes_for_one > votes_for_zero;
+        return Ok(votes_for_one > votes_for_zero);
     }
     // Tie: fall back to total signal strength.
     let total_slow: usize = observations.iter().map(|o| o.slow_ways).sum();
     let total_ways: usize = observations.iter().map(|o| o.total_ways).sum();
-    2 * total_slow >= total_ways
+    Ok(2 * total_slow >= total_ways)
+}
+
+/// Asserting wrapper over [`try_majority_vote`], for call sites where the
+/// observation count is statically known to be non-zero.
+///
+/// # Panics
+///
+/// Panics if `observations` is empty.
+pub fn majority_vote(observations: &[ProbeObservation], config: ClassifierConfig) -> bool {
+    try_majority_vote(observations, config).expect("majority vote needs at least one observation")
+}
+
+/// Sync preamble the transceiver engine prepends to every frame. The pattern
+/// alternates runs of both symbols so a desynchronized receiver (seeing
+/// near-random bits) is unlikely to match it by chance.
+pub const FRAME_PREAMBLE: [bool; 8] = [true, false, true, true, false, false, true, false];
+
+/// Wraps a payload chunk into an on-wire frame: preamble followed by payload.
+pub fn frame_bits(payload: &[bool]) -> Vec<bool> {
+    let mut wire = Vec::with_capacity(FRAME_PREAMBLE.len() + payload.len());
+    wire.extend_from_slice(&FRAME_PREAMBLE);
+    wire.extend_from_slice(payload);
+    wire
+}
+
+/// Number of preamble bits of a received frame that differ from
+/// [`FRAME_PREAMBLE`]; missing bits (short frames) count as errors.
+pub fn sync_errors(received: &[bool]) -> usize {
+    FRAME_PREAMBLE
+        .iter()
+        .enumerate()
+        .filter(|&(i, &expected)| received.get(i) != Some(&expected))
+        .count()
+}
+
+/// Strips the preamble from a received frame, accepting up to
+/// `max_sync_errors` corrupted preamble bits.
+///
+/// # Errors
+///
+/// Returns the observed sync-error count when it exceeds the tolerance (the
+/// engine then retransmits the frame).
+pub fn deframe_bits(received: &[bool], max_sync_errors: usize) -> Result<Vec<bool>, usize> {
+    let errors = sync_errors(received);
+    if errors > max_sync_errors {
+        return Err(errors);
+    }
+    Ok(received[FRAME_PREAMBLE.len().min(received.len())..].to_vec())
 }
 
 /// Converts a byte string into the bit sequence transmitted over a channel
@@ -196,8 +273,8 @@ mod tests {
         assert_eq!(bits.len(), data.len() * 8);
         assert_eq!(bits_to_bytes(&bits), data);
         // MSB-first framing: 0x80 -> first bit set.
-        assert_eq!(bytes_to_bits(&[0x80])[0], true);
-        assert_eq!(bytes_to_bits(&[0x01])[7], true);
+        assert!(bytes_to_bits(&[0x80])[0]);
+        assert!(bytes_to_bits(&[0x01])[7]);
     }
 
     #[test]

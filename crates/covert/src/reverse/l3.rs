@@ -18,7 +18,7 @@ use crate::error::ChannelError;
 use cpu_exec::prelude::CpuThread;
 use gpu_exec::prelude::GpuKernel;
 use soc_sim::address::CACHE_LINE_SIZE;
-use soc_sim::prelude::{HitLevel, PhysAddr, Soc};
+use soc_sim::prelude::{HitLevel, MemorySystem, PhysAddr};
 
 /// Number of passes over an L3 conflict set needed for a reliable pLRU
 /// eviction (the paper reports 5 or more).
@@ -44,8 +44,8 @@ pub struct InclusivenessResult {
 ///
 /// `l3_hit_threshold_ticks` is the decision threshold, typically obtained
 /// from [`crate::timer_char::characterize_timer`].
-pub fn l3_inclusiveness_test(
-    soc: &mut Soc,
+pub fn l3_inclusiveness_test<M: MemorySystem>(
+    soc: &mut M,
     gpu: &mut GpuKernel,
     cpu: &mut CpuThread,
     target: PhysAddr,
@@ -80,8 +80,8 @@ pub fn l3_inclusiveness_test(
 ///
 /// Returns the bits (within `candidate_bits`) found to be part of the index.
 /// With the Gen9 geometry this is exactly bits 6..=15.
-pub fn discover_l3_index_bits(
-    soc: &mut Soc,
+pub fn discover_l3_index_bits<M: MemorySystem>(
+    soc: &mut M,
     gpu: &mut GpuKernel,
     pool_base: PhysAddr,
     candidate_bits: &[u32],
@@ -158,8 +158,8 @@ impl L3EvictionStrategy {
 /// Returns [`ChannelError::EvictionSetNotFound`] if the pool does not contain
 /// `count` suitable addresses (the pool is scanned for `count * 64` MiB at
 /// most).
-pub fn precise_l3_eviction_set(
-    soc: &Soc,
+pub fn precise_l3_eviction_set<M: MemorySystem>(
+    soc: &M,
     target: PhysAddr,
     pool_base: PhysAddr,
     pool_len: u64,
@@ -211,8 +211,8 @@ pub fn precise_l3_eviction_set(
 ///
 /// Propagates [`ChannelError::EvictionSetNotFound`] when the pool is too
 /// small.
-pub fn build_pollute_set(
-    soc: &Soc,
+pub fn build_pollute_set<M: MemorySystem>(
+    soc: &M,
     strategy: L3EvictionStrategy,
     target: PhysAddr,
     pool_base: PhysAddr,
@@ -271,7 +271,7 @@ pub fn build_pollute_set(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use soc_sim::prelude::SocConfig;
+    use soc_sim::prelude::{Soc, SocConfig};
 
     fn setup() -> (Soc, GpuKernel, CpuThread) {
         (
@@ -295,7 +295,11 @@ mod tests {
             PhysAddr::new(0x40_0000),
             L3_THRESHOLD_TICKS,
         );
-        assert!(result.l3_is_non_inclusive, "ticks: {}", result.final_access_ticks);
+        assert!(
+            result.l3_is_non_inclusive,
+            "ticks: {}",
+            result.final_access_ticks
+        );
         assert_eq!(result.observed_level, HitLevel::GpuL3);
     }
 
@@ -310,7 +314,11 @@ mod tests {
             &candidates,
             L3_THRESHOLD_TICKS,
         );
-        assert_eq!(bits, (6..16).collect::<Vec<u32>>(), "placement uses bits 6..16");
+        assert_eq!(
+            bits,
+            (6..16).collect::<Vec<u32>>(),
+            "placement uses bits 6..16"
+        );
     }
 
     #[test]
@@ -355,10 +363,24 @@ mod tests {
         let target = PhysAddr::new(0x40);
         let pool = PhysAddr::new(0x2000_0000);
         let pool_len = 64 * 1024 * 1024;
-        let full = build_pollute_set(&soc, L3EvictionStrategy::FullL3Clear, target, pool, pool_len).unwrap();
-        let llc_only =
-            build_pollute_set(&soc, L3EvictionStrategy::LlcKnowledgeOnly, target, pool, pool_len).unwrap();
-        let precise = build_pollute_set(&soc, L3EvictionStrategy::PreciseL3, target, pool, pool_len).unwrap();
+        let full = build_pollute_set(
+            &soc,
+            L3EvictionStrategy::FullL3Clear,
+            target,
+            pool,
+            pool_len,
+        )
+        .unwrap();
+        let llc_only = build_pollute_set(
+            &soc,
+            L3EvictionStrategy::LlcKnowledgeOnly,
+            target,
+            pool,
+            pool_len,
+        )
+        .unwrap();
+        let precise =
+            build_pollute_set(&soc, L3EvictionStrategy::PreciseL3, target, pool, pool_len).unwrap();
         assert_eq!(full.len(), 8192, "whole 512 KB L3");
         assert!(llc_only.len() > precise.len());
         assert!(full.len() > llc_only.len());

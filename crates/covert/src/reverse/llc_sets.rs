@@ -25,7 +25,7 @@ use cpu_exec::prelude::CpuThread;
 use gpu_exec::prelude::GpuKernel;
 use soc_sim::address::CACHE_LINE_SIZE;
 use soc_sim::llc::LlcSetId;
-use soc_sim::prelude::{PhysAddr, Soc};
+use soc_sim::prelude::{MemorySystem, PhysAddr};
 
 /// Default CPU cycle threshold separating an LLC hit (~45 cycles on the
 /// modelled part) from a DRAM access (~300 cycles).
@@ -38,9 +38,9 @@ pub const CPU_MISS_THRESHOLD_CYCLES: u64 = 150;
 /// ordering effects), and the victim is re-timed: a slow access means the
 /// candidates conflict with it in the LLC (the back-invalidation of the
 /// inclusive LLC also removed it from L1/L2).
-pub fn evicts_victim(
+pub fn evicts_victim<M: MemorySystem>(
     cpu: &mut CpuThread,
-    soc: &mut Soc,
+    soc: &mut M,
     victim: PhysAddr,
     candidates: &[PhysAddr],
     threshold_cycles: u64,
@@ -62,9 +62,9 @@ pub fn evicts_victim(
 ///
 /// Returns [`ChannelError::EvictionSetNotFound`] if the pool does not evict
 /// the victim to begin with, or if the reduction gets stuck (noise).
-pub fn find_minimal_eviction_set(
+pub fn find_minimal_eviction_set<M: MemorySystem>(
     cpu: &mut CpuThread,
-    soc: &mut Soc,
+    soc: &mut M,
     victim: PhysAddr,
     pool: &[PhysAddr],
     ways: usize,
@@ -96,7 +96,8 @@ pub fn find_minimal_eviction_set(
                 .chain(working[end..].iter())
                 .copied()
                 .collect();
-            if reduced.len() >= ways && evicts_victim(cpu, soc, victim, &reduced, threshold_cycles) {
+            if reduced.len() >= ways && evicts_victim(cpu, soc, victim, &reduced, threshold_cycles)
+            {
                 working = reduced;
                 removed_any = true;
                 break;
@@ -126,8 +127,8 @@ pub fn find_minimal_eviction_set(
 ///
 /// Returns [`ChannelError::EvictionSetNotFound`] if the region does not
 /// contain enough matching lines.
-pub fn addresses_in_llc_set(
-    soc: &Soc,
+pub fn addresses_in_llc_set<M: MemorySystem>(
+    soc: &M,
     set: LlcSetId,
     region_base: PhysAddr,
     region_len: u64,
@@ -158,10 +159,10 @@ pub fn addresses_in_llc_set(
 ///
 /// Returns the victim's measured CPU cycles and whether they exceeded the
 /// threshold.
-pub fn validate_set_from_gpu(
+pub fn validate_set_from_gpu<M: MemorySystem>(
     cpu: &mut CpuThread,
     gpu: &mut GpuKernel,
-    soc: &mut Soc,
+    soc: &mut M,
     victim: PhysAddr,
     eviction_set: &[PhysAddr],
     threshold_cycles: u64,
@@ -182,10 +183,13 @@ pub fn validate_set_from_gpu(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use soc_sim::prelude::SocConfig;
+    use soc_sim::prelude::{Soc, SocConfig};
 
     fn setup() -> (Soc, CpuThread) {
-        (Soc::new(SocConfig::kaby_lake_noiseless()), CpuThread::pinned(0))
+        (
+            Soc::new(SocConfig::kaby_lake_noiseless()),
+            CpuThread::pinned(0),
+        )
     }
 
     #[test]
@@ -196,7 +200,13 @@ mod tests {
         let pool = soc
             .llc()
             .enumerate_set_addresses(set, PhysAddr::new(0x100_0000), 20);
-        assert!(evicts_victim(&mut cpu, &mut soc, victim, &pool, CPU_MISS_THRESHOLD_CYCLES));
+        assert!(evicts_victim(
+            &mut cpu,
+            &mut soc,
+            victim,
+            &pool,
+            CPU_MISS_THRESHOLD_CYCLES
+        ));
     }
 
     #[test]
@@ -206,17 +216,21 @@ mod tests {
         let set = soc.llc().set_of(victim);
         // Addresses in other LLC sets, and few enough (< L1/L2 capacity in
         // every set) not to evict the victim from the private caches either.
-        let pool: Vec<PhysAddr> = soc
-            .llc()
-            .enumerate_set_addresses(
-                LlcSetId {
-                    slice: set.slice,
-                    set: (set.set + 7) % 2048,
-                },
-                PhysAddr::new(0x100_0000),
-                16,
-            );
-        assert!(!evicts_victim(&mut cpu, &mut soc, victim, &pool, CPU_MISS_THRESHOLD_CYCLES));
+        let pool: Vec<PhysAddr> = soc.llc().enumerate_set_addresses(
+            LlcSetId {
+                slice: set.slice,
+                set: (set.set + 7) % 2048,
+            },
+            PhysAddr::new(0x100_0000),
+            16,
+        );
+        assert!(!evicts_victim(
+            &mut cpu,
+            &mut soc,
+            victim,
+            &pool,
+            CPU_MISS_THRESHOLD_CYCLES
+        ));
     }
 
     #[test]
@@ -246,7 +260,11 @@ mod tests {
         .unwrap();
         assert_eq!(minimal.len(), ways);
         for a in &minimal {
-            assert_eq!(soc.llc().set_of(*a), set, "reduced set member in wrong LLC set");
+            assert_eq!(
+                soc.llc().set_of(*a),
+                set,
+                "reduced set member in wrong LLC set"
+            );
         }
     }
 
@@ -272,7 +290,8 @@ mod tests {
         let (soc, _) = setup();
         let set = soc.llc().set_of(PhysAddr::new(0xABC0_0040));
         let addrs =
-            addresses_in_llc_set(&soc, set, PhysAddr::new(0x4000_0000), 512 * 1024 * 1024, 16).unwrap();
+            addresses_in_llc_set(&soc, set, PhysAddr::new(0x4000_0000), 512 * 1024 * 1024, 16)
+                .unwrap();
         assert_eq!(addrs.len(), 16);
         assert!(addrs.iter().all(|a| soc.llc().set_of(*a) == set));
         // Requesting more than the region contains errors out.
@@ -299,6 +318,9 @@ mod tests {
             &eviction_set,
             CPU_MISS_THRESHOLD_CYCLES,
         );
-        assert!(evicted, "GPU walk must evict the CPU victim (took {cycles} cycles)");
+        assert!(
+            evicted,
+            "GPU walk must evict the CPU victim (took {cycles} cycles)"
+        );
     }
 }

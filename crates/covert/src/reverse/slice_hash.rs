@@ -15,9 +15,11 @@
 //! partition is validated against the simulator's ground-truth hash in the
 //! test suite and in `EXPERIMENTS.md`.
 
-use crate::reverse::llc_sets::{evicts_victim, find_minimal_eviction_set, CPU_MISS_THRESHOLD_CYCLES};
+use crate::reverse::llc_sets::{
+    evicts_victim, find_minimal_eviction_set, CPU_MISS_THRESHOLD_CYCLES,
+};
 use cpu_exec::prelude::CpuThread;
-use soc_sim::prelude::{PhysAddr, Soc};
+use soc_sim::prelude::{MemorySystem, PhysAddr};
 use std::collections::BTreeMap;
 
 /// Lowest address bit that can vary without changing the LLC set index
@@ -68,9 +70,9 @@ pub fn probe_addresses(huge_base: PhysAddr, count: usize) -> Vec<PhysAddr> {
 /// construction, in the seed's slice. Every other remaining probe is then
 /// classified by whether that minimal set evicts it. With 4 slices of a
 /// 16-way LLC, 96 probes (~24 per slice) are ample.
-pub fn group_by_slice(
+pub fn group_by_slice<M: MemorySystem>(
     cpu: &mut CpuThread,
-    soc: &mut Soc,
+    soc: &mut M,
     probes: &[PhysAddr],
     threshold_cycles: u64,
 ) -> Vec<Vec<PhysAddr>> {
@@ -117,9 +119,9 @@ pub fn group_by_slice(
 ///
 /// `probe_count` probes are used for the grouping (96 is ample for a 4-slice,
 /// 16-way LLC).
-pub fn recover_slice_hash(
+pub fn recover_slice_hash<M: MemorySystem>(
     cpu: &mut CpuThread,
-    soc: &mut Soc,
+    soc: &mut M,
     huge_base: PhysAddr,
     probe_count: usize,
 ) -> SliceHashRecovery {
@@ -133,7 +135,7 @@ pub fn recover_slice_hash(
         .map(|g| g.iter().copied().take(ways).collect())
         .collect();
 
-    let classify = |cpu: &mut CpuThread, soc: &mut Soc, addr: PhysAddr| -> Option<usize> {
+    let classify = |cpu: &mut CpuThread, soc: &mut M, addr: PhysAddr| -> Option<usize> {
         // Known members are classified structurally; anything else by timing.
         if let Some(i) = groups.iter().position(|g| g.contains(&addr)) {
             return Some(i);
@@ -177,10 +179,13 @@ pub fn ground_truth_bits(hash: &soc_sim::slice_hash::SliceHash, lo: u32, hi: u32
 #[cfg(test)]
 mod tests {
     use super::*;
-    use soc_sim::prelude::SocConfig;
+    use soc_sim::prelude::{Soc, SocConfig};
 
     fn setup() -> (Soc, CpuThread) {
-        (Soc::new(SocConfig::kaby_lake_noiseless()), CpuThread::pinned(0))
+        (
+            Soc::new(SocConfig::kaby_lake_noiseless()),
+            CpuThread::pinned(0),
+        )
     }
 
     /// Physically 1 GiB-aligned base so the low 30 bits are fully
@@ -195,7 +200,8 @@ mod tests {
         let base_set_index = llc.set_of(HUGE_BASE).set;
         assert!(probes.iter().all(|p| llc.set_of(*p).set == base_set_index));
         // But they spread over all four slices.
-        let slices: std::collections::HashSet<_> = probes.iter().map(|p| llc.set_of(*p).slice).collect();
+        let slices: std::collections::HashSet<_> =
+            probes.iter().map(|p| llc.set_of(*p).slice).collect();
         assert_eq!(slices.len(), 4);
     }
 
@@ -204,12 +210,18 @@ mod tests {
         let (mut soc, mut cpu) = setup();
         let probes = probe_addresses(HUGE_BASE, 96);
         let groups = group_by_slice(&mut cpu, &mut soc, &probes, CPU_MISS_THRESHOLD_CYCLES);
-        assert_eq!(groups.len(), 4, "four slices expected, got {}", groups.len());
+        assert_eq!(
+            groups.len(),
+            4,
+            "four slices expected, got {}",
+            groups.len()
+        );
         // Every timing-derived group must be slice-pure according to the
         // ground-truth hash.
         let llc = soc.llc();
         for g in &groups {
-            let slices: std::collections::HashSet<_> = g.iter().map(|a| llc.set_of(*a).slice).collect();
+            let slices: std::collections::HashSet<_> =
+                g.iter().map(|a| llc.set_of(*a).slice).collect();
             assert_eq!(slices.len(), 1, "group mixes slices: {slices:?}");
         }
         // And together they cover every probe exactly once.

@@ -11,7 +11,7 @@
 use crate::metrics::SampleStats;
 use crate::reverse::l3::{precise_l3_eviction_set, L3_EVICTION_PASSES};
 use gpu_exec::prelude::GpuKernel;
-use soc_sim::prelude::{PhysAddr, Soc};
+use soc_sim::prelude::{MemorySystem, PhysAddr};
 
 /// Which population a single timer reading is believed to come from.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -82,8 +82,8 @@ impl TimerCharacterization {
 /// # Panics
 ///
 /// Panics if `samples` is zero.
-pub fn characterize_timer(
-    soc: &mut Soc,
+pub fn characterize_timer<M: MemorySystem>(
+    soc: &mut M,
     gpu: &mut GpuKernel,
     target_base: PhysAddr,
     pollute_base: PhysAddr,
@@ -135,7 +135,7 @@ pub fn characterize_timer(
 /// Convenience wrapper used by examples and benches: characterizes the timer
 /// on a freshly launched attack kernel against the given SoC, using fixed
 /// well-separated physical regions.
-pub fn characterize_default(soc: &mut Soc, samples: usize) -> TimerCharacterization {
+pub fn characterize_default<M: MemorySystem>(soc: &mut M, samples: usize) -> TimerCharacterization {
     let mut gpu = GpuKernel::launch_attack_kernel();
     characterize_timer(
         soc,
@@ -150,13 +150,19 @@ pub fn characterize_default(soc: &mut Soc, samples: usize) -> TimerCharacterizat
 #[cfg(test)]
 mod tests {
     use super::*;
-    use soc_sim::prelude::{NoiseConfig, SocConfig};
+    use soc_sim::prelude::{NoiseConfig, Soc, SocConfig};
 
     #[test]
     fn noiseless_characterization_is_cleanly_separable() {
         let mut soc = Soc::new(SocConfig::kaby_lake_noiseless());
         let ch = characterize_default(&mut soc, 20);
-        assert!(ch.is_separable(), "l3 {:?} llc {:?} mem {:?}", ch.l3, ch.llc, ch.memory);
+        assert!(
+            ch.is_separable(),
+            "l3 {:?} llc {:?} mem {:?}",
+            ch.l3,
+            ch.llc,
+            ch.memory
+        );
         assert!(ch.l3.mean < ch.llc.mean && ch.llc.mean < ch.memory.mean);
         assert_eq!(ch.samples.len(), 20);
     }

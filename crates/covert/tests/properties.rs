@@ -128,3 +128,128 @@ proptest! {
         }
     }
 }
+
+proptest! {
+    /// Reassembling a non-multiple-of-8 bit string drops exactly the
+    /// trailing partial byte, and the byte-aligned prefix roundtrips.
+    #[test]
+    fn partial_bit_strings_roundtrip_their_aligned_prefix(
+        payload in proptest::collection::vec(any::<u8>(), 0..32),
+        extra in 0usize..8,
+    ) {
+        let mut bits = bytes_to_bits(&payload);
+        for i in 0..extra {
+            bits.push(i % 2 == 0);
+        }
+        let reassembled = bits_to_bytes(&bits);
+        prop_assert_eq!(reassembled.len(), payload.len() + extra / 8);
+        prop_assert_eq!(&reassembled[..payload.len()], &payload[..]);
+        // And re-framing the reassembled bytes reproduces the aligned bits.
+        let aligned = (bits.len() / 8) * 8;
+        prop_assert_eq!(bytes_to_bits(&reassembled), bits[..aligned].to_vec());
+    }
+
+    /// The frame preamble survives the frame/deframe roundtrip for any
+    /// payload, and an uncorrupted preamble always syncs.
+    #[test]
+    fn framing_roundtrips(payload in proptest::collection::vec(any::<bool>(), 0..96)) {
+        let wire = frame_bits(&payload);
+        prop_assert_eq!(wire.len(), payload.len() + FRAME_PREAMBLE.len());
+        prop_assert_eq!(sync_errors(&wire), 0);
+        prop_assert_eq!(deframe_bits(&wire, 0).unwrap(), payload);
+    }
+
+    /// Sync-error counting is exact under arbitrary preamble corruption.
+    #[test]
+    fn sync_error_count_matches_flips(flips in proptest::collection::vec(0usize..8, 0..8)) {
+        let mut wire = frame_bits(&[true, false, true]);
+        let distinct: std::collections::HashSet<usize> = flips.iter().copied().collect();
+        for &i in &distinct {
+            wire[i] = !wire[i];
+        }
+        prop_assert_eq!(sync_errors(&wire), distinct.len());
+        let tolerant = deframe_bits(&wire, distinct.len());
+        prop_assert!(tolerant.is_ok());
+        if !distinct.is_empty() {
+            prop_assert_eq!(deframe_bits(&wire, distinct.len() - 1), Err(distinct.len()));
+        }
+    }
+
+    /// An exact 50/50 vote split always falls back to aggregate signal
+    /// strength, for any redundancy level.
+    #[test]
+    fn tie_votes_decide_by_signal_strength(copies in 1usize..6, ways in 4usize..32) {
+        let cfg = ClassifierConfig::paper_default();
+        let primed = ProbeObservation::new(ways, ways);
+        let idle = ProbeObservation::new(0, ways);
+        let mut tie: Vec<ProbeObservation> = Vec::new();
+        for _ in 0..copies {
+            tie.push(primed);
+            tie.push(idle);
+        }
+        // Aggregate slow fraction is exactly 1/2, and the tie-break counts
+        // "at least half" as a 1.
+        prop_assert!(majority_vote(&tie, cfg));
+        prop_assert_eq!(try_majority_vote(&tie, cfg), Ok(true));
+        // Weaken one primed observation below half the total and the
+        // tie-break flips to 0.
+        tie[0] = ProbeObservation::new(ways / 2 - 1, ways);
+        if copies == 1 {
+            prop_assert!(!majority_vote(&tie, cfg));
+        }
+    }
+}
+
+#[test]
+fn empty_observations_error_instead_of_aborting_the_engine_path() {
+    assert_eq!(
+        try_majority_vote(&[], ClassifierConfig::paper_default()),
+        Err(ChannelError::EmptyObservations)
+    );
+}
+
+#[test]
+fn report_shape_mismatch_errors_instead_of_aborting_the_engine_path() {
+    let err =
+        TransmissionReport::try_new(vec![true, false], vec![true], Time::from_us(1)).unwrap_err();
+    assert_eq!(
+        err,
+        ChannelError::ReportShape {
+            sent: 2,
+            received: 1
+        }
+    );
+    let ok = TransmissionReport::try_new(vec![true], vec![false], Time::from_us(1)).unwrap();
+    assert_eq!(ok.error_count(), 1);
+}
+
+#[test]
+fn all_error_transmissions_have_unit_error_rate_and_finite_bandwidth() {
+    let sent = vec![true; 64];
+    let received = vec![false; 64];
+    let report = TransmissionReport::try_new(sent, received, Time::from_us(64)).unwrap();
+    assert_eq!(report.error_rate(), 1.0);
+    assert!((report.bandwidth_kbps() - 1000.0).abs() < 1e-9);
+}
+
+#[test]
+fn single_sample_confidence_interval_collapses_to_the_mean() {
+    let stats = SampleStats::from_samples(&[42.0]);
+    assert_eq!(stats.n, 1);
+    assert_eq!(stats.std_dev, 0.0);
+    assert_eq!(stats.ci95_half_width, 0.0);
+    assert_eq!(stats.ci95_low(), 42.0);
+    assert_eq!(stats.ci95_high(), 42.0);
+    assert_eq!(stats.min, 42.0);
+    assert_eq!(stats.max, 42.0);
+}
+
+#[test]
+fn all_errors_sample_stats_have_degenerate_spread() {
+    // A sweep cell where every run decodes garbage: identical 1.0 error
+    // rates must produce a zero-width interval, not NaN.
+    let stats = SampleStats::from_samples(&[1.0; 8]);
+    assert_eq!(stats.mean, 1.0);
+    assert_eq!(stats.std_dev, 0.0);
+    assert_eq!(stats.ci95_half_width, 0.0);
+}

@@ -152,7 +152,10 @@ mod tests {
         sorted.sort();
         let mut expected = b.lines().to_vec();
         expected.sort();
-        assert_eq!(sorted, expected, "permutation covers every line exactly once");
+        assert_eq!(
+            sorted, expected,
+            "permutation covers every line exactly once"
+        );
     }
 
     #[test]

@@ -9,7 +9,7 @@
 
 use soc_sim::clock::{ClockDomain, Time};
 use soc_sim::page_table::AddressSpace;
-use soc_sim::prelude::{AccessOutcome, PhysAddr, Soc, VirtAddr};
+use soc_sim::prelude::{AccessOutcome, MemorySystem, PhysAddr, VirtAddr};
 
 /// Errors from CPU-side operations.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -83,7 +83,7 @@ impl CpuThread {
     }
 
     /// Loads the line at physical address `paddr`, advancing local time.
-    pub fn load(&mut self, soc: &mut Soc, paddr: PhysAddr) -> AccessOutcome {
+    pub fn load<M: MemorySystem>(&mut self, soc: &mut M, paddr: PhysAddr) -> AccessOutcome {
         let outcome = soc.cpu_access(self.core, paddr, self.local_time);
         self.local_time += outcome.latency;
         outcome
@@ -94,9 +94,9 @@ impl CpuThread {
     /// # Errors
     ///
     /// Returns [`CpuError::UnmappedAddress`] when `va` is not mapped.
-    pub fn load_virt(
+    pub fn load_virt<M: MemorySystem>(
         &mut self,
-        soc: &mut Soc,
+        soc: &mut M,
         space: &AddressSpace,
         va: VirtAddr,
     ) -> Result<AccessOutcome, CpuError> {
@@ -107,7 +107,11 @@ impl CpuThread {
     /// Loads `paddr` and returns the measured latency in timestamp-counter
     /// cycles, exactly as the attack's `rdtsc(); load; rdtsc()` sequence
     /// observes it.
-    pub fn timed_load(&mut self, soc: &mut Soc, paddr: PhysAddr) -> (u64, AccessOutcome) {
+    pub fn timed_load<M: MemorySystem>(
+        &mut self,
+        soc: &mut M,
+        paddr: PhysAddr,
+    ) -> (u64, AccessOutcome) {
         let before = self.rdtsc();
         let outcome = self.load(soc, paddr);
         let after = self.rdtsc();
@@ -116,14 +120,18 @@ impl CpuThread {
 
     /// Loads a sequence of lines back to back (e.g. a prime or probe pass),
     /// returning total latency and per-access outcomes.
-    pub fn load_all(&mut self, soc: &mut Soc, addrs: &[PhysAddr]) -> (Time, Vec<AccessOutcome>) {
+    pub fn load_all<M: MemorySystem>(
+        &mut self,
+        soc: &mut M,
+        addrs: &[PhysAddr],
+    ) -> (Time, Vec<AccessOutcome>) {
         let start = self.local_time;
         let outcomes = addrs.iter().map(|&a| self.load(soc, a)).collect();
         (self.local_time - start, outcomes)
     }
 
     /// Executes `clflush` on the line containing `paddr`.
-    pub fn clflush(&mut self, soc: &mut Soc, paddr: PhysAddr) {
+    pub fn clflush<M: MemorySystem>(&mut self, soc: &mut M, paddr: PhysAddr) {
         let latency = soc.clflush(paddr, self.local_time);
         self.local_time += latency;
     }
@@ -137,10 +145,13 @@ impl CpuThread {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use soc_sim::prelude::{HitLevel, PageKind, SocConfig};
+    use soc_sim::prelude::{HitLevel, PageKind, Soc, SocConfig};
 
     fn setup() -> (Soc, CpuThread) {
-        (Soc::new(SocConfig::kaby_lake_noiseless()), CpuThread::pinned(0))
+        (
+            Soc::new(SocConfig::kaby_lake_noiseless()),
+            CpuThread::pinned(0),
+        )
     }
 
     #[test]
@@ -176,7 +187,10 @@ mod tests {
         other.load(&mut soc, a);
         let (llc_cycles, out) = t.timed_load(&mut soc, a);
         assert_eq!(out.level, HitLevel::Llc);
-        assert!(llc_cycles > l1_cycles * 3, "LLC {llc_cycles} vs L1 {l1_cycles}");
+        assert!(
+            llc_cycles > l1_cycles * 3,
+            "LLC {llc_cycles} vs L1 {l1_cycles}"
+        );
     }
 
     #[test]
@@ -186,7 +200,9 @@ mod tests {
         let buf = soc.alloc(&mut space, 4096, PageKind::Small).unwrap();
         let out = t.load_virt(&mut soc, &space, buf.base).unwrap();
         assert_eq!(out.level, HitLevel::Dram);
-        let err = t.load_virt(&mut soc, &space, VirtAddr::new(0xdead_0000)).unwrap_err();
+        let err = t
+            .load_virt(&mut soc, &space, VirtAddr::new(0xdead_0000))
+            .unwrap_err();
         assert!(matches!(err, CpuError::UnmappedAddress(_)));
         assert!(!format!("{err}").is_empty());
     }

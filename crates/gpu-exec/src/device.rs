@@ -12,7 +12,7 @@ use crate::topology::GpuTopology;
 use crate::wavefront::WorkGroupShape;
 use soc_sim::clock::{ClockDomain, Time};
 use soc_sim::page_table::AddressSpace;
-use soc_sim::prelude::{AccessOutcome, ParallelOutcome, PhysAddr, Soc, VirtAddr};
+use soc_sim::prelude::{AccessOutcome, MemorySystem, ParallelOutcome, PhysAddr, VirtAddr};
 
 /// Errors from GPU-side operations.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -60,7 +60,10 @@ impl GpuKernel {
     ///
     /// Panics if `workgroups` is zero.
     pub fn launch(topology: GpuTopology, shape: WorkGroupShape, workgroups: usize) -> Self {
-        assert!(workgroups > 0, "a kernel launch needs at least one work-group");
+        assert!(
+            workgroups > 0,
+            "a kernel launch needs at least one work-group"
+        );
         let mut dispatcher = Dispatcher::new(topology);
         let placements = dispatcher.dispatch(workgroups);
         let timer = CounterTimer::new(shape.clone(), Time::from_ns(18));
@@ -157,7 +160,7 @@ impl GpuKernel {
     }
 
     /// Performs a single load from the GPU, advancing local time.
-    pub fn load(&mut self, soc: &mut Soc, paddr: PhysAddr) -> AccessOutcome {
+    pub fn load<M: MemorySystem>(&mut self, soc: &mut M, paddr: PhysAddr) -> AccessOutcome {
         let outcome = soc.gpu_access(paddr, self.local_time);
         self.local_time += outcome.latency;
         outcome
@@ -166,7 +169,11 @@ impl GpuKernel {
     /// Loads a batch of lines using the launch's effective memory-level
     /// parallelism (the paper probes all 16 ways of an LLC set in parallel
     /// with 16 threads). Advances local time by the batch latency.
-    pub fn parallel_load(&mut self, soc: &mut Soc, addrs: &[PhysAddr]) -> ParallelOutcome {
+    pub fn parallel_load<M: MemorySystem>(
+        &mut self,
+        soc: &mut M,
+        addrs: &[PhysAddr],
+    ) -> ParallelOutcome {
         let parallelism = self.effective_parallelism();
         self.parallel_load_with(soc, addrs, parallelism)
     }
@@ -179,9 +186,9 @@ impl GpuKernel {
     /// # Panics
     ///
     /// Panics if `parallelism` is zero.
-    pub fn parallel_load_with(
+    pub fn parallel_load_with<M: MemorySystem>(
         &mut self,
-        soc: &mut Soc,
+        soc: &mut M,
         addrs: &[PhysAddr],
         parallelism: usize,
     ) -> ParallelOutcome {
@@ -194,7 +201,11 @@ impl GpuKernel {
 
     /// Loads a batch of lines and measures the elapsed custom-timer ticks,
     /// as Algorithm 1 does around its timed accesses.
-    pub fn timed_parallel_load(&mut self, soc: &mut Soc, addrs: &[PhysAddr]) -> (u64, ParallelOutcome) {
+    pub fn timed_parallel_load<M: MemorySystem>(
+        &mut self,
+        soc: &mut M,
+        addrs: &[PhysAddr],
+    ) -> (u64, ParallelOutcome) {
         let noise = soc.timer_noise_factor();
         let start_ticks = self.timer.read(self.local_time, noise);
         let outcome = self.parallel_load(soc, addrs);
@@ -203,7 +214,11 @@ impl GpuKernel {
     }
 
     /// Loads a single line and measures the elapsed custom-timer ticks.
-    pub fn timed_load(&mut self, soc: &mut Soc, paddr: PhysAddr) -> (u64, AccessOutcome) {
+    pub fn timed_load<M: MemorySystem>(
+        &mut self,
+        soc: &mut M,
+        paddr: PhysAddr,
+    ) -> (u64, AccessOutcome) {
         let noise = soc.timer_noise_factor();
         let start_ticks = self.timer.read(self.local_time, noise);
         let outcome = self.load(soc, paddr);
@@ -221,7 +236,7 @@ impl GpuKernel {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use soc_sim::prelude::{HitLevel, PageKind, SocConfig};
+    use soc_sim::prelude::{HitLevel, PageKind, Soc, SocConfig};
 
     fn soc() -> Soc {
         Soc::new(SocConfig::kaby_lake_noiseless())
@@ -235,7 +250,10 @@ mod tests {
         assert_eq!(k.shape().counter_threads(), 224);
         assert_eq!(k.placements()[0].subslice, 0);
         assert_eq!(k.effective_parallelism(), 16);
-        assert!(k.clock().frequency_ghz() < 2.0, "GPU clock is slower than the CPU");
+        assert!(
+            k.clock().frequency_ghz() < 2.0,
+            "GPU clock is slower than the CPU"
+        );
     }
 
     #[test]
@@ -272,7 +290,10 @@ mod tests {
         let (dram_ticks, _) = k.timed_load(&mut soc, a);
         let (l3_ticks, out) = k.timed_load(&mut soc, a);
         assert_eq!(out.level, HitLevel::GpuL3);
-        assert!(dram_ticks > l3_ticks, "DRAM {dram_ticks} ticks vs L3 {l3_ticks} ticks");
+        assert!(
+            dram_ticks > l3_ticks,
+            "DRAM {dram_ticks} ticks vs L3 {l3_ticks} ticks"
+        );
     }
 
     #[test]
@@ -287,7 +308,10 @@ mod tests {
         assert_eq!(outcome.count_at_level(HitLevel::GpuL3), 16);
         // 16 L3 hits in parallel should cost close to one L3 hit, not 16.
         let elapsed = k.now() - before;
-        assert!(elapsed < Time::from_ns(90 * 4), "parallel probe too slow: {elapsed}");
+        assert!(
+            elapsed < Time::from_ns(90 * 4),
+            "parallel probe too slow: {elapsed}"
+        );
     }
 
     #[test]

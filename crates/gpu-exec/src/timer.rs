@@ -39,8 +39,7 @@ impl CounterTimer {
     /// serialise), so the aggregate rate grows linearly with the number of
     /// counter threads.
     pub fn new(shape: WorkGroupShape, slm_atomic_latency: Time) -> Self {
-        let per_thread_period_ns =
-            slm_atomic_latency.as_ns_f64() * shape.wavefront_width as f64;
+        let per_thread_period_ns = slm_atomic_latency.as_ns_f64() * shape.wavefront_width as f64;
         let rate = shape.counter_threads() as f64 / per_thread_period_ns;
         CounterTimer {
             shape,

@@ -1,0 +1,265 @@
+//! Pluggable SoC backends behind the [`MemorySystem`] trait.
+//!
+//! The execution models (`cpu-exec`, `gpu-exec`) and the covert channels do
+//! not talk to [`Soc`] directly any more: they are generic over
+//! [`MemorySystem`], the facade surface a memory-hierarchy backend has to
+//! provide — timed CPU/GPU accesses, `clflush`, address-space management and
+//! the introspection hooks (LLC/L3 views, statistics, contention counters).
+//!
+//! [`Soc`] is the reference implementation; [`SocBackend`] enumerates the
+//! ready-made configuration variants the scenario sweeps run against:
+//! the paper's Kaby Lake + Gen9 platform, the way-partitioned mitigation of
+//! Section VI, and a bigger-LLC "Gen11-class" topology. A new backend — a
+//! different simulator, a trace replayer, real-hardware bindings — only has
+//! to implement the trait and every channel, reverse-engineering routine and
+//! sweep works against it unchanged.
+
+use crate::clock::Time;
+use crate::gpu_l3::GpuL3;
+use crate::llc::Llc;
+use crate::page_table::{AddressSpace, MapError, MappedBuffer, PageKind};
+use crate::stats::{ContentionSnapshot, SocStats};
+use crate::system::{AccessOutcome, LlcPartition, ParallelOutcome, Soc, SocConfig};
+
+/// The memory-hierarchy surface the attacker execution models require.
+///
+/// Mirrors the [`Soc`] facade one-to-one so `Soc` implements it by
+/// delegation; see the module documentation for why this seam exists.
+pub trait MemorySystem {
+    /// Performs a CPU load of the line containing `paddr` from core `core`,
+    /// arriving at the core's local time `now`.
+    fn cpu_access(
+        &mut self,
+        core: usize,
+        paddr: crate::address::PhysAddr,
+        now: Time,
+    ) -> AccessOutcome;
+
+    /// Performs a GPU load of the line containing `paddr` at GPU time `now`.
+    fn gpu_access(&mut self, paddr: crate::address::PhysAddr, now: Time) -> AccessOutcome;
+
+    /// Performs a batch of GPU loads issued by `parallelism` threads at a
+    /// time.
+    fn gpu_access_parallel(
+        &mut self,
+        addrs: &[crate::address::PhysAddr],
+        parallelism: usize,
+        now: Time,
+    ) -> ParallelOutcome;
+
+    /// Executes `clflush` on the line containing `paddr` from the CPU side,
+    /// returning the instruction latency.
+    fn clflush(&mut self, paddr: crate::address::PhysAddr, now: Time) -> Time;
+
+    /// Samples a multiplicative noise factor for the GPU custom timer.
+    fn timer_noise_factor(&mut self) -> f64;
+
+    /// Read-only view of the shared LLC.
+    fn llc(&self) -> &Llc;
+
+    /// Read-only view of the GPU L3.
+    fn gpu_l3(&self) -> &GpuL3;
+
+    /// Creates a new process address space.
+    fn create_process(&mut self) -> AddressSpace;
+
+    /// Allocates and maps a buffer in `space`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`MapError`] from the backend's frame allocator.
+    fn alloc(
+        &mut self,
+        space: &mut AddressSpace,
+        len: u64,
+        kind: PageKind,
+    ) -> Result<MappedBuffer, MapError>;
+
+    /// The backend's static configuration.
+    fn config(&self) -> &SocConfig;
+
+    /// Aggregate access statistics.
+    fn stats(&self) -> SocStats;
+
+    /// Snapshot of the shared-resource contention counters.
+    fn contention_snapshot(&self) -> ContentionSnapshot;
+
+    /// Clears all statistics counters (cache contents are preserved).
+    fn reset_stats(&mut self);
+
+    /// Whether the line is resident in any CPU private cache (diagnostics).
+    fn in_cpu_private_caches(&self, paddr: crate::address::PhysAddr) -> bool;
+}
+
+impl MemorySystem for Soc {
+    fn cpu_access(
+        &mut self,
+        core: usize,
+        paddr: crate::address::PhysAddr,
+        now: Time,
+    ) -> AccessOutcome {
+        Soc::cpu_access(self, core, paddr, now)
+    }
+
+    fn gpu_access(&mut self, paddr: crate::address::PhysAddr, now: Time) -> AccessOutcome {
+        Soc::gpu_access(self, paddr, now)
+    }
+
+    fn gpu_access_parallel(
+        &mut self,
+        addrs: &[crate::address::PhysAddr],
+        parallelism: usize,
+        now: Time,
+    ) -> ParallelOutcome {
+        Soc::gpu_access_parallel(self, addrs, parallelism, now)
+    }
+
+    fn clflush(&mut self, paddr: crate::address::PhysAddr, now: Time) -> Time {
+        Soc::clflush(self, paddr, now)
+    }
+
+    fn timer_noise_factor(&mut self) -> f64 {
+        Soc::timer_noise_factor(self)
+    }
+
+    fn llc(&self) -> &Llc {
+        Soc::llc(self)
+    }
+
+    fn gpu_l3(&self) -> &GpuL3 {
+        Soc::gpu_l3(self)
+    }
+
+    fn create_process(&mut self) -> AddressSpace {
+        Soc::create_process(self)
+    }
+
+    fn alloc(
+        &mut self,
+        space: &mut AddressSpace,
+        len: u64,
+        kind: PageKind,
+    ) -> Result<MappedBuffer, MapError> {
+        Soc::alloc(self, space, len, kind)
+    }
+
+    fn config(&self) -> &SocConfig {
+        Soc::config(self)
+    }
+
+    fn stats(&self) -> SocStats {
+        Soc::stats(self)
+    }
+
+    fn contention_snapshot(&self) -> ContentionSnapshot {
+        Soc::contention_snapshot(self)
+    }
+
+    fn reset_stats(&mut self) {
+        Soc::reset_stats(self)
+    }
+
+    fn in_cpu_private_caches(&self, paddr: crate::address::PhysAddr) -> bool {
+        Soc::in_cpu_private_caches(self, paddr)
+    }
+}
+
+/// The ready-made [`Soc`] configuration variants the sweeps select between.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SocBackend {
+    /// The paper's experimental platform: i7-7700k + Gen9 HD Graphics.
+    KabyLakeGen9,
+    /// The same platform with the Section VI mitigation: the LLC ways are
+    /// statically partitioned between CPU and GPU.
+    KabyLakeGen9Partitioned,
+    /// A "Gen11-class" topology: same slice hash, twice the LLC sets (16 MB)
+    /// and a doubled GPU L3 — the larger-SoC scenario the paper's discussion
+    /// extrapolates to.
+    Gen11Class,
+}
+
+impl SocBackend {
+    /// All backends, in sweep order.
+    pub const ALL: [SocBackend; 3] = [
+        SocBackend::KabyLakeGen9,
+        SocBackend::KabyLakeGen9Partitioned,
+        SocBackend::Gen11Class,
+    ];
+
+    /// Human-readable label used by reports and sweep rows.
+    pub fn label(self) -> &'static str {
+        match self {
+            SocBackend::KabyLakeGen9 => "KabyLake+Gen9",
+            SocBackend::KabyLakeGen9Partitioned => "KabyLake+Gen9/partitioned",
+            SocBackend::Gen11Class => "Gen11-class",
+        }
+    }
+
+    /// The configuration this backend builds.
+    pub fn config(self) -> SocConfig {
+        match self {
+            SocBackend::KabyLakeGen9 => SocConfig::kaby_lake_i7_7700k(),
+            SocBackend::KabyLakeGen9Partitioned => {
+                SocConfig::kaby_lake_i7_7700k().with_llc_partition(LlcPartition::even_split())
+            }
+            SocBackend::Gen11Class => SocConfig::gen11_class(),
+        }
+    }
+
+    /// Builds the backend with the given simulation seed.
+    pub fn build(self, seed: u64) -> Soc {
+        Soc::new(self.config().with_seed(seed))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::address::PhysAddr;
+
+    /// Exercises a backend purely through the trait, the way the execution
+    /// models do.
+    fn roundtrip<M: MemorySystem>(mem: &mut M) {
+        let a = PhysAddr::new(0x40_0000);
+        let cold = mem.cpu_access(0, a, Time::ZERO);
+        let warm = mem.cpu_access(0, a, cold.latency);
+        assert!(warm.latency < cold.latency);
+        let g = mem.gpu_access(PhysAddr::new(0x80_0000), Time::ZERO);
+        assert!(g.latency > Time::ZERO);
+        assert!(mem.stats().total_accesses() > 0);
+        mem.reset_stats();
+        assert_eq!(mem.stats().total_accesses(), 0);
+    }
+
+    #[test]
+    fn every_backend_serves_the_trait_surface() {
+        for backend in SocBackend::ALL {
+            let mut soc = backend.build(1);
+            roundtrip(&mut soc);
+            assert!(!backend.label().is_empty());
+        }
+    }
+
+    #[test]
+    fn gen11_class_has_a_bigger_llc() {
+        let gen9 = SocBackend::KabyLakeGen9.config();
+        let gen11 = SocBackend::Gen11Class.config();
+        assert!(gen11.llc.capacity_bytes() > gen9.llc.capacity_bytes());
+        assert!(gen11.gpu_l3.data_capacity_bytes > gen9.gpu_l3.data_capacity_bytes);
+    }
+
+    #[test]
+    fn partitioned_backend_carries_the_mitigation() {
+        assert!(SocBackend::KabyLakeGen9Partitioned
+            .config()
+            .llc_partition
+            .is_some());
+        assert!(SocBackend::KabyLakeGen9.config().llc_partition.is_none());
+    }
+
+    #[test]
+    fn backend_seed_controls_the_build() {
+        let a = SocBackend::KabyLakeGen9.build(7);
+        assert_eq!(a.config().seed, 7);
+    }
+}

@@ -250,7 +250,10 @@ mod tests {
         for cycles in [1, 10, 1_000, 123_456] {
             let t = gpu.cycles_to_time(cycles);
             let back = gpu.time_to_cycles(t);
-            assert!((back as i64 - cycles as i64).abs() <= 1, "{back} vs {cycles}");
+            assert!(
+                (back as i64 - cycles as i64).abs() <= 1,
+                "{back} vs {cycles}"
+            );
         }
     }
 

@@ -50,6 +50,15 @@ impl GpuL3Config {
         }
     }
 
+    /// A "Gen11-class" L3: same bank geometry and placement function, twice
+    /// the data capacity (the extra capacity shows up as associativity).
+    pub fn gen11_class() -> Self {
+        GpuL3Config {
+            data_capacity_bytes: 1024 * 1024,
+            ..Self::gen9()
+        }
+    }
+
     /// Lowest address bit of the placement index (just above the line offset).
     pub const INDEX_LO: u32 = 6;
 
@@ -204,7 +213,11 @@ mod tests {
     #[test]
     fn gen9_geometry_matches_paper() {
         let cfg = GpuL3Config::gen9();
-        assert_eq!(cfg.placement_bits(), 16, "6 offset + 5 set + 2 bank + 3 sub-bank");
+        assert_eq!(
+            cfg.placement_bits(),
+            16,
+            "6 offset + 5 set + 2 bank + 3 sub-bank"
+        );
         assert_eq!(cfg.index_buckets(), 1024);
         assert_eq!(cfg.ways(), 8);
         assert_eq!(
@@ -268,7 +281,10 @@ mod tests {
                 }
             }
         }
-        assert!(!l3.contains(target), "target must be evicted by repeated conflict passes");
+        assert!(
+            !l3.contains(target),
+            "target must be evicted by repeated conflict passes"
+        );
     }
 
     #[test]

@@ -42,6 +42,7 @@
 #![warn(rust_2018_idioms)]
 
 pub mod address;
+pub mod backend;
 pub mod clock;
 pub mod contention;
 pub mod dram;
@@ -59,13 +60,16 @@ pub mod system;
 /// Commonly used items, re-exported for convenience.
 pub mod prelude {
     pub use crate::address::{PhysAddr, VirtAddr, CACHE_LINE_SIZE};
+    pub use crate::backend::{MemorySystem, SocBackend};
     pub use crate::clock::{ClockDomain, SocClocks, Time};
     pub use crate::gpu_l3::GpuL3Config;
     pub use crate::llc::{LlcConfig, LlcSetId};
     pub use crate::noise::NoiseConfig;
     pub use crate::page_table::{AddressSpace, MappedBuffer, PageKind};
     pub use crate::slice_hash::SliceHash;
-    pub use crate::system::{AccessOutcome, HitLevel, LatencyConfig, ParallelOutcome, Requester, Soc, SocConfig};
+    pub use crate::system::{
+        AccessOutcome, HitLevel, LatencyConfig, ParallelOutcome, Requester, Soc, SocConfig,
+    };
 }
 
 pub use prelude::*;

@@ -98,7 +98,9 @@ impl Llc {
             policy: config.policy,
             indexing: Indexing::LowOrder,
         };
-        let slices = (0..config.slices()).map(|_| SetAssocCache::new(geometry)).collect();
+        let slices = (0..config.slices())
+            .map(|_| SetAssocCache::new(geometry))
+            .collect();
         let ports = (0..config.slices())
             .map(|i| ContentionResource::new(&format!("llc-port-{i}")))
             .collect();
@@ -173,7 +175,11 @@ impl Llc {
     /// Evicts one random resident line from the set containing `addr`
     /// (ambient-noise injection). Returns the evicted line, if the set was
     /// non-empty.
-    pub fn evict_random_from_set(&mut self, addr: PhysAddr, rng: &mut SmallRng) -> Option<PhysAddr> {
+    pub fn evict_random_from_set(
+        &mut self,
+        addr: PhysAddr,
+        rng: &mut SmallRng,
+    ) -> Option<PhysAddr> {
         use rand::Rng;
         let id = self.set_of(addr);
         let resident = self.slices[id.slice].resident_lines(id.set);
@@ -205,9 +211,10 @@ impl Llc {
 
     /// Aggregate (hits, misses, evictions) across all slices.
     pub fn stats(&self) -> (u64, u64, u64) {
-        self.slices.iter().map(|s| s.stats()).fold((0, 0, 0), |acc, s| {
-            (acc.0 + s.0, acc.1 + s.1, acc.2 + s.2)
-        })
+        self.slices
+            .iter()
+            .map(|s| s.stats())
+            .fold((0, 0, 0), |acc, s| (acc.0 + s.0, acc.1 + s.1, acc.2 + s.2))
     }
 
     /// Clears hit/miss statistics and port statistics.
@@ -235,7 +242,12 @@ impl Llc {
     /// Enumerates `count` line-aligned physical addresses that all map to the
     /// given LLC set, scanning upward from `start`. This is the simulator-side
     /// ground truth the reverse-engineering code is validated against.
-    pub fn enumerate_set_addresses(&self, id: LlcSetId, start: PhysAddr, count: usize) -> Vec<PhysAddr> {
+    pub fn enumerate_set_addresses(
+        &self,
+        id: LlcSetId,
+        start: PhysAddr,
+        count: usize,
+    ) -> Vec<PhysAddr> {
         let mut out = Vec::with_capacity(count);
         let mut addr = start.line_base();
         while out.len() < count {
@@ -273,7 +285,10 @@ mod tests {
         assert!(id.set < 2048);
         // Same line -> same set.
         assert_eq!(llc.set_of(a.add(63)), id);
-        assert_eq!(format!("{id}"), format!("slice {} set {}", id.slice, id.set));
+        assert_eq!(
+            format!("{id}"),
+            format!("slice {} set {}", id.slice, id.set)
+        );
     }
 
     #[test]

@@ -139,11 +139,16 @@ mod tests {
     fn jitter_is_bounded_and_nonzero_on_average() {
         let m = NoiseModel::new(NoiseConfig::quiet_system());
         let mut rng = SmallRng::seed_from_u64(2);
-        let samples: Vec<u64> = (0..2_000).map(|_| m.latency_jitter(&mut rng).as_ps()).collect();
+        let samples: Vec<u64> = (0..2_000)
+            .map(|_| m.latency_jitter(&mut rng).as_ps())
+            .collect();
         let mean = samples.iter().sum::<u64>() as f64 / samples.len() as f64;
         // Folded normal mean = sigma * sqrt(2/pi) ~ 0.8 * sigma.
         assert!(mean > 500.0 && mean < 3_000.0, "mean jitter {mean}");
-        assert!(samples.iter().all(|&s| s < 20_000), "jitter unexpectedly large");
+        assert!(
+            samples.iter().all(|&s| s < 20_000),
+            "jitter unexpectedly large"
+        );
     }
 
     #[test]
@@ -163,7 +168,10 @@ mod tests {
     fn timer_rate_factor_is_centred_on_one() {
         let m = NoiseModel::new(NoiseConfig::quiet_system());
         let mut rng = SmallRng::seed_from_u64(4);
-        let mean: f64 = (0..2_000).map(|_| m.timer_rate_factor(&mut rng)).sum::<f64>() / 2_000.0;
+        let mean: f64 = (0..2_000)
+            .map(|_| m.timer_rate_factor(&mut rng))
+            .sum::<f64>()
+            / 2_000.0;
         assert!((mean - 1.0).abs() < 0.02, "mean factor {mean}");
     }
 

@@ -80,13 +80,18 @@ impl MappedBuffer {
     ///
     /// Panics if `offset >= len`.
     pub fn at(&self, offset: u64) -> VirtAddr {
-        assert!(offset < self.len, "offset {offset} out of bounds (len {})", self.len);
+        assert!(
+            offset < self.len,
+            "offset {offset} out of bounds (len {})",
+            self.len
+        );
         self.base.add(offset)
     }
 
     /// Iterates over the virtual addresses of every cache line in the buffer.
     pub fn lines(&self) -> impl Iterator<Item = VirtAddr> + '_ {
-        (0..self.len / crate::address::CACHE_LINE_SIZE).map(|i| self.base.add(i * crate::address::CACHE_LINE_SIZE))
+        (0..self.len / crate::address::CACHE_LINE_SIZE)
+            .map(|i| self.base.add(i * crate::address::CACHE_LINE_SIZE))
     }
 
     /// Number of whole cache lines in the buffer.
@@ -216,7 +221,11 @@ impl AddressSpace {
                     self.small_pages.insert(vpn, frame);
                 }
                 self.next_small_va += pages * SMALL_PAGE_SIZE;
-                Ok(MappedBuffer { base, len, page_kind: kind })
+                Ok(MappedBuffer {
+                    base,
+                    len,
+                    page_kind: kind,
+                })
             }
             PageKind::Huge => {
                 let base = VirtAddr::new(self.next_huge_va);
@@ -227,7 +236,11 @@ impl AddressSpace {
                     self.huge_pages.insert(vhpn, region);
                 }
                 self.next_huge_va += pages * HUGE_PAGE_SIZE;
-                Ok(MappedBuffer { base, len, page_kind: kind })
+                Ok(MappedBuffer {
+                    base,
+                    len,
+                    page_kind: kind,
+                })
             }
         }
     }
@@ -277,7 +290,9 @@ mod tests {
     fn small_alloc_translates_every_page() {
         let mut frames = PhysFrameAllocator::default_8gib(1);
         let mut asid = AddressSpace::new(100);
-        let buf = asid.alloc(10 * SMALL_PAGE_SIZE, PageKind::Small, &mut frames).unwrap();
+        let buf = asid
+            .alloc(10 * SMALL_PAGE_SIZE, PageKind::Small, &mut frames)
+            .unwrap();
         assert_eq!(asid.small_page_count(), 10);
         for i in 0..10 {
             let va = buf.at(i * SMALL_PAGE_SIZE + 7);
@@ -290,23 +305,34 @@ mod tests {
     fn small_pages_are_not_physically_contiguous() {
         let mut frames = PhysFrameAllocator::default_8gib(2);
         let mut asid = AddressSpace::new(1);
-        let buf = asid.alloc(4 * SMALL_PAGE_SIZE, PageKind::Small, &mut frames).unwrap();
+        let buf = asid
+            .alloc(4 * SMALL_PAGE_SIZE, PageKind::Small, &mut frames)
+            .unwrap();
         let pa: Vec<u64> = (0..4)
             .map(|i| asid.translate(buf.at(i * SMALL_PAGE_SIZE)).unwrap().value())
             .collect();
         let contiguous = pa.windows(2).all(|w| w[1] == w[0] + SMALL_PAGE_SIZE);
-        assert!(!contiguous, "randomised frame pool should not be contiguous: {pa:?}");
+        assert!(
+            !contiguous,
+            "randomised frame pool should not be contiguous: {pa:?}"
+        );
     }
 
     #[test]
     fn huge_page_preserves_low_30_bits() {
         let mut frames = PhysFrameAllocator::default_8gib(3);
         let mut asid = AddressSpace::new(1);
-        let buf = asid.alloc(HUGE_PAGE_SIZE, PageKind::Huge, &mut frames).unwrap();
+        let buf = asid
+            .alloc(HUGE_PAGE_SIZE, PageKind::Huge, &mut frames)
+            .unwrap();
         for offset in [0u64, 64, 4096, 1 << 20, HUGE_PAGE_SIZE - 64] {
             let va = buf.at(offset);
             let pa = asid.translate(va).unwrap();
-            assert_eq!(pa.value() % HUGE_PAGE_SIZE, offset, "PA low bits must equal VA offset");
+            assert_eq!(
+                pa.value() % HUGE_PAGE_SIZE,
+                offset,
+                "PA low bits must equal VA offset"
+            );
             assert!(pa.is_aligned(1), "sanity");
         }
         assert_eq!(asid.huge_page_count(), 1);
@@ -358,7 +384,9 @@ mod tests {
     fn buffer_lines_iterator_covers_whole_buffer() {
         let mut frames = PhysFrameAllocator::default_8gib(6);
         let mut asid = AddressSpace::new(1);
-        let buf = asid.alloc(SMALL_PAGE_SIZE, PageKind::Small, &mut frames).unwrap();
+        let buf = asid
+            .alloc(SMALL_PAGE_SIZE, PageKind::Small, &mut frames)
+            .unwrap();
         let lines: Vec<_> = buf.lines().collect();
         assert_eq!(lines.len() as u64, SMALL_PAGE_SIZE / CACHE_LINE_SIZE);
         assert_eq!(lines[0], buf.base);

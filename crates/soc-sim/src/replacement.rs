@@ -82,7 +82,9 @@ impl ReplacementState {
                     .find(|w| (lo..hi).contains(*w))
                     .expect("non-empty range within the set")
             }
-            ReplacementState::TreePlru(_) | ReplacementState::Random { .. } => rng.gen_range(lo..hi),
+            ReplacementState::TreePlru(_) | ReplacementState::Random { .. } => {
+                rng.gen_range(lo..hi)
+            }
         }
     }
 }
@@ -140,7 +142,10 @@ impl TreePlruState {
     ///
     /// Panics if `ways` is not a power of two (tree pLRU requires it).
     pub fn new(ways: usize) -> Self {
-        assert!(ways.is_power_of_two(), "tree pLRU requires power-of-two ways");
+        assert!(
+            ways.is_power_of_two(),
+            "tree pLRU requires power-of-two ways"
+        );
         TreePlruState {
             bits: vec![false; ways.saturating_sub(1)],
             ways,

@@ -117,7 +117,10 @@ impl SetAssocCache {
         match self.geometry.indexing {
             Indexing::LowOrder => (addr.line_number() as usize) % self.geometry.sets,
             Indexing::AddressBits { lo, hi } => {
-                debug_assert!(lo >= CACHE_LINE_BITS, "index bits must be above the line offset");
+                debug_assert!(
+                    lo >= CACHE_LINE_BITS,
+                    "index bits must be above the line offset"
+                );
                 (addr.bits(lo, hi) as usize) % self.geometry.sets
             }
         }
@@ -127,7 +130,7 @@ impl SetAssocCache {
     pub fn contains(&self, addr: PhysAddr) -> bool {
         let line = addr.line_base();
         let set = &self.sets[self.set_index(line)];
-        set.lines.iter().any(|l| *l == Some(line))
+        set.lines.contains(&Some(line))
     }
 
     /// Looks up `addr`, updating replacement state and hit statistics.
@@ -218,12 +221,7 @@ impl SetAssocCache {
     ///
     /// Panics if `index >= sets`.
     pub fn resident_lines(&self, index: usize) -> Vec<PhysAddr> {
-        self.sets[index]
-            .lines
-            .iter()
-            .flatten()
-            .copied()
-            .collect()
+        self.sets[index].lines.iter().flatten().copied().collect()
     }
 
     /// Number of valid lines across the whole cache.
@@ -280,7 +278,10 @@ mod tests {
         assert!(!c.access(a));
         c.fill(a, &mut rng);
         assert!(c.access(a));
-        assert!(c.contains(PhysAddr::new(0x1004)), "same line, different byte");
+        assert!(
+            c.contains(PhysAddr::new(0x1004)),
+            "same line, different byte"
+        );
         let (hits, misses, _) = c.stats();
         assert_eq!((hits, misses), (1, 1));
     }

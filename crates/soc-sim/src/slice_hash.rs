@@ -154,7 +154,14 @@ mod tests {
     fn hash_is_linear_over_gf2() {
         // slice(a ^ b) == slice(a) ^ slice(b) for an XOR-parity hash.
         let h = SliceHash::kaby_lake_i7_7700k();
-        let samples = [0x0u64, 0x40, 0x1000, 0xdead_b000, 0x3_4567_8000, 0x24_0000_0040];
+        let samples = [
+            0x0u64,
+            0x40,
+            0x1000,
+            0xdead_b000,
+            0x3_4567_8000,
+            0x24_0000_0040,
+        ];
         for &a in &samples {
             for &b in &samples {
                 let sa = h.slice_of(PhysAddr::new(a));

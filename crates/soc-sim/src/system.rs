@@ -90,7 +90,10 @@ impl ParallelOutcome {
     /// Number of accesses served by the LLC or DRAM (i.e. that missed inside
     /// the GPU).
     pub fn shared_level_count(&self) -> usize {
-        self.outcomes.iter().filter(|o| o.level.is_shared_level()).count()
+        self.outcomes
+            .iter()
+            .filter(|o| o.level.is_shared_level())
+            .count()
     }
 }
 
@@ -232,6 +235,21 @@ impl SocConfig {
             llc_partition: None,
             phys_mem_bytes: 8 * 1024 * 1024 * 1024,
             seed: 0xC0FFEE,
+        }
+    }
+
+    /// A "Gen11-class" scale-up of the platform: the same slice hash and
+    /// clock domains, but twice the LLC sets (16 MB total) and a doubled
+    /// GPU L3. The covert channels run against it unchanged; the sweep
+    /// harness uses it to measure how the attacks scale with cache size.
+    pub fn gen11_class() -> Self {
+        let mut llc = LlcConfig::kaby_lake_i7_7700k();
+        llc.sets_per_slice *= 2;
+        SocConfig {
+            llc,
+            gpu_l3: GpuL3Config::gen11_class(),
+            phys_mem_bytes: 16 * 1024 * 1024 * 1024,
+            ..Self::kaby_lake_i7_7700k()
         }
     }
 
@@ -423,10 +441,13 @@ impl Soc {
     }
 
     fn maybe_inject_noise_eviction(&mut self, paddr: PhysAddr) {
-        if self.noise.spurious_eviction(&mut self.rng) {
-            if self.llc.evict_random_from_set(paddr, &mut self.rng).is_some() {
-                self.stats.spurious_evictions += 1;
-            }
+        if self.noise.spurious_eviction(&mut self.rng)
+            && self
+                .llc
+                .evict_random_from_set(paddr, &mut self.rng)
+                .is_some()
+        {
+            self.stats.spurious_evictions += 1;
         }
     }
 
@@ -551,10 +572,13 @@ impl Soc {
         // L3 miss: the request crosses the ring to the LLC.
         let ring_latency = self.ring.transfer(now + lat.gpu_l3_lookup, CACHE_LINE_SIZE);
         let ring_queue = ring_latency.saturating_sub(Time::from_ns(2));
-        let port_queue = self.llc.acquire_port(paddr, now + lat.gpu_l3_lookup + ring_latency);
+        let port_queue = self
+            .llc
+            .acquire_port(paddr, now + lat.gpu_l3_lookup + ring_latency);
         self.maybe_inject_noise_eviction(paddr);
 
-        let base = lat.gpu_l3_lookup + ring_latency + port_queue + lat.llc_array + lat.gpu_uncore_extra;
+        let base =
+            lat.gpu_l3_lookup + ring_latency + port_queue + lat.llc_array + lat.gpu_uncore_extra;
         let contention = port_queue + ring_queue.saturating_sub(self.ring_serialization_time());
 
         if self.llc.access(paddr) {
@@ -693,8 +717,18 @@ mod tests {
         soc.gpu_l3.invalidate(a);
         let llc = soc.gpu_access(a, Time::from_us(2));
         assert_eq!(llc.level, HitLevel::Llc);
-        assert!(l3.latency < llc.latency, "L3 {} vs LLC {}", l3.latency, llc.latency);
-        assert!(llc.latency < dram.latency, "LLC {} vs DRAM {}", llc.latency, dram.latency);
+        assert!(
+            l3.latency < llc.latency,
+            "L3 {} vs LLC {}",
+            l3.latency,
+            llc.latency
+        );
+        assert!(
+            llc.latency < dram.latency,
+            "LLC {} vs DRAM {}",
+            llc.latency,
+            dram.latency
+        );
     }
 
     #[test]
@@ -710,7 +744,11 @@ mod tests {
         assert!(!soc.llc().contains(a), "clflush removes the LLC copy");
         assert!(!soc.in_cpu_private_caches(a), "clflush removes CPU copies");
         let after = soc.gpu_access(a, Time::from_us(3));
-        assert_eq!(after.level, HitLevel::GpuL3, "GPU L3 copy must survive clflush");
+        assert_eq!(
+            after.level,
+            HitLevel::GpuL3,
+            "GPU L3 copy must survive clflush"
+        );
     }
 
     #[test]
@@ -746,8 +784,12 @@ mod tests {
     fn concurrent_cpu_gpu_traffic_shows_contention() {
         let mut soc = soc();
         // Warm two disjoint buffers into the LLC.
-        let cpu_lines: Vec<PhysAddr> = (0..512u64).map(|i| PhysAddr::new(0x100_0000 + i * 64)).collect();
-        let gpu_lines: Vec<PhysAddr> = (0..512u64).map(|i| PhysAddr::new(0x200_0000 + i * 64)).collect();
+        let cpu_lines: Vec<PhysAddr> = (0..512u64)
+            .map(|i| PhysAddr::new(0x100_0000 + i * 64))
+            .collect();
+        let gpu_lines: Vec<PhysAddr> = (0..512u64)
+            .map(|i| PhysAddr::new(0x200_0000 + i * 64))
+            .collect();
         let mut t = Time::ZERO;
         for &a in &cpu_lines {
             t += soc.cpu_access(0, a, t).latency;
@@ -794,7 +836,9 @@ mod tests {
     #[test]
     fn gpu_parallel_access_is_faster_than_serial() {
         let mut soc = soc();
-        let addrs: Vec<PhysAddr> = (0..16u64).map(|i| PhysAddr::new(0x300_0000 + i * 64)).collect();
+        let addrs: Vec<PhysAddr> = (0..16u64)
+            .map(|i| PhysAddr::new(0x300_0000 + i * 64))
+            .collect();
         // Warm so that both runs see the same hit levels (GPU L3 hits).
         for &a in &addrs {
             soc.gpu_access(a, Time::ZERO);
@@ -837,7 +881,8 @@ mod tests {
 
     #[test]
     fn partitioned_llc_confines_each_component_to_its_ways() {
-        let config = SocConfig::kaby_lake_noiseless().with_llc_partition(LlcPartition::even_split());
+        let config =
+            SocConfig::kaby_lake_noiseless().with_llc_partition(LlcPartition::even_split());
         let mut soc = Soc::new(config);
         let cpu_line = PhysAddr::new(0);
         soc.cpu_access(0, cpu_line, Time::ZERO);

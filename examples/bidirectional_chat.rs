@@ -7,7 +7,10 @@
 
 use leaky_buddies::prelude::*;
 
-fn send(direction: Direction, message: &[u8]) -> Result<(Vec<u8>, TransmissionReport), ChannelError> {
+fn send(
+    direction: Direction,
+    message: &[u8],
+) -> Result<(Vec<u8>, TransmissionReport), ChannelError> {
     let mut channel = LlcChannel::new(LlcChannelConfig::paper_default().with_direction(direction))?;
     let report = channel.transmit(&bytes_to_bits(message));
     let decoded = bits_to_bytes(&report.received);
@@ -16,7 +19,10 @@ fn send(direction: Direction, message: &[u8]) -> Result<(Vec<u8>, TransmissionRe
 
 fn main() -> Result<(), ChannelError> {
     let request = b"KEY?";
-    println!("[GPU -> CPU] trojan sends {:?}", String::from_utf8_lossy(request));
+    println!(
+        "[GPU -> CPU] trojan sends {:?}",
+        String::from_utf8_lossy(request)
+    );
     let (received_request, report) = send(Direction::GpuToCpu, request)?;
     println!(
         "[GPU -> CPU] spy decoded  {:?}  ({:.1} kb/s, {:.2}% errors)",
@@ -26,7 +32,10 @@ fn main() -> Result<(), ChannelError> {
     );
 
     let reply = b"0xDEADBEEF";
-    println!("[CPU -> GPU] spy replies  {:?}", String::from_utf8_lossy(reply));
+    println!(
+        "[CPU -> GPU] spy replies  {:?}",
+        String::from_utf8_lossy(reply)
+    );
     let (received_reply, report) = send(Direction::CpuToGpu, reply)?;
     println!(
         "[CPU -> GPU] trojan decoded {:?}  ({:.1} kb/s, {:.2}% errors)",
@@ -35,6 +44,8 @@ fn main() -> Result<(), ChannelError> {
         report.error_rate() * 100.0
     );
 
-    println!("round trip complete: two unprivileged processes exchanged data without any shared memory.");
+    println!(
+        "round trip complete: two unprivileged processes exchanged data without any shared memory."
+    );
     Ok(())
 }

@@ -18,7 +18,11 @@ fn main() -> Result<(), ChannelError> {
     println!("== Eviction strategies (Figure 7) ==");
     for strategy in L3EvictionStrategy::ALL {
         // The whole-L3 clear is orders of magnitude slower; use fewer bits.
-        let payload = if strategy == L3EvictionStrategy::FullL3Clear { &short } else { &bits };
+        let payload = if strategy == L3EvictionStrategy::FullL3Clear {
+            &short
+        } else {
+            &bits
+        };
         let report = run(
             LlcChannelConfig::paper_default().with_strategy(strategy),
             payload,
@@ -33,7 +37,10 @@ fn main() -> Result<(), ChannelError> {
 
     println!("== Directions ==");
     for direction in [Direction::GpuToCpu, Direction::CpuToGpu] {
-        let report = run(LlcChannelConfig::paper_default().with_direction(direction), &bits)?;
+        let report = run(
+            LlcChannelConfig::paper_default().with_direction(direction),
+            &bits,
+        )?;
         println!(
             "  {:<12} {:>8.1} kb/s   error {:>5.2}%",
             direction.label(),
@@ -44,7 +51,10 @@ fn main() -> Result<(), ChannelError> {
 
     println!("== Redundant LLC sets (Figure 8) ==");
     for sets in [1usize, 2, 4] {
-        let report = run(LlcChannelConfig::paper_default().with_sets_per_role(sets), &bits)?;
+        let report = run(
+            LlcChannelConfig::paper_default().with_sets_per_role(sets),
+            &bits,
+        )?;
         println!(
             "  {} set(s): {:>8.1} kb/s   error {:>5.2}%",
             sets,

@@ -9,7 +9,10 @@ fn main() -> Result<(), ChannelError> {
     // The paper's best LLC-channel configuration: GPU trojan -> CPU spy,
     // precise L3 eviction sets, 2 redundant LLC sets per protocol role.
     let config = LlcChannelConfig::paper_default();
-    println!("setting up the LLC Prime+Probe channel ({})...", config.direction.label());
+    println!(
+        "setting up the LLC Prime+Probe channel ({})...",
+        config.direction.label()
+    );
     let mut channel = LlcChannel::new(config)?;
 
     let timer = channel.timer_characterization();
@@ -23,13 +26,26 @@ fn main() -> Result<(), ChannelError> {
 
     let secret = b"LEAKY BUDDIES";
     let bits = bytes_to_bits(secret);
-    println!("transmitting {} bits ({} bytes) covertly...", bits.len(), secret.len());
+    println!(
+        "transmitting {} bits ({} bytes) covertly...",
+        bits.len(),
+        secret.len()
+    );
     let report = channel.transmit(&bits);
 
     let recovered = bits_to_bytes(&report.received);
-    println!("spy received      : {:?}", String::from_utf8_lossy(&recovered));
-    println!("bandwidth         : {:.1} kb/s (paper: ~120 kb/s)", report.bandwidth_kbps());
-    println!("bit error rate    : {:.2}% (paper: ~2%)", report.error_rate() * 100.0);
+    println!(
+        "spy received      : {:?}",
+        String::from_utf8_lossy(&recovered)
+    );
+    println!(
+        "bandwidth         : {:.1} kb/s (paper: ~120 kb/s)",
+        report.bandwidth_kbps()
+    );
+    println!(
+        "bit error rate    : {:.2}% (paper: ~2%)",
+        report.error_rate() * 100.0
+    );
     println!("time per bit      : {}", report.time_per_bit());
     Ok(())
 }

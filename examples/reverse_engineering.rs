@@ -35,19 +35,35 @@ fn main() {
     let mut cpu = CpuThread::pinned(0);
     let recovery = recover_slice_hash(&mut cpu, &mut soc, PhysAddr::new(0x1_0000_0000), 96);
     println!("  timing-observed slices : {}", recovery.observed_slices());
-    println!("  hash input bits (17-29): {:?}", recovery.influencing_bits());
+    println!(
+        "  hash input bits (17-29): {:?}",
+        recovery.influencing_bits()
+    );
     let truth = ground_truth_bits(&SliceHash::kaby_lake_i7_7700k(), 17, 30);
     println!("  ground truth           : {truth:?}");
-    println!("  match                  : {}", recovery.influencing_bits() == truth);
+    println!(
+        "  match                  : {}",
+        recovery.influencing_bits() == truth
+    );
 
     println!("== 3. GPU L3: inclusiveness and placement geometry ==");
     let mut gpu = GpuKernel::launch_attack_kernel();
     let threshold = characterization.l3_llc_threshold();
-    let inc = l3_inclusiveness_test(&mut soc, &mut gpu, &mut cpu, PhysAddr::new(0x7000_0000), threshold);
+    let inc = l3_inclusiveness_test(
+        &mut soc,
+        &mut gpu,
+        &mut cpu,
+        PhysAddr::new(0x7000_0000),
+        threshold,
+    );
     println!(
         "  after CPU clflush the GPU re-access took {} ticks -> L3 is {}",
         inc.final_access_ticks,
-        if inc.l3_is_non_inclusive { "NOT inclusive of the LLC" } else { "inclusive" }
+        if inc.l3_is_non_inclusive {
+            "NOT inclusive of the LLC"
+        } else {
+            "inclusive"
+        }
     );
     let bits = discover_l3_index_bits(
         &mut soc,
@@ -67,13 +83,32 @@ fn main() {
         .map(|i| PhysAddr::new(victim.value() + i * 128 * 1024))
         .collect();
     let ways = soc.llc().config().ways;
-    match find_minimal_eviction_set(&mut cpu, &mut soc, victim, &pool, ways, CPU_MISS_THRESHOLD_CYCLES) {
+    match find_minimal_eviction_set(
+        &mut cpu,
+        &mut soc,
+        victim,
+        &pool,
+        ways,
+        CPU_MISS_THRESHOLD_CYCLES,
+    ) {
         Ok(set) => {
             let pure = set.iter().all(|a| soc.llc().set_of(*a) == target_set);
-            println!("  reduced {} candidates to {} addresses (all in the victim's set: {pure})", pool.len(), set.len());
-            let (cycles, evicted) =
-                validate_set_from_gpu(&mut cpu, &mut gpu, &mut soc, victim, &set, CPU_MISS_THRESHOLD_CYCLES);
-            println!("  GPU-side validation: victim re-access took {cycles} cycles, evicted = {evicted}");
+            println!(
+                "  reduced {} candidates to {} addresses (all in the victim's set: {pure})",
+                pool.len(),
+                set.len()
+            );
+            let (cycles, evicted) = validate_set_from_gpu(
+                &mut cpu,
+                &mut gpu,
+                &mut soc,
+                victim,
+                &set,
+                CPU_MISS_THRESHOLD_CYCLES,
+            );
+            println!(
+                "  GPU-side validation: victim re-access took {cycles} cycles, evicted = {evicted}"
+            );
         }
         Err(e) => println!("  eviction-set construction failed: {e}"),
     }

@@ -48,11 +48,17 @@ fn parallel_probe_is_faster_than_serial_probe_at_the_soc_level() {
     // The mechanism behind the ablation: 16 ways probed in parallel cost
     // roughly one access latency, not sixteen.
     let mut soc = Soc::new(SocConfig::kaby_lake_noiseless());
-    let addrs: Vec<PhysAddr> = (0..16u64).map(|i| PhysAddr::new(0x900_0000 + i * 64)).collect();
+    let addrs: Vec<PhysAddr> = (0..16u64)
+        .map(|i| PhysAddr::new(0x900_0000 + i * 64))
+        .collect();
     for &a in &addrs {
         soc.gpu_access(a, Time::ZERO);
     }
-    let serial = soc.gpu_access_parallel(&addrs, 1, Time::from_us(10)).total_latency;
-    let parallel = soc.gpu_access_parallel(&addrs, 16, Time::from_us(20)).total_latency;
+    let serial = soc
+        .gpu_access_parallel(&addrs, 1, Time::from_us(10))
+        .total_latency;
+    let parallel = soc
+        .gpu_access_parallel(&addrs, 16, Time::from_us(20))
+        .total_latency;
     assert!(parallel.as_ps() * 4 < serial.as_ps());
 }

@@ -22,19 +22,29 @@ fn svm_lets_the_gpu_reuse_cpu_derived_eviction_sets() {
     let kernel = GpuKernel::launch_attack_kernel();
     for (pa, offset) in eviction_set.iter().zip(0u64..) {
         let va = VirtAddr::new(buf.base.value() + (pa.value() - base.value()));
-        assert_eq!(kernel.translate(&space, va).unwrap(), *pa, "offset {offset}");
+        assert_eq!(
+            kernel.translate(&space, va).unwrap(),
+            *pa,
+            "offset {offset}"
+        );
     }
 
     // And walking it from the GPU evicts a CPU-resident victim.
     let mut cpu = CpuThread::pinned(0);
     let mut gpu = GpuKernel::launch_attack_kernel();
     let victim = eviction_set[0];
-    let others: Vec<PhysAddr> = soc
-        .llc()
-        .enumerate_set_addresses(target_set, PhysAddr::new(0x2000_0000), ways);
+    let others: Vec<PhysAddr> =
+        soc.llc()
+            .enumerate_set_addresses(target_set, PhysAddr::new(0x2000_0000), ways);
     cpu.load(&mut soc, victim);
-    let (_, evicted) =
-        validate_set_from_gpu(&mut cpu, &mut gpu, &mut soc, victim, &others, CPU_MISS_THRESHOLD_CYCLES);
+    let (_, evicted) = validate_set_from_gpu(
+        &mut cpu,
+        &mut gpu,
+        &mut soc,
+        victim,
+        &others,
+        CPU_MISS_THRESHOLD_CYCLES,
+    );
     assert!(evicted);
 }
 
@@ -61,9 +71,11 @@ fn clflush_cannot_purge_the_gpu_l3() {
     // the line from the LLC back-invalidates them.
     cpu.load(&mut soc, line);
     let set = soc.llc().set_of(line);
-    let conflicts = soc
-        .llc()
-        .enumerate_set_addresses(set, PhysAddr::new(0x3000_0000), soc.llc().config().ways + 2);
+    let conflicts = soc.llc().enumerate_set_addresses(
+        set,
+        PhysAddr::new(0x3000_0000),
+        soc.llc().config().ways + 2,
+    );
     for &c in &conflicts {
         gpu.load(&mut soc, c);
     }
@@ -80,8 +92,12 @@ fn concurrent_gpu_traffic_slows_cpu_llc_accesses() {
     let mut gpu = GpuKernel::launch_attack_kernel();
 
     // Warm 256 CPU lines and 1024 GPU lines into the LLC (disjoint regions).
-    let cpu_lines: Vec<PhysAddr> = (0..256u64).map(|i| PhysAddr::new(0x1000_0000 + i * 64)).collect();
-    let gpu_lines: Vec<PhysAddr> = (0..1024u64).map(|i| PhysAddr::new(0x2000_0000 + i * 4096)).collect();
+    let cpu_lines: Vec<PhysAddr> = (0..256u64)
+        .map(|i| PhysAddr::new(0x1000_0000 + i * 64))
+        .collect();
+    let gpu_lines: Vec<PhysAddr> = (0..1024u64)
+        .map(|i| PhysAddr::new(0x2000_0000 + i * 4096))
+        .collect();
     for &a in &cpu_lines {
         cpu.load(&mut soc, a);
         cpu.clflush(&mut soc, a);

@@ -49,7 +49,11 @@ fn llc_channel_on_the_quiet_system_matches_the_papers_regime() {
         "bandwidth {} kb/s out of the expected regime",
         report.bandwidth_kbps()
     );
-    assert!(report.error_rate() < 0.08, "error rate {}", report.error_rate());
+    assert!(
+        report.error_rate() < 0.08,
+        "error rate {}",
+        report.error_rate()
+    );
 }
 
 #[test]

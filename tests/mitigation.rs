@@ -21,9 +21,11 @@ fn partitioned_llc_prevents_cross_component_eviction() {
     assert!(soc.llc().contains(victim));
 
     let set = soc.llc().set_of(victim);
-    let conflicts = soc
-        .llc()
-        .enumerate_set_addresses(set, PhysAddr::new(0x2000_0000), 3 * soc.llc().config().ways);
+    let conflicts = soc.llc().enumerate_set_addresses(
+        set,
+        PhysAddr::new(0x2000_0000),
+        3 * soc.llc().config().ways,
+    );
     gpu.synchronize_to(cpu.now());
     for _ in 0..3 {
         gpu.parallel_load(&mut soc, &conflicts);
@@ -38,9 +40,11 @@ fn partitioned_llc_prevents_cross_component_eviction() {
     // resident in the GPU's partition).
     let gpu_line = *conflicts.last().expect("non-empty conflict set");
     assert!(soc.llc().contains(gpu_line));
-    let more_conflicts = soc
-        .llc()
-        .enumerate_set_addresses(set, PhysAddr::new(0x6000_0000), 3 * soc.llc().config().ways);
+    let more_conflicts = soc.llc().enumerate_set_addresses(
+        set,
+        PhysAddr::new(0x6000_0000),
+        3 * soc.llc().config().ways,
+    );
     cpu.synchronize_to(gpu.now());
     for &a in &more_conflicts {
         cpu.load(&mut soc, a);
@@ -67,7 +71,10 @@ fn partitioning_destroys_the_llc_covert_channel() {
 
     let mut open_channel = LlcChannel::new(vulnerable).expect("setup");
     let open_report = open_channel.transmit(&bits);
-    assert!(open_report.error_rate() < 0.05, "baseline channel must work");
+    assert!(
+        open_report.error_rate() < 0.05,
+        "baseline channel must work"
+    );
 
     let mut blocked_channel = LlcChannel::new(mitigated).expect("setup");
     let blocked_report = blocked_channel.transmit(&bits);

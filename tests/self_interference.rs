@@ -16,7 +16,9 @@ fn naive_pollute(soc: &Soc, target: PhysAddr, count: usize) -> Vec<PhysAddr> {
     let mut candidate = target.value() + (1 << 17);
     while out.len() < count {
         let a = PhysAddr::new(candidate);
-        if l3.placement_index(a) == l3.placement_index(target) && llc.set_of(a) == llc.set_of(target) {
+        if l3.placement_index(a) == l3.placement_index(target)
+            && llc.set_of(a) == llc.set_of(target)
+        {
             out.push(a);
         }
         candidate += 1 << 17;
@@ -74,7 +76,10 @@ fn llc_only_strategy_also_respects_the_constraint() {
     // communication set (it just needs more addresses overall).
     let soc = Soc::new(SocConfig::kaby_lake_noiseless());
     let target = PhysAddr::new(0xABC_0040);
-    for strategy in [L3EvictionStrategy::LlcKnowledgeOnly, L3EvictionStrategy::PreciseL3] {
+    for strategy in [
+        L3EvictionStrategy::LlcKnowledgeOnly,
+        L3EvictionStrategy::PreciseL3,
+    ] {
         let pollute = build_pollute_set(
             &soc,
             strategy,
@@ -84,7 +89,9 @@ fn llc_only_strategy_also_respects_the_constraint() {
         )
         .expect("pollute set");
         assert!(
-            pollute.iter().all(|a| soc.llc().set_of(*a) != soc.llc().set_of(target)),
+            pollute
+                .iter()
+                .all(|a| soc.llc().set_of(*a) != soc.llc().set_of(target)),
             "{:?} produced an address aliasing the target's LLC set",
             strategy
         );
