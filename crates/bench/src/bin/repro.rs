@@ -7,12 +7,19 @@
 //! ```text
 //! repro [--fig4] [--fig7] [--fig8] [--fig9] [--fig10] [--headline]
 //!       [--slice-hash] [--l3] [--ablation] [--sweep] [--all] [--quick]
+//!       [--code <spec>[,<spec>...]] [--out <path>]
 //! ```
 //!
 //! With no experiment flag, `--all` is assumed. `--quick` shrinks the bit
 //! counts for a fast smoke run.
+//!
+//! `--code` selects the link-code axis of the `--sweep` grid: a
+//! comma-separated list of `none`, `crc8`, `hamming74`, `rs`, `rs(n,k)` or
+//! `rs(n,k,depth)`, or `all` (the default) for every family. `--out <path>`
+//! writes the sweep rows (classic and coded) as JSON for plotting.
 
 use bench::*;
+use covert::prelude::{LinkCodeKind, TransceiverConfig};
 
 struct Options {
     fig4: bool,
@@ -26,12 +33,30 @@ struct Options {
     ablation: bool,
     sweep: bool,
     quick: bool,
+    codes: Vec<LinkCodeKind>,
+    out: Option<std::path::PathBuf>,
+}
+
+/// Parses a `--code` argument: `all` or a comma-separated list of specs.
+fn parse_codes(spec: &str) -> Result<Vec<LinkCodeKind>, String> {
+    if spec.trim().eq_ignore_ascii_case("all") {
+        return Ok(LinkCodeKind::all().to_vec());
+    }
+    spec.split(',')
+        .map(LinkCodeKind::parse)
+        .collect::<Result<Vec<_>, _>>()
 }
 
 impl Options {
     fn parse() -> Options {
         let args: Vec<String> = std::env::args().skip(1).collect();
         let has = |flag: &str| args.iter().any(|a| a == flag);
+        let value_of = |flag: &str| -> Option<String> {
+            args.iter()
+                .position(|a| a == flag)
+                .and_then(|i| args.get(i + 1))
+                .cloned()
+        };
         let any_specific = [
             "--fig4",
             "--fig7",
@@ -47,6 +72,13 @@ impl Options {
         .iter()
         .any(|f| has(f));
         let all = has("--all") || !any_specific;
+        let codes = match value_of("--code") {
+            None => LinkCodeKind::all().to_vec(),
+            Some(spec) => parse_codes(&spec).unwrap_or_else(|err| {
+                eprintln!("error: {err}");
+                std::process::exit(2);
+            }),
+        };
         Options {
             fig4: all || has("--fig4"),
             fig7: all || has("--fig7"),
@@ -59,6 +91,8 @@ impl Options {
             ablation: all || has("--ablation"),
             sweep: all || has("--sweep"),
             quick: has("--quick"),
+            codes,
+            out: value_of("--out").map(std::path::PathBuf::from),
         }
     }
 }
@@ -206,14 +240,17 @@ fn main() {
 
     if opts.sweep {
         banner("Scenario sweep: backend x channel x noise, in parallel");
-        let runner = SweepRunner::with_default_threads();
+        let runner = SweepRunner::with_default_threads().with_point_budget(
+            std::time::Duration::from_secs(if opts.quick { 60 } else { 600 }),
+        );
         println!("({} worker threads)", runner.threads());
         println!(
             "{:<58} {:>12} {:>9} {:>12} {:>8}",
             "scenario", "kb/s", "error", "symbol (ns)", "quality"
         );
-        for result in runner.run(&default_grid(if opts.quick { 64 } else { 200 })) {
-            match result.outcome {
+        let classic = runner.run(&default_grid(if opts.quick { 64 } else { 200 }));
+        for result in &classic {
+            match &result.outcome {
                 Ok(outcome) => println!(
                     "{:<58} {:>12.1} {:>8.2}% {:>12.0} {:>8.1}",
                     result.point.label(),
@@ -225,6 +262,58 @@ fn main() {
                 Err(err) => println!("{:<58} unusable: {err}", result.point.label()),
             }
         }
+
+        banner("Link-code sweep: raw vs coded goodput (framed engine, quiet noise)");
+        println!(
+            "(codes: {})",
+            opts.codes
+                .iter()
+                .map(|c| c.label())
+                .collect::<Vec<_>>()
+                .join(", ")
+        );
+        println!(
+            "{:<64} {:>10} {:>10} {:>7} {:>9} {:>9} {:>8}",
+            "scenario", "kb/s", "goodput", "rate", "corrected", "residual", "retx"
+        );
+        let coded = runner
+            .clone()
+            .with_engine(TransceiverConfig::paper_default())
+            .run(&coded_grid(if opts.quick { 128 } else { 320 }, &opts.codes));
+        for result in &coded {
+            match &result.outcome {
+                Ok(outcome) => println!(
+                    "{:<64} {:>10.1} {:>10.1} {:>7.2} {:>9} {:>9} {:>8}",
+                    result.point.label(),
+                    outcome.bandwidth_kbps,
+                    outcome.goodput_kbps,
+                    outcome.code_rate,
+                    outcome.corrected_bits,
+                    outcome.residual_errors,
+                    outcome.retransmissions,
+                ),
+                Err(err) => println!("{:<64} unusable: {err}", result.point.label()),
+            }
+        }
+
+        if let Some(path) = &opts.out {
+            let mut rows = classic;
+            rows.extend(coded);
+            match write_sweep_json(path, &rows) {
+                Ok(()) => println!("\nwrote {} sweep rows to {}", rows.len(), path.display()),
+                Err(err) => {
+                    // A lost result file must fail the run, not just warn —
+                    // downstream plotting scripts check the exit code.
+                    eprintln!("error: could not write {}: {err}", path.display());
+                    std::process::exit(1);
+                }
+            }
+        }
+    } else if let Some(path) = &opts.out {
+        eprintln!(
+            "note: --out {} ignored (it serializes --sweep results; pass --sweep)",
+            path.display()
+        );
     }
 
     if opts.headline {

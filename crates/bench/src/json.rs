@@ -1,0 +1,176 @@
+//! Hand-rolled JSON serialization of sweep results.
+//!
+//! The workspace builds offline with no serde, so this module writes the
+//! small, flat schema the plotting side needs by hand: one object per sweep
+//! row with the point coordinates and either the measured outcome or the
+//! recorded failure. `repro --sweep --out <path>` is the entry point.
+
+use crate::sweep::{SweepOutcome, SweepResult};
+use std::fmt::Write as _;
+use std::io;
+use std::path::Path;
+
+/// Escapes a string for a JSON string literal (quotes not included).
+fn escape(text: &str) -> String {
+    let mut out = String::with_capacity(text.len());
+    for c in text.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Formats a float as a JSON number; non-finite values become `null`.
+fn number(value: f64) -> String {
+    if value.is_finite() {
+        format!("{value}")
+    } else {
+        "null".into()
+    }
+}
+
+fn outcome_fields(out: &mut String, outcome: &SweepOutcome) {
+    let _ = write!(
+        out,
+        "\"bandwidth_kbps\":{},\"goodput_kbps\":{},\"error_rate\":{},\"code_rate\":{},\
+         \"corrected_bits\":{},\"residual_errors\":{},\"symbol_time_ns\":{},\
+         \"calibration_quality\":{},\"frames_sent\":{},\"retransmissions\":{}",
+        number(outcome.bandwidth_kbps),
+        number(outcome.goodput_kbps),
+        number(outcome.error_rate),
+        number(outcome.code_rate),
+        outcome.corrected_bits,
+        outcome.residual_errors,
+        number(outcome.symbol_time_ns),
+        number(outcome.calibration_quality),
+        outcome.frames_sent,
+        outcome.retransmissions,
+    );
+}
+
+/// Serializes sweep rows into a self-describing JSON document.
+pub fn sweep_results_to_json(results: &[SweepResult]) -> String {
+    let mut out = String::from("{\n\"schema\":\"leaky-buddies/sweep-v1\",\n\"results\":[\n");
+    for (i, result) in results.iter().enumerate() {
+        let point = &result.point;
+        let _ = write!(
+            out,
+            "{{\"scenario\":\"{}\",\"backend\":\"{}\",\"channel\":\"{}\",\"noise\":\"{}\",\
+             \"code\":\"{}\",\"bits\":{},\"seed\":{},",
+            escape(&point.label()),
+            escape(point.backend.label()),
+            escape(point.channel.label()),
+            escape(point.noise.label()),
+            escape(&point.code.label()),
+            point.bits,
+            point.seed,
+        );
+        match &result.outcome {
+            Ok(outcome) => {
+                out.push_str("\"ok\":true,");
+                outcome_fields(&mut out, outcome);
+            }
+            Err(err) => {
+                let _ = write!(
+                    out,
+                    "\"ok\":false,\"error\":\"{}\"",
+                    escape(&err.to_string())
+                );
+            }
+        }
+        out.push('}');
+        if i + 1 < results.len() {
+            out.push(',');
+        }
+        out.push('\n');
+    }
+    out.push_str("]\n}\n");
+    out
+}
+
+/// Writes the sweep rows to `path` as JSON.
+///
+/// # Errors
+///
+/// Propagates filesystem errors from creating or writing the file.
+pub fn write_sweep_json(path: &Path, results: &[SweepResult]) -> io::Result<()> {
+    std::fs::write(path, sweep_results_to_json(results))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sweep::{default_grid, SweepRunner};
+    use covert::prelude::LinkCodeKind;
+
+    #[test]
+    fn escape_handles_specials() {
+        assert_eq!(escape("plain"), "plain");
+        assert_eq!(escape("a\"b\\c"), "a\\\"b\\\\c");
+        assert_eq!(escape("x\ny"), "x\\ny");
+        assert_eq!(escape("\u{1}"), "\\u0001");
+    }
+
+    #[test]
+    fn numbers_are_json_safe() {
+        assert_eq!(number(1.5), "1.5");
+        assert_eq!(number(f64::NAN), "null");
+        assert_eq!(number(f64::INFINITY), "null");
+    }
+
+    #[test]
+    fn document_shape_round_trips_key_facts() {
+        let mut grid = default_grid(24);
+        grid.truncate(2);
+        grid[1].code = LinkCodeKind::Hamming74;
+        let results = SweepRunner::new(2).run(&grid);
+        let json = sweep_results_to_json(&results);
+        assert!(json.starts_with('{') && json.trim_end().ends_with('}'));
+        assert!(json.contains("\"schema\":\"leaky-buddies/sweep-v1\""));
+        assert!(json.contains("\"code\":\"none\""));
+        assert!(json.contains("\"code\":\"hamming74\""));
+        assert!(json.contains("\"goodput_kbps\":"));
+        // One object per row.
+        assert_eq!(json.matches("\"scenario\":").count(), 2);
+        // Balanced braces and brackets (a cheap well-formedness check that
+        // needs no JSON parser in the offline environment).
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
+    }
+
+    #[test]
+    fn failed_points_serialize_their_error() {
+        let mut point = crate::sweep::SweepPoint::paper_default(
+            soc_sim::prelude::SocBackend::KabyLakeGen9,
+            crate::sweep::ChannelKind::RingContention,
+            crate::sweep::NoiseLevel::Noiseless,
+        );
+        point.gpu_buffer_bytes = 8 * 1024 * 1024; // cannot fit: setup error
+        point.bits = 16;
+        let results = SweepRunner::new(1).run(std::slice::from_ref(&point));
+        assert!(results[0].outcome.is_err());
+        let json = sweep_results_to_json(&results);
+        assert!(json.contains("\"ok\":false"));
+        assert!(json.contains("\"error\":\""));
+    }
+
+    #[test]
+    fn write_creates_the_file() {
+        let dir = std::env::temp_dir();
+        let path = dir.join("leaky_buddies_sweep_test.json");
+        let results = SweepRunner::new(1).run(&default_grid(16)[..1]);
+        write_sweep_json(&path, &results).expect("temp file writable");
+        let body = std::fs::read_to_string(&path).expect("file readable");
+        assert!(body.contains("sweep-v1"));
+        let _ = std::fs::remove_file(&path);
+    }
+}

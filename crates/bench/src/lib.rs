@@ -7,11 +7,13 @@
 
 #![warn(missing_docs)]
 
+pub mod json;
 pub mod sweep;
 
+pub use json::{sweep_results_to_json, write_sweep_json};
 pub use sweep::{
-    default_grid, run_point, ChannelKind, NoiseLevel, SweepOutcome, SweepPoint, SweepResult,
-    SweepRunner,
+    coded_grid, default_grid, effective_engine, run_point, ChannelKind, NoiseLevel, SweepOutcome,
+    SweepPoint, SweepResult, SweepRunner,
 };
 
 use covert::prelude::*;

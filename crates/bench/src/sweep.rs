@@ -16,7 +16,8 @@
 use covert::prelude::*;
 use soc_sim::prelude::*;
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::{mpsc, Mutex};
+use std::time::Duration;
 
 /// Which channel family a sweep point exercises.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -74,8 +75,8 @@ impl NoiseLevel {
     }
 }
 
-/// One cell of the scenario grid: backend × channel × noise × per-channel
-/// parameters.
+/// One cell of the scenario grid: backend × channel × noise × link code ×
+/// per-channel parameters.
 #[derive(Debug, Clone)]
 pub struct SweepPoint {
     /// SoC backend variant.
@@ -84,6 +85,9 @@ pub struct SweepPoint {
     pub channel: ChannelKind,
     /// Ambient noise level.
     pub noise: NoiseLevel,
+    /// Link code the transceiver applies to every frame. Non-`None` codes
+    /// force the framed engine (raw mode has no frames to code).
+    pub code: LinkCodeKind,
     /// LLC channel: transmission direction.
     pub direction: Direction,
     /// LLC channel: L3 eviction strategy.
@@ -107,6 +111,7 @@ impl SweepPoint {
             backend,
             channel,
             noise,
+            code: LinkCodeKind::None,
             direction: Direction::GpuToCpu,
             strategy: L3EvictionStrategy::PreciseL3,
             sets_per_role: 2,
@@ -117,9 +122,15 @@ impl SweepPoint {
         }
     }
 
+    /// Replaces the link code.
+    pub fn with_code(mut self, code: LinkCodeKind) -> Self {
+        self.code = code;
+        self
+    }
+
     /// Compact label for report rows.
     pub fn label(&self) -> String {
-        match self.channel {
+        let mut label = match self.channel {
             ChannelKind::LlcPrimeProbe => format!(
                 "{} / {} / {} / {} / {} sets",
                 self.backend.label(),
@@ -136,17 +147,32 @@ impl SweepPoint {
                 self.gpu_buffer_bytes / 1024,
                 self.workgroups,
             ),
+        };
+        if self.code != LinkCodeKind::None {
+            label.push_str(" / ");
+            label.push_str(&self.code.label());
         }
+        label
     }
 }
 
 /// Measured outcome of one sweep point.
 #[derive(Debug, Clone)]
 pub struct SweepOutcome {
-    /// Channel bandwidth in kb/s.
+    /// Channel bandwidth in kb/s (all payload bits over elapsed time).
     pub bandwidth_kbps: f64,
-    /// Bit-error rate in `[0, 1]`.
+    /// Goodput in kb/s: payload bits of intact frames over elapsed time,
+    /// net of retransmissions and coding overhead.
+    pub goodput_kbps: f64,
+    /// Bit-error rate in `[0, 1]` after link-code decoding (residual BER).
     pub error_rate: f64,
+    /// Nominal code rate of the link code (1.0 for the uncoded baseline).
+    pub code_rate: f64,
+    /// Bits the link-code decoder repaired.
+    pub corrected_bits: usize,
+    /// Detected-but-uncorrectable decode failures that survived the retry
+    /// budget.
+    pub residual_errors: usize,
     /// Calibrated symbol time in nanoseconds.
     pub symbol_time_ns: f64,
     /// Calibration separation quality (see [`Calibration::quality`]).
@@ -170,6 +196,10 @@ pub struct SweepResult {
 }
 
 /// Executes one sweep point to completion on the calling thread.
+///
+/// The point's link code overrides the base engine's: a coded point always
+/// runs the framed engine (raw mode has no frame boundary for the code to
+/// retransmit on), with everything else taken from `engine`.
 pub fn run_point(point: &SweepPoint, engine: &Transceiver) -> SweepResult {
     let outcome = run_point_inner(point, engine);
     SweepResult {
@@ -178,7 +208,20 @@ pub fn run_point(point: &SweepPoint, engine: &Transceiver) -> SweepResult {
     }
 }
 
+/// The engine configuration a point actually runs with (see [`run_point`]).
+pub fn effective_engine(point: &SweepPoint, base: &TransceiverConfig) -> TransceiverConfig {
+    let mut config = if point.code != LinkCodeKind::None && !base.framed {
+        TransceiverConfig::paper_default()
+    } else {
+        *base
+    };
+    config.code = point.code;
+    config
+}
+
 fn run_point_inner(point: &SweepPoint, engine: &Transceiver) -> Result<SweepOutcome, ChannelError> {
+    let engine = Transceiver::new(effective_engine(point, engine.config()));
+    let engine = &engine;
     let soc_config = point
         .backend
         .config()
@@ -222,9 +265,14 @@ fn finish_point<C: CovertChannel>(
 ) -> Result<SweepOutcome, ChannelError> {
     let calibration = channel.calibrate()?;
     let (report, stats) = engine.transmit_detailed(channel, payload)?;
+    let coding = report.coding;
     Ok(SweepOutcome {
         bandwidth_kbps: report.bandwidth_kbps(),
+        goodput_kbps: report.goodput_kbps(),
         error_rate: report.error_rate(),
+        code_rate: coding.map_or(1.0, |c| c.code_rate),
+        corrected_bits: stats.corrected_bits,
+        residual_errors: coding.map_or(0, |c| c.residual_errors),
         symbol_time_ns: calibration.symbol_time.as_ns_f64(),
         calibration_quality: calibration.quality,
         frames_sent: stats.frames_sent,
@@ -238,6 +286,7 @@ fn finish_point<C: CovertChannel>(
 pub struct SweepRunner {
     threads: usize,
     engine: TransceiverConfig,
+    point_budget: Option<Duration>,
 }
 
 impl SweepRunner {
@@ -246,6 +295,7 @@ impl SweepRunner {
         SweepRunner {
             threads: threads.max(1),
             engine: TransceiverConfig::raw(),
+            point_budget: None,
         }
     }
 
@@ -259,6 +309,17 @@ impl SweepRunner {
     /// (default: raw pass-through, matching the per-figure evaluation).
     pub fn with_engine(mut self, engine: TransceiverConfig) -> Self {
         self.engine = engine;
+        self
+    }
+
+    /// Caps the wall-clock time of each point. A point that overruns its
+    /// budget records [`ChannelError::TimeBudgetExceeded`] in its result row
+    /// and the sweep moves on — one pathological grid cell (a huge payload
+    /// on a kilobit channel, a drowning calibration loop) cannot stall the
+    /// whole grid. The overrunning computation is abandoned to finish on a
+    /// detached thread; its result is discarded.
+    pub fn with_point_budget(mut self, budget: Duration) -> Self {
+        self.point_budget = Some(budget);
         self
     }
 
@@ -282,7 +343,10 @@ impl SweepRunner {
                         if index >= points.len() {
                             break;
                         }
-                        let result = run_point(&points[index], &engine);
+                        let result = match self.point_budget {
+                            None => run_point(&points[index], &engine),
+                            Some(budget) => run_point_with_budget(&points[index], &engine, budget),
+                        };
                         results.lock().expect("sweep results lock")[index] = Some(result);
                     }
                 });
@@ -294,6 +358,35 @@ impl SweepRunner {
             .into_iter()
             .map(|r| r.expect("every sweep point produces a result"))
             .collect()
+    }
+}
+
+/// Runs one point on a detached thread, abandoning it if it exceeds
+/// `budget`. Abandonment leaks the worker until it finishes on its own —
+/// the simulation has no preemption points — but the sweep itself proceeds
+/// and the row records the budget violation as data.
+fn run_point_with_budget(
+    point: &SweepPoint,
+    engine: &Transceiver,
+    budget: Duration,
+) -> SweepResult {
+    let (sender, receiver) = mpsc::channel();
+    let worker_point = point.clone();
+    let engine_config = *engine.config();
+    std::thread::spawn(move || {
+        let engine = Transceiver::new(engine_config);
+        // A receiver dropped after timeout makes this send fail; that is the
+        // expected fate of an abandoned point.
+        let _ = sender.send(run_point(&worker_point, &engine));
+    });
+    match receiver.recv_timeout(budget) {
+        Ok(result) => result,
+        Err(_) => SweepResult {
+            point: point.clone(),
+            outcome: Err(ChannelError::TimeBudgetExceeded {
+                budget_ms: budget.as_millis().min(u128::from(u64::MAX)) as u64,
+            }),
+        },
     }
 }
 
@@ -314,6 +407,28 @@ pub fn default_grid(bits: usize) -> Vec<SweepPoint> {
                 point.bits = bits;
                 // Decorrelate the simulators without losing reproducibility.
                 point.seed = 7 + points.len() as u64 * 131;
+                points.push(point);
+            }
+        }
+    }
+    points
+}
+
+/// The coded scenario grid: every backend × both channels × the given link
+/// codes, under the default (quiet) noise preset. All points share one seed
+/// per (backend, channel) cell so the code axis is the *only* thing varying
+/// within a cell — the raw-vs-coded goodput comparison is apples to apples.
+pub fn coded_grid(bits: usize, codes: &[LinkCodeKind]) -> Vec<SweepPoint> {
+    let mut points = Vec::new();
+    let mut cell = 0u64;
+    for backend in SocBackend::ALL {
+        for channel in ChannelKind::ALL {
+            cell += 1;
+            for &code in codes {
+                let mut point = SweepPoint::paper_default(backend, channel, NoiseLevel::Quiet);
+                point.bits = bits;
+                point.code = code;
+                point.seed = 7 + cell * 131;
                 points.push(point);
             }
         }
@@ -416,6 +531,128 @@ mod tests {
             .as_ref()
             .expect("Gen11-class fits the buffers");
         assert!(ok.error_rate < 0.10);
+    }
+
+    #[test]
+    fn coded_grid_varies_only_the_code_within_a_cell() {
+        let codes = LinkCodeKind::all();
+        let grid = coded_grid(64, &codes);
+        assert_eq!(
+            grid.len(),
+            SocBackend::ALL.len() * ChannelKind::ALL.len() * codes.len()
+        );
+        for cell in grid.chunks(codes.len()) {
+            for point in cell {
+                assert_eq!(point.seed, cell[0].seed);
+                assert_eq!(point.backend, cell[0].backend);
+                assert_eq!(point.noise, NoiseLevel::Quiet);
+            }
+            let cell_codes: Vec<LinkCodeKind> = cell.iter().map(|p| p.code).collect();
+            assert_eq!(cell_codes, codes.to_vec());
+        }
+    }
+
+    #[test]
+    fn coded_points_force_the_framed_engine() {
+        let point = SweepPoint::paper_default(
+            SocBackend::KabyLakeGen9,
+            ChannelKind::RingContention,
+            NoiseLevel::Noiseless,
+        )
+        .with_code(LinkCodeKind::Hamming74);
+        let raw = TransceiverConfig::raw();
+        let effective = effective_engine(&point, &raw);
+        assert!(effective.framed, "a coded point cannot run unframed");
+        assert_eq!(effective.code, LinkCodeKind::Hamming74);
+        // An explicitly framed base engine is preserved apart from the code.
+        let framed = TransceiverConfig {
+            frame_payload_bits: 32,
+            ..TransceiverConfig::paper_default()
+        };
+        let effective = effective_engine(&point, &framed);
+        assert_eq!(effective.frame_payload_bits, 32);
+        assert_eq!(effective.code, LinkCodeKind::Hamming74);
+    }
+
+    #[test]
+    fn coded_point_reports_coding_outcome() {
+        let mut point = SweepPoint::paper_default(
+            SocBackend::KabyLakeGen9,
+            ChannelKind::RingContention,
+            NoiseLevel::Quiet,
+        );
+        point.bits = 128;
+        point.code = LinkCodeKind::rs_default();
+        let result = run_point(&point, &Transceiver::raw());
+        let outcome = result.outcome.expect("contention channel sets up");
+        assert!((outcome.code_rate - 8.0 / 12.0).abs() < 1e-12);
+        assert!(outcome.frames_sent >= 2, "128 bits at 64/frame");
+        assert!(outcome.goodput_kbps > 0.0);
+        assert!(
+            outcome.goodput_kbps <= outcome.bandwidth_kbps + 1e-9,
+            "goodput can never exceed raw bandwidth"
+        );
+    }
+
+    #[test]
+    fn a_coded_configuration_beats_the_uncoded_baseline_goodput() {
+        // The PR's acceptance bar: under the default (quiet) noise preset at
+        // least one coded configuration must deliver strictly more goodput
+        // than the NoCode baseline of the same cell.
+        let codes = LinkCodeKind::all();
+        let grid = coded_grid(128, &codes);
+        let cell = &grid[..codes.len()]; // KabyLake+Gen9 / LLC / quiet
+        assert_eq!(cell[0].code, LinkCodeKind::None);
+        let results = SweepRunner::with_default_threads()
+            .with_engine(TransceiverConfig::paper_default())
+            .run(cell);
+        let goodput = |i: usize| {
+            results[i]
+                .outcome
+                .as_ref()
+                .expect("quiet-noise cell sets up")
+                .goodput_kbps
+        };
+        let baseline = goodput(0);
+        let best_coded = (1..codes.len())
+            .map(goodput)
+            .fold(f64::NEG_INFINITY, f64::max);
+        assert!(
+            best_coded > baseline,
+            "best coded goodput {best_coded:.1} kb/s must beat the uncoded {baseline:.1} kb/s"
+        );
+    }
+
+    #[test]
+    fn exhausted_time_budget_is_recorded_not_fatal() {
+        let mut slow = SweepPoint::paper_default(
+            SocBackend::KabyLakeGen9,
+            ChannelKind::LlcPrimeProbe,
+            NoiseLevel::Quiet,
+        );
+        slow.bits = 4096;
+        let results = SweepRunner::new(1)
+            .with_point_budget(Duration::ZERO)
+            .run(std::slice::from_ref(&slow));
+        assert!(matches!(
+            results[0].outcome,
+            Err(ChannelError::TimeBudgetExceeded { budget_ms: 0 })
+        ));
+
+        // A generous budget leaves results untouched.
+        let mut quick = slow.clone();
+        quick.bits = 24;
+        let budgeted = SweepRunner::new(1)
+            .with_point_budget(Duration::from_secs(600))
+            .run(std::slice::from_ref(&quick));
+        let unbudgeted = SweepRunner::new(1).run(std::slice::from_ref(&quick));
+        match (&budgeted[0].outcome, &unbudgeted[0].outcome) {
+            (Ok(a), Ok(b)) => {
+                assert_eq!(a.bandwidth_kbps, b.bandwidth_kbps);
+                assert_eq!(a.error_rate, b.error_rate);
+            }
+            _ => panic!("both runs must succeed"),
+        }
     }
 
     #[test]

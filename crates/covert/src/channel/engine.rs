@@ -21,8 +21,9 @@
 //! engine drives a channel against the paper's Kaby Lake + Gen9 model, the
 //! partitioned-LLC mitigation, a Gen11-class topology, or any future backend.
 
+use crate::code::LinkCodeKind;
 use crate::error::ChannelError;
-use crate::metrics::TransmissionReport;
+use crate::metrics::{CodingSummary, TransmissionReport};
 use crate::protocol::{deframe_bits, frame_bits, ProbeObservation, FRAME_PREAMBLE};
 use rand::rngs::SmallRng;
 use rand::Rng;
@@ -222,18 +223,23 @@ pub struct TransceiverConfig {
     pub framed: bool,
     /// Payload bits per frame (framed mode).
     pub frame_payload_bits: usize,
-    /// Retransmissions allowed per frame whose sync marker arrives corrupted.
+    /// Retransmissions allowed per frame whose sync marker arrives corrupted
+    /// or whose link-code decode reports uncorrectable residual errors.
     pub max_retries: usize,
     /// Tolerated corrupted preamble bits before a frame counts as
     /// desynchronized.
     pub max_sync_errors: usize,
     /// Alternating warm-up symbols moved (untimed) before the payload.
     pub warmup_symbols: usize,
+    /// Link code applied to every frame payload before symbol modulation
+    /// (and stripped after demodulation, before the accept path).
+    pub code: LinkCodeKind,
 }
 
 impl TransceiverConfig {
     /// Framed operation with the defaults the reproduction uses: 64-bit
-    /// frames, up to 2 retransmissions, 2 tolerated sync-bit errors.
+    /// frames, up to 2 retransmissions, 2 tolerated sync-bit errors, no
+    /// link code.
     pub fn paper_default() -> Self {
         TransceiverConfig {
             framed: true,
@@ -241,6 +247,7 @@ impl TransceiverConfig {
             max_retries: 2,
             max_sync_errors: 2,
             warmup_symbols: 2,
+            code: LinkCodeKind::None,
         }
     }
 
@@ -253,7 +260,14 @@ impl TransceiverConfig {
             max_retries: 0,
             max_sync_errors: 0,
             warmup_symbols: 0,
+            code: LinkCodeKind::None,
         }
+    }
+
+    /// Replaces the link code.
+    pub fn with_code(mut self, code: LinkCodeKind) -> Self {
+        self.code = code;
+        self
     }
 }
 
@@ -272,6 +286,10 @@ pub struct LinkStats {
     pub sync_failures: usize,
     /// Retransmissions performed.
     pub retransmissions: usize,
+    /// Frame decodes that reported uncorrectable residual errors.
+    pub decode_failures: usize,
+    /// Bits the link-code decoder repaired across all frames.
+    pub corrected_bits: usize,
 }
 
 /// The shared transceiver engine: drives any [`CovertChannel`] end to end.
@@ -336,45 +354,86 @@ impl Transceiver {
             channel.transmit_frame(&warmup)?;
         }
 
+        let codec = self.config.code.build();
         let mut stats = LinkStats::default();
+        let mut residual_errors = 0usize;
+        let mut wire_bits = 0usize;
         let mut received = Vec::with_capacity(payload.len());
         let mut elapsed = Time::ZERO;
 
         if !self.config.framed {
-            let frame = self.send_checked(channel, payload, &mut stats)?;
+            // Unframed mode still applies the link code: the whole payload
+            // travels as one preamble-less coded frame.
+            let wire = codec.encode(payload);
+            let frame = self.send_checked(channel, &wire, &mut stats)?;
             elapsed += frame.elapsed;
-            received = frame.received;
+            wire_bits += wire.len();
+            let outcome = codec.decode(&frame.received);
+            stats.corrected_bits += outcome.corrected_bits;
+            if outcome.residual_errors > 0 {
+                stats.decode_failures += 1;
+                residual_errors += outcome.residual_errors;
+            }
+            received = outcome.payload;
+            received.resize(payload.len(), false);
         } else {
             for chunk in payload.chunks(self.config.frame_payload_bits.max(1)) {
-                let wire = frame_bits(chunk);
+                let coded = codec.encode(chunk);
+                let wire = frame_bits(&coded);
                 let mut attempts = 0usize;
                 loop {
                     let frame = self.send_checked(channel, &wire, &mut stats)?;
                     elapsed += frame.elapsed;
-                    match deframe_bits(&frame.received, self.config.max_sync_errors) {
-                        Ok(body) => {
-                            received.extend(body);
-                            break;
-                        }
+                    wire_bits += wire.len();
+                    let out_of_retries = attempts >= self.config.max_retries;
+                    let body = match deframe_bits(&frame.received, self.config.max_sync_errors) {
+                        Ok(body) => body,
                         Err(_) => {
                             stats.sync_failures += 1;
-                            if attempts < self.config.max_retries {
+                            if !out_of_retries {
                                 attempts += 1;
                                 stats.retransmissions += 1;
-                            } else {
-                                // Out of retries: accept the frame body as
-                                // decoded; the bit errors show up in the
-                                // report rather than being silently dropped.
-                                received.extend(&frame.received[FRAME_PREAMBLE.len()..]);
-                                break;
+                                continue;
                             }
+                            // Out of retries: decode the body best-effort;
+                            // the bit errors show up in the report rather
+                            // than being silently dropped.
+                            frame.received[FRAME_PREAMBLE.len()..].to_vec()
                         }
+                    };
+                    let mut outcome = codec.decode(&body);
+                    if outcome.residual_errors > 0 {
+                        stats.decode_failures += 1;
+                        // The decoder detected damage it cannot repair:
+                        // retransmission is the only remaining recovery.
+                        // Repairs made to this discarded attempt do not
+                        // count — only accepted frames contribute to
+                        // `corrected_bits`.
+                        if !out_of_retries {
+                            attempts += 1;
+                            stats.retransmissions += 1;
+                            continue;
+                        }
+                        residual_errors += outcome.residual_errors;
                     }
+                    stats.corrected_bits += outcome.corrected_bits;
+                    outcome.payload.resize(chunk.len(), false);
+                    received.extend(outcome.payload);
+                    break;
                 }
             }
         }
 
-        let report = TransmissionReport::try_new(payload.to_vec(), received, elapsed)?;
+        let coding = CodingSummary {
+            code: self.config.code,
+            code_rate: codec.rate(),
+            frame_payload_bits: self.config.frame_payload_bits.min(payload.len().max(1)),
+            wire_bits,
+            corrected_bits: stats.corrected_bits,
+            residual_errors,
+        };
+        let report =
+            TransmissionReport::try_new(payload.to_vec(), received, elapsed)?.with_coding(coding);
         Ok((report, stats))
     }
 
@@ -527,6 +586,163 @@ mod tests {
             report.error_count() > 0,
             "best-effort frame keeps its bit errors"
         );
+    }
+
+    /// Flips one payload-region bit of the first `dirty_frames`
+    /// transmissions, then becomes a perfect loopback — the shape of a
+    /// transient noise burst that a retransmission recovers from.
+    struct FlakyChannel {
+        dirty_frames: usize,
+        frames_seen: usize,
+    }
+
+    impl CovertChannel for FlakyChannel {
+        fn calibrate(&mut self) -> Result<Calibration, ChannelError> {
+            Ok(Calibration {
+                symbol_time: Time::from_us(1),
+                quality: 10.0,
+                detail: "flaky loopback".into(),
+            })
+        }
+
+        fn transmit_frame(&mut self, bits: &[bool]) -> Result<FrameResult, ChannelError> {
+            self.frames_seen += 1;
+            let mut received = bits.to_vec();
+            if self.frames_seen <= self.dirty_frames {
+                // Flip a bit safely inside the frame body, past the preamble.
+                let target = FRAME_PREAMBLE.len() + 2;
+                if let Some(bit) = received.get_mut(target) {
+                    *bit = !*bit;
+                }
+            }
+            Ok(FrameResult {
+                received,
+                elapsed: Time::from_us(bits.len() as u64),
+            })
+        }
+
+        fn nominal_symbol_time(&self) -> Time {
+            Time::from_us(1)
+        }
+
+        fn diagnostics(&self) -> ChannelDiagnostics {
+            ChannelDiagnostics {
+                channel: "flaky",
+                backend: "none".into(),
+                entries: vec![],
+            }
+        }
+    }
+
+    #[test]
+    fn crc_code_turns_payload_errors_into_retransmissions() {
+        // The first two frame transmissions arrive with a body bit flipped —
+        // invisible to the preamble sync check, so the uncoded engine would
+        // deliver them dirty. CRC-8 detects both and the retransmissions
+        // deliver every frame clean.
+        let payload: Vec<bool> = (0..64).map(|i| i % 2 == 0).collect();
+        let config = TransceiverConfig {
+            frame_payload_bits: 32,
+            warmup_symbols: 0,
+            max_retries: 3,
+            code: LinkCodeKind::Crc8,
+            ..TransceiverConfig::paper_default()
+        };
+        let mut channel = FlakyChannel {
+            dirty_frames: 2,
+            frames_seen: 0,
+        };
+        let (report, stats) = Transceiver::new(config)
+            .transmit_detailed(&mut channel, &payload)
+            .unwrap();
+        assert_eq!(stats.decode_failures, 2, "CRC must catch both dirty frames");
+        assert_eq!(stats.retransmissions, 2);
+        assert_eq!(
+            report.error_count(),
+            0,
+            "retransmission must deliver every frame clean"
+        );
+        let coding = report.coding.expect("engine attaches coding stats");
+        assert_eq!(coding.code, LinkCodeKind::Crc8);
+        assert!(coding.code_rate < 1.0);
+        assert!(report.goodput_kbps() > 0.0);
+    }
+
+    #[test]
+    fn uncoded_engine_delivers_the_same_errors_dirty() {
+        // Control for the CRC test above: without a link code the flipped
+        // body bits sail through the sync check and corrupt the payload.
+        let payload: Vec<bool> = (0..64).map(|i| i % 2 == 0).collect();
+        let config = TransceiverConfig {
+            frame_payload_bits: 32,
+            warmup_symbols: 0,
+            max_retries: 3,
+            ..TransceiverConfig::paper_default()
+        };
+        let mut channel = FlakyChannel {
+            dirty_frames: 2,
+            frames_seen: 0,
+        };
+        let (report, stats) = Transceiver::new(config)
+            .transmit_detailed(&mut channel, &payload)
+            .unwrap();
+        assert_eq!(stats.retransmissions, 0);
+        assert_eq!(report.error_count(), 2);
+    }
+
+    #[test]
+    fn hamming_code_corrects_without_retransmission() {
+        // Sparse flips: at most one per 7-bit codeword, all corrected in
+        // place — zero retransmissions, zero residual errors.
+        let payload: Vec<bool> = (0..64).map(|i| i % 3 == 0).collect();
+        let config = TransceiverConfig {
+            frame_payload_bits: 32,
+            warmup_symbols: 0,
+            code: LinkCodeKind::Hamming74,
+            ..TransceiverConfig::paper_default()
+        };
+        let mut channel = LoopbackChannel::with_flip_every(17);
+        let (report, stats) = Transceiver::new(config)
+            .transmit_detailed(&mut channel, &payload)
+            .unwrap();
+        assert_eq!(report.error_count(), 0);
+        assert_eq!(stats.retransmissions, 0);
+        assert!(
+            stats.corrected_bits >= 3,
+            "flips must be corrected, not absent"
+        );
+        assert_eq!(report.coding.unwrap().residual_errors, 0);
+    }
+
+    #[test]
+    fn reed_solomon_survives_noise_in_raw_mode() {
+        // 96 payload bits -> two RS(12,8) codewords, 192 wire bits. A flip
+        // every 61 bits corrupts three spread-out symbols — within the
+        // per-codeword budget of t = 2 — so the decoder repairs everything.
+        let payload: Vec<bool> = (0..96).map(|i| i % 5 < 2).collect();
+        let config = TransceiverConfig::raw().with_code(LinkCodeKind::rs_default());
+        let mut channel = LoopbackChannel::with_flip_every(61);
+        let (report, stats) = Transceiver::new(config)
+            .transmit_detailed(&mut channel, &payload)
+            .unwrap();
+        assert_eq!(report.bit_count(), 96);
+        assert_eq!(report.error_count(), 0, "isolated flips are within t");
+        assert_eq!(stats.corrected_bits, 3);
+    }
+
+    #[test]
+    fn uncoded_framed_engine_reports_coding_baseline() {
+        let mut channel = LoopbackChannel::perfect();
+        let payload: Vec<bool> = (0..100).map(|i| i % 7 == 0).collect();
+        let (report, _) = Transceiver::paper_default()
+            .transmit_detailed(&mut channel, &payload)
+            .unwrap();
+        let coding = report.coding.expect("baseline still carries a summary");
+        assert_eq!(coding.code, LinkCodeKind::None);
+        assert_eq!(coding.code_rate, 1.0);
+        assert_eq!(coding.corrected_bits, 0);
+        // Wire bits = ceil(100/64) frames x (preamble + payload) bits.
+        assert_eq!(coding.wire_bits, 64 + 8 + 36 + 8);
     }
 
     #[test]

@@ -1,0 +1,129 @@
+//! CRC-8 detect-only link code.
+//!
+//! Appends an 8-bit cyclic redundancy checksum (polynomial `x^8 + x^2 + x +
+//! 1`, the CRC-8/ATM generator) to every frame payload. The code corrects
+//! nothing — its value is turning silent bit errors into *detected* frame
+//! failures, so the transceiver's retransmission machinery (which otherwise
+//! only fires on preamble corruption) can recover payload-region errors too.
+
+use super::{DecodeOutcome, LinkCode, LinkCodeKind};
+
+/// CRC generator polynomial, low 8 bits (`x^8` implicit).
+const POLY: u8 = 0x07;
+
+/// Number of checksum bits appended per frame.
+pub const CRC_BITS: usize = 8;
+
+/// Bitwise CRC-8 over a bit stream (MSB-first shift register).
+pub fn crc8(bits: &[bool]) -> u8 {
+    let mut crc = 0u8;
+    for &bit in bits {
+        let fed = (crc >> 7) ^ u8::from(bit);
+        crc <<= 1;
+        if fed != 0 {
+            crc ^= POLY;
+        }
+    }
+    crc
+}
+
+/// The CRC-8 detect-only code.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Crc8Code;
+
+impl LinkCode for Crc8Code {
+    fn kind(&self) -> LinkCodeKind {
+        LinkCodeKind::Crc8
+    }
+
+    fn encode(&self, payload: &[bool]) -> Vec<bool> {
+        let mut wire = payload.to_vec();
+        let crc = crc8(payload);
+        wire.extend((0..CRC_BITS).rev().map(|i| (crc >> i) & 1 == 1));
+        wire
+    }
+
+    fn decode(&self, wire: &[bool]) -> DecodeOutcome {
+        if wire.len() < CRC_BITS {
+            // A frame too short to even hold the checksum is unconditionally
+            // a detected failure.
+            return DecodeOutcome {
+                payload: wire.to_vec(),
+                corrected_bits: 0,
+                residual_errors: CRC_BITS,
+            };
+        }
+        let (payload, crc_bits) = wire.split_at(wire.len() - CRC_BITS);
+        let received_crc = crc_bits
+            .iter()
+            .fold(0u8, |acc, &b| (acc << 1) | u8::from(b));
+        let expected = crc8(payload);
+        let residual_errors = (received_crc ^ expected).count_ones() as usize;
+        DecodeOutcome {
+            payload: payload.to_vec(),
+            corrected_bits: 0,
+            residual_errors,
+        }
+    }
+
+    fn encoded_len(&self, payload_bits: usize) -> usize {
+        payload_bits + CRC_BITS
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clean_roundtrip_has_no_residual() {
+        let code = Crc8Code;
+        for len in [0usize, 1, 4, 63, 64, 65] {
+            let payload: Vec<bool> = (0..len).map(|i| i % 3 == 1).collect();
+            let wire = code.encode(&payload);
+            assert_eq!(wire.len(), code.encoded_len(len));
+            let out = code.decode(&wire);
+            assert_eq!(out.payload, payload);
+            assert_eq!(out.residual_errors, 0);
+            assert_eq!(out.corrected_bits, 0);
+        }
+    }
+
+    #[test]
+    fn any_single_flip_is_detected() {
+        let code = Crc8Code;
+        let payload: Vec<bool> = (0..64).map(|i| i % 5 < 2).collect();
+        let wire = code.encode(&payload);
+        for pos in 0..wire.len() {
+            let mut bad = wire.clone();
+            bad[pos] = !bad[pos];
+            let out = code.decode(&bad);
+            assert!(
+                out.residual_errors > 0,
+                "flip at {pos} slipped past the CRC"
+            );
+        }
+    }
+
+    #[test]
+    fn short_bursts_are_detected() {
+        // CRC-8 detects every burst no longer than the checksum width.
+        let code = Crc8Code;
+        let payload: Vec<bool> = (0..48).map(|i| i % 7 == 0).collect();
+        let wire = code.encode(&payload);
+        for start in 0..wire.len() - CRC_BITS {
+            let mut bad = wire.clone();
+            for bit in bad.iter_mut().skip(start).take(CRC_BITS) {
+                *bit = !*bit;
+            }
+            assert!(code.decode(&bad).residual_errors > 0, "burst at {start}");
+        }
+    }
+
+    #[test]
+    fn crc_matches_reference_vector() {
+        // CRC-8/ATM ("123456789") == 0xF4.
+        let bits = crate::protocol::bytes_to_bits(b"123456789");
+        assert_eq!(crc8(&bits), 0xF4);
+    }
+}

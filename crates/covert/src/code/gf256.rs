@@ -1,0 +1,183 @@
+//! Arithmetic over GF(2^8), the symbol field of the Reed–Solomon link code.
+//!
+//! The field is built from the primitive polynomial
+//! `x^8 + x^4 + x^3 + x^2 + 1` (0x11D) with generator `α = 2` — the
+//! conventional choice of storage and transmission codecs. Exp/log tables are
+//! computed at compile time by a `const fn`, so field multiplications are two
+//! table lookups and an add at run time, with no lazy initialization.
+
+/// The primitive polynomial defining the field (degree-8 terms included).
+pub const PRIMITIVE_POLY: u16 = 0x11D;
+
+/// Number of non-zero field elements (the multiplicative group order).
+pub const GROUP_ORDER: usize = 255;
+
+/// Exp table doubled in length so `exp[log a + log b]` needs no modulo.
+const fn build_exp() -> [u8; 2 * GROUP_ORDER] {
+    let mut exp = [0u8; 2 * GROUP_ORDER];
+    let mut x: u16 = 1;
+    let mut i = 0;
+    while i < GROUP_ORDER {
+        exp[i] = x as u8;
+        exp[i + GROUP_ORDER] = x as u8;
+        x <<= 1;
+        if x & 0x100 != 0 {
+            x ^= PRIMITIVE_POLY;
+        }
+        i += 1;
+    }
+    exp
+}
+
+const fn build_log() -> [u8; 256] {
+    let mut log = [0u8; 256];
+    let mut x: u16 = 1;
+    let mut i = 0;
+    while i < GROUP_ORDER {
+        log[x as usize] = i as u8;
+        x <<= 1;
+        if x & 0x100 != 0 {
+            x ^= PRIMITIVE_POLY;
+        }
+        i += 1;
+    }
+    log
+}
+
+static EXP: [u8; 2 * GROUP_ORDER] = build_exp();
+static LOG: [u8; 256] = build_log();
+
+/// Addition (and subtraction — the field has characteristic 2).
+#[inline]
+pub fn add(a: u8, b: u8) -> u8 {
+    a ^ b
+}
+
+/// Multiplication via the log/exp tables.
+#[inline]
+pub fn mul(a: u8, b: u8) -> u8 {
+    if a == 0 || b == 0 {
+        0
+    } else {
+        EXP[LOG[a as usize] as usize + LOG[b as usize] as usize]
+    }
+}
+
+/// `α^power` for any non-negative power.
+#[inline]
+pub fn exp(power: usize) -> u8 {
+    EXP[power % GROUP_ORDER]
+}
+
+/// Discrete logarithm of a non-zero element.
+///
+/// # Panics
+///
+/// Panics on `a == 0`, which has no logarithm.
+#[inline]
+pub fn log(a: u8) -> usize {
+    assert!(a != 0, "log(0) is undefined in GF(256)");
+    LOG[a as usize] as usize
+}
+
+/// Multiplicative inverse.
+///
+/// # Panics
+///
+/// Panics on `a == 0`, which has no inverse.
+#[inline]
+pub fn inv(a: u8) -> u8 {
+    assert!(a != 0, "0 has no inverse in GF(256)");
+    EXP[GROUP_ORDER - LOG[a as usize] as usize]
+}
+
+/// Division `a / b`.
+///
+/// # Panics
+///
+/// Panics on division by zero.
+#[inline]
+pub fn div(a: u8, b: u8) -> u8 {
+    mul(a, inv(b))
+}
+
+/// Evaluates the polynomial `coeffs` (highest degree first) at `x` by
+/// Horner's rule.
+pub fn poly_eval(coeffs: &[u8], x: u8) -> u8 {
+    coeffs.iter().fold(0u8, |acc, &c| add(mul(acc, x), c))
+}
+
+/// Multiplies two polynomials (highest degree first).
+pub fn poly_mul(a: &[u8], b: &[u8]) -> Vec<u8> {
+    if a.is_empty() || b.is_empty() {
+        return Vec::new();
+    }
+    let mut out = vec![0u8; a.len() + b.len() - 1];
+    for (i, &ca) in a.iter().enumerate() {
+        for (j, &cb) in b.iter().enumerate() {
+            out[i + j] = add(out[i + j], mul(ca, cb));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alpha_generates_the_whole_group() {
+        let mut seen = [false; 256];
+        for p in 0..GROUP_ORDER {
+            seen[exp(p) as usize] = true;
+        }
+        assert!(!seen[0], "0 is not a power of alpha");
+        assert!(
+            seen.iter().skip(1).all(|&s| s),
+            "alpha must generate every non-zero element"
+        );
+    }
+
+    #[test]
+    fn mul_and_inv_are_consistent() {
+        for a in 1..=255u8 {
+            assert_eq!(mul(a, inv(a)), 1, "a * a^-1 == 1 for a={a}");
+            assert_eq!(mul(a, 1), a);
+            assert_eq!(mul(a, 0), 0);
+            assert_eq!(div(mul(a, 7), 7), a);
+        }
+    }
+
+    #[test]
+    fn log_exp_roundtrip() {
+        for a in 1..=255u8 {
+            assert_eq!(exp(log(a)), a);
+        }
+    }
+
+    #[test]
+    fn mul_is_commutative_and_distributive() {
+        // Spot-check the field axioms over a pseudo-random walk; exhaustive
+        // 256^3 would be slow in debug builds.
+        let mut x: u8 = 1;
+        for i in 0..4096u32 {
+            let a = x;
+            let b = (i * 37 + 11) as u8;
+            let c = (i * 101 + 3) as u8;
+            assert_eq!(mul(a, b), mul(b, a));
+            assert_eq!(mul(a, add(b, c)), add(mul(a, b), mul(a, c)));
+            x = x.wrapping_mul(29).wrapping_add(1);
+        }
+    }
+
+    #[test]
+    fn poly_helpers_match_hand_calculations() {
+        // (x + 1)(x + 2) = x^2 + 3x + 2 over GF(256).
+        let prod = poly_mul(&[1, 1], &[1, 2]);
+        assert_eq!(prod, vec![1, 3, 2]);
+        // Evaluate x^2 + 3x + 2 at x = 2: 4 ^ 6 ^ 2 = 0.
+        assert_eq!(poly_eval(&prod, 2), 0);
+        assert_eq!(poly_eval(&prod, 1), 0);
+        assert_eq!(poly_eval(&[1], 77), 1);
+    }
+}

@@ -1,0 +1,159 @@
+//! Hamming(7,4) single-error-correcting link code.
+//!
+//! The payload is cut into 4-bit nibbles (the last one zero-padded), each
+//! expanded to a 7-bit codeword with three parity bits in the classic
+//! positions 1, 2 and 4. Any single flipped bit per codeword is located by
+//! the syndrome and corrected in place — at a 7/4 rate cost, the channel's
+//! isolated slip errors disappear without a retransmission. Double errors
+//! within one codeword are miscorrected (the code is SEC, not SECDED), which
+//! is exactly why the bursty-noise regime wants the interleaved
+//! Reed–Solomon code instead.
+
+use super::{DecodeOutcome, LinkCode, LinkCodeKind};
+
+/// Payload bits per codeword.
+pub const DATA_BITS: usize = 4;
+/// Wire bits per codeword.
+pub const CODE_BITS: usize = 7;
+
+/// Encodes one nibble `d` (4 bits) into a 7-bit codeword.
+///
+/// Bit positions follow the textbook layout (1-indexed): p1 p2 d1 p4 d2 d3
+/// d4, where p1 covers positions {1,3,5,7}, p2 {2,3,6,7}, p4 {4,5,6,7}.
+fn encode_block(d: [bool; DATA_BITS]) -> [bool; CODE_BITS] {
+    let p1 = d[0] ^ d[1] ^ d[3];
+    let p2 = d[0] ^ d[2] ^ d[3];
+    let p4 = d[1] ^ d[2] ^ d[3];
+    [p1, p2, d[0], p4, d[1], d[2], d[3]]
+}
+
+/// Decodes one codeword, returning the corrected nibble and whether a bit
+/// was corrected.
+fn decode_block(mut c: [bool; CODE_BITS]) -> ([bool; DATA_BITS], bool) {
+    // Syndrome bit i checks all 1-indexed positions with bit i set.
+    let s1 = c[0] ^ c[2] ^ c[4] ^ c[6];
+    let s2 = c[1] ^ c[2] ^ c[5] ^ c[6];
+    let s4 = c[3] ^ c[4] ^ c[5] ^ c[6];
+    let syndrome = usize::from(s1) | (usize::from(s2) << 1) | (usize::from(s4) << 2);
+    let corrected = syndrome != 0;
+    if corrected {
+        c[syndrome - 1] = !c[syndrome - 1];
+    }
+    ([c[2], c[4], c[5], c[6]], corrected)
+}
+
+/// The Hamming(7,4) code.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Hamming74;
+
+impl LinkCode for Hamming74 {
+    fn kind(&self) -> LinkCodeKind {
+        LinkCodeKind::Hamming74
+    }
+
+    fn encode(&self, payload: &[bool]) -> Vec<bool> {
+        let mut wire = Vec::with_capacity(self.encoded_len(payload.len()));
+        for chunk in payload.chunks(DATA_BITS) {
+            let mut d = [false; DATA_BITS];
+            d[..chunk.len()].copy_from_slice(chunk);
+            wire.extend_from_slice(&encode_block(d));
+        }
+        wire
+    }
+
+    fn decode(&self, wire: &[bool]) -> DecodeOutcome {
+        let mut payload = Vec::with_capacity(wire.len() / CODE_BITS * DATA_BITS);
+        let mut corrected_bits = 0usize;
+        let mut residual_errors = 0usize;
+        for chunk in wire.chunks(CODE_BITS) {
+            if chunk.len() < CODE_BITS {
+                // A truncated trailing block cannot be decoded; surface it as
+                // a detected failure and pass the raw bits through.
+                residual_errors += 1;
+                payload.extend_from_slice(chunk);
+                continue;
+            }
+            let mut c = [false; CODE_BITS];
+            c.copy_from_slice(chunk);
+            let (d, corrected) = decode_block(c);
+            corrected_bits += usize::from(corrected);
+            payload.extend_from_slice(&d);
+        }
+        DecodeOutcome {
+            payload,
+            corrected_bits,
+            residual_errors,
+        }
+    }
+
+    fn encoded_len(&self, payload_bits: usize) -> usize {
+        payload_bits.div_ceil(DATA_BITS) * CODE_BITS
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clean_roundtrip_for_all_nibbles() {
+        for value in 0u8..16 {
+            let d = [
+                value & 8 != 0,
+                value & 4 != 0,
+                value & 2 != 0,
+                value & 1 != 0,
+            ];
+            let (decoded, corrected) = decode_block(encode_block(d));
+            assert_eq!(decoded, d);
+            assert!(!corrected);
+        }
+    }
+
+    #[test]
+    fn every_single_flip_is_corrected() {
+        for value in 0u8..16 {
+            let d = [
+                value & 8 != 0,
+                value & 4 != 0,
+                value & 2 != 0,
+                value & 1 != 0,
+            ];
+            let clean = encode_block(d);
+            for pos in 0..CODE_BITS {
+                let mut c = clean;
+                c[pos] = !c[pos];
+                let (decoded, corrected) = decode_block(c);
+                assert_eq!(decoded, d, "value {value} flip {pos}");
+                assert!(corrected);
+            }
+        }
+    }
+
+    #[test]
+    fn stream_roundtrip_pads_and_truncates() {
+        let code = Hamming74;
+        // 10 bits: 2.5 nibbles -> 3 blocks -> 21 wire bits, 12 decoded bits.
+        let payload: Vec<bool> = (0..10).map(|i| i % 3 == 0).collect();
+        let wire = code.encode(&payload);
+        assert_eq!(wire.len(), 21);
+        let out = code.decode(&wire);
+        assert_eq!(&out.payload[..10], payload.as_slice());
+        assert_eq!(out.corrected_bits, 0);
+        assert_eq!(out.residual_errors, 0);
+    }
+
+    #[test]
+    fn one_flip_per_block_recovers_the_stream() {
+        let code = Hamming74;
+        let payload: Vec<bool> = (0..32).map(|i| i % 5 < 2).collect();
+        let mut wire = code.encode(&payload);
+        // Flip one bit in each 7-bit block at staggered positions.
+        for (block, chunk) in wire.chunks_mut(CODE_BITS).enumerate() {
+            chunk[block % CODE_BITS] = !chunk[block % CODE_BITS];
+        }
+        let out = code.decode(&wire);
+        assert_eq!(&out.payload[..32], payload.as_slice());
+        assert_eq!(out.corrected_bits, 32 / DATA_BITS);
+    }
+}

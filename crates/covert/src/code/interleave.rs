@@ -1,0 +1,133 @@
+//! Block interleaver: spreads burst errors across Reed–Solomon codewords.
+//!
+//! Cache-eviction noise is bursty — a co-running process that lands on the
+//! channel's LLC sets corrupts a *run* of symbols, not isolated bits. A
+//! Reed–Solomon codeword tolerates at most `(n - k) / 2` bad symbols, so a
+//! single burst can overwhelm one codeword while its neighbours are clean.
+//! Interleaving transmits the stream column-by-column out of a `depth`-row
+//! matrix: a wire burst of `L` contiguous elements touches each row at most
+//! `ceil(L / depth)` times, dividing the burst across `depth` independent
+//! rows.
+//!
+//! The functions are generic over the element: the Reed–Solomon codec
+//! interleaves whole *symbols* with one codeword per row (interleaving bits
+//! within a single codeword would *spread* a short burst over many symbols
+//! and make it harder to correct, not easier), while tests and other
+//! callers can interleave raw bits.
+//!
+//! The permutation is defined for any length (the last matrix row may be
+//! short), and [`deinterleave`] is its exact inverse.
+
+/// The transmit-order permutation: index `i` of the input stream is sent at
+/// position `perm[i]` of the wire stream.
+fn permutation(len: usize, depth: usize) -> Vec<usize> {
+    let depth = depth.clamp(1, len.max(1));
+    let cols = len.div_ceil(depth);
+    let mut perm = Vec::with_capacity(len);
+    let mut wire_pos = 0usize;
+    let mut wire_of_input = vec![0usize; len];
+    for col in 0..cols {
+        for row in 0..depth {
+            let input = row * cols + col;
+            if input < len {
+                wire_of_input[input] = wire_pos;
+                wire_pos += 1;
+            }
+        }
+    }
+    perm.extend_from_slice(&wire_of_input);
+    perm
+}
+
+/// Reorders `data` for transmission: row-major write, column-major read
+/// over a `depth`-row block. `depth <= 1` (or a stream shorter than the
+/// depth) is the identity.
+pub fn interleave<T: Copy + Default>(data: &[T], depth: usize) -> Vec<T> {
+    if depth <= 1 || data.len() <= depth {
+        return data.to_vec();
+    }
+    let perm = permutation(data.len(), depth);
+    let mut out = vec![T::default(); data.len()];
+    for (input, &wire) in perm.iter().enumerate() {
+        out[wire] = data[input];
+    }
+    out
+}
+
+/// Exact inverse of [`interleave`] with the same `depth`.
+pub fn deinterleave<T: Copy + Default>(data: &[T], depth: usize) -> Vec<T> {
+    if depth <= 1 || data.len() <= depth {
+        return data.to_vec();
+    }
+    let perm = permutation(data.len(), depth);
+    let mut out = vec![T::default(); data.len()];
+    for (input, &wire) in perm.iter().enumerate() {
+        out[input] = data[wire];
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pattern(len: usize) -> Vec<bool> {
+        (0..len).map(|i| (i * 7 + 3) % 5 < 2).collect()
+    }
+
+    #[test]
+    fn roundtrip_for_awkward_lengths() {
+        for len in [0usize, 1, 2, 3, 7, 8, 12, 13, 64, 96, 97] {
+            for depth in [1usize, 2, 3, 4, 8] {
+                let data = pattern(len);
+                let wire = interleave(&data, depth);
+                assert_eq!(wire.len(), len);
+                assert_eq!(deinterleave(&wire, depth), data, "len={len} depth={depth}");
+            }
+        }
+    }
+
+    #[test]
+    fn permutation_is_a_bijection() {
+        for len in [5usize, 12, 64, 97] {
+            for depth in [2usize, 3, 4] {
+                let mut perm = permutation(len, depth);
+                perm.sort_unstable();
+                let expected: Vec<usize> = (0..len).collect();
+                assert_eq!(perm, expected, "len={len} depth={depth}");
+            }
+        }
+    }
+
+    #[test]
+    fn contiguous_wire_burst_is_spread_across_rows() {
+        // A 4-bit wire burst through a depth-4 interleaver must corrupt at
+        // most one bit per row of the deinterleaved stream.
+        let len = 64;
+        let depth = 4;
+        let cols = len / depth;
+        let clean = vec![false; len];
+        let mut wire = interleave(&clean, depth);
+        for bit in wire.iter_mut().skip(10).take(depth) {
+            *bit = true;
+        }
+        let dirty = deinterleave(&wire, depth);
+        for row in 0..depth {
+            let hits = dirty[row * cols..(row + 1) * cols]
+                .iter()
+                .filter(|&&b| b)
+                .count();
+            assert!(
+                hits <= 1,
+                "row {row} took {hits} hits from a depth-sized burst"
+            );
+        }
+    }
+
+    #[test]
+    fn depth_one_is_identity() {
+        let data = pattern(33);
+        assert_eq!(interleave(&data, 1), data);
+        assert_eq!(interleave(&data, 0), data);
+    }
+}

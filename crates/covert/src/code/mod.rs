@@ -1,0 +1,297 @@
+//! Forward-error-correction link layer for the transceiver engine.
+//!
+//! The paper's channels recover from noise-induced symbol errors only by
+//! whole-frame retransmission: every flipped bit costs a full frame of
+//! airtime. This module turns retransmissions into goodput by letting the
+//! [`crate::channel::engine::Transceiver`] encode each frame before symbol
+//! modulation and decode it before the accept path:
+//!
+//! * [`NoCode`] — passthrough baseline (the PR 1 behaviour);
+//! * [`Crc8Code`] — detect-only: errors anywhere in the frame trigger a
+//!   retransmission instead of slipping through silently;
+//! * [`Hamming74`] — single-error correction at bit granularity, repairing
+//!   the channel's isolated slip errors without a retransmission;
+//! * [`ReedSolomon`] — symbol-level correction over GF(2^8) with a block
+//!   interleaver, built for the bursty corruption cache-eviction noise and
+//!   the common-mode GPU-timer wobble produce.
+//!
+//! Codes implement [`LinkCode`]; the engine selects one through the
+//! [`LinkCodeKind`] configuration axis, which the sweep grid and the `repro`
+//! CLI expose end to end.
+
+pub mod crc;
+pub mod gf256;
+pub mod hamming;
+pub mod interleave;
+pub mod rs;
+
+pub use crc::Crc8Code;
+pub use hamming::Hamming74;
+pub use interleave::{deinterleave, interleave};
+pub use rs::ReedSolomon;
+
+/// Result of decoding one frame's worth of wire bits.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DecodeOutcome {
+    /// The decoded payload bits. May be longer than the original payload
+    /// when the code pads to a block size; the engine truncates.
+    pub payload: Vec<bool>,
+    /// Bits the decoder repaired (0 for detect-only and passthrough codes).
+    pub corrected_bits: usize,
+    /// Detected-but-uncorrectable error events (CRC mismatch bits, failed
+    /// Reed–Solomon codewords). Non-zero means the frame should be
+    /// retransmitted if the retry budget allows.
+    pub residual_errors: usize,
+}
+
+impl DecodeOutcome {
+    /// A clean decode of `payload` with nothing corrected or detected.
+    pub fn clean(payload: Vec<bool>) -> Self {
+        DecodeOutcome {
+            payload,
+            corrected_bits: 0,
+            residual_errors: 0,
+        }
+    }
+}
+
+/// A link-layer code: a reversible expansion of frame payloads that detects
+/// and/or corrects transmission errors.
+///
+/// Implementations must be deterministic and satisfy
+/// `decode(encode(p)).payload[..p.len()] == p` on a clean wire, with
+/// `encode(p).len() == encoded_len(p.len())`.
+pub trait LinkCode: Send + Sync {
+    /// The configuration value that rebuilds this codec.
+    fn kind(&self) -> LinkCodeKind;
+
+    /// Expands payload bits into wire bits.
+    fn encode(&self, payload: &[bool]) -> Vec<bool>;
+
+    /// Contracts wire bits back into payload bits, correcting what the code
+    /// can and reporting what it cannot.
+    fn decode(&self, wire: &[bool]) -> DecodeOutcome;
+
+    /// Wire bits produced for a payload of `payload_bits` bits.
+    fn encoded_len(&self, payload_bits: usize) -> usize;
+
+    /// Nominal code rate: payload bits per wire bit for a 64-bit frame (the
+    /// engine's default frame size), in `(0, 1]`.
+    fn rate(&self) -> f64 {
+        64.0 / self.encoded_len(64) as f64
+    }
+}
+
+/// The passthrough baseline: wire bits are payload bits.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NoCode;
+
+impl LinkCode for NoCode {
+    fn kind(&self) -> LinkCodeKind {
+        LinkCodeKind::None
+    }
+
+    fn encode(&self, payload: &[bool]) -> Vec<bool> {
+        payload.to_vec()
+    }
+
+    fn decode(&self, wire: &[bool]) -> DecodeOutcome {
+        DecodeOutcome::clean(wire.to_vec())
+    }
+
+    fn encoded_len(&self, payload_bits: usize) -> usize {
+        payload_bits
+    }
+}
+
+/// The pluggable link-code axis: a compact, copyable configuration value the
+/// transceiver, sweep grids and CLI flags pass around, turned into a codec
+/// with [`LinkCodeKind::build`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum LinkCodeKind {
+    /// Passthrough baseline.
+    #[default]
+    None,
+    /// CRC-8 detect-only.
+    Crc8,
+    /// Hamming(7,4) single-error correction.
+    Hamming74,
+    /// Reed–Solomon over GF(2^8) with block interleaving.
+    ReedSolomon {
+        /// Payload symbols per codeword (`k`).
+        data_symbols: u8,
+        /// Check symbols per codeword (`n - k`).
+        parity_symbols: u8,
+        /// Block-interleaver depth in codeword streams (1 = none).
+        interleave_depth: u8,
+    },
+}
+
+impl LinkCodeKind {
+    /// The Reed–Solomon configuration the reproduction defaults to:
+    /// RS(12, 8) — one codeword per 64-bit frame, 2 correctable symbols —
+    /// interleaved 4 deep.
+    pub fn rs_default() -> Self {
+        LinkCodeKind::ReedSolomon {
+            data_symbols: 8,
+            parity_symbols: 4,
+            interleave_depth: 4,
+        }
+    }
+
+    /// Every code family at its default configuration, in report order.
+    pub fn all() -> [LinkCodeKind; 4] {
+        [
+            LinkCodeKind::None,
+            LinkCodeKind::Crc8,
+            LinkCodeKind::Hamming74,
+            LinkCodeKind::rs_default(),
+        ]
+    }
+
+    /// Instantiates the codec this kind describes.
+    pub fn build(self) -> Box<dyn LinkCode> {
+        match self {
+            LinkCodeKind::None => Box::new(NoCode),
+            LinkCodeKind::Crc8 => Box::new(Crc8Code),
+            LinkCodeKind::Hamming74 => Box::new(Hamming74),
+            LinkCodeKind::ReedSolomon {
+                data_symbols,
+                parity_symbols,
+                interleave_depth,
+            } => Box::new(ReedSolomon::new(
+                data_symbols as usize,
+                parity_symbols as usize,
+                interleave_depth as usize,
+            )),
+        }
+    }
+
+    /// Human-readable label for report rows (`none`, `crc8`, `hamming74`,
+    /// `rs(12,8,4)`), re-parseable by [`LinkCodeKind::parse`].
+    pub fn label(self) -> String {
+        match self {
+            LinkCodeKind::None => "none".into(),
+            LinkCodeKind::Crc8 => "crc8".into(),
+            LinkCodeKind::Hamming74 => "hamming74".into(),
+            LinkCodeKind::ReedSolomon {
+                data_symbols,
+                parity_symbols,
+                interleave_depth,
+            } => {
+                let n = data_symbols as usize + parity_symbols as usize;
+                if interleave_depth <= 1 {
+                    format!("rs({n},{data_symbols})")
+                } else {
+                    format!("rs({n},{data_symbols},{interleave_depth})")
+                }
+            }
+        }
+    }
+
+    /// Parses a CLI label: `none`, `crc8`, `hamming74`, `rs` (defaults), or
+    /// `rs(n,k)` / `rs(n,k,depth)` with explicit geometry.
+    pub fn parse(text: &str) -> Result<Self, String> {
+        let text = text.trim().to_ascii_lowercase();
+        match text.as_str() {
+            "none" | "nocode" | "raw" => return Ok(LinkCodeKind::None),
+            "crc" | "crc8" => return Ok(LinkCodeKind::Crc8),
+            "hamming" | "hamming74" => return Ok(LinkCodeKind::Hamming74),
+            "rs" | "reed-solomon" | "reedsolomon" => return Ok(LinkCodeKind::rs_default()),
+            _ => {}
+        }
+        let inner = text
+            .strip_prefix("rs(")
+            .and_then(|rest| rest.strip_suffix(')'))
+            .ok_or_else(|| format!("unknown link code {text:?} (try none, crc8, hamming74, rs, rs(n,k), rs(n,k,depth))"))?;
+        let parts: Vec<&str> = inner.split(',').map(str::trim).collect();
+        if parts.len() != 2 && parts.len() != 3 {
+            return Err(format!("rs(...) takes (n,k) or (n,k,depth), got {text:?}"));
+        }
+        let parse_field = |s: &str, name: &str| -> Result<usize, String> {
+            s.parse::<usize>()
+                .map_err(|_| format!("invalid {name} in {text:?}"))
+        };
+        let n = parse_field(parts[0], "n")?;
+        let k = parse_field(parts[1], "k")?;
+        let depth = if parts.len() == 3 {
+            parse_field(parts[2], "depth")?
+        } else {
+            1
+        };
+        if k == 0 || n <= k || n > 255 || depth == 0 || depth > 255 {
+            return Err(format!(
+                "rs geometry out of range in {text:?}: need 0 < k < n <= 255 and 0 < depth <= 255"
+            ));
+        }
+        Ok(LinkCodeKind::ReedSolomon {
+            data_symbols: k as u8,
+            parity_symbols: (n - k) as u8,
+            interleave_depth: depth as u8,
+        })
+    }
+
+    /// Nominal code rate of this kind (payload bits per wire bit).
+    pub fn rate(self) -> f64 {
+        self.build().rate()
+    }
+}
+
+impl std::fmt::Display for LinkCodeKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.label())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_kind_roundtrips_a_frame() {
+        let payload: Vec<bool> = (0..64).map(|i| i % 3 != 1).collect();
+        for kind in LinkCodeKind::all() {
+            let code = kind.build();
+            let wire = code.encode(&payload);
+            assert_eq!(wire.len(), code.encoded_len(payload.len()), "{kind}");
+            let out = code.decode(&wire);
+            assert_eq!(&out.payload[..payload.len()], payload.as_slice(), "{kind}");
+            assert_eq!(out.residual_errors, 0, "{kind}");
+            assert_eq!(code.kind(), kind);
+        }
+    }
+
+    #[test]
+    fn rates_are_sane() {
+        assert_eq!(LinkCodeKind::None.rate(), 1.0);
+        let crc = LinkCodeKind::Crc8.rate();
+        assert!(crc > 0.85 && crc < 1.0);
+        let hamming = LinkCodeKind::Hamming74.rate();
+        assert!((hamming - 4.0 / 7.0).abs() < 1e-12);
+        let rs = LinkCodeKind::rs_default().rate();
+        assert!((rs - 8.0 / 12.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn labels_and_parse_are_inverse() {
+        for kind in LinkCodeKind::all() {
+            let label = kind.label();
+            assert_eq!(LinkCodeKind::parse(&label), Ok(kind), "{label}");
+        }
+        assert_eq!(
+            LinkCodeKind::parse("rs(12,8,4)"),
+            Ok(LinkCodeKind::rs_default())
+        );
+        assert_eq!(
+            LinkCodeKind::parse("RS(16, 12)"),
+            Ok(LinkCodeKind::ReedSolomon {
+                data_symbols: 12,
+                parity_symbols: 4,
+                interleave_depth: 1,
+            })
+        );
+        assert!(LinkCodeKind::parse("turbo").is_err());
+        assert!(LinkCodeKind::parse("rs(8,12)").is_err());
+        assert!(LinkCodeKind::parse("rs(300,8)").is_err());
+    }
+}

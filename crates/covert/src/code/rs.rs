@@ -1,0 +1,479 @@
+//! Reed–Solomon link code over GF(2^8) with block interleaving.
+//!
+//! Codewords carry `data_symbols` 8-bit payload symbols plus
+//! `parity_symbols` check symbols from the generator polynomial
+//! `g(x) = ∏ (x - α^i)`; the syndrome decoder (Berlekamp–Massey locator,
+//! Chien search, magnitudes from the syndrome linear system) corrects up to
+//! `⌊parity/2⌋` corrupted *symbols* per codeword — which makes the code
+//! burst-tolerant by construction. On top of that, the interleaver stage
+//! transmits groups of up to `interleave_depth` codewords symbol-by-symbol
+//! in round-robin order, so a wire burst of `d` consecutive symbols lands
+//! one symbol deep in `d` different codewords instead of `d` symbols deep
+//! in one. Interleaving is at *symbol* granularity across *codewords*:
+//! when a frame holds a single codeword there is nothing to spread and the
+//! stage is the identity (bit-level interleaving within one codeword would
+//! smear a short burst over many symbols and make it less correctable, not
+//! more).
+//!
+//! Frames shorter than a full codeword are zero-padded (a shortened code);
+//! the transceiver truncates the decoded payload back to the frame length.
+
+use super::gf256;
+use super::interleave::{deinterleave, interleave};
+use super::{DecodeOutcome, LinkCode, LinkCodeKind};
+
+/// Bits per Reed–Solomon symbol.
+pub const SYMBOL_BITS: usize = 8;
+
+/// A configured Reed–Solomon codec.
+#[derive(Debug, Clone)]
+pub struct ReedSolomon {
+    data_symbols: usize,
+    parity_symbols: usize,
+    interleave_depth: usize,
+    /// Generator polynomial, highest degree first, leading coefficient 1.
+    generator: Vec<u8>,
+}
+
+impl ReedSolomon {
+    /// Builds a codec with `data_symbols` payload and `parity_symbols` check
+    /// symbols per codeword, interleaved `interleave_depth` codeword-streams
+    /// deep.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the geometry is not a valid GF(256) code:
+    /// `data_symbols == 0`, `parity_symbols == 0`, or a codeword longer than
+    /// 255 symbols.
+    pub fn new(data_symbols: usize, parity_symbols: usize, interleave_depth: usize) -> Self {
+        assert!(data_symbols > 0, "need at least one data symbol");
+        assert!(parity_symbols > 0, "need at least one parity symbol");
+        assert!(
+            data_symbols + parity_symbols <= gf256::GROUP_ORDER,
+            "codeword cannot exceed 255 symbols in GF(256)"
+        );
+        let mut generator = vec![1u8];
+        for i in 0..parity_symbols {
+            generator = gf256::poly_mul(&generator, &[1, gf256::exp(i)]);
+        }
+        ReedSolomon {
+            data_symbols,
+            parity_symbols,
+            interleave_depth: interleave_depth.max(1),
+            generator,
+        }
+    }
+
+    /// Codeword length in symbols.
+    pub fn codeword_symbols(&self) -> usize {
+        self.data_symbols + self.parity_symbols
+    }
+
+    /// Maximum corrupted symbols per codeword the decoder repairs.
+    pub fn correctable_symbols(&self) -> usize {
+        self.parity_symbols / 2
+    }
+
+    /// Encodes one block of exactly `data_symbols` symbols, returning the
+    /// full systematic codeword (data followed by parity).
+    fn encode_codeword(&self, data: &[u8]) -> Vec<u8> {
+        debug_assert_eq!(data.len(), self.data_symbols);
+        // Polynomial long division of data * x^parity by the generator; the
+        // remainder is the parity block.
+        let mut rem = vec![0u8; self.parity_symbols];
+        for &d in data {
+            let factor = gf256::add(d, rem[0]);
+            rem.rotate_left(1);
+            *rem.last_mut().expect("parity_symbols > 0") = 0;
+            if factor != 0 {
+                for (r, &g) in rem.iter_mut().zip(&self.generator[1..]) {
+                    *r = gf256::add(*r, gf256::mul(factor, g));
+                }
+            }
+        }
+        let mut codeword = data.to_vec();
+        codeword.extend_from_slice(&rem);
+        codeword
+    }
+
+    /// Symbol-level interleave: groups of up to `interleave_depth`
+    /// codewords are transmitted column-major (one symbol from each
+    /// codeword in turn), so contiguous wire damage divides across
+    /// codewords. A group of one codeword is passed through unchanged.
+    fn interleave_symbols(&self, symbols: &[u8]) -> Vec<u8> {
+        let group = self.interleave_depth * self.codeword_symbols();
+        symbols
+            .chunks(group)
+            .flat_map(|block| interleave(block, block.len() / self.codeword_symbols()))
+            .collect()
+    }
+
+    /// Exact inverse of [`ReedSolomon::interleave_symbols`].
+    fn deinterleave_symbols(&self, symbols: &[u8]) -> Vec<u8> {
+        let group = self.interleave_depth * self.codeword_symbols();
+        symbols
+            .chunks(group)
+            .flat_map(|block| {
+                // A truncated trailing block (not a whole number of
+                // codewords) was never interleaved in a matching way; pass
+                // it through and let the codeword loop flag it.
+                let rows = block.len() / self.codeword_symbols();
+                if rows * self.codeword_symbols() == block.len() {
+                    deinterleave(block, rows)
+                } else {
+                    block.to_vec()
+                }
+            })
+            .collect()
+    }
+
+    /// Corrects one codeword in place. Returns `Ok(corrected_bit_flips)` or
+    /// `Err(())` when the error pattern exceeds the code's capability.
+    fn decode_codeword(&self, codeword: &mut [u8]) -> Result<usize, ()> {
+        let n = codeword.len();
+        let syndromes: Vec<u8> = (0..self.parity_symbols)
+            .map(|j| gf256::poly_eval(codeword, gf256::exp(j)))
+            .collect();
+        if syndromes.iter().all(|&s| s == 0) {
+            return Ok(0);
+        }
+        let locator = berlekamp_massey(&syndromes);
+        let errors = locator.len() - 1;
+        if errors == 0 || errors > self.correctable_symbols() {
+            return Err(());
+        }
+        // Chien search: position i holds the coefficient of x^(n-1-i), so its
+        // locator is α^(n-1-i); a root of Λ at its inverse marks an error.
+        let positions: Vec<usize> = (0..n)
+            .filter(|&i| {
+                let x_inv = gf256::inv(gf256::exp(n - 1 - i));
+                poly_eval_low_first(&locator, x_inv) == 0
+            })
+            .collect();
+        if positions.len() != errors {
+            return Err(());
+        }
+        // Magnitudes from the syndrome equations S_j = Σ e_i · X_i^j,
+        // j = 0..errors — a Vandermonde system in the distinct locators X_i,
+        // solved by Gaussian elimination over the field.
+        let locators: Vec<u8> = positions.iter().map(|&i| gf256::exp(n - 1 - i)).collect();
+        let magnitudes = solve_magnitudes(&locators, &syndromes[..errors])?;
+        let mut flipped_bits = 0usize;
+        for (&pos, &mag) in positions.iter().zip(&magnitudes) {
+            if mag == 0 {
+                return Err(());
+            }
+            flipped_bits += mag.count_ones() as usize;
+            codeword[pos] = gf256::add(codeword[pos], mag);
+        }
+        // Re-check every syndrome: a pattern beyond t errors can masquerade
+        // as a correctable one; the recheck downgrades it to a detected
+        // failure instead of silently delivering a miscorrection.
+        let clean =
+            (0..self.parity_symbols).all(|j| gf256::poly_eval(codeword, gf256::exp(j)) == 0);
+        if clean {
+            Ok(flipped_bits)
+        } else {
+            Err(())
+        }
+    }
+}
+
+/// Evaluates a lowest-degree-first polynomial at `x`.
+fn poly_eval_low_first(coeffs: &[u8], x: u8) -> u8 {
+    coeffs
+        .iter()
+        .rev()
+        .fold(0u8, |acc, &c| gf256::add(gf256::mul(acc, x), c))
+}
+
+/// Berlekamp–Massey over GF(256): returns the error-locator polynomial
+/// (lowest degree first, Λ(0) = 1) for the given syndrome sequence.
+fn berlekamp_massey(syndromes: &[u8]) -> Vec<u8> {
+    let mut current = vec![1u8]; // Λ(x)
+    let mut previous = vec![1u8]; // B(x)
+    let mut l = 0usize;
+    let mut m = 1usize;
+    let mut b = 1u8;
+    for n in 0..syndromes.len() {
+        let mut delta = syndromes[n];
+        for i in 1..=l.min(current.len() - 1) {
+            delta = gf256::add(delta, gf256::mul(current[i], syndromes[n - i]));
+        }
+        if delta == 0 {
+            m += 1;
+        } else if 2 * l <= n {
+            let temp = current.clone();
+            let coef = gf256::div(delta, b);
+            subtract_shifted(&mut current, &previous, coef, m);
+            l = n + 1 - l;
+            previous = temp;
+            b = delta;
+            m = 1;
+        } else {
+            let coef = gf256::div(delta, b);
+            subtract_shifted(&mut current, &previous, coef, m);
+            m += 1;
+        }
+    }
+    current.truncate(l + 1);
+    current
+}
+
+/// `current -= coef · x^shift · previous` (lowest-degree-first polynomials).
+fn subtract_shifted(current: &mut Vec<u8>, previous: &[u8], coef: u8, shift: usize) {
+    if current.len() < previous.len() + shift {
+        current.resize(previous.len() + shift, 0);
+    }
+    for (i, &p) in previous.iter().enumerate() {
+        current[i + shift] = gf256::add(current[i + shift], gf256::mul(coef, p));
+    }
+}
+
+/// Solves the Vandermonde system `Σ_i e_i · X_i^j = S_j` for the error
+/// magnitudes `e_i` by Gaussian elimination over GF(256).
+fn solve_magnitudes(locators: &[u8], syndromes: &[u8]) -> Result<Vec<u8>, ()> {
+    let k = locators.len();
+    debug_assert_eq!(syndromes.len(), k);
+    let mut matrix: Vec<Vec<u8>> = (0..k)
+        .map(|j| {
+            let mut row: Vec<u8> = locators
+                .iter()
+                .map(|&x| (0..j).fold(1u8, |acc, _| gf256::mul(acc, x)))
+                .collect();
+            row.push(syndromes[j]);
+            row
+        })
+        .collect();
+    for col in 0..k {
+        let pivot = (col..k).find(|&r| matrix[r][col] != 0).ok_or(())?;
+        matrix.swap(col, pivot);
+        let inv = gf256::inv(matrix[col][col]);
+        for cell in matrix[col][col..].iter_mut() {
+            *cell = gf256::mul(*cell, inv);
+        }
+        for r in 0..k {
+            if r != col && matrix[r][col] != 0 {
+                let factor = matrix[r][col];
+                let pivot_row = matrix[col].clone();
+                for (cell, &p) in matrix[r][col..].iter_mut().zip(&pivot_row[col..]) {
+                    *cell = gf256::add(*cell, gf256::mul(factor, p));
+                }
+            }
+        }
+    }
+    Ok((0..k).map(|r| matrix[r][k]).collect())
+}
+
+/// Packs a bit stream into 8-bit symbols, MSB first, zero-padding the tail.
+fn bits_to_symbols(bits: &[bool]) -> Vec<u8> {
+    bits.chunks(SYMBOL_BITS)
+        .map(|chunk| {
+            chunk
+                .iter()
+                .enumerate()
+                .fold(0u8, |acc, (i, &b)| acc | (u8::from(b) << (7 - i)))
+        })
+        .collect()
+}
+
+/// Unpacks symbols back into bits, MSB first.
+fn symbols_to_bits(symbols: &[u8]) -> Vec<bool> {
+    symbols
+        .iter()
+        .flat_map(|&s| (0..SYMBOL_BITS).map(move |i| (s >> (7 - i)) & 1 == 1))
+        .collect()
+}
+
+impl LinkCode for ReedSolomon {
+    fn kind(&self) -> LinkCodeKind {
+        LinkCodeKind::ReedSolomon {
+            data_symbols: self.data_symbols as u8,
+            parity_symbols: self.parity_symbols as u8,
+            interleave_depth: self.interleave_depth as u8,
+        }
+    }
+
+    fn encode(&self, payload: &[bool]) -> Vec<bool> {
+        let mut symbols = bits_to_symbols(payload);
+        let blocks = symbols.len().div_ceil(self.data_symbols).max(1);
+        symbols.resize(blocks * self.data_symbols, 0);
+        let mut wire_symbols = Vec::with_capacity(blocks * self.codeword_symbols());
+        for block in symbols.chunks(self.data_symbols) {
+            wire_symbols.extend(self.encode_codeword(block));
+        }
+        symbols_to_bits(&self.interleave_symbols(&wire_symbols))
+    }
+
+    fn decode(&self, wire: &[bool]) -> DecodeOutcome {
+        let symbols = self.deinterleave_symbols(&bits_to_symbols(wire));
+        let n = self.codeword_symbols();
+        let mut payload_symbols = Vec::with_capacity(symbols.len() / n * self.data_symbols);
+        let mut corrected_bits = 0usize;
+        let mut residual_errors = 0usize;
+        for chunk in symbols.chunks(n) {
+            if chunk.len() < n {
+                // A truncated trailing codeword cannot be checked.
+                residual_errors += 1;
+                payload_symbols.extend_from_slice(&chunk[..chunk.len().min(self.data_symbols)]);
+                continue;
+            }
+            let mut codeword = chunk.to_vec();
+            match self.decode_codeword(&mut codeword) {
+                Ok(flips) => corrected_bits += flips,
+                Err(()) => residual_errors += 1,
+            }
+            payload_symbols.extend_from_slice(&codeword[..self.data_symbols]);
+        }
+        DecodeOutcome {
+            payload: symbols_to_bits(&payload_symbols),
+            corrected_bits,
+            residual_errors,
+        }
+    }
+
+    fn encoded_len(&self, payload_bits: usize) -> usize {
+        let symbols = payload_bits.div_ceil(SYMBOL_BITS);
+        let blocks = symbols.div_ceil(self.data_symbols).max(1);
+        blocks * self.codeword_symbols() * SYMBOL_BITS
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn payload(bits: usize) -> Vec<bool> {
+        (0..bits).map(|i| (i * 11 + 2) % 7 < 3).collect()
+    }
+
+    #[test]
+    fn clean_roundtrip_across_lengths() {
+        for depth in [1usize, 3, 4] {
+            let code = ReedSolomon::new(8, 4, depth);
+            for bits in [1usize, 8, 63, 64, 65, 128, 200, 512] {
+                let data = payload(bits);
+                let wire = code.encode(&data);
+                assert_eq!(wire.len(), code.encoded_len(bits), "bits={bits}");
+                let out = code.decode(&wire);
+                assert_eq!(
+                    &out.payload[..bits],
+                    data.as_slice(),
+                    "bits={bits} depth={depth}"
+                );
+                assert_eq!(out.corrected_bits, 0);
+                assert_eq!(out.residual_errors, 0);
+            }
+        }
+    }
+
+    #[test]
+    fn single_codeword_interleaving_is_harmless() {
+        // One 64-bit frame = one RS(12,8) codeword: there are no sibling
+        // codewords to spread across, so any short burst must stay as
+        // correctable as it is without interleaving.
+        let code = ReedSolomon::new(8, 4, 4);
+        let data = payload(64);
+        let clean = code.encode(&data);
+        for start in 0..clean.len() - 8 {
+            let mut wire = clean.clone();
+            for bit in wire.iter_mut().skip(start).take(8) {
+                *bit = !*bit;
+            }
+            let out = code.decode(&wire);
+            assert_eq!(
+                &out.payload[..64],
+                data.as_slice(),
+                "8-bit burst at {start} must stay within t = 2 symbols"
+            );
+            assert_eq!(out.residual_errors, 0, "burst at {start}");
+        }
+    }
+
+    #[test]
+    fn corrects_up_to_t_symbol_errors() {
+        let code = ReedSolomon::new(8, 4, 1);
+        let data = payload(64);
+        let clean = code.encode(&data);
+        // Corrupt two whole symbols (t = 2 for 4 parity symbols).
+        for (a, b) in [(0usize, 5usize), (1, 11), (3, 4), (2, 10)] {
+            let mut wire = clean.clone();
+            for bit in wire.iter_mut().skip(a * SYMBOL_BITS).take(SYMBOL_BITS) {
+                *bit = !*bit;
+            }
+            for bit in wire.iter_mut().skip(b * SYMBOL_BITS).take(SYMBOL_BITS) {
+                *bit = !*bit;
+            }
+            let out = code.decode(&wire);
+            assert_eq!(&out.payload[..64], data.as_slice(), "symbols {a},{b}");
+            assert_eq!(out.residual_errors, 0);
+            assert_eq!(out.corrected_bits, 2 * SYMBOL_BITS);
+        }
+    }
+
+    #[test]
+    fn reports_failure_beyond_t_errors() {
+        let code = ReedSolomon::new(8, 4, 1);
+        let data = payload(64);
+        let mut wire = code.encode(&data);
+        // Corrupt three symbols — one past the correction bound.
+        for s in [0usize, 4, 9] {
+            for bit in wire.iter_mut().skip(s * SYMBOL_BITS).take(SYMBOL_BITS) {
+                *bit = !*bit;
+            }
+        }
+        let out = code.decode(&wire);
+        assert!(
+            out.residual_errors > 0,
+            "three symbol errors must be detected as uncorrectable"
+        );
+    }
+
+    #[test]
+    fn interleaving_turns_a_burst_into_correctable_errors() {
+        // Depth-4 symbol interleaving over four codewords: a 32-bit wire
+        // burst covers five consecutive wire symbols, which land round-robin
+        // — at most 2 corrupted symbols per codeword, exactly the t = 2 the
+        // 4 parity symbols repair.
+        let code = ReedSolomon::new(8, 4, 4);
+        let data = payload(4 * 64);
+        let clean = code.encode(&data);
+        let mut wire = clean.clone();
+        for bit in wire.iter_mut().skip(100).take(32) {
+            *bit = !*bit;
+        }
+        let out = code.decode(&wire);
+        assert_eq!(&out.payload[..data.len()], data.as_slice());
+        assert_eq!(out.residual_errors, 0);
+        assert!(out.corrected_bits > 0);
+
+        // The same burst without interleaving spans five symbols of a single
+        // codeword and overwhelms it.
+        let flat = ReedSolomon::new(8, 4, 1);
+        let mut flat_wire = flat.encode(&data);
+        for bit in flat_wire.iter_mut().skip(100).take(32) {
+            *bit = !*bit;
+        }
+        assert!(flat.decode(&flat_wire).residual_errors > 0);
+    }
+
+    #[test]
+    fn generator_polynomial_has_the_expected_roots() {
+        let code = ReedSolomon::new(11, 4, 1);
+        for i in 0..4 {
+            assert_eq!(
+                gf256::poly_eval(&code.generator, gf256::exp(i)),
+                0,
+                "alpha^{i} must be a root of g(x)"
+            );
+        }
+        assert_eq!(code.generator.len(), 5);
+        assert_eq!(code.generator[0], 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "255 symbols")]
+    fn oversized_codeword_is_rejected() {
+        let _ = ReedSolomon::new(250, 10, 1);
+    }
+}

@@ -32,6 +32,12 @@ pub enum ChannelError {
         /// Bits the channel returned.
         received: usize,
     },
+    /// A scenario exceeded its wall-clock budget and was abandoned by the
+    /// harness (the sweep runner records this instead of stalling the grid).
+    TimeBudgetExceeded {
+        /// The budget that was exceeded, in milliseconds.
+        budget_ms: u64,
+    },
 }
 
 impl fmt::Display for ChannelError {
@@ -53,6 +59,9 @@ impl fmt::Display for ChannelError {
                 f,
                 "channel returned {received} bits for a {sent}-bit transmission"
             ),
+            ChannelError::TimeBudgetExceeded { budget_ms } => {
+                write!(f, "scenario exceeded its {budget_ms} ms time budget")
+            }
         }
     }
 }

@@ -31,6 +31,7 @@
 #![warn(rust_2018_idioms)]
 
 pub mod channel;
+pub mod code;
 pub mod error;
 pub mod metrics;
 pub mod protocol;
@@ -47,8 +48,11 @@ pub mod prelude {
         Transceiver, TransceiverConfig,
     };
     pub use crate::channel::llc::{LlcChannel, LlcChannelConfig};
+    pub use crate::code::{
+        Crc8Code, DecodeOutcome, Hamming74, LinkCode, LinkCodeKind, NoCode, ReedSolomon,
+    };
     pub use crate::error::ChannelError;
-    pub use crate::metrics::{test_pattern, SampleStats, TransmissionReport};
+    pub use crate::metrics::{test_pattern, CodingSummary, SampleStats, TransmissionReport};
     pub use crate::protocol::{
         bits_to_bytes, bytes_to_bits, deframe_bits, frame_bits, majority_vote, sync_errors,
         try_majority_vote, ClassifierConfig, Direction, ProbeObservation, SetRole, FRAME_PREAMBLE,

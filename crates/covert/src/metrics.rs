@@ -1,13 +1,35 @@
-//! Channel evaluation metrics: bandwidth, bit-error rate, confidence
-//! intervals.
+//! Channel evaluation metrics: bandwidth, bit-error rate, goodput,
+//! confidence intervals.
 //!
 //! The paper reports every configuration as a (bandwidth, error-rate) pair,
 //! with 95 % confidence intervals over 1000 runs for the contention channel
 //! (Figure 10). This module provides those computations for the benchmark
-//! harness.
+//! harness, plus the link-layer coding metrics (code rate, corrected bits,
+//! residual BER, goodput) the FEC layer adds on top.
 
+use crate::code::LinkCodeKind;
 use crate::error::ChannelError;
 use soc_sim::clock::Time;
+
+/// Link-coding statistics of one engine transmission, attached to the
+/// [`TransmissionReport`] when the transceiver ran with a
+/// [`LinkCodeKind`] (including the `None` baseline in framed mode).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CodingSummary {
+    /// The link code the engine ran with.
+    pub code: LinkCodeKind,
+    /// Nominal code rate (payload bits per coded wire bit), in `(0, 1]`.
+    pub code_rate: f64,
+    /// Payload bits per frame the engine framed with.
+    pub frame_payload_bits: usize,
+    /// Total wire bits moved, including preambles and retransmissions.
+    pub wire_bits: usize,
+    /// Bits the decoder repaired across all frames.
+    pub corrected_bits: usize,
+    /// Detected-but-uncorrectable error events that survived the retry
+    /// budget (frames accepted dirty).
+    pub residual_errors: usize,
+}
 
 /// Result of transmitting a known bit string over a channel.
 #[derive(Debug, Clone, PartialEq)]
@@ -18,6 +40,8 @@ pub struct TransmissionReport {
     pub received: Vec<bool>,
     /// Total simulated wall-clock time of the transmission.
     pub elapsed: Time,
+    /// Link-coding statistics, when the transceiver engine produced them.
+    pub coding: Option<CodingSummary>,
 }
 
 impl TransmissionReport {
@@ -32,6 +56,7 @@ impl TransmissionReport {
             sent,
             received,
             elapsed,
+            coding: None,
         }
     }
 
@@ -57,7 +82,14 @@ impl TransmissionReport {
             sent,
             received,
             elapsed,
+            coding: None,
         })
+    }
+
+    /// Attaches the engine's link-coding statistics.
+    pub fn with_coding(mut self, coding: CodingSummary) -> Self {
+        self.coding = Some(coding);
+        self
     }
 
     /// Number of bits transmitted.
@@ -91,6 +123,42 @@ impl TransmissionReport {
             return 0.0;
         }
         self.sent.len() as f64 / secs / 1_000.0
+    }
+
+    /// Residual bit-error rate: errors remaining *after* link-layer
+    /// decoding, over the delivered payload. Identical to
+    /// [`TransmissionReport::error_rate`] — the received string is always
+    /// post-decode — but named for the coded-channel reports, where it is
+    /// the number the code is trying to drive to zero.
+    pub fn residual_ber(&self) -> f64 {
+        self.error_rate()
+    }
+
+    /// Goodput in kilobits per second: payload bits of *intact* frames over
+    /// total elapsed time. Retransmissions and coding overhead stretch the
+    /// elapsed time, and a frame delivered with any residual bit error
+    /// contributes nothing — so this is the honest "useful bits per second"
+    /// figure that raw [`TransmissionReport::bandwidth_kbps`] is not.
+    ///
+    /// Frame boundaries come from the attached [`CodingSummary`]; without
+    /// one the whole payload counts as a single frame.
+    pub fn goodput_kbps(&self) -> f64 {
+        let secs = self.elapsed.as_secs_f64();
+        if secs <= 0.0 || self.sent.is_empty() {
+            return 0.0;
+        }
+        let frame = self
+            .coding
+            .map_or(self.sent.len(), |c| c.frame_payload_bits.max(1))
+            .min(self.sent.len());
+        let clean_bits: usize = self
+            .sent
+            .chunks(frame)
+            .zip(self.received.chunks(frame))
+            .filter(|(s, r)| s == r)
+            .map(|(s, _)| s.len())
+            .sum();
+        clean_bits as f64 / secs / 1_000.0
     }
 
     /// Average time per transmitted bit.
@@ -233,6 +301,39 @@ mod tests {
     #[should_panic(expected = "at least one sample")]
     fn empty_samples_panic() {
         let _ = SampleStats::from_samples(&[]);
+    }
+
+    #[test]
+    fn goodput_counts_only_intact_frames() {
+        // Two 4-bit frames, one delivered dirty: only the clean frame's bits
+        // count toward goodput.
+        let sent = vec![true, false, true, true, false, false, true, false];
+        let mut received = sent.clone();
+        received[6] = !received[6];
+        let report =
+            TransmissionReport::new(sent, received, Time::from_us(80)).with_coding(CodingSummary {
+                code: LinkCodeKind::None,
+                code_rate: 1.0,
+                frame_payload_bits: 4,
+                wire_bits: 8,
+                corrected_bits: 0,
+                residual_errors: 0,
+            });
+        // 4 clean bits in 80 us -> 50 kbps; raw bandwidth counts all 8.
+        assert!((report.goodput_kbps() - 50.0).abs() < 1e-9);
+        assert!((report.bandwidth_kbps() - 100.0).abs() < 1e-9);
+        assert!((report.residual_ber() - 0.125).abs() < 1e-9);
+    }
+
+    #[test]
+    fn goodput_without_coding_treats_payload_as_one_frame() {
+        let sent = vec![true; 10];
+        let clean = TransmissionReport::new(sent.clone(), sent.clone(), Time::from_us(10));
+        assert!((clean.goodput_kbps() - clean.bandwidth_kbps()).abs() < 1e-9);
+        let mut received = sent.clone();
+        received[0] = false;
+        let dirty = TransmissionReport::new(sent, received, Time::from_us(10));
+        assert_eq!(dirty.goodput_kbps(), 0.0);
     }
 
     #[test]

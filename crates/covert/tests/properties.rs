@@ -253,3 +253,115 @@ fn all_errors_sample_stats_have_degenerate_spread() {
     assert_eq!(stats.std_dev, 0.0);
     assert_eq!(stats.ci95_half_width, 0.0);
 }
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Every link code round-trips arbitrary payloads on a clean wire, with
+    /// nothing corrected and nothing detected.
+    #[test]
+    fn link_codes_roundtrip_identity(
+        payload in proptest::collection::vec(any::<bool>(), 1..150),
+    ) {
+        for kind in LinkCodeKind::all() {
+            let code = kind.build();
+            let wire = code.encode(&payload);
+            prop_assert_eq!(wire.len(), code.encoded_len(payload.len()));
+            let out = code.decode(&wire);
+            prop_assert!(out.payload.len() >= payload.len());
+            prop_assert_eq!(&out.payload[..payload.len()], payload.as_slice());
+            prop_assert_eq!(out.corrected_bits, 0);
+            prop_assert_eq!(out.residual_errors, 0);
+        }
+    }
+
+    /// Hamming(7,4) corrects any single flipped wire bit exactly.
+    #[test]
+    fn hamming_corrects_any_single_flip(
+        payload in proptest::collection::vec(any::<bool>(), 1..120),
+        flip_seed in any::<u64>(),
+    ) {
+        let code = Hamming74;
+        let mut wire = code.encode(&payload);
+        let flip = (flip_seed % wire.len() as u64) as usize;
+        wire[flip] = !wire[flip];
+        let out = code.decode(&wire);
+        prop_assert_eq!(&out.payload[..payload.len()], payload.as_slice());
+        prop_assert_eq!(out.corrected_bits, 1);
+        prop_assert_eq!(out.residual_errors, 0);
+    }
+
+    /// CRC-8 detects any single flipped wire bit.
+    #[test]
+    fn crc_detects_any_single_flip(
+        payload in proptest::collection::vec(any::<bool>(), 1..120),
+        flip_seed in any::<u64>(),
+    ) {
+        let code = Crc8Code;
+        let mut wire = code.encode(&payload);
+        let flip = (flip_seed % wire.len() as u64) as usize;
+        wire[flip] = !wire[flip];
+        prop_assert!(code.decode(&wire).residual_errors > 0);
+    }
+
+    /// Reed–Solomon corrects any pattern of up to ⌊(n−k)/2⌋ corrupted
+    /// symbols per codeword, for varying geometries.
+    #[test]
+    fn reed_solomon_corrects_up_to_t_symbol_errors(
+        payload in proptest::collection::vec(any::<bool>(), 1..129),
+        parity_half in 1usize..4,
+        corrupt_seed in any::<u64>(),
+    ) {
+        let data_symbols = 8usize;
+        let parity_symbols = 2 * parity_half; // t = parity_half
+        let code = ReedSolomon::new(data_symbols, parity_symbols, 1);
+        let mut wire = code.encode(&payload);
+        let n = data_symbols + parity_symbols;
+        let codewords = wire.len() / (n * 8);
+        // Corrupt exactly t distinct symbols in each codeword, pseudo-
+        // randomly chosen from the seed; every bit of the symbol flips.
+        let mut state = corrupt_seed | 1;
+        let mut corrupted = 0usize;
+        for cw in 0..codewords {
+            let mut chosen: Vec<usize> = Vec::new();
+            while chosen.len() < parity_half {
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                let symbol = (state >> 33) as usize % n;
+                if !chosen.contains(&symbol) {
+                    chosen.push(symbol);
+                }
+            }
+            for &symbol in &chosen {
+                let start = (cw * n + symbol) * 8;
+                for bit in wire.iter_mut().skip(start).take(8) {
+                    *bit = !*bit;
+                }
+                corrupted += 1;
+            }
+        }
+        let out = code.decode(&wire);
+        prop_assert_eq!(&out.payload[..payload.len()], payload.as_slice());
+        prop_assert_eq!(out.residual_errors, 0);
+        prop_assert_eq!(out.corrected_bits, corrupted * 8);
+    }
+
+    /// The block interleaver is a length-preserving permutation and
+    /// deinterleave is its exact inverse.
+    #[test]
+    fn interleaver_is_a_permutation(
+        len in 1usize..200,
+        depth in 1usize..12,
+    ) {
+        // Tag every position with a distinct pattern via an index encoding:
+        // position i maps to bits of i, so any loss or duplication of a
+        // position changes the multiset of decoded indices.
+        let data: Vec<bool> = (0..len).map(|i| (i * 2654435761) & 64 != 0).collect();
+        let wire = covert::code::interleave(&data, depth);
+        prop_assert_eq!(wire.len(), len);
+        // Permutation: the multiset of bits is preserved...
+        let ones = |bits: &[bool]| bits.iter().filter(|&&b| b).count();
+        prop_assert_eq!(ones(&wire), ones(&data));
+        // ...and the inverse restores every position exactly.
+        prop_assert_eq!(covert::code::deinterleave(&wire, depth), data);
+    }
+}

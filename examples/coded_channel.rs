@@ -1,0 +1,64 @@
+//! The forward-error-correction link layer in action: one contention
+//! channel, one noisy system, every link code.
+//!
+//! The transceiver engine encodes each frame before symbol modulation and
+//! decodes it before the accept path; retransmission fires only when the
+//! decoder reports damage it cannot repair. This demo transmits the same
+//! payload through every [`LinkCodeKind`] on the ring-contention channel
+//! under the paper's quiet-system noise preset and prints the trade-off:
+//! the codes spend wire bits (code rate < 1) to buy back goodput that the
+//! uncoded channel loses to dirty frames.
+//!
+//! Run with: `cargo run --release --example coded_channel`
+
+use leaky_buddies::prelude::*;
+
+fn run_code(code: LinkCodeKind, payload: &[bool]) -> Result<(), ChannelError> {
+    let config = ContentionChannelConfig {
+        soc: SocConfig::kaby_lake_i7_7700k().with_noise(NoiseConfig::quiet_system()),
+        ..ContentionChannelConfig::paper_default()
+    }
+    .with_seed(0xC0DE);
+    let mut channel = ContentionChannel::new(config)?;
+    let engine = Transceiver::new(TransceiverConfig::paper_default().with_code(code));
+    let (report, stats) = engine.transmit_detailed(&mut channel, payload)?;
+    println!(
+        "{:<12} {:>7.2} {:>10.1} {:>10.1} {:>9.2}% {:>10} {:>9} {:>6}",
+        code.label(),
+        report.coding.map_or(1.0, |c| c.code_rate),
+        report.bandwidth_kbps(),
+        report.goodput_kbps(),
+        report.residual_ber() * 100.0,
+        stats.corrected_bits,
+        stats.decode_failures,
+        stats.retransmissions,
+    );
+    Ok(())
+}
+
+fn main() -> Result<(), ChannelError> {
+    let payload = test_pattern(512, 0x5EED);
+    println!("ring-contention channel, quiet system, 512-bit payload, 64-bit frames");
+    println!(
+        "{:<12} {:>7} {:>10} {:>10} {:>10} {:>10} {:>9} {:>6}",
+        "code", "rate", "kb/s", "goodput", "residual", "corrected", "decfail", "retx"
+    );
+    for code in LinkCodeKind::all() {
+        run_code(code, &payload)?;
+    }
+    // A second Reed–Solomon geometry: more parity, deeper interleaving —
+    // the heavy-noise configuration.
+    run_code(
+        LinkCodeKind::ReedSolomon {
+            data_symbols: 8,
+            parity_symbols: 8,
+            interleave_depth: 8,
+        },
+        &payload,
+    )?;
+    println!(
+        "\ngoodput counts only intact frames: the uncoded channel moves more raw bits,\n\
+         the coded configurations deliver more of them usable."
+    );
+    Ok(())
+}
