@@ -7,19 +7,27 @@
 //! ```text
 //! repro [--fig4] [--fig7] [--fig8] [--fig9] [--fig10] [--headline]
 //!       [--slice-hash] [--l3] [--ablation] [--sweep] [--all] [--quick]
-//!       [--code <spec>[,<spec>...]] [--out <path>]
+//!       [--code <spec>[,<spec>...]] [--backend <name>] [--out <path>]
+//!       [--list-backends]
 //! ```
 //!
 //! With no experiment flag, `--all` is assumed. `--quick` shrinks the bit
 //! counts for a fast smoke run.
 //!
+//! `--list-backends` prints the backend registry (name, slice count, LLC
+//! capacity, DRAM generation) and exits. `--backend <name>` restricts the
+//! `--sweep` grids to one registry backend; an unknown name exits non-zero
+//! after printing the available keys.
+//!
 //! `--code` selects the link-code axis of the `--sweep` grid: a
 //! comma-separated list of `none`, `crc8`, `hamming74`, `rs`, `rs(n,k)` or
 //! `rs(n,k,depth)`, or `all` (the default) for every family. `--out <path>`
-//! writes the sweep rows (classic and coded) as JSON for plotting.
+//! streams the sweep rows (classic and coded) to disk as JSON, appending
+//! each row the moment its sweep point finishes.
 
 use bench::*;
 use covert::prelude::{LinkCodeKind, TransceiverConfig};
+use soc_sim::prelude::BackendRegistry;
 
 struct Options {
     fig4: bool,
@@ -34,6 +42,8 @@ struct Options {
     sweep: bool,
     quick: bool,
     codes: Vec<LinkCodeKind>,
+    backend: Option<String>,
+    list_backends: bool,
     out: Option<std::path::PathBuf>,
 }
 
@@ -79,6 +89,17 @@ impl Options {
                 std::process::exit(2);
             }),
         };
+        let backend = value_of("--backend");
+        if let Some(name) = &backend {
+            let registry = BackendRegistry::standard();
+            if registry.get(name).is_none() {
+                eprintln!(
+                    "error: unknown backend '{name}'; available: {}",
+                    registry.names().join(", ")
+                );
+                std::process::exit(2);
+            }
+        }
         Options {
             fig4: all || has("--fig4"),
             fig7: all || has("--fig7"),
@@ -92,6 +113,8 @@ impl Options {
             sweep: all || has("--sweep"),
             quick: has("--quick"),
             codes,
+            backend,
+            list_backends: has("--list-backends"),
             out: value_of("--out").map(std::path::PathBuf::from),
         }
     }
@@ -104,6 +127,15 @@ fn banner(title: &str) {
 
 fn main() {
     let opts = Options::parse();
+
+    if opts.list_backends {
+        banner("Backend registry");
+        for line in BackendRegistry::standard().describe() {
+            println!("{line}");
+        }
+        return;
+    }
+
     let llc_bits = if opts.quick { 80 } else { 400 };
     let contention_bits = if opts.quick { 120 } else { 500 };
     let runs = if opts.quick { 3 } else { 8 };
@@ -239,29 +271,61 @@ fn main() {
     }
 
     if opts.sweep {
+        let registry = BackendRegistry::standard();
+        let backends: Vec<&str> = match &opts.backend {
+            Some(name) => vec![name.as_str()],
+            None => registry.names(),
+        };
         banner("Scenario sweep: backend x channel x noise, in parallel");
         let runner = SweepRunner::with_default_threads().with_point_budget(
             std::time::Duration::from_secs(if opts.quick { 60 } else { 600 }),
         );
-        println!("({} worker threads)", runner.threads());
+        println!(
+            "({} worker threads; backends: {})",
+            runner.threads(),
+            backends.join(", ")
+        );
+        // Rows stream in completion order — both to the terminal and, with
+        // --out, to the JSON file — so a long grid is observable while it
+        // runs and a killed run keeps every finished row on disk (the JSON
+        // footer is only written at the end; see SweepJsonWriter).
+        let mut writer = opts.out.as_ref().map(|path| {
+            SweepJsonWriter::create(path).unwrap_or_else(|err| {
+                eprintln!("error: could not create {}: {err}", path.display());
+                std::process::exit(1);
+            })
+        });
+        let mut stream_row = |result: &SweepResult| {
+            if let (Some(w), Some(path)) = (writer.as_mut(), opts.out.as_ref()) {
+                if let Err(err) = w.push(result) {
+                    // A lost result file must fail the run, not just warn —
+                    // downstream plotting scripts check the exit code.
+                    eprintln!("error: could not write {}: {err}", path.display());
+                    std::process::exit(1);
+                }
+            }
+        };
         println!(
             "{:<58} {:>12} {:>9} {:>12} {:>8}",
             "scenario", "kb/s", "error", "symbol (ns)", "quality"
         );
-        let classic = runner.run(&default_grid(if opts.quick { 64 } else { 200 }));
-        for result in &classic {
-            match &result.outcome {
-                Ok(outcome) => println!(
-                    "{:<58} {:>12.1} {:>8.2}% {:>12.0} {:>8.1}",
-                    result.point.label(),
-                    outcome.bandwidth_kbps,
-                    outcome.error_rate * 100.0,
-                    outcome.symbol_time_ns,
-                    outcome.calibration_quality,
-                ),
-                Err(err) => println!("{:<58} unusable: {err}", result.point.label()),
-            }
-        }
+        runner.run_streaming(
+            &default_grid_for(&backends, if opts.quick { 64 } else { 200 }),
+            |_, result| {
+                match &result.outcome {
+                    Ok(outcome) => println!(
+                        "{:<58} {:>12.1} {:>8.2}% {:>12.0} {:>8.1}",
+                        result.point.label(),
+                        outcome.bandwidth_kbps,
+                        outcome.error_rate * 100.0,
+                        outcome.symbol_time_ns,
+                        outcome.calibration_quality,
+                    ),
+                    Err(err) => println!("{:<58} unusable: {err}", result.point.label()),
+                }
+                stream_row(result);
+            },
+        );
 
         banner("Link-code sweep: raw vs coded goodput (framed engine, quiet noise)");
         println!(
@@ -276,44 +340,52 @@ fn main() {
             "{:<64} {:>10} {:>10} {:>7} {:>9} {:>9} {:>8}",
             "scenario", "kb/s", "goodput", "rate", "corrected", "residual", "retx"
         );
-        let coded = runner
+        runner
             .clone()
             .with_engine(TransceiverConfig::paper_default())
-            .run(&coded_grid(if opts.quick { 128 } else { 320 }, &opts.codes));
-        for result in &coded {
-            match &result.outcome {
-                Ok(outcome) => println!(
-                    "{:<64} {:>10.1} {:>10.1} {:>7.2} {:>9} {:>9} {:>8}",
-                    result.point.label(),
-                    outcome.bandwidth_kbps,
-                    outcome.goodput_kbps,
-                    outcome.code_rate,
-                    outcome.corrected_bits,
-                    outcome.residual_errors,
-                    outcome.retransmissions,
-                ),
-                Err(err) => println!("{:<64} unusable: {err}", result.point.label()),
-            }
-        }
+            .run_streaming(
+                &coded_grid_for(&backends, if opts.quick { 128 } else { 320 }, &opts.codes),
+                |_, result| {
+                    match &result.outcome {
+                        Ok(outcome) => println!(
+                            "{:<64} {:>10.1} {:>10.1} {:>7.2} {:>9} {:>9} {:>8}",
+                            result.point.label(),
+                            outcome.bandwidth_kbps,
+                            outcome.goodput_kbps,
+                            outcome.code_rate,
+                            outcome.corrected_bits,
+                            outcome.residual_errors,
+                            outcome.retransmissions,
+                        ),
+                        Err(err) => println!("{:<64} unusable: {err}", result.point.label()),
+                    }
+                    stream_row(result);
+                },
+            );
 
-        if let Some(path) = &opts.out {
-            let mut rows = classic;
-            rows.extend(coded);
-            match write_sweep_json(path, &rows) {
-                Ok(()) => println!("\nwrote {} sweep rows to {}", rows.len(), path.display()),
+        if let Some(writer) = writer {
+            let path = opts.out.as_ref().expect("writer implies --out");
+            match writer.finish() {
+                Ok(rows) => println!("\nwrote {rows} sweep rows to {}", path.display()),
                 Err(err) => {
-                    // A lost result file must fail the run, not just warn —
-                    // downstream plotting scripts check the exit code.
                     eprintln!("error: could not write {}: {err}", path.display());
                     std::process::exit(1);
                 }
             }
         }
-    } else if let Some(path) = &opts.out {
-        eprintln!(
-            "note: --out {} ignored (it serializes --sweep results; pass --sweep)",
-            path.display()
-        );
+    } else {
+        if let Some(path) = &opts.out {
+            eprintln!(
+                "note: --out {} ignored (it serializes --sweep results; pass --sweep)",
+                path.display()
+            );
+        }
+        if let Some(name) = &opts.backend {
+            eprintln!(
+                "note: --backend {name} ignored (it restricts the --sweep grids; the figure \
+                 experiments model the paper platform; pass --sweep)"
+            );
+        }
     }
 
     if opts.headline {

@@ -3,12 +3,19 @@
 //! The workspace builds offline with no serde, so this module writes the
 //! small, flat schema the plotting side needs by hand: one object per sweep
 //! row with the point coordinates and either the measured outcome or the
-//! recorded failure. `repro --sweep --out <path>` is the entry point.
+//! recorded failure. `repro --sweep --out <path>` is the entry point; it
+//! streams rows through [`SweepJsonWriter`], which appends each row to the
+//! file the moment its sweep point finishes instead of buffering the grid.
 
 use crate::sweep::{SweepOutcome, SweepResult};
 use std::fmt::Write as _;
-use std::io;
+use std::fs::File;
+use std::io::{self, BufWriter, Write};
 use std::path::Path;
+
+/// Schema tag written into every document; `v2` keys backends by registry
+/// name (`kabylake-gen9`, …) instead of the pre-registry display labels.
+pub const SWEEP_SCHEMA: &str = "leaky-buddies/sweep-v2";
 
 /// Escapes a string for a JSON string literal (quotes not included).
 fn escape(text: &str) -> String {
@@ -57,37 +64,44 @@ fn outcome_fields(out: &mut String, outcome: &SweepOutcome) {
     );
 }
 
+/// Formats one sweep row as a JSON object (no trailing separator).
+pub fn sweep_row_json(result: &SweepResult) -> String {
+    let point = &result.point;
+    let mut out = String::new();
+    let _ = write!(
+        out,
+        "{{\"scenario\":\"{}\",\"backend\":\"{}\",\"channel\":\"{}\",\"noise\":\"{}\",\
+         \"code\":\"{}\",\"bits\":{},\"seed\":{},",
+        escape(&point.label()),
+        escape(&point.backend),
+        escape(point.channel.label()),
+        escape(point.noise.label()),
+        escape(&point.code.label()),
+        point.bits,
+        point.seed,
+    );
+    match &result.outcome {
+        Ok(outcome) => {
+            out.push_str("\"ok\":true,");
+            outcome_fields(&mut out, outcome);
+        }
+        Err(err) => {
+            let _ = write!(
+                out,
+                "\"ok\":false,\"error\":\"{}\"",
+                escape(&err.to_string())
+            );
+        }
+    }
+    out.push('}');
+    out
+}
+
 /// Serializes sweep rows into a self-describing JSON document.
 pub fn sweep_results_to_json(results: &[SweepResult]) -> String {
-    let mut out = String::from("{\n\"schema\":\"leaky-buddies/sweep-v1\",\n\"results\":[\n");
+    let mut out = format!("{{\n\"schema\":\"{SWEEP_SCHEMA}\",\n\"results\":[\n");
     for (i, result) in results.iter().enumerate() {
-        let point = &result.point;
-        let _ = write!(
-            out,
-            "{{\"scenario\":\"{}\",\"backend\":\"{}\",\"channel\":\"{}\",\"noise\":\"{}\",\
-             \"code\":\"{}\",\"bits\":{},\"seed\":{},",
-            escape(&point.label()),
-            escape(point.backend.label()),
-            escape(point.channel.label()),
-            escape(point.noise.label()),
-            escape(&point.code.label()),
-            point.bits,
-            point.seed,
-        );
-        match &result.outcome {
-            Ok(outcome) => {
-                out.push_str("\"ok\":true,");
-                outcome_fields(&mut out, outcome);
-            }
-            Err(err) => {
-                let _ = write!(
-                    out,
-                    "\"ok\":false,\"error\":\"{}\"",
-                    escape(&err.to_string())
-                );
-            }
-        }
-        out.push('}');
+        out.push_str(&sweep_row_json(result));
         if i + 1 < results.len() {
             out.push(',');
         }
@@ -104,6 +118,68 @@ pub fn sweep_results_to_json(results: &[SweepResult]) -> String {
 /// Propagates filesystem errors from creating or writing the file.
 pub fn write_sweep_json(path: &Path, results: &[SweepResult]) -> io::Result<()> {
     std::fs::write(path, sweep_results_to_json(results))
+}
+
+/// Incremental writer of the same document [`sweep_results_to_json`]
+/// produces: rows are appended (and flushed) one at a time as sweep points
+/// finish, so `repro --sweep --out <path>` never buffers the whole grid.
+///
+/// The completed file (after [`SweepJsonWriter::finish`]) is a valid JSON
+/// document. A run killed mid-grid leaves every finished row intact on
+/// disk, one per line, but without the closing `]}` footer — recover such a
+/// file by appending the footer (or reading it line-wise); only `finish`
+/// makes it parse as-is.
+#[derive(Debug)]
+pub struct SweepJsonWriter {
+    out: BufWriter<File>,
+    rows: usize,
+}
+
+impl SweepJsonWriter {
+    /// Creates `path` and writes the document header.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors.
+    pub fn create(path: &Path) -> io::Result<Self> {
+        let mut out = BufWriter::new(File::create(path)?);
+        write!(out, "{{\n\"schema\":\"{SWEEP_SCHEMA}\",\n\"results\":[\n")?;
+        Ok(SweepJsonWriter { out, rows: 0 })
+    }
+
+    /// Appends one row and flushes it to the file.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors.
+    pub fn push(&mut self, result: &SweepResult) -> io::Result<()> {
+        if self.rows > 0 {
+            self.out.write_all(b",\n")?;
+        }
+        self.out.write_all(sweep_row_json(result).as_bytes())?;
+        self.rows += 1;
+        self.out.flush()
+    }
+
+    /// Number of rows written so far.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Writes the document footer and closes the file, returning the row
+    /// count.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors.
+    pub fn finish(mut self) -> io::Result<usize> {
+        if self.rows > 0 {
+            self.out.write_all(b"\n")?;
+        }
+        self.out.write_all(b"]\n}\n")?;
+        self.out.flush()?;
+        Ok(self.rows)
+    }
 }
 
 #[cfg(test)]
@@ -135,7 +211,8 @@ mod tests {
         let results = SweepRunner::new(2).run(&grid);
         let json = sweep_results_to_json(&results);
         assert!(json.starts_with('{') && json.trim_end().ends_with('}'));
-        assert!(json.contains("\"schema\":\"leaky-buddies/sweep-v1\""));
+        assert!(json.contains("\"schema\":\"leaky-buddies/sweep-v2\""));
+        assert!(json.contains("\"backend\":\"kabylake-gen9\""));
         assert!(json.contains("\"code\":\"none\""));
         assert!(json.contains("\"code\":\"hamming74\""));
         assert!(json.contains("\"goodput_kbps\":"));
@@ -150,7 +227,7 @@ mod tests {
     #[test]
     fn failed_points_serialize_their_error() {
         let mut point = crate::sweep::SweepPoint::paper_default(
-            soc_sim::prelude::SocBackend::KabyLakeGen9,
+            "kabylake-gen9",
             crate::sweep::ChannelKind::RingContention,
             crate::sweep::NoiseLevel::Noiseless,
         );
@@ -170,7 +247,37 @@ mod tests {
         let results = SweepRunner::new(1).run(&default_grid(16)[..1]);
         write_sweep_json(&path, &results).expect("temp file writable");
         let body = std::fs::read_to_string(&path).expect("file readable");
-        assert!(body.contains("sweep-v1"));
+        assert!(body.contains("sweep-v2"));
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn streaming_writer_produces_the_same_document_as_the_batch_path() {
+        let dir = std::env::temp_dir();
+        let path = dir.join("leaky_buddies_streamed_sweep_test.json");
+        let mut grid = default_grid(16);
+        grid.truncate(3);
+        let results = SweepRunner::new(2).run(&grid);
+        let mut writer = SweepJsonWriter::create(&path).expect("temp file writable");
+        for result in &results {
+            writer.push(result).expect("row appends");
+        }
+        assert_eq!(writer.rows(), 3);
+        let written = writer.finish().expect("footer writes");
+        assert_eq!(written, 3);
+        let streamed = std::fs::read_to_string(&path).expect("file readable");
+        assert_eq!(streamed, sweep_results_to_json(&results));
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn streaming_writer_with_no_rows_is_a_valid_empty_document() {
+        let dir = std::env::temp_dir();
+        let path = dir.join("leaky_buddies_empty_sweep_test.json");
+        let writer = SweepJsonWriter::create(&path).expect("temp file writable");
+        assert_eq!(writer.finish().expect("footer writes"), 0);
+        let body = std::fs::read_to_string(&path).expect("file readable");
+        assert_eq!(body, sweep_results_to_json(&[]));
         let _ = std::fs::remove_file(&path);
     }
 }

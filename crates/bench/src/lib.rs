@@ -10,10 +10,11 @@
 pub mod json;
 pub mod sweep;
 
-pub use json::{sweep_results_to_json, write_sweep_json};
+pub use json::{sweep_results_to_json, sweep_row_json, write_sweep_json, SweepJsonWriter};
 pub use sweep::{
-    coded_grid, default_grid, effective_engine, run_point, ChannelKind, NoiseLevel, SweepOutcome,
-    SweepPoint, SweepResult, SweepRunner,
+    coded_grid, coded_grid_for, default_grid, default_grid_for, effective_engine, run_point,
+    run_point_with_registry, ChannelKind, NoiseLevel, SweepOutcome, SweepPoint, SweepResult,
+    SweepRunner,
 };
 
 use covert::prelude::*;
@@ -106,7 +107,7 @@ pub fn fig7_llc_strategies(bits: usize) -> Vec<Fig7Row> {
                 strategy,
                 bits: effective_bits,
                 ..SweepPoint::paper_default(
-                    SocBackend::KabyLakeGen9,
+                    "kabylake-gen9",
                     ChannelKind::LlcPrimeProbe,
                     NoiseLevel::Quiet,
                 )
@@ -156,7 +157,7 @@ pub fn fig8_llc_sets(bits: usize) -> Vec<Fig8Row> {
                 bits,
                 seed: 29 + sets as u64,
                 ..SweepPoint::paper_default(
-                    SocBackend::KabyLakeGen9,
+                    "kabylake-gen9",
                     ChannelKind::LlcPrimeProbe,
                     NoiseLevel::Quiet,
                 )
@@ -247,7 +248,7 @@ pub fn fig10_contention(bits: usize, runs: usize) -> Vec<Fig10Row> {
                     bits,
                     seed: 1000 + run as u64 * 17 + workgroups as u64,
                     ..SweepPoint::paper_default(
-                        SocBackend::KabyLakeGen9,
+                        "kabylake-gen9",
                         ChannelKind::RingContention,
                         NoiseLevel::Quiet,
                     )

@@ -3,20 +3,26 @@
 //! Every figure of the paper is a sweep over some axis — eviction strategy,
 //! redundant-set count, trojan buffer size, work-group count — and the
 //! unified [`CovertChannel`] abstraction adds two more: the SoC backend and
-//! the ambient noise level. A [`SweepPoint`] names one cell of that grid; the
-//! [`SweepRunner`] fans a list of points across OS threads with
-//! `std::thread::scope`, builds an isolated backend + channel per point, and
-//! drives it through the shared [`Transceiver`] engine.
+//! the ambient noise level. A [`SweepPoint`] names one cell of that grid —
+//! its backend axis is a **registry key** resolved through
+//! [`BackendRegistry`], so grids, JSON rows and the CLI select platforms by
+//! name and a new topology needs no sweep-side plumbing. The [`SweepRunner`]
+//! fans a list of points across OS threads with `std::thread::scope`, builds
+//! an isolated backend + channel per point, and drives it through the shared
+//! [`Transceiver`] engine. [`SweepRunner::run_streaming`] surfaces each row
+//! the moment its point finishes (completion order), so long grids can be
+//! printed, serialized or aborted incrementally.
 //!
 //! Failures are data: a point whose channel cannot even be set up (the
-//! custom timer drowning in noise, buffers overflowing a partitioned LLC)
-//! records its [`ChannelError`] in the result row instead of aborting the
-//! sweep — which is exactly what the mitigation and noise studies need.
+//! custom timer drowning in noise, buffers overflowing a partitioned LLC,
+//! an unknown backend name) records its [`ChannelError`] in the result row
+//! instead of aborting the sweep — which is exactly what the mitigation and
+//! noise studies need.
 
 use covert::prelude::*;
 use soc_sim::prelude::*;
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{mpsc, Mutex};
+use std::sync::mpsc;
 use std::time::Duration;
 
 /// Which channel family a sweep point exercises.
@@ -79,8 +85,9 @@ impl NoiseLevel {
 /// per-channel parameters.
 #[derive(Debug, Clone)]
 pub struct SweepPoint {
-    /// SoC backend variant.
-    pub backend: SocBackend,
+    /// SoC backend, as a [`BackendRegistry`] key (e.g. `"kabylake-gen9"`).
+    /// Unknown keys surface as [`ChannelError::InvalidConfig`] result rows.
+    pub backend: String,
     /// Channel family.
     pub channel: ChannelKind,
     /// Ambient noise level.
@@ -105,10 +112,15 @@ pub struct SweepPoint {
 }
 
 impl SweepPoint {
-    /// A point with the paper-default parameters for `channel` on `backend`.
-    pub fn paper_default(backend: SocBackend, channel: ChannelKind, noise: NoiseLevel) -> Self {
+    /// A point with the paper-default parameters for `channel` on `backend`
+    /// (a registry key such as `"kabylake-gen9"`).
+    pub fn paper_default(
+        backend: impl Into<String>,
+        channel: ChannelKind,
+        noise: NoiseLevel,
+    ) -> Self {
         SweepPoint {
-            backend,
+            backend: backend.into(),
             channel,
             noise,
             code: LinkCodeKind::None,
@@ -133,7 +145,7 @@ impl SweepPoint {
         let mut label = match self.channel {
             ChannelKind::LlcPrimeProbe => format!(
                 "{} / {} / {} / {} / {} sets",
-                self.backend.label(),
+                self.backend,
                 self.channel.label(),
                 self.noise.label(),
                 self.strategy.label(),
@@ -141,7 +153,7 @@ impl SweepPoint {
             ),
             ChannelKind::RingContention => format!(
                 "{} / {} / {} / {} KB x {} WGs",
-                self.backend.label(),
+                self.backend,
                 self.channel.label(),
                 self.noise.label(),
                 self.gpu_buffer_bytes / 1024,
@@ -195,13 +207,24 @@ pub struct SweepResult {
     pub outcome: Result<SweepOutcome, ChannelError>,
 }
 
-/// Executes one sweep point to completion on the calling thread.
+/// Executes one sweep point to completion on the calling thread, resolving
+/// the backend against [`BackendRegistry::standard`].
 ///
 /// The point's link code overrides the base engine's: a coded point always
 /// runs the framed engine (raw mode has no frame boundary for the code to
 /// retransmit on), with everything else taken from `engine`.
 pub fn run_point(point: &SweepPoint, engine: &Transceiver) -> SweepResult {
-    let outcome = run_point_inner(point, engine);
+    run_point_with_registry(point, engine, &BackendRegistry::standard())
+}
+
+/// [`run_point`] against an explicit registry — the path for custom
+/// [`BackendSpec`]s added with [`BackendRegistry::register`].
+pub fn run_point_with_registry(
+    point: &SweepPoint,
+    engine: &Transceiver,
+    registry: &BackendRegistry,
+) -> SweepResult {
+    let outcome = run_point_inner(point, engine, registry);
     SweepResult {
         point: point.clone(),
         outcome,
@@ -219,15 +242,31 @@ pub fn effective_engine(point: &SweepPoint, base: &TransceiverConfig) -> Transce
     config
 }
 
-fn run_point_inner(point: &SweepPoint, engine: &Transceiver) -> Result<SweepOutcome, ChannelError> {
+fn run_point_inner(
+    point: &SweepPoint,
+    engine: &Transceiver,
+    registry: &BackendRegistry,
+) -> Result<SweepOutcome, ChannelError> {
     let engine = Transceiver::new(effective_engine(point, engine.config()));
     let engine = &engine;
-    let soc_config = point
-        .backend
-        .config()
+    let spec = registry.get(&point.backend).ok_or_else(|| {
+        ChannelError::InvalidConfig(format!(
+            "unknown backend '{}' (available: {})",
+            point.backend,
+            registry.names().join(", ")
+        ))
+    })?;
+    let topology = spec.topology();
+    // A degenerate caller-registered topology must surface as this row's
+    // error, not as a panic that tears down every worker in the scope.
+    topology.validate().map_err(|message| {
+        ChannelError::InvalidConfig(format!("backend '{}': {message}", point.backend))
+    })?;
+    let soc_config = topology
+        .build_config()
         .with_noise(point.noise.config())
         .with_seed(point.seed);
-    let soc = Soc::new(soc_config.clone());
+    let soc = spec.instantiate(soc_config.clone());
     let payload = test_pattern(point.bits, point.seed ^ 0x5EED);
     match point.channel {
         ChannelKind::LlcPrimeProbe => {
@@ -287,6 +326,7 @@ pub struct SweepRunner {
     threads: usize,
     engine: TransceiverConfig,
     point_budget: Option<Duration>,
+    registry: BackendRegistry,
 }
 
 impl SweepRunner {
@@ -296,6 +336,7 @@ impl SweepRunner {
             threads: threads.max(1),
             engine: TransceiverConfig::raw(),
             point_budget: None,
+            registry: BackendRegistry::standard(),
         }
     }
 
@@ -309,6 +350,14 @@ impl SweepRunner {
     /// (default: raw pass-through, matching the per-figure evaluation).
     pub fn with_engine(mut self, engine: TransceiverConfig) -> Self {
         self.engine = engine;
+        self
+    }
+
+    /// Overrides the backend registry sweep points resolve against
+    /// (default: [`BackendRegistry::standard`]) — custom topologies added
+    /// with [`BackendRegistry::register`] become selectable by name.
+    pub fn with_registry(mut self, registry: BackendRegistry) -> Self {
+        self.registry = registry;
         self
     }
 
@@ -332,11 +381,26 @@ impl SweepRunner {
     /// its own backend and channel, so points are fully independent and the
     /// grid order carries no hidden state.
     pub fn run(&self, points: &[SweepPoint]) -> Vec<SweepResult> {
+        self.run_streaming(points, |_, _| {})
+    }
+
+    /// Runs every point like [`SweepRunner::run`], additionally invoking
+    /// `on_result` with `(grid_index, row)` the moment each point finishes —
+    /// in *completion* order, on the calling thread. Long grids can thus be
+    /// printed or serialized incrementally instead of buffered whole; the
+    /// returned vector is still in input order.
+    pub fn run_streaming<F>(&self, points: &[SweepPoint], mut on_result: F) -> Vec<SweepResult>
+    where
+        F: FnMut(usize, &SweepResult),
+    {
         let next = AtomicUsize::new(0);
-        let results: Mutex<Vec<Option<SweepResult>>> = Mutex::new(vec![None; points.len()]);
+        let mut slots: Vec<Option<SweepResult>> = vec![None; points.len()];
         std::thread::scope(|scope| {
+            let (sender, receiver) = mpsc::channel::<(usize, SweepResult)>();
             for _ in 0..self.threads.min(points.len().max(1)) {
+                let sender = sender.clone();
                 scope.spawn(|| {
+                    let sender = sender;
                     let engine = Transceiver::new(self.engine);
                     loop {
                         let index = next.fetch_add(1, Ordering::Relaxed);
@@ -344,17 +408,33 @@ impl SweepRunner {
                             break;
                         }
                         let result = match self.point_budget {
-                            None => run_point(&points[index], &engine),
-                            Some(budget) => run_point_with_budget(&points[index], &engine, budget),
+                            None => {
+                                run_point_with_registry(&points[index], &engine, &self.registry)
+                            }
+                            Some(budget) => run_point_with_budget(
+                                &points[index],
+                                &engine,
+                                budget,
+                                &self.registry,
+                            ),
                         };
-                        results.lock().expect("sweep results lock")[index] = Some(result);
+                        // A dropped receiver means the callback side is gone;
+                        // workers just finish their current point and stop.
+                        if sender.send((index, result)).is_err() {
+                            break;
+                        }
                     }
                 });
             }
+            // The workers hold clones; dropping the original lets `recv`
+            // terminate once the last worker exits.
+            drop(sender);
+            while let Ok((index, result)) = receiver.recv() {
+                on_result(index, &result);
+                slots[index] = Some(result);
+            }
         });
-        results
-            .into_inner()
-            .expect("sweep results lock")
+        slots
             .into_iter()
             .map(|r| r.expect("every sweep point produces a result"))
             .collect()
@@ -369,15 +449,21 @@ fn run_point_with_budget(
     point: &SweepPoint,
     engine: &Transceiver,
     budget: Duration,
+    registry: &BackendRegistry,
 ) -> SweepResult {
     let (sender, receiver) = mpsc::channel();
     let worker_point = point.clone();
     let engine_config = *engine.config();
+    let worker_registry = registry.clone();
     std::thread::spawn(move || {
         let engine = Transceiver::new(engine_config);
         // A receiver dropped after timeout makes this send fail; that is the
         // expected fate of an abandoned point.
-        let _ = sender.send(run_point(&worker_point, &engine));
+        let _ = sender.send(run_point_with_registry(
+            &worker_point,
+            &engine,
+            &worker_registry,
+        ));
     });
     match receiver.recv_timeout(budget) {
         Ok(result) => result,
@@ -396,17 +482,33 @@ impl Default for SweepRunner {
     }
 }
 
-/// The default multi-axis scenario grid: every backend × both channels ×
-/// (quiet, noisy) ambient levels, at the paper-default channel parameters.
+/// The default multi-axis scenario grid: every registry backend × both
+/// channels × (quiet, noisy) ambient levels, at the paper-default channel
+/// parameters.
 pub fn default_grid(bits: usize) -> Vec<SweepPoint> {
+    default_grid_for(&BackendRegistry::standard().names(), bits)
+}
+
+/// [`default_grid`] restricted to the given registry keys (the
+/// `repro --backend <name>` path). Seeds depend only on a point's position
+/// within *its backend's* block, so a restricted grid reproduces the same
+/// rows the full grid assigns that backend.
+pub fn default_grid_for(backends: &[&str], bits: usize) -> Vec<SweepPoint> {
     let mut points = Vec::new();
-    for backend in SocBackend::ALL {
+    for backend in backends {
+        let mut in_block = 0u64;
         for channel in ChannelKind::ALL {
             for noise in [NoiseLevel::Quiet, NoiseLevel::Noisy] {
-                let mut point = SweepPoint::paper_default(backend, channel, noise);
+                let mut point = SweepPoint::paper_default(*backend, channel, noise);
                 point.bits = bits;
-                // Decorrelate the simulators without losing reproducibility.
-                point.seed = 7 + points.len() as u64 * 131;
+                // Distinct seeds *within* a backend's block decorrelate its
+                // points; the same grid position deliberately shares its
+                // seed *across* backends (common random numbers), so
+                // cross-backend deltas are measured under paired noise
+                // realizations and a `--backend`-restricted grid reproduces
+                // the full grid's rows exactly.
+                point.seed = 7 + in_block * 131;
+                in_block += 1;
                 points.push(point);
             }
         }
@@ -414,18 +516,24 @@ pub fn default_grid(bits: usize) -> Vec<SweepPoint> {
     points
 }
 
-/// The coded scenario grid: every backend × both channels × the given link
-/// codes, under the default (quiet) noise preset. All points share one seed
-/// per (backend, channel) cell so the code axis is the *only* thing varying
-/// within a cell — the raw-vs-coded goodput comparison is apples to apples.
+/// The coded scenario grid: every registry backend × both channels × the
+/// given link codes, under the default (quiet) noise preset. All points
+/// share one seed per (backend, channel) cell so the code axis is the
+/// *only* thing varying within a cell — the raw-vs-coded goodput comparison
+/// is apples to apples.
 pub fn coded_grid(bits: usize, codes: &[LinkCodeKind]) -> Vec<SweepPoint> {
+    coded_grid_for(&BackendRegistry::standard().names(), bits, codes)
+}
+
+/// [`coded_grid`] restricted to the given registry keys.
+pub fn coded_grid_for(backends: &[&str], bits: usize, codes: &[LinkCodeKind]) -> Vec<SweepPoint> {
     let mut points = Vec::new();
-    let mut cell = 0u64;
-    for backend in SocBackend::ALL {
+    for backend in backends {
+        let mut cell = 0u64;
         for channel in ChannelKind::ALL {
             cell += 1;
             for &code in codes {
-                let mut point = SweepPoint::paper_default(backend, channel, NoiseLevel::Quiet);
+                let mut point = SweepPoint::paper_default(*backend, channel, NoiseLevel::Quiet);
                 point.bits = bits;
                 point.code = code;
                 point.seed = 7 + cell * 131;
@@ -441,16 +549,125 @@ mod tests {
     use super::*;
 
     #[test]
-    fn default_grid_covers_every_backend_and_channel() {
+    fn default_grid_covers_every_registry_backend_and_channel() {
+        let registry = BackendRegistry::standard();
         let grid = default_grid(64);
-        assert_eq!(
-            grid.len(),
-            SocBackend::ALL.len() * ChannelKind::ALL.len() * 2
-        );
-        let backends: std::collections::HashSet<_> = grid.iter().map(|p| p.backend).collect();
+        assert_eq!(grid.len(), registry.len() * ChannelKind::ALL.len() * 2);
+        let backends: std::collections::HashSet<_> =
+            grid.iter().map(|p| p.backend.clone()).collect();
         let channels: std::collections::HashSet<_> = grid.iter().map(|p| p.channel).collect();
-        assert_eq!(backends.len(), SocBackend::ALL.len());
+        assert_eq!(backends.len(), registry.len());
         assert_eq!(channels.len(), ChannelKind::ALL.len());
+        for name in registry.names() {
+            assert!(backends.contains(name), "grid misses {name}");
+        }
+    }
+
+    #[test]
+    fn restricted_grid_reproduces_the_full_grids_rows() {
+        let all = default_grid(32);
+        let only = default_grid_for(&["icelake-8slice"], 32);
+        let from_full: Vec<_> = all
+            .iter()
+            .filter(|p| p.backend == "icelake-8slice")
+            .collect();
+        assert_eq!(only.len(), from_full.len());
+        for (a, b) in only.iter().zip(from_full) {
+            assert_eq!(a.label(), b.label());
+            assert_eq!(a.seed, b.seed);
+        }
+    }
+
+    #[test]
+    fn registered_custom_backend_is_sweepable_by_name() {
+        // A caller-registered topology flows through the whole sweep path:
+        // grid point by name -> registry resolution -> channel -> result row.
+        let registry = BackendRegistry::standard().with_spec(BackendSpec::new(
+            "kabylake-12way",
+            "paper platform trimmed to a 12-way LLC",
+            || TopologySpec::kaby_lake_gen9().with_llc_geometry(2048, 12),
+        ));
+        let mut point = SweepPoint::paper_default(
+            "kabylake-12way",
+            ChannelKind::RingContention,
+            NoiseLevel::Noiseless,
+        );
+        point.bits = 48;
+        let results = SweepRunner::new(1)
+            .with_registry(registry)
+            .run(std::slice::from_ref(&point));
+        let outcome = results[0].outcome.as_ref().expect("custom backend runs");
+        assert!(outcome.error_rate < 0.10, "error {}", outcome.error_rate);
+        // The default registry still rejects the name.
+        let default_run = SweepRunner::new(1).run(std::slice::from_ref(&point));
+        assert!(matches!(
+            default_run[0].outcome,
+            Err(ChannelError::InvalidConfig(_))
+        ));
+    }
+
+    #[test]
+    fn degenerate_registered_topology_records_an_error_row_not_a_panic() {
+        let registry = BackendRegistry::standard().with_spec(BackendSpec::new(
+            "broken-geometry",
+            "sets-per-slice is not a power of two",
+            || TopologySpec::kaby_lake_gen9().with_llc_geometry(1000, 16),
+        ));
+        let mut point = SweepPoint::paper_default(
+            "broken-geometry",
+            ChannelKind::RingContention,
+            NoiseLevel::Noiseless,
+        );
+        point.bits = 16;
+        let results = SweepRunner::new(2)
+            .with_registry(registry)
+            .run(std::slice::from_ref(&point));
+        match &results[0].outcome {
+            Err(ChannelError::InvalidConfig(msg)) => {
+                assert!(msg.contains("broken-geometry"), "{msg}");
+                assert!(msg.contains("power of two"), "{msg}");
+            }
+            other => panic!("expected InvalidConfig, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn unknown_backend_records_an_error_row_listing_the_registry() {
+        let mut point = SweepPoint::paper_default(
+            "no-such-soc",
+            ChannelKind::RingContention,
+            NoiseLevel::Quiet,
+        );
+        point.bits = 16;
+        let results = SweepRunner::new(1).run(std::slice::from_ref(&point));
+        match &results[0].outcome {
+            Err(ChannelError::InvalidConfig(msg)) => {
+                assert!(msg.contains("no-such-soc"), "{msg}");
+                assert!(msg.contains("kabylake-gen9"), "{msg}");
+                assert!(msg.contains("icelake-8slice"), "{msg}");
+            }
+            other => panic!("expected InvalidConfig, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn streaming_sweep_emits_every_row_incrementally() {
+        let grid = default_grid_for(&["kabylake-gen9", "kabylake-ddr5"], 24);
+        let mut seen: Vec<usize> = Vec::new();
+        let mut streamed_labels = Vec::new();
+        let results = SweepRunner::new(3).run_streaming(&grid, |index, row| {
+            seen.push(index);
+            streamed_labels.push(row.point.label());
+        });
+        // Every grid index streams exactly once (completion order).
+        assert_eq!(seen.len(), grid.len());
+        let mut sorted = seen.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..grid.len()).collect::<Vec<_>>());
+        // Streamed rows are the same rows the runner returns.
+        for (index, label) in seen.iter().zip(&streamed_labels) {
+            assert_eq!(&results[*index].point.label(), label);
+        }
     }
 
     #[test]
@@ -482,7 +699,7 @@ mod tests {
         let llc = SweepPoint {
             bits: 96,
             ..SweepPoint::paper_default(
-                SocBackend::KabyLakeGen9Partitioned,
+                "kabylake-gen9-partitioned",
                 ChannelKind::LlcPrimeProbe,
                 NoiseLevel::Noiseless,
             )
@@ -513,14 +730,14 @@ mod tests {
         // Kaby Lake LLC; the Gen11-class backend absorbs it. One sweep, both
         // outcomes.
         let mut kaby = SweepPoint::paper_default(
-            SocBackend::KabyLakeGen9,
+            "kabylake-gen9",
             ChannelKind::RingContention,
             NoiseLevel::Noiseless,
         );
         kaby.gpu_buffer_bytes = 8 * 1024 * 1024;
         kaby.bits = 48;
         let mut gen11 = kaby.clone();
-        gen11.backend = SocBackend::Gen11Class;
+        gen11.backend = "gen11-class".into();
         let results = SweepRunner::new(2).run(&[kaby, gen11]);
         assert!(matches!(
             results[0].outcome,
@@ -539,7 +756,7 @@ mod tests {
         let grid = coded_grid(64, &codes);
         assert_eq!(
             grid.len(),
-            SocBackend::ALL.len() * ChannelKind::ALL.len() * codes.len()
+            BackendRegistry::standard().len() * ChannelKind::ALL.len() * codes.len()
         );
         for cell in grid.chunks(codes.len()) {
             for point in cell {
@@ -555,7 +772,7 @@ mod tests {
     #[test]
     fn coded_points_force_the_framed_engine() {
         let point = SweepPoint::paper_default(
-            SocBackend::KabyLakeGen9,
+            "kabylake-gen9",
             ChannelKind::RingContention,
             NoiseLevel::Noiseless,
         )
@@ -577,7 +794,7 @@ mod tests {
     #[test]
     fn coded_point_reports_coding_outcome() {
         let mut point = SweepPoint::paper_default(
-            SocBackend::KabyLakeGen9,
+            "kabylake-gen9",
             ChannelKind::RingContention,
             NoiseLevel::Quiet,
         );
@@ -626,7 +843,7 @@ mod tests {
     #[test]
     fn exhausted_time_budget_is_recorded_not_fatal() {
         let mut slow = SweepPoint::paper_default(
-            SocBackend::KabyLakeGen9,
+            "kabylake-gen9",
             ChannelKind::LlcPrimeProbe,
             NoiseLevel::Quiet,
         );
@@ -658,7 +875,7 @@ mod tests {
     #[test]
     fn framed_engine_reports_link_stats() {
         let mut point = SweepPoint::paper_default(
-            SocBackend::KabyLakeGen9,
+            "kabylake-gen9",
             ChannelKind::RingContention,
             NoiseLevel::Noiseless,
         );

@@ -590,7 +590,7 @@ impl<M: MemorySystem> CovertChannel for ContentionChannel<M> {
 mod tests {
     use super::*;
     use crate::metrics::test_pattern;
-    use soc_sim::prelude::SocBackend;
+    use soc_sim::prelude::BackendRegistry;
 
     fn noiseless_config() -> ContentionChannelConfig {
         ContentionChannelConfig {
@@ -729,7 +729,10 @@ mod tests {
             ContentionChannel::new(config.clone()).unwrap_err(),
             ChannelError::InvalidConfig(_)
         ));
-        let backend = SocBackend::Gen11Class.build(config.seed);
+        let backend = BackendRegistry::standard()
+            .get("gen11-class")
+            .expect("registry entry")
+            .build(config.seed);
         let mut ch = ContentionChannel::with_backend(backend, config).unwrap();
         let report = ch.transmit(&test_pattern(96, 31));
         assert!(

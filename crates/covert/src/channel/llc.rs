@@ -642,7 +642,7 @@ impl<M: MemorySystem> CovertChannel for LlcChannel<M> {
 mod tests {
     use super::*;
     use crate::metrics::test_pattern;
-    use soc_sim::prelude::{NoiseConfig, SocBackend};
+    use soc_sim::prelude::{BackendRegistry, NoiseConfig};
 
     fn noiseless_config() -> LlcChannelConfig {
         LlcChannelConfig {
@@ -763,7 +763,10 @@ mod tests {
 
     #[test]
     fn channel_runs_on_a_gen11_class_backend() {
-        let backend = SocBackend::Gen11Class.build(41);
+        let backend = BackendRegistry::standard()
+            .get("gen11-class")
+            .expect("registry entry")
+            .build(41);
         let mut ch =
             LlcChannel::with_backend(backend, LlcChannelConfig::paper_default().with_seed(41))
                 .unwrap();
@@ -796,7 +799,10 @@ mod tests {
         // The Section VI mitigation breaks cross-component eviction, so the
         // channel sets up fine but decodes noise — exactly what the sweep
         // runner needs to record (an outcome, not a crash).
-        let backend = SocBackend::KabyLakeGen9Partitioned.build(17);
+        let backend = BackendRegistry::standard()
+            .get("kabylake-gen9-partitioned")
+            .expect("registry entry")
+            .build(17);
         let mut ch = LlcChannel::with_backend(
             backend,
             LlcChannelConfig {

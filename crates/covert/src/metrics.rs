@@ -304,6 +304,58 @@ mod tests {
     }
 
     #[test]
+    fn zero_duration_reports_are_finite_zeros() {
+        // A degenerate point (instant "transmission") must stream as valid
+        // JSON numbers: 0.0, never NaN or infinity, from every rate metric.
+        let sent = vec![true, false, true];
+        let r = TransmissionReport::new(sent.clone(), sent, Time::ZERO);
+        assert_eq!(r.bandwidth_kbps(), 0.0);
+        assert_eq!(r.goodput_kbps(), 0.0);
+        assert_eq!(r.residual_ber(), 0.0);
+        assert!(r.bandwidth_kbps().is_finite());
+        assert!(r.goodput_kbps().is_finite());
+        assert!(r.residual_ber().is_finite());
+    }
+
+    #[test]
+    fn zero_bit_reports_are_finite_zeros() {
+        // No payload at all — including with a coding summary attached whose
+        // frame size is itself zero — still yields finite zeros.
+        let r =
+            TransmissionReport::new(vec![], vec![], Time::from_us(5)).with_coding(CodingSummary {
+                code: LinkCodeKind::None,
+                code_rate: 1.0,
+                frame_payload_bits: 0,
+                wire_bits: 0,
+                corrected_bits: 0,
+                residual_errors: 0,
+            });
+        assert_eq!(r.bandwidth_kbps(), 0.0);
+        assert_eq!(r.goodput_kbps(), 0.0);
+        assert_eq!(r.residual_ber(), 0.0);
+        assert_eq!(r.error_rate(), 0.0);
+        assert!(r.goodput_kbps().is_finite() && r.residual_ber().is_finite());
+        assert_eq!(r.time_per_bit(), Time::ZERO);
+    }
+
+    #[test]
+    fn zero_frame_size_coding_summary_does_not_divide_by_zero() {
+        let sent = vec![true, false, true, true];
+        let r = TransmissionReport::new(sent.clone(), sent, Time::from_us(40)).with_coding(
+            CodingSummary {
+                code: LinkCodeKind::None,
+                code_rate: 1.0,
+                frame_payload_bits: 0, // degenerate: clamped to 1-bit frames
+                wire_bits: 4,
+                corrected_bits: 0,
+                residual_errors: 0,
+            },
+        );
+        assert!(r.goodput_kbps().is_finite());
+        assert!((r.goodput_kbps() - r.bandwidth_kbps()).abs() < 1e-9);
+    }
+
+    #[test]
     fn goodput_counts_only_intact_frames() {
         // Two 4-bit frames, one delivered dirty: only the clean frame's bits
         // count toward goodput.

@@ -247,6 +247,40 @@ mod tests {
     }
 
     #[test]
+    fn recovery_scales_to_the_icelake_8slice_hash() {
+        // The same timing-only recovery, against the three-equation 8-slice
+        // ground truth: the group-testing partition must observe all eight
+        // slices, stay slice-pure, and the recovered influencing bits must
+        // match the union of the three masks on the huge-page window.
+        use soc_sim::prelude::{NoiseConfig, TopologySpec};
+        let mut soc = TopologySpec::icelake_8slice()
+            .with_noise(NoiseConfig::none())
+            .build();
+        let mut cpu = CpuThread::pinned(0);
+        // 8 slices x 16 ways: 192 probes give ~24 per slice, enough to form
+        // a conflict set in every slice.
+        let recovery = recover_slice_hash(&mut cpu, &mut soc, HUGE_BASE, 192);
+        assert_eq!(
+            recovery.observed_slices(),
+            8,
+            "groups: {:?}",
+            recovery.groups.iter().map(Vec::len).collect::<Vec<_>>()
+        );
+        let llc = soc.llc();
+        for g in &recovery.groups {
+            let slices: std::collections::HashSet<_> =
+                g.iter().map(|a| llc.set_of(*a).slice).collect();
+            assert_eq!(slices.len(), 1, "group mixes slices: {slices:?}");
+        }
+        let expected = ground_truth_bits(
+            &soc_sim::slice_hash::SliceHash::icelake_8slice(),
+            FIRST_NON_INDEX_BIT,
+            HUGE_PAGE_BIT_LIMIT,
+        );
+        assert_eq!(recovery.influencing_bits(), expected);
+    }
+
+    #[test]
     fn ground_truth_bits_helper_reads_masks() {
         let hash = soc_sim::slice_hash::SliceHash::kaby_lake_i7_7700k();
         let bits = ground_truth_bits(&hash, 17, 30);

@@ -6,12 +6,13 @@
 //! provide — timed CPU/GPU accesses, `clflush`, address-space management and
 //! the introspection hooks (LLC/L3 views, statistics, contention counters).
 //!
-//! [`Soc`] is the reference implementation; [`SocBackend`] enumerates the
-//! ready-made configuration variants the scenario sweeps run against:
-//! the paper's Kaby Lake + Gen9 platform, the way-partitioned mitigation of
-//! Section VI, and a bigger-LLC "Gen11-class" topology. A new backend — a
-//! different simulator, a trace replayer, real-hardware bindings — only has
-//! to implement the trait and every channel, reverse-engineering routine and
+//! [`Soc`] is the reference implementation;
+//! [`crate::trace::TraceRecorder`] / [`crate::trace::TraceReplayer`] are the
+//! record/replay pair, and the named configuration variants the scenario
+//! sweeps run against live in the string-keyed
+//! [`crate::registry::BackendRegistry`]. A new backend — a different
+//! simulator, a trace replayer, real-hardware bindings — only has to
+//! implement the trait and every channel, reverse-engineering routine and
 //! sweep works against it unchanged.
 
 use crate::clock::Time;
@@ -19,7 +20,7 @@ use crate::gpu_l3::GpuL3;
 use crate::llc::Llc;
 use crate::page_table::{AddressSpace, MapError, MappedBuffer, PageKind};
 use crate::stats::{ContentionSnapshot, SocStats};
-use crate::system::{AccessOutcome, LlcPartition, ParallelOutcome, Soc, SocConfig};
+use crate::system::{AccessOutcome, ParallelOutcome, Soc, SocConfig};
 
 /// The memory-hierarchy surface the attacker execution models require.
 ///
@@ -164,102 +165,30 @@ impl MemorySystem for Soc {
     }
 }
 
-/// The ready-made [`Soc`] configuration variants the sweeps select between.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-pub enum SocBackend {
-    /// The paper's experimental platform: i7-7700k + Gen9 HD Graphics.
-    KabyLakeGen9,
-    /// The same platform with the Section VI mitigation: the LLC ways are
-    /// statically partitioned between CPU and GPU.
-    KabyLakeGen9Partitioned,
-    /// A "Gen11-class" topology: same slice hash, twice the LLC sets (16 MB)
-    /// and a doubled GPU L3 — the larger-SoC scenario the paper's discussion
-    /// extrapolates to.
-    Gen11Class,
-}
-
-impl SocBackend {
-    /// All backends, in sweep order.
-    pub const ALL: [SocBackend; 3] = [
-        SocBackend::KabyLakeGen9,
-        SocBackend::KabyLakeGen9Partitioned,
-        SocBackend::Gen11Class,
-    ];
-
-    /// Human-readable label used by reports and sweep rows.
-    pub fn label(self) -> &'static str {
-        match self {
-            SocBackend::KabyLakeGen9 => "KabyLake+Gen9",
-            SocBackend::KabyLakeGen9Partitioned => "KabyLake+Gen9/partitioned",
-            SocBackend::Gen11Class => "Gen11-class",
-        }
-    }
-
-    /// The configuration this backend builds.
-    pub fn config(self) -> SocConfig {
-        match self {
-            SocBackend::KabyLakeGen9 => SocConfig::kaby_lake_i7_7700k(),
-            SocBackend::KabyLakeGen9Partitioned => {
-                SocConfig::kaby_lake_i7_7700k().with_llc_partition(LlcPartition::even_split())
-            }
-            SocBackend::Gen11Class => SocConfig::gen11_class(),
-        }
-    }
-
-    /// Builds the backend with the given simulation seed.
-    pub fn build(self, seed: u64) -> Soc {
-        Soc::new(self.config().with_seed(seed))
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::address::PhysAddr;
 
-    /// Exercises a backend purely through the trait, the way the execution
-    /// models do.
-    fn roundtrip<M: MemorySystem>(mem: &mut M) {
-        let a = PhysAddr::new(0x40_0000);
-        let cold = mem.cpu_access(0, a, Time::ZERO);
-        let warm = mem.cpu_access(0, a, cold.latency);
-        assert!(warm.latency < cold.latency);
-        let g = mem.gpu_access(PhysAddr::new(0x80_0000), Time::ZERO);
-        assert!(g.latency > Time::ZERO);
-        assert!(mem.stats().total_accesses() > 0);
-        mem.reset_stats();
-        assert_eq!(mem.stats().total_accesses(), 0);
-    }
-
     #[test]
-    fn every_backend_serves_the_trait_surface() {
-        for backend in SocBackend::ALL {
-            let mut soc = backend.build(1);
-            roundtrip(&mut soc);
-            assert!(!backend.label().is_empty());
-        }
+    fn soc_serves_the_trait_surface() {
+        let mut mem = Soc::new(SocConfig::kaby_lake_noiseless());
+        let a = PhysAddr::new(0x40_0000);
+        let cold = MemorySystem::cpu_access(&mut mem, 0, a, Time::ZERO);
+        let warm = MemorySystem::cpu_access(&mut mem, 0, a, cold.latency);
+        assert!(warm.latency < cold.latency);
+        let g = MemorySystem::gpu_access(&mut mem, PhysAddr::new(0x80_0000), Time::ZERO);
+        assert!(g.latency > Time::ZERO);
+        assert!(MemorySystem::stats(&mem).total_accesses() > 0);
+        MemorySystem::reset_stats(&mut mem);
+        assert_eq!(MemorySystem::stats(&mem).total_accesses(), 0);
     }
 
     #[test]
     fn gen11_class_has_a_bigger_llc() {
-        let gen9 = SocBackend::KabyLakeGen9.config();
-        let gen11 = SocBackend::Gen11Class.config();
+        let gen9 = SocConfig::kaby_lake_i7_7700k();
+        let gen11 = SocConfig::gen11_class();
         assert!(gen11.llc.capacity_bytes() > gen9.llc.capacity_bytes());
         assert!(gen11.gpu_l3.data_capacity_bytes > gen9.gpu_l3.data_capacity_bytes);
-    }
-
-    #[test]
-    fn partitioned_backend_carries_the_mitigation() {
-        assert!(SocBackend::KabyLakeGen9Partitioned
-            .config()
-            .llc_partition
-            .is_some());
-        assert!(SocBackend::KabyLakeGen9.config().llc_partition.is_none());
-    }
-
-    #[test]
-    fn backend_seed_controls_the_build() {
-        let a = SocBackend::KabyLakeGen9.build(7);
-        assert_eq!(a.config().seed, 7);
     }
 }

@@ -4,9 +4,113 @@
 //! controller, so DRAM is modelled as a base access latency plus a shared
 //! channel with a per-transaction service time — another (weaker) contention
 //! domain shared between CPU and GPU.
+//!
+//! The timing parameters live behind the [`DramTiming`] trait so topologies
+//! can swap memory generations without touching the queuing model: [`Ddr4`]
+//! is the paper's DDR4-2400-class platform, [`Ddr5`] a DDR5-4800-class part
+//! with a slightly longer idle latency but roughly twice the channel
+//! bandwidth (half the per-line occupancy). [`DramTimingKind`] is the
+//! copyable configuration handle the [`crate::topology::TopologySpec`] layer
+//! stores.
 
 use crate::clock::Time;
 use crate::contention::ContentionResource;
+
+/// Timing parameters of one DRAM generation, as the memory-controller model
+/// consumes them.
+///
+/// Implementations only describe *numbers*; the queuing behaviour (one
+/// shared channel, first-come-first-served occupancy) is fixed in [`Dram`].
+pub trait DramTiming {
+    /// Uncontended, unqueued access latency (row activation + CAS + transfer
+    /// as seen by a single line fill).
+    fn base_latency(&self) -> Time;
+
+    /// Channel occupancy per 64 B line — the inverse of the peak bandwidth
+    /// and the service time of the shared-channel queue.
+    fn channel_service(&self) -> Time;
+
+    /// Human-readable generation label (`"DDR4-2400"`, …).
+    fn label(&self) -> &'static str;
+}
+
+/// Dual-channel DDR4-2400-class timings: ~60 ns base latency, ~3.3 ns of
+/// channel occupancy per 64 B line. The paper's experimental platform.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct Ddr4;
+
+impl DramTiming for Ddr4 {
+    fn base_latency(&self) -> Time {
+        Time::from_ns(60)
+    }
+
+    fn channel_service(&self) -> Time {
+        Time::from_ps(3_300)
+    }
+
+    fn label(&self) -> &'static str {
+        "DDR4-2400"
+    }
+}
+
+/// Dual-channel DDR5-4800-class timings: the first-word latency is slightly
+/// *worse* than DDR4 (~68 ns — higher CAS latencies at early speed bins),
+/// but the doubled transfer rate halves the per-line channel occupancy
+/// (~1.7 ns), so queued/bursty traffic comes out ahead.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct Ddr5;
+
+impl DramTiming for Ddr5 {
+    fn base_latency(&self) -> Time {
+        Time::from_ns(68)
+    }
+
+    fn channel_service(&self) -> Time {
+        Time::from_ps(1_700)
+    }
+
+    fn label(&self) -> &'static str {
+        "DDR5-4800"
+    }
+}
+
+/// Copyable selector of a DRAM generation, stored in the SoC configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum DramTimingKind {
+    /// The paper platform's DDR4-2400-class memory.
+    #[default]
+    Ddr4,
+    /// A DDR5-4800-class part (longer idle latency, double the bandwidth).
+    Ddr5,
+}
+
+impl DramTimingKind {
+    /// Every supported generation, in chronological order.
+    pub const ALL: [DramTimingKind; 2] = [DramTimingKind::Ddr4, DramTimingKind::Ddr5];
+}
+
+impl DramTiming for DramTimingKind {
+    fn base_latency(&self) -> Time {
+        match self {
+            DramTimingKind::Ddr4 => Ddr4.base_latency(),
+            DramTimingKind::Ddr5 => Ddr5.base_latency(),
+        }
+    }
+
+    fn channel_service(&self) -> Time {
+        match self {
+            DramTimingKind::Ddr4 => Ddr4.channel_service(),
+            DramTimingKind::Ddr5 => Ddr5.channel_service(),
+        }
+    }
+
+    fn label(&self) -> &'static str {
+        match self {
+            DramTimingKind::Ddr4 => Ddr4.label(),
+            DramTimingKind::Ddr5 => Ddr5.label(),
+        }
+    }
+}
 
 /// DRAM / memory-controller model.
 #[derive(Debug, Clone)]
@@ -29,10 +133,14 @@ impl Dram {
         }
     }
 
-    /// Dual-channel DDR4-2400-class defaults: ~60 ns base latency, ~3.3 ns of
-    /// channel occupancy per 64 B line.
+    /// Creates a DRAM model from any [`DramTiming`] implementation.
+    pub fn from_timing(timing: &impl DramTiming) -> Self {
+        Dram::new(timing.base_latency(), timing.channel_service())
+    }
+
+    /// DDR4-2400-class defaults (the paper's platform).
     pub fn ddr4_default() -> Self {
-        Dram::new(Time::from_ns(60), Time::from_ps(3_300))
+        Dram::from_timing(&Ddr4)
     }
 
     /// Performs one line-sized access starting at `now`; returns its latency.
@@ -106,5 +214,39 @@ mod tests {
         d.reset_stats();
         assert_eq!(d.accesses(), 0);
         assert_eq!(d.channel().transactions(), 0);
+    }
+
+    #[test]
+    fn ddr5_trades_idle_latency_for_bandwidth() {
+        // A single cold access is *slower* on DDR5 (higher first-word
+        // latency), but its channel occupancy is well under DDR4's, so the
+        // queue drains roughly twice as fast.
+        assert!(Ddr5.base_latency() > Ddr4.base_latency());
+        assert!(Ddr5.channel_service() < Ddr4.channel_service());
+        let mut ddr4 = Dram::from_timing(&Ddr4);
+        let mut ddr5 = Dram::from_timing(&Ddr5);
+        let single4 = ddr4.access(Time::from_us(1));
+        let single5 = ddr5.access(Time::from_us(1));
+        assert!(single5 > single4, "idle: DDR5 {single5} vs DDR4 {single4}");
+        // A burst of simultaneous accesses: the last one queues behind the
+        // whole burst, where DDR5's halved occupancy wins.
+        let t = Time::from_us(2);
+        let burst = 32;
+        let last4 = (0..burst).map(|_| ddr4.access(t)).last().unwrap();
+        let last5 = (0..burst).map(|_| ddr5.access(t)).last().unwrap();
+        assert!(last5 < last4, "burst: DDR5 {last5} vs DDR4 {last4}");
+    }
+
+    #[test]
+    fn timing_kind_delegates_to_the_generation() {
+        assert_eq!(DramTimingKind::Ddr4.base_latency(), Ddr4.base_latency());
+        assert_eq!(
+            DramTimingKind::Ddr5.channel_service(),
+            Ddr5.channel_service()
+        );
+        assert_eq!(DramTimingKind::Ddr4.label(), "DDR4-2400");
+        assert_eq!(DramTimingKind::Ddr5.label(), "DDR5-4800");
+        assert_eq!(DramTimingKind::default(), DramTimingKind::Ddr4);
+        assert_eq!(DramTimingKind::ALL.len(), 2);
     }
 }

@@ -50,26 +50,33 @@ pub mod gpu_l3;
 pub mod llc;
 pub mod noise;
 pub mod page_table;
+pub mod registry;
 pub mod replacement;
 pub mod set_assoc;
 pub mod slice_hash;
 pub mod slm;
 pub mod stats;
 pub mod system;
+pub mod topology;
+pub mod trace;
 
 /// Commonly used items, re-exported for convenience.
 pub mod prelude {
     pub use crate::address::{PhysAddr, VirtAddr, CACHE_LINE_SIZE};
-    pub use crate::backend::{MemorySystem, SocBackend};
+    pub use crate::backend::MemorySystem;
     pub use crate::clock::{ClockDomain, SocClocks, Time};
+    pub use crate::dram::{Ddr4, Ddr5, DramTiming, DramTimingKind};
     pub use crate::gpu_l3::GpuL3Config;
     pub use crate::llc::{LlcConfig, LlcSetId};
     pub use crate::noise::NoiseConfig;
     pub use crate::page_table::{AddressSpace, MappedBuffer, PageKind};
+    pub use crate::registry::{BackendInstance, BackendRegistry, BackendSpec};
     pub use crate::slice_hash::SliceHash;
     pub use crate::system::{
         AccessOutcome, HitLevel, LatencyConfig, ParallelOutcome, Requester, Soc, SocConfig,
     };
+    pub use crate::topology::TopologySpec;
+    pub use crate::trace::{Trace, TraceRecorder, TraceReplayer};
 }
 
 pub use prelude::*;

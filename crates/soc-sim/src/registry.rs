@@ -1,0 +1,496 @@
+//! String-keyed registry of ready-made memory-hierarchy backends.
+//!
+//! The scenario sweeps, the `repro` CLI and the examples used to select
+//! platforms through a closed `SocBackend` enum — every new topology meant a
+//! new variant threaded through sweep grids, JSON rows and labels. The
+//! [`BackendRegistry`] replaces that: a backend is a named
+//! [`BackendSpec`] — a registry key, a one-line summary, a
+//! [`TopologySpec`] and a build mode — and callers select it by string.
+//! Adding a platform is one `BackendSpec` entry (in
+//! [`BackendRegistry::standard`], or at run time via
+//! [`BackendRegistry::register`] and a sweep runner's `with_registry`);
+//! grids, JSON rows, CLI selection and labels pick it up automatically.
+//! Backends that are not assembled from a [`TopologySpec`] (a different
+//! simulator, real hardware) bypass the registry and plug into the channel
+//! layer directly through the [`MemorySystem`] trait.
+//!
+//! [`BackendRegistry::standard`] enumerates the built-in scenarios: the
+//! paper platform, its way-partitioned mitigation, the Gen11-class scale-up,
+//! an Ice Lake-class 8-slice topology, a DDR5 variant of the paper platform,
+//! and a trace-recording wrapper for regression capture.
+
+use crate::dram::{DramTiming, DramTimingKind};
+use crate::system::{LlcPartition, Soc, SocConfig};
+use crate::topology::TopologySpec;
+use crate::trace::TraceRecorder;
+use crate::MemorySystem;
+
+/// How a spec turns its configuration into a running backend.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum BuildMode {
+    /// Plain simulator.
+    Soc,
+    /// Simulator wrapped in a bounded [`TraceRecorder`] (regression capture).
+    Recording,
+}
+
+/// Recording capacity (in recorded accesses — see
+/// [`TraceRecorder::with_capacity`]) for recording backends built from the
+/// registry: ample for replaying channel calibration and short
+/// transmissions, bounded so a long sweep point cannot balloon memory.
+const RECORDING_CAPACITY: usize = 1 << 16;
+
+/// One named backend: a registry key plus the topology it builds.
+#[derive(Debug, Clone)]
+pub struct BackendSpec {
+    name: &'static str,
+    summary: &'static str,
+    topology: fn() -> TopologySpec,
+    mode: BuildMode,
+}
+
+impl BackendSpec {
+    /// A new plain-simulator spec: `topology` is a function producing the
+    /// [`TopologySpec`] so the spec stays `Copy`-cheap and reproducible.
+    pub fn new(name: &'static str, summary: &'static str, topology: fn() -> TopologySpec) -> Self {
+        BackendSpec {
+            name,
+            summary,
+            topology,
+            mode: BuildMode::Soc,
+        }
+    }
+
+    /// A spec whose builds wrap the simulator in a bounded
+    /// [`TraceRecorder`].
+    pub fn recording(
+        name: &'static str,
+        summary: &'static str,
+        topology: fn() -> TopologySpec,
+    ) -> Self {
+        BackendSpec {
+            mode: BuildMode::Recording,
+            ..BackendSpec::new(name, summary, topology)
+        }
+    }
+
+    /// Registry key (also the label sweep rows and JSON use).
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// One-line human-readable description.
+    pub fn summary(&self) -> &'static str {
+        self.summary
+    }
+
+    /// The declarative topology this backend is built from.
+    pub fn topology(&self) -> TopologySpec {
+        (self.topology)()
+    }
+
+    /// The assembled configuration.
+    pub fn config(&self) -> SocConfig {
+        self.topology().build_config()
+    }
+
+    /// Builds the backend from an explicit (possibly customized)
+    /// configuration — the path the sweep runner uses after applying its
+    /// noise/seed axes.
+    pub fn instantiate(&self, config: SocConfig) -> BackendInstance {
+        let soc = Soc::new(config);
+        match self.mode {
+            BuildMode::Soc => BackendInstance::Soc(Box::new(soc)),
+            BuildMode::Recording => BackendInstance::Recording(Box::new(
+                TraceRecorder::with_capacity(soc, RECORDING_CAPACITY),
+            )),
+        }
+    }
+
+    /// Builds the backend with the given simulation seed.
+    pub fn build(&self, seed: u64) -> BackendInstance {
+        self.instantiate(self.config().with_seed(seed))
+    }
+
+    /// `true` when this backend records a replayable trace while running.
+    pub fn is_recording(&self) -> bool {
+        self.mode == BuildMode::Recording
+    }
+}
+
+/// A built backend from the registry, driven through [`MemorySystem`].
+#[derive(Debug, Clone)]
+pub enum BackendInstance {
+    /// A plain simulator.
+    Soc(Box<Soc>),
+    /// A simulator wrapped in a trace recorder.
+    Recording(Box<TraceRecorder<Soc>>),
+}
+
+impl BackendInstance {
+    /// The recorded trace, when this instance is a recording backend.
+    pub fn trace(&self) -> Option<&crate::trace::Trace> {
+        match self {
+            BackendInstance::Soc(_) => None,
+            BackendInstance::Recording(rec) => Some(rec.trace()),
+        }
+    }
+}
+
+macro_rules! delegate {
+    ($self:ident, $inner:ident => $body:expr) => {
+        match $self {
+            BackendInstance::Soc($inner) => $body,
+            BackendInstance::Recording($inner) => $body,
+        }
+    };
+}
+
+impl MemorySystem for BackendInstance {
+    fn cpu_access(
+        &mut self,
+        core: usize,
+        paddr: crate::address::PhysAddr,
+        now: crate::clock::Time,
+    ) -> crate::system::AccessOutcome {
+        delegate!(self, m => m.cpu_access(core, paddr, now))
+    }
+
+    fn gpu_access(
+        &mut self,
+        paddr: crate::address::PhysAddr,
+        now: crate::clock::Time,
+    ) -> crate::system::AccessOutcome {
+        delegate!(self, m => m.gpu_access(paddr, now))
+    }
+
+    fn gpu_access_parallel(
+        &mut self,
+        addrs: &[crate::address::PhysAddr],
+        parallelism: usize,
+        now: crate::clock::Time,
+    ) -> crate::system::ParallelOutcome {
+        delegate!(self, m => m.gpu_access_parallel(addrs, parallelism, now))
+    }
+
+    fn clflush(
+        &mut self,
+        paddr: crate::address::PhysAddr,
+        now: crate::clock::Time,
+    ) -> crate::clock::Time {
+        delegate!(self, m => m.clflush(paddr, now))
+    }
+
+    fn timer_noise_factor(&mut self) -> f64 {
+        delegate!(self, m => m.timer_noise_factor())
+    }
+
+    fn llc(&self) -> &crate::llc::Llc {
+        delegate!(self, m => m.llc())
+    }
+
+    fn gpu_l3(&self) -> &crate::gpu_l3::GpuL3 {
+        delegate!(self, m => m.gpu_l3())
+    }
+
+    fn create_process(&mut self) -> crate::page_table::AddressSpace {
+        delegate!(self, m => m.create_process())
+    }
+
+    fn alloc(
+        &mut self,
+        space: &mut crate::page_table::AddressSpace,
+        len: u64,
+        kind: crate::page_table::PageKind,
+    ) -> Result<crate::page_table::MappedBuffer, crate::page_table::MapError> {
+        delegate!(self, m => m.alloc(space, len, kind))
+    }
+
+    fn config(&self) -> &SocConfig {
+        delegate!(self, m => m.config())
+    }
+
+    fn stats(&self) -> crate::stats::SocStats {
+        delegate!(self, m => m.stats())
+    }
+
+    fn contention_snapshot(&self) -> crate::stats::ContentionSnapshot {
+        delegate!(self, m => m.contention_snapshot())
+    }
+
+    fn reset_stats(&mut self) {
+        delegate!(self, m => m.reset_stats())
+    }
+
+    fn in_cpu_private_caches(&self, paddr: crate::address::PhysAddr) -> bool {
+        delegate!(self, m => m.in_cpu_private_caches(paddr))
+    }
+}
+
+/// The string-keyed collection of named backends.
+#[derive(Debug, Clone)]
+pub struct BackendRegistry {
+    specs: Vec<BackendSpec>,
+}
+
+impl BackendRegistry {
+    /// The built-in scenario registry (≥ 6 entries; see the module docs).
+    pub fn standard() -> Self {
+        BackendRegistry {
+            specs: vec![
+                BackendSpec {
+                    name: "kabylake-gen9",
+                    summary: "paper platform: i7-7700k + Gen9, 4-slice 8 MB LLC, DDR4",
+                    topology: TopologySpec::kaby_lake_gen9,
+                    mode: BuildMode::Soc,
+                },
+                BackendSpec {
+                    name: "kabylake-gen9-partitioned",
+                    summary: "paper platform with the Section VI way-partitioned LLC mitigation",
+                    topology: || {
+                        TopologySpec::kaby_lake_gen9().with_partition(LlcPartition::even_split())
+                    },
+                    mode: BuildMode::Soc,
+                },
+                BackendSpec {
+                    name: "gen11-class",
+                    summary: "Gen11-class scale-up: 16 MB LLC (4 slices), doubled GPU L3",
+                    topology: TopologySpec::gen11_class,
+                    mode: BuildMode::Soc,
+                },
+                BackendSpec {
+                    name: "icelake-8slice",
+                    summary: "Ice Lake-class: 8-slice hash (3 equations), 16 MB LLC, DDR5",
+                    topology: TopologySpec::icelake_8slice,
+                    mode: BuildMode::Soc,
+                },
+                BackendSpec {
+                    name: "kabylake-ddr5",
+                    summary: "paper platform on DDR5-4800 memory (latency/bandwidth trade)",
+                    topology: || TopologySpec::kaby_lake_gen9().with_dram(DramTimingKind::Ddr5),
+                    mode: BuildMode::Soc,
+                },
+                BackendSpec {
+                    name: "trace-replay",
+                    summary:
+                        "paper platform under a trace recorder (replayable regression capture)",
+                    topology: TopologySpec::kaby_lake_gen9,
+                    mode: BuildMode::Recording,
+                },
+            ],
+        }
+    }
+
+    /// Adds a spec to the registry. A spec whose name is already registered
+    /// replaces the existing entry (last registration wins), so callers can
+    /// shadow a built-in with a tweaked topology.
+    pub fn register(&mut self, spec: BackendSpec) {
+        if let Some(existing) = self.specs.iter_mut().find(|s| s.name == spec.name) {
+            *existing = spec;
+        } else {
+            self.specs.push(spec);
+        }
+    }
+
+    /// Builder-style [`BackendRegistry::register`].
+    pub fn with_spec(mut self, spec: BackendSpec) -> Self {
+        self.register(spec);
+        self
+    }
+
+    /// Looks up a backend by registry key.
+    pub fn get(&self, name: &str) -> Option<&BackendSpec> {
+        self.specs.iter().find(|s| s.name == name)
+    }
+
+    /// All specs, in registry order.
+    pub fn specs(&self) -> &[BackendSpec] {
+        &self.specs
+    }
+
+    /// All registry keys, in registry order.
+    pub fn names(&self) -> Vec<&'static str> {
+        self.specs.iter().map(|s| s.name).collect()
+    }
+
+    /// Number of registered backends.
+    pub fn len(&self) -> usize {
+        self.specs.len()
+    }
+
+    /// `true` when the registry is empty (never, for the standard registry).
+    pub fn is_empty(&self) -> bool {
+        self.specs.is_empty()
+    }
+
+    /// One formatted description line per backend: name, slice count, LLC
+    /// capacity and DRAM generation — what `repro --list-backends` prints.
+    pub fn describe(&self) -> Vec<String> {
+        self.specs
+            .iter()
+            .map(|s| {
+                let topo = s.topology();
+                format!(
+                    "{:<26} {:>2} slices  {:>3} MB LLC  {:<9}  {}",
+                    s.name(),
+                    topo.slice_count(),
+                    topo.llc_capacity_bytes() / (1024 * 1024),
+                    topo.dram().label(),
+                    s.summary(),
+                )
+            })
+            .collect()
+    }
+}
+
+impl Default for BackendRegistry {
+    fn default() -> Self {
+        Self::standard()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::address::PhysAddr;
+    use crate::clock::Time;
+
+    /// Exercises a backend purely through the trait, the way the execution
+    /// models do.
+    fn roundtrip<M: MemorySystem>(mem: &mut M) {
+        let a = PhysAddr::new(0x40_0000);
+        let cold = mem.cpu_access(0, a, Time::ZERO);
+        let warm = mem.cpu_access(0, a, cold.latency);
+        assert!(warm.latency < cold.latency);
+        let g = mem.gpu_access(PhysAddr::new(0x80_0000), Time::ZERO);
+        assert!(g.latency > Time::ZERO);
+        assert!(mem.stats().total_accesses() > 0);
+        mem.reset_stats();
+        assert_eq!(mem.stats().total_accesses(), 0);
+    }
+
+    #[test]
+    fn standard_registry_has_at_least_six_named_backends() {
+        let registry = BackendRegistry::standard();
+        assert!(registry.len() >= 6, "registry has {}", registry.len());
+        assert!(!registry.is_empty());
+        let names = registry.names();
+        for required in [
+            "kabylake-gen9",
+            "kabylake-gen9-partitioned",
+            "gen11-class",
+            "icelake-8slice",
+            "kabylake-ddr5",
+            "trace-replay",
+        ] {
+            assert!(names.contains(&required), "missing {required}");
+        }
+        // Keys are unique.
+        let unique: std::collections::HashSet<_> = names.iter().collect();
+        assert_eq!(unique.len(), names.len());
+    }
+
+    #[test]
+    fn every_backend_serves_the_trait_surface() {
+        for spec in BackendRegistry::standard().specs() {
+            let mut backend = spec.build(1);
+            roundtrip(&mut backend);
+        }
+    }
+
+    #[test]
+    fn lookup_is_by_exact_key() {
+        let registry = BackendRegistry::standard();
+        assert!(registry.get("icelake-8slice").is_some());
+        assert!(registry.get("IceLake-8slice").is_none());
+        assert!(registry.get("nonexistent").is_none());
+    }
+
+    #[test]
+    fn specs_expose_their_topology_facts() {
+        let registry = BackendRegistry::standard();
+        let ice = registry.get("icelake-8slice").unwrap();
+        assert_eq!(ice.config().llc.slices(), 8);
+        assert_eq!(ice.config().dram, DramTimingKind::Ddr5);
+        let ddr5 = registry.get("kabylake-ddr5").unwrap();
+        assert_eq!(ddr5.config().llc.slices(), 4);
+        assert_eq!(ddr5.config().dram, DramTimingKind::Ddr5);
+        let partitioned = registry.get("kabylake-gen9-partitioned").unwrap();
+        assert!(partitioned.config().llc_partition.is_some());
+        assert!(registry
+            .get("kabylake-gen9")
+            .unwrap()
+            .config()
+            .llc_partition
+            .is_none());
+    }
+
+    #[test]
+    fn recording_backend_captures_a_trace() {
+        let registry = BackendRegistry::standard();
+        let spec = registry.get("trace-replay").unwrap();
+        assert!(spec.is_recording());
+        let mut backend = spec.build(5);
+        assert_eq!(backend.trace().map(|t| t.events().len()), Some(0));
+        backend.cpu_access(0, PhysAddr::new(0x1000), Time::ZERO);
+        backend.gpu_access(PhysAddr::new(0x2000), Time::ZERO);
+        let trace = backend.trace().expect("recording backend has a trace");
+        assert_eq!(trace.events().len(), 2);
+        // Non-recording backends have no trace.
+        assert!(registry
+            .get("kabylake-gen9")
+            .unwrap()
+            .build(5)
+            .trace()
+            .is_none());
+    }
+
+    #[test]
+    fn register_adds_and_replaces_by_name() {
+        let mut registry = BackendRegistry::standard();
+        let before = registry.len();
+        registry.register(BackendSpec::new(
+            "custom-topology",
+            "a caller-defined platform",
+            crate::topology::TopologySpec::gen11_class,
+        ));
+        assert_eq!(registry.len(), before + 1);
+        assert_eq!(
+            registry.get("custom-topology").unwrap().summary(),
+            "a caller-defined platform"
+        );
+        // Re-registering the same name replaces, not duplicates.
+        let registry = registry.with_spec(BackendSpec::new(
+            "custom-topology",
+            "replaced",
+            crate::topology::TopologySpec::kaby_lake_gen9,
+        ));
+        assert_eq!(registry.len(), before + 1);
+        assert_eq!(
+            registry.get("custom-topology").unwrap().summary(),
+            "replaced"
+        );
+        let mut built = registry.get("custom-topology").unwrap().build(3);
+        roundtrip(&mut built);
+    }
+
+    #[test]
+    fn build_seed_controls_the_configuration() {
+        let spec = BackendRegistry::standard();
+        let built = spec.get("kabylake-gen9").unwrap().build(7);
+        assert_eq!(built.config().seed, 7);
+    }
+
+    #[test]
+    fn describe_lists_name_slices_capacity_and_dram() {
+        let lines = BackendRegistry::standard().describe();
+        assert_eq!(lines.len(), BackendRegistry::standard().len());
+        let ice = lines
+            .iter()
+            .find(|l| l.contains("icelake-8slice"))
+            .expect("icelake line");
+        assert!(ice.contains("8 slices"), "{ice}");
+        assert!(ice.contains("16 MB"), "{ice}");
+        assert!(ice.contains("DDR5"), "{ice}");
+    }
+}

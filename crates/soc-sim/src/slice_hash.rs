@@ -33,6 +33,16 @@ pub const KABY_LAKE_S1_BITS: &[u32] = &[
     37, 35, 34, 33, 31, 29, 28, 26, 24, 23, 22, 21, 20, 19, 17, 15, 13, 11, 7,
 ];
 
+/// Address bits XORed into slice-select bit S2 of the modelled Ice Lake-class
+/// 8-slice hash. The part the paper measured has only four slices; this third
+/// equation extends the same XOR-parity family to an 8-slice topology the
+/// way Intel's larger dies do. The mask is chosen to be linearly independent
+/// of Equations (1)/(2) on every address window the reverse-engineering
+/// probes can reach, so timing recovery observes all eight slices.
+pub const ICELAKE_S2_BITS: &[u32] = &[
+    37, 35, 33, 31, 30, 28, 27, 25, 23, 21, 19, 18, 17, 15, 13, 11, 8,
+];
+
 /// An XOR-parity slice hash: slice bit `i` is the parity of `addr & masks[i]`.
 #[derive(Clone, PartialEq, Eq, Hash)]
 pub struct SliceHash {
@@ -60,6 +70,18 @@ impl SliceHash {
         SliceHash::new(vec![
             mask_of_bits(KABY_LAKE_S0_BITS),
             mask_of_bits(KABY_LAKE_S1_BITS),
+        ])
+    }
+
+    /// An Ice Lake-class 8-slice hash: the two Kaby Lake equations plus a
+    /// third, linearly independent parity equation ([`ICELAKE_S2_BITS`]).
+    /// Exercises the arbitrary power-of-two generalization of the slice
+    /// machinery — the LLC sizes itself from [`SliceHash::slice_count`].
+    pub fn icelake_8slice() -> Self {
+        SliceHash::new(vec![
+            mask_of_bits(KABY_LAKE_S0_BITS),
+            mask_of_bits(KABY_LAKE_S1_BITS),
+            mask_of_bits(ICELAKE_S2_BITS),
         ])
     }
 
@@ -185,6 +207,33 @@ mod tests {
                 (3_500..=4_700).contains(&c),
                 "slice population unbalanced: {counts:?}"
             );
+        }
+    }
+
+    #[test]
+    fn icelake_hash_has_eight_slices_and_extends_kaby_lake() {
+        let h = SliceHash::icelake_8slice();
+        assert_eq!(h.output_bits(), 3);
+        assert_eq!(h.slice_count(), 8);
+        // The first two equations are exactly the Kaby Lake ones.
+        let kaby = SliceHash::kaby_lake_i7_7700k();
+        assert_eq!(h.masks()[0], kaby.masks()[0]);
+        assert_eq!(h.masks()[1], kaby.masks()[1]);
+        assert_eq!(h.masks()[2].count_ones() as usize, ICELAKE_S2_BITS.len());
+    }
+
+    #[test]
+    fn icelake_s2_is_independent_of_s0_s1_on_the_probe_window() {
+        // The reverse-engineering probes vary bits [17, 30). On that window
+        // S2 must not equal any GF(2) combination of S0 and S1, or timing
+        // recovery would only ever observe four slice groups.
+        let h = SliceHash::icelake_8slice();
+        let window: u64 = ((1u64 << 30) - 1) & !((1u64 << 17) - 1);
+        let s0 = h.masks()[0] & window;
+        let s1 = h.masks()[1] & window;
+        let s2 = h.masks()[2] & window;
+        for combo in [0, s0, s1, s0 ^ s1] {
+            assert_ne!(s2, combo, "S2 degenerate on the huge-page window");
         }
     }
 

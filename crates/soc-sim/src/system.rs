@@ -16,7 +16,7 @@
 use crate::address::{PhysAddr, CACHE_LINE_SIZE};
 use crate::clock::{SocClocks, Time};
 use crate::contention::RingBus;
-use crate::dram::Dram;
+use crate::dram::{Dram, DramTimingKind};
 use crate::gpu_l3::{GpuL3, GpuL3Config};
 use crate::llc::{Llc, LlcConfig};
 use crate::noise::{NoiseConfig, NoiseModel};
@@ -214,6 +214,8 @@ pub struct SocConfig {
     /// Optional LLC way-partitioning between CPU and GPU (Section VI
     /// mitigation); `None` models the unmodified, vulnerable hardware.
     pub llc_partition: Option<LlcPartition>,
+    /// DRAM generation (timing parameters of the memory controller model).
+    pub dram: DramTimingKind,
     /// Physical memory size in bytes.
     pub phys_mem_bytes: u64,
     /// RNG seed (controls frame allocation, replacement tie-breaks and noise).
@@ -222,44 +224,26 @@ pub struct SocConfig {
 
 impl SocConfig {
     /// The paper's experimental platform: i7-7700k (4 cores, 8 MB LLC) with
-    /// Gen9 HD Graphics, quiet system.
+    /// Gen9 HD Graphics, quiet system. Assembled from
+    /// [`crate::topology::TopologySpec::kaby_lake_gen9`].
     pub fn kaby_lake_i7_7700k() -> Self {
-        SocConfig {
-            clocks: SocClocks::kaby_lake(),
-            cpu_cores: 4,
-            cpu_caches: CpuCacheConfig::kaby_lake(),
-            llc: LlcConfig::kaby_lake_i7_7700k(),
-            gpu_l3: GpuL3Config::gen9(),
-            latencies: LatencyConfig::kaby_lake(),
-            noise: NoiseConfig::quiet_system(),
-            llc_partition: None,
-            phys_mem_bytes: 8 * 1024 * 1024 * 1024,
-            seed: 0xC0FFEE,
-        }
+        crate::topology::TopologySpec::kaby_lake_gen9().build_config()
     }
 
     /// A "Gen11-class" scale-up of the platform: the same slice hash and
     /// clock domains, but twice the LLC sets (16 MB total) and a doubled
-    /// GPU L3. The covert channels run against it unchanged; the sweep
-    /// harness uses it to measure how the attacks scale with cache size.
+    /// GPU L3. Assembled from
+    /// [`crate::topology::TopologySpec::gen11_class`].
     pub fn gen11_class() -> Self {
-        let mut llc = LlcConfig::kaby_lake_i7_7700k();
-        llc.sets_per_slice *= 2;
-        SocConfig {
-            llc,
-            gpu_l3: GpuL3Config::gen11_class(),
-            phys_mem_bytes: 16 * 1024 * 1024 * 1024,
-            ..Self::kaby_lake_i7_7700k()
-        }
+        crate::topology::TopologySpec::gen11_class().build_config()
     }
 
     /// The same platform with the noise model disabled (for deterministic
     /// unit tests).
     pub fn kaby_lake_noiseless() -> Self {
-        SocConfig {
-            noise: NoiseConfig::none(),
-            ..Self::kaby_lake_i7_7700k()
-        }
+        crate::topology::TopologySpec::kaby_lake_gen9()
+            .with_noise(NoiseConfig::none())
+            .build_config()
     }
 
     /// Overrides the RNG seed (builder style).
@@ -348,7 +332,7 @@ impl Soc {
             slm: Slm::gen9(),
             llc: Llc::new(config.llc.clone()),
             ring: RingBus::new(32, ring_cycle, Time::from_ns(2)),
-            dram: Dram::ddr4_default(),
+            dram: Dram::from_timing(&config.dram),
             noise: NoiseModel::new(config.noise.clone()),
             frames: PhysFrameAllocator::new(config.phys_mem_bytes, config.seed ^ 0x9E37_79B9),
             rng: SmallRng::seed_from_u64(config.seed),

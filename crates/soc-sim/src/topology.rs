@@ -1,0 +1,337 @@
+//! Declarative, composable description of a memory-hierarchy topology.
+//!
+//! Before this layer existed every platform variant was a hand-written
+//! [`SocConfig`] constructor: the paper's Kaby Lake + Gen9, the partitioned
+//! mitigation, the Gen11-class scale-up — each duplicating the full list of
+//! clocks, geometries and latencies, and each needing new plumbing through
+//! the sweep harness. [`TopologySpec`] replaces that with one builder whose
+//! axes match the knobs a topology actually has (clock domains, CPU cache
+//! geometry, LLC slice hash + per-slice geometry, replacement policy, GPU
+//! L3, fixed latencies, DRAM generation, noise, way-partitioning), so a new
+//! platform is *data* — a preset function or a chain of `with_*` calls — and
+//! the [`crate::registry::BackendRegistry`] can enumerate them by name.
+//!
+//! ```
+//! use soc_sim::prelude::*;
+//!
+//! // The paper platform, but with DDR5 memory and an 8-slice LLC hash:
+//! let config = TopologySpec::kaby_lake_gen9()
+//!     .with_dram(DramTimingKind::Ddr5)
+//!     .with_slice_hash(SliceHash::icelake_8slice())
+//!     .build_config();
+//! assert_eq!(config.llc.slices(), 8);
+//! ```
+
+use crate::clock::SocClocks;
+use crate::dram::DramTimingKind;
+use crate::gpu_l3::GpuL3Config;
+use crate::llc::LlcConfig;
+use crate::noise::NoiseConfig;
+use crate::replacement::ReplacementPolicy;
+use crate::slice_hash::SliceHash;
+use crate::system::{CpuCacheConfig, LatencyConfig, LlcPartition, Soc, SocConfig};
+
+/// Declarative description of one SoC topology, assembled into a
+/// [`SocConfig`] (and from there a [`Soc`]) by [`TopologySpec::build_config`].
+///
+/// Every field has a paper-platform default, so presets only state their
+/// deltas. The builder is by-value (`with_*` methods consume and return
+/// `self`) so specs compose in one expression.
+#[derive(Debug, Clone)]
+pub struct TopologySpec {
+    clocks: SocClocks,
+    cpu_cores: usize,
+    cpu_caches: CpuCacheConfig,
+    llc_sets_per_slice: usize,
+    llc_ways: usize,
+    llc_policy: ReplacementPolicy,
+    slice_hash: SliceHash,
+    llc_port_service_ps: u64,
+    gpu_l3: GpuL3Config,
+    latencies: LatencyConfig,
+    noise: NoiseConfig,
+    llc_partition: Option<LlcPartition>,
+    dram: DramTimingKind,
+    phys_mem_bytes: u64,
+    seed: u64,
+}
+
+impl TopologySpec {
+    /// The paper's experimental platform: i7-7700k (4 cores, 8 MB 4-slice
+    /// LLC) with Gen9 HD Graphics on DDR4-class memory, quiet system.
+    pub fn kaby_lake_gen9() -> Self {
+        TopologySpec {
+            clocks: SocClocks::kaby_lake(),
+            cpu_cores: 4,
+            cpu_caches: CpuCacheConfig::kaby_lake(),
+            llc_sets_per_slice: 2048,
+            llc_ways: 16,
+            llc_policy: ReplacementPolicy::Lru,
+            slice_hash: SliceHash::kaby_lake_i7_7700k(),
+            llc_port_service_ps: 1_000,
+            gpu_l3: GpuL3Config::gen9(),
+            latencies: LatencyConfig::kaby_lake(),
+            noise: NoiseConfig::quiet_system(),
+            llc_partition: None,
+            dram: DramTimingKind::Ddr4,
+            phys_mem_bytes: 8 * 1024 * 1024 * 1024,
+            seed: 0xC0FFEE,
+        }
+    }
+
+    /// A "Gen11-class" scale-up: the Kaby Lake slice hash and clocks, twice
+    /// the LLC sets per slice (16 MB total) and a doubled GPU L3.
+    pub fn gen11_class() -> Self {
+        TopologySpec::kaby_lake_gen9()
+            .with_llc_geometry(4096, 16)
+            .with_gpu_l3(GpuL3Config::gen11_class())
+            .with_phys_mem(16 * 1024 * 1024 * 1024)
+    }
+
+    /// An Ice Lake-class topology: eight LLC slices behind the three-equation
+    /// hash of [`SliceHash::icelake_8slice`] (16 MB total), a doubled GPU L3
+    /// and DDR5-class memory — the "larger SoC" scenario the paper's
+    /// discussion extrapolates to.
+    pub fn icelake_8slice() -> Self {
+        TopologySpec::kaby_lake_gen9()
+            .with_slice_hash(SliceHash::icelake_8slice())
+            .with_gpu_l3(GpuL3Config::gen11_class())
+            .with_dram(DramTimingKind::Ddr5)
+            .with_phys_mem(16 * 1024 * 1024 * 1024)
+    }
+
+    /// Replaces the clock domains.
+    pub fn with_clocks(mut self, clocks: SocClocks) -> Self {
+        self.clocks = clocks;
+        self
+    }
+
+    /// Sets the number of CPU cores.
+    pub fn with_cpu_cores(mut self, cores: usize) -> Self {
+        self.cpu_cores = cores;
+        self
+    }
+
+    /// Replaces the per-core private-cache geometry.
+    pub fn with_cpu_caches(mut self, caches: CpuCacheConfig) -> Self {
+        self.cpu_caches = caches;
+        self
+    }
+
+    /// Sets the per-slice LLC geometry (sets per slice, associativity). The
+    /// slice *count* is implied by the slice hash.
+    pub fn with_llc_geometry(mut self, sets_per_slice: usize, ways: usize) -> Self {
+        self.llc_sets_per_slice = sets_per_slice;
+        self.llc_ways = ways;
+        self
+    }
+
+    /// Replaces the LLC replacement policy.
+    pub fn with_llc_policy(mut self, policy: ReplacementPolicy) -> Self {
+        self.llc_policy = policy;
+        self
+    }
+
+    /// Replaces the slice-selection hash (and with it the slice count —
+    /// any power of two the hash's output bits encode).
+    pub fn with_slice_hash(mut self, hash: SliceHash) -> Self {
+        self.slice_hash = hash;
+        self
+    }
+
+    /// Replaces the GPU L3 configuration.
+    pub fn with_gpu_l3(mut self, gpu_l3: GpuL3Config) -> Self {
+        self.gpu_l3 = gpu_l3;
+        self
+    }
+
+    /// Replaces the fixed access-path latencies.
+    pub fn with_latencies(mut self, latencies: LatencyConfig) -> Self {
+        self.latencies = latencies;
+        self
+    }
+
+    /// Replaces the ambient-noise configuration.
+    pub fn with_noise(mut self, noise: NoiseConfig) -> Self {
+        self.noise = noise;
+        self
+    }
+
+    /// Enables LLC way-partitioning between CPU and GPU (the Section VI
+    /// mitigation).
+    pub fn with_partition(mut self, partition: LlcPartition) -> Self {
+        self.llc_partition = Some(partition);
+        self
+    }
+
+    /// Selects the DRAM generation.
+    pub fn with_dram(mut self, dram: DramTimingKind) -> Self {
+        self.dram = dram;
+        self
+    }
+
+    /// Sets the physical memory size in bytes.
+    pub fn with_phys_mem(mut self, bytes: u64) -> Self {
+        self.phys_mem_bytes = bytes;
+        self
+    }
+
+    /// Sets the simulation seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Number of LLC slices this spec describes (implied by the hash).
+    pub fn slice_count(&self) -> usize {
+        self.slice_hash.slice_count()
+    }
+
+    /// Total LLC capacity in bytes this spec describes.
+    pub fn llc_capacity_bytes(&self) -> u64 {
+        self.slice_count() as u64
+            * self.llc_sets_per_slice as u64
+            * self.llc_ways as u64
+            * crate::address::CACHE_LINE_SIZE
+    }
+
+    /// The DRAM generation this spec selects.
+    pub fn dram(&self) -> DramTimingKind {
+        self.dram
+    }
+
+    /// Checks the spec for degenerate geometry without building anything —
+    /// the non-panicking validation path the sweep runner uses so a bad
+    /// caller-registered topology becomes an error *row*, not a worker-
+    /// thread panic that aborts the grid.
+    ///
+    /// # Errors
+    ///
+    /// Describes the first invalid axis found.
+    pub fn validate(&self) -> Result<(), String> {
+        if !self.llc_sets_per_slice.is_power_of_two() {
+            return Err(format!(
+                "LLC sets per slice must be a power of two, got {}",
+                self.llc_sets_per_slice
+            ));
+        }
+        if self.llc_ways == 0 {
+            return Err("LLC needs at least one way".into());
+        }
+        if self.cpu_cores == 0 {
+            return Err("SoC needs at least one CPU core".into());
+        }
+        Ok(())
+    }
+
+    /// Assembles the spec into a [`SocConfig`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if [`TopologySpec::validate`] rejects the spec (zero cores or
+    /// ways, or a set count that is not a power of two — the set index is a
+    /// bit field).
+    pub fn build_config(self) -> SocConfig {
+        if let Err(message) = self.validate() {
+            panic!("{message}");
+        }
+        SocConfig {
+            clocks: self.clocks,
+            cpu_cores: self.cpu_cores,
+            cpu_caches: self.cpu_caches,
+            llc: LlcConfig {
+                sets_per_slice: self.llc_sets_per_slice,
+                ways: self.llc_ways,
+                policy: self.llc_policy,
+                hash: self.slice_hash,
+                port_service: crate::clock::Time::from_ps(self.llc_port_service_ps),
+            },
+            gpu_l3: self.gpu_l3,
+            latencies: self.latencies,
+            noise: self.noise,
+            llc_partition: self.llc_partition,
+            dram: self.dram,
+            phys_mem_bytes: self.phys_mem_bytes,
+            seed: self.seed,
+        }
+    }
+
+    /// Assembles the spec and builds the simulator.
+    pub fn build(self) -> Soc {
+        Soc::new(self.build_config())
+    }
+}
+
+impl Default for TopologySpec {
+    fn default() -> Self {
+        Self::kaby_lake_gen9()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kaby_lake_spec_matches_the_legacy_constructor() {
+        let spec = TopologySpec::kaby_lake_gen9().build_config();
+        let legacy = SocConfig::kaby_lake_i7_7700k();
+        assert_eq!(spec.cpu_cores, legacy.cpu_cores);
+        assert_eq!(spec.llc.slices(), legacy.llc.slices());
+        assert_eq!(spec.llc.capacity_bytes(), legacy.llc.capacity_bytes());
+        assert_eq!(spec.dram, legacy.dram);
+        assert_eq!(spec.phys_mem_bytes, legacy.phys_mem_bytes);
+    }
+
+    #[test]
+    fn icelake_spec_has_eight_slices_and_ddr5() {
+        let spec = TopologySpec::icelake_8slice();
+        assert_eq!(spec.slice_count(), 8);
+        assert_eq!(spec.llc_capacity_bytes(), 16 * 1024 * 1024);
+        assert_eq!(spec.dram(), DramTimingKind::Ddr5);
+        let config = spec.build_config();
+        assert_eq!(config.llc.slices(), 8);
+        assert_eq!(config.llc.capacity_bytes(), 16 * 1024 * 1024);
+    }
+
+    #[test]
+    fn builder_axes_compose() {
+        let config = TopologySpec::kaby_lake_gen9()
+            .with_cpu_cores(8)
+            .with_llc_geometry(1024, 12)
+            .with_dram(DramTimingKind::Ddr5)
+            .with_partition(LlcPartition { cpu_ways: 6 })
+            .with_noise(NoiseConfig::none())
+            .with_seed(99)
+            .build_config();
+        assert_eq!(config.cpu_cores, 8);
+        assert_eq!(config.llc.sets_per_slice, 1024);
+        assert_eq!(config.llc.ways, 12);
+        assert_eq!(config.dram, DramTimingKind::Ddr5);
+        assert_eq!(config.llc_partition, Some(LlcPartition { cpu_ways: 6 }));
+        assert_eq!(config.seed, 99);
+    }
+
+    #[test]
+    fn built_soc_is_usable() {
+        use crate::address::PhysAddr;
+        use crate::clock::Time;
+        use crate::system::HitLevel;
+        let mut soc = TopologySpec::icelake_8slice()
+            .with_noise(NoiseConfig::none())
+            .build();
+        let a = PhysAddr::new(0x40_0000);
+        let cold = soc.cpu_access(0, a, Time::ZERO);
+        assert_eq!(cold.level, HitLevel::Dram);
+        let warm = soc.cpu_access(0, a, cold.latency);
+        assert_eq!(warm.level, HitLevel::CpuL1);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn non_power_of_two_sets_rejected() {
+        let _ = TopologySpec::kaby_lake_gen9()
+            .with_llc_geometry(1000, 16)
+            .build_config();
+    }
+}

@@ -1,0 +1,644 @@
+//! Trace record / replay: a recording wrapper around any [`MemorySystem`]
+//! and a deterministic replayer for regression-grade reproducibility.
+//!
+//! [`TraceRecorder`] interposes on the backend trait: every timed operation
+//! (CPU/GPU accesses, parallel GPU groups, `clflush`, timer-noise samples)
+//! is executed by the wrapped backend *and* appended to a [`Trace`]. [`TraceReplayer`] then serves the identical operation
+//! sequence back without simulating anything: a channel (or test) re-driven
+//! against the replayer sees bit-for-bit the outcomes of the recorded run.
+//! Because the replayer checks every call against the recorded operation, it
+//! doubles as a regression oracle — any drift in the caller's access pattern
+//! is caught at the first diverging call.
+//!
+//! Address-space management is *not* traced: frame allocation in the
+//! simulator is purely seed-driven, so the replayer reproduces it with its
+//! own allocator initialized exactly like [`Soc`](crate::system::Soc)'s.
+
+use crate::address::PhysAddr;
+use crate::clock::Time;
+use crate::gpu_l3::GpuL3;
+use crate::llc::Llc;
+use crate::page_table::{AddressSpace, MapError, MappedBuffer, PageKind, PhysFrameAllocator};
+use crate::stats::{ContentionSnapshot, SocStats};
+use crate::system::{AccessOutcome, HitLevel, ParallelOutcome, SocConfig};
+use crate::MemorySystem;
+
+/// One recorded backend operation together with its result.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TraceEvent {
+    /// A timed CPU load.
+    CpuAccess {
+        /// Issuing core.
+        core: usize,
+        /// Accessed line.
+        paddr: PhysAddr,
+        /// The recorded result.
+        outcome: AccessOutcome,
+    },
+    /// A timed GPU load.
+    GpuAccess {
+        /// Accessed line.
+        paddr: PhysAddr,
+        /// The recorded result.
+        outcome: AccessOutcome,
+    },
+    /// A parallel GPU access group.
+    GpuAccessParallel {
+        /// Accessed lines, in issue order.
+        addrs: Vec<PhysAddr>,
+        /// Thread-group width the group ran with.
+        parallelism: usize,
+        /// The recorded result.
+        outcome: ParallelOutcome,
+    },
+    /// A `clflush` instruction.
+    Clflush {
+        /// Flushed line.
+        paddr: PhysAddr,
+        /// The recorded instruction latency.
+        latency: Time,
+    },
+    /// A sample of the GPU custom timer's noise factor.
+    TimerNoise {
+        /// The recorded multiplicative factor.
+        factor: f64,
+    },
+}
+
+impl TraceEvent {
+    /// Short operation name for mismatch diagnostics.
+    fn op_name(&self) -> &'static str {
+        match self {
+            TraceEvent::CpuAccess { .. } => "cpu_access",
+            TraceEvent::GpuAccess { .. } => "gpu_access",
+            TraceEvent::GpuAccessParallel { .. } => "gpu_access_parallel",
+            TraceEvent::Clflush { .. } => "clflush",
+            TraceEvent::TimerNoise { .. } => "timer_noise_factor",
+        }
+    }
+}
+
+/// A recorded operation sequence plus the configuration it ran against.
+#[derive(Debug, Clone)]
+pub struct Trace {
+    config: SocConfig,
+    events: Vec<TraceEvent>,
+    dropped: usize,
+}
+
+impl Trace {
+    /// The configuration of the backend the trace was recorded from.
+    pub fn config(&self) -> &SocConfig {
+        &self.config
+    }
+
+    /// The recorded events, in execution order.
+    pub fn events(&self) -> &[TraceEvent] {
+        &self.events
+    }
+
+    /// Number of events that were *not* recorded because the recorder's
+    /// capacity bound was reached. A truncated trace replays its prefix only.
+    pub fn dropped(&self) -> usize {
+        self.dropped
+    }
+
+    /// Builds a replayer for this trace.
+    pub fn into_replayer(self) -> TraceReplayer {
+        TraceReplayer::new(self)
+    }
+}
+
+/// A [`MemorySystem`] wrapper that records every operation it forwards.
+///
+/// Unbounded by default; [`TraceRecorder::with_capacity`] bounds the event
+/// log for long-running workloads (excess operations still execute, they are
+/// just counted instead of stored). The bound is measured in recorded
+/// *accesses*, not events: a parallel GPU group of `k` addresses weighs `k`,
+/// so a group-heavy workload cannot balloon memory through a small number
+/// of huge events.
+#[derive(Debug, Clone)]
+pub struct TraceRecorder<M: MemorySystem> {
+    inner: M,
+    trace: Trace,
+    capacity: Option<usize>,
+    recorded_weight: usize,
+}
+
+impl<M: MemorySystem> TraceRecorder<M> {
+    /// Wraps `inner`, recording every operation.
+    pub fn new(inner: M) -> Self {
+        let config = inner.config().clone();
+        TraceRecorder {
+            inner,
+            trace: Trace {
+                config,
+                events: Vec::new(),
+                dropped: 0,
+            },
+            capacity: None,
+            recorded_weight: 0,
+        }
+    }
+
+    /// Wraps `inner`, recording at most `capacity` accesses' worth of events
+    /// (further operations are executed and counted, not stored).
+    pub fn with_capacity(inner: M, capacity: usize) -> Self {
+        let mut recorder = TraceRecorder::new(inner);
+        recorder.capacity = Some(capacity);
+        recorder
+    }
+
+    /// The trace recorded so far.
+    pub fn trace(&self) -> &Trace {
+        &self.trace
+    }
+
+    /// Consumes the recorder, returning the wrapped backend and the trace.
+    pub fn into_parts(self) -> (M, Trace) {
+        (self.inner, self.trace)
+    }
+
+    /// Read access to the wrapped backend.
+    pub fn inner(&self) -> &M {
+        &self.inner
+    }
+
+    fn record(&mut self, weight: usize, event: TraceEvent) {
+        // Truncation is sticky: once one event is dropped, every later event
+        // is dropped too, so the trace is always an exact *prefix* of the
+        // recorded run (a hole in the middle would make the replay oracle
+        // report false divergence on a faithful re-run).
+        let over = match self.capacity {
+            Some(cap) => self.trace.dropped > 0 || self.recorded_weight + weight > cap,
+            None => false,
+        };
+        if over {
+            self.trace.dropped += 1;
+        } else {
+            self.recorded_weight += weight;
+            self.trace.events.push(event);
+        }
+    }
+}
+
+impl<M: MemorySystem> MemorySystem for TraceRecorder<M> {
+    fn cpu_access(&mut self, core: usize, paddr: PhysAddr, now: Time) -> AccessOutcome {
+        let outcome = self.inner.cpu_access(core, paddr, now);
+        self.record(
+            1,
+            TraceEvent::CpuAccess {
+                core,
+                paddr,
+                outcome,
+            },
+        );
+        outcome
+    }
+
+    fn gpu_access(&mut self, paddr: PhysAddr, now: Time) -> AccessOutcome {
+        let outcome = self.inner.gpu_access(paddr, now);
+        self.record(1, TraceEvent::GpuAccess { paddr, outcome });
+        outcome
+    }
+
+    fn gpu_access_parallel(
+        &mut self,
+        addrs: &[PhysAddr],
+        parallelism: usize,
+        now: Time,
+    ) -> ParallelOutcome {
+        let outcome = self.inner.gpu_access_parallel(addrs, parallelism, now);
+        self.record(
+            addrs.len().max(1),
+            TraceEvent::GpuAccessParallel {
+                addrs: addrs.to_vec(),
+                parallelism,
+                outcome: outcome.clone(),
+            },
+        );
+        outcome
+    }
+
+    fn clflush(&mut self, paddr: PhysAddr, now: Time) -> Time {
+        let latency = self.inner.clflush(paddr, now);
+        self.record(1, TraceEvent::Clflush { paddr, latency });
+        latency
+    }
+
+    fn timer_noise_factor(&mut self) -> f64 {
+        let factor = self.inner.timer_noise_factor();
+        self.record(1, TraceEvent::TimerNoise { factor });
+        factor
+    }
+
+    fn llc(&self) -> &Llc {
+        self.inner.llc()
+    }
+
+    fn gpu_l3(&self) -> &GpuL3 {
+        self.inner.gpu_l3()
+    }
+
+    fn create_process(&mut self) -> AddressSpace {
+        self.inner.create_process()
+    }
+
+    fn alloc(
+        &mut self,
+        space: &mut AddressSpace,
+        len: u64,
+        kind: PageKind,
+    ) -> Result<MappedBuffer, MapError> {
+        self.inner.alloc(space, len, kind)
+    }
+
+    fn config(&self) -> &SocConfig {
+        self.inner.config()
+    }
+
+    fn stats(&self) -> SocStats {
+        self.inner.stats()
+    }
+
+    fn contention_snapshot(&self) -> ContentionSnapshot {
+        self.inner.contention_snapshot()
+    }
+
+    fn reset_stats(&mut self) {
+        self.inner.reset_stats()
+    }
+
+    fn in_cpu_private_caches(&self, paddr: PhysAddr) -> bool {
+        self.inner.in_cpu_private_caches(paddr)
+    }
+}
+
+/// Deterministic replay of a [`Trace`]: serves the recorded outcomes back in
+/// order, without simulating the hierarchy.
+///
+/// Every call is checked against the recorded operation; a caller that
+/// diverges from the recorded sequence (different op, address, core or
+/// group shape) triggers a panic naming the position and both operations —
+/// the failure mode a regression harness wants.
+///
+/// The LLC and GPU-L3 views are rebuilt (empty) from the recorded
+/// configuration, so geometry introspection (`set_of`, config queries, set
+/// enumeration) behaves identically to the recorded backend; residency
+/// queries reflect replay state, not the recorded run.
+#[derive(Debug, Clone)]
+pub struct TraceReplayer {
+    trace: Trace,
+    cursor: usize,
+    llc: Llc,
+    gpu_l3: GpuL3,
+    frames: PhysFrameAllocator,
+    next_pid: u32,
+    stats: SocStats,
+}
+
+impl TraceReplayer {
+    /// Builds a replayer positioned at the start of `trace`.
+    pub fn new(trace: Trace) -> Self {
+        let config = trace.config().clone();
+        TraceReplayer {
+            llc: Llc::new(config.llc.clone()),
+            gpu_l3: GpuL3::new(config.gpu_l3),
+            // Mirror of Soc::new so replayed allocations land on the same
+            // frames as the recorded run.
+            frames: PhysFrameAllocator::new(config.phys_mem_bytes, config.seed ^ 0x9E37_79B9),
+            next_pid: 1,
+            stats: SocStats::default(),
+            cursor: 0,
+            trace,
+        }
+    }
+
+    /// Number of events replayed so far.
+    pub fn position(&self) -> usize {
+        self.cursor
+    }
+
+    /// Number of recorded events not yet replayed.
+    pub fn remaining(&self) -> usize {
+        self.trace.events().len() - self.cursor
+    }
+
+    /// `true` once every recorded event has been replayed.
+    pub fn is_exhausted(&self) -> bool {
+        self.remaining() == 0
+    }
+
+    /// The event at the cursor, by reference (the caller clones only what it
+    /// returns — a parallel-group trace is not deep-copied per call).
+    fn peek_event(&self, expected: &str) -> &TraceEvent {
+        let index = self.cursor;
+        self.trace.events().get(index).unwrap_or_else(|| {
+            panic!(
+                "trace replay diverged: caller issued {expected} at position {index}, \
+                 but the trace has only {} events ({} dropped at record time)",
+                self.trace.events().len(),
+                self.trace.dropped()
+            )
+        })
+    }
+
+    fn mismatch(&self, index: usize, expected: String, got: &TraceEvent) -> ! {
+        panic!(
+            "trace replay diverged at position {index}: caller issued {expected}, \
+             trace recorded {}",
+            got.op_name()
+        )
+    }
+
+    fn count_access(&mut self, from_gpu: bool, level: HitLevel) {
+        match (from_gpu, level) {
+            (false, HitLevel::CpuL1) => self.stats.cpu_l1_hits += 1,
+            (false, HitLevel::CpuL2) => self.stats.cpu_l2_hits += 1,
+            (false, HitLevel::Llc) => self.stats.cpu_llc_hits += 1,
+            (false, _) => self.stats.cpu_dram_accesses += 1,
+            (true, HitLevel::GpuL3) => self.stats.gpu_l3_hits += 1,
+            (true, HitLevel::Llc) => self.stats.gpu_llc_hits += 1,
+            (true, _) => self.stats.gpu_dram_accesses += 1,
+        }
+    }
+}
+
+impl MemorySystem for TraceReplayer {
+    fn cpu_access(&mut self, core: usize, paddr: PhysAddr, _now: Time) -> AccessOutcome {
+        let index = self.cursor;
+        let outcome = match self.peek_event("cpu_access") {
+            TraceEvent::CpuAccess {
+                core: c,
+                paddr: p,
+                outcome,
+            } if *c == core && *p == paddr => *outcome,
+            other => self.mismatch(index, format!("cpu_access(core {core}, {paddr:?})"), other),
+        };
+        self.cursor += 1;
+        self.count_access(false, outcome.level);
+        outcome
+    }
+
+    fn gpu_access(&mut self, paddr: PhysAddr, _now: Time) -> AccessOutcome {
+        let index = self.cursor;
+        let outcome = match self.peek_event("gpu_access") {
+            TraceEvent::GpuAccess { paddr: p, outcome } if *p == paddr => *outcome,
+            other => self.mismatch(index, format!("gpu_access({paddr:?})"), other),
+        };
+        self.cursor += 1;
+        self.count_access(true, outcome.level);
+        outcome
+    }
+
+    fn gpu_access_parallel(
+        &mut self,
+        addrs: &[PhysAddr],
+        parallelism: usize,
+        _now: Time,
+    ) -> ParallelOutcome {
+        let index = self.cursor;
+        let outcome = match self.peek_event("gpu_access_parallel") {
+            TraceEvent::GpuAccessParallel {
+                addrs: a,
+                parallelism: p,
+                outcome,
+            } if a == addrs && *p == parallelism => outcome.clone(),
+            other => self.mismatch(
+                index,
+                format!(
+                    "gpu_access_parallel({} addrs, width {parallelism})",
+                    addrs.len()
+                ),
+                other,
+            ),
+        };
+        self.cursor += 1;
+        for o in &outcome.outcomes {
+            self.count_access(true, o.level);
+        }
+        outcome
+    }
+
+    fn clflush(&mut self, paddr: PhysAddr, _now: Time) -> Time {
+        let index = self.cursor;
+        let latency = match self.peek_event("clflush") {
+            TraceEvent::Clflush { paddr: p, latency } if *p == paddr => *latency,
+            other => self.mismatch(index, format!("clflush({paddr:?})"), other),
+        };
+        self.cursor += 1;
+        self.stats.clflushes += 1;
+        latency
+    }
+
+    fn timer_noise_factor(&mut self) -> f64 {
+        let index = self.cursor;
+        let factor = match self.peek_event("timer_noise_factor") {
+            TraceEvent::TimerNoise { factor } => *factor,
+            other => self.mismatch(index, "timer_noise_factor()".into(), other),
+        };
+        self.cursor += 1;
+        factor
+    }
+
+    fn llc(&self) -> &Llc {
+        &self.llc
+    }
+
+    fn gpu_l3(&self) -> &GpuL3 {
+        &self.gpu_l3
+    }
+
+    fn create_process(&mut self) -> AddressSpace {
+        let pid = self.next_pid;
+        self.next_pid += 1;
+        AddressSpace::new(pid)
+    }
+
+    fn alloc(
+        &mut self,
+        space: &mut AddressSpace,
+        len: u64,
+        kind: PageKind,
+    ) -> Result<MappedBuffer, MapError> {
+        space.alloc(len, kind, &mut self.frames)
+    }
+
+    fn config(&self) -> &SocConfig {
+        self.trace.config()
+    }
+
+    fn stats(&self) -> SocStats {
+        self.stats
+    }
+
+    fn contention_snapshot(&self) -> ContentionSnapshot {
+        // Contention counters are a property of the live queuing model; the
+        // replayer serves recorded latencies (which already embed queuing
+        // delay) and reports no separate counters.
+        ContentionSnapshot::default()
+    }
+
+    fn reset_stats(&mut self) {
+        self.stats = SocStats::default();
+    }
+
+    fn in_cpu_private_caches(&self, _paddr: PhysAddr) -> bool {
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::system::{Soc, SocConfig};
+
+    fn recorded_workload(soc: Soc) -> (Vec<AccessOutcome>, Vec<Time>, Vec<f64>, Trace) {
+        let mut rec = TraceRecorder::new(soc);
+        let mut outcomes = Vec::new();
+        let mut flushes = Vec::new();
+        let mut factors = Vec::new();
+        let mut now = Time::ZERO;
+        for i in 0..64u64 {
+            let a = PhysAddr::new(0x40_0000 + (i % 16) * 64);
+            let out = if i % 3 == 0 {
+                rec.gpu_access(a, now)
+            } else {
+                rec.cpu_access((i % 4) as usize, a, now)
+            };
+            now += out.latency;
+            outcomes.push(out);
+            if i % 8 == 7 {
+                flushes.push(rec.clflush(a, now));
+                factors.push(rec.timer_noise_factor());
+            }
+        }
+        let (_, trace) = rec.into_parts();
+        (outcomes, flushes, factors, trace)
+    }
+
+    #[test]
+    fn replay_reproduces_the_recorded_outcome_sequence() {
+        let (outcomes, flushes, factors, trace) =
+            recorded_workload(Soc::new(SocConfig::kaby_lake_i7_7700k().with_seed(3)));
+        assert_eq!(trace.events().len(), 64 + 2 * flushes.len());
+        let mut rep = trace.into_replayer();
+        let mut got = Vec::new();
+        let mut got_flushes = Vec::new();
+        let mut got_factors = Vec::new();
+        let mut now = Time::ZERO;
+        for i in 0..64u64 {
+            let a = PhysAddr::new(0x40_0000 + (i % 16) * 64);
+            let out = if i % 3 == 0 {
+                rep.gpu_access(a, now)
+            } else {
+                rep.cpu_access((i % 4) as usize, a, now)
+            };
+            now += out.latency;
+            got.push(out);
+            if i % 8 == 7 {
+                got_flushes.push(rep.clflush(a, now));
+                got_factors.push(rep.timer_noise_factor());
+            }
+        }
+        assert_eq!(got, outcomes, "replayed AccessOutcome sequence must match");
+        assert_eq!(got_flushes, flushes);
+        assert_eq!(got_factors, factors);
+        assert!(rep.is_exhausted());
+    }
+
+    #[test]
+    fn replayer_tracks_stats_like_the_original() {
+        let mut rec = TraceRecorder::new(Soc::new(SocConfig::kaby_lake_noiseless()));
+        let a = PhysAddr::new(0x10_0000);
+        rec.cpu_access(0, a, Time::ZERO); // DRAM
+        rec.cpu_access(0, a, Time::from_us(1)); // L1
+        rec.gpu_access(a, Time::from_us(2)); // crosses to LLC
+        let original = rec.stats();
+        let (_, trace) = rec.into_parts();
+        let mut rep = trace.into_replayer();
+        rep.cpu_access(0, a, Time::ZERO);
+        rep.cpu_access(0, a, Time::from_us(1));
+        rep.gpu_access(a, Time::from_us(2));
+        let replayed = rep.stats();
+        assert_eq!(replayed.cpu_dram_accesses, original.cpu_dram_accesses);
+        assert_eq!(replayed.cpu_l1_hits, original.cpu_l1_hits);
+        assert_eq!(replayed.total_accesses(), original.total_accesses());
+        rep.reset_stats();
+        assert_eq!(rep.stats().total_accesses(), 0);
+    }
+
+    #[test]
+    fn replayer_allocations_match_the_recorded_backend() {
+        let mut soc = Soc::new(SocConfig::kaby_lake_i7_7700k().with_seed(11));
+        let mut space = soc.create_process();
+        let buf = soc.alloc(&mut space, 8192, PageKind::Small).unwrap();
+        let pa = space.translate(buf.base).unwrap();
+
+        let rec = TraceRecorder::new(Soc::new(SocConfig::kaby_lake_i7_7700k().with_seed(11)));
+        let (_, trace) = rec.into_parts();
+        let mut rep = trace.into_replayer();
+        let mut rspace = rep.create_process();
+        let rbuf = rep.alloc(&mut rspace, 8192, PageKind::Small).unwrap();
+        let rpa = rspace.translate(rbuf.base).unwrap();
+        assert_eq!(rpa, pa, "seeded frame allocation must replay identically");
+        assert_eq!(rspace.pid(), space.pid());
+    }
+
+    #[test]
+    #[should_panic(expected = "trace replay diverged")]
+    fn divergent_replay_panics_with_position() {
+        let mut rec = TraceRecorder::new(Soc::new(SocConfig::kaby_lake_noiseless()));
+        rec.cpu_access(0, PhysAddr::new(0x1000), Time::ZERO);
+        let (_, trace) = rec.into_parts();
+        let mut rep = trace.into_replayer();
+        // Different address: the replay oracle must reject it.
+        rep.cpu_access(0, PhysAddr::new(0x2000), Time::ZERO);
+    }
+
+    #[test]
+    fn capacity_bound_truncates_but_counts() {
+        let mut rec = TraceRecorder::with_capacity(Soc::new(SocConfig::kaby_lake_noiseless()), 4);
+        for i in 0..10u64 {
+            rec.cpu_access(0, PhysAddr::new(i * 64), Time::ZERO);
+        }
+        assert_eq!(rec.trace().events().len(), 4);
+        assert_eq!(rec.trace().dropped(), 6);
+    }
+
+    #[test]
+    fn capacity_weighs_parallel_groups_and_truncation_is_sticky() {
+        // A parallel group of k addresses consumes k units of capacity, so
+        // group-heavy workloads cannot balloon memory through a few events —
+        // and once one event is dropped, everything after it is dropped too,
+        // keeping the trace an exact prefix of the run.
+        let mut rec = TraceRecorder::with_capacity(Soc::new(SocConfig::kaby_lake_noiseless()), 20);
+        let group: Vec<PhysAddr> = (0..16u64).map(|i| PhysAddr::new(0x1000 + i * 64)).collect();
+        rec.gpu_access_parallel(&group, 16, Time::ZERO); // weight 16: recorded
+        rec.gpu_access_parallel(&group, 16, Time::from_us(1)); // would exceed: dropped
+        rec.cpu_access(0, PhysAddr::new(0), Time::from_us(2)); // fits, but after a drop
+        assert_eq!(rec.trace().events().len(), 1, "trace must stay a prefix");
+        assert_eq!(rec.trace().dropped(), 2);
+        // The prefix replays cleanly against the same workload.
+        let (_, trace) = rec.into_parts();
+        let mut rep = trace.into_replayer();
+        rep.gpu_access_parallel(&group, 16, Time::ZERO);
+        assert!(rep.is_exhausted());
+    }
+
+    #[test]
+    fn recorder_is_transparent_to_the_wrapped_backend() {
+        let mut plain = Soc::new(SocConfig::kaby_lake_noiseless());
+        let mut rec = TraceRecorder::new(Soc::new(SocConfig::kaby_lake_noiseless()));
+        let a = PhysAddr::new(0x77_0000);
+        for t in 0..8u64 {
+            let now = Time::from_us(t);
+            assert_eq!(plain.cpu_access(0, a, now), rec.cpu_access(0, a, now));
+        }
+        assert_eq!(plain.stats(), rec.stats());
+        assert_eq!(
+            plain.llc().config().capacity_bytes(),
+            rec.llc().config().capacity_bytes()
+        );
+    }
+}

@@ -180,4 +180,122 @@ proptest! {
         prop_assert!(id.set < 2048);
         prop_assert_eq!(llc.set_of(a.line_base()), id);
     }
+
+    /// The Ice Lake-class 8-slice hash distributes line-aligned addresses
+    /// uniformly: over any contiguous window of 8192 lines, every one of the
+    /// eight slices receives a population close to the ideal 1/8 share.
+    #[test]
+    fn icelake_8slice_hash_distributes_uniformly(start in 0u64..0x10_0000_0000u64) {
+        let hash = SliceHash::icelake_8slice();
+        prop_assert_eq!(hash.slice_count(), 8);
+        let lines = 8192u64;
+        let mut counts = [0usize; 8];
+        let base = PhysAddr::new(start).line_base().value();
+        for i in 0..lines {
+            counts[hash.slice_of(PhysAddr::new(base + i * CACHE_LINE_SIZE))] += 1;
+        }
+        let ideal = (lines / 8) as isize;
+        for (slice, &count) in counts.iter().enumerate() {
+            let deviation = (count as isize - ideal).abs();
+            // 3/4 .. 5/4 of the ideal share: loose enough for XOR-parity
+            // striping patterns, tight enough to catch a degenerate mask.
+            prop_assert!(
+                deviation <= ideal / 4,
+                "slice {} holds {} of {} lines (ideal {})",
+                slice, count, lines, ideal
+            );
+        }
+    }
+
+    /// A recorded random access mix replays bit-for-bit: same outcomes, same
+    /// latencies, same hit levels (the regression-grade reproducibility the
+    /// trace backend exists for).
+    #[test]
+    fn trace_record_replay_reproduces_outcomes(
+        ops in proptest::collection::vec(0u64..0x300_0000, 1..60),
+        seed in 0u64..1024,
+    ) {
+        use soc_sim::prelude::{MemorySystem, Soc, SocConfig, TraceRecorder};
+        // Each sample packs (operation, address): the low bits address a
+        // line, the value mod 3 picks CPU load / GPU load / clflush.
+        let config = SocConfig::kaby_lake_i7_7700k().with_seed(seed);
+        let mut rec = TraceRecorder::new(Soc::new(config));
+        let mut recorded = Vec::new();
+        let mut now = Time::ZERO;
+        for &sample in &ops {
+            let a = PhysAddr::new(sample & 0xFF_FFC0);
+            let out = match sample % 3 {
+                0 => rec.cpu_access((sample % 4) as usize, a, now),
+                1 => rec.gpu_access(a, now),
+                _ => {
+                    let _ = rec.clflush(a, now);
+                    continue;
+                }
+            };
+            now += out.latency;
+            recorded.push(out);
+        }
+        let (_, trace) = rec.into_parts();
+        let mut rep = trace.into_replayer();
+        let mut replayed = Vec::new();
+        let mut now = Time::ZERO;
+        for &sample in &ops {
+            let a = PhysAddr::new(sample & 0xFF_FFC0);
+            let out = match sample % 3 {
+                0 => rep.cpu_access((sample % 4) as usize, a, now),
+                1 => rep.gpu_access(a, now),
+                _ => {
+                    let _ = rep.clflush(a, now);
+                    continue;
+                }
+            };
+            now += out.latency;
+            replayed.push(out);
+        }
+        prop_assert_eq!(recorded, replayed);
+        prop_assert!(rep.is_exhausted());
+    }
+}
+
+/// An identical single-stream workload sees a *higher* DRAM latency on the
+/// DDR5 backend (worse first-word latency), while a bursty parallel GPU
+/// workload sees a *lower* total latency (halved channel occupancy) — the
+/// latency/bandwidth trade [`soc_sim::dram::Ddr5`] models.
+#[test]
+fn ddr5_orders_against_ddr4_at_the_system_level() {
+    use soc_sim::prelude::{BackendRegistry, DramTiming, DramTimingKind, HitLevel, MemorySystem};
+    let registry = BackendRegistry::standard();
+    let mut ddr4 = registry.get("kabylake-gen9").unwrap().build(1);
+    let mut ddr5 = registry.get("kabylake-ddr5").unwrap().build(1);
+    assert_eq!(ddr4.config().dram, DramTimingKind::Ddr4);
+    assert_eq!(ddr5.config().dram, DramTimingKind::Ddr5);
+    assert!(DramTimingKind::Ddr5.base_latency() > DramTimingKind::Ddr4.base_latency());
+
+    // Single cold access: DDR5's longer idle latency dominates. Noise is on
+    // (quiet preset) but identical seeds give identical jitter streams.
+    let a = PhysAddr::new(0x123_4000);
+    let cold4 = ddr4.cpu_access(0, a, Time::ZERO);
+    let cold5 = ddr5.cpu_access(0, a, Time::ZERO);
+    assert_eq!(cold4.level, HitLevel::Dram);
+    assert_eq!(cold5.level, HitLevel::Dram);
+    assert!(
+        cold5.latency > cold4.latency,
+        "cold DRAM access: DDR5 {} must exceed DDR4 {}",
+        cold5.latency,
+        cold4.latency
+    );
+
+    // A 64-line parallel GPU burst of cold lines: every access queues on the
+    // memory channel, so DDR5's halved occupancy wins overall.
+    let burst: Vec<PhysAddr> = (0..64u64)
+        .map(|i| PhysAddr::new(0x4000_0000 + i * CACHE_LINE_SIZE))
+        .collect();
+    let burst4 = ddr4.gpu_access_parallel(&burst, 16, Time::from_us(10));
+    let burst5 = ddr5.gpu_access_parallel(&burst, 16, Time::from_us(10));
+    assert!(
+        burst5.total_latency < burst4.total_latency,
+        "cold burst: DDR5 {} must beat DDR4 {}",
+        burst5.total_latency,
+        burst4.total_latency
+    );
 }

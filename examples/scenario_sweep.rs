@@ -1,27 +1,33 @@
-//! Multi-axis scenario sweep: every SoC backend x both covert channels x
-//! ambient noise levels, executed in parallel by the `SweepRunner`.
+//! Multi-axis scenario sweep: every registered SoC backend x both covert
+//! channels x ambient noise levels, executed in parallel by the
+//! `SweepRunner` and printed as rows complete (streaming).
 //!
 //! Run with `cargo run --release --example scenario_sweep`.
 //!
-//! The sweep demonstrates the three seams this reproduction is built around:
+//! The sweep demonstrates the seams this reproduction is built around:
 //!
 //! * channels implement the `CovertChannel` trait, so one loop drives both
 //!   physical mechanisms;
-//! * channels are generic over the `MemorySystem` backend, so the mitigation
-//!   study (partitioned LLC) and the scale-up study (Gen11-class LLC) are
-//!   just grid axes;
+//! * channels are generic over the `MemorySystem` backend, and backends are
+//!   *registry keys* — the mitigation study (partitioned LLC), the scale-up
+//!   studies (Gen11-class, Ice Lake-class 8-slice) and the DDR5 variant are
+//!   just grid axes selected by name;
 //! * infeasible scenarios (a timer drowned in noise, buffers overflowing the
-//!   LLC) surface as recorded errors, not aborted sweeps.
+//!   LLC, an unknown backend name) surface as recorded errors, not aborted
+//!   sweeps;
+//! * `run_streaming` hands each row to a callback the moment it finishes,
+//!   so long grids are observable while they run.
 
 use bench::{default_grid, ChannelKind, NoiseLevel, SweepPoint, SweepRunner};
 use covert::prelude::TransceiverConfig;
-use soc_sim::prelude::SocBackend;
+use soc_sim::prelude::BackendRegistry;
 
 fn main() {
     let runner = SweepRunner::with_default_threads();
     println!(
-        "scenario sweep on {} worker threads (backends x channels x noise)",
-        runner.threads()
+        "scenario sweep on {} worker threads (backends: {})",
+        runner.threads(),
+        BackendRegistry::standard().names().join(", ")
     );
     println!(
         "{:<58} {:>10} {:>9} {:>12}",
@@ -34,23 +40,30 @@ fn main() {
         gpu_buffer_bytes: 8 * 1024 * 1024,
         bits: 64,
         ..SweepPoint::paper_default(
-            SocBackend::KabyLakeGen9,
+            "kabylake-gen9",
             ChannelKind::RingContention,
             NoiseLevel::Quiet,
         )
     });
-    for result in runner.run(&grid) {
-        match result.outcome {
-            Ok(outcome) => println!(
-                "{:<58} {:>10.1} {:>8.2}% {:>12.0}",
-                result.point.label(),
-                outcome.bandwidth_kbps,
-                outcome.error_rate * 100.0,
-                outcome.symbol_time_ns,
-            ),
-            Err(err) => println!("{:<58} unusable: {err}", result.point.label()),
-        }
-    }
+    // And one with a key the registry does not know: recorded, not fatal.
+    grid.push(SweepPoint {
+        bits: 64,
+        ..SweepPoint::paper_default(
+            "raptorlake-hypothetical",
+            ChannelKind::RingContention,
+            NoiseLevel::Quiet,
+        )
+    });
+    runner.run_streaming(&grid, |_, result| match &result.outcome {
+        Ok(outcome) => println!(
+            "{:<58} {:>10.1} {:>8.2}% {:>12.0}",
+            result.point.label(),
+            outcome.bandwidth_kbps,
+            outcome.error_rate * 100.0,
+            outcome.symbol_time_ns,
+        ),
+        Err(err) => println!("{:<58} unusable: {err}", result.point.label()),
+    });
 
     // The same grid cell driven through the framed engine: preamble-guarded
     // frames with bounded retransmission, the mode a real exfiltration tool
@@ -60,7 +73,7 @@ fn main() {
     let point = SweepPoint {
         bits: 256,
         ..SweepPoint::paper_default(
-            SocBackend::KabyLakeGen9,
+            "kabylake-gen9",
             ChannelKind::RingContention,
             NoiseLevel::Quiet,
         )
