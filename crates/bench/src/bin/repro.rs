@@ -7,8 +7,9 @@
 //! ```text
 //! repro [--fig4] [--fig7] [--fig8] [--fig9] [--fig10] [--headline]
 //!       [--slice-hash] [--l3] [--ablation] [--sweep] [--all] [--quick]
-//!       [--code <spec>[,<spec>...]] [--backend <name>] [--out <path>]
-//!       [--list-backends]
+//!       [--code <spec>[,<spec>...]] [--policy <name>[,<name>...]]
+//!       [--backend <name>] [--out <path>] [--list-backends]
+//!       [--record-trace <path>] [--replay-trace <path>]
 //! ```
 //!
 //! With no experiment flag, `--all` is assumed. `--quick` shrinks the bit
@@ -21,13 +22,23 @@
 //!
 //! `--code` selects the link-code axis of the `--sweep` grid: a
 //! comma-separated list of `none`, `crc8`, `hamming74`, `rs`, `rs(n,k)` or
-//! `rs(n,k,depth)`, or `all` (the default) for every family. `--out <path>`
-//! streams the sweep rows (classic and coded) to disk as JSON, appending
-//! each row the moment its sweep point finishes.
+//! `rs(n,k,depth)`, or `all` (the default) for every family. `--policy`
+//! selects the link-control policies of the adaptive `--sweep` section
+//! (`threshold`, `aimd`, `fixed`, or `all`; the fixed-code baselines always
+//! run so the adaptive-vs-fixed comparison is complete); an unknown name
+//! exits non-zero listing the known policies. `--out <path>` streams the
+//! sweep rows (classic, coded and adaptive) to disk as JSON, appending each
+//! row the moment its sweep point finishes.
+//!
+//! `--record-trace <path>` records one LLC-channel point (honouring
+//! `--backend`) through a trace recorder and serializes the full access
+//! trace to `path`; `--replay-trace <path>` loads such a file in a fresh
+//! process, registers it as a `trace-file` backend and re-runs the recorded
+//! point against the replayer, printing both rows side by side.
 
 use bench::*;
-use covert::prelude::{LinkCodeKind, TransceiverConfig};
-use soc_sim::prelude::BackendRegistry;
+use covert::prelude::{LinkCodeKind, PolicyKind, TransceiverConfig};
+use soc_sim::prelude::{BackendRegistry, BackendSpec};
 
 struct Options {
     fig4: bool,
@@ -42,9 +53,14 @@ struct Options {
     sweep: bool,
     quick: bool,
     codes: Vec<LinkCodeKind>,
+    code_given: bool,
+    policies: Vec<PolicyKind>,
+    policy_given: bool,
     backend: Option<String>,
     list_backends: bool,
     out: Option<std::path::PathBuf>,
+    record_trace: Option<std::path::PathBuf>,
+    replay_trace: Option<std::path::PathBuf>,
 }
 
 /// Parses a `--code` argument: `all` or a comma-separated list of specs.
@@ -54,6 +70,17 @@ fn parse_codes(spec: &str) -> Result<Vec<LinkCodeKind>, String> {
     }
     spec.split(',')
         .map(LinkCodeKind::parse)
+        .collect::<Result<Vec<_>, _>>()
+}
+
+/// Parses a `--policy` argument: `all` or a comma-separated list of policy
+/// names.
+fn parse_policies(spec: &str) -> Result<Vec<PolicyKind>, String> {
+    if spec.trim().eq_ignore_ascii_case("all") {
+        return Ok(PolicyKind::ALL.to_vec());
+    }
+    spec.split(',')
+        .map(PolicyKind::parse)
         .collect::<Result<Vec<_>, _>>()
 }
 
@@ -82,9 +109,19 @@ impl Options {
         .iter()
         .any(|f| has(f));
         let all = has("--all") || !any_specific;
+        let code_given = has("--code");
         let codes = match value_of("--code") {
             None => LinkCodeKind::all().to_vec(),
             Some(spec) => parse_codes(&spec).unwrap_or_else(|err| {
+                eprintln!("error: {err}");
+                std::process::exit(2);
+            }),
+        };
+        let policy_given = has("--policy");
+        let policies = match value_of("--policy") {
+            None => PolicyKind::ALL.to_vec(),
+            Some(spec) => parse_policies(&spec).unwrap_or_else(|err| {
+                // The known-policy list is part of the parse error.
                 eprintln!("error: {err}");
                 std::process::exit(2);
             }),
@@ -113,9 +150,14 @@ impl Options {
             sweep: all || has("--sweep"),
             quick: has("--quick"),
             codes,
+            code_given,
+            policies,
+            policy_given,
             backend,
             list_backends: has("--list-backends"),
             out: value_of("--out").map(std::path::PathBuf::from),
+            record_trace: value_of("--record-trace").map(std::path::PathBuf::from),
+            replay_trace: value_of("--replay-trace").map(std::path::PathBuf::from),
         }
     }
 }
@@ -123,6 +165,88 @@ impl Options {
 fn banner(title: &str) {
     println!();
     println!("==== {title} ====");
+}
+
+/// The point `--record-trace` captures: the LLC channel at paper defaults
+/// on the selected backend, short enough to keep the trace file small.
+fn trace_point(backend: &str, quick: bool) -> SweepPoint {
+    let mut point =
+        SweepPoint::paper_default(backend, ChannelKind::LlcPrimeProbe, NoiseLevel::Quiet);
+    point.bits = if quick { 24 } else { 64 };
+    point
+}
+
+fn record_trace_mode(path: &std::path::Path, backend: Option<&str>, quick: bool) {
+    let registry = BackendRegistry::standard();
+    let point = trace_point(backend.unwrap_or("kabylake-gen9"), quick);
+    banner("Trace capture");
+    println!("recording {}", point.label());
+    let engine = covert::prelude::Transceiver::raw();
+    match record_point_trace(&point, &engine, &registry) {
+        Ok((outcome, trace)) => {
+            if let Err(err) = write_trace(path, &point, &trace) {
+                eprintln!("error: could not write {}: {err}", path.display());
+                std::process::exit(1);
+            }
+            println!(
+                "recorded: {:.1} kb/s, {:.2}% error, {} events ({} dropped) -> {}",
+                outcome.bandwidth_kbps,
+                outcome.error_rate * 100.0,
+                trace.events().len(),
+                trace.dropped(),
+                path.display()
+            );
+            println!("replay with: repro --replay-trace {}", path.display());
+        }
+        Err(err) => {
+            eprintln!("error: trace point failed: {err}");
+            std::process::exit(1);
+        }
+    }
+}
+
+fn replay_trace_mode(path: &std::path::Path) {
+    let registry = BackendRegistry::standard();
+    banner("Trace replay");
+    let (mut point, trace) = read_trace(path, &registry).unwrap_or_else(|err| {
+        eprintln!("error: {err}");
+        std::process::exit(1);
+    });
+    println!(
+        "loaded {} ({} events, {} dropped), recorded on '{}'",
+        path.display(),
+        trace.events().len(),
+        trace.dropped(),
+        point.backend
+    );
+    // The trace becomes a named backend; the recorded point re-runs against
+    // it through the ordinary sweep machinery. The replayer is a strict
+    // oracle — any divergence from the recorded access sequence aborts with
+    // the position of the first mismatch, so a row that prints below is the
+    // recorded run, bit for bit.
+    let replay_registry = registry.with_spec(BackendSpec::replaying(
+        "trace-file",
+        "trace loaded from disk",
+        trace,
+    ));
+    point.backend = "trace-file".into();
+    let result = run_point_with_registry(
+        &point,
+        &covert::prelude::Transceiver::raw(),
+        &replay_registry,
+    );
+    match result.outcome {
+        Ok(outcome) => println!(
+            "replayed: {:.1} kb/s, {:.2}% error, {} frames — no divergence from the recording",
+            outcome.bandwidth_kbps,
+            outcome.error_rate * 100.0,
+            outcome.frames_sent
+        ),
+        Err(err) => {
+            eprintln!("error: replay failed: {err}");
+            std::process::exit(1);
+        }
+    }
 }
 
 fn main() {
@@ -133,6 +257,15 @@ fn main() {
         for line in BackendRegistry::standard().describe() {
             println!("{line}");
         }
+        return;
+    }
+
+    if let Some(path) = &opts.record_trace {
+        record_trace_mode(path, opts.backend.as_deref(), opts.quick);
+        return;
+    }
+    if let Some(path) = &opts.replay_trace {
+        replay_trace_mode(path);
         return;
     }
 
@@ -363,6 +496,103 @@ fn main() {
                 },
             );
 
+        banner("Adaptive link control: policies vs fixed codes, phased quiet/burst noise");
+        // The fixed-code baselines always run — the comparison is the point
+        // of the section — plus whatever adaptive policies were selected.
+        let mut grid_policies = vec![PolicyKind::Fixed];
+        grid_policies.extend(
+            opts.policies
+                .iter()
+                .copied()
+                .filter(|p| *p != PolicyKind::Fixed),
+        );
+        println!(
+            "(policies: {})",
+            grid_policies
+                .iter()
+                .map(|p| p.label())
+                .collect::<Vec<_>>()
+                .join(", ")
+        );
+        println!(
+            "{:<68} {:>10} {:>8} {:>9} {:>16}",
+            "scenario", "goodput", "error", "switches", "final setting"
+        );
+        let adaptive_results = runner
+            .clone()
+            .with_engine(TransceiverConfig::paper_default())
+            .run_streaming(
+                &adaptive_grid_for(
+                    &backends,
+                    if opts.quick { 448 } else { 1792 },
+                    &grid_policies,
+                ),
+                |_, result| {
+                    match &result.outcome {
+                        Ok(outcome) => {
+                            let (switches, final_setting) = match &outcome.adaptation {
+                                Some(a) => (
+                                    a.switches.to_string(),
+                                    covert::prelude::LinkSetting::new(
+                                        a.final_code,
+                                        a.final_symbol_repeat,
+                                    )
+                                    .label(),
+                                ),
+                                None => ("-".into(), "-".into()),
+                            };
+                            println!(
+                                "{:<68} {:>10.1} {:>7.2}% {:>9} {:>16}",
+                                result.point.label(),
+                                outcome.goodput_kbps,
+                                outcome.error_rate * 100.0,
+                                switches,
+                                final_setting,
+                            );
+                        }
+                        Err(err) => println!("{:<68} unusable: {err}", result.point.label()),
+                    }
+                    stream_row(result);
+                },
+            );
+        // Per-cell verdict: does the best adaptive policy beat *every*
+        // fixed-code configuration of the same (backend, channel) cell?
+        let mut cells_won = 0usize;
+        let mut cells_total = 0usize;
+        for backend in &backends {
+            for channel in ChannelKind::ALL {
+                let cell: Vec<_> = adaptive_results
+                    .iter()
+                    .filter(|r| r.point.backend == *backend && r.point.channel == channel)
+                    .collect();
+                let goodput =
+                    |r: &&SweepResult| r.outcome.as_ref().map(|o| o.goodput_kbps).unwrap_or(0.0);
+                let best_fixed = cell
+                    .iter()
+                    .filter(|r| r.point.policy == Some(PolicyKind::Fixed))
+                    .map(goodput)
+                    .fold(f64::NEG_INFINITY, f64::max);
+                let best_adaptive = cell
+                    .iter()
+                    .filter(|r| {
+                        r.point.policy.is_some() && r.point.policy != Some(PolicyKind::Fixed)
+                    })
+                    .map(goodput)
+                    .fold(f64::NEG_INFINITY, f64::max);
+                if best_adaptive.is_finite() && best_fixed.is_finite() {
+                    cells_total += 1;
+                    if best_adaptive > best_fixed {
+                        cells_won += 1;
+                    }
+                }
+            }
+        }
+        if cells_total > 0 {
+            println!(
+                "\nadaptive beats the best fixed code in {cells_won}/{cells_total} backend x channel cells"
+            );
+        }
+
         if let Some(writer) = writer {
             let path = opts.out.as_ref().expect("writer implies --out");
             match writer.finish() {
@@ -384,6 +614,17 @@ fn main() {
             eprintln!(
                 "note: --backend {name} ignored (it restricts the --sweep grids; the figure \
                  experiments model the paper platform; pass --sweep)"
+            );
+        }
+        if opts.code_given {
+            eprintln!(
+                "note: --code ignored (it selects the --sweep link-code axis; the figure \
+                 experiments run the paper's fixed configurations; pass --sweep)"
+            );
+        }
+        if opts.policy_given {
+            eprintln!(
+                "note: --policy ignored (it selects the --sweep adaptation policies; pass --sweep)"
             );
         }
     }

@@ -13,12 +13,15 @@ use std::fs::File;
 use std::io::{self, BufWriter, Write};
 use std::path::Path;
 
-/// Schema tag written into every document; `v2` keys backends by registry
-/// name (`kabylake-gen9`, …) instead of the pre-registry display labels.
-pub const SWEEP_SCHEMA: &str = "leaky-buddies/sweep-v2";
+/// Schema tag written into every document; `v3` adds the `policy` column
+/// and, for adaptive rows, the per-window `windows` array (`v2` keyed
+/// backends by registry name instead of the pre-registry display labels).
+pub const SWEEP_SCHEMA: &str = "leaky-buddies/sweep-v3";
 
 /// Escapes a string for a JSON string literal (quotes not included).
-fn escape(text: &str) -> String {
+/// Shared with [`crate::tracefile`], whose header line carries the same
+/// caller-controlled strings (registry keys, labels).
+pub(crate) fn escape(text: &str) -> String {
     let mut out = String::with_capacity(text.len());
     for c in text.chars() {
         match c {
@@ -62,6 +65,39 @@ fn outcome_fields(out: &mut String, outcome: &SweepOutcome) {
         outcome.frames_sent,
         outcome.retransmissions,
     );
+    if let Some(adaptation) = &outcome.adaptation {
+        let _ = write!(
+            out,
+            ",\"switches\":{},\"final_code\":\"{}\",\"final_symbol_repeat\":{},\"windows\":[",
+            adaptation.switches,
+            escape(&adaptation.final_code.label()),
+            adaptation.final_symbol_repeat,
+        );
+        for (i, w) in adaptation.trace.windows.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "{{\"index\":{},\"code\":\"{}\",\"symbol_repeat\":{},\"payload_bits\":{},\
+                 \"wire_bits\":{},\"goodput_kbps\":{},\"residual_ber\":{},\
+                 \"retransmissions\":{},\"corrected_bits\":{},\"decode_failures\":{},\
+                 \"elapsed_ns\":{}}}",
+                w.index,
+                escape(&w.code.label()),
+                w.symbol_repeat,
+                w.payload_bits,
+                w.wire_bits,
+                number(w.goodput_kbps),
+                number(w.residual_ber),
+                w.retransmissions,
+                w.corrected_bits,
+                w.decode_failures,
+                w.elapsed.as_ns(),
+            );
+        }
+        out.push(']');
+    }
 }
 
 /// Formats one sweep row as a JSON object (no trailing separator).
@@ -71,12 +107,16 @@ pub fn sweep_row_json(result: &SweepResult) -> String {
     let _ = write!(
         out,
         "{{\"scenario\":\"{}\",\"backend\":\"{}\",\"channel\":\"{}\",\"noise\":\"{}\",\
-         \"code\":\"{}\",\"bits\":{},\"seed\":{},",
+         \"code\":\"{}\",\"policy\":{},\"bits\":{},\"seed\":{},",
         escape(&point.label()),
         escape(&point.backend),
         escape(point.channel.label()),
         escape(point.noise.label()),
         escape(&point.code.label()),
+        match point.policy {
+            Some(policy) => format!("\"{}\"", policy.label()),
+            None => "null".into(),
+        },
         point.bits,
         point.seed,
     );
@@ -211,7 +251,7 @@ mod tests {
         let results = SweepRunner::new(2).run(&grid);
         let json = sweep_results_to_json(&results);
         assert!(json.starts_with('{') && json.trim_end().ends_with('}'));
-        assert!(json.contains("\"schema\":\"leaky-buddies/sweep-v2\""));
+        assert!(json.contains("\"schema\":\"leaky-buddies/sweep-v3\""));
         assert!(json.contains("\"backend\":\"kabylake-gen9\""));
         assert!(json.contains("\"code\":\"none\""));
         assert!(json.contains("\"code\":\"hamming74\""));
@@ -247,7 +287,7 @@ mod tests {
         let results = SweepRunner::new(1).run(&default_grid(16)[..1]);
         write_sweep_json(&path, &results).expect("temp file writable");
         let body = std::fs::read_to_string(&path).expect("file readable");
-        assert!(body.contains("sweep-v2"));
+        assert!(body.contains("sweep-v3"));
         let _ = std::fs::remove_file(&path);
     }
 
@@ -268,6 +308,69 @@ mod tests {
         let streamed = std::fs::read_to_string(&path).expect("file readable");
         assert_eq!(streamed, sweep_results_to_json(&results));
         let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn streaming_writer_leaves_valid_partial_output_before_finish() {
+        // The documented crash-recovery contract: every pushed row is
+        // flushed to disk the moment it lands (one per line, comma-led
+        // after the first), and the closing `]}` footer appears only on
+        // finish. A run killed mid-grid must leave all finished rows
+        // readable line-wise.
+        let dir = std::env::temp_dir();
+        let path = dir.join("leaky_buddies_partial_sweep_test.json");
+        let mut grid = default_grid(16);
+        grid.truncate(2);
+        let results = SweepRunner::new(1).run(&grid);
+        let mut writer = SweepJsonWriter::create(&path).expect("temp file writable");
+
+        writer.push(&results[0]).expect("row appends");
+        let after_one = std::fs::read_to_string(&path).expect("file readable");
+        assert!(after_one.contains("\"schema\":"), "header flushed");
+        assert_eq!(after_one.matches("\"scenario\":").count(), 1);
+        assert!(
+            !after_one.contains("]\n}"),
+            "footer must not exist before finish"
+        );
+        // The flushed row is complete JSON on its own line.
+        let row_line = after_one.lines().last().unwrap();
+        assert!(row_line.starts_with('{') && row_line.ends_with('}'));
+
+        writer.push(&results[1]).expect("row appends");
+        let after_two = std::fs::read_to_string(&path).expect("file readable");
+        assert_eq!(after_two.matches("\"scenario\":").count(), 2);
+        assert!(!after_two.contains("]\n}"));
+
+        let written = writer.finish().expect("footer writes");
+        assert_eq!(written, 2);
+        let complete = std::fs::read_to_string(&path).expect("file readable");
+        assert!(complete.ends_with("]\n}\n"), "finish appends the footer");
+        assert_eq!(complete, sweep_results_to_json(&results));
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn adaptive_rows_serialize_policy_and_window_traces() {
+        let mut point = crate::sweep::SweepPoint::paper_default(
+            "kabylake-gen9",
+            crate::sweep::ChannelKind::RingContention,
+            crate::sweep::NoiseLevel::Quiet,
+        );
+        point.bits = 128;
+        point.policy = Some(covert::prelude::PolicyKind::Threshold);
+        let results = SweepRunner::new(1).run(std::slice::from_ref(&point));
+        let json = sweep_results_to_json(&results);
+        assert!(json.contains("\"policy\":\"threshold\""));
+        assert!(json.contains("\"windows\":["));
+        assert!(json.contains("\"symbol_repeat\":"));
+        // Non-adaptive rows carry a null policy and no window array.
+        point.policy = None;
+        let results = SweepRunner::new(1).run(std::slice::from_ref(&point));
+        let json = sweep_results_to_json(&results);
+        assert!(json.contains("\"policy\":null"));
+        assert!(!json.contains("\"windows\":["));
+        // Braces stay balanced with the nested window objects.
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
     }
 
     #[test]

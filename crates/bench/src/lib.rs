@@ -9,13 +9,15 @@
 
 pub mod json;
 pub mod sweep;
+pub mod tracefile;
 
 pub use json::{sweep_results_to_json, sweep_row_json, write_sweep_json, SweepJsonWriter};
 pub use sweep::{
-    coded_grid, coded_grid_for, default_grid, default_grid_for, effective_engine, run_point,
-    run_point_with_registry, ChannelKind, NoiseLevel, SweepOutcome, SweepPoint, SweepResult,
-    SweepRunner,
+    adaptive_grid, adaptive_grid_for, coded_grid, coded_grid_for, default_grid, default_grid_for,
+    effective_engine, record_point_trace, run_point, run_point_with_registry, ChannelKind,
+    NoiseLevel, SweepOutcome, SweepPoint, SweepResult, SweepRunner,
 };
+pub use tracefile::{parse_trace, read_trace, trace_to_string, write_trace, TRACE_SCHEMA};
 
 use covert::prelude::*;
 use covert::reverse::slice_hash::{FIRST_NON_INDEX_BIT, HUGE_PAGE_BIT_LIMIT};

@@ -56,11 +56,28 @@ pub enum NoiseLevel {
     Quiet,
     /// A loaded system with co-running activity.
     Noisy,
+    /// Time-varying interference: calm stretches alternating with severe
+    /// bursts ([`NoiseSchedule::calm_burst`]) — the regime the adaptation
+    /// policies exist for.
+    Phased,
 }
 
+/// Phase length of the [`NoiseLevel::Phased`] schedule (calm and burst are
+/// equally long). Sized so even the heaviest link setting's adaptation
+/// window (~2.6 ms of airtime on the LLC channel) fits inside a phase —
+/// shorter phases average over the regimes instead of exposing them, and
+/// whoever reacts to the weather arrives after it has passed.
+const PHASED_PHASE: Time = Time::from_us(12_000);
+
 impl NoiseLevel {
-    /// All levels, in increasing severity.
-    pub const ALL: [NoiseLevel; 3] = [NoiseLevel::Noiseless, NoiseLevel::Quiet, NoiseLevel::Noisy];
+    /// All levels, in increasing severity (the phased schedule last: its
+    /// bursts are harsher than the steady noisy level).
+    pub const ALL: [NoiseLevel; 4] = [
+        NoiseLevel::Noiseless,
+        NoiseLevel::Quiet,
+        NoiseLevel::Noisy,
+        NoiseLevel::Phased,
+    ];
 
     /// Human-readable label.
     pub fn label(self) -> &'static str {
@@ -68,15 +85,32 @@ impl NoiseLevel {
             NoiseLevel::Noiseless => "noiseless",
             NoiseLevel::Quiet => "quiet",
             NoiseLevel::Noisy => "noisy",
+            NoiseLevel::Phased => "phased",
         }
     }
 
-    /// The noise configuration this level applies to the backend.
+    /// The static noise configuration this level applies to the backend
+    /// (the quiet base level for [`NoiseLevel::Phased`], whose character
+    /// comes from its schedule).
     pub fn config(self) -> NoiseConfig {
         match self {
             NoiseLevel::Noiseless => NoiseConfig::none(),
-            NoiseLevel::Quiet => NoiseConfig::quiet_system(),
+            NoiseLevel::Quiet | NoiseLevel::Phased => NoiseConfig::quiet_system(),
             NoiseLevel::Noisy => NoiseConfig::noisy_system(),
+        }
+    }
+
+    /// The time-varying schedule this level attaches, if any: the shared
+    /// [`NoiseSchedule::calm_burst`] program, an idle-machine stretch (far
+    /// quieter than the steady [`NoiseLevel::Quiet`] preset — the regime
+    /// where an uncoded link wins outright) alternating with an equally
+    /// long severe interference burst (the regime where only heavy
+    /// protection moves any bits at all). No fixed operating point is
+    /// right for both halves — the scenario link adaptation exists for.
+    pub fn schedule(self) -> Option<NoiseSchedule> {
+        match self {
+            NoiseLevel::Phased => Some(NoiseSchedule::calm_burst(PHASED_PHASE)),
+            _ => None,
         }
     }
 }
@@ -93,8 +127,15 @@ pub struct SweepPoint {
     /// Ambient noise level.
     pub noise: NoiseLevel,
     /// Link code the transceiver applies to every frame. Non-`None` codes
-    /// force the framed engine (raw mode has no frames to code).
+    /// force the framed engine (raw mode has no frames to code). For an
+    /// adaptive point this is the [`FixedPolicy`] baseline's operating
+    /// point; the adaptive policies pick their own codes at run time.
     pub code: LinkCodeKind,
+    /// Link-control policy. `None` runs the plain engine (the pre-adaptive
+    /// paths); `Some(kind)` drives the point through the
+    /// [`AdaptiveTransceiver`] with that policy, recording a per-window
+    /// [`AdaptationSummary`] on the outcome.
+    pub policy: Option<PolicyKind>,
     /// LLC channel: transmission direction.
     pub direction: Direction,
     /// LLC channel: L3 eviction strategy.
@@ -124,6 +165,7 @@ impl SweepPoint {
             channel,
             noise,
             code: LinkCodeKind::None,
+            policy: None,
             direction: Direction::GpuToCpu,
             strategy: L3EvictionStrategy::PreciseL3,
             sets_per_role: 2,
@@ -137,6 +179,12 @@ impl SweepPoint {
     /// Replaces the link code.
     pub fn with_code(mut self, code: LinkCodeKind) -> Self {
         self.code = code;
+        self
+    }
+
+    /// Replaces the link-control policy.
+    pub fn with_policy(mut self, policy: PolicyKind) -> Self {
+        self.policy = Some(policy);
         self
     }
 
@@ -163,6 +211,10 @@ impl SweepPoint {
         if self.code != LinkCodeKind::None {
             label.push_str(" / ");
             label.push_str(&self.code.label());
+        }
+        if let Some(policy) = self.policy {
+            label.push_str(" / ");
+            label.push_str(policy.label());
         }
         label
     }
@@ -196,6 +248,8 @@ pub struct SweepOutcome {
     /// The channel's self-description after the run (thresholds, iteration
     /// factor, backend summary).
     pub diagnostics: ChannelDiagnostics,
+    /// Per-window adaptation history, for points run under a policy.
+    pub adaptation: Option<AdaptationSummary>,
 }
 
 /// One row of a completed sweep: the point and its outcome or failure.
@@ -242,13 +296,13 @@ pub fn effective_engine(point: &SweepPoint, base: &TransceiverConfig) -> Transce
     config
 }
 
-fn run_point_inner(
+/// Resolves a point's backend spec and the [`SocConfig`] its channel runs
+/// with: the registry topology with the point's noise/schedule/seed applied,
+/// or — for a replaying spec — the trace's recorded configuration verbatim.
+pub(crate) fn resolve_backend<'r>(
     point: &SweepPoint,
-    engine: &Transceiver,
-    registry: &BackendRegistry,
-) -> Result<SweepOutcome, ChannelError> {
-    let engine = Transceiver::new(effective_engine(point, engine.config()));
-    let engine = &engine;
+    registry: &'r BackendRegistry,
+) -> Result<(&'r BackendSpec, SocConfig), ChannelError> {
     let spec = registry.get(&point.backend).ok_or_else(|| {
         ChannelError::InvalidConfig(format!(
             "unknown backend '{}' (available: {})",
@@ -256,54 +310,100 @@ fn run_point_inner(
             registry.names().join(", ")
         ))
     })?;
+    if spec.is_replaying() {
+        // A replayed run is pinned to its recorded configuration; the
+        // point's noise/seed axes would only manufacture divergence.
+        return Ok((spec, spec.config()));
+    }
     let topology = spec.topology();
     // A degenerate caller-registered topology must surface as this row's
     // error, not as a panic that tears down every worker in the scope.
     topology.validate().map_err(|message| {
         ChannelError::InvalidConfig(format!("backend '{}': {message}", point.backend))
     })?;
-    let soc_config = topology
+    let mut soc_config = topology
         .build_config()
         .with_noise(point.noise.config())
         .with_seed(point.seed);
+    if let Some(schedule) = point.noise.schedule() {
+        soc_config = soc_config.with_noise_schedule(schedule);
+    }
+    Ok((spec, soc_config))
+}
+
+/// The LLC-channel configuration a sweep point runs with (shared by the
+/// measuring and the trace-recording paths, so the two can never drift).
+fn llc_channel_config(point: &SweepPoint, soc_config: SocConfig) -> LlcChannelConfig {
+    LlcChannelConfig {
+        direction: point.direction,
+        strategy: point.strategy,
+        sets_per_role: point.sets_per_role,
+        seed: point.seed,
+        soc: soc_config,
+        ..LlcChannelConfig::paper_default()
+    }
+}
+
+/// The contention-channel configuration a sweep point runs with.
+fn contention_channel_config(point: &SweepPoint, soc_config: SocConfig) -> ContentionChannelConfig {
+    ContentionChannelConfig {
+        gpu_buffer_bytes: point.gpu_buffer_bytes,
+        workgroups: point.workgroups,
+        seed: point.seed,
+        soc: soc_config,
+        ..ContentionChannelConfig::paper_default()
+    }
+}
+
+fn run_point_inner(
+    point: &SweepPoint,
+    engine: &Transceiver,
+    registry: &BackendRegistry,
+) -> Result<SweepOutcome, ChannelError> {
+    let engine = Transceiver::new(effective_engine(point, engine.config()));
+    let engine = &engine;
+    let (spec, soc_config) = resolve_backend(point, registry)?;
     let soc = spec.instantiate(soc_config.clone());
     let payload = test_pattern(point.bits, point.seed ^ 0x5EED);
     match point.channel {
         ChannelKind::LlcPrimeProbe => {
-            let config = LlcChannelConfig {
-                direction: point.direction,
-                strategy: point.strategy,
-                sets_per_role: point.sets_per_role,
-                seed: point.seed,
-                soc: soc_config,
-                ..LlcChannelConfig::paper_default()
-            };
+            let config = llc_channel_config(point, soc_config);
             let mut channel = LlcChannel::with_backend(soc, config)?;
-            finish_point(&mut channel, engine, &payload)
+            finish_point(&mut channel, engine, point, &payload)
         }
         ChannelKind::RingContention => {
-            let config = ContentionChannelConfig {
-                gpu_buffer_bytes: point.gpu_buffer_bytes,
-                workgroups: point.workgroups,
-                seed: point.seed,
-                soc: soc_config,
-                ..ContentionChannelConfig::paper_default()
-            };
+            let config = contention_channel_config(point, soc_config);
             let mut channel = ContentionChannel::with_backend(soc, config)?;
-            finish_point(&mut channel, engine, &payload)
+            finish_point(&mut channel, engine, point, &payload)
         }
     }
 }
 
-/// Drives any [`CovertChannel`] through the engine and summarizes the run —
-/// the single code path shared by every channel family and backend.
+/// Drives any [`CovertChannel`] through the engine (or, for policy-carrying
+/// points, the adaptive transceiver) and summarizes the run — the single
+/// code path shared by every channel family and backend.
 fn finish_point<C: CovertChannel>(
     channel: &mut C,
     engine: &Transceiver,
+    point: &SweepPoint,
     payload: &[bool],
 ) -> Result<SweepOutcome, ChannelError> {
     let calibration = channel.calibrate()?;
-    let (report, stats) = engine.transmit_detailed(channel, payload)?;
+    let (report, stats) = match point.policy {
+        None => engine.transmit_detailed(channel, payload)?,
+        Some(kind) => {
+            let mut base = *engine.config();
+            if !base.framed {
+                base = TransceiverConfig::paper_default();
+            }
+            let adaptive = AdaptiveTransceiver::new(AdaptiveConfig {
+                window_bits: base.frame_payload_bits.clamp(1, 64),
+                base,
+            });
+            let mut controller = kind.build(LinkSetting::new(point.code, 1));
+            adaptive.transmit(channel, controller.as_mut(), payload)?
+        }
+    };
     let coding = report.coding;
     Ok(SweepOutcome {
         bandwidth_kbps: report.bandwidth_kbps(),
@@ -317,7 +417,43 @@ fn finish_point<C: CovertChannel>(
         frames_sent: stats.frames_sent,
         retransmissions: stats.retransmissions,
         diagnostics: channel.diagnostics(),
+        adaptation: report.adaptation,
     })
+}
+
+/// Runs one point on a recording wrapper around its backend and returns
+/// both the measurement and the captured [`Trace`] — the full lifecycle
+/// (channel setup, calibration, transmission) is recorded, so the trace
+/// replays the identical point in a separate process via
+/// [`BackendSpec::replaying`].
+///
+/// # Errors
+///
+/// Same failure modes as [`run_point`].
+pub fn record_point_trace(
+    point: &SweepPoint,
+    engine: &Transceiver,
+    registry: &BackendRegistry,
+) -> Result<(SweepOutcome, Trace), ChannelError> {
+    let engine = Transceiver::new(effective_engine(point, engine.config()));
+    let engine = &engine;
+    let (spec, soc_config) = resolve_backend(point, registry)?;
+    let soc = TraceRecorder::new(spec.instantiate(soc_config.clone()));
+    let payload = test_pattern(point.bits, point.seed ^ 0x5EED);
+    match point.channel {
+        ChannelKind::LlcPrimeProbe => {
+            let config = llc_channel_config(point, soc_config);
+            let mut channel = LlcChannel::with_backend(soc, config)?;
+            let outcome = finish_point(&mut channel, engine, point, &payload)?;
+            Ok((outcome, channel.backend().trace().clone()))
+        }
+        ChannelKind::RingContention => {
+            let config = contention_channel_config(point, soc_config);
+            let mut channel = ContentionChannel::with_backend(soc, config)?;
+            let outcome = finish_point(&mut channel, engine, point, &payload)?;
+            Ok((outcome, channel.backend().trace().clone()))
+        }
+    }
 }
 
 /// Fans sweep points across OS threads.
@@ -538,6 +674,61 @@ pub fn coded_grid_for(backends: &[&str], bits: usize, codes: &[LinkCodeKind]) ->
                 point.code = code;
                 point.seed = 7 + cell * 131;
                 points.push(point);
+            }
+        }
+    }
+    points
+}
+
+/// The adaptive scenario grid: every registry backend × both channels under
+/// the phased quiet→burst noise schedule, with one point per fixed-code
+/// baseline (a [`FixedPolicy`] pinned to each code) plus one point per
+/// adaptive policy in `policies`. Every point of a (backend, channel) cell
+/// shares one seed, so the policy is the *only* thing varying within a cell
+/// and the adaptive-vs-fixed goodput comparison runs under paired noise
+/// realizations.
+///
+/// `bits` is the LLC-channel payload; the contention channel moves three
+/// times as much. The noise schedule runs on *wall-clock* simulated time,
+/// so the slower LLC channel needs fewer bits (its symbols are ~4x longer)
+/// for its transmission to span the same number of calm/burst periods — an
+/// adaptation comparison over a fraction of one period would just measure
+/// phase-alignment luck.
+pub fn adaptive_grid(bits: usize, policies: &[PolicyKind]) -> Vec<SweepPoint> {
+    adaptive_grid_for(&BackendRegistry::standard().names(), bits, policies)
+}
+
+/// [`adaptive_grid`] restricted to the given registry keys.
+pub fn adaptive_grid_for(
+    backends: &[&str],
+    bits: usize,
+    policies: &[PolicyKind],
+) -> Vec<SweepPoint> {
+    let mut points = Vec::new();
+    for backend in backends {
+        for (cell, channel) in ChannelKind::ALL.into_iter().enumerate() {
+            let cell = cell as u64 + 1;
+            let channel_bits = match channel {
+                ChannelKind::LlcPrimeProbe => bits,
+                ChannelKind::RingContention => bits * 3,
+            };
+            let base = |policy: PolicyKind, code: LinkCodeKind| {
+                let mut point = SweepPoint::paper_default(*backend, channel, NoiseLevel::Phased);
+                point.bits = channel_bits;
+                point.code = code;
+                point.policy = Some(policy);
+                point.seed = 7 + cell * 131;
+                point
+            };
+            if policies.contains(&PolicyKind::Fixed) {
+                for code in LinkCodeKind::all() {
+                    points.push(base(PolicyKind::Fixed, code));
+                }
+            }
+            for &policy in policies {
+                if policy != PolicyKind::Fixed {
+                    points.push(base(policy, LinkCodeKind::None));
+                }
             }
         }
     }

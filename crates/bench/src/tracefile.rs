@@ -1,0 +1,545 @@
+//! On-disk persistence of recorded [`Trace`]s.
+//!
+//! The offline workspace has no serde, so the format is deliberately
+//! minimal and line-oriented, written with the same hand-rolled JSON
+//! helpers as [`crate::json`]: line 1 is a header object naming the sweep
+//! point the trace was recorded under (backend registry key, channel,
+//! noise, seed, …), and every following line is one [`TraceEvent`]. A
+//! recorded sweep point therefore replays in a *separate process*: read the
+//! file back, register the trace as a [`BackendSpec::replaying`] backend,
+//! and re-run the identical point against it (`repro --replay-trace`).
+//!
+//! The reader is a minimal scanner for exactly what the writer emits — flat
+//! objects, one per line, no nesting beyond number/string arrays — not a
+//! general JSON parser.
+
+use crate::json::escape;
+use crate::sweep::{resolve_backend, ChannelKind, NoiseLevel, SweepPoint};
+use covert::prelude::{Direction, L3EvictionStrategy, LinkCodeKind, PolicyKind};
+use soc_sim::prelude::*;
+use std::fmt::Write as _;
+use std::io::{self, Write};
+use std::path::Path;
+
+/// Schema tag of the trace file header line.
+pub const TRACE_SCHEMA: &str = "leaky-buddies/trace-v1";
+
+fn level_label(level: HitLevel) -> &'static str {
+    match level {
+        HitLevel::CpuL1 => "cpu-l1",
+        HitLevel::CpuL2 => "cpu-l2",
+        HitLevel::GpuL3 => "gpu-l3",
+        HitLevel::Llc => "llc",
+        HitLevel::Dram => "dram",
+    }
+}
+
+fn parse_level(label: &str) -> Result<HitLevel, String> {
+    match label {
+        "cpu-l1" => Ok(HitLevel::CpuL1),
+        "cpu-l2" => Ok(HitLevel::CpuL2),
+        "gpu-l3" => Ok(HitLevel::GpuL3),
+        "llc" => Ok(HitLevel::Llc),
+        "dram" => Ok(HitLevel::Dram),
+        other => Err(format!("unknown hit level {other:?}")),
+    }
+}
+
+fn outcome_fields(out: &mut String, outcome: &AccessOutcome) {
+    let _ = write!(
+        out,
+        "\"level\":\"{}\",\"latency_ps\":{},\"contention_ps\":{}",
+        level_label(outcome.level),
+        outcome.latency.as_ps(),
+        outcome.contention_delay.as_ps(),
+    );
+}
+
+/// Formats one trace event as a single JSON line.
+fn event_line(event: &TraceEvent) -> String {
+    let mut out = String::new();
+    match event {
+        TraceEvent::CpuAccess {
+            core,
+            paddr,
+            outcome,
+        } => {
+            let _ = write!(
+                out,
+                "{{\"op\":\"cpu\",\"core\":{core},\"paddr\":{},",
+                paddr.value()
+            );
+            outcome_fields(&mut out, outcome);
+            out.push('}');
+        }
+        TraceEvent::GpuAccess { paddr, outcome } => {
+            let _ = write!(out, "{{\"op\":\"gpu\",\"paddr\":{},", paddr.value());
+            outcome_fields(&mut out, outcome);
+            out.push('}');
+        }
+        TraceEvent::GpuAccessParallel {
+            addrs,
+            parallelism,
+            outcome,
+        } => {
+            let join = |items: Vec<String>| items.join(",");
+            let _ = write!(
+                out,
+                "{{\"op\":\"gpar\",\"parallelism\":{parallelism},\"total_ps\":{},\
+                 \"addrs\":[{}],\"levels\":[{}],\"latencies_ps\":[{}],\"contentions_ps\":[{}]}}",
+                outcome.total_latency.as_ps(),
+                join(addrs.iter().map(|a| a.value().to_string()).collect()),
+                join(
+                    outcome
+                        .outcomes
+                        .iter()
+                        .map(|o| format!("\"{}\"", level_label(o.level)))
+                        .collect()
+                ),
+                join(
+                    outcome
+                        .outcomes
+                        .iter()
+                        .map(|o| o.latency.as_ps().to_string())
+                        .collect()
+                ),
+                join(
+                    outcome
+                        .outcomes
+                        .iter()
+                        .map(|o| o.contention_delay.as_ps().to_string())
+                        .collect()
+                ),
+            );
+        }
+        TraceEvent::Clflush { paddr, latency } => {
+            let _ = write!(
+                out,
+                "{{\"op\":\"flush\",\"paddr\":{},\"latency_ps\":{}}}",
+                paddr.value(),
+                latency.as_ps()
+            );
+        }
+        TraceEvent::TimerNoise { factor } => {
+            // Rust's float Display is shortest-roundtrip, so the factor
+            // survives the text round trip bit-exactly.
+            let _ = write!(out, "{{\"op\":\"timer\",\"factor\":{factor}}}");
+        }
+    }
+    out
+}
+
+/// Serializes a recorded point into the trace-file text.
+pub fn trace_to_string(point: &SweepPoint, trace: &Trace) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{{\"schema\":\"{TRACE_SCHEMA}\",\"backend\":\"{}\",\"channel\":\"{}\",\
+         \"noise\":\"{}\",\"code\":\"{}\",\"policy\":{},\"bits\":{},\"seed\":{},\
+         \"direction\":\"{}\",\"strategy\":\"{}\",\"sets_per_role\":{},\
+         \"gpu_buffer_bytes\":{},\"workgroups\":{},\"events\":{},\"dropped\":{}}}",
+        escape(&point.backend),
+        escape(point.channel.label()),
+        escape(point.noise.label()),
+        escape(&point.code.label()),
+        match point.policy {
+            Some(policy) => format!("\"{}\"", policy.label()),
+            None => "null".into(),
+        },
+        point.bits,
+        point.seed,
+        point.direction.label(),
+        point.strategy.label(),
+        point.sets_per_role,
+        point.gpu_buffer_bytes,
+        point.workgroups,
+        trace.events().len(),
+        trace.dropped(),
+    );
+    for event in trace.events() {
+        out.push_str(&event_line(event));
+        out.push('\n');
+    }
+    out
+}
+
+/// Writes a recorded point to `path`.
+///
+/// # Errors
+///
+/// Propagates filesystem errors.
+pub fn write_trace(path: &Path, point: &SweepPoint, trace: &Trace) -> io::Result<()> {
+    let mut file = std::io::BufWriter::new(std::fs::File::create(path)?);
+    file.write_all(trace_to_string(point, trace).as_bytes())?;
+    file.flush()
+}
+
+/// Extracts the raw token for `key` from a flat single-line JSON object:
+/// everything between `"key":` and the next top-level `,` or closing brace
+/// (string values keep their quotes, arrays their brackets).
+fn raw_field<'a>(line: &'a str, key: &str) -> Result<&'a str, String> {
+    let marker = format!("\"{key}\":");
+    let start = line
+        .find(&marker)
+        .ok_or_else(|| format!("missing field {key:?} in {line:?}"))?
+        + marker.len();
+    let rest = &line[start..];
+    let mut depth = 0usize;
+    let mut in_string = false;
+    let mut escaped = false;
+    for (i, c) in rest.char_indices() {
+        if escaped {
+            escaped = false;
+            continue;
+        }
+        match c {
+            '\\' if in_string => escaped = true,
+            '"' => in_string = !in_string,
+            '[' if !in_string => depth += 1,
+            ']' if !in_string => {
+                if depth == 0 {
+                    return Ok(&rest[..i]);
+                }
+                depth -= 1;
+                if depth == 0 {
+                    return Ok(&rest[..=i]);
+                }
+            }
+            ',' | '}' if !in_string && depth == 0 => return Ok(&rest[..i]),
+            _ => {}
+        }
+    }
+    Err(format!("unterminated value for {key:?} in {line:?}"))
+}
+
+fn str_field(line: &str, key: &str) -> Result<String, String> {
+    let raw = raw_field(line, key)?;
+    let inner = raw
+        .strip_prefix('"')
+        .and_then(|r| r.strip_suffix('"'))
+        .ok_or_else(|| format!("field {key:?} is not a string: {raw:?}"))?;
+    // Undo exactly the escapes `crate::json::escape` produces.
+    let mut out = String::with_capacity(inner.len());
+    let mut chars = inner.chars();
+    while let Some(c) = chars.next() {
+        if c != '\\' {
+            out.push(c);
+            continue;
+        }
+        match chars.next() {
+            Some('n') => out.push('\n'),
+            Some('r') => out.push('\r'),
+            Some('t') => out.push('\t'),
+            Some('u') => {
+                let code: String = chars.by_ref().take(4).collect();
+                let value = u32::from_str_radix(&code, 16)
+                    .map_err(|_| format!("bad \\u escape in field {key:?}"))?;
+                out.push(
+                    char::from_u32(value)
+                        .ok_or_else(|| format!("bad \\u escape in field {key:?}"))?,
+                );
+            }
+            Some(other) => out.push(other),
+            None => return Err(format!("dangling escape in field {key:?}")),
+        }
+    }
+    Ok(out)
+}
+
+fn u64_field(line: &str, key: &str) -> Result<u64, String> {
+    raw_field(line, key)?
+        .trim()
+        .parse::<u64>()
+        .map_err(|_| format!("field {key:?} is not an integer"))
+}
+
+fn usize_field(line: &str, key: &str) -> Result<usize, String> {
+    Ok(u64_field(line, key)? as usize)
+}
+
+fn f64_field(line: &str, key: &str) -> Result<f64, String> {
+    raw_field(line, key)?
+        .trim()
+        .parse::<f64>()
+        .map_err(|_| format!("field {key:?} is not a number"))
+}
+
+/// Splits a serialized array (`[a,b,c]`) into its raw element tokens.
+fn array_field<'a>(line: &'a str, key: &str) -> Result<Vec<&'a str>, String> {
+    let raw = raw_field(line, key)?;
+    let inner = raw
+        .strip_prefix('[')
+        .and_then(|r| r.strip_suffix(']'))
+        .ok_or_else(|| format!("field {key:?} is not an array: {raw:?}"))?;
+    if inner.is_empty() {
+        return Ok(Vec::new());
+    }
+    Ok(inner.split(',').map(str::trim).collect())
+}
+
+fn parse_outcome(line: &str) -> Result<AccessOutcome, String> {
+    Ok(AccessOutcome {
+        latency: Time::from_ps(u64_field(line, "latency_ps")?),
+        level: parse_level(&str_field(line, "level")?)?,
+        contention_delay: Time::from_ps(u64_field(line, "contention_ps")?),
+    })
+}
+
+fn parse_event(line: &str) -> Result<TraceEvent, String> {
+    match str_field(line, "op")?.as_str() {
+        "cpu" => Ok(TraceEvent::CpuAccess {
+            core: usize_field(line, "core")?,
+            paddr: PhysAddr::new(u64_field(line, "paddr")?),
+            outcome: parse_outcome(line)?,
+        }),
+        "gpu" => Ok(TraceEvent::GpuAccess {
+            paddr: PhysAddr::new(u64_field(line, "paddr")?),
+            outcome: parse_outcome(line)?,
+        }),
+        "gpar" => {
+            let addrs: Vec<PhysAddr> = array_field(line, "addrs")?
+                .into_iter()
+                .map(|t| t.parse::<u64>().map(PhysAddr::new))
+                .collect::<Result<_, _>>()
+                .map_err(|_| "bad address in gpar event".to_string())?;
+            let levels = array_field(line, "levels")?;
+            let latencies = array_field(line, "latencies_ps")?;
+            let contentions = array_field(line, "contentions_ps")?;
+            if levels.len() != latencies.len() || levels.len() != contentions.len() {
+                return Err("gpar arrays disagree on length".into());
+            }
+            let outcomes = levels
+                .iter()
+                .zip(&latencies)
+                .zip(&contentions)
+                .map(|((level, lat), cont)| {
+                    Ok(AccessOutcome {
+                        level: parse_level(
+                            level
+                                .strip_prefix('"')
+                                .and_then(|l| l.strip_suffix('"'))
+                                .ok_or_else(|| "unquoted level".to_string())?,
+                        )?,
+                        latency: Time::from_ps(lat.parse().map_err(|_| "bad latency".to_string())?),
+                        contention_delay: Time::from_ps(
+                            cont.parse().map_err(|_| "bad contention".to_string())?,
+                        ),
+                    })
+                })
+                .collect::<Result<Vec<_>, String>>()?;
+            Ok(TraceEvent::GpuAccessParallel {
+                addrs,
+                parallelism: usize_field(line, "parallelism")?,
+                outcome: ParallelOutcome {
+                    total_latency: Time::from_ps(u64_field(line, "total_ps")?),
+                    outcomes,
+                },
+            })
+        }
+        "flush" => Ok(TraceEvent::Clflush {
+            paddr: PhysAddr::new(u64_field(line, "paddr")?),
+            latency: Time::from_ps(u64_field(line, "latency_ps")?),
+        }),
+        "timer" => Ok(TraceEvent::TimerNoise {
+            factor: f64_field(line, "factor")?,
+        }),
+        other => Err(format!("unknown trace op {other:?}")),
+    }
+}
+
+/// Parses the trace-file text back into the recorded sweep point and its
+/// trace. The point's backend must exist in `registry` — the recorded
+/// configuration is reassembled from the registry topology exactly the way
+/// the recording run assembled it, so the replayed backend sees the same
+/// `SocConfig` the recorder saw.
+///
+/// # Errors
+///
+/// Describes the first malformed line or unknown label.
+pub fn parse_trace(text: &str, registry: &BackendRegistry) -> Result<(SweepPoint, Trace), String> {
+    let mut lines = text.lines();
+    let header = lines.next().ok_or("empty trace file")?;
+    let schema = str_field(header, "schema")?;
+    let schema = schema.as_str();
+    if schema != TRACE_SCHEMA {
+        return Err(format!("unsupported trace schema {schema:?}"));
+    }
+    let channel_label = str_field(header, "channel")?;
+    let channel = ChannelKind::ALL
+        .into_iter()
+        .find(|c| c.label() == channel_label)
+        .ok_or_else(|| format!("unknown channel {channel_label:?}"))?;
+    let noise_label = str_field(header, "noise")?;
+    let noise = NoiseLevel::ALL
+        .into_iter()
+        .find(|n| n.label() == noise_label)
+        .ok_or_else(|| format!("unknown noise level {noise_label:?}"))?;
+    let direction_label = str_field(header, "direction")?;
+    let direction = [Direction::GpuToCpu, Direction::CpuToGpu]
+        .into_iter()
+        .find(|d| d.label() == direction_label)
+        .ok_or_else(|| format!("unknown direction {direction_label:?}"))?;
+    let strategy_label = str_field(header, "strategy")?;
+    let strategy = L3EvictionStrategy::ALL
+        .into_iter()
+        .find(|s| s.label() == strategy_label)
+        .ok_or_else(|| format!("unknown strategy {strategy_label:?}"))?;
+    let mut point = SweepPoint::paper_default(str_field(header, "backend")?, channel, noise);
+    point.code = LinkCodeKind::parse(&str_field(header, "code")?)?;
+    // The policy axis changes the access sequence (adaptive runs re-chunk
+    // and re-code between windows), so a recorded adaptive point must
+    // replay adaptively or the strict replayer reports divergence.
+    point.policy = match raw_field(header, "policy")?.trim() {
+        "null" => None,
+        _ => Some(PolicyKind::parse(&str_field(header, "policy")?)?),
+    };
+    point.bits = usize_field(header, "bits")?;
+    point.seed = u64_field(header, "seed")?;
+    point.direction = direction;
+    point.strategy = strategy;
+    point.sets_per_role = usize_field(header, "sets_per_role")?;
+    point.gpu_buffer_bytes = u64_field(header, "gpu_buffer_bytes")?;
+    point.workgroups = usize_field(header, "workgroups")?;
+
+    let expected_events = usize_field(header, "events")?;
+    let dropped = usize_field(header, "dropped")?;
+    let events = lines
+        .filter(|l| !l.trim().is_empty())
+        .map(parse_event)
+        .collect::<Result<Vec<_>, _>>()?;
+    if events.len() != expected_events {
+        return Err(format!(
+            "trace file truncated: header promises {expected_events} events, found {}",
+            events.len()
+        ));
+    }
+    let (_, config) = resolve_backend(&point, registry)
+        .map_err(|err| format!("cannot reassemble recorded backend: {err}"))?;
+    Ok((point, Trace::from_parts(config, events, dropped)))
+}
+
+/// Reads a trace file from disk. See [`parse_trace`].
+///
+/// # Errors
+///
+/// Propagates filesystem errors (as strings) and parse failures.
+pub fn read_trace(path: &Path, registry: &BackendRegistry) -> Result<(SweepPoint, Trace), String> {
+    let text = std::fs::read_to_string(path)
+        .map_err(|err| format!("cannot read {}: {err}", path.display()))?;
+    parse_trace(&text, registry)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sweep::{record_point_trace, run_point_with_registry, SweepPoint};
+    use covert::prelude::Transceiver;
+
+    fn quick_point() -> SweepPoint {
+        let mut point = SweepPoint::paper_default(
+            "kabylake-gen9",
+            ChannelKind::LlcPrimeProbe,
+            NoiseLevel::Quiet,
+        );
+        point.bits = 24;
+        point
+    }
+
+    #[test]
+    fn trace_text_round_trips_every_event_kind() {
+        let registry = BackendRegistry::standard();
+        let point = quick_point();
+        let (outcome, trace) =
+            record_point_trace(&point, &Transceiver::raw(), &registry).expect("recording runs");
+        assert!(outcome.bandwidth_kbps > 0.0);
+        assert!(!trace.events().is_empty());
+        // The LLC channel exercises cpu/gpu/gpar/flush/timer events; make
+        // sure the file format covers what actually occurs.
+        let text = trace_to_string(&point, &trace);
+        let (read_point, read_trace) = parse_trace(&text, &registry).expect("parses back");
+        assert_eq!(read_point.label(), point.label());
+        assert_eq!(read_point.seed, point.seed);
+        assert_eq!(read_trace.events(), trace.events());
+        assert_eq!(read_trace.dropped(), trace.dropped());
+        assert_eq!(read_trace.config().seed, trace.config().seed);
+    }
+
+    #[test]
+    fn replayed_trace_reproduces_the_recorded_outcome_in_a_fresh_registry() {
+        // Record → serialize → parse → register as a replaying backend →
+        // re-run the identical point: the measurement must be bit-identical.
+        let registry = BackendRegistry::standard();
+        let point = quick_point();
+        let (recorded, trace) =
+            record_point_trace(&point, &Transceiver::raw(), &registry).expect("recording runs");
+        let text = trace_to_string(&point, &trace);
+
+        let (mut replay_point, read) = parse_trace(&text, &registry).expect("parses back");
+        let replay_registry = BackendRegistry::standard().with_spec(BackendSpec::replaying(
+            "trace-file",
+            "trace loaded from text",
+            read,
+        ));
+        replay_point.backend = "trace-file".into();
+        let result = run_point_with_registry(&replay_point, &Transceiver::raw(), &replay_registry);
+        let replayed = result.outcome.expect("replay runs");
+        assert_eq!(replayed.bandwidth_kbps, recorded.bandwidth_kbps);
+        assert_eq!(replayed.error_rate, recorded.error_rate);
+        assert_eq!(replayed.frames_sent, recorded.frames_sent);
+    }
+
+    #[test]
+    fn malformed_headers_and_events_are_rejected_with_context() {
+        let registry = BackendRegistry::standard();
+        assert!(parse_trace("", &registry).is_err());
+        let bad_schema = "{\"schema\":\"other/v9\"}";
+        assert!(parse_trace(bad_schema, &registry)
+            .unwrap_err()
+            .contains("schema"));
+        let point = quick_point();
+        let trace = Trace::from_parts(
+            soc_sim::prelude::SocConfig::kaby_lake_noiseless(),
+            vec![],
+            0,
+        );
+        let mut text = trace_to_string(&point, &trace);
+        text.push_str("{\"op\":\"warp\"}\n");
+        let err = parse_trace(&text, &registry).unwrap_err();
+        assert!(err.contains("warp"), "{err}");
+    }
+
+    #[test]
+    fn hostile_backend_names_survive_the_header_round_trip() {
+        // Registry keys are caller-controlled; quotes and backslashes in a
+        // registered name must be escaped on write and restored on read
+        // instead of desyncing the header scanner.
+        let registry = BackendRegistry::standard().with_spec(BackendSpec::new(
+            "odd\"name\\v1",
+            "hostile key",
+            soc_sim::prelude::TopologySpec::kaby_lake_gen9,
+        ));
+        let mut point = quick_point();
+        point.backend = "odd\"name\\v1".into();
+        let trace = Trace::from_parts(registry.get("odd\"name\\v1").unwrap().config(), vec![], 0);
+        let text = trace_to_string(&point, &trace);
+        let (read_point, _) = parse_trace(&text, &registry).expect("parses back");
+        assert_eq!(read_point.backend, "odd\"name\\v1");
+        assert_eq!(read_point.bits, point.bits);
+    }
+
+    #[test]
+    fn truncated_files_are_detected_by_the_event_count() {
+        let registry = BackendRegistry::standard();
+        let point = quick_point();
+        let (_, trace) =
+            record_point_trace(&point, &Transceiver::raw(), &registry).expect("recording runs");
+        let text = trace_to_string(&point, &trace);
+        let truncated: String = text
+            .lines()
+            .take(text.lines().count() - 2)
+            .map(|l| format!("{l}\n"))
+            .collect();
+        let err = parse_trace(&truncated, &registry).unwrap_err();
+        assert!(err.contains("truncated"), "{err}");
+    }
+}

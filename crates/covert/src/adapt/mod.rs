@@ -1,0 +1,313 @@
+//! Closed-loop link control: run-time code/rate adaptation and full-duplex
+//! TDD scheduling on top of any [`crate::channel::engine::CovertChannel`].
+//!
+//! The paper evaluates its channels at fixed operating points, and the
+//! PR 2 link-code layer made the operating point *configurable* — but still
+//! static for a whole transmission. The two ambient regimes the scenario
+//! sweeps expose want opposite points: a quiet cell maximizes goodput with a
+//! light code and short symbols, a contended cell needs Reed–Solomon and
+//! stretched symbols. This module closes the loop:
+//!
+//! * [`LinkController`] observes per-window feedback ([`LinkObservation`]:
+//!   residual BER, retransmissions, corrected bits, achieved goodput) and
+//!   answers with a [`LinkAction`] — hold, or move to another
+//!   [`LinkSetting`] (link code × symbol-repeat factor).
+//! * Three policies ship: [`FixedPolicy`] (the static baseline),
+//!   [`ThresholdPolicy`] (hysteresis bands on the residual error rate) and
+//!   [`AimdPolicy`] (probe faster settings on clean windows, back off
+//!   multiplicatively on decode failures).
+//! * [`AdaptiveTransceiver`] wraps the shared transceiver engine: it
+//!   re-chunks the payload into adaptation windows, applies the
+//!   controller's setting between windows, and records the per-window
+//!   [`crate::metrics::AdaptationTrace`] on the report.
+//! * [`DuplexScheduler`] runs two channels (one per direction) as
+//!   interleaved TDD slots on the same controller clock, with
+//!   demand-weighted slot allocation replacing strict turn-taking.
+
+pub mod duplex;
+pub mod policy;
+pub mod transceiver;
+
+pub use duplex::{
+    DuplexConfig, DuplexReport, DuplexScheduler, SlotAllocation, SlotDirection, SlotRecord,
+};
+pub use policy::{AimdPolicy, FixedPolicy, ThresholdPolicy};
+pub use transceiver::{AdaptiveConfig, AdaptiveTransceiver};
+
+use crate::code::LinkCodeKind;
+use soc_sim::clock::Time;
+
+/// One operating point of the link: the forward-error-correction code and
+/// the symbol-repeat factor (effective symbol time in nominal symbol times).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct LinkSetting {
+    /// Link code applied per frame.
+    pub code: LinkCodeKind,
+    /// Wire-symbol repetition factor (1 = nominal symbol time). Clamped to
+    /// at least 1 wherever a setting is applied — no controller can select
+    /// a zero-rate configuration.
+    pub symbol_repeat: usize,
+}
+
+impl LinkSetting {
+    /// The fastest (and most fragile) setting: uncoded, nominal symbols.
+    pub fn lightest() -> Self {
+        LinkSetting {
+            code: LinkCodeKind::None,
+            symbol_repeat: 1,
+        }
+    }
+
+    /// A setting from parts, with the repeat factor clamped to at least 1.
+    pub fn new(code: LinkCodeKind, symbol_repeat: usize) -> Self {
+        LinkSetting {
+            code,
+            symbol_repeat: symbol_repeat.max(1),
+        }
+    }
+
+    /// The shared robustness ladder the built-in policies walk, ordered
+    /// from fastest/most fragile to slowest/most robust: uncoded →
+    /// Hamming(7,4) → Reed–Solomon → Reed–Solomon at tripled symbol time.
+    ///
+    /// The ordering is by *protection*, not by rate (Hamming's rate, 0.57,
+    /// is below Reed–Solomon's 0.67); the policies verify every move in
+    /// goodput terms, so a rung that is a goodput valley between its
+    /// neighbours on some channel is bounced off rather than settled in.
+    /// Two codes are deliberately not rungs at all. CRC-8 is a trap: when
+    /// flips are rare the uncoded rung beats its overhead, and when flips
+    /// are common its detected errors become full-window retransmission
+    /// storms that the correcting rungs simply repair in place — it loses
+    /// on both sides of the regime it would be picked for. And the
+    /// repeated rung jumps straight from x1 to x3 because even repeats add
+    /// nothing: a 2-copy majority vote ties back to the first copy, so x2
+    /// pays double airtime for x1 robustness.
+    pub fn ladder() -> Vec<LinkSetting> {
+        vec![
+            LinkSetting::new(LinkCodeKind::None, 1),
+            LinkSetting::new(LinkCodeKind::Hamming74, 1),
+            LinkSetting::new(LinkCodeKind::rs_default(), 1),
+            LinkSetting::new(LinkCodeKind::rs_default(), 3),
+        ]
+    }
+
+    /// Nominal information rate of the setting: payload bits per wire
+    /// symbol time. Strictly positive for every constructible setting.
+    pub fn rate(&self) -> f64 {
+        self.code.rate() / self.symbol_repeat.max(1) as f64
+    }
+
+    /// Compact label for reports (`none`, `rs(12,8,4) x3`, …).
+    pub fn label(&self) -> String {
+        if self.symbol_repeat <= 1 {
+            self.code.label()
+        } else {
+            format!("{} x{}", self.code.label(), self.symbol_repeat)
+        }
+    }
+}
+
+impl Default for LinkSetting {
+    fn default() -> Self {
+        Self::lightest()
+    }
+}
+
+/// Per-window feedback a [`LinkController`] observes: what the window ran
+/// with and what the link layer measured while it ran.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LinkObservation {
+    /// Zero-based window index within the transmission.
+    pub window_index: usize,
+    /// The setting the window ran with.
+    pub setting: LinkSetting,
+    /// Payload bits attempted in the window.
+    pub payload_bits: usize,
+    /// Frames the engine moved in the window (retransmissions included).
+    pub frames_sent: usize,
+    /// Residual bit-error rate after decoding, over the window's payload.
+    pub residual_ber: f64,
+    /// Goodput achieved over the window (kb/s).
+    pub goodput_kbps: f64,
+    /// Frame retransmissions within the window.
+    pub retransmissions: usize,
+    /// Frame decodes that reported uncorrectable residual errors.
+    pub decode_failures: usize,
+    /// Bits the link-code decoder repaired.
+    pub corrected_bits: usize,
+    /// Simulated time the window took.
+    pub elapsed: Time,
+}
+
+impl LinkObservation {
+    /// Fraction of the window's frames that had to be retransmitted, in
+    /// `[0, 1)` — the congestion signal detect-only codes produce when the
+    /// error itself is corrected away by retrying.
+    pub fn retransmission_rate(&self) -> f64 {
+        if self.frames_sent == 0 {
+            0.0
+        } else {
+            self.retransmissions as f64 / self.frames_sent as f64
+        }
+    }
+
+    /// Whether the window completed without any sign of channel distress:
+    /// no residual errors, no failed decodes, no retransmissions.
+    pub fn is_clean(&self) -> bool {
+        self.residual_ber <= 0.0 && self.decode_failures == 0 && self.retransmissions == 0
+    }
+}
+
+/// A controller's verdict after observing one window.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LinkAction {
+    /// Keep the current setting.
+    Hold,
+    /// Move to another setting starting with the next window.
+    Set(LinkSetting),
+}
+
+/// A closed-loop link-control policy: observes one [`LinkObservation`] per
+/// adaptation window and steers the [`LinkSetting`] the next window runs
+/// with.
+pub trait LinkController: Send {
+    /// Short policy name for reports and sweep rows.
+    fn name(&self) -> &'static str;
+
+    /// The setting the first window runs with.
+    fn initial(&self) -> LinkSetting;
+
+    /// Observes a completed window and decides the next setting.
+    fn observe(&mut self, observation: &LinkObservation) -> LinkAction;
+}
+
+/// The built-in policy families, as a compact configuration value the sweep
+/// grids and the `repro` CLI pass around.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PolicyKind {
+    /// Static setting for the whole transmission (the baseline).
+    Fixed,
+    /// Hysteresis bands on the residual error rate.
+    Threshold,
+    /// Additive-increase / multiplicative-decrease probing.
+    Aimd,
+}
+
+impl PolicyKind {
+    /// Every policy family, in report order.
+    pub const ALL: [PolicyKind; 3] = [PolicyKind::Fixed, PolicyKind::Threshold, PolicyKind::Aimd];
+
+    /// Human-readable label, re-parseable by [`PolicyKind::parse`].
+    pub fn label(self) -> &'static str {
+        match self {
+            PolicyKind::Fixed => "fixed",
+            PolicyKind::Threshold => "threshold",
+            PolicyKind::Aimd => "aimd",
+        }
+    }
+
+    /// Parses a CLI label (`fixed`, `threshold`, `aimd`).
+    ///
+    /// # Errors
+    ///
+    /// Returns a message listing the known policies.
+    pub fn parse(text: &str) -> Result<Self, String> {
+        match text.trim().to_ascii_lowercase().as_str() {
+            "fixed" => Ok(PolicyKind::Fixed),
+            "threshold" => Ok(PolicyKind::Threshold),
+            "aimd" => Ok(PolicyKind::Aimd),
+            other => Err(format!(
+                "unknown policy {other:?} (known policies: fixed, threshold, aimd)"
+            )),
+        }
+    }
+
+    /// Builds the controller this kind describes. `fixed_setting` is the
+    /// operating point of the [`FixedPolicy`] baseline; the adaptive
+    /// policies ignore it and start from their own initial rung.
+    pub fn build(self, fixed_setting: LinkSetting) -> Box<dyn LinkController> {
+        match self {
+            PolicyKind::Fixed => Box::new(FixedPolicy::new(fixed_setting)),
+            PolicyKind::Threshold => Box::new(ThresholdPolicy::paper_default()),
+            PolicyKind::Aimd => Box::new(AimdPolicy::paper_default()),
+        }
+    }
+}
+
+impl std::fmt::Display for PolicyKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.label())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ladder_spans_the_rate_range_and_never_hits_zero() {
+        let ladder = LinkSetting::ladder();
+        assert!(ladder.len() >= 3);
+        assert_eq!(ladder[0], LinkSetting::lightest());
+        // The ends are ordered by rate even though the middle rungs trade
+        // rate for *different kinds* of robustness (Hamming for isolated
+        // flips, Reed-Solomon for bursts).
+        let first = ladder[0].rate();
+        let last = ladder.last().unwrap().rate();
+        assert!(first > 2.0 * last, "ladder must span a real rate range");
+        for setting in &ladder {
+            assert!(setting.rate() > 0.0, "{} has zero rate", setting.label());
+            assert!(setting.symbol_repeat >= 1);
+        }
+    }
+
+    #[test]
+    fn setting_construction_clamps_the_repeat_factor() {
+        let s = LinkSetting::new(LinkCodeKind::Crc8, 0);
+        assert_eq!(s.symbol_repeat, 1);
+        assert!(s.rate() > 0.0);
+    }
+
+    #[test]
+    fn labels_cover_code_and_repeat() {
+        assert_eq!(LinkSetting::lightest().label(), "none");
+        assert_eq!(
+            LinkSetting::new(LinkCodeKind::Hamming74, 3).label(),
+            "hamming74 x3"
+        );
+    }
+
+    #[test]
+    fn policy_kind_labels_parse_back() {
+        for kind in PolicyKind::ALL {
+            assert_eq!(PolicyKind::parse(kind.label()), Ok(kind));
+        }
+        let err = PolicyKind::parse("genie").unwrap_err();
+        assert!(err.contains("threshold") && err.contains("aimd"), "{err}");
+    }
+
+    #[test]
+    fn observation_helpers_summarize_distress() {
+        let clean = LinkObservation {
+            window_index: 0,
+            setting: LinkSetting::lightest(),
+            payload_bits: 64,
+            frames_sent: 1,
+            residual_ber: 0.0,
+            goodput_kbps: 100.0,
+            retransmissions: 0,
+            decode_failures: 0,
+            corrected_bits: 0,
+            elapsed: Time::from_us(1),
+        };
+        assert!(clean.is_clean());
+        assert_eq!(clean.retransmission_rate(), 0.0);
+        let dirty = LinkObservation {
+            retransmissions: 2,
+            frames_sent: 4,
+            ..clean
+        };
+        assert!(!dirty.is_clean());
+        assert!((dirty.retransmission_rate() - 0.5).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,690 @@
+//! The built-in link-control policies.
+//!
+//! All three walk the shared [`LinkSetting::ladder`] — a robustness ladder
+//! from the uncoded nominal-symbol setting to interleaved Reed–Solomon at
+//! 3x symbol time — and differ only in *how* they move along it:
+//!
+//! * [`FixedPolicy`] never moves (the baseline every adaptive run is
+//!   compared against);
+//! * [`ThresholdPolicy`] steps one rung at a time, with a hysteresis band
+//!   between its raise and clear thresholds so a window that is neither
+//!   clearly bad nor clearly clean holds the current rung;
+//! * [`AimdPolicy`] probes one rung lighter after every clean window and
+//!   backs off multiplicatively (rung index doubles) on distress — the
+//!   TCP-shaped response to a channel whose noise arrives in bursts.
+
+use super::{LinkAction, LinkController, LinkObservation, LinkSetting};
+
+/// Static baseline: holds one setting for the whole transmission.
+#[derive(Debug, Clone)]
+pub struct FixedPolicy {
+    setting: LinkSetting,
+}
+
+impl FixedPolicy {
+    /// A fixed policy pinned to `setting`.
+    pub fn new(setting: LinkSetting) -> Self {
+        FixedPolicy { setting }
+    }
+}
+
+impl Default for FixedPolicy {
+    fn default() -> Self {
+        FixedPolicy::new(LinkSetting::lightest())
+    }
+}
+
+impl LinkController for FixedPolicy {
+    fn name(&self) -> &'static str {
+        "fixed"
+    }
+
+    fn initial(&self) -> LinkSetting {
+        self.setting
+    }
+
+    fn observe(&mut self, _observation: &LinkObservation) -> LinkAction {
+        LinkAction::Hold
+    }
+}
+
+/// Decides whether a window showed enough channel distress to demand a more
+/// robust setting: residual errors above `raise_ber`, or every decode
+/// failing (nothing usable arrived at all).
+///
+/// Retransmissions alone are deliberately *not* distress: a window that
+/// straddles a noise burst delivers its payload clean through a retry, and
+/// on a slow channel whose windows are long relative to the bursts that
+/// happens to most windows at the heavy rungs — treating it as distress
+/// would wedge the policy at the most expensive setting permanently.
+fn window_is_bad(observation: &LinkObservation, raise_ber: f64) -> bool {
+    observation.residual_ber > raise_ber
+        || (observation.decode_failures > 0
+            && observation.decode_failures >= observation.frames_sent)
+}
+
+/// An in-flight descent probe: the rung the policy left and the goodput it
+/// was achieving there.
+#[derive(Debug, Clone, Copy)]
+struct Probe {
+    from_rung: usize,
+    from_goodput: f64,
+}
+
+/// Windows a reverted probe blocks further descent probes for (doubled on
+/// every consecutive revert, up to [`MAX_PROBE_COOLDOWN`]). Probing is how
+/// the policies find lighter operating points, but a blown probe burns a
+/// window of airtime at a setting the channel cannot carry — a policy
+/// wedged at its optimum must probe *rarely*, not never.
+const PROBE_COOLDOWN: usize = 3;
+
+/// Upper bound of the exponential probe backoff.
+const MAX_PROBE_COOLDOWN: usize = 16;
+
+/// Shared descent-probe state of the adaptive policies: which probe is in
+/// flight, how long until the next one may start, and how many rungs down
+/// the next one aims.
+///
+/// Two refinements make probing affordable. **Exponential backoff**: every
+/// consecutive goodput-revert doubles the cooldown, so a policy sitting at
+/// its true optimum stops paying the probe tax; any distressed window
+/// resets the backoff — a regime change means the old conclusion is stale.
+/// **Probe deepening**: a probe that came back *clean but slower* is a
+/// goodput valley, not noise (think CRC-8 sitting between Reed–Solomon and
+/// the uncoded setting: lower rate than RS on a channel where its detected
+/// errors force retransmissions) — the next probe aims one rung further
+/// down to jump the valley instead of bouncing off it forever.
+#[derive(Debug, Clone)]
+struct Prober {
+    probe: Option<Probe>,
+    cooldown: usize,
+    backoff: usize,
+    depth: usize,
+    /// A recent commit still on trial: `(windows_left, fallback_rung)`.
+    trial: Option<(usize, usize)>,
+}
+
+/// Windows a committed probe stays on trial: distress inside this horizon
+/// sends the policy straight back to the rung the probe came from (with the
+/// probe backoff escalated), because the commit was bought with one lucky
+/// window on a channel whose losses are bursty — a single clean window at
+/// an uncoded setting says little on a link with a 40 % frame-loss floor.
+const COMMIT_TRIAL_WINDOWS: usize = 3;
+
+/// What the prober concluded from the window that just finished.
+enum ProbeVerdict {
+    /// No probe was in flight.
+    Idle,
+    /// The probed rung carries its weight: stay there.
+    Commit,
+    /// The probed rung is worse: return to `rung`.
+    Revert(usize),
+}
+
+impl Prober {
+    fn new() -> Self {
+        Prober {
+            probe: None,
+            cooldown: 0,
+            backoff: PROBE_COOLDOWN,
+            depth: 1,
+            trial: None,
+        }
+    }
+
+    /// Handles a distressed window: aborts any in-flight probe or on-trial
+    /// commit (returning the rung to fall back to) and resets the probing
+    /// posture — for a genuine regime change both the backoff and the
+    /// valley depth start over, while a failed trial escalates the backoff
+    /// (the commit itself was the mistake, not the weather).
+    fn on_bad_window(&mut self) -> Option<usize> {
+        if let Some(probe) = self.probe.take() {
+            // A probe blown by distress is still a failed probe: the
+            // lighter rung cannot carry the channel right now, so probing
+            // backs off exactly as it does after a goodput revert.
+            self.depth = 1;
+            self.cooldown = self.backoff;
+            self.backoff = (self.backoff * 2).min(MAX_PROBE_COOLDOWN);
+            self.trial = None;
+            return Some(probe.from_rung);
+        }
+        if let Some((_, fallback)) = self.trial.take() {
+            self.cooldown = self.backoff;
+            self.backoff = (self.backoff * 2).min(MAX_PROBE_COOLDOWN);
+            return Some(fallback);
+        }
+        self.depth = 1;
+        self.backoff = PROBE_COOLDOWN;
+        self.cooldown = 0;
+        None
+    }
+
+    /// Judges an in-flight probe against the completed (non-distressed)
+    /// window.
+    ///
+    /// A probe commits only if the lighter rung delivered at least ~90 % of
+    /// the goodput the heavier rung was achieving — otherwise the lighter
+    /// setting is objectively worse on this channel right now (its extra
+    /// frame losses outweigh its lower overhead). This is what keeps a
+    /// policy from abandoning Reed–Solomon on a channel whose *intrinsic*
+    /// error floor makes light codes a goodput trap, while still letting
+    /// it ride an uncoded link when the medium is genuinely clean.
+    fn judge(&mut self, observation: &LinkObservation) -> ProbeVerdict {
+        let Some(probe) = self.probe.take() else {
+            self.cooldown = self.cooldown.saturating_sub(1);
+            if let Some((left, fallback)) = self.trial.take() {
+                // A calm window at the committed rung: the trial matures,
+                // and a survived trial earns the probe budget back.
+                if left > 1 {
+                    self.trial = Some((left - 1, fallback));
+                } else {
+                    self.backoff = PROBE_COOLDOWN;
+                }
+            }
+            return ProbeVerdict::Idle;
+        };
+        if observation.goodput_kbps >= 0.9 * probe.from_goodput {
+            self.depth = 1;
+            self.trial = Some((COMMIT_TRIAL_WINDOWS, probe.from_rung));
+            ProbeVerdict::Commit
+        } else {
+            // Clean but slower: a valley. Aim deeper next time, and probe
+            // less often.
+            self.depth += 1;
+            self.cooldown = self.backoff;
+            self.backoff = (self.backoff * 2).min(MAX_PROBE_COOLDOWN);
+            ProbeVerdict::Revert(probe.from_rung)
+        }
+    }
+
+    /// Whether a new probe may start.
+    fn ready(&self) -> bool {
+        self.probe.is_none() && self.cooldown == 0
+    }
+
+    /// Starts a probe from `rung` (achieving `goodput`), returning the
+    /// target rung.
+    fn start(&mut self, rung: usize, goodput: f64) -> usize {
+        self.probe = Some(Probe {
+            from_rung: rung,
+            from_goodput: goodput,
+        });
+        rung.saturating_sub(self.depth)
+    }
+}
+
+/// An ascent on trial: the rung the policy climbed from and the goodput of
+/// the distressed window that triggered the climb.
+///
+/// Distress says which *direction* to move; it does not say how far. On a
+/// channel where the burst-optimal setting still drops some windows, every
+/// rung "looks bad" during a burst and a distress-only ascent escalates
+/// straight past the optimum to the most expensive rung. The climb trial
+/// closes the loop with the same currency as the descent probes: the
+/// heavier rung is adopted only if its first window actually *delivered
+/// more* than the window that triggered the climb — otherwise the policy
+/// drops back and tolerates the distress for [`CLIMB_COOLDOWN`] windows
+/// before trying again.
+#[derive(Debug, Clone, Copy)]
+struct ClimbTrial {
+    from_rung: usize,
+    from_goodput: f64,
+}
+
+/// Windows a failed climb trial suppresses further distress-driven climbs.
+const CLIMB_COOLDOWN: usize = 3;
+
+/// Hysteresis-band policy: distressed windows (residual error rate past
+/// `raise_ber`) trigger a goodput-verified climb, `patience` consecutive
+/// windows below `clear_ber` trigger a goodput-verified descent probe, and
+/// windows inside the band hold the rung and reset the clean streak — the
+/// hysteresis that keeps the policy from oscillating on borderline noise.
+#[derive(Debug, Clone)]
+pub struct ThresholdPolicy {
+    ladder: Vec<LinkSetting>,
+    rung: usize,
+    raise_ber: f64,
+    clear_ber: f64,
+    patience: usize,
+    clean_streak: usize,
+    prober: Prober,
+    climb: Option<ClimbTrial>,
+    climb_cooldown: usize,
+}
+
+impl ThresholdPolicy {
+    /// The calibration the reproduction uses over 64-bit windows: raise
+    /// above 3 % residual BER (a window of 64 bits quantizes one flip to
+    /// ~1.6 %, so the raise band means "two or more flips"), clear below
+    /// 0.4 %, two clean windows of patience before a descent probe.
+    pub fn paper_default() -> Self {
+        ThresholdPolicy::new(LinkSetting::ladder(), 0.03, 0.004, 2)
+    }
+
+    /// A policy over an explicit ladder and band.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the ladder is empty or the band is inverted
+    /// (`clear_ber > raise_ber`).
+    pub fn new(ladder: Vec<LinkSetting>, raise_ber: f64, clear_ber: f64, patience: usize) -> Self {
+        assert!(!ladder.is_empty(), "ladder needs at least one setting");
+        assert!(
+            clear_ber <= raise_ber,
+            "hysteresis band is inverted: clear {clear_ber} > raise {raise_ber}"
+        );
+        ThresholdPolicy {
+            ladder,
+            rung: 0,
+            raise_ber,
+            clear_ber,
+            patience: patience.max(1),
+            clean_streak: 0,
+            prober: Prober::new(),
+            climb: None,
+            climb_cooldown: 0,
+        }
+    }
+
+    /// The rung the policy currently sits on.
+    pub fn rung(&self) -> usize {
+        self.rung
+    }
+}
+
+impl LinkController for ThresholdPolicy {
+    fn name(&self) -> &'static str {
+        "threshold"
+    }
+
+    fn initial(&self) -> LinkSetting {
+        self.ladder[self.rung]
+    }
+
+    fn observe(&mut self, observation: &LinkObservation) -> LinkAction {
+        // An ascent on trial is judged first, on pure goodput: the heavier
+        // rung must beat the window that triggered the climb or the policy
+        // drops back and tolerates the distress for a while.
+        if let Some(trial) = self.climb.take() {
+            if observation.goodput_kbps <= trial.from_goodput {
+                self.rung = trial.from_rung;
+                self.climb_cooldown = CLIMB_COOLDOWN;
+                self.clean_streak = 0;
+                return LinkAction::Set(self.ladder[self.rung]);
+            }
+        }
+        self.climb_cooldown = self.climb_cooldown.saturating_sub(1);
+        if window_is_bad(observation, self.raise_ber) {
+            self.clean_streak = 0;
+            // A distressed probe window only *reverts* — the distress was
+            // measured at the probed rung, so it says nothing about
+            // whether the rung the probe left still copes. If the weather
+            // really changed, the next window (back at that rung) will be
+            // bad too and the climb happens one window later.
+            if let Some(from) = self.prober.on_bad_window() {
+                self.rung = from;
+                return LinkAction::Set(self.ladder[self.rung]);
+            }
+            if self.rung + 1 < self.ladder.len() && self.climb_cooldown == 0 {
+                self.climb = Some(ClimbTrial {
+                    from_rung: self.rung,
+                    from_goodput: observation.goodput_kbps,
+                });
+                self.rung += 1;
+                return LinkAction::Set(self.ladder[self.rung]);
+            }
+            return LinkAction::Hold;
+        }
+        match self.prober.judge(observation) {
+            ProbeVerdict::Commit => {
+                // The lighter rung carries its weight.
+                self.clean_streak = 0;
+                return LinkAction::Hold;
+            }
+            ProbeVerdict::Revert(from) => {
+                self.rung = from;
+                self.clean_streak = 0;
+                return LinkAction::Set(self.ladder[self.rung]);
+            }
+            ProbeVerdict::Idle => {}
+        }
+        // The descent gate is the residual error rate alone — NOT freedom
+        // from retransmissions. A heavy rung whose windows straddle noise
+        // bursts delivers clean payloads *through* retries forever; holding
+        // the descent hostage to retry-free windows would wedge the policy
+        // at the most expensive setting permanently.
+        if observation.residual_ber <= self.clear_ber {
+            self.clean_streak += 1;
+            if self.clean_streak >= self.patience && self.rung > 0 && self.prober.ready() {
+                self.clean_streak = 0;
+                self.rung = self.prober.start(self.rung, observation.goodput_kbps);
+                return LinkAction::Set(self.ladder[self.rung]);
+            }
+            return LinkAction::Hold;
+        }
+        // Inside the band: hold, and require the streak to restart.
+        self.clean_streak = 0;
+        LinkAction::Hold
+    }
+}
+
+/// Additive-increase / multiplicative-decrease policy: undistressed
+/// windows probe one rung lighter (additive increase of the information
+/// rate, committed only when the probe matches the heavier rung's
+/// goodput); any distressed window doubles the rung index on a climb
+/// trial (multiplicative decrease), jumping most of the way to the heavy
+/// end of the ladder in one or two windows — the right shape when noise
+/// arrives as bursts that would eat several windows of one-rung stepping.
+#[derive(Debug, Clone)]
+pub struct AimdPolicy {
+    ladder: Vec<LinkSetting>,
+    rung: usize,
+    raise_ber: f64,
+    prober: Prober,
+    climb: Option<ClimbTrial>,
+    climb_cooldown: usize,
+}
+
+impl AimdPolicy {
+    /// The calibration the reproduction uses: the default ladder, starting
+    /// light, with distress meaning two or more residual flips in a 64-bit
+    /// window (3 %) or a retransmission storm.
+    pub fn paper_default() -> Self {
+        AimdPolicy::new(LinkSetting::ladder(), 0.03)
+    }
+
+    /// A policy over an explicit ladder.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the ladder is empty.
+    pub fn new(ladder: Vec<LinkSetting>, raise_ber: f64) -> Self {
+        assert!(!ladder.is_empty(), "ladder needs at least one setting");
+        AimdPolicy {
+            ladder,
+            rung: 0,
+            raise_ber,
+            prober: Prober::new(),
+            climb: None,
+            climb_cooldown: 0,
+        }
+    }
+
+    /// The rung the policy currently sits on.
+    pub fn rung(&self) -> usize {
+        self.rung
+    }
+}
+
+impl LinkController for AimdPolicy {
+    fn name(&self) -> &'static str {
+        "aimd"
+    }
+
+    fn initial(&self) -> LinkSetting {
+        self.ladder[self.rung]
+    }
+
+    fn observe(&mut self, observation: &LinkObservation) -> LinkAction {
+        let top = self.ladder.len() - 1;
+        // An ascent on trial is judged on pure goodput, like the threshold
+        // policy's.
+        if let Some(trial) = self.climb.take() {
+            if observation.goodput_kbps <= trial.from_goodput {
+                self.rung = trial.from_rung;
+                self.climb_cooldown = CLIMB_COOLDOWN;
+                return LinkAction::Set(self.ladder[self.rung]);
+            }
+        }
+        self.climb_cooldown = self.climb_cooldown.saturating_sub(1);
+        if window_is_bad(observation, self.raise_ber) {
+            // A blown probe only reverts (see ThresholdPolicy::observe).
+            if let Some(from) = self.prober.on_bad_window() {
+                self.rung = from;
+                return LinkAction::Set(self.ladder[self.rung]);
+            }
+            // Multiplicative decrease of the rate: double the rung index
+            // (from the lightest rung, step to 1 first), on trial.
+            let next = (self.rung * 2).max(self.rung + 1).min(top);
+            if next == self.rung || self.climb_cooldown > 0 {
+                return LinkAction::Hold;
+            }
+            self.climb = Some(ClimbTrial {
+                from_rung: self.rung,
+                from_goodput: observation.goodput_kbps,
+            });
+            self.rung = next;
+            return LinkAction::Set(self.ladder[self.rung]);
+        }
+        match self.prober.judge(observation) {
+            ProbeVerdict::Commit => return LinkAction::Hold,
+            ProbeVerdict::Revert(from) => {
+                self.rung = from;
+                return LinkAction::Set(self.ladder[self.rung]);
+            }
+            ProbeVerdict::Idle => {}
+        }
+        // Any window that was not distressed is a probing opportunity —
+        // AIMD is the aggressive prober (see ThresholdPolicy for why the
+        // gate must not demand retry-free windows).
+        if self.rung > 0 && self.prober.ready() {
+            // Additive increase: probe lighter.
+            self.rung = self.prober.start(self.rung, observation.goodput_kbps);
+            return LinkAction::Set(self.ladder[self.rung]);
+        }
+        LinkAction::Hold
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::code::LinkCodeKind;
+    use soc_sim::clock::Time;
+
+    /// Ladder index of a setting (off-ladder settings count as rung 0).
+    fn rung_of(setting: LinkSetting) -> usize {
+        LinkSetting::ladder()
+            .iter()
+            .position(|s| *s == setting)
+            .unwrap_or(0)
+    }
+
+    /// A synthetic observation mimicking the measured channel economics:
+    /// clean windows get faster as the setting gets lighter, dirty windows
+    /// deliver *something* — and more of it the more robust the setting —
+    /// which is the gradient the goodput-verified climbs ratchet up.
+    fn observe_synthetic(setting: LinkSetting, index: usize, dirty: bool) -> LinkObservation {
+        let rung = rung_of(setting);
+        LinkObservation {
+            window_index: index,
+            setting,
+            payload_bits: 64,
+            frames_sent: 1,
+            residual_ber: if dirty { 0.05 } else { 0.0 },
+            goodput_kbps: if dirty {
+                5.0 + 10.0 * rung as f64
+            } else {
+                100.0 - rung as f64
+            },
+            retransmissions: 0,
+            decode_failures: usize::from(dirty),
+            corrected_bits: 0,
+            elapsed: Time::from_us(10),
+        }
+    }
+
+    /// Drives a controller against an environment where a window is dirty
+    /// unless its setting is at least as robust as `clean_from` (ladder
+    /// index), returning the settings each window ran with.
+    fn drive(
+        controller: &mut dyn LinkController,
+        windows: usize,
+        clean_from: usize,
+    ) -> Vec<LinkSetting> {
+        let ladder = LinkSetting::ladder();
+        let mut setting = controller.initial();
+        let mut history = Vec::new();
+        for index in 0..windows {
+            history.push(setting);
+            // Settings off the ladder (a pinned FixedPolicy point) count as
+            // robust enough: the environment only punishes light rungs.
+            let rung = ladder
+                .iter()
+                .position(|s| *s == setting)
+                .unwrap_or(usize::MAX);
+            let dirty = rung < clean_from;
+            if let LinkAction::Set(next) =
+                controller.observe(&observe_synthetic(setting, index, dirty))
+            {
+                setting = next;
+            }
+        }
+        history
+    }
+
+    #[test]
+    fn fixed_policy_never_moves() {
+        let pinned = LinkSetting::new(LinkCodeKind::Hamming74, 2);
+        let mut policy = FixedPolicy::new(pinned);
+        let history = drive(&mut policy, 10, usize::MAX);
+        assert!(history.iter().all(|s| *s == pinned));
+    }
+
+    #[test]
+    fn threshold_policy_climbs_under_sustained_noise_and_descends_in_quiet() {
+        // Everything below Reed-Solomon (rung 2) is dirty: the policy must
+        // climb there and spend most windows on an RS setting.
+        let mut policy = ThresholdPolicy::paper_default();
+        let history = drive(&mut policy, 32, 2);
+        let first_rs = history
+            .iter()
+            .position(|s| matches!(s.code, LinkCodeKind::ReedSolomon { .. }))
+            .expect("policy must reach RS");
+        assert!(
+            first_rs <= 4,
+            "goodput-ratcheted climbing reaches RS quickly, took {first_rs}"
+        );
+        let rs_windows = history
+            .iter()
+            .filter(|s| matches!(s.code, LinkCodeKind::ReedSolomon { .. }))
+            .count();
+        assert!(
+            rs_windows >= 20,
+            "policy must spend most windows on RS (probes allowed), got {rs_windows}/32"
+        );
+        // A long all-clean stretch walks back to the lightest rung and
+        // stays (probes from rung 0 cannot go lower).
+        let mut policy = ThresholdPolicy::paper_default();
+        let history = drive(&mut policy, 32, 0);
+        assert_eq!(*history.last().unwrap(), LinkSetting::lightest());
+        let light_windows = history
+            .iter()
+            .filter(|s| s.code == LinkCodeKind::None)
+            .count();
+        assert!(light_windows >= 24, "got {light_windows}/32 light windows");
+    }
+
+    #[test]
+    fn aimd_policy_backs_off_multiplicatively_and_probes_additively() {
+        let mut policy = AimdPolicy::paper_default();
+        // Sustained noise below the top rung: AIMD must reach and mostly
+        // hold a Reed-Solomon setting.
+        let history = drive(&mut policy, 32, 2);
+        let first_rs = history
+            .iter()
+            .position(|s| matches!(s.code, LinkCodeKind::ReedSolomon { .. }))
+            .expect("AIMD must reach RS");
+        assert!(
+            first_rs <= 4,
+            "doubling must reach RS quickly, took {first_rs}"
+        );
+        let rs_windows = history
+            .iter()
+            .filter(|s| matches!(s.code, LinkCodeKind::ReedSolomon { .. }))
+            .count();
+        assert!(rs_windows >= 16, "got {rs_windows}/32 RS windows");
+        // Sustained quiet: returns to (and stays at) the lightest rung.
+        let mut policy = AimdPolicy::paper_default();
+        let history = drive(&mut policy, 24, 0);
+        assert_eq!(*history.last().unwrap(), LinkSetting::lightest());
+    }
+
+    #[test]
+    fn policies_clamp_at_both_ladder_ends_and_never_pick_zero_rate() {
+        let ladder = LinkSetting::ladder();
+        let top = *ladder.last().unwrap();
+        let mut threshold = ThresholdPolicy::paper_default();
+        let mut aimd = AimdPolicy::paper_default();
+        // Everything is always dirty: both must saturate at the top rung
+        // without stepping past it — and every setting along the way must
+        // have a strictly positive rate.
+        let mut t_setting = threshold.initial();
+        let mut a_setting = aimd.initial();
+        for index in 0..24 {
+            for (policy, setting) in [
+                (&mut threshold as &mut dyn LinkController, &mut t_setting),
+                (&mut aimd, &mut a_setting),
+            ] {
+                if let LinkAction::Set(next) =
+                    policy.observe(&observe_synthetic(*setting, index, true))
+                {
+                    *setting = next;
+                }
+                assert!(setting.rate() > 0.0, "zero-rate setting selected");
+                assert!(setting.symbol_repeat >= 1);
+            }
+        }
+        assert_eq!(t_setting, top);
+        assert_eq!(a_setting, top);
+        // Everything clean: both walk back and clamp at rung 0.
+        for index in 0..32 {
+            for (policy, setting) in [
+                (&mut threshold as &mut dyn LinkController, &mut t_setting),
+                (&mut aimd, &mut a_setting),
+            ] {
+                if let LinkAction::Set(next) =
+                    policy.observe(&observe_synthetic(*setting, index, false))
+                {
+                    *setting = next;
+                }
+            }
+        }
+        assert_eq!(t_setting, LinkSetting::lightest());
+        assert_eq!(a_setting, LinkSetting::lightest());
+    }
+
+    #[test]
+    fn retransmission_recovery_is_not_distress_but_total_decode_failure_is() {
+        // A window that delivered its payload clean *through* retries must
+        // not trigger a climb — on slow channels whose windows straddle
+        // noise bursts that is the steady state of the heavy rungs, and
+        // treating it as distress would wedge the policy at the most
+        // expensive setting (see `window_is_bad`).
+        let mut policy = ThresholdPolicy::paper_default();
+        let recovered = LinkObservation {
+            window_index: 0,
+            setting: LinkSetting::lightest(),
+            payload_bits: 64,
+            frames_sent: 3,
+            residual_ber: 0.0,
+            goodput_kbps: 40.0,
+            retransmissions: 2,
+            decode_failures: 1,
+            corrected_bits: 0,
+            elapsed: Time::from_us(30),
+        };
+        assert!(matches!(policy.observe(&recovered), LinkAction::Hold));
+        assert_eq!(policy.rung(), 0);
+        // A window where *every* decode failed is distress even with the
+        // residual masked by best-effort acceptance.
+        let hopeless = LinkObservation {
+            frames_sent: 3,
+            decode_failures: 3,
+            goodput_kbps: 0.0,
+            ..recovered
+        };
+        assert!(matches!(policy.observe(&hopeless), LinkAction::Set(_)));
+        assert_eq!(policy.rung(), 1);
+    }
+}

@@ -1,0 +1,387 @@
+//! The adaptive transceiver: the closed loop around the shared engine.
+//!
+//! [`AdaptiveTransceiver`] re-chunks a payload into *adaptation windows*
+//! and drives each window through the ordinary
+//! [`Transceiver`] with the [`LinkSetting`] the
+//! [`LinkController`] currently holds — the engine hook that applies a new
+//! code and symbol-repeat factor *between* windows without tearing the
+//! channel down. After every window the controller sees a
+//! [`LinkObservation`] (residual BER, retransmissions, corrected bits,
+//! achieved goodput) and may move the setting; the per-window history is
+//! recorded as an [`AdaptationTrace`] on the final report.
+
+use super::{LinkAction, LinkController, LinkObservation, LinkSetting};
+use crate::channel::engine::{CovertChannel, LinkStats, Transceiver, TransceiverConfig};
+use crate::error::ChannelError;
+use crate::metrics::{
+    AdaptationSummary, AdaptationTrace, CodingSummary, TransmissionReport, WindowRecord,
+};
+use soc_sim::clock::Time;
+
+/// Configuration of the adaptive transceiver.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AdaptiveConfig {
+    /// Payload bits per adaptation window (the controller's clock tick,
+    /// and the per-window frame size). Floored at 16 bits.
+    pub window_bits: usize,
+    /// The engine configuration every window runs with, apart from the
+    /// controller-owned axes (`code`, `symbol_repeat`). Forced to framed
+    /// mode — the adaptation loop needs frame boundaries for feedback.
+    pub base: TransceiverConfig,
+}
+
+impl AdaptiveConfig {
+    /// The defaults the reproduction uses: 64-bit windows (one engine frame
+    /// per window, the fastest control clock the framing allows) over the
+    /// paper-default framed engine.
+    pub fn paper_default() -> Self {
+        AdaptiveConfig {
+            window_bits: 64,
+            base: TransceiverConfig::paper_default(),
+        }
+    }
+
+    /// Replaces the window size.
+    pub fn with_window_bits(mut self, bits: usize) -> Self {
+        self.window_bits = bits;
+        self
+    }
+}
+
+impl Default for AdaptiveConfig {
+    fn default() -> Self {
+        Self::paper_default()
+    }
+}
+
+/// Closed-loop wrapper around the shared [`Transceiver`] engine: one
+/// controller, one channel, windows applied back to back on the channel's
+/// own clock.
+#[derive(Debug, Clone, Default)]
+pub struct AdaptiveTransceiver {
+    config: AdaptiveConfig,
+}
+
+impl AdaptiveTransceiver {
+    /// An adaptive transceiver with an explicit configuration.
+    pub fn new(config: AdaptiveConfig) -> Self {
+        AdaptiveTransceiver { config }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &AdaptiveConfig {
+        &self.config
+    }
+
+    /// Payload bits of a window run under `setting`. Deliberately *not*
+    /// shrunk at high repeat factors: a smaller payload does not shrink a
+    /// Reed–Solomon frame below one codeword, so "constant-airtime"
+    /// windows would pay the full codeword's wire bits for a fraction of
+    /// its payload — tripling the cost of exactly the rung the link
+    /// retreats to when the channel is at its worst.
+    fn window_payload_bits(&self, window_bits: usize, _setting: LinkSetting) -> usize {
+        window_bits.max(16)
+    }
+
+    /// The engine configuration a window runs with under `setting`.
+    fn window_engine(
+        &self,
+        setting: LinkSetting,
+        window_bits: usize,
+        first_window: bool,
+    ) -> TransceiverConfig {
+        let mut config = self.config.base;
+        config.framed = true;
+        config.code = setting.code;
+        config.symbol_repeat = setting.symbol_repeat.max(1);
+        // One frame per window: the window is the retransmission and
+        // feedback granularity.
+        config.frame_payload_bits = self.window_payload_bits(window_bits, setting);
+        if !first_window {
+            // Warm-up is a channel property, not a window property: only
+            // the first window pays it.
+            config.warmup_symbols = 0;
+        }
+        config
+    }
+
+    /// Moves `payload` over `channel`, adapting the link setting between
+    /// windows as directed by `controller`, and assembles a report whose
+    /// [`AdaptationSummary`] records the per-window history.
+    ///
+    /// # Errors
+    ///
+    /// Propagates calibration and protocol errors from the channel, exactly
+    /// like [`Transceiver::transmit_detailed`].
+    pub fn transmit<C: CovertChannel + ?Sized>(
+        &self,
+        channel: &mut C,
+        controller: &mut dyn LinkController,
+        payload: &[bool],
+    ) -> Result<(TransmissionReport, LinkStats), ChannelError> {
+        // The configured window size is honoured as given (floored at 16
+        // bits by `window_payload_bits`): the engine's frame size is
+        // resized to the window anyway, so smaller control clocks than the
+        // base frame are perfectly valid.
+        let window_bits = self.config.window_bits.max(16);
+        let mut setting = clamp_setting(controller.initial());
+        let mut sent = Vec::with_capacity(payload.len());
+        let mut received = Vec::with_capacity(payload.len());
+        let mut elapsed = Time::ZERO;
+        let mut totals = LinkStats::default();
+        let mut wire_bits = 0usize;
+        let mut residual_errors = 0usize;
+        let mut trace = AdaptationTrace::default();
+
+        let mut cursor = 0usize;
+        let mut index = 0usize;
+        while cursor < payload.len() {
+            let end = (cursor + self.window_payload_bits(window_bits, setting)).min(payload.len());
+            let window = &payload[cursor..end];
+            cursor = end;
+            let engine = Transceiver::new(self.window_engine(setting, window_bits, index == 0));
+            let (report, stats) = engine.transmit_detailed(channel, window)?;
+            let coding = report.coding.expect("framed engine attaches coding stats");
+            elapsed += report.elapsed;
+            wire_bits += coding.wire_bits;
+            residual_errors += coding.residual_errors;
+            totals.frames_sent += stats.frames_sent;
+            totals.sync_failures += stats.sync_failures;
+            totals.retransmissions += stats.retransmissions;
+            totals.decode_failures += stats.decode_failures;
+            totals.corrected_bits += stats.corrected_bits;
+
+            let observation = LinkObservation {
+                window_index: index,
+                setting,
+                payload_bits: window.len(),
+                frames_sent: stats.frames_sent,
+                residual_ber: report.residual_ber(),
+                goodput_kbps: report.goodput_kbps(),
+                retransmissions: stats.retransmissions,
+                decode_failures: stats.decode_failures,
+                corrected_bits: stats.corrected_bits,
+                elapsed: report.elapsed,
+            };
+            trace.windows.push(WindowRecord {
+                index,
+                code: setting.code,
+                symbol_repeat: setting.symbol_repeat,
+                payload_bits: window.len(),
+                wire_bits: coding.wire_bits,
+                goodput_kbps: observation.goodput_kbps,
+                residual_ber: observation.residual_ber,
+                retransmissions: stats.retransmissions,
+                corrected_bits: stats.corrected_bits,
+                decode_failures: stats.decode_failures,
+                elapsed: report.elapsed,
+            });
+            sent.extend_from_slice(&report.sent);
+            received.extend_from_slice(&report.received);
+
+            if let LinkAction::Set(next) = controller.observe(&observation) {
+                setting = clamp_setting(next);
+            }
+            index += 1;
+        }
+
+        let code_rate = if wire_bits == 0 {
+            1.0
+        } else {
+            payload.len() as f64 / wire_bits as f64
+        };
+        let coding = CodingSummary {
+            code: setting.code,
+            code_rate,
+            frame_payload_bits: self
+                .config
+                .base
+                .frame_payload_bits
+                .min(payload.len().max(1)),
+            wire_bits,
+            corrected_bits: totals.corrected_bits,
+            residual_errors,
+        };
+        let summary = AdaptationSummary {
+            policy: controller.name().to_string(),
+            window_bits,
+            switches: trace.switches(),
+            final_code: setting.code,
+            final_symbol_repeat: setting.symbol_repeat,
+            trace,
+        };
+        let report = TransmissionReport::try_new(sent, received, elapsed)?
+            .with_coding(coding)
+            .with_adaptation(summary);
+        Ok((report, totals))
+    }
+}
+
+/// The transceiver-side zero-rate guard: whatever a controller returns, the
+/// applied setting always has a repeat factor of at least 1.
+fn clamp_setting(setting: LinkSetting) -> LinkSetting {
+    LinkSetting::new(setting.code, setting.symbol_repeat)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::adapt::policy::{FixedPolicy, ThresholdPolicy};
+    use crate::channel::engine::{Calibration, ChannelDiagnostics, FrameResult};
+    use crate::code::LinkCodeKind;
+    use crate::metrics::test_pattern;
+
+    /// A loopback channel whose noise turns on and off by *bit count*: bits
+    /// sent while `noisy` returns true are flipped with a fixed stride —
+    /// a deterministic stand-in for the phased-noise backend.
+    struct PhasedLoopback {
+        sent_bits: usize,
+        noisy_between: (usize, usize),
+        flip_every: usize,
+    }
+
+    impl PhasedLoopback {
+        fn new(noisy_between: (usize, usize), flip_every: usize) -> Self {
+            PhasedLoopback {
+                sent_bits: 0,
+                noisy_between,
+                flip_every,
+            }
+        }
+    }
+
+    impl CovertChannel for PhasedLoopback {
+        fn calibrate(&mut self) -> Result<Calibration, ChannelError> {
+            Ok(Calibration {
+                symbol_time: Time::from_us(1),
+                quality: 10.0,
+                detail: "phased loopback".into(),
+            })
+        }
+
+        fn transmit_frame(&mut self, bits: &[bool]) -> Result<FrameResult, ChannelError> {
+            let received = bits
+                .iter()
+                .map(|&b| {
+                    self.sent_bits += 1;
+                    let in_burst = self.sent_bits >= self.noisy_between.0
+                        && self.sent_bits < self.noisy_between.1;
+                    if in_burst && self.sent_bits.is_multiple_of(self.flip_every) {
+                        !b
+                    } else {
+                        b
+                    }
+                })
+                .collect();
+            Ok(FrameResult {
+                received,
+                elapsed: Time::from_us(bits.len() as u64),
+            })
+        }
+
+        fn nominal_symbol_time(&self) -> Time {
+            Time::from_us(1)
+        }
+
+        fn diagnostics(&self) -> ChannelDiagnostics {
+            ChannelDiagnostics {
+                channel: "phased-loopback",
+                backend: "none".into(),
+                entries: vec![],
+            }
+        }
+    }
+
+    #[test]
+    fn fixed_policy_reproduces_the_plain_engine_accounting() {
+        let payload = test_pattern(256, 11);
+        let mut channel = PhasedLoopback::new((0, 0), usize::MAX);
+        let mut controller = FixedPolicy::new(LinkSetting::lightest());
+        let (report, stats) = AdaptiveTransceiver::new(AdaptiveConfig::paper_default())
+            .transmit(&mut channel, &mut controller, &payload)
+            .unwrap();
+        assert_eq!(report.bit_count(), 256);
+        assert_eq!(report.error_count(), 0);
+        let summary = report.adaptation.as_ref().expect("adaptation attached");
+        assert_eq!(summary.policy, "fixed");
+        assert_eq!(summary.switches, 0);
+        assert_eq!(summary.trace.windows.len(), 4);
+        assert_eq!(summary.trace.total_payload_bits(), 256);
+        assert_eq!(stats.frames_sent, 4);
+    }
+
+    #[test]
+    fn trace_accounting_sums_to_the_report_totals() {
+        let payload = test_pattern(320, 3);
+        let mut channel = PhasedLoopback::new((100, 260), 9);
+        let mut controller = ThresholdPolicy::paper_default();
+        let (report, _) = AdaptiveTransceiver::new(AdaptiveConfig::paper_default())
+            .transmit(&mut channel, &mut controller, &payload)
+            .unwrap();
+        let summary = report.adaptation.as_ref().unwrap();
+        assert_eq!(summary.trace.total_payload_bits(), report.bit_count());
+        assert_eq!(
+            summary.trace.total_wire_bits(),
+            report.coding.unwrap().wire_bits
+        );
+        assert_eq!(summary.trace.total_elapsed(), report.elapsed);
+        assert_eq!(
+            summary.switches,
+            summary.trace.switches(),
+            "summary and trace must agree on switch count"
+        );
+    }
+
+    #[test]
+    fn threshold_controller_reacts_to_a_mid_payload_burst() {
+        // Bits 150..600 on the wire are noisy; the controller starts light,
+        // hardens inside the burst, and the trace records the movement.
+        let payload = test_pattern(448, 5);
+        let mut channel = PhasedLoopback::new((150, 600), 7);
+        let mut controller = ThresholdPolicy::paper_default();
+        let (report, _) = AdaptiveTransceiver::new(AdaptiveConfig::paper_default())
+            .transmit(&mut channel, &mut controller, &payload)
+            .unwrap();
+        let summary = report.adaptation.as_ref().unwrap();
+        assert!(summary.switches >= 1, "controller must move at least once");
+        assert!(
+            summary
+                .trace
+                .windows
+                .iter()
+                .any(|w| w.code != LinkCodeKind::None),
+            "some window must run coded"
+        );
+        assert_eq!(summary.trace.windows[0].code, LinkCodeKind::None);
+    }
+
+    #[test]
+    fn window_engine_applies_setting_and_strips_later_warmups() {
+        let adaptive = AdaptiveTransceiver::new(AdaptiveConfig::paper_default());
+        let setting = LinkSetting::new(LinkCodeKind::rs_default(), 2);
+        let first = adaptive.window_engine(setting, 64, true);
+        assert_eq!(first.code, LinkCodeKind::rs_default());
+        assert_eq!(first.symbol_repeat, 2);
+        assert!(first.framed);
+        assert_eq!(
+            first.warmup_symbols,
+            TransceiverConfig::paper_default().warmup_symbols
+        );
+        let later = adaptive.window_engine(setting, 64, false);
+        assert_eq!(later.warmup_symbols, 0);
+    }
+
+    #[test]
+    fn window_payload_keeps_the_codeword_granularity_at_every_repeat() {
+        let adaptive = AdaptiveTransceiver::new(AdaptiveConfig::paper_default());
+        let r1 = LinkSetting::new(LinkCodeKind::rs_default(), 1);
+        let r3 = LinkSetting::new(LinkCodeKind::rs_default(), 3);
+        // A 64-bit window is exactly one RS(12,8) codeword of data; the
+        // heavy rung must keep that granularity, not shrink below it.
+        assert_eq!(adaptive.window_payload_bits(64, r1), 64);
+        assert_eq!(adaptive.window_payload_bits(64, r3), 64);
+        assert_eq!(adaptive.window_payload_bits(4, r1), 16);
+        let engine = adaptive.window_engine(r3, 64, false);
+        assert_eq!(engine.frame_payload_bits, 64);
+    }
+}

@@ -234,6 +234,12 @@ pub struct TransceiverConfig {
     /// Link code applied to every frame payload before symbol modulation
     /// (and stripped after demodulation, before the accept path).
     pub code: LinkCodeKind,
+    /// Times each wire symbol is repeated on the channel (majority-voted on
+    /// receive). `1` is plain modulation; larger values stretch the
+    /// effective symbol time by the same factor, trading bandwidth for
+    /// robustness — the *rate* knob of the adaptation layer
+    /// ([`crate::adapt`]). Values are clamped to at least 1.
+    pub symbol_repeat: usize,
 }
 
 impl TransceiverConfig {
@@ -248,6 +254,7 @@ impl TransceiverConfig {
             max_sync_errors: 2,
             warmup_symbols: 2,
             code: LinkCodeKind::None,
+            symbol_repeat: 1,
         }
     }
 
@@ -261,6 +268,7 @@ impl TransceiverConfig {
             max_sync_errors: 0,
             warmup_symbols: 0,
             code: LinkCodeKind::None,
+            symbol_repeat: 1,
         }
     }
 
@@ -268,6 +276,18 @@ impl TransceiverConfig {
     pub fn with_code(mut self, code: LinkCodeKind) -> Self {
         self.code = code;
         self
+    }
+
+    /// Replaces the symbol-repeat factor (clamped to at least 1 — the
+    /// engine never runs at zero rate).
+    pub fn with_symbol_repeat(mut self, repeat: usize) -> Self {
+        self.symbol_repeat = repeat.max(1);
+        self
+    }
+
+    /// The effective symbol-repeat factor (the configured value, clamped).
+    pub fn effective_symbol_repeat(&self) -> usize {
+        self.symbol_repeat.max(1)
     }
 }
 
@@ -367,7 +387,7 @@ impl Transceiver {
             let wire = codec.encode(payload);
             let frame = self.send_checked(channel, &wire, &mut stats)?;
             elapsed += frame.elapsed;
-            wire_bits += wire.len();
+            wire_bits += wire.len() * self.config.effective_symbol_repeat();
             let outcome = codec.decode(&frame.received);
             stats.corrected_bits += outcome.corrected_bits;
             if outcome.residual_errors > 0 {
@@ -384,7 +404,7 @@ impl Transceiver {
                 loop {
                     let frame = self.send_checked(channel, &wire, &mut stats)?;
                     elapsed += frame.elapsed;
-                    wire_bits += wire.len();
+                    wire_bits += wire.len() * self.config.effective_symbol_repeat();
                     let out_of_retries = attempts >= self.config.max_retries;
                     let body = match deframe_bits(&frame.received, self.config.max_sync_errors) {
                         Ok(body) => body,
@@ -437,22 +457,57 @@ impl Transceiver {
         Ok((report, stats))
     }
 
-    /// Transmits one frame and checks the shape invariant.
+    /// Transmits one frame and checks the shape invariant. With a
+    /// `symbol_repeat` above 1, each wire symbol is modulated `repeat` times
+    /// back to back and the received copies are majority-voted back into one
+    /// bit — the channel sees (and pays the airtime of) the expanded frame.
     fn send_checked<C: CovertChannel + ?Sized>(
         &self,
         channel: &mut C,
         wire: &[bool],
         stats: &mut LinkStats,
     ) -> Result<FrameResult, ChannelError> {
-        let frame = channel.transmit_frame(wire)?;
+        let repeat = self.config.effective_symbol_repeat();
+        if repeat == 1 {
+            let frame = channel.transmit_frame(wire)?;
+            stats.frames_sent += 1;
+            if frame.received.len() != wire.len() {
+                return Err(ChannelError::ReportShape {
+                    sent: wire.len(),
+                    received: frame.received.len(),
+                });
+            }
+            return Ok(frame);
+        }
+        let expanded: Vec<bool> = wire
+            .iter()
+            .flat_map(|&bit| std::iter::repeat_n(bit, repeat))
+            .collect();
+        let frame = channel.transmit_frame(&expanded)?;
         stats.frames_sent += 1;
-        if frame.received.len() != wire.len() {
+        if frame.received.len() != expanded.len() {
             return Err(ChannelError::ReportShape {
-                sent: wire.len(),
+                sent: expanded.len(),
                 received: frame.received.len(),
             });
         }
-        Ok(frame)
+        let received = frame
+            .received
+            .chunks(repeat)
+            .map(|copies| {
+                let ones = copies.iter().filter(|&&b| b).count();
+                match (ones * 2).cmp(&copies.len()) {
+                    std::cmp::Ordering::Greater => true,
+                    std::cmp::Ordering::Less => false,
+                    // Even repeat counts can tie; the first copy breaks it.
+                    std::cmp::Ordering::Equal => copies[0],
+                }
+            })
+            .collect();
+        Ok(FrameResult {
+            received,
+            elapsed: frame.elapsed,
+        })
     }
 }
 
@@ -798,6 +853,60 @@ mod tests {
             *bit = !*bit;
         }
         assert!(deframe_bits(&heavy, 2).is_err());
+    }
+
+    #[test]
+    fn symbol_repetition_outvotes_isolated_flips() {
+        // A flip every 5th wire bit corrupts the unrepeated stream, but with
+        // 3 copies per symbol it hits at most one copy of any symbol — the
+        // majority vote cancels every error, at 3x the airtime.
+        let payload: Vec<bool> = (0..48).map(|i| i % 2 == 0).collect();
+        let dirty = Transceiver::raw()
+            .transmit(&mut LoopbackChannel::with_flip_every(5), &payload)
+            .unwrap();
+        assert!(dirty.error_count() > 0, "control must see raw errors");
+
+        let config = TransceiverConfig::raw().with_symbol_repeat(3);
+        let (clean, _) = Transceiver::new(config)
+            .transmit_detailed(&mut LoopbackChannel::with_flip_every(5), &payload)
+            .unwrap();
+        assert_eq!(clean.error_count(), 0, "repetition must outvote the flips");
+        let coding = clean.coding.expect("coding summary attached");
+        assert_eq!(coding.wire_bits, 48 * 3, "airtime counts every copy");
+        assert_eq!(clean.elapsed.as_ps(), dirty.elapsed.as_ps() * 3);
+    }
+
+    #[test]
+    fn symbol_repeat_zero_is_clamped_to_one() {
+        let config = TransceiverConfig::raw().with_symbol_repeat(0);
+        assert_eq!(config.effective_symbol_repeat(), 1);
+        let mut channel = LoopbackChannel::perfect();
+        let payload = vec![true; 16];
+        let report = Transceiver::new(config)
+            .transmit(&mut channel, &payload)
+            .unwrap();
+        assert_eq!(report.error_count(), 0);
+        assert_eq!(report.coding.unwrap().wire_bits, 16);
+    }
+
+    #[test]
+    fn repetition_composes_with_a_link_code_in_framed_mode() {
+        let payload: Vec<bool> = (0..64).map(|i| i % 3 == 0).collect();
+        let config = TransceiverConfig {
+            frame_payload_bits: 32,
+            warmup_symbols: 0,
+            code: LinkCodeKind::Crc8,
+            ..TransceiverConfig::paper_default()
+        }
+        .with_symbol_repeat(2);
+        let mut channel = LoopbackChannel::perfect();
+        let (report, stats) = Transceiver::new(config)
+            .transmit_detailed(&mut channel, &payload)
+            .unwrap();
+        assert_eq!(report.error_count(), 0);
+        assert_eq!(stats.retransmissions, 0);
+        // Two frames of (preamble 8 + body 32 + crc 8) bits, each doubled.
+        assert_eq!(report.coding.unwrap().wire_bits, 2 * (8 + 40) * 2);
     }
 
     #[test]

@@ -30,6 +30,7 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod adapt;
 pub mod channel;
 pub mod code;
 pub mod error;
@@ -40,6 +41,11 @@ pub mod timer_char;
 
 /// Commonly used items, re-exported for convenience.
 pub mod prelude {
+    pub use crate::adapt::{
+        AdaptiveConfig, AdaptiveTransceiver, AimdPolicy, DuplexConfig, DuplexReport,
+        DuplexScheduler, FixedPolicy, LinkAction, LinkController, LinkObservation, LinkSetting,
+        PolicyKind, SlotAllocation, SlotDirection, SlotRecord, ThresholdPolicy,
+    };
     pub use crate::channel::contention::{
         CalibrationResult, ContentionChannel, ContentionChannelConfig,
     };
@@ -52,7 +58,10 @@ pub mod prelude {
         Crc8Code, DecodeOutcome, Hamming74, LinkCode, LinkCodeKind, NoCode, ReedSolomon,
     };
     pub use crate::error::ChannelError;
-    pub use crate::metrics::{test_pattern, CodingSummary, SampleStats, TransmissionReport};
+    pub use crate::metrics::{
+        test_pattern, AdaptationSummary, AdaptationTrace, CodingSummary, SampleStats,
+        TransmissionReport, WindowRecord,
+    };
     pub use crate::protocol::{
         bits_to_bytes, bytes_to_bits, deframe_bits, frame_bits, majority_vote, sync_errors,
         try_majority_vote, ClassifierConfig, Direction, ProbeObservation, SetRole, FRAME_PREAMBLE,

@@ -31,6 +31,90 @@ pub struct CodingSummary {
     pub residual_errors: usize,
 }
 
+/// One adaptation window of an
+/// [`crate::adapt::AdaptiveTransceiver`] run: the link setting the window
+/// ran with and what it achieved.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WindowRecord {
+    /// Zero-based window index within the transmission.
+    pub index: usize,
+    /// Link code the window ran with.
+    pub code: LinkCodeKind,
+    /// Symbol-repeat factor the window ran with (effective symbol time is
+    /// this many nominal symbol times).
+    pub symbol_repeat: usize,
+    /// Payload bits attempted in the window.
+    pub payload_bits: usize,
+    /// Wire bits moved for the window (coding overhead, repetition and
+    /// retransmissions included).
+    pub wire_bits: usize,
+    /// Goodput achieved over the window (kb/s).
+    pub goodput_kbps: f64,
+    /// Residual bit-error rate of the window after decoding.
+    pub residual_ber: f64,
+    /// Frame retransmissions within the window.
+    pub retransmissions: usize,
+    /// Bits the link-code decoder repaired within the window.
+    pub corrected_bits: usize,
+    /// Frame decodes that reported uncorrectable residual errors.
+    pub decode_failures: usize,
+    /// Simulated time the window took.
+    pub elapsed: Time,
+}
+
+/// The per-window history of one adaptive transmission.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct AdaptationTrace {
+    /// Window records, in transmission order.
+    pub windows: Vec<WindowRecord>,
+}
+
+impl AdaptationTrace {
+    /// Total payload bits across all windows.
+    pub fn total_payload_bits(&self) -> usize {
+        self.windows.iter().map(|w| w.payload_bits).sum()
+    }
+
+    /// Total wire bits across all windows.
+    pub fn total_wire_bits(&self) -> usize {
+        self.windows.iter().map(|w| w.wire_bits).sum()
+    }
+
+    /// Total simulated time across all windows.
+    pub fn total_elapsed(&self) -> Time {
+        Time::from_ps(self.windows.iter().map(|w| w.elapsed.as_ps()).sum())
+    }
+
+    /// Number of windows whose setting differs from the previous window's.
+    pub fn switches(&self) -> usize {
+        self.windows
+            .windows(2)
+            .filter(|pair| {
+                pair[0].code != pair[1].code || pair[0].symbol_repeat != pair[1].symbol_repeat
+            })
+            .count()
+    }
+}
+
+/// Summary of a closed-loop adaptive transmission, attached to the
+/// [`TransmissionReport`] by the [`crate::adapt::AdaptiveTransceiver`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct AdaptationSummary {
+    /// Name of the [`crate::adapt::LinkController`] policy that drove the
+    /// run.
+    pub policy: String,
+    /// Payload bits per adaptation window the transceiver re-chunked with.
+    pub window_bits: usize,
+    /// Number of setting changes the controller made mid-transmission.
+    pub switches: usize,
+    /// Link code in force when the transmission ended.
+    pub final_code: LinkCodeKind,
+    /// Symbol-repeat factor in force when the transmission ended.
+    pub final_symbol_repeat: usize,
+    /// The full per-window history.
+    pub trace: AdaptationTrace,
+}
+
 /// Result of transmitting a known bit string over a channel.
 #[derive(Debug, Clone, PartialEq)]
 pub struct TransmissionReport {
@@ -42,6 +126,9 @@ pub struct TransmissionReport {
     pub elapsed: Time,
     /// Link-coding statistics, when the transceiver engine produced them.
     pub coding: Option<CodingSummary>,
+    /// Per-window adaptation history, when the adaptive transceiver
+    /// produced the report.
+    pub adaptation: Option<AdaptationSummary>,
 }
 
 impl TransmissionReport {
@@ -57,6 +144,7 @@ impl TransmissionReport {
             received,
             elapsed,
             coding: None,
+            adaptation: None,
         }
     }
 
@@ -83,12 +171,19 @@ impl TransmissionReport {
             received,
             elapsed,
             coding: None,
+            adaptation: None,
         })
     }
 
     /// Attaches the engine's link-coding statistics.
     pub fn with_coding(mut self, coding: CodingSummary) -> Self {
         self.coding = Some(coding);
+        self
+    }
+
+    /// Attaches an adaptive run's per-window history.
+    pub fn with_adaptation(mut self, adaptation: AdaptationSummary) -> Self {
+        self.adaptation = Some(adaptation);
         self
     }
 
@@ -134,6 +229,28 @@ impl TransmissionReport {
         self.error_rate()
     }
 
+    /// Payload bits of *intact* frames: chunks of the transmission (at the
+    /// attached [`CodingSummary`]'s frame granularity; the whole payload as
+    /// one frame without one) whose received bits match what was sent. The
+    /// numerator of [`TransmissionReport::goodput_kbps`], exposed so
+    /// aggregations (e.g. the duplex scheduler's two-way goodput) share one
+    /// definition of "clean".
+    pub fn clean_bits(&self) -> usize {
+        if self.sent.is_empty() {
+            return 0;
+        }
+        let frame = self
+            .coding
+            .map_or(self.sent.len(), |c| c.frame_payload_bits.max(1))
+            .min(self.sent.len());
+        self.sent
+            .chunks(frame)
+            .zip(self.received.chunks(frame))
+            .filter(|(s, r)| s == r)
+            .map(|(s, _)| s.len())
+            .sum()
+    }
+
     /// Goodput in kilobits per second: payload bits of *intact* frames over
     /// total elapsed time. Retransmissions and coding overhead stretch the
     /// elapsed time, and a frame delivered with any residual bit error
@@ -147,18 +264,7 @@ impl TransmissionReport {
         if secs <= 0.0 || self.sent.is_empty() {
             return 0.0;
         }
-        let frame = self
-            .coding
-            .map_or(self.sent.len(), |c| c.frame_payload_bits.max(1))
-            .min(self.sent.len());
-        let clean_bits: usize = self
-            .sent
-            .chunks(frame)
-            .zip(self.received.chunks(frame))
-            .filter(|(s, r)| s == r)
-            .map(|(s, _)| s.len())
-            .sum();
-        clean_bits as f64 / secs / 1_000.0
+        self.clean_bits() as f64 / secs / 1_000.0
     }
 
     /// Average time per transmitted bit.

@@ -33,6 +33,11 @@ impl Time {
         Time(us * 1_000_000)
     }
 
+    /// Creates a time value from milliseconds.
+    pub const fn from_ms(ms: u64) -> Self {
+        Time(ms * 1_000_000_000)
+    }
+
     /// Returns the value in picoseconds.
     pub const fn as_ps(self) -> u64 {
         self.0

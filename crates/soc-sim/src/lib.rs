@@ -68,7 +68,7 @@ pub mod prelude {
     pub use crate::dram::{Ddr4, Ddr5, DramTiming, DramTimingKind};
     pub use crate::gpu_l3::GpuL3Config;
     pub use crate::llc::{LlcConfig, LlcSetId};
-    pub use crate::noise::NoiseConfig;
+    pub use crate::noise::{NoiseConfig, NoisePhase, NoiseSchedule};
     pub use crate::page_table::{AddressSpace, MappedBuffer, PageKind};
     pub use crate::registry::{BackendInstance, BackendRegistry, BackendSpec};
     pub use crate::slice_hash::SliceHash;
@@ -76,7 +76,7 @@ pub mod prelude {
         AccessOutcome, HitLevel, LatencyConfig, ParallelOutcome, Requester, Soc, SocConfig,
     };
     pub use crate::topology::TopologySpec;
-    pub use crate::trace::{Trace, TraceRecorder, TraceReplayer};
+    pub use crate::trace::{Trace, TraceEvent, TraceRecorder, TraceReplayer};
 }
 
 pub use prelude::*;

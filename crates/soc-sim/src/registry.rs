@@ -22,16 +22,22 @@
 use crate::dram::{DramTiming, DramTimingKind};
 use crate::system::{LlcPartition, Soc, SocConfig};
 use crate::topology::TopologySpec;
-use crate::trace::TraceRecorder;
+use crate::trace::{Trace, TraceRecorder, TraceReplayer};
 use crate::MemorySystem;
+use std::sync::Arc;
 
 /// How a spec turns its configuration into a running backend.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone)]
 enum BuildMode {
     /// Plain simulator.
     Soc,
     /// Simulator wrapped in a bounded [`TraceRecorder`] (regression capture).
     Recording,
+    /// No simulator at all: a [`TraceReplayer`] serving this recorded trace
+    /// (loaded from disk or captured earlier in the process). The passed-in
+    /// configuration is ignored — the replayer runs against the trace's own
+    /// recorded configuration.
+    Replaying(Arc<Trace>),
 }
 
 /// Recording capacity (in recorded accesses — see
@@ -74,6 +80,21 @@ impl BackendSpec {
         }
     }
 
+    /// A spec whose builds replay `trace` instead of simulating — the path
+    /// a trace file loaded from disk takes back into the sweep machinery.
+    /// The spec's configuration is the trace's recorded [`SocConfig`]; the
+    /// stored topology function is never consulted. Replay is a strict
+    /// oracle: a driver whose access sequence diverges from the recording
+    /// panics with the position of the first mismatch.
+    pub fn replaying(name: &'static str, summary: &'static str, trace: Trace) -> Self {
+        BackendSpec {
+            mode: BuildMode::Replaying(Arc::new(trace)),
+            // Placeholder — every configuration query on a replaying spec
+            // resolves against the trace's recorded config instead.
+            ..BackendSpec::new(name, summary, TopologySpec::kaby_lake_gen9)
+        }
+    }
+
     /// Registry key (also the label sweep rows and JSON use).
     pub fn name(&self) -> &'static str {
         self.name
@@ -84,26 +105,34 @@ impl BackendSpec {
         self.summary
     }
 
-    /// The declarative topology this backend is built from.
+    /// The declarative topology this backend is built from. For a
+    /// replaying spec this is a placeholder — use [`BackendSpec::config`],
+    /// which resolves against the trace's recorded configuration.
     pub fn topology(&self) -> TopologySpec {
         (self.topology)()
     }
 
-    /// The assembled configuration.
+    /// The assembled configuration: the topology's build for simulating
+    /// specs, the recorded configuration for replaying ones.
     pub fn config(&self) -> SocConfig {
-        self.topology().build_config()
+        match &self.mode {
+            BuildMode::Replaying(trace) => trace.config().clone(),
+            _ => self.topology().build_config(),
+        }
     }
 
     /// Builds the backend from an explicit (possibly customized)
     /// configuration — the path the sweep runner uses after applying its
     /// noise/seed axes.
     pub fn instantiate(&self, config: SocConfig) -> BackendInstance {
-        let soc = Soc::new(config);
-        match self.mode {
-            BuildMode::Soc => BackendInstance::Soc(Box::new(soc)),
+        match &self.mode {
+            BuildMode::Soc => BackendInstance::Soc(Box::new(Soc::new(config))),
             BuildMode::Recording => BackendInstance::Recording(Box::new(
-                TraceRecorder::with_capacity(soc, RECORDING_CAPACITY),
+                TraceRecorder::with_capacity(Soc::new(config), RECORDING_CAPACITY),
             )),
+            BuildMode::Replaying(trace) => {
+                BackendInstance::Replaying(Box::new(TraceReplayer::new((**trace).clone())))
+            }
         }
     }
 
@@ -114,7 +143,13 @@ impl BackendSpec {
 
     /// `true` when this backend records a replayable trace while running.
     pub fn is_recording(&self) -> bool {
-        self.mode == BuildMode::Recording
+        matches!(self.mode, BuildMode::Recording)
+    }
+
+    /// `true` when this backend replays a recorded trace instead of
+    /// simulating.
+    pub fn is_replaying(&self) -> bool {
+        matches!(self.mode, BuildMode::Replaying(_))
     }
 }
 
@@ -125,13 +160,15 @@ pub enum BackendInstance {
     Soc(Box<Soc>),
     /// A simulator wrapped in a trace recorder.
     Recording(Box<TraceRecorder<Soc>>),
+    /// A trace replayer serving a recorded run.
+    Replaying(Box<TraceReplayer>),
 }
 
 impl BackendInstance {
     /// The recorded trace, when this instance is a recording backend.
     pub fn trace(&self) -> Option<&crate::trace::Trace> {
         match self {
-            BackendInstance::Soc(_) => None,
+            BackendInstance::Soc(_) | BackendInstance::Replaying(_) => None,
             BackendInstance::Recording(rec) => Some(rec.trace()),
         }
     }
@@ -142,6 +179,7 @@ macro_rules! delegate {
         match $self {
             BackendInstance::Soc($inner) => $body,
             BackendInstance::Recording($inner) => $body,
+            BackendInstance::Replaying($inner) => $body,
         }
     };
 }
@@ -329,13 +367,13 @@ impl BackendRegistry {
         self.specs
             .iter()
             .map(|s| {
-                let topo = s.topology();
+                let config = s.config();
                 format!(
                     "{:<26} {:>2} slices  {:>3} MB LLC  {:<9}  {}",
                     s.name(),
-                    topo.slice_count(),
-                    topo.llc_capacity_bytes() / (1024 * 1024),
-                    topo.dram().label(),
+                    config.llc.slices(),
+                    config.llc.capacity_bytes() / (1024 * 1024),
+                    config.dram.label(),
                     s.summary(),
                 )
             })
@@ -472,6 +510,41 @@ mod tests {
         );
         let mut built = registry.get("custom-topology").unwrap().build(3);
         roundtrip(&mut built);
+    }
+
+    #[test]
+    fn replaying_spec_serves_the_recorded_outcomes_through_the_registry() {
+        // Record a short run on the paper platform…
+        let mut rec = TraceRecorder::new(Soc::new(SocConfig::kaby_lake_i7_7700k().with_seed(9)));
+        let addrs: Vec<PhysAddr> = (0..16u64)
+            .map(|i| PhysAddr::new(0x50_0000 + i * 64))
+            .collect();
+        let mut expected = Vec::new();
+        let mut now = Time::ZERO;
+        for &a in &addrs {
+            let out = rec.cpu_access(0, a, now);
+            now += out.latency;
+            expected.push(out);
+        }
+        let (_, trace) = rec.into_parts();
+        // …then register the trace as a named backend and replay the same
+        // access pattern through a registry-built instance.
+        let registry = BackendRegistry::standard().with_spec(BackendSpec::replaying(
+            "trace-file",
+            "recorded run loaded as a backend",
+            trace,
+        ));
+        let spec = registry.get("trace-file").unwrap();
+        assert!(spec.is_replaying());
+        assert!(!spec.is_recording());
+        let mut replayed = spec.build(9);
+        assert!(replayed.trace().is_none());
+        let mut now = Time::ZERO;
+        for (&a, want) in addrs.iter().zip(&expected) {
+            let got = replayed.cpu_access(0, a, now);
+            now += got.latency;
+            assert_eq!(&got, want);
+        }
     }
 
     #[test]

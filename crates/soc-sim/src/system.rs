@@ -19,7 +19,7 @@ use crate::contention::RingBus;
 use crate::dram::{Dram, DramTimingKind};
 use crate::gpu_l3::{GpuL3, GpuL3Config};
 use crate::llc::{Llc, LlcConfig};
-use crate::noise::{NoiseConfig, NoiseModel};
+use crate::noise::{NoiseConfig, NoiseModel, NoiseSchedule};
 use crate::page_table::{AddressSpace, MapError, MappedBuffer, PageKind, PhysFrameAllocator};
 use crate::replacement::ReplacementPolicy;
 use crate::set_assoc::{CacheGeometry, Indexing, SetAssocCache};
@@ -209,8 +209,13 @@ pub struct SocConfig {
     pub gpu_l3: GpuL3Config,
     /// Fixed latencies.
     pub latencies: LatencyConfig,
-    /// Noise model configuration.
+    /// Noise model configuration (the static ambient level; the phase-0
+    /// fallback when a [`NoiseSchedule`] is attached).
     pub noise: NoiseConfig,
+    /// Optional time-varying noise program. When present, every timed access
+    /// selects its phase's configuration by simulated timestamp, overriding
+    /// the static `noise` level.
+    pub noise_schedule: Option<NoiseSchedule>,
     /// Optional LLC way-partitioning between CPU and GPU (Section VI
     /// mitigation); `None` models the unmodified, vulnerable hardware.
     pub llc_partition: Option<LlcPartition>,
@@ -255,6 +260,13 @@ impl SocConfig {
     /// Overrides the noise configuration (builder style).
     pub fn with_noise(mut self, noise: NoiseConfig) -> Self {
         self.noise = noise;
+        self
+    }
+
+    /// Attaches a time-varying noise program (builder style). The schedule
+    /// overrides the static noise level for every timed access.
+    pub fn with_noise_schedule(mut self, schedule: NoiseSchedule) -> Self {
+        self.noise_schedule = Some(schedule);
         self
     }
 
@@ -308,6 +320,9 @@ pub struct Soc {
     ring: RingBus,
     dram: Dram,
     noise: NoiseModel,
+    /// Index of the active [`NoiseSchedule`] phase the `noise` model was
+    /// built from (0 when no schedule is attached).
+    noise_phase: usize,
     frames: PhysFrameAllocator,
     rng: SmallRng,
     stats: SocStats,
@@ -333,7 +348,11 @@ impl Soc {
             llc: Llc::new(config.llc.clone()),
             ring: RingBus::new(32, ring_cycle, Time::from_ns(2)),
             dram: Dram::from_timing(&config.dram),
-            noise: NoiseModel::new(config.noise.clone()),
+            noise: NoiseModel::new(match &config.noise_schedule {
+                Some(schedule) => schedule.config_at(Time::ZERO).clone(),
+                None => config.noise.clone(),
+            }),
+            noise_phase: 0,
             frames: PhysFrameAllocator::new(config.phys_mem_bytes, config.seed ^ 0x9E37_79B9),
             rng: SmallRng::seed_from_u64(config.seed),
             stats: SocStats::default(),
@@ -424,6 +443,19 @@ impl Soc {
         self.dram.reset_stats();
     }
 
+    /// Re-tunes the noise model to the schedule phase active at `now`.
+    /// Cheap when no schedule is attached or the phase is unchanged; the
+    /// model is only rebuilt on a phase boundary.
+    fn tune_noise(&mut self, now: Time) {
+        if let Some(schedule) = &self.config.noise_schedule {
+            let phase = schedule.phase_index_at(now);
+            if phase != self.noise_phase {
+                self.noise_phase = phase;
+                self.noise = NoiseModel::new(schedule.phases()[phase].config.clone());
+            }
+        }
+    }
+
     fn maybe_inject_noise_eviction(&mut self, paddr: PhysAddr) {
         if self.noise.spurious_eviction(&mut self.rng)
             && self
@@ -477,6 +509,7 @@ impl Soc {
     /// Panics if `core` is out of range.
     pub fn cpu_access(&mut self, core: usize, paddr: PhysAddr, now: Time) -> AccessOutcome {
         assert!(core < self.cpu_caches.len(), "core index out of range");
+        self.tune_noise(now);
         let lat = self.config.latencies.clone();
         let jitter = self.noise.latency_jitter(&mut self.rng);
 
@@ -541,6 +574,7 @@ impl Soc {
     /// Performs a GPU load of the line containing `paddr`, arriving at the
     /// GPU's local time `now`.
     pub fn gpu_access(&mut self, paddr: PhysAddr, now: Time) -> AccessOutcome {
+        self.tune_noise(now);
         let lat = self.config.latencies.clone();
         let jitter = self.noise.latency_jitter(&mut self.rng);
 
@@ -900,5 +934,50 @@ mod tests {
         assert_eq!(LlcPartition::even_split().cpu_ways, 8);
         let cfg = SocConfig::kaby_lake_i7_7700k().with_llc_partition(LlcPartition { cpu_ways: 4 });
         assert_eq!(cfg.llc_partition, Some(LlcPartition { cpu_ways: 4 }));
+    }
+
+    #[test]
+    fn noise_schedule_switches_regimes_by_access_timestamp() {
+        use crate::noise::{NoisePhase, NoiseSchedule};
+        // Phase 0 (first 100 us): perfectly silent. Phase 1 (next 100 us):
+        // massive latency jitter. Non-cyclic, so the burst phase would hold
+        // after the program ends.
+        let schedule = NoiseSchedule::new(
+            vec![
+                NoisePhase {
+                    duration: Time::from_us(100),
+                    config: NoiseConfig::none(),
+                },
+                NoisePhase {
+                    duration: Time::from_us(100),
+                    config: NoiseConfig {
+                        latency_jitter_ps: 1_000_000.0,
+                        ..NoiseConfig::none()
+                    },
+                },
+            ],
+            false,
+        );
+        let mut soc = Soc::new(SocConfig::kaby_lake_noiseless().with_noise_schedule(schedule));
+        let line = PhysAddr::new(0x100_0000);
+        let l1_hit = soc.config().latencies.cpu_l1_hit;
+        soc.cpu_access(0, line, Time::ZERO); // cold fill
+                                             // L1 hits stamped inside the quiet phase are exactly the base latency.
+        for i in 1..16u64 {
+            let out = soc.cpu_access(0, line, Time::from_us(i));
+            assert_eq!(out.latency, l1_hit, "quiet phase must be jitter-free");
+        }
+        // The same hits stamped inside the burst phase pick up the jitter.
+        let burst_max = (0..16u64)
+            .map(|i| soc.cpu_access(0, line, Time::from_us(150 + i)).latency)
+            .max()
+            .unwrap();
+        assert!(
+            burst_max > l1_hit + Time::from_ns(100),
+            "burst phase must inject jitter, max {burst_max:?}"
+        );
+        // Jumping back to a quiet timestamp re-tunes back to silence.
+        let out = soc.cpu_access(0, line, Time::from_us(5));
+        assert_eq!(out.latency, l1_hit);
     }
 }

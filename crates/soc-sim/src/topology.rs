@@ -26,7 +26,7 @@ use crate::clock::SocClocks;
 use crate::dram::DramTimingKind;
 use crate::gpu_l3::GpuL3Config;
 use crate::llc::LlcConfig;
-use crate::noise::NoiseConfig;
+use crate::noise::{NoiseConfig, NoiseSchedule};
 use crate::replacement::ReplacementPolicy;
 use crate::slice_hash::SliceHash;
 use crate::system::{CpuCacheConfig, LatencyConfig, LlcPartition, Soc, SocConfig};
@@ -50,6 +50,7 @@ pub struct TopologySpec {
     gpu_l3: GpuL3Config,
     latencies: LatencyConfig,
     noise: NoiseConfig,
+    noise_schedule: Option<NoiseSchedule>,
     llc_partition: Option<LlcPartition>,
     dram: DramTimingKind,
     phys_mem_bytes: u64,
@@ -72,6 +73,7 @@ impl TopologySpec {
             gpu_l3: GpuL3Config::gen9(),
             latencies: LatencyConfig::kaby_lake(),
             noise: NoiseConfig::quiet_system(),
+            noise_schedule: None,
             llc_partition: None,
             dram: DramTimingKind::Ddr4,
             phys_mem_bytes: 8 * 1024 * 1024 * 1024,
@@ -154,6 +156,16 @@ impl TopologySpec {
     /// Replaces the ambient-noise configuration.
     pub fn with_noise(mut self, noise: NoiseConfig) -> Self {
         self.noise = noise;
+        self
+    }
+
+    /// Attaches a time-varying noise program (e.g.
+    /// [`NoiseSchedule::calm_burst`]). When set, every timed access
+    /// selects the phase its simulated timestamp falls into, overriding the
+    /// static [`TopologySpec::with_noise`] level — the regime link
+    /// adaptation has to chase.
+    pub fn with_noise_schedule(mut self, schedule: NoiseSchedule) -> Self {
+        self.noise_schedule = Some(schedule);
         self
     }
 
@@ -249,6 +261,7 @@ impl TopologySpec {
             gpu_l3: self.gpu_l3,
             latencies: self.latencies,
             noise: self.noise,
+            noise_schedule: self.noise_schedule,
             llc_partition: self.llc_partition,
             dram: self.dram,
             phys_mem_bytes: self.phys_mem_bytes,

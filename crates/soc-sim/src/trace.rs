@@ -87,6 +87,16 @@ pub struct Trace {
 }
 
 impl Trace {
+    /// Reassembles a trace from its parts — the constructor a disk reader
+    /// uses after deserializing a recorded run.
+    pub fn from_parts(config: SocConfig, events: Vec<TraceEvent>, dropped: usize) -> Self {
+        Trace {
+            config,
+            events,
+            dropped,
+        }
+    }
+
     /// The configuration of the backend the trace was recorded from.
     pub fn config(&self) -> &SocConfig {
         &self.config

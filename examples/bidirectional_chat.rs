@@ -1,63 +1,89 @@
-//! Bidirectional covert "chat" on the unified channel API: the GPU trojan
-//! sends a request to the CPU spy over the LLC channel, and the reply
-//! travels back on the reverse (CPU→GPU) channel — demonstrating that the
-//! channel works in both directions, as Section III-E of the paper
-//! describes.
+//! Full-duplex covert "chat" on the TDD scheduler: the GPU trojan sends a
+//! request to the CPU spy over the LLC channel while the reply streams back
+//! on the reverse (CPU→GPU) channel — the two directions sharing the medium
+//! as interleaved time-division slots instead of taking strict turns.
 //!
-//! Unlike the original hand-rolled loop, both legs are driven by the shared
-//! [`Transceiver`] engine: framing, preamble sync, CRC-8 error detection and
-//! bounded retransmission all come from the engine, so the chat survives a
-//! noisy system instead of silently delivering corrupted bytes.
+//! The [`DuplexScheduler`] owns the slot clock: each slot carries one frame
+//! of one direction through the shared transceiver engine (framing,
+//! preamble sync, CRC-8 detection, bounded retransmission). Slot allocation
+//! is *demand-weighted* — every slot goes to the direction with the larger
+//! remaining backlog — which is what separates it from the old
+//! turn-taking loop: with a short query one way and a long reply the other,
+//! strict alternation keeps reserving (and burning) slots for the drained
+//! direction, while the weighted scheduler hands them to the side that
+//! still has data. The example runs both disciplines and prints the
+//! aggregate two-way goodput of each.
 //!
 //! Run with: `cargo run --release --example bidirectional_chat`
 
 use leaky_buddies::prelude::*;
 
-fn send(
-    engine: &Transceiver,
-    direction: Direction,
-    message: &[u8],
-) -> Result<(Vec<u8>, TransmissionReport, LinkStats), ChannelError> {
-    let mut channel = LlcChannel::new(LlcChannelConfig::paper_default().with_direction(direction))?;
-    let (report, stats) = engine.transmit_detailed(&mut channel, &bytes_to_bits(message))?;
-    let decoded = bits_to_bytes(&report.received);
-    Ok((decoded, report, stats))
+fn channels() -> Result<(LlcChannel, LlcChannel), ChannelError> {
+    let forward =
+        LlcChannel::new(LlcChannelConfig::paper_default().with_direction(Direction::GpuToCpu))?;
+    let reverse = LlcChannel::new(
+        LlcChannelConfig::paper_default()
+            .with_direction(Direction::CpuToGpu)
+            .with_seed(11),
+    )?;
+    Ok((forward, reverse))
 }
 
-fn describe(leg: &str, decoded: &[u8], report: &TransmissionReport, stats: &LinkStats) {
+fn chat(allocation: SlotAllocation) -> Result<DuplexReport, ChannelError> {
+    let (mut forward, mut reverse) = channels()?;
+    let request = b"KEY?";
+    let reply = b"0xDEADBEEF_0xCAFEF00D_0xFEEDFACE";
+    let scheduler = DuplexScheduler::new(
+        DuplexConfig {
+            base: TransceiverConfig::paper_default().with_code(LinkCodeKind::Crc8),
+            ..DuplexConfig::paper_default()
+        }
+        .with_allocation(allocation),
+    );
+    scheduler.run(
+        &mut forward,
+        &mut reverse,
+        &bytes_to_bits(request),
+        &bytes_to_bits(reply),
+    )
+}
+
+fn describe(label: &str, report: &DuplexReport) {
     println!(
-        "{leg} decoded {:?}  ({:.1} kb/s raw, {:.1} kb/s goodput, {:.2}% residual errors, {} retransmission(s))",
-        String::from_utf8_lossy(decoded),
-        report.bandwidth_kbps(),
-        report.goodput_kbps(),
-        report.residual_ber() * 100.0,
-        stats.retransmissions,
+        "{label:<16} {:>6.1} kb/s aggregate  ({} slots, {} idle)",
+        report.aggregate_goodput_kbps(),
+        report.slots.len(),
+        report.idle_slots(),
+    );
+    println!(
+        "  [GPU -> CPU] spy decoded    {:?}  ({:.2}% residual, {} retransmissions)",
+        String::from_utf8_lossy(&bits_to_bytes(&report.forward.received)),
+        report.forward.residual_ber() * 100.0,
+        report.forward_stats.retransmissions,
+    );
+    println!(
+        "  [CPU -> GPU] trojan decoded {:?}  ({:.2}% residual, {} retransmissions)",
+        String::from_utf8_lossy(&bits_to_bytes(&report.reverse.received)),
+        report.reverse.residual_ber() * 100.0,
+        report.reverse_stats.retransmissions,
     );
 }
 
 fn main() -> Result<(), ChannelError> {
-    // One engine drives both directions: framed, CRC-8 protected, with the
-    // default retry budget.
-    let engine = Transceiver::new(TransceiverConfig::paper_default().with_code(LinkCodeKind::Crc8));
-
-    let request = b"KEY?";
     println!(
-        "[GPU -> CPU] trojan sends {:?}",
-        String::from_utf8_lossy(request)
+        "full-duplex chat: 4-byte query vs 32-byte reply, CRC-8 framed, one TDD slot per frame\n"
     );
-    let (received_request, report, stats) = send(&engine, Direction::GpuToCpu, request)?;
-    describe("[GPU -> CPU] spy", &received_request, &report, &stats);
-
-    let reply = b"0xDEADBEEF";
-    println!(
-        "[CPU -> GPU] spy replies  {:?}",
-        String::from_utf8_lossy(reply)
-    );
-    let (received_reply, report, stats) = send(&engine, Direction::CpuToGpu, reply)?;
-    describe("[CPU -> GPU] trojan", &received_reply, &report, &stats);
+    let strict = chat(SlotAllocation::StrictAlternate)?;
+    describe("strict turns", &strict);
+    println!();
+    let weighted = chat(SlotAllocation::DemandWeighted)?;
+    describe("demand-weighted", &weighted);
 
     println!(
-        "round trip complete: two unprivileged processes exchanged data without any shared memory."
+        "\ndemand weighting beats strict turn-taking: {:.1} vs {:.1} kb/s ({:+.1}%)",
+        weighted.aggregate_goodput_kbps(),
+        strict.aggregate_goodput_kbps(),
+        (weighted.aggregate_goodput_kbps() / strict.aggregate_goodput_kbps() - 1.0) * 100.0,
     );
     Ok(())
 }

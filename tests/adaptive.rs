@@ -1,0 +1,134 @@
+//! Integration tests of the `covert::adapt` subsystem on real simulated
+//! channels: the closed-loop adaptive transceiver and the full-duplex TDD
+//! scheduler, end to end across every crate.
+
+use leaky_buddies::prelude::*;
+
+/// The shared calm/burst noise program at a quarter of the sweep's phase
+/// length, so a debug-mode test stays fast while the channel still crosses
+/// regime boundaries mid-transmission.
+fn short_phased_schedule() -> NoiseSchedule {
+    NoiseSchedule::calm_burst(Time::from_us(3_000))
+}
+
+fn phased_contention_channel(seed: u64) -> ContentionChannel {
+    let soc = SocConfig::kaby_lake_i7_7700k()
+        .with_seed(seed)
+        .with_noise_schedule(short_phased_schedule());
+    ContentionChannel::new(ContentionChannelConfig {
+        seed,
+        soc,
+        ..ContentionChannelConfig::paper_default()
+    })
+    .expect("channel setup")
+}
+
+#[test]
+fn adaptive_transceiver_tracks_a_regime_change_on_a_real_channel() {
+    let payload = test_pattern(1024, 42);
+    let mut channel = phased_contention_channel(42);
+    let mut controller = ThresholdPolicy::paper_default();
+    let adaptive = AdaptiveTransceiver::new(AdaptiveConfig::paper_default());
+    let (report, stats) = adaptive
+        .transmit(&mut channel, &mut controller, &payload)
+        .expect("transmission completes");
+    assert_eq!(report.bit_count(), 1024);
+    let summary = report.adaptation.as_ref().expect("adaptation recorded");
+    assert_eq!(summary.policy, "threshold");
+    // The transmission spans calm and burst phases; the controller must
+    // have moved at least once, and the trace must account for every bit.
+    assert!(summary.switches >= 1, "controller never moved");
+    assert_eq!(summary.trace.total_payload_bits(), 1024);
+    assert_eq!(
+        summary.trace.total_wire_bits(),
+        report.coding.expect("coding attached").wire_bits
+    );
+    assert_eq!(summary.trace.total_elapsed(), report.elapsed);
+    assert!(stats.frames_sent >= summary.trace.windows.len());
+    // Whatever the trajectory, no window ever ran a zero-rate setting.
+    for window in &summary.trace.windows {
+        assert!(window.symbol_repeat >= 1);
+        assert!(window.wire_bits > 0);
+    }
+}
+
+#[test]
+fn adaptive_policies_deliver_usable_goodput_under_phased_noise() {
+    // Not the full acceptance table (that lives in `repro --sweep` and
+    // EXPERIMENTS.md) — just the end-to-end sanity that the loop is
+    // productive, not pathological, on a real channel under real phases.
+    let payload = test_pattern(768, 7);
+    for kind in [PolicyKind::Threshold, PolicyKind::Aimd] {
+        let mut channel = phased_contention_channel(7);
+        let mut controller = kind.build(LinkSetting::lightest());
+        let (report, _) = AdaptiveTransceiver::new(AdaptiveConfig::paper_default())
+            .transmit(&mut channel, controller.as_mut(), &payload)
+            .expect("transmission completes");
+        assert!(
+            report.goodput_kbps() > 10.0,
+            "{kind}: goodput {:.1} kb/s",
+            report.goodput_kbps()
+        );
+        assert!(
+            report.residual_ber() < 0.25,
+            "{kind}: residual {:.3}",
+            report.residual_ber()
+        );
+    }
+}
+
+#[test]
+fn duplex_scheduler_moves_asymmetric_chat_on_real_llc_channels() {
+    let forward =
+        LlcChannel::new(LlcChannelConfig::paper_default().with_direction(Direction::GpuToCpu))
+            .expect("forward channel");
+    let reverse = LlcChannel::new(
+        LlcChannelConfig::paper_default()
+            .with_direction(Direction::CpuToGpu)
+            .with_seed(11),
+    )
+    .expect("reverse channel");
+    let request = bytes_to_bits(b"KEY?");
+    let reply = bytes_to_bits(b"0xDEADBEEF_0xCAFE");
+
+    let run = |allocation: SlotAllocation, mut fwd: LlcChannel, mut rev: LlcChannel| {
+        DuplexScheduler::new(
+            DuplexConfig {
+                base: TransceiverConfig::paper_default().with_code(LinkCodeKind::Crc8),
+                ..DuplexConfig::paper_default()
+            }
+            .with_allocation(allocation),
+        )
+        .run(&mut fwd, &mut rev, &request, &reply)
+        .expect("duplex run completes")
+    };
+
+    let strict = run(SlotAllocation::StrictAlternate, forward, reverse);
+    // Both directions deliver their payloads (CRC-8 + retries keep the
+    // short query clean; the long reply may carry residual errors on a
+    // noisy system but must be mostly intact).
+    assert_eq!(strict.forward.bit_count(), request.len());
+    assert_eq!(strict.reverse.bit_count(), reply.len());
+    assert!(strict.forward.residual_ber() < 0.05);
+    assert!(strict.reverse.residual_ber() < 0.10);
+    // Asymmetric backlogs force strict alternation to burn idle slots.
+    assert!(strict.idle_slots() > 0, "strict must idle after the query");
+
+    let forward =
+        LlcChannel::new(LlcChannelConfig::paper_default().with_direction(Direction::GpuToCpu))
+            .expect("forward channel");
+    let reverse = LlcChannel::new(
+        LlcChannelConfig::paper_default()
+            .with_direction(Direction::CpuToGpu)
+            .with_seed(11),
+    )
+    .expect("reverse channel");
+    let weighted = run(SlotAllocation::DemandWeighted, forward, reverse);
+    assert_eq!(weighted.idle_slots(), 0, "weighted allocation never idles");
+    assert!(
+        weighted.aggregate_goodput_kbps() > strict.aggregate_goodput_kbps(),
+        "demand weighting must beat turn-taking: {:.1} vs {:.1} kb/s",
+        weighted.aggregate_goodput_kbps(),
+        strict.aggregate_goodput_kbps()
+    );
+}
