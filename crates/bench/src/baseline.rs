@@ -1,0 +1,360 @@
+//! The CI performance-regression gate.
+//!
+//! A committed sweep document (`bench/baseline.json`, written by
+//! `repro --quick --sweep --out …`) records the per-cell goodput the
+//! current code is known to deliver. [`Baseline::parse`] reads such a
+//! document back through [`crate::json::parse_json`], and
+//! [`Baseline::compare`] checks a fresh run of the same grid against it
+//! cell by cell: a cell whose goodput fell more than the tolerance below
+//! its recorded value is a regression, and `repro --check-baseline <file>`
+//! exits non-zero listing every one. The simulator is deterministic per
+//! seed, so on an unchanged tree the comparison reproduces the baseline
+//! bit for bit — the tolerance only absorbs deliberate, reviewed behavior
+//! changes small enough not to matter (and cross-platform float drift,
+//! should the CI image change).
+//!
+//! Cells are matched on `(scenario, bits, seed)`: the scenario label
+//! encodes every grid axis (backend, channel, noise, code, policy, channel
+//! parameters) but collides *across* sweep sections — see
+//! [`BaselineCell`].
+
+use crate::json::{parse_json, JsonValue};
+use crate::sweep::SweepResult;
+use std::path::Path;
+
+/// Default relative tolerance of the gate: a cell regresses when its fresh
+/// goodput drops below `(1 - 0.15)` of the recorded value.
+pub const DEFAULT_TOLERANCE: f64 = 0.15;
+
+/// One recorded cell of the baseline document.
+///
+/// Cells are matched on `(scenario, bits, seed)`: the scenario label alone
+/// is not unique across the sweep *sections* — the coded grid's `NoCode`
+/// row labels identically to the classic grid's row for the same backend ×
+/// channel × noise cell and differs only in payload size and seed.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BaselineCell {
+    /// The row's scenario label.
+    pub scenario: String,
+    /// Payload bits of the recorded point.
+    pub bits: u64,
+    /// Seed of the recorded point.
+    pub seed: u64,
+    /// Recorded goodput in kb/s, or `None` for a row that recorded a
+    /// failure (failed cells are compared by failure, not by goodput).
+    pub goodput_kbps: Option<f64>,
+}
+
+/// A parsed baseline document.
+#[derive(Debug, Clone)]
+pub struct Baseline {
+    cells: Vec<BaselineCell>,
+}
+
+/// One cell the comparison flagged.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Regression {
+    /// Scenario label of the regressed cell.
+    pub scenario: String,
+    /// Goodput the baseline recorded (recorded-failure cells are never
+    /// flagged, so this is always a real measurement).
+    pub baseline_kbps: f64,
+    /// Goodput the fresh run delivered (`None`: the fresh run failed).
+    pub fresh_kbps: Option<f64>,
+    /// The relative tolerance the comparison ran with.
+    pub tolerance: f64,
+}
+
+impl Regression {
+    /// Human-readable report line.
+    pub fn describe(&self) -> String {
+        match self.fresh_kbps {
+            Some(fresh) => format!(
+                "{}: goodput {fresh:.1} kb/s fell below {:.1} kb/s ({:.1} kb/s recorded)",
+                self.scenario,
+                self.baseline_kbps * (1.0 - self.tolerance),
+                self.baseline_kbps
+            ),
+            None => format!(
+                "{}: fresh run failed (baseline recorded {:.1} kb/s)",
+                self.scenario, self.baseline_kbps
+            ),
+        }
+    }
+}
+
+/// Outcome of a baseline comparison.
+#[derive(Debug, Clone)]
+pub struct BaselineReport {
+    /// Cells present in both the baseline and the fresh run.
+    pub compared: usize,
+    /// Fresh cells with no baseline counterpart (new grid cells — not a
+    /// failure, but the baseline wants refreshing).
+    pub unmatched_fresh: usize,
+    /// Baseline cells the fresh run never produced (e.g. a `--backend`
+    /// restriction, or a removed grid cell).
+    pub unmatched_baseline: usize,
+    /// Every regressed cell, in grid order.
+    pub regressions: Vec<Regression>,
+}
+
+impl BaselineReport {
+    /// Whether the gate passes.
+    pub fn passed(&self) -> bool {
+        self.regressions.is_empty() && self.compared > 0
+    }
+}
+
+impl Baseline {
+    /// Parses a sweep JSON document (the `repro --sweep --out` format).
+    ///
+    /// # Errors
+    ///
+    /// Returns a message for unreadable JSON or a document without the
+    /// expected `results` array shape.
+    pub fn parse(text: &str) -> Result<Baseline, String> {
+        let document = parse_json(text)?;
+        let results = document
+            .get("results")
+            .and_then(JsonValue::as_array)
+            .ok_or_else(|| "baseline document has no 'results' array".to_string())?;
+        let mut cells = Vec::with_capacity(results.len());
+        for (index, row) in results.iter().enumerate() {
+            let scenario = row
+                .get("scenario")
+                .and_then(JsonValue::as_str)
+                .ok_or_else(|| format!("row {index} has no 'scenario' string"))?
+                .to_string();
+            let ok = row.get("ok").and_then(JsonValue::as_bool).unwrap_or(false);
+            let goodput_kbps = if ok {
+                Some(
+                    row.get("goodput_kbps")
+                        .and_then(JsonValue::as_f64)
+                        .ok_or_else(|| format!("row {index} ({scenario}) has no goodput"))?,
+                )
+            } else {
+                None
+            };
+            let number = |key: &str| -> Result<u64, String> {
+                row.get(key)
+                    .and_then(JsonValue::as_f64)
+                    .map(|n| n as u64)
+                    .ok_or_else(|| format!("row {index} ({scenario}) has no '{key}'"))
+            };
+            let bits = number("bits")?;
+            let seed = number("seed")?;
+            cells.push(BaselineCell {
+                scenario,
+                bits,
+                seed,
+                goodput_kbps,
+            });
+        }
+        Ok(Baseline { cells })
+    }
+
+    /// Reads and parses a baseline file.
+    ///
+    /// # Errors
+    ///
+    /// Filesystem errors and parse errors, as a message.
+    pub fn load(path: &Path) -> Result<Baseline, String> {
+        let text = std::fs::read_to_string(path)
+            .map_err(|err| format!("could not read {}: {err}", path.display()))?;
+        Baseline::parse(&text)
+    }
+
+    /// The recorded cells.
+    pub fn cells(&self) -> &[BaselineCell] {
+        &self.cells
+    }
+
+    /// Compares a fresh sweep against the baseline with the given relative
+    /// tolerance (see [`DEFAULT_TOLERANCE`]).
+    ///
+    /// A cell regresses when its fresh goodput falls below
+    /// `(1 - tolerance) * recorded`, or when a cell the baseline recorded
+    /// as succeeding fails outright. Improvements never flag. Cells only
+    /// one side knows are counted but not compared — a baseline recorded
+    /// as failing also stays uncompared (the failure may be a time-budget
+    /// artifact of the recording machine; flagging *new* failures is the
+    /// gate's job).
+    pub fn compare(&self, fresh: &[SweepResult], tolerance: f64) -> BaselineReport {
+        let fresh_cells: Vec<(String, u64, u64, Option<f64>)> = fresh
+            .iter()
+            .map(|r| {
+                (
+                    r.point.label(),
+                    r.point.bits as u64,
+                    r.point.seed,
+                    r.outcome.as_ref().ok().map(|o| o.goodput_kbps),
+                )
+            })
+            .collect();
+        let mut compared = 0;
+        let mut regressions = Vec::new();
+        let mut unmatched_baseline = 0;
+        // Tracked per fresh cell (not as a count subtracted from the
+        // total) so a malformed baseline with duplicate keys cannot
+        // underflow the unmatched-fresh tally.
+        let mut fresh_matched = vec![false; fresh_cells.len()];
+        for cell in &self.cells {
+            let Some(index) = fresh_cells.iter().position(|(scenario, bits, seed, _)| {
+                *scenario == cell.scenario && *bits == cell.bits && *seed == cell.seed
+            }) else {
+                unmatched_baseline += 1;
+                continue;
+            };
+            fresh_matched[index] = true;
+            let fresh_goodput = fresh_cells[index].3;
+            let Some(base) = cell.goodput_kbps else {
+                continue; // Recorded failure: nothing to hold the fresh run to.
+            };
+            compared += 1;
+            let regressed = match fresh_goodput {
+                Some(fresh_goodput) => fresh_goodput < base * (1.0 - tolerance),
+                None => true,
+            };
+            if regressed {
+                regressions.push(Regression {
+                    scenario: cell.scenario.clone(),
+                    baseline_kbps: base,
+                    fresh_kbps: fresh_goodput,
+                    tolerance,
+                });
+            }
+        }
+        BaselineReport {
+            compared,
+            unmatched_fresh: fresh_matched.iter().filter(|m| !**m).count(),
+            unmatched_baseline,
+            regressions,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json::sweep_results_to_json;
+    use crate::sweep::{default_grid_for, SweepRunner};
+
+    fn small_run() -> Vec<SweepResult> {
+        SweepRunner::new(2).run(&default_grid_for(&["kabylake-gen9"], 24))
+    }
+
+    #[test]
+    fn fresh_run_passes_against_its_own_baseline() {
+        let results = small_run();
+        let baseline = Baseline::parse(&sweep_results_to_json(&results)).expect("parses");
+        assert_eq!(baseline.cells().len(), results.len());
+        let report = baseline.compare(&results, DEFAULT_TOLERANCE);
+        assert!(report.passed(), "{:?}", report.regressions);
+        assert_eq!(report.compared, results.len());
+        assert_eq!(report.unmatched_fresh, 0);
+        assert_eq!(report.unmatched_baseline, 0);
+    }
+
+    #[test]
+    fn dropped_goodput_is_flagged_with_the_cell_named() {
+        let results = small_run();
+        let baseline = Baseline::parse(&sweep_results_to_json(&results)).expect("parses");
+        let mut slower = results.clone();
+        let victim = slower
+            .iter_mut()
+            .find(|r| r.outcome.is_ok())
+            .expect("some cell succeeds");
+        let scenario = victim.point.label();
+        let outcome = victim.outcome.as_mut().unwrap();
+        outcome.goodput_kbps *= 0.5;
+        let report = baseline.compare(&slower, DEFAULT_TOLERANCE);
+        assert!(!report.passed());
+        assert_eq!(report.regressions.len(), 1);
+        assert_eq!(report.regressions[0].scenario, scenario);
+        assert!(report.regressions[0].describe().contains(&scenario));
+    }
+
+    #[test]
+    fn tolerance_absorbs_small_drift_but_not_large() {
+        let results = small_run();
+        let baseline = Baseline::parse(&sweep_results_to_json(&results)).expect("parses");
+        let mut drifted = results.clone();
+        for r in &mut drifted {
+            if let Ok(outcome) = r.outcome.as_mut() {
+                outcome.goodput_kbps *= 0.90; // within ±15 %
+            }
+        }
+        assert!(baseline.compare(&drifted, DEFAULT_TOLERANCE).passed());
+        for r in &mut drifted {
+            if let Ok(outcome) = r.outcome.as_mut() {
+                outcome.goodput_kbps *= 0.90; // 0.81 cumulative: outside
+            }
+        }
+        let report = baseline.compare(&drifted, DEFAULT_TOLERANCE);
+        assert!(!report.passed());
+        // Every cell with *positive* recorded goodput regresses; a cell
+        // whose baseline is 0.0 kb/s cannot fall below its tolerance band.
+        let positive = baseline
+            .cells()
+            .iter()
+            .filter(|c| c.goodput_kbps.is_some_and(|g| g > 0.0))
+            .count();
+        assert!(positive > 0);
+        assert_eq!(report.regressions.len(), positive);
+    }
+
+    #[test]
+    fn restricted_fresh_run_compares_the_intersection() {
+        let results = small_run();
+        let baseline = Baseline::parse(&sweep_results_to_json(&results)).expect("parses");
+        let partial = &results[..2];
+        let report = baseline.compare(partial, DEFAULT_TOLERANCE);
+        assert!(report.passed());
+        assert_eq!(report.compared, 2);
+        assert_eq!(report.unmatched_baseline, results.len() - 2);
+    }
+
+    #[test]
+    fn empty_intersection_does_not_pass() {
+        let baseline = Baseline::parse(&sweep_results_to_json(&[])).expect("parses");
+        let report = baseline.compare(&small_run(), DEFAULT_TOLERANCE);
+        assert!(
+            !report.passed(),
+            "a gate that compared nothing must not pass"
+        );
+        assert_eq!(report.compared, 0);
+    }
+
+    #[test]
+    fn recorded_failure_rows_are_not_held_against_the_fresh_run() {
+        let mut results = small_run();
+        let json_with_failure = {
+            let victim = &mut results[0];
+            victim.outcome = Err(covert::prelude::ChannelError::InvalidConfig(
+                "synthetic".into(),
+            ));
+            sweep_results_to_json(&results)
+        };
+        let baseline = Baseline::parse(&json_with_failure).expect("parses");
+        // Fresh run where that cell now *succeeds*: fine either way.
+        let fresh = small_run();
+        let report = baseline.compare(&fresh, DEFAULT_TOLERANCE);
+        assert!(report.passed(), "{:?}", report.regressions);
+        assert_eq!(report.compared, fresh.len() - 1);
+    }
+
+    #[test]
+    fn fresh_failure_of_a_recorded_success_is_a_regression() {
+        let results = small_run();
+        let baseline = Baseline::parse(&sweep_results_to_json(&results)).expect("parses");
+        let mut broken = results.clone();
+        broken[0].outcome = Err(covert::prelude::ChannelError::InvalidConfig(
+            "synthetic".into(),
+        ));
+        let report = baseline.compare(&broken, DEFAULT_TOLERANCE);
+        assert_eq!(report.regressions.len(), 1);
+        assert!(report.regressions[0]
+            .describe()
+            .contains("fresh run failed"));
+    }
+}

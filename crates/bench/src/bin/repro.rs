@@ -9,6 +9,7 @@
 //!       [--slice-hash] [--l3] [--ablation] [--sweep] [--all] [--quick]
 //!       [--code <spec>[,<spec>...]] [--policy <name>[,<name>...]]
 //!       [--backend <name>] [--out <path>] [--list-backends]
+//!       [--check-baseline <file>]
 //!       [--record-trace <path>] [--replay-trace <path>]
 //! ```
 //!
@@ -24,11 +25,19 @@
 //! comma-separated list of `none`, `crc8`, `hamming74`, `rs`, `rs(n,k)` or
 //! `rs(n,k,depth)`, or `all` (the default) for every family. `--policy`
 //! selects the link-control policies of the adaptive `--sweep` section
-//! (`threshold`, `aimd`, `fixed`, or `all`; the fixed-code baselines always
-//! run so the adaptive-vs-fixed comparison is complete); an unknown name
-//! exits non-zero listing the known policies. `--out <path>` streams the
-//! sweep rows (classic, coded and adaptive) to disk as JSON, appending each
-//! row the moment its sweep point finishes.
+//! (`threshold`, `aimd`, `bandit`, `fixed`, or `all`; the fixed-code
+//! baselines always run so the adaptive-vs-fixed comparison is complete);
+//! an unknown name exits non-zero listing the known policies. `--out
+//! <path>` streams the sweep rows (classic, coded and adaptive) to disk as
+//! JSON, appending each row the moment its sweep point finishes.
+//!
+//! `--check-baseline <file>` is the CI performance-regression gate: after
+//! the `--sweep` sections finish, every fresh cell is compared against the
+//! committed baseline document (itself a `--sweep --out` file, normally
+//! `bench/baseline.json` recorded with `--quick`) and the run exits 2
+//! listing every cell whose goodput fell more than 15 % below its recorded
+//! value. Refresh the baseline by re-recording it with the same flags
+//! (`repro --quick --sweep --out bench/baseline.json`).
 //!
 //! `--record-trace <path>` records one LLC-channel point (honouring
 //! `--backend`) through a trace recorder and serializes the full access
@@ -59,6 +68,7 @@ struct Options {
     backend: Option<String>,
     list_backends: bool,
     out: Option<std::path::PathBuf>,
+    check_baseline: Option<std::path::PathBuf>,
     record_trace: Option<std::path::PathBuf>,
     replay_trace: Option<std::path::PathBuf>,
 }
@@ -156,6 +166,7 @@ impl Options {
             backend,
             list_backends: has("--list-backends"),
             out: value_of("--out").map(std::path::PathBuf::from),
+            check_baseline: value_of("--check-baseline").map(std::path::PathBuf::from),
             record_trace: value_of("--record-trace").map(std::path::PathBuf::from),
             replay_trace: value_of("--replay-trace").map(std::path::PathBuf::from),
         }
@@ -428,6 +439,16 @@ fn main() {
                 std::process::exit(1);
             })
         });
+        // The baseline loads *before* the sweep runs: a missing or corrupt
+        // baseline file should fail in seconds, not after the full grid.
+        let baseline = opts.check_baseline.as_ref().map(|path| {
+            Baseline::load(path).unwrap_or_else(|err| {
+                eprintln!("error: {err}");
+                std::process::exit(1);
+            })
+        });
+        let mut gate_rows: Vec<SweepResult> = Vec::new();
+        let collect_for_gate = baseline.is_some();
         let mut stream_row = |result: &SweepResult| {
             if let (Some(w), Some(path)) = (writer.as_mut(), opts.out.as_ref()) {
                 if let Err(err) = w.push(result) {
@@ -436,6 +457,9 @@ fn main() {
                     eprintln!("error: could not write {}: {err}", path.display());
                     std::process::exit(1);
                 }
+            }
+            if collect_for_gate {
+                gate_rows.push(result.clone());
             }
         };
         println!(
@@ -603,6 +627,46 @@ fn main() {
                 }
             }
         }
+
+        if let Some(baseline) = baseline {
+            let path = opts
+                .check_baseline
+                .as_ref()
+                .expect("baseline implies --check-baseline");
+            banner("Baseline regression gate");
+            let report = baseline.compare(&gate_rows, DEFAULT_TOLERANCE);
+            println!(
+                "compared {} cells against {} (tolerance -{:.0}%); {} fresh-only, {} baseline-only",
+                report.compared,
+                path.display(),
+                DEFAULT_TOLERANCE * 100.0,
+                report.unmatched_fresh,
+                report.unmatched_baseline,
+            );
+            if report.passed() {
+                println!("baseline gate PASSED");
+            } else {
+                if report.regressions.is_empty() {
+                    eprintln!(
+                        "error: baseline gate compared no cells — grid and baseline are disjoint \
+                         (was the baseline recorded with the same --quick/--backend flags?)"
+                    );
+                } else {
+                    eprintln!(
+                        "error: baseline gate FAILED — {} regressed cell(s):",
+                        report.regressions.len()
+                    );
+                    for regression in &report.regressions {
+                        eprintln!("  {}", regression.describe());
+                    }
+                    eprintln!(
+                        "(an intended change? refresh with: repro --quick --sweep --out {})",
+                        path.display()
+                    );
+                }
+                std::process::exit(2);
+            }
+        }
     } else {
         if let Some(path) = &opts.out {
             eprintln!(
@@ -625,6 +689,12 @@ fn main() {
         if opts.policy_given {
             eprintln!(
                 "note: --policy ignored (it selects the --sweep adaptation policies; pass --sweep)"
+            );
+        }
+        if let Some(path) = &opts.check_baseline {
+            eprintln!(
+                "note: --check-baseline {} ignored (it gates the --sweep results; pass --sweep)",
+                path.display()
             );
         }
     }

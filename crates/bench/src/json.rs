@@ -1,4 +1,4 @@
-//! Hand-rolled JSON serialization of sweep results.
+//! Hand-rolled JSON serialization (and parsing) of sweep results.
 //!
 //! The workspace builds offline with no serde, so this module writes the
 //! small, flat schema the plotting side needs by hand: one object per sweep
@@ -6,6 +6,11 @@
 //! recorded failure. `repro --sweep --out <path>` is the entry point; it
 //! streams rows through [`SweepJsonWriter`], which appends each row to the
 //! file the moment its sweep point finishes instead of buffering the grid.
+//!
+//! [`parse_json`] is the matching reader: a small recursive-descent parser
+//! into [`JsonValue`], used by the CI baseline checker ([`crate::baseline`])
+//! and by the schema round-trip tests that guard the document format
+//! downstream tooling depends on.
 
 use crate::sweep::{SweepOutcome, SweepResult};
 use std::fmt::Write as _;
@@ -94,6 +99,23 @@ fn outcome_fields(out: &mut String, outcome: &SweepOutcome) {
                 w.corrected_bits,
                 w.decode_failures,
                 w.elapsed.as_ns(),
+            );
+        }
+        out.push(']');
+        // The controller's final per-rung goodput model (empty for the
+        // trial-based policies, which keep no standing estimates).
+        out.push_str(",\"rung_estimates\":[");
+        for (i, e) in adaptation.rung_estimates.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "{{\"code\":\"{}\",\"symbol_repeat\":{},\"goodput_kbps\":{},\"weight\":{}}}",
+                escape(&e.code.label()),
+                e.symbol_repeat,
+                number(e.goodput_kbps),
+                number(e.weight),
             );
         }
         out.push(']');
@@ -219,6 +241,274 @@ impl SweepJsonWriter {
         self.out.write_all(b"]\n}\n")?;
         self.out.flush()?;
         Ok(self.rows)
+    }
+}
+
+/// A parsed JSON value — the reading half of this module's hand-rolled
+/// serialization (the offline workspace has no serde). Objects preserve key
+/// order as written. Used by the baseline regression checker
+/// ([`crate::baseline`]) and the schema round-trip tests, so the documents
+/// this module emits are guarded by an actual parser rather than substring
+/// checks.
+#[derive(Debug, Clone, PartialEq)]
+pub enum JsonValue {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Any JSON number (parsed as `f64`, which covers every value this
+    /// schema writes).
+    Number(f64),
+    /// A string, unescaped.
+    String(String),
+    /// An array.
+    Array(Vec<JsonValue>),
+    /// An object, as ordered key/value pairs.
+    Object(Vec<(String, JsonValue)>),
+}
+
+impl JsonValue {
+    /// Looks up a key in an object (first match).
+    pub fn get(&self, key: &str) -> Option<&JsonValue> {
+        match self {
+            JsonValue::Object(pairs) => pairs.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The numeric value, if this is a number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            JsonValue::Number(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The string value, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            JsonValue::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The boolean value, if this is a boolean.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            JsonValue::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The elements, if this is an array.
+    pub fn as_array(&self) -> Option<&[JsonValue]> {
+        match self {
+            JsonValue::Array(items) => Some(items),
+            _ => None,
+        }
+    }
+}
+
+/// Parses a JSON document.
+///
+/// # Errors
+///
+/// Returns a message naming the byte offset of the first syntax error, or
+/// trailing non-whitespace after the document.
+pub fn parse_json(text: &str) -> Result<JsonValue, String> {
+    let mut parser = JsonParser {
+        bytes: text.as_bytes(),
+        pos: 0,
+    };
+    let value = parser.value()?;
+    parser.skip_whitespace();
+    if parser.pos < parser.bytes.len() {
+        return Err(format!("trailing data at byte {}", parser.pos));
+    }
+    Ok(value)
+}
+
+struct JsonParser<'t> {
+    bytes: &'t [u8],
+    pos: usize,
+}
+
+impl JsonParser<'_> {
+    fn skip_whitespace(&mut self) {
+        while matches!(self.bytes.get(self.pos), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&mut self) -> Result<u8, String> {
+        self.skip_whitespace();
+        self.bytes
+            .get(self.pos)
+            .copied()
+            .ok_or_else(|| format!("unexpected end of input at byte {}", self.pos))
+    }
+
+    fn expect(&mut self, byte: u8) -> Result<(), String> {
+        if self.peek()? == byte {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(format!(
+                "expected '{}' at byte {}",
+                char::from(byte),
+                self.pos
+            ))
+        }
+    }
+
+    fn literal(&mut self, word: &str, value: JsonValue) -> Result<JsonValue, String> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(value)
+        } else {
+            Err(format!("invalid literal at byte {}", self.pos))
+        }
+    }
+
+    fn value(&mut self) -> Result<JsonValue, String> {
+        match self.peek()? {
+            b'{' => self.object(),
+            b'[' => self.array(),
+            b'"' => Ok(JsonValue::String(self.string()?)),
+            b't' => self.literal("true", JsonValue::Bool(true)),
+            b'f' => self.literal("false", JsonValue::Bool(false)),
+            b'n' => self.literal("null", JsonValue::Null),
+            b'-' | b'0'..=b'9' => self.number(),
+            other => Err(format!(
+                "unexpected character '{}' at byte {}",
+                char::from(other),
+                self.pos
+            )),
+        }
+    }
+
+    fn object(&mut self) -> Result<JsonValue, String> {
+        self.expect(b'{')?;
+        let mut pairs = Vec::new();
+        if self.peek()? == b'}' {
+            self.pos += 1;
+            return Ok(JsonValue::Object(pairs));
+        }
+        loop {
+            self.skip_whitespace();
+            let key = self.string()?;
+            self.expect(b':')?;
+            pairs.push((key, self.value()?));
+            match self.peek()? {
+                b',' => self.pos += 1,
+                b'}' => {
+                    self.pos += 1;
+                    return Ok(JsonValue::Object(pairs));
+                }
+                _ => return Err(format!("expected ',' or '}}' at byte {}", self.pos)),
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<JsonValue, String> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        if self.peek()? == b']' {
+            self.pos += 1;
+            return Ok(JsonValue::Array(items));
+        }
+        loop {
+            items.push(self.value()?);
+            match self.peek()? {
+                b',' => self.pos += 1,
+                b']' => {
+                    self.pos += 1;
+                    return Ok(JsonValue::Array(items));
+                }
+                _ => return Err(format!("expected ',' or ']' at byte {}", self.pos)),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        if self.bytes.get(self.pos) != Some(&b'"') {
+            return Err(format!("expected string at byte {}", self.pos));
+        }
+        let start = self.pos;
+        self.pos += 1;
+        let mut out = String::new();
+        loop {
+            let rest = &self.bytes[self.pos..];
+            let next = rest
+                .iter()
+                .position(|&b| b == b'"' || b == b'\\')
+                .ok_or_else(|| format!("unterminated string at byte {start}"))?;
+            out.push_str(
+                std::str::from_utf8(&rest[..next])
+                    .map_err(|_| format!("invalid UTF-8 in string at byte {}", self.pos))?,
+            );
+            self.pos += next;
+            if self.bytes[self.pos] == b'"' {
+                self.pos += 1;
+                return Ok(out);
+            }
+            // Escape sequence.
+            let escape = self
+                .bytes
+                .get(self.pos + 1)
+                .ok_or_else(|| format!("unterminated escape at byte {}", self.pos))?;
+            self.pos += 2;
+            match escape {
+                b'"' => out.push('"'),
+                b'\\' => out.push('\\'),
+                b'/' => out.push('/'),
+                b'n' => out.push('\n'),
+                b'r' => out.push('\r'),
+                b't' => out.push('\t'),
+                b'b' => out.push('\u{8}'),
+                b'f' => out.push('\u{c}'),
+                b'u' => {
+                    let hex = self
+                        .bytes
+                        .get(self.pos..self.pos + 4)
+                        .and_then(|h| std::str::from_utf8(h).ok())
+                        .ok_or_else(|| format!("truncated \\u escape at byte {}", self.pos))?;
+                    let code = u32::from_str_radix(hex, 16)
+                        .map_err(|_| format!("invalid \\u escape at byte {}", self.pos))?;
+                    self.pos += 4;
+                    // The writer never emits surrogate pairs (it escapes only
+                    // control characters); unpaired surrogates map to the
+                    // replacement character rather than failing the parse.
+                    out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                }
+                other => {
+                    return Err(format!(
+                        "unknown escape '\\{}' at byte {}",
+                        char::from(*other),
+                        self.pos
+                    ))
+                }
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<JsonValue, String> {
+        let start = self.pos;
+        if self.bytes.get(self.pos) == Some(&b'-') {
+            self.pos += 1;
+        }
+        while matches!(
+            self.bytes.get(self.pos),
+            Some(b'0'..=b'9' | b'.' | b'e' | b'E' | b'+' | b'-')
+        ) {
+            self.pos += 1;
+        }
+        std::str::from_utf8(&self.bytes[start..self.pos])
+            .ok()
+            .and_then(|s| s.parse::<f64>().ok())
+            .filter(|n| n.is_finite())
+            .map(JsonValue::Number)
+            .ok_or_else(|| format!("invalid number at byte {start}"))
     }
 }
 
@@ -371,6 +661,189 @@ mod tests {
         assert!(!json.contains("\"windows\":["));
         // Braces stay balanced with the nested window objects.
         assert_eq!(json.matches('{').count(), json.matches('}').count());
+    }
+
+    #[test]
+    fn parser_handles_values_escapes_and_errors() {
+        let value =
+            parse_json(r#"{"a":[1,-2.5,1e3],"b":"x\n\"A","c":null,"d":[true,false],"e":{}}"#)
+                .expect("parses");
+        assert_eq!(
+            value.get("a").unwrap().as_array().unwrap(),
+            &[
+                JsonValue::Number(1.0),
+                JsonValue::Number(-2.5),
+                JsonValue::Number(1000.0)
+            ]
+        );
+        assert_eq!(value.get("b").unwrap().as_str(), Some("x\n\"A"));
+        assert_eq!(value.get("c"), Some(&JsonValue::Null));
+        assert_eq!(value.get("d").unwrap().as_array().unwrap().len(), 2);
+        assert_eq!(value.get("e"), Some(&JsonValue::Object(vec![])));
+        assert!(value.get("missing").is_none());
+        for broken in ["", "{", "[1,", "{\"a\":}", "tru", "\"unterminated", "1 2"] {
+            assert!(parse_json(broken).is_err(), "{broken:?} must not parse");
+        }
+    }
+
+    /// The schema round-trip the CI artifact depends on: every row the
+    /// writer emits — plain, coded, adaptive (with its `windows` array and
+    /// per-rung estimates) and failed — must parse back out of the
+    /// [`SweepJsonWriter`] file with its key facts intact.
+    #[test]
+    fn sweep_v3_document_round_trips_through_the_parser() {
+        use crate::sweep::{
+            adaptive_grid_for, default_grid_for, ChannelKind, NoiseLevel, SweepPoint,
+        };
+        use covert::prelude::PolicyKind;
+
+        let mut grid: Vec<SweepPoint> = default_grid_for(&["kabylake-gen9"], 24)
+            .into_iter()
+            .take(2)
+            .collect();
+        grid[1].code = LinkCodeKind::rs_default();
+        // An adaptive bandit point (windows + rung estimates), a threshold
+        // point (windows, empty estimates) and a guaranteed failure row.
+        grid.extend(
+            adaptive_grid_for(&["kabylake-gen9"], 192, &[PolicyKind::Bandit])
+                .into_iter()
+                .filter(|p| p.policy == Some(PolicyKind::Bandit))
+                .take(1),
+        );
+        let mut threshold_point = SweepPoint::paper_default(
+            "kabylake-gen9",
+            ChannelKind::RingContention,
+            NoiseLevel::Quiet,
+        );
+        threshold_point.bits = 128;
+        threshold_point.policy = Some(PolicyKind::Threshold);
+        grid.push(threshold_point);
+        grid.push(SweepPoint::paper_default(
+            "no-such-backend",
+            ChannelKind::RingContention,
+            NoiseLevel::Quiet,
+        ));
+
+        let results = SweepRunner::new(2)
+            .with_engine(covert::prelude::TransceiverConfig::paper_default())
+            .run(&grid);
+        let dir = std::env::temp_dir();
+        let path = dir.join("leaky_buddies_roundtrip_sweep_test.json");
+        let mut writer = SweepJsonWriter::create(&path).expect("temp file writable");
+        for result in &results {
+            writer.push(result).expect("row appends");
+        }
+        writer.finish().expect("footer writes");
+        let body = std::fs::read_to_string(&path).expect("file readable");
+        let _ = std::fs::remove_file(&path);
+
+        let document = parse_json(&body).expect("document parses");
+        assert_eq!(
+            document.get("schema").and_then(JsonValue::as_str),
+            Some(SWEEP_SCHEMA)
+        );
+        let rows = document
+            .get("results")
+            .and_then(JsonValue::as_array)
+            .expect("results array");
+        assert_eq!(rows.len(), results.len());
+
+        for (row, result) in rows.iter().zip(&results) {
+            let field = |key: &str| row.get(key).unwrap_or(&JsonValue::Null);
+            assert_eq!(
+                field("scenario").as_str(),
+                Some(result.point.label().as_str())
+            );
+            assert_eq!(
+                field("backend").as_str(),
+                Some(result.point.backend.as_str())
+            );
+            assert_eq!(
+                field("channel").as_str(),
+                Some(result.point.channel.label())
+            );
+            assert_eq!(field("bits").as_f64(), Some(result.point.bits as f64));
+            assert_eq!(field("seed").as_f64(), Some(result.point.seed as f64));
+            match &result.outcome {
+                Err(err) => {
+                    assert_eq!(field("ok").as_bool(), Some(false));
+                    assert_eq!(field("error").as_str(), Some(err.to_string().as_str()));
+                }
+                Ok(outcome) => {
+                    assert_eq!(field("ok").as_bool(), Some(true));
+                    assert_eq!(field("goodput_kbps").as_f64(), Some(outcome.goodput_kbps));
+                    assert_eq!(
+                        field("bandwidth_kbps").as_f64(),
+                        Some(outcome.bandwidth_kbps)
+                    );
+                    let Some(adaptation) = &outcome.adaptation else {
+                        assert!(row.get("windows").is_none());
+                        assert!(row.get("rung_estimates").is_none());
+                        continue;
+                    };
+                    let windows = field("windows").as_array().expect("windows array");
+                    assert_eq!(windows.len(), adaptation.trace.windows.len());
+                    for (window, trace) in windows.iter().zip(&adaptation.trace.windows) {
+                        assert_eq!(
+                            window.get("code").and_then(JsonValue::as_str),
+                            Some(trace.code.label().as_str())
+                        );
+                        assert_eq!(
+                            window.get("goodput_kbps").and_then(JsonValue::as_f64),
+                            Some(trace.goodput_kbps)
+                        );
+                        assert_eq!(
+                            window.get("elapsed_ns").and_then(JsonValue::as_f64),
+                            Some(trace.elapsed.as_ns() as f64)
+                        );
+                    }
+                    let estimates = field("rung_estimates").as_array().expect("estimates");
+                    assert_eq!(estimates.len(), adaptation.rung_estimates.len());
+                    for (estimate, model) in estimates.iter().zip(&adaptation.rung_estimates) {
+                        assert_eq!(
+                            estimate.get("code").and_then(JsonValue::as_str),
+                            Some(model.code.label().as_str())
+                        );
+                        assert_eq!(
+                            estimate.get("symbol_repeat").and_then(JsonValue::as_f64),
+                            Some(model.symbol_repeat as f64)
+                        );
+                        assert_eq!(
+                            estimate.get("goodput_kbps").and_then(JsonValue::as_f64),
+                            Some(model.goodput_kbps)
+                        );
+                        assert_eq!(
+                            estimate.get("weight").and_then(JsonValue::as_f64),
+                            Some(model.weight)
+                        );
+                    }
+                }
+            }
+        }
+
+        // The bandit row carries a non-trivial per-rung model; the
+        // threshold row carries windows but no standing model.
+        let bandit_row = &results[2];
+        let bandit_model = &bandit_row
+            .outcome
+            .as_ref()
+            .expect("bandit point runs")
+            .adaptation
+            .as_ref()
+            .expect("adaptive rows carry a summary")
+            .rung_estimates;
+        assert!(!bandit_model.is_empty());
+        assert!(bandit_model.iter().any(|e| e.weight > 0.0));
+        let threshold_row = &results[3];
+        assert!(threshold_row
+            .outcome
+            .as_ref()
+            .expect("threshold point runs")
+            .adaptation
+            .as_ref()
+            .expect("adaptive rows carry a summary")
+            .rung_estimates
+            .is_empty());
     }
 
     #[test]

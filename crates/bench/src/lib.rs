@@ -7,11 +7,15 @@
 
 #![warn(missing_docs)]
 
+pub mod baseline;
 pub mod json;
 pub mod sweep;
 pub mod tracefile;
 
-pub use json::{sweep_results_to_json, sweep_row_json, write_sweep_json, SweepJsonWriter};
+pub use baseline::{Baseline, BaselineReport, Regression, DEFAULT_TOLERANCE};
+pub use json::{
+    parse_json, sweep_results_to_json, sweep_row_json, write_sweep_json, JsonValue, SweepJsonWriter,
+};
 pub use sweep::{
     adaptive_grid, adaptive_grid_for, coded_grid, coded_grid_for, default_grid, default_grid_for,
     effective_engine, record_point_trace, run_point, run_point_with_registry, ChannelKind,

@@ -16,6 +16,13 @@
 //! slots are pure waste; [`SlotAllocation::DemandWeighted`] hands every
 //! slot to the direction with the larger remaining backlog and stops
 //! scheduling a direction the moment it drains.
+//!
+//! [`SlotAllocation::QualityWeighted`] closes the remaining loop between
+//! scheduling and adaptation: the per-direction controllers already measure
+//! each link's quality, so a slot is granted by *expected payoff* — the
+//! controller's goodput estimate × the remaining backlog — and a direction
+//! whose link is mid-burst yields airtime instead of burning it on heavy
+//! rungs, reclaiming it when its estimate recovers or the peer drains.
 
 use super::{LinkAction, LinkController, LinkSetting};
 use crate::adapt::policy::FixedPolicy;
@@ -34,7 +41,23 @@ pub enum SlotAllocation {
     /// Each slot goes to the direction with the larger remaining backlog;
     /// a drained direction is skipped entirely.
     DemandWeighted,
+    /// Each slot goes to the direction with the larger *expected payoff*:
+    /// its controller's goodput estimate × its remaining backlog. A
+    /// direction whose link is in a noise burst (low estimate) yields its
+    /// airtime to the healthy direction instead of burning slot after slot
+    /// on heavy rungs, and reclaims it when the peer drains or its own
+    /// estimate recovers. Falls back to pure demand weighting until *both*
+    /// controllers publish an estimate ([`super::LinkController::
+    /// goodput_estimate`] — the bandit does; the trial-based policies keep
+    /// no standing model).
+    QualityWeighted,
 }
+
+/// Slots a backlogged direction may be passed over under
+/// [`SlotAllocation::QualityWeighted`] before it is granted a probe slot
+/// regardless of payoff (see the starvation guard in
+/// [`DuplexScheduler::run_adaptive`]).
+const STARVATION_PROBE_SLOTS: usize = 6;
 
 /// Which direction a slot served.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -281,6 +304,10 @@ impl DuplexScheduler {
         let mut slots = Vec::new();
         let mut elapsed = Time::ZERO;
         let mut index = 0usize;
+        // Last slot index each direction was *served* (quality weighting's
+        // starvation guard reads these).
+        let mut forward_served = 0usize;
+        let mut reverse_served = 0usize;
 
         while f.remaining() > 0 || r.remaining() > 0 {
             let direction = match self.config.allocation {
@@ -298,24 +325,97 @@ impl DuplexScheduler {
                         SlotDirection::Reverse
                     }
                 }
+                SlotAllocation::QualityWeighted => {
+                    // Expected payoff of granting the slot: how much the
+                    // direction still wants to move, times how fast its
+                    // controller believes its link currently moves bits.
+                    // Until both controllers have published an estimate
+                    // (each needs at least one observed slot) the
+                    // allocation is *pure* demand weighting — starvation
+                    // probes included, since a backlog-only comparison
+                    // has no stale estimate to refresh. Payoff ties
+                    // (including the all-zero-estimate corner) also fall
+                    // back to the backlog comparison, so a drained
+                    // direction can never out-rank one with traffic.
+                    //
+                    // The starvation guard exists because a benched
+                    // direction's estimate is *frozen* — its controller
+                    // only learns from served slots. Without an
+                    // occasional probe slot a direction benched for a
+                    // noise burst would stay benched long after the burst
+                    // passed (its stale mid-storm estimate keeps losing
+                    // the payoff comparison), then drain alone into the
+                    // next burst. The probe refreshes the estimate at a
+                    // bounded cost: at worst one bad slot per
+                    // `STARVATION_PROBE_SLOTS`.
+                    let by_demand = if f.remaining() >= r.remaining() {
+                        SlotDirection::Forward
+                    } else {
+                        SlotDirection::Reverse
+                    };
+                    match (
+                        forward_controller.goodput_estimate(),
+                        reverse_controller.goodput_estimate(),
+                    ) {
+                        (Some(fq), Some(rq)) => {
+                            if f.remaining() > 0 && index - forward_served >= STARVATION_PROBE_SLOTS
+                            {
+                                SlotDirection::Forward
+                            } else if r.remaining() > 0
+                                && index - reverse_served >= STARVATION_PROBE_SLOTS
+                            {
+                                SlotDirection::Reverse
+                            } else {
+                                let forward_payoff = f.remaining() as f64 * fq.max(0.0);
+                                let reverse_payoff = r.remaining() as f64 * rq.max(0.0);
+                                if forward_payoff > reverse_payoff {
+                                    SlotDirection::Forward
+                                } else if reverse_payoff > forward_payoff {
+                                    SlotDirection::Reverse
+                                } else {
+                                    by_demand
+                                }
+                            }
+                        }
+                        _ => by_demand,
+                    }
+                }
             };
+            // The TDD medium is serial: while one direction's slot runs,
+            // the other direction's attacker clocks idle through the same
+            // airtime, so a scheduled noise phase is *shared* weather —
+            // which is exactly what quality-weighted allocation exploits
+            // by lending a stormy direction's slots to the healthy peer
+            // until the storm has passed.
+            match direction {
+                SlotDirection::Forward => forward_served = index,
+                SlotDirection::Reverse => reverse_served = index,
+            }
             let slot = match direction {
-                SlotDirection::Forward => self.serve_slot(
-                    forward,
-                    &mut f,
-                    forward_controller,
-                    slot_bits,
-                    index,
-                    direction,
-                )?,
-                SlotDirection::Reverse => self.serve_slot(
-                    reverse,
-                    &mut r,
-                    reverse_controller,
-                    slot_bits,
-                    index,
-                    direction,
-                )?,
+                SlotDirection::Forward => {
+                    let slot = self.serve_slot(
+                        forward,
+                        &mut f,
+                        forward_controller,
+                        slot_bits,
+                        index,
+                        direction,
+                    )?;
+                    reverse.advance_idle(slot.elapsed);
+                    slot
+                }
+                SlotDirection::Reverse => {
+                    let slot = self.serve_slot(
+                        reverse,
+                        &mut r,
+                        reverse_controller,
+                        slot_bits,
+                        index,
+                        direction,
+                    )?;
+                    forward.advance_idle(slot.elapsed);
+                    slot
+                }
             };
             elapsed += slot.elapsed;
             slots.push(slot);
@@ -535,6 +635,167 @@ mod tests {
         // A clean loopback keeps both controllers on the lightest rung.
         assert_eq!(ctrl_f.rung(), 0);
         assert_eq!(ctrl_r.rung(), 0);
+    }
+
+    /// A controller with a pinned goodput estimate, for allocation tests:
+    /// holds the lightest setting like [`FixedPolicy`] but publishes
+    /// whatever quality the test dictates.
+    struct PinnedEstimate {
+        estimate: Option<f64>,
+    }
+
+    impl LinkController for PinnedEstimate {
+        fn name(&self) -> &'static str {
+            "pinned"
+        }
+
+        fn initial(&self) -> LinkSetting {
+            LinkSetting::lightest()
+        }
+
+        fn observe(&mut self, _observation: &super::super::LinkObservation) -> LinkAction {
+            LinkAction::Hold
+        }
+
+        fn goodput_estimate(&self) -> Option<f64> {
+            self.estimate
+        }
+    }
+
+    #[test]
+    fn quality_weighting_grants_early_airtime_to_the_healthier_direction() {
+        // Equal backlogs, forward link believed 10x slower: every early
+        // slot must go to the healthy reverse direction, with the degraded
+        // forward direction served only once the payoffs cross (its
+        // backlog, times its low quality, eventually exceeds the drained
+        // peer's zero).
+        let fwd = test_pattern(256, 9);
+        let rev = test_pattern(256, 10);
+        let mut slow = PinnedEstimate {
+            estimate: Some(10.0),
+        };
+        let mut fast = PinnedEstimate {
+            estimate: Some(100.0),
+        };
+        let report = DuplexScheduler::new(
+            DuplexConfig::paper_default().with_allocation(SlotAllocation::QualityWeighted),
+        )
+        .run_adaptive(
+            &mut Loopback,
+            &mut Loopback,
+            &fwd,
+            &rev,
+            &mut slow,
+            &mut fast,
+        )
+        .unwrap();
+        // Both payloads still arrive intact.
+        assert_eq!(report.forward.received, fwd);
+        assert_eq!(report.reverse.received, rev);
+        // The healthy direction drains first: every reverse slot precedes
+        // the last forward slot, and the first slots are all reverse.
+        let first_forward = report
+            .slots
+            .iter()
+            .position(|s| s.direction == SlotDirection::Forward)
+            .expect("forward is eventually served");
+        let reverse_slots = report
+            .slots
+            .iter()
+            .filter(|s| s.direction == SlotDirection::Reverse && !s.idle)
+            .count();
+        assert_eq!(
+            first_forward, reverse_slots,
+            "the degraded direction must wait until the healthy one drains"
+        );
+    }
+
+    #[test]
+    fn quality_weighting_tracks_demand_when_qualities_match() {
+        // Identical estimates: quality weighting must degenerate to demand
+        // weighting — same slot schedule, no idle slots. (Backlogs close
+        // enough that alternation serves both inside the starvation-probe
+        // horizon; a larger skew would legitimately diverge there.)
+        let fwd = test_pattern(256, 11);
+        let rev = test_pattern(320, 12);
+        let run = |allocation: SlotAllocation| {
+            let mut ctrl_f = PinnedEstimate {
+                estimate: Some(50.0),
+            };
+            let mut ctrl_r = PinnedEstimate {
+                estimate: Some(50.0),
+            };
+            DuplexScheduler::new(DuplexConfig::paper_default().with_allocation(allocation))
+                .run_adaptive(
+                    &mut Loopback,
+                    &mut Loopback,
+                    &fwd,
+                    &rev,
+                    &mut ctrl_f,
+                    &mut ctrl_r,
+                )
+                .unwrap()
+        };
+        let quality = run(SlotAllocation::QualityWeighted);
+        let demand = run(SlotAllocation::DemandWeighted);
+        assert_eq!(quality.idle_slots(), 0);
+        let directions =
+            |report: &DuplexReport| report.slots.iter().map(|s| s.direction).collect::<Vec<_>>();
+        assert_eq!(directions(&quality), directions(&demand));
+    }
+
+    #[test]
+    fn quality_weighting_without_estimates_falls_back_to_demand() {
+        // Trial-based controllers publish no estimate; the allocator must
+        // not starve either direction and must match demand weighting.
+        let fwd = test_pattern(96, 13);
+        let rev = test_pattern(320, 14);
+        let mut ctrl_f = PinnedEstimate { estimate: None };
+        let mut ctrl_r = PinnedEstimate {
+            estimate: Some(80.0),
+        };
+        let report = DuplexScheduler::new(
+            DuplexConfig::paper_default().with_allocation(SlotAllocation::QualityWeighted),
+        )
+        .run_adaptive(
+            &mut Loopback,
+            &mut Loopback,
+            &fwd,
+            &rev,
+            &mut ctrl_f,
+            &mut ctrl_r,
+        )
+        .unwrap();
+        assert_eq!(report.forward.received, fwd);
+        assert_eq!(report.reverse.received, rev);
+        assert_eq!(report.idle_slots(), 0, "fallback is demand-weighted");
+    }
+
+    #[test]
+    fn quality_weighting_with_real_bandit_controllers_delivers_both_ways() {
+        use crate::adapt::policy::BanditPolicy;
+        let fwd = test_pattern(192, 15);
+        let rev = test_pattern(192, 16);
+        let mut ctrl_f = BanditPolicy::paper_default();
+        let mut ctrl_r = BanditPolicy::paper_default();
+        let report = DuplexScheduler::new(
+            DuplexConfig::paper_default().with_allocation(SlotAllocation::QualityWeighted),
+        )
+        .run_adaptive(
+            &mut Loopback,
+            &mut Loopback,
+            &fwd,
+            &rev,
+            &mut ctrl_f,
+            &mut ctrl_r,
+        )
+        .unwrap();
+        assert_eq!(report.forward.error_count(), 0);
+        assert_eq!(report.reverse.error_count(), 0);
+        // After observed slots both bandits publish estimates, so the
+        // quality path (not the fallback) served the tail of the run.
+        assert!(ctrl_f.goodput_estimate().is_some());
+        assert!(ctrl_r.goodput_estimate().is_some());
     }
 
     #[test]

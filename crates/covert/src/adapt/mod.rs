@@ -12,17 +12,21 @@
 //!   residual BER, retransmissions, corrected bits, achieved goodput) and
 //!   answers with a [`LinkAction`] — hold, or move to another
 //!   [`LinkSetting`] (link code × symbol-repeat factor).
-//! * Three policies ship: [`FixedPolicy`] (the static baseline),
-//!   [`ThresholdPolicy`] (hysteresis bands on the residual error rate) and
+//! * Four policies ship: [`FixedPolicy`] (the static baseline),
+//!   [`ThresholdPolicy`] (hysteresis bands on the residual error rate),
 //!   [`AimdPolicy`] (probe faster settings on clean windows, back off
-//!   multiplicatively on decode failures).
+//!   multiplicatively on decode failures) and [`BanditPolicy`] (per-rung
+//!   EWMA goodput estimates with UCB-style optimism — no probe/commit
+//!   trials at all).
 //! * [`AdaptiveTransceiver`] wraps the shared transceiver engine: it
 //!   re-chunks the payload into adaptation windows, applies the
 //!   controller's setting between windows, and records the per-window
 //!   [`crate::metrics::AdaptationTrace`] on the report.
 //! * [`DuplexScheduler`] runs two channels (one per direction) as
 //!   interleaved TDD slots on the same controller clock, with
-//!   demand-weighted slot allocation replacing strict turn-taking.
+//!   demand-weighted slot allocation replacing strict turn-taking and
+//!   quality-weighted allocation consuming the per-direction goodput
+//!   estimates the controllers measure.
 
 pub mod duplex;
 pub mod policy;
@@ -31,7 +35,7 @@ pub mod transceiver;
 pub use duplex::{
     DuplexConfig, DuplexReport, DuplexScheduler, SlotAllocation, SlotDirection, SlotRecord,
 };
-pub use policy::{AimdPolicy, FixedPolicy, ThresholdPolicy};
+pub use policy::{AimdPolicy, BanditPolicy, FixedPolicy, ThresholdPolicy};
 pub use transceiver::{AdaptiveConfig, AdaptiveTransceiver};
 
 use crate::code::LinkCodeKind;
@@ -179,6 +183,22 @@ pub trait LinkController: Send {
 
     /// Observes a completed window and decides the next setting.
     fn observe(&mut self, observation: &LinkObservation) -> LinkAction;
+
+    /// The controller's current estimate of the goodput (kb/s) its link can
+    /// sustain right now, for controllers that maintain one (the bandit's
+    /// EWMA of its operating rung). `None` means the controller has no
+    /// standing model — quality-aware slot allocation falls back to pure
+    /// demand weighting in that case.
+    fn goodput_estimate(&self) -> Option<f64> {
+        None
+    }
+
+    /// The controller's per-rung goodput model, recorded on the
+    /// [`crate::metrics::AdaptationSummary`] at the end of a run. Empty for
+    /// controllers without per-rung statistics.
+    fn rung_estimates(&self) -> Vec<crate::metrics::RungEstimate> {
+        Vec::new()
+    }
 }
 
 /// The built-in policy families, as a compact configuration value the sweep
@@ -191,11 +211,19 @@ pub enum PolicyKind {
     Threshold,
     /// Additive-increase / multiplicative-decrease probing.
     Aimd,
+    /// Goodput bandit: per-rung EWMA estimates with an optimism bonus,
+    /// selecting the rung with the highest upper bound each window.
+    Bandit,
 }
 
 impl PolicyKind {
     /// Every policy family, in report order.
-    pub const ALL: [PolicyKind; 3] = [PolicyKind::Fixed, PolicyKind::Threshold, PolicyKind::Aimd];
+    pub const ALL: [PolicyKind; 4] = [
+        PolicyKind::Fixed,
+        PolicyKind::Threshold,
+        PolicyKind::Aimd,
+        PolicyKind::Bandit,
+    ];
 
     /// Human-readable label, re-parseable by [`PolicyKind::parse`].
     pub fn label(self) -> &'static str {
@@ -203,10 +231,11 @@ impl PolicyKind {
             PolicyKind::Fixed => "fixed",
             PolicyKind::Threshold => "threshold",
             PolicyKind::Aimd => "aimd",
+            PolicyKind::Bandit => "bandit",
         }
     }
 
-    /// Parses a CLI label (`fixed`, `threshold`, `aimd`).
+    /// Parses a CLI label (`fixed`, `threshold`, `aimd`, `bandit`).
     ///
     /// # Errors
     ///
@@ -216,8 +245,9 @@ impl PolicyKind {
             "fixed" => Ok(PolicyKind::Fixed),
             "threshold" => Ok(PolicyKind::Threshold),
             "aimd" => Ok(PolicyKind::Aimd),
+            "bandit" => Ok(PolicyKind::Bandit),
             other => Err(format!(
-                "unknown policy {other:?} (known policies: fixed, threshold, aimd)"
+                "unknown policy {other:?} (known policies: fixed, threshold, aimd, bandit)"
             )),
         }
     }
@@ -230,6 +260,7 @@ impl PolicyKind {
             PolicyKind::Fixed => Box::new(FixedPolicy::new(fixed_setting)),
             PolicyKind::Threshold => Box::new(ThresholdPolicy::paper_default()),
             PolicyKind::Aimd => Box::new(AimdPolicy::paper_default()),
+            PolicyKind::Bandit => Box::new(BanditPolicy::paper_default()),
         }
     }
 }

@@ -1,6 +1,6 @@
 //! The built-in link-control policies.
 //!
-//! All three walk the shared [`LinkSetting::ladder`] — a robustness ladder
+//! All of them walk the shared [`LinkSetting::ladder`] — a robustness ladder
 //! from the uncoded nominal-symbol setting to interleaved Reed–Solomon at
 //! 3x symbol time — and differ only in *how* they move along it:
 //!
@@ -11,9 +11,14 @@
 //!   clearly bad nor clearly clean holds the current rung;
 //! * [`AimdPolicy`] probes one rung lighter after every clean window and
 //!   backs off multiplicatively (rung index doubles) on distress — the
-//!   TCP-shaped response to a channel whose noise arrives in bursts.
+//!   TCP-shaped response to a channel whose noise arrives in bursts;
+//! * [`BanditPolicy`] keeps a decayed per-rung EWMA of observed goodput and
+//!   selects the rung with the highest optimism-adjusted estimate each
+//!   window — every window is evidence, so it needs none of the
+//!   probe/commit trial machinery the other two pay their probing tax on.
 
 use super::{LinkAction, LinkController, LinkObservation, LinkSetting};
+use crate::metrics::RungEstimate;
 
 /// Static baseline: holds one setting for the whole transmission.
 #[derive(Debug, Clone)]
@@ -476,6 +481,692 @@ impl LinkController for AimdPolicy {
     }
 }
 
+/// One rung's belief state inside the [`BanditPolicy`]: a decayed,
+/// *time-weighted* goodput estimate.
+///
+/// The estimate is kept as decayed sums of clean kilobits and airtime
+/// rather than a per-window EWMA of goodput numbers, because windows are
+/// not equal: a zero-goodput window burns several times the airtime of a
+/// clean one (retry after retry), so an unweighted window average wildly
+/// overrates a bimodal rung — uncoded looks like the mean of its good
+/// windows when its true goodput is dragged down by the airtime its dead
+/// windows consume.
+#[derive(Debug, Clone, Copy)]
+struct RungBelief {
+    /// Decayed clean kilobits delivered while this rung ran.
+    kb: f64,
+    /// Decayed airtime (seconds) spent while this rung ran.
+    secs: f64,
+    /// Decayed evidence weight: incremented when the rung is observed,
+    /// multiplied by the staleness decay every window it is not — the
+    /// optimism bonus grows as the evidence behind an estimate ages.
+    weight: f64,
+}
+
+impl RungBelief {
+    /// Time-weighted goodput estimate (kb/s), or `None` before any
+    /// evidence.
+    fn mean(&self) -> Option<f64> {
+        (self.weight > f64::EPSILON && self.secs > 0.0).then(|| self.kb / self.secs)
+    }
+}
+
+/// Goodput bandit: UCB-style rung selection over per-rung, per-regime
+/// goodput estimates.
+///
+/// The trial-based policies ([`ThresholdPolicy`], [`AimdPolicy`]) forget a
+/// rung the moment they leave it, so every descent needs a fresh
+/// probe/commit trial — a probing tax of several windows that keeps them
+/// just under the best fixed code on channels whose optimum never moves.
+/// The bandit instead *remembers*: each rung keeps a decayed,
+/// time-weighted estimate of the goodput measured while it ran (decayed
+/// clean kilobits over decayed airtime — see `RungBelief` for why
+/// per-window averages overrate bimodal rungs), and each window the
+/// policy moves to the rung with the highest optimism-adjusted score
+///
+/// ```text
+/// score(r) = mean(r) + explore · peak · sqrt(ln(t + 1) / weight(r))
+/// ```
+///
+/// where `peak` is the best current estimate (the bonus is scaled to the
+/// channel, which spans two orders of magnitude across the sweep grid) and
+/// `weight(r)` decays every window rung `r` goes unobserved — a stale rung
+/// slowly regains optimism until it earns a one-window re-visit. There is
+/// no commit trial to fail and no cooldown to wait out: the one re-visit
+/// window *is* the entire probing tax.
+///
+/// Plain UCB alone loses badly on the phased channels, so five pieces of
+/// domain structure surround it:
+///
+/// * **Regime banks.** The phased noise alternates calm stretches with
+///   bursts, and the best rung differs per regime. A smoothed dirty-window
+///   rate with sticky hysteresis classifies the prevailing regime, and
+///   each regime keeps its *own* per-rung estimates — a flip lands the
+///   policy directly on the rung that regime remembers as best, instead of
+///   re-learning the ladder from inside the weather. The windows that
+///   drove a flip are retroactively re-credited to the right bank
+///   (`REGIME_LAG`), so bank boundaries stay clean.
+/// * **Rate-ratio priors.** An unvisited rung is scored by the current
+///   window's goodput scaled by the rungs' nominal rates, so the policy
+///   does not have to climb the whole ladder to learn that heavy
+///   protection costs airtime on a clean channel.
+/// * **A plausibility ceiling.** The optimistic part of a score is capped
+///   by the best demonstrated wire speed times the rung's rate
+///   (`CEILING_MARGIN`): stable losers stay closed no matter how stale,
+///   which is what makes the exploration bonus affordable at all.
+/// * **Storm-out.** When the burst bank knows the storm delivers almost
+///   nothing at any protection level (`STORM_OUT_FRACTION`), the policy
+///   parks on the fastest rung and lets its windows fail cheaply until
+///   the weather lifts, rather than scavenging kilobits through
+///   multi-millisecond retry windows.
+/// * **Candidate gating and rate preference.** A coded window that
+///   delivered *nothing* may only hold or bail to the fastest rung — a
+///   dead medium cannot be out-coded, only failed through cheaply. A
+///   merely distressed window may hold or climb (descending into weather
+///   just measured wastes the next window with certainty); a clean window
+///   opens the whole ladder. Among measured near-equals the higher-rate
+///   rung is preferred (`RATE_PREFERENCE_BAND`): equal calm goodput
+///   does not make rungs equal, because the higher-rate rung fails fast
+///   and cheap when the regime turns.
+#[derive(Debug, Clone)]
+pub struct BanditPolicy {
+    ladder: Vec<LinkSetting>,
+    rung: usize,
+    /// Regime-conditioned belief banks: `banks[0]` holds the calm-regime
+    /// estimates, `banks[1]` the burst-regime ones. Scores are computed
+    /// from the bank matching the prevailing regime, so a regime flip
+    /// lands the policy directly on the rung that bank remembers as best —
+    /// instead of re-learning the whole ladder from inside the weather.
+    banks: [Vec<RungBelief>; 2],
+    /// Smoothed dirty-window rate — the regime classifier's input. A
+    /// single dirty window inside a calm stretch (the desynchronization
+    /// floor of the light rungs) must not flip the regime; a run of them
+    /// must.
+    dirty_rate: f64,
+    /// Whether the burst-regime bank is active (sticky, with hysteresis).
+    burst_mode: bool,
+    /// The last `REGIME_LAG` windows' evidence, for retroactive
+    /// reclassification: the classifier flips one or two windows *after*
+    /// the weather actually changed, so the windows that drove the flip
+    /// were credited to the wrong bank. On a flip, the lagged windows
+    /// whose *character matches the new regime* (dirty windows on a
+    /// calm→burst flip, clean ones on a burst→calm flip) are unwound and
+    /// re-credited — without this, every burst crashes the calm bank's
+    /// incumbent on its way in and inflates the burst bank's estimates on
+    /// its way out. Windows matching the *old* regime stay where they
+    /// were: re-crediting a clean calm window into the burst bank would
+    /// hand the storm a calm-rate goodput estimate, which both disarms
+    /// the storm-out rule and parks the policy on a rung the storm is
+    /// about to kill.
+    recent: Vec<RecentWindow>,
+    window: usize,
+    decay: f64,
+    explore: f64,
+    raise_ber: f64,
+}
+
+/// One lagged window awaiting possible retroactive reclassification (see
+/// the `recent` field of [`BanditPolicy`]).
+#[derive(Debug, Clone, Copy)]
+struct RecentWindow {
+    /// Bank the window's evidence was credited to.
+    bank: usize,
+    /// Ladder rung the window ran on.
+    rung: usize,
+    /// The rung's belief *before* the window was credited, for unwinding.
+    before: RungBelief,
+    /// Clean kilobits the window delivered.
+    kb: f64,
+    /// Airtime the window consumed (seconds).
+    secs: f64,
+    /// Whether the window read as dirty to the regime classifier.
+    dirty: bool,
+}
+
+/// Virtual evidence weight behind the rate-ratio prior of a rung that has
+/// never run: small enough that one real observation dominates it, large
+/// enough that the optimism bonus stays finite.
+const PRIOR_WEIGHT: f64 = 0.3;
+
+/// Smoothing gain of the dirty-window rate that classifies the regime.
+/// Calibrated against [`BURST_ENTER`] so that isolated dirty windows —
+/// even two out of three, the worst run the light rungs' calm-phase
+/// desynchronization floor produces at any frequency — cannot flip the
+/// regime, while a true burst (every window dirty) flips it on the third.
+/// A false burst flip is doubly poisonous: it burns calm windows on heavy
+/// rungs *and* writes calm-phase goodput into the burst bank, which a
+/// later real burst then trusts.
+const REGIME_GAIN: f64 = 0.25;
+
+/// Dirty-rate at which the calm regime hands over to the burst regime.
+const BURST_ENTER: f64 = 0.55;
+
+/// Dirty-rate at which the burst regime hands back to calm. The gap to
+/// [`BURST_ENTER`] is hysteresis: a clean-ish window mid-burst (a heavy
+/// rung absorbing the weather) must not flap the banks.
+const BURST_EXIT: f64 = 0.25;
+
+/// Staleness decay of the *inactive* bank: its regime is not running, so
+/// its evidence ages across the cycle, not per window.
+const IDLE_DECAY: f64 = 0.99;
+
+/// Per-window decay of the evidence *weight* (the optimism denominator)
+/// inside the active bank. Deliberately faster than the estimate decay:
+/// the estimates want a long, outlier-resistant memory, but exploration
+/// wants stale rungs re-checked on a several-window cadence.
+const WEIGHT_DECAY: f64 = 0.95;
+
+/// Aging applied to the newly-activated bank's weights on a regime flip:
+/// its estimates are a phase old and its edges may have been polluted by
+/// transition windows, so every rung earns a prompt re-verification visit.
+const FLIP_AGING: f64 = 0.7;
+
+/// Slack on the plausibility ceiling (see [`BanditPolicy::score`]): a rung
+/// may optimistically promise up to 10 % more than its rate ratio predicts
+/// before the cap bites, covering rate-adjacent effects (fewer
+/// retransmissions at a stronger code) without re-opening stable losers.
+const CEILING_MARGIN: f64 = 1.1;
+
+/// Burst-to-calm goodput ratio below which the storm-out rule engages
+/// (see the selection step in the bandit's `observe`): a storm whose best
+/// rung delivers less than this fraction of the calm peak is cheaper to
+/// wait out on fast-failing windows than to scavenge.
+const STORM_OUT_FRACTION: f64 = 0.35;
+
+/// Classifier lag in windows: how many trailing windows are subject to
+/// retroactive reclassification when the regime flips.
+const REGIME_LAG: usize = 2;
+
+/// Fraction of the winning rung's measured goodput another measured rung
+/// must reach for the higher-rate rung to be preferred (see the selection
+/// step in the bandit's `observe`).
+/// Wide on purpose: a light rung's estimate carries its
+/// desynchronization floor, and a short unlucky stretch (three dead
+/// windows in ten) can depress it 15 % below its long-run value. Because
+/// selection stops sampling a rung the moment it scores second, such a
+/// depressed estimate would otherwise freeze — the preference band is the
+/// mechanism that keeps the fastest rung sampled (and its estimate
+/// honest) while the measured gap is small enough to be floor noise.
+const RATE_PREFERENCE_BAND: f64 = 0.80;
+
+impl BanditPolicy {
+    /// The calibration the reproduction uses over 64-bit windows: decay
+    /// 0.98 per window (a ~50-window evidence horizon — regime changes are
+    /// handled by the bank switch, so the in-regime estimates can afford a
+    /// long, outlier-resistant memory; anything shorter lets a chance
+    /// cluster of desynchronized windows crush a light rung's estimate
+    /// below the rate-preference band and strand the policy on a slower
+    /// rung for the rest of the phase) and exploration coefficient 0.08,
+    /// with the same 3 % residual-BER distress threshold as the other
+    /// policies.
+    pub fn paper_default() -> Self {
+        BanditPolicy::new(LinkSetting::ladder(), 0.98, 0.08)
+    }
+
+    /// A bandit over an explicit ladder.
+    ///
+    /// `decay` is the per-window decay of the evidence sums (both the
+    /// observed rung's running estimate and the staleness of the others),
+    /// `explore` the optimism coefficient (relative to the best current
+    /// estimate).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the ladder is empty, `decay` is outside `(0, 1]`, or
+    /// `explore` is not positive.
+    pub fn new(ladder: Vec<LinkSetting>, decay: f64, explore: f64) -> Self {
+        assert!(!ladder.is_empty(), "ladder needs at least one setting");
+        assert!(decay > 0.0 && decay <= 1.0, "decay must be in (0, 1]");
+        assert!(explore > 0.0, "explore must be positive");
+        let bank = vec![
+            RungBelief {
+                kb: 0.0,
+                secs: 0.0,
+                weight: 0.0,
+            };
+            ladder.len()
+        ];
+        BanditPolicy {
+            ladder,
+            rung: 0,
+            banks: [bank.clone(), bank],
+            dirty_rate: 0.0,
+            burst_mode: false,
+            recent: Vec::new(),
+            window: 0,
+            decay,
+            explore,
+            raise_ber: 0.03,
+        }
+    }
+
+    /// The rung the policy currently sits on.
+    pub fn rung(&self) -> usize {
+        self.rung
+    }
+
+    /// Index of the belief bank matching the prevailing regime.
+    fn active_bank(&self) -> usize {
+        usize::from(self.burst_mode)
+    }
+
+    /// Whether any rung heavier than `observed` has ever been measured, in
+    /// either regime bank.
+    fn any_heavier_measured(&self, observed: usize) -> bool {
+        (observed + 1..self.ladder.len())
+            .any(|r| self.banks.iter().any(|bank| bank[r].mean().is_some()))
+    }
+
+    /// Two scales of the active bank: the best goodput estimate across its
+    /// visited rungs (what the optimism bonus is expressed in) and the
+    /// best demonstrated *wire speed* — `mean / rate`, the per-unit-rate
+    /// efficiency — which anchors the plausibility ceiling. The wire speed
+    /// is taken as a max over rungs because the best-goodput rung may
+    /// itself be degraded (losing frames mid-burst), which would
+    /// underestimate what the medium can carry and wrongly cap the very
+    /// rungs that absorb the weather better. An empty active bank — the
+    /// first windows of a never-before-seen regime — borrows the other
+    /// bank's scales: the channel's goodput scale does not vanish with the
+    /// weather, and a zero scale would zero every exploration bonus
+    /// exactly when exploration is the only source of signal.
+    fn peak(&self) -> (f64, f64) {
+        let best_of = |bank: &[RungBelief]| {
+            bank.iter()
+                .enumerate()
+                .filter_map(|(r, b)| {
+                    // A rung whose estimate is zero contributes no scale:
+                    // a bank where everything measured dead so far (the
+                    // first windows inside a hard burst) must still borrow
+                    // the other bank's scale or every exploration bonus
+                    // goes to zero and the policy wedges on a dead rung.
+                    b.mean()
+                        .filter(|m| *m > 0.0)
+                        .map(|m| (m, m / self.ladder[r].rate().max(1e-9)))
+                })
+                .fold(None, |best: Option<(f64, f64)>, (mean, speed)| match best {
+                    Some((bm, bs)) => Some((bm.max(mean), bs.max(speed))),
+                    None => Some((mean, speed)),
+                })
+        };
+        best_of(&self.banks[self.active_bank()])
+            .or_else(|| best_of(&self.banks[1 - self.active_bank()]))
+            .map_or((1e-6, 1e-6), |(mean, speed)| {
+                (mean.max(1e-6), speed.max(1e-6))
+            })
+    }
+
+    /// Upper-confidence score of rung `r` in the active bank, given the
+    /// goodput `g` the current window just measured at rung `observed`
+    /// (the anchor of the rate-ratio prior for unvisited rungs).
+    ///
+    /// The optimistic part of the score is capped by a *plausibility
+    /// ceiling*: goodput is physically bounded by the information rate, so
+    /// a rung whose rate is 0.57 of the current best rung's cannot
+    /// plausibly deliver more than ~0.57 of the best rung's goodput — no
+    /// matter how stale its estimate. The cap is what keeps the bandit
+    /// from burning windows re-checking stable losers (the dominant
+    /// exploration waste on channels with a large goodput spread), while
+    /// `max(ceiling, mean)` keeps real measurements competitive: if the
+    /// incumbent degrades, a rung whose *measured* mean beats it is
+    /// selectable regardless of the ceiling.
+    fn score(&self, r: usize, observed: usize, g: f64, bad: bool) -> f64 {
+        let horizon = ((self.window + 2) as f64).ln();
+        let (peak_mean, wire_speed) = self.peak();
+        let bonus = |weight: f64| self.explore * peak_mean * (horizon / weight).sqrt();
+        let ceiling = wire_speed * self.ladder[r].rate() * CEILING_MARGIN;
+        let belief = &self.banks[self.active_bank()][r];
+        match belief.mean() {
+            Some(mean) => (mean + bonus(belief.weight)).min(ceiling.max(mean)),
+            None if bad && r > observed && observed == 0 && !self.any_heavier_measured(0) => {
+                // The *uncoded* rung is in distress and no protected rung
+                // has ever run, under any regime. The rate-ratio prior is
+                // exactly wrong here — distressed goodput is limited by
+                // errors, not by rate, so scaling the broken rung's
+                // delivery *down* by the rate ratio predicts protection
+                // cannot help — and with no protected rung ever measured
+                // there is nothing to extrapolate from. An untried heavier
+                // rung is the only source of signal a failing link has:
+                // unbounded optimism, with the nearest-first ordering
+                // trying one hop up before a leap. The rule is pinned to
+                // the bottom rung: from a *coded* rung in distress the
+                // priors already climb on their own when the next rung up
+                // has the higher information rate, and when it does not
+                // (the 3x-repeat end of the ladder) optimism-driven climbs
+                // are precisely the multi-millisecond dead windows the
+                // storm path above exists to avoid. Once any protected
+                // rung carries a measurement the scores speak for
+                // themselves.
+                f64::INFINITY
+            }
+            None if self.burst_mode && r < observed => {
+                // A descent to a rung this storm has never measured. The
+                // rate-ratio prior is built on "goodput scales with rate
+                // on a channel clean enough to carry the rung" — mid-storm
+                // that premise is exactly what's in doubt, and one good
+                // window at a protected rung says nothing about how a
+                // *lighter* rung fares in the same weather. No optimism
+                // either: the storm bank's best measured rung is the most
+                // this descent may promise, so an un-measured light rung
+                // can never outbid the rung that is demonstrably carrying
+                // the storm. (Deliberate storm parking goes through the
+                // storm-out rule above, on evidence, not on priors.)
+                self.banks[self.active_bank()]
+                    .iter()
+                    .filter_map(RungBelief::mean)
+                    .fold(0.0, f64::max)
+                    .min(g * self.ladder[r].rate() / self.ladder[observed].rate().max(1e-9))
+            }
+            None => {
+                // Never visited in this regime: predict its goodput from
+                // the nominal rate ratio (goodput scales with the
+                // information rate on a channel clean enough to carry the
+                // rung at all).
+                let anchor = self.ladder[observed].rate().max(1e-9);
+                let prior = g * self.ladder[r].rate() / anchor;
+                (prior + bonus(PRIOR_WEIGHT)).min(ceiling.max(prior))
+            }
+        }
+    }
+}
+
+impl LinkController for BanditPolicy {
+    fn name(&self) -> &'static str {
+        "bandit"
+    }
+
+    fn initial(&self) -> LinkSetting {
+        self.ladder[self.rung]
+    }
+
+    fn observe(&mut self, observation: &LinkObservation) -> LinkAction {
+        let g = if observation.goodput_kbps.is_finite() {
+            observation.goodput_kbps.max(0.0)
+        } else {
+            0.0
+        };
+        let observed = self
+            .ladder
+            .iter()
+            .position(|s| *s == observation.setting)
+            .unwrap_or(self.rung);
+        let bad = window_is_bad(observation, self.raise_ber);
+        let clean = observation.residual_ber <= 0.0 && observation.decode_failures == 0;
+        let window_secs = observation.elapsed.as_secs_f64().max(1e-12);
+        let window_kb = g * window_secs;
+        // Classify the prevailing regime. "Dirty" means the *medium* is
+        // being hit, and real weather has a signature the light rungs'
+        // calm-phase desynchronization floor does not: it forces retry
+        // rounds (or outright decode failures), or garbles a substantial
+        // fraction of the payload. A floor blip — a window lost to a
+        // couple of flipped bits, with the engine never even retrying —
+        // is part of a light rung's *calm* mixture and must charge its
+        // calm estimate, not flip the banks: on channels whose uncoded
+        // floor kills most windows, counting blips as weather wedges the
+        // classifier in burst mode permanently (and the storm-out rule
+        // then parks the policy on the floor it is misreading). "Dirty"
+        // also deliberately includes *substantial* repaired damage: a
+        // heavy rung absorbing the weather is still weather. The
+        // magnitude threshold matters — a correcting code fixes the odd
+        // bit every few windows from the calm-phase noise floor, and
+        // counting that as burst evidence would let the rung's own
+        // robustness hold the classifier in burst mode forever.
+        let floor_blip = observation.retransmissions == 0
+            && observation.decode_failures == 0
+            && observation.residual_ber <= 2.0 * self.raise_ber;
+        let dirty = (!clean && !floor_blip)
+            || observation.corrected_bits * 8 > observation.payload_bits.max(1);
+        // A *damaged* window at a coded rung — retransmissions, decode
+        // failures, or nothing delivered at all — is several times the
+        // evidence an ordinary dirty window is: the coded window ran long
+        // enough (slow symbols, retry rounds) that real weather, not a
+        // desynchronization blip, is the only thing that damages it.
+        // Tripled evidence flips the classifier off a cold dirty-rate in
+        // one such window, which matters because every pre-flip window at
+        // a coded rung burns multiple milliseconds of retries. Dirty
+        // windows at the uncoded rung stay single evidence: they fail
+        // fast anyway, and on channels whose calm phase has a deep
+        // desynchronization floor they arrive often enough to flap a
+        // twitchier classifier.
+        let damaged = dirty
+            && observed > 0
+            && (observation.retransmissions > 0
+                || observation.decode_failures > 0
+                || g <= f64::EPSILON);
+        let evidence = if damaged { 3 } else { 1 };
+        for _ in 0..evidence {
+            self.dirty_rate += REGIME_GAIN * (f64::from(u8::from(dirty)) - self.dirty_rate);
+        }
+        let was_burst = self.burst_mode;
+        if self.burst_mode {
+            if self.dirty_rate <= BURST_EXIT {
+                self.burst_mode = false;
+            }
+        } else if self.dirty_rate >= BURST_ENTER {
+            self.burst_mode = true;
+        }
+        let active = self.active_bank();
+        if self.burst_mode != was_burst {
+            // The windows that drove the flip were measured under the new
+            // regime but credited to the old bank (classifier lag): unwind
+            // the ones whose character matches the new regime — dirty
+            // windows when entering a burst, clean ones when leaving it —
+            // newest first, so a rung touched twice lands back on its
+            // oldest snapshot, and re-credit their evidence. Lagged
+            // windows matching the *old* regime stay put: a clean calm
+            // window re-credited into the burst bank would hand the storm
+            // a calm-rate estimate, disarming storm-out below.
+            let stale = usize::from(was_burst);
+            for window in std::mem::take(&mut self.recent).into_iter().rev() {
+                if window.bank == stale && window.dirty == self.burst_mode {
+                    self.banks[stale][window.rung] = window.before;
+                    let belief = &mut self.banks[active][window.rung];
+                    belief.kb = belief.kb * self.decay + window.kb;
+                    belief.secs = belief.secs * self.decay + window.secs;
+                    belief.weight = belief.weight * WEIGHT_DECAY + 1.0;
+                }
+            }
+            // The re-activated bank's knowledge is a phase old: age its
+            // weights so every rung earns a prompt re-verification visit.
+            for belief in &mut self.banks[active] {
+                belief.weight *= FLIP_AGING;
+            }
+        }
+        {
+            if self.recent.len() >= REGIME_LAG {
+                self.recent.remove(0);
+            }
+            self.recent.push(RecentWindow {
+                bank: active,
+                rung: observed,
+                before: self.banks[active][observed],
+                kb: window_kb,
+                secs: window_secs,
+                dirty,
+            });
+            let belief = &mut self.banks[active][observed];
+            belief.kb = belief.kb * self.decay + window_kb;
+            belief.secs = belief.secs * self.decay + window_secs;
+            belief.weight = belief.weight * WEIGHT_DECAY + 1.0;
+        }
+        for (bank, beliefs) in self.banks.iter_mut().enumerate() {
+            let decay = if bank == active {
+                WEIGHT_DECAY
+            } else {
+                IDLE_DECAY
+            };
+            for (r, belief) in beliefs.iter_mut().enumerate() {
+                if bank != active || r != observed {
+                    belief.weight *= decay;
+                }
+            }
+        }
+        self.window += 1;
+
+        // Storm-out: when the burst bank knows (from at least two rungs of
+        // evidence) that the storm delivers almost nothing at *any*
+        // protection level, scavenging bits is a losing trade — a heavy
+        // rung's windows run many times longer than a light rung's fast
+        // failures, and every extra millisecond inside the storm is a
+        // millisecond of calm-rate delivery lost at the other end. Park on
+        // the fastest rung (cheapest failed window), let the windows fail
+        // quickly, and be already at the right setting the moment the
+        // weather lifts. On channels whose bursts still carry real goodput
+        // through heavy protection (the LLC cells, where Hamming moves
+        // ~75 % of calm rate mid-burst) the threshold never fires and the
+        // bandit scavenges as usual.
+        if self.burst_mode {
+            let bank_peak =
+                |bank: &[RungBelief]| bank.iter().filter_map(RungBelief::mean).fold(0.0, f64::max);
+            let visited = self.banks[active]
+                .iter()
+                .filter(|b| b.weight > f64::EPSILON)
+                .count();
+            // "No protection level helps" is only a conclusion the bank
+            // can draw after the heavy half of the ladder has actually
+            // run in this storm: a bank holding two dead *light* rungs is
+            // equally consistent with a storm that Reed–Solomon rides out
+            // fine, and parking on the fastest rung then would freeze
+            // exploration exactly one rung short of the answer.
+            let heavy_visited = self.banks[active]
+                .iter()
+                .enumerate()
+                .any(|(r, b)| r >= self.ladder.len() / 2 && b.weight > f64::EPSILON);
+            let storm_peak = bank_peak(&self.banks[active]);
+            let calm_peak = bank_peak(&self.banks[1 - active]);
+            if visited >= 2
+                && heavy_visited
+                && calm_peak > 0.0
+                && storm_peak < STORM_OUT_FRACTION * calm_peak
+            {
+                let fastest = (0..self.ladder.len())
+                    .max_by(|a, b| self.ladder[*a].rate().total_cmp(&self.ladder[*b].rate()))
+                    .unwrap_or(0);
+                return if fastest == observed {
+                    self.rung = observed;
+                    LinkAction::Hold
+                } else {
+                    self.rung = fastest;
+                    LinkAction::Set(self.ladder[fastest])
+                };
+            }
+        }
+
+        // A coded window that delivered *nothing* bails straight to the
+        // fastest rung: zero delivery through a correcting code means the
+        // medium itself is saturated, and heavier protection cannot
+        // conjure signal out of a dead channel — it just multiplies the
+        // airtime the next dead window burns (the heaviest rung's retry
+        // window runs an order of magnitude longer than an uncoded fast
+        // failure). This is a reflex, not a scored decision: mid-storm
+        // the bank usually has no positive estimate yet, and a score
+        // comparison over zeros would hold the dying rung by its
+        // exploration bonus alone.
+        let fastest = (0..self.ladder.len())
+            .max_by(|a, b| self.ladder[*a].rate().total_cmp(&self.ladder[*b].rate()))
+            .unwrap_or(0);
+        if bad && g <= f64::EPSILON && observed > 0 && observed != fastest {
+            self.rung = fastest;
+            return LinkAction::Set(self.ladder[fastest]);
+        }
+
+        // Candidates by window health. A distressed window may only hold
+        // or climb — descending into the weather it just measured would
+        // waste the next window with certainty, however attractive a
+        // light rung's stale calm-time estimate looks. A fully clean
+        // window opens the whole ladder: descents can jump straight past
+        // a rung whose estimate a burst poisoned (the failure mode that
+        // wedges a neighbours-only walker at the heavy end). Anything in
+        // between — sub-threshold residuals, decode failures recovered by
+        // retry — moves one rung at a time.
+        let top = self.ladder.len() - 1;
+        let candidates: Vec<usize> = if bad {
+            (observed..=top).collect()
+        } else if clean {
+            (0..=top).collect()
+        } else {
+            (observed.saturating_sub(1)..=(observed + 1).min(top)).collect()
+        };
+        // Nearest-first with strict improvement required: ties hold the
+        // current rung instead of oscillating.
+        let mut best = observed;
+        let mut best_score = self.score(observed, observed, g, bad);
+        let mut order = candidates.clone();
+        order.sort_by_key(|r| (r.abs_diff(observed), *r));
+        for r in order {
+            let score = self.score(r, observed, g, bad);
+            if score > best_score {
+                best = r;
+                best_score = score;
+            }
+        }
+        // Rate preference among measured near-equals: if another candidate
+        // with real evidence delivers within a few percent of the winner's
+        // *measured* goodput, take the one with the higher information
+        // rate. Equal calm goodput does not make rungs equal: regime
+        // changes recur, and the rung with the higher rate fails fast and
+        // cheap when the weather turns, while a heavy rung burns
+        // multi-millisecond retry windows before the classifier reacts.
+        // Only measured means qualify — optimism bonuses and priors are
+        // not evidence of near-equality.
+        if let Some(best_mean) = self.banks[active][best].mean() {
+            let mut preferred = best;
+            for r in candidates {
+                let belief = &self.banks[active][r];
+                if belief.weight >= 0.5
+                    && self.ladder[r].rate() > self.ladder[preferred].rate()
+                    && belief
+                        .mean()
+                        .is_some_and(|m| m >= RATE_PREFERENCE_BAND * best_mean)
+                {
+                    preferred = r;
+                }
+            }
+            best = preferred;
+        }
+        if best == observed {
+            self.rung = observed;
+            LinkAction::Hold
+        } else {
+            self.rung = best;
+            LinkAction::Set(self.ladder[best])
+        }
+    }
+
+    fn goodput_estimate(&self) -> Option<f64> {
+        // The current rung's estimate under the prevailing regime; if this
+        // regime never ran the rung, fall back to the other bank's view —
+        // a stale estimate still beats none for slot weighting.
+        let active = self.active_bank();
+        self.banks[active][self.rung]
+            .mean()
+            .or_else(|| self.banks[1 - active][self.rung].mean())
+    }
+
+    fn rung_estimates(&self) -> Vec<RungEstimate> {
+        // Reported estimates pool both regime banks: decayed clean bits
+        // over decayed airtime across everything the rung ever ran under.
+        self.ladder
+            .iter()
+            .enumerate()
+            .map(|(r, setting)| {
+                let kb: f64 = self.banks.iter().map(|b| b[r].kb).sum();
+                let secs: f64 = self.banks.iter().map(|b| b[r].secs).sum();
+                let weight: f64 = self.banks.iter().map(|b| b[r].weight).sum();
+                RungEstimate {
+                    code: setting.code,
+                    symbol_repeat: setting.symbol_repeat,
+                    goodput_kbps: if weight > f64::EPSILON && secs > 0.0 {
+                        kb / secs
+                    } else {
+                        0.0
+                    },
+                    weight,
+                }
+            })
+            .collect()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -652,6 +1343,176 @@ mod tests {
         }
         assert_eq!(t_setting, LinkSetting::lightest());
         assert_eq!(a_setting, LinkSetting::lightest());
+    }
+
+    /// Synthetic observation for the bandit tests, mimicking the measured
+    /// channel signatures. `protected_from` is the lightest rung that
+    /// survives the current weather: lighter rungs are broken (residual
+    /// errors, failed decodes, low goodput), heavier rungs deliver clean
+    /// payloads — but during weather (`protected_from > 0`) they visibly
+    /// *absorb* it (corrected bits), which is what the regime classifier
+    /// reads. Airtime is realistic: a failed window fails in roughly one
+    /// clean window's time (the engine gives up fast).
+    fn observe_banditland(
+        setting: LinkSetting,
+        index: usize,
+        protected_from: usize,
+    ) -> LinkObservation {
+        let rung = rung_of(setting);
+        let broken = rung < protected_from;
+        let clean_goodput = 100.0 - rung as f64;
+        let goodput = if broken {
+            5.0 + 10.0 * rung as f64
+        } else {
+            clean_goodput
+        };
+        LinkObservation {
+            window_index: index,
+            setting,
+            payload_bits: 64,
+            frames_sent: 1,
+            residual_ber: if broken { 0.05 } else { 0.0 },
+            goodput_kbps: goodput,
+            retransmissions: 0,
+            decode_failures: usize::from(broken),
+            corrected_bits: if protected_from > 0 { 16 } else { 0 },
+            elapsed: Time::from_us((64_000.0 / clean_goodput) as u64),
+        }
+    }
+
+    /// Drives the bandit through a schedule of `(windows, protected_from)`
+    /// phases and returns the per-window settings.
+    fn drive_bandit(policy: &mut BanditPolicy, phases: &[(usize, usize)]) -> Vec<LinkSetting> {
+        let mut setting = policy.initial();
+        let mut history = Vec::new();
+        let mut index = 0;
+        for &(windows, protected_from) in phases {
+            for _ in 0..windows {
+                history.push(setting);
+                if let LinkAction::Set(next) =
+                    policy.observe(&observe_banditland(setting, index, protected_from))
+                {
+                    setting = next;
+                }
+                index += 1;
+            }
+        }
+        history
+    }
+
+    #[test]
+    fn bandit_converges_to_the_best_rung_under_stationary_noise() {
+        // Everything below Reed-Solomon is dirty, forever: the estimates
+        // must converge on an RS rung and stop paying for re-visits of the
+        // light rungs — the whole point of remembering per-rung goodput.
+        let mut policy = BanditPolicy::paper_default();
+        let history = drive_bandit(&mut policy, &[(40, 2)]);
+        let rs_windows = history
+            .iter()
+            .filter(|s| matches!(s.code, LinkCodeKind::ReedSolomon { .. }))
+            .count();
+        assert!(
+            rs_windows >= 32,
+            "bandit must settle on RS under stationary noise, got {rs_windows}/40"
+        );
+        // The tail must be pure exploitation: no light-rung visits at all
+        // in the final stretch once the estimates have converged.
+        let tail = &history[24..];
+        assert!(
+            tail.iter()
+                .all(|s| matches!(s.code, LinkCodeKind::ReedSolomon { .. })),
+            "converged bandit must stop exploring dirty rungs: {:?}",
+            tail.iter().map(|s| s.label()).collect::<Vec<_>>()
+        );
+        // And under a stationary *clean* channel it rides the lightest rung.
+        let mut policy = BanditPolicy::paper_default();
+        let history = drive_bandit(&mut policy, &[(40, 0)]);
+        let light = history
+            .iter()
+            .filter(|s| s.code == LinkCodeKind::None)
+            .count();
+        assert!(
+            light >= 34,
+            "got {light}/40 uncoded windows on a clean channel"
+        );
+    }
+
+    #[test]
+    fn bandit_re_explores_after_a_phase_change() {
+        // Calm -> burst -> calm, the NoiseSchedule::calm_burst shape. The
+        // regime banks must carry the calm-phase conclusion across the
+        // burst: after the burst ends the policy has to be back on the
+        // uncoded rung within a handful of windows, not re-learn the
+        // ladder from scratch.
+        let mut policy = BanditPolicy::paper_default();
+        let history = drive_bandit(&mut policy, &[(16, 0), (12, 2), (16, 0)]);
+        // Inside the burst the policy must abandon the uncoded rung.
+        let burst = &history[20..28];
+        let coded_in_burst = burst
+            .iter()
+            .filter(|s| s.code != LinkCodeKind::None)
+            .count();
+        assert!(
+            coded_in_burst >= 4,
+            "bandit must harden during the burst: {:?}",
+            burst.iter().map(|s| s.label()).collect::<Vec<_>>()
+        );
+        // After the burst it must re-explore and settle light again.
+        let tail = &history[36..];
+        let light_tail = tail.iter().filter(|s| s.code == LinkCodeKind::None).count();
+        assert!(
+            light_tail >= tail.len() / 2,
+            "bandit must return to the uncoded rung after the burst: {:?}",
+            tail.iter().map(|s| s.label()).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn bandit_clamps_to_the_ladder_and_never_picks_zero_rate() {
+        let ladder = LinkSetting::ladder();
+        let mut policy = BanditPolicy::paper_default();
+        let mut setting = policy.initial();
+        // Nothing survives the weather for 30 windows, then everything is
+        // clean: every selected setting must be a real ladder rung with
+        // positive rate.
+        for index in 0..60 {
+            let protected_from = if index < 30 { ladder.len() } else { 0 };
+            if let LinkAction::Set(next) =
+                policy.observe(&observe_banditland(setting, index, protected_from))
+            {
+                setting = next;
+            }
+            assert!(setting.rate() > 0.0, "zero-rate setting selected");
+            assert!(setting.symbol_repeat >= 1);
+            assert!(
+                ladder.contains(&setting),
+                "bandit left the ladder: {}",
+                setting.label()
+            );
+            assert!(policy.rung() < ladder.len());
+        }
+    }
+
+    #[test]
+    fn bandit_reports_goodput_estimates_and_rung_model() {
+        let mut policy = BanditPolicy::paper_default();
+        assert!(policy.goodput_estimate().is_none(), "no evidence yet");
+        assert_eq!(policy.rung_estimates().len(), LinkSetting::ladder().len());
+        assert!(policy.rung_estimates().iter().all(|e| e.weight == 0.0));
+        drive_bandit(&mut policy, &[(12, 0)]);
+        let estimate = policy
+            .goodput_estimate()
+            .expect("estimate after observed windows");
+        assert!(estimate > 50.0, "clean-channel estimate, got {estimate}");
+        let estimates = policy.rung_estimates();
+        assert_eq!(estimates[0].code, LinkCodeKind::None);
+        assert!(estimates[0].weight > 0.0, "the ridden rung carries weight");
+        assert!(estimates[0].goodput_kbps > 50.0);
+        // Settings and order mirror the ladder.
+        for (estimate, setting) in estimates.iter().zip(LinkSetting::ladder()) {
+            assert_eq!(estimate.code, setting.code);
+            assert_eq!(estimate.symbol_repeat, setting.symbol_repeat);
+        }
     }
 
     #[test]

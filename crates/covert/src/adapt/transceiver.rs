@@ -208,6 +208,7 @@ impl AdaptiveTransceiver {
             switches: trace.switches(),
             final_code: setting.code,
             final_symbol_repeat: setting.symbol_repeat,
+            rung_estimates: controller.rung_estimates(),
             trace,
         };
         let report = TransmissionReport::try_new(sent, received, elapsed)?

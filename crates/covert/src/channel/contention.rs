@@ -561,6 +561,14 @@ impl<M: MemorySystem> CovertChannel for ContentionChannel<M> {
         }
     }
 
+    fn advance_idle(&mut self, delta: Time) {
+        // The spy, trojan and background clocks all sit out the peer's
+        // slot; a scheduled noise phase keeps moving underneath them.
+        self.spy.advance(delta);
+        self.background.advance(delta);
+        self.gpu.advance(delta);
+    }
+
     fn diagnostics(&self) -> ChannelDiagnostics {
         let mut entries = vec![
             (

@@ -125,6 +125,16 @@ pub trait CovertChannel {
     /// estimate before calibration has run).
     fn nominal_symbol_time(&self) -> Time;
 
+    /// Advances the channel's local simulated clocks by `delta` without
+    /// performing any accesses: the shared medium was granted to someone
+    /// else (a TDD peer's slot) and this channel sat out the airtime. For
+    /// channels whose ambient noise follows a wall-clock schedule this is
+    /// what makes the weather *shared* — a deferred transmission meets the
+    /// phase the schedule has moved on to, not the one it left. The
+    /// default is a no-op for channels with no meaningful idle notion
+    /// (loopbacks, replays).
+    fn advance_idle(&mut self, _delta: Time) {}
+
     /// Self-description for reports and sweep rows.
     fn diagnostics(&self) -> ChannelDiagnostics;
 }

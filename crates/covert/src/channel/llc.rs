@@ -614,6 +614,14 @@ impl<M: MemorySystem> CovertChannel for LlcChannel<M> {
         }
     }
 
+    fn advance_idle(&mut self, delta: Time) {
+        // All three attacker clocks sit out the peer's slot, so a noise
+        // schedule walked by access timestamp sees the airtime pass.
+        self.cpu_receiver.advance(delta);
+        self.cpu_sender.advance(delta);
+        self.gpu.advance(delta);
+    }
+
     fn diagnostics(&self) -> ChannelDiagnostics {
         ChannelDiagnostics {
             channel: "llc-prime-probe",

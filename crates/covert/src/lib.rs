@@ -42,7 +42,7 @@ pub mod timer_char;
 /// Commonly used items, re-exported for convenience.
 pub mod prelude {
     pub use crate::adapt::{
-        AdaptiveConfig, AdaptiveTransceiver, AimdPolicy, DuplexConfig, DuplexReport,
+        AdaptiveConfig, AdaptiveTransceiver, AimdPolicy, BanditPolicy, DuplexConfig, DuplexReport,
         DuplexScheduler, FixedPolicy, LinkAction, LinkController, LinkObservation, LinkSetting,
         PolicyKind, SlotAllocation, SlotDirection, SlotRecord, ThresholdPolicy,
     };
@@ -59,7 +59,7 @@ pub mod prelude {
     };
     pub use crate::error::ChannelError;
     pub use crate::metrics::{
-        test_pattern, AdaptationSummary, AdaptationTrace, CodingSummary, SampleStats,
+        test_pattern, AdaptationSummary, AdaptationTrace, CodingSummary, RungEstimate, SampleStats,
         TransmissionReport, WindowRecord,
     };
     pub use crate::protocol::{

@@ -96,6 +96,25 @@ impl AdaptationTrace {
     }
 }
 
+/// One rung of a goodput-estimating controller's internal model at the end
+/// of a run: the setting and what the controller believed it delivers.
+///
+/// Produced by controllers that keep per-rung statistics (the bandit); the
+/// trial-based policies have no standing model and report none.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RungEstimate {
+    /// Link code of the rung.
+    pub code: LinkCodeKind,
+    /// Symbol-repeat factor of the rung.
+    pub symbol_repeat: usize,
+    /// The controller's goodput estimate for the rung (kb/s). NaN-free: an
+    /// unvisited rung reports 0.0 with zero weight.
+    pub goodput_kbps: f64,
+    /// Decayed observation weight behind the estimate (0 = never visited,
+    /// higher = fresher evidence).
+    pub weight: f64,
+}
+
 /// Summary of a closed-loop adaptive transmission, attached to the
 /// [`TransmissionReport`] by the [`crate::adapt::AdaptiveTransceiver`].
 #[derive(Debug, Clone, PartialEq)]
@@ -111,6 +130,9 @@ pub struct AdaptationSummary {
     pub final_code: LinkCodeKind,
     /// Symbol-repeat factor in force when the transmission ended.
     pub final_symbol_repeat: usize,
+    /// The controller's final per-rung goodput model, for controllers that
+    /// keep one (empty otherwise).
+    pub rung_estimates: Vec<RungEstimate>,
     /// The full per-window history.
     pub trace: AdaptationTrace,
 }
