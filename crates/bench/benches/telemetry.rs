@@ -1,0 +1,67 @@
+//! Telemetry overhead bench: the per-operation cost of the counter and
+//! histogram primitives with the registry enabled versus disabled, and a
+//! full sweep point with and without per-point instrumentation — the
+//! numbers behind the "near-zero cost when disabled" claim the hot layers
+//! rely on.
+
+use bench::{run_point_configured, ChannelKind, NoiseLevel, SweepPoint};
+use covert::prelude::Transceiver;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use soc_sim::prelude::{BackendRegistry, Registry};
+use std::hint::black_box;
+
+fn bench_primitives(c: &mut Criterion) {
+    let mut group = c.benchmark_group("telemetry_primitive");
+    for (label, enabled) in [("enabled", true), ("disabled", false)] {
+        let registry = if enabled {
+            Registry::new()
+        } else {
+            Registry::disabled()
+        };
+        let counter = registry.counter("bench.hits");
+        let hist = registry.histogram("bench.latency");
+        group.bench_with_input(BenchmarkId::new("counter_add", label), &(), |b, ()| {
+            b.iter(|| counter.add(black_box(3)));
+        });
+        group.bench_with_input(BenchmarkId::new("histogram_record", label), &(), |b, ()| {
+            b.iter(|| hist.record(black_box(1234)));
+        });
+        group.bench_with_input(BenchmarkId::new("span", label), &(), |b, ()| {
+            b.iter(|| drop(black_box(hist.span())));
+        });
+    }
+    group.finish();
+}
+
+fn bench_sweep_point(c: &mut Criterion) {
+    let registry = BackendRegistry::standard();
+    let engine = Transceiver::raw();
+    let mut point = SweepPoint::paper_default(
+        "kabylake-gen9",
+        ChannelKind::LlcPrimeProbe,
+        NoiseLevel::Quiet,
+    );
+    point.bits = 48;
+    let mut group = c.benchmark_group("telemetry_sweep_point");
+    group.sample_size(10);
+    for (label, telemetry) in [("instrumented", true), ("disabled", false)] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(label),
+            &telemetry,
+            |b, &telemetry| {
+                b.iter(|| {
+                    black_box(run_point_configured(
+                        black_box(&point),
+                        &engine,
+                        &registry,
+                        telemetry,
+                    ))
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_primitives, bench_sweep_point);
+criterion_main!(benches);

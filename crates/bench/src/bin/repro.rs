@@ -10,6 +10,8 @@
 //!       [--code <spec>[,<spec>...]] [--policy <name>[,<name>...]]
 //!       [--backend <name>] [--out <path>] [--list-backends]
 //!       [--check-baseline <file>]
+//!       [--metrics-out <path>] [--no-progress] [--no-telemetry]
+//!       [--validate-metrics <path>]
 //!       [--record-trace <path>] [--replay-trace <path>]
 //! ```
 //!
@@ -39,6 +41,20 @@
 //! value. Refresh the baseline by re-recording it with the same flags
 //! (`repro --quick --sweep --out bench/baseline.json`).
 //!
+//! The `--sweep` sections report progress (points done/total, completion
+//! rate, ETA) to stderr while the grid runs; `--no-progress` silences the
+//! reporter for log-oriented runs. Each sweep point also records telemetry —
+//! LLC, ring, DRAM, link and adaptation counters plus per-phase timing
+//! histograms — into a per-point registry; the aggregated snapshot prints as
+//! a "where the time goes" table after the sweep and, with `--metrics-out
+//! <path>`, is written as a `metrics-v1` JSON document. `--no-telemetry`
+//! turns the per-point registries off (the sweep rows then carry no
+//! `metrics` object). `--validate-metrics <path>` re-parses a previously
+//! written metrics document through the in-repo JSON parser and exits
+//! non-zero unless the schema tag, the counter groups and the per-phase
+//! histograms are all present — the CI smoke step runs it over the artifact
+//! it just produced.
+//!
 //! `--record-trace <path>` records one LLC-channel point (honouring
 //! `--backend`) through a trace recorder and serializes the full access
 //! trace to `path`; `--replay-trace <path>` loads such a file in a fresh
@@ -47,7 +63,7 @@
 
 use bench::*;
 use covert::prelude::{LinkCodeKind, PolicyKind, TransceiverConfig};
-use soc_sim::prelude::{BackendRegistry, BackendSpec};
+use soc_sim::prelude::{BackendRegistry, BackendSpec, MetricsSnapshot, Registry};
 
 struct Options {
     fig4: bool,
@@ -69,6 +85,10 @@ struct Options {
     list_backends: bool,
     out: Option<std::path::PathBuf>,
     check_baseline: Option<std::path::PathBuf>,
+    metrics_out: Option<std::path::PathBuf>,
+    no_progress: bool,
+    no_telemetry: bool,
+    validate_metrics: Option<std::path::PathBuf>,
     record_trace: Option<std::path::PathBuf>,
     replay_trace: Option<std::path::PathBuf>,
 }
@@ -167,6 +187,10 @@ impl Options {
             list_backends: has("--list-backends"),
             out: value_of("--out").map(std::path::PathBuf::from),
             check_baseline: value_of("--check-baseline").map(std::path::PathBuf::from),
+            metrics_out: value_of("--metrics-out").map(std::path::PathBuf::from),
+            no_progress: has("--no-progress"),
+            no_telemetry: has("--no-telemetry"),
+            validate_metrics: value_of("--validate-metrics").map(std::path::PathBuf::from),
             record_trace: value_of("--record-trace").map(std::path::PathBuf::from),
             replay_trace: value_of("--replay-trace").map(std::path::PathBuf::from),
         }
@@ -176,6 +200,59 @@ impl Options {
 fn banner(title: &str) {
     println!();
     println!("==== {title} ====");
+}
+
+/// Live progress for one sweep section: points done/total, completion rate
+/// and a coarse ETA, printed to stderr so stdout stays reserved for the
+/// result rows (`repro --sweep > rows.txt` pipelines keep working). Updates
+/// are throttled to about one line per second plus a final line, so CI logs
+/// stay readable; `--no-progress` silences the reporter entirely.
+struct Progress {
+    enabled: bool,
+    section: &'static str,
+    total: usize,
+    done: usize,
+    started: std::time::Instant,
+    last_print: Option<std::time::Instant>,
+}
+
+impl Progress {
+    fn start(enabled: bool, section: &'static str, total: usize) -> Progress {
+        if enabled {
+            eprintln!("[{section}] 0/{total} points");
+        }
+        Progress {
+            enabled,
+            section,
+            total,
+            done: 0,
+            started: std::time::Instant::now(),
+            last_print: None,
+        }
+    }
+
+    fn tick(&mut self) {
+        self.done += 1;
+        if !self.enabled {
+            return;
+        }
+        let finished = self.done >= self.total;
+        let due = match self.last_print {
+            None => true,
+            Some(last) => last.elapsed() >= std::time::Duration::from_secs(1),
+        };
+        if !finished && !due {
+            return;
+        }
+        self.last_print = Some(std::time::Instant::now());
+        let elapsed = self.started.elapsed().as_secs_f64().max(1e-9);
+        let rate = self.done as f64 / elapsed;
+        let eta = self.total.saturating_sub(self.done) as f64 / rate.max(1e-9);
+        eprintln!(
+            "[{}] {}/{} points ({:.1} rows/s, ETA {:.0}s)",
+            self.section, self.done, self.total, rate, eta
+        );
+    }
 }
 
 /// The point `--record-trace` captures: the LLC channel at paper defaults
@@ -214,6 +291,62 @@ fn record_trace_mode(path: &std::path::Path, backend: Option<&str>, quick: bool)
             std::process::exit(1);
         }
     }
+}
+
+/// `--validate-metrics`: re-parses an aggregated telemetry document through
+/// the in-repo JSON parser and checks the facts downstream tooling depends
+/// on — the schema tag, a positive point count, the counter groups each
+/// instrumented layer contributes and a non-empty per-phase breakdown. The
+/// CI smoke step runs this over the artifact the quick sweep just wrote.
+fn validate_metrics_mode(path: &std::path::Path) {
+    banner("Metrics document validation");
+    let fail = |message: String| -> ! {
+        eprintln!("error: {message}");
+        std::process::exit(1);
+    };
+    let body = std::fs::read_to_string(path)
+        .unwrap_or_else(|err| fail(format!("could not read {}: {err}", path.display())));
+    let document = parse_json(&body)
+        .unwrap_or_else(|err| fail(format!("{} is not valid JSON: {err}", path.display())));
+    let schema = document.get("schema").and_then(JsonValue::as_str);
+    if schema != Some(METRICS_SCHEMA) {
+        fail(format!("schema {schema:?} is not {METRICS_SCHEMA:?}"));
+    }
+    let points = document
+        .get("points")
+        .and_then(JsonValue::as_f64)
+        .unwrap_or(0.0);
+    let snapshot = match document.get("metrics") {
+        None => fail("document lacks a metrics object".into()),
+        Some(metrics) => parse_metrics_snapshot(metrics).unwrap_or_else(|err| fail(err)),
+    };
+    if points < 1.0 || snapshot.is_empty() {
+        fail(format!(
+            "document carries no telemetry (points={points}, metrics={})",
+            snapshot.len()
+        ));
+    }
+    let groups = snapshot.groups();
+    for required in ["llc", "ring", "dram", "link", "adapt", "phase"] {
+        if !groups.iter().any(|g| g == required) {
+            fail(format!(
+                "metric group '{required}' is missing (have: {})",
+                groups.join(", ")
+            ));
+        }
+    }
+    if snapshot
+        .histogram("phase.simulate_ns")
+        .is_none_or(|h| h.count() == 0)
+    {
+        fail("the phase.simulate_ns histogram is missing or empty".into());
+    }
+    println!(
+        "{} OK: {} metrics over {points} points; groups: {}",
+        path.display(),
+        snapshot.len(),
+        groups.join(", ")
+    );
 }
 
 fn replay_trace_mode(path: &std::path::Path) {
@@ -271,6 +404,10 @@ fn main() {
         return;
     }
 
+    if let Some(path) = &opts.validate_metrics {
+        validate_metrics_mode(path);
+        return;
+    }
     if let Some(path) = &opts.record_trace {
         record_trace_mode(path, opts.backend.as_deref(), opts.quick);
         return;
@@ -421,9 +558,13 @@ fn main() {
             None => registry.names(),
         };
         banner("Scenario sweep: backend x channel x noise, in parallel");
-        let runner = SweepRunner::with_default_threads().with_point_budget(
-            std::time::Duration::from_secs(if opts.quick { 60 } else { 600 }),
-        );
+        let runner = SweepRunner::with_default_threads()
+            .with_point_budget(std::time::Duration::from_secs(if opts.quick {
+                60
+            } else {
+                600
+            }))
+            .with_telemetry(!opts.no_telemetry);
         println!(
             "({} worker threads; backends: {})",
             runner.threads(),
@@ -449,8 +590,20 @@ fn main() {
         });
         let mut gate_rows: Vec<SweepResult> = Vec::new();
         let collect_for_gate = baseline.is_some();
+        // The main thread carries its own registry for the serialization
+        // phase (worker registries never see the JSON writer); its snapshot
+        // merges into the per-point telemetry before the profile prints.
+        let json_telemetry = if opts.no_telemetry {
+            Registry::disabled()
+        } else {
+            Registry::new()
+        };
+        let json_ns = json_telemetry.histogram("phase.json_ns");
+        let mut merged_metrics = MetricsSnapshot::from_entries(std::iter::empty());
+        let mut metric_points = 0usize;
         let mut stream_row = |result: &SweepResult| {
             if let (Some(w), Some(path)) = (writer.as_mut(), opts.out.as_ref()) {
+                let _json = json_ns.span();
                 if let Err(err) = w.push(result) {
                     // A lost result file must fail the run, not just warn —
                     // downstream plotting scripts check the exit code.
@@ -461,28 +614,35 @@ fn main() {
             if collect_for_gate {
                 gate_rows.push(result.clone());
             }
+            if let Ok(outcome) = &result.outcome {
+                if let Some(metrics) = &outcome.metrics {
+                    merged_metrics.merge(metrics);
+                    metric_points += 1;
+                }
+            }
         };
         println!(
             "{:<58} {:>12} {:>9} {:>12} {:>8}",
             "scenario", "kb/s", "error", "symbol (ns)", "quality"
         );
-        runner.run_streaming(
-            &default_grid_for(&backends, if opts.quick { 64 } else { 200 }),
-            |_, result| {
-                match &result.outcome {
-                    Ok(outcome) => println!(
-                        "{:<58} {:>12.1} {:>8.2}% {:>12.0} {:>8.1}",
-                        result.point.label(),
-                        outcome.bandwidth_kbps,
-                        outcome.error_rate * 100.0,
-                        outcome.symbol_time_ns,
-                        outcome.calibration_quality,
-                    ),
-                    Err(err) => println!("{:<58} unusable: {err}", result.point.label()),
-                }
-                stream_row(result);
-            },
-        );
+        let show_progress = !opts.no_progress;
+        let classic_grid = default_grid_for(&backends, if opts.quick { 64 } else { 200 });
+        let mut progress = Progress::start(show_progress, "classic sweep", classic_grid.len());
+        runner.run_streaming(&classic_grid, |_, result| {
+            match &result.outcome {
+                Ok(outcome) => println!(
+                    "{:<58} {:>12.1} {:>8.2}% {:>12.0} {:>8.1}",
+                    result.point.label(),
+                    outcome.bandwidth_kbps,
+                    outcome.error_rate * 100.0,
+                    outcome.symbol_time_ns,
+                    outcome.calibration_quality,
+                ),
+                Err(err) => println!("{:<58} unusable: {err}", result.point.label()),
+            }
+            stream_row(result);
+            progress.tick();
+        });
 
         banner("Link-code sweep: raw vs coded goodput (framed engine, quiet noise)");
         println!(
@@ -497,28 +657,28 @@ fn main() {
             "{:<64} {:>10} {:>10} {:>7} {:>9} {:>9} {:>8}",
             "scenario", "kb/s", "goodput", "rate", "corrected", "residual", "retx"
         );
+        let coded_grid = coded_grid_for(&backends, if opts.quick { 128 } else { 320 }, &opts.codes);
+        let mut progress = Progress::start(show_progress, "coded sweep", coded_grid.len());
         runner
             .clone()
             .with_engine(TransceiverConfig::paper_default())
-            .run_streaming(
-                &coded_grid_for(&backends, if opts.quick { 128 } else { 320 }, &opts.codes),
-                |_, result| {
-                    match &result.outcome {
-                        Ok(outcome) => println!(
-                            "{:<64} {:>10.1} {:>10.1} {:>7.2} {:>9} {:>9} {:>8}",
-                            result.point.label(),
-                            outcome.bandwidth_kbps,
-                            outcome.goodput_kbps,
-                            outcome.code_rate,
-                            outcome.corrected_bits,
-                            outcome.residual_errors,
-                            outcome.retransmissions,
-                        ),
-                        Err(err) => println!("{:<64} unusable: {err}", result.point.label()),
-                    }
-                    stream_row(result);
-                },
-            );
+            .run_streaming(&coded_grid, |_, result| {
+                match &result.outcome {
+                    Ok(outcome) => println!(
+                        "{:<64} {:>10.1} {:>10.1} {:>7.2} {:>9} {:>9} {:>8}",
+                        result.point.label(),
+                        outcome.bandwidth_kbps,
+                        outcome.goodput_kbps,
+                        outcome.code_rate,
+                        outcome.corrected_bits,
+                        outcome.residual_errors,
+                        outcome.retransmissions,
+                    ),
+                    Err(err) => println!("{:<64} unusable: {err}", result.point.label()),
+                }
+                stream_row(result);
+                progress.tick();
+            });
 
         banner("Adaptive link control: policies vs fixed codes, phased quiet/burst noise");
         // The fixed-code baselines always run — the comparison is the point
@@ -542,43 +702,43 @@ fn main() {
             "{:<68} {:>10} {:>8} {:>9} {:>16}",
             "scenario", "goodput", "error", "switches", "final setting"
         );
+        let adaptive_grid = adaptive_grid_for(
+            &backends,
+            if opts.quick { 448 } else { 1792 },
+            &grid_policies,
+        );
+        let mut progress = Progress::start(show_progress, "adaptive sweep", adaptive_grid.len());
         let adaptive_results = runner
             .clone()
             .with_engine(TransceiverConfig::paper_default())
-            .run_streaming(
-                &adaptive_grid_for(
-                    &backends,
-                    if opts.quick { 448 } else { 1792 },
-                    &grid_policies,
-                ),
-                |_, result| {
-                    match &result.outcome {
-                        Ok(outcome) => {
-                            let (switches, final_setting) = match &outcome.adaptation {
-                                Some(a) => (
-                                    a.switches.to_string(),
-                                    covert::prelude::LinkSetting::new(
-                                        a.final_code,
-                                        a.final_symbol_repeat,
-                                    )
-                                    .label(),
-                                ),
-                                None => ("-".into(), "-".into()),
-                            };
-                            println!(
-                                "{:<68} {:>10.1} {:>7.2}% {:>9} {:>16}",
-                                result.point.label(),
-                                outcome.goodput_kbps,
-                                outcome.error_rate * 100.0,
-                                switches,
-                                final_setting,
-                            );
-                        }
-                        Err(err) => println!("{:<68} unusable: {err}", result.point.label()),
+            .run_streaming(&adaptive_grid, |_, result| {
+                match &result.outcome {
+                    Ok(outcome) => {
+                        let (switches, final_setting) = match &outcome.adaptation {
+                            Some(a) => (
+                                a.switches.to_string(),
+                                covert::prelude::LinkSetting::new(
+                                    a.final_code,
+                                    a.final_symbol_repeat,
+                                )
+                                .label(),
+                            ),
+                            None => ("-".into(), "-".into()),
+                        };
+                        println!(
+                            "{:<68} {:>10.1} {:>7.2}% {:>9} {:>16}",
+                            result.point.label(),
+                            outcome.goodput_kbps,
+                            outcome.error_rate * 100.0,
+                            switches,
+                            final_setting,
+                        );
                     }
-                    stream_row(result);
-                },
-            );
+                    Err(err) => println!("{:<68} unusable: {err}", result.point.label()),
+                }
+                stream_row(result);
+                progress.tick();
+            });
         // Per-cell verdict: does the best adaptive policy beat *every*
         // fixed-code configuration of the same (backend, channel) cell?
         let mut cells_won = 0usize;
@@ -625,6 +785,58 @@ fn main() {
                     eprintln!("error: could not write {}: {err}", path.display());
                     std::process::exit(1);
                 }
+            }
+        }
+
+        merged_metrics.merge(&json_telemetry.snapshot());
+        if metric_points > 0 {
+            banner("Sweep profile: where the time goes");
+            println!(
+                "{:<20} {:>10} {:>12} {:>12} {:>12}",
+                "phase", "events", "total ms", "mean us", "p99 us"
+            );
+            for (name, label) in [
+                ("phase.simulate_ns", "simulate"),
+                ("phase.classify_ns", "classify/decode"),
+                ("phase.adapt_ns", "adapt bookkeeping"),
+                ("phase.json_ns", "json serialization"),
+            ] {
+                let Some(hist) = merged_metrics.histogram(name) else {
+                    continue;
+                };
+                if hist.count() == 0 {
+                    continue;
+                }
+                println!(
+                    "{:<20} {:>10} {:>12.1} {:>12.1} {:>12.1}",
+                    label,
+                    hist.count(),
+                    hist.sum() as f64 / 1e6,
+                    hist.mean() / 1e3,
+                    hist.percentile(99.0) / 1e3,
+                );
+            }
+            println!(
+                "(telemetry: {} metrics over {metric_points} points; groups: {})",
+                merged_metrics.len(),
+                merged_metrics.groups().join(", ")
+            );
+        }
+        if let Some(path) = &opts.metrics_out {
+            if metric_points == 0 {
+                eprintln!(
+                    "note: --metrics-out {} skipped (telemetry is off or no point finished)",
+                    path.display()
+                );
+            } else if let Err(err) = write_metrics_json(path, &merged_metrics, metric_points) {
+                eprintln!("error: could not write {}: {err}", path.display());
+                std::process::exit(1);
+            } else {
+                println!(
+                    "wrote aggregated telemetry ({} metrics, {metric_points} points) to {}",
+                    merged_metrics.len(),
+                    path.display()
+                );
             }
         }
 
@@ -694,6 +906,12 @@ fn main() {
         if let Some(path) = &opts.check_baseline {
             eprintln!(
                 "note: --check-baseline {} ignored (it gates the --sweep results; pass --sweep)",
+                path.display()
+            );
+        }
+        if let Some(path) = &opts.metrics_out {
+            eprintln!(
+                "note: --metrics-out {} ignored (it aggregates --sweep telemetry; pass --sweep)",
                 path.display()
             );
         }

@@ -13,15 +13,22 @@
 //! downstream tooling depends on.
 
 use crate::sweep::{SweepOutcome, SweepResult};
+use soc_sim::prelude::{HistogramSnapshot, MetricValue, MetricsSnapshot};
 use std::fmt::Write as _;
 use std::fs::File;
 use std::io::{self, BufWriter, Write};
 use std::path::Path;
 
-/// Schema tag written into every document; `v3` adds the `policy` column
-/// and, for adaptive rows, the per-window `windows` array (`v2` keyed
-/// backends by registry name instead of the pre-registry display labels).
-pub const SWEEP_SCHEMA: &str = "leaky-buddies/sweep-v3";
+/// Schema tag written into every document; `v4` adds the per-row
+/// `metrics` telemetry object (`v3` added the `policy` column and the
+/// adaptive `windows` array, `v2` keyed backends by registry name instead
+/// of the pre-registry display labels).
+pub const SWEEP_SCHEMA: &str = "leaky-buddies/sweep-v4";
+
+/// Schema tag of the aggregated telemetry document
+/// (`repro --metrics-out <path>`): every per-point [`MetricsSnapshot`] of a
+/// sweep merged into one set of counters and histograms.
+pub const METRICS_SCHEMA: &str = "leaky-buddies/metrics-v1";
 
 /// Escapes a string for a JSON string literal (quotes not included).
 /// Shared with [`crate::tracefile`], whose header line carries the same
@@ -51,6 +58,128 @@ fn number(value: f64) -> String {
     } else {
         "null".into()
     }
+}
+
+/// Formats one histogram as a self-describing JSON object. The buckets
+/// array is trailing-zero-trimmed — [`HistogramSnapshot::from_parts`] pads
+/// it back, so the trim is lossless for the parsing side.
+fn histogram_json(hist: &HistogramSnapshot) -> String {
+    let mut buckets = hist.buckets().to_vec();
+    while buckets.last() == Some(&0) {
+        buckets.pop();
+    }
+    let list = buckets
+        .iter()
+        .map(u64::to_string)
+        .collect::<Vec<_>>()
+        .join(",");
+    format!(
+        "{{\"kind\":\"histogram\",\"count\":{},\"sum\":{},\"min\":{},\"max\":{},\
+         \"mean\":{},\"p50\":{},\"p99\":{},\"buckets\":[{list}]}}",
+        hist.count(),
+        hist.sum(),
+        hist.min(),
+        hist.max(),
+        number(hist.mean()),
+        number(hist.percentile(50.0)),
+        number(hist.percentile(99.0)),
+    )
+}
+
+/// Formats a [`MetricsSnapshot`] as one JSON object keyed by metric name;
+/// each value is a `{"kind": ...}` object [`parse_metrics_snapshot`] reads
+/// back.
+pub fn metrics_json(snapshot: &MetricsSnapshot) -> String {
+    let mut out = String::from("{");
+    for (i, (name, value)) in snapshot.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(out, "\"{}\":", escape(name));
+        match value {
+            MetricValue::Counter(v) => {
+                let _ = write!(out, "{{\"kind\":\"counter\",\"value\":{v}}}");
+            }
+            MetricValue::Gauge(v) => {
+                let _ = write!(out, "{{\"kind\":\"gauge\",\"value\":{}}}", number(*v));
+            }
+            MetricValue::Histogram(hist) => out.push_str(&histogram_json(hist)),
+        }
+    }
+    out.push('}');
+    out
+}
+
+/// Rebuilds a [`MetricsSnapshot`] from a parsed [`metrics_json`] object —
+/// the reading half used by the metrics-document validator and the schema
+/// round-trip tests.
+///
+/// # Errors
+///
+/// Returns a message naming the first metric whose shape is wrong.
+pub fn parse_metrics_snapshot(metrics: &JsonValue) -> Result<MetricsSnapshot, String> {
+    let JsonValue::Object(pairs) = metrics else {
+        return Err("metrics must be an object".into());
+    };
+    let mut entries = Vec::new();
+    for (name, value) in pairs {
+        let field = |key: &str| {
+            value
+                .get(key)
+                .and_then(JsonValue::as_f64)
+                .ok_or_else(|| format!("metric '{name}' lacks a numeric '{key}'"))
+        };
+        let kind = value
+            .get("kind")
+            .and_then(JsonValue::as_str)
+            .ok_or_else(|| format!("metric '{name}' lacks a kind"))?;
+        let metric = match kind {
+            "counter" => MetricValue::Counter(field("value")? as u64),
+            "gauge" => MetricValue::Gauge(field("value")?),
+            "histogram" => {
+                let buckets = value
+                    .get("buckets")
+                    .and_then(JsonValue::as_array)
+                    .ok_or_else(|| format!("histogram '{name}' lacks buckets"))?
+                    .iter()
+                    .map(|b| {
+                        b.as_f64()
+                            .map(|n| n as u64)
+                            .ok_or_else(|| format!("histogram '{name}' has a non-numeric bucket"))
+                    })
+                    .collect::<Result<Vec<u64>, String>>()?;
+                MetricValue::Histogram(HistogramSnapshot::from_parts(
+                    buckets,
+                    field("sum")? as u64,
+                    field("min")? as u64,
+                    field("max")? as u64,
+                ))
+            }
+            other => return Err(format!("metric '{name}' has unknown kind '{other}'")),
+        };
+        entries.push((name.clone(), metric));
+    }
+    Ok(MetricsSnapshot::from_entries(entries))
+}
+
+/// Serializes the aggregated telemetry of a sweep — `merged` is the
+/// [`MetricsSnapshot::merge`] of `points` per-point snapshots — as the
+/// self-describing [`METRICS_SCHEMA`] document `repro --metrics-out`
+/// writes.
+pub fn metrics_document(merged: &MetricsSnapshot, points: usize) -> String {
+    format!(
+        "{{\n\"schema\":\"{METRICS_SCHEMA}\",\n\"points\":{points},\n\"metrics\":{}\n}}\n",
+        metrics_json(merged)
+    )
+}
+
+/// Writes the aggregated telemetry document to `path`.
+///
+/// # Errors
+///
+/// Propagates filesystem errors from creating or writing the file.
+pub fn write_metrics_json(path: &Path, merged: &MetricsSnapshot, points: usize) -> io::Result<()> {
+    std::fs::write(path, metrics_document(merged, points))
 }
 
 fn outcome_fields(out: &mut String, outcome: &SweepOutcome) {
@@ -119,6 +248,9 @@ fn outcome_fields(out: &mut String, outcome: &SweepOutcome) {
             );
         }
         out.push(']');
+    }
+    if let Some(metrics) = &outcome.metrics {
+        let _ = write!(out, ",\"metrics\":{}", metrics_json(metrics));
     }
 }
 
@@ -541,7 +673,7 @@ mod tests {
         let results = SweepRunner::new(2).run(&grid);
         let json = sweep_results_to_json(&results);
         assert!(json.starts_with('{') && json.trim_end().ends_with('}'));
-        assert!(json.contains("\"schema\":\"leaky-buddies/sweep-v3\""));
+        assert!(json.contains("\"schema\":\"leaky-buddies/sweep-v4\""));
         assert!(json.contains("\"backend\":\"kabylake-gen9\""));
         assert!(json.contains("\"code\":\"none\""));
         assert!(json.contains("\"code\":\"hamming74\""));
@@ -577,7 +709,7 @@ mod tests {
         let results = SweepRunner::new(1).run(&default_grid(16)[..1]);
         write_sweep_json(&path, &results).expect("temp file writable");
         let body = std::fs::read_to_string(&path).expect("file readable");
-        assert!(body.contains("sweep-v3"));
+        assert!(body.contains("sweep-v4"));
         let _ = std::fs::remove_file(&path);
     }
 
@@ -691,7 +823,7 @@ mod tests {
     /// per-rung estimates) and failed — must parse back out of the
     /// [`SweepJsonWriter`] file with its key facts intact.
     #[test]
-    fn sweep_v3_document_round_trips_through_the_parser() {
+    fn sweep_v4_document_round_trips_through_the_parser() {
         use crate::sweep::{
             adaptive_grid_for, default_grid_for, ChannelKind, NoiseLevel, SweepPoint,
         };
@@ -776,6 +908,24 @@ mod tests {
                         field("bandwidth_kbps").as_f64(),
                         Some(outcome.bandwidth_kbps)
                     );
+                    let metrics = outcome.metrics.as_ref().expect("telemetry on by default");
+                    let parsed =
+                        parse_metrics_snapshot(row.get("metrics").expect("metrics object"))
+                            .expect("metrics round-trip");
+                    assert_eq!(parsed.len(), metrics.len());
+                    for (name, value) in metrics.iter() {
+                        match value {
+                            MetricValue::Counter(v) => assert_eq!(parsed.counter(name), Some(*v)),
+                            MetricValue::Gauge(v) => assert_eq!(parsed.gauge(name), Some(*v)),
+                            MetricValue::Histogram(hist) => {
+                                let back = parsed.histogram(name).expect("histogram present");
+                                assert_eq!(back.count(), hist.count());
+                                assert_eq!(back.sum(), hist.sum());
+                                assert_eq!(back.buckets(), hist.buckets());
+                            }
+                        }
+                    }
+                    assert!(parsed.counter("link.frames_sent").is_some());
                     let Some(adaptation) = &outcome.adaptation else {
                         assert!(row.get("windows").is_none());
                         assert!(row.get("rung_estimates").is_none());
@@ -844,6 +994,56 @@ mod tests {
             .expect("adaptive rows carry a summary")
             .rung_estimates
             .is_empty());
+    }
+
+    /// The aggregated telemetry document `repro --metrics-out` writes must
+    /// survive a trip through the in-repo parser with every counter, gauge
+    /// and histogram intact.
+    #[test]
+    fn metrics_v1_document_round_trips_through_the_parser() {
+        let mut grid = default_grid(24);
+        grid.truncate(2);
+        let results = SweepRunner::new(2).run(&grid);
+        let mut merged = MetricsSnapshot::from_entries(std::iter::empty());
+        let mut points = 0usize;
+        for result in &results {
+            if let Ok(outcome) = &result.outcome {
+                merged.merge(outcome.metrics.as_ref().expect("telemetry on by default"));
+                points += 1;
+            }
+        }
+        assert!(points > 0, "quick grid points must run");
+
+        let dir = std::env::temp_dir();
+        let path = dir.join("leaky_buddies_metrics_doc_test.json");
+        write_metrics_json(&path, &merged, points).expect("temp file writable");
+        let body = std::fs::read_to_string(&path).expect("file readable");
+        let _ = std::fs::remove_file(&path);
+
+        let document = parse_json(&body).expect("document parses");
+        assert_eq!(
+            document.get("schema").and_then(JsonValue::as_str),
+            Some(METRICS_SCHEMA)
+        );
+        assert_eq!(
+            document.get("points").and_then(JsonValue::as_f64),
+            Some(points as f64)
+        );
+        let parsed = parse_metrics_snapshot(document.get("metrics").expect("metrics object"))
+            .expect("metrics parse");
+        assert_eq!(parsed.len(), merged.len());
+        assert_eq!(parsed.counter_total("llc."), merged.counter_total("llc."));
+        assert_eq!(
+            parsed.counter("link.frames_sent"),
+            merged.counter("link.frames_sent")
+        );
+        let phase = parsed
+            .histogram("phase.simulate_ns")
+            .expect("phase histogram");
+        assert_eq!(
+            phase.count(),
+            merged.histogram("phase.simulate_ns").unwrap().count()
+        );
     }
 
     #[test]

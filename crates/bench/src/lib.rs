@@ -14,12 +14,14 @@ pub mod tracefile;
 
 pub use baseline::{Baseline, BaselineReport, Regression, DEFAULT_TOLERANCE};
 pub use json::{
-    parse_json, sweep_results_to_json, sweep_row_json, write_sweep_json, JsonValue, SweepJsonWriter,
+    metrics_document, metrics_json, parse_json, parse_metrics_snapshot, sweep_results_to_json,
+    sweep_row_json, write_metrics_json, write_sweep_json, JsonValue, SweepJsonWriter,
+    METRICS_SCHEMA, SWEEP_SCHEMA,
 };
 pub use sweep::{
     adaptive_grid, adaptive_grid_for, coded_grid, coded_grid_for, default_grid, default_grid_for,
-    effective_engine, record_point_trace, run_point, run_point_with_registry, ChannelKind,
-    NoiseLevel, SweepOutcome, SweepPoint, SweepResult, SweepRunner,
+    effective_engine, record_point_trace, run_point, run_point_configured, run_point_with_registry,
+    ChannelKind, NoiseLevel, SweepOutcome, SweepPoint, SweepResult, SweepRunner,
 };
 pub use tracefile::{parse_trace, read_trace, trace_to_string, write_trace, TRACE_SCHEMA};
 

@@ -250,6 +250,11 @@ pub struct SweepOutcome {
     pub diagnostics: ChannelDiagnostics,
     /// Per-window adaptation history, for points run under a policy.
     pub adaptation: Option<AdaptationSummary>,
+    /// Telemetry snapshot of the point's private registry — backend
+    /// counters (`llc.*`, `ring.*`, `dram.*`), link counters (`link.*`,
+    /// `adapt.*`) and wall-clock phase histograms (`phase.*`). `None` when
+    /// the runner was built with [`SweepRunner::with_telemetry`]`(false)`.
+    pub metrics: Option<MetricsSnapshot>,
 }
 
 /// One row of a completed sweep: the point and its outcome or failure.
@@ -278,7 +283,20 @@ pub fn run_point_with_registry(
     engine: &Transceiver,
     registry: &BackendRegistry,
 ) -> SweepResult {
-    let outcome = run_point_inner(point, engine, registry);
+    run_point_configured(point, engine, registry, true)
+}
+
+/// [`run_point_with_registry`] with the telemetry switch explicit: `true`
+/// gives the point a private [`Registry`] (backend, link and phase
+/// instruments) whose snapshot lands on [`SweepOutcome::metrics`]; `false`
+/// skips instrumentation entirely and leaves `metrics` as `None`.
+pub fn run_point_configured(
+    point: &SweepPoint,
+    engine: &Transceiver,
+    registry: &BackendRegistry,
+    telemetry: bool,
+) -> SweepResult {
+    let outcome = run_point_inner(point, engine, registry, telemetry);
     SweepResult {
         point: point.clone(),
         outcome,
@@ -359,22 +377,34 @@ fn run_point_inner(
     point: &SweepPoint,
     engine: &Transceiver,
     registry: &BackendRegistry,
+    telemetry: bool,
 ) -> Result<SweepOutcome, ChannelError> {
-    let engine = Transceiver::new(effective_engine(point, engine.config()));
+    // Each point gets a *private* registry: points run on arbitrary worker
+    // threads, and a shared registry would smear concurrent points'
+    // counters together. Aggregation across points is the consumer's job
+    // (`MetricsSnapshot::merge`).
+    let instruments = telemetry.then(Registry::new);
+    let mut engine = Transceiver::new(effective_engine(point, engine.config()));
+    if let Some(reg) = &instruments {
+        engine = engine.with_telemetry(reg);
+    }
     let engine = &engine;
     let (spec, soc_config) = resolve_backend(point, registry)?;
-    let soc = spec.instantiate(soc_config.clone());
+    let mut soc = spec.instantiate(soc_config.clone());
+    if let Some(reg) = &instruments {
+        soc.attach_telemetry(reg);
+    }
     let payload = test_pattern(point.bits, point.seed ^ 0x5EED);
     match point.channel {
         ChannelKind::LlcPrimeProbe => {
             let config = llc_channel_config(point, soc_config);
             let mut channel = LlcChannel::with_backend(soc, config)?;
-            finish_point(&mut channel, engine, point, &payload)
+            finish_point(&mut channel, engine, point, &payload, instruments.as_ref())
         }
         ChannelKind::RingContention => {
             let config = contention_channel_config(point, soc_config);
             let mut channel = ContentionChannel::with_backend(soc, config)?;
-            finish_point(&mut channel, engine, point, &payload)
+            finish_point(&mut channel, engine, point, &payload, instruments.as_ref())
         }
     }
 }
@@ -387,6 +417,7 @@ fn finish_point<C: CovertChannel>(
     engine: &Transceiver,
     point: &SweepPoint,
     payload: &[bool],
+    instruments: Option<&Registry>,
 ) -> Result<SweepOutcome, ChannelError> {
     let calibration = channel.calibrate()?;
     let (report, stats) = match point.policy {
@@ -396,10 +427,13 @@ fn finish_point<C: CovertChannel>(
             if !base.framed {
                 base = TransceiverConfig::paper_default();
             }
-            let adaptive = AdaptiveTransceiver::new(AdaptiveConfig {
+            let mut adaptive = AdaptiveTransceiver::new(AdaptiveConfig {
                 window_bits: base.frame_payload_bits.clamp(1, 64),
                 base,
             });
+            if let Some(reg) = instruments {
+                adaptive = adaptive.with_telemetry(reg);
+            }
             let mut controller = kind.build(LinkSetting::new(point.code, 1));
             adaptive.transmit(channel, controller.as_mut(), payload)?
         }
@@ -418,6 +452,7 @@ fn finish_point<C: CovertChannel>(
         retransmissions: stats.retransmissions,
         diagnostics: channel.diagnostics(),
         adaptation: report.adaptation,
+        metrics: instruments.map(Registry::snapshot),
     })
 }
 
@@ -435,22 +470,25 @@ pub fn record_point_trace(
     engine: &Transceiver,
     registry: &BackendRegistry,
 ) -> Result<(SweepOutcome, Trace), ChannelError> {
-    let engine = Transceiver::new(effective_engine(point, engine.config()));
+    let instruments = Registry::new();
+    let engine =
+        Transceiver::new(effective_engine(point, engine.config())).with_telemetry(&instruments);
     let engine = &engine;
     let (spec, soc_config) = resolve_backend(point, registry)?;
-    let soc = TraceRecorder::new(spec.instantiate(soc_config.clone()));
+    let mut soc = TraceRecorder::new(spec.instantiate(soc_config.clone()));
+    soc.attach_telemetry(&instruments);
     let payload = test_pattern(point.bits, point.seed ^ 0x5EED);
     match point.channel {
         ChannelKind::LlcPrimeProbe => {
             let config = llc_channel_config(point, soc_config);
             let mut channel = LlcChannel::with_backend(soc, config)?;
-            let outcome = finish_point(&mut channel, engine, point, &payload)?;
+            let outcome = finish_point(&mut channel, engine, point, &payload, Some(&instruments))?;
             Ok((outcome, channel.backend().trace().clone()))
         }
         ChannelKind::RingContention => {
             let config = contention_channel_config(point, soc_config);
             let mut channel = ContentionChannel::with_backend(soc, config)?;
-            let outcome = finish_point(&mut channel, engine, point, &payload)?;
+            let outcome = finish_point(&mut channel, engine, point, &payload, Some(&instruments))?;
             Ok((outcome, channel.backend().trace().clone()))
         }
     }
@@ -463,6 +501,7 @@ pub struct SweepRunner {
     engine: TransceiverConfig,
     point_budget: Option<Duration>,
     registry: BackendRegistry,
+    telemetry: bool,
 }
 
 impl SweepRunner {
@@ -473,6 +512,7 @@ impl SweepRunner {
             engine: TransceiverConfig::raw(),
             point_budget: None,
             registry: BackendRegistry::standard(),
+            telemetry: true,
         }
     }
 
@@ -506,6 +546,20 @@ impl SweepRunner {
     pub fn with_point_budget(mut self, budget: Duration) -> Self {
         self.point_budget = Some(budget);
         self
+    }
+
+    /// Switches per-point telemetry on or off (default: on). With
+    /// telemetry off no registry is created at all: every instrument site
+    /// compiles down to a skipped branch and [`SweepOutcome::metrics`] is
+    /// `None` on every row.
+    pub fn with_telemetry(mut self, telemetry: bool) -> Self {
+        self.telemetry = telemetry;
+        self
+    }
+
+    /// Whether rows will carry a [`SweepOutcome::metrics`] snapshot.
+    pub fn telemetry(&self) -> bool {
+        self.telemetry
     }
 
     /// Worker-thread count.
@@ -544,14 +598,18 @@ impl SweepRunner {
                             break;
                         }
                         let result = match self.point_budget {
-                            None => {
-                                run_point_with_registry(&points[index], &engine, &self.registry)
-                            }
+                            None => run_point_configured(
+                                &points[index],
+                                &engine,
+                                &self.registry,
+                                self.telemetry,
+                            ),
                             Some(budget) => run_point_with_budget(
                                 &points[index],
                                 &engine,
                                 budget,
                                 &self.registry,
+                                self.telemetry,
                             ),
                         };
                         // A dropped receiver means the callback side is gone;
@@ -586,6 +644,7 @@ fn run_point_with_budget(
     engine: &Transceiver,
     budget: Duration,
     registry: &BackendRegistry,
+    telemetry: bool,
 ) -> SweepResult {
     let (sender, receiver) = mpsc::channel();
     let worker_point = point.clone();
@@ -595,10 +654,11 @@ fn run_point_with_budget(
         let engine = Transceiver::new(engine_config);
         // A receiver dropped after timeout makes this send fail; that is the
         // expected fate of an abandoned point.
-        let _ = sender.send(run_point_with_registry(
+        let _ = sender.send(run_point_configured(
             &worker_point,
             &engine,
             &worker_registry,
+            telemetry,
         ));
     });
     match receiver.recv_timeout(budget) {
@@ -1061,6 +1121,82 @@ mod tests {
             }
             _ => panic!("both runs must succeed"),
         }
+    }
+
+    #[test]
+    fn sweep_rows_carry_backend_and_link_metrics() {
+        let mut point = SweepPoint::paper_default(
+            "kabylake-gen9",
+            ChannelKind::RingContention,
+            NoiseLevel::Noiseless,
+        );
+        point.bits = 48;
+        let results = SweepRunner::new(1)
+            .with_engine(TransceiverConfig::paper_default())
+            .run(std::slice::from_ref(&point));
+        let outcome = results[0].outcome.as_ref().unwrap();
+        let metrics = outcome.metrics.as_ref().expect("telemetry defaults on");
+        for group in ["llc", "ring", "dram", "link", "phase"] {
+            assert!(
+                metrics.groups().iter().any(|g| g == group),
+                "missing group {group} in {:?}",
+                metrics.groups()
+            );
+        }
+        assert_eq!(
+            metrics.counter("link.frames_sent"),
+            Some(outcome.frames_sent as u64),
+            "registry and LinkStats must agree"
+        );
+        assert!(metrics.counter_total("llc.") > 0);
+        assert!(metrics.counter("ring.crossings").unwrap() > 0);
+        assert!(metrics.histogram("phase.simulate_ns").unwrap().count() > 0);
+    }
+
+    #[test]
+    fn adaptive_rows_count_rung_switches_in_the_registry() {
+        let mut point = SweepPoint::paper_default(
+            "kabylake-gen9",
+            ChannelKind::RingContention,
+            NoiseLevel::Phased,
+        )
+        .with_policy(PolicyKind::Threshold);
+        point.bits = 448;
+        let results = SweepRunner::new(1).run(std::slice::from_ref(&point));
+        let outcome = results[0].outcome.as_ref().unwrap();
+        let metrics = outcome.metrics.as_ref().unwrap();
+        let summary = outcome.adaptation.as_ref().unwrap();
+        assert_eq!(
+            metrics.counter("adapt.rung_switches"),
+            Some(summary.switches as u64)
+        );
+        assert_eq!(
+            metrics.histogram("phase.adapt_ns").unwrap().count(),
+            summary.trace.windows.len() as u64
+        );
+    }
+
+    #[test]
+    fn disabled_telemetry_drops_metrics_but_not_determinism() {
+        let mut point = SweepPoint::paper_default(
+            "kabylake-gen9",
+            ChannelKind::RingContention,
+            NoiseLevel::Quiet,
+        );
+        point.bits = 48;
+        let on = SweepRunner::new(1).run(std::slice::from_ref(&point));
+        let off = SweepRunner::new(1)
+            .with_telemetry(false)
+            .run(std::slice::from_ref(&point));
+        let with = on[0].outcome.as_ref().unwrap();
+        let without = off[0].outcome.as_ref().unwrap();
+        assert!(with.metrics.is_some());
+        assert!(without.metrics.is_none());
+        // Instrumentation is observational: the simulated results are
+        // bit-identical either way.
+        assert_eq!(with.bandwidth_kbps, without.bandwidth_kbps);
+        assert_eq!(with.error_rate, without.error_rate);
+        assert_eq!(with.frames_sent, without.frames_sent);
     }
 
     #[test]

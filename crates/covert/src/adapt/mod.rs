@@ -199,6 +199,14 @@ pub trait LinkController: Send {
     fn rung_estimates(&self) -> Vec<crate::metrics::RungEstimate> {
         Vec::new()
     }
+
+    /// Attaches the controller's instruments to a telemetry registry
+    /// (`adapt.*` counters — the bandit counts its regime-bank flips
+    /// there). The default is a no-op for policies with no internal events
+    /// worth counting.
+    fn attach_telemetry(&mut self, registry: &soc_sim::telemetry::Registry) {
+        let _ = registry;
+    }
 }
 
 /// The built-in policy families, as a compact configuration value the sweep

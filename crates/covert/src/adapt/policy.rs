@@ -603,6 +603,9 @@ pub struct BanditPolicy {
     decay: f64,
     explore: f64,
     raise_ber: f64,
+    /// Telemetry counter for regime-bank flips (`adapt.bank_flips`), set
+    /// by [`LinkController::attach_telemetry`].
+    bank_flips: Option<soc_sim::telemetry::Counter>,
 }
 
 /// One lagged window awaiting possible retroactive reclassification (see
@@ -737,6 +740,7 @@ impl BanditPolicy {
             decay,
             explore,
             raise_ber: 0.03,
+            bank_flips: None,
         }
     }
 
@@ -878,6 +882,10 @@ impl LinkController for BanditPolicy {
         self.ladder[self.rung]
     }
 
+    fn attach_telemetry(&mut self, registry: &soc_sim::telemetry::Registry) {
+        self.bank_flips = Some(registry.counter("adapt.bank_flips"));
+    }
+
     fn observe(&mut self, observation: &LinkObservation) -> LinkAction {
         let g = if observation.goodput_kbps.is_finite() {
             observation.goodput_kbps.max(0.0)
@@ -946,6 +954,9 @@ impl LinkController for BanditPolicy {
         }
         let active = self.active_bank();
         if self.burst_mode != was_burst {
+            if let Some(flips) = &self.bank_flips {
+                flips.incr();
+            }
             // The windows that drove the flip were measured under the new
             // regime but credited to the old bank (classifier lag): unwind
             // the ones whose character matches the new regime — dirty
@@ -1398,6 +1409,21 @@ mod tests {
             }
         }
         history
+    }
+
+    #[test]
+    fn bandit_counts_regime_bank_flips_on_the_registry() {
+        let registry = soc_sim::telemetry::Registry::new();
+        let mut policy = BanditPolicy::paper_default();
+        policy.attach_telemetry(&registry);
+        // Calm phase, storm, calm again: the regime classifier must flip
+        // into the burst bank and back, and each flip must count.
+        drive_bandit(&mut policy, &[(12, 0), (12, 4), (12, 0)]);
+        let flips = registry.snapshot().counter("adapt.bank_flips").unwrap();
+        assert!(
+            flips >= 2,
+            "a storm entered and left must flip twice, counted {flips}"
+        );
     }
 
     #[test]

@@ -17,6 +17,7 @@ use crate::metrics::{
     AdaptationSummary, AdaptationTrace, CodingSummary, TransmissionReport, WindowRecord,
 };
 use soc_sim::clock::Time;
+use soc_sim::telemetry::{Counter, Histogram, Registry, Span};
 
 /// Configuration of the adaptive transceiver.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -54,18 +55,49 @@ impl Default for AdaptiveConfig {
     }
 }
 
+/// Cached telemetry handles of the adaptation loop: the registry itself
+/// (threaded into each window's engine and the controller), the
+/// `adapt.rung_switches` counter, and the `phase.adapt_ns` bookkeeping
+/// histogram.
+#[derive(Debug, Clone)]
+struct AdaptTelemetry {
+    registry: Registry,
+    rung_switches: Counter,
+    adapt_ns: Histogram,
+}
+
 /// Closed-loop wrapper around the shared [`Transceiver`] engine: one
 /// controller, one channel, windows applied back to back on the channel's
 /// own clock.
 #[derive(Debug, Clone, Default)]
 pub struct AdaptiveTransceiver {
     config: AdaptiveConfig,
+    telemetry: Option<AdaptTelemetry>,
 }
 
 impl AdaptiveTransceiver {
     /// An adaptive transceiver with an explicit configuration.
     pub fn new(config: AdaptiveConfig) -> Self {
-        AdaptiveTransceiver { config }
+        AdaptiveTransceiver {
+            config,
+            telemetry: None,
+        }
+    }
+
+    /// Attaches the adaptation loop to a telemetry registry: applied
+    /// setting changes count on `adapt.rung_switches`, the per-window
+    /// controller bookkeeping time feeds `phase.adapt_ns`, and the
+    /// registry is threaded into every window's engine (`link.*`,
+    /// `phase.simulate_ns`, `phase.classify_ns`) and into the controller
+    /// ([`LinkController::attach_telemetry`]).
+    #[must_use]
+    pub fn with_telemetry(mut self, registry: &Registry) -> Self {
+        self.telemetry = Some(AdaptTelemetry {
+            registry: registry.clone(),
+            rung_switches: registry.counter("adapt.rung_switches"),
+            adapt_ns: registry.histogram("phase.adapt_ns"),
+        });
+        self
     }
 
     /// The configuration.
@@ -124,6 +156,9 @@ impl AdaptiveTransceiver {
         // resized to the window anyway, so smaller control clocks than the
         // base frame are perfectly valid.
         let window_bits = self.config.window_bits.max(16);
+        if let Some(telemetry) = &self.telemetry {
+            controller.attach_telemetry(&telemetry.registry);
+        }
         let mut setting = clamp_setting(controller.initial());
         let mut sent = Vec::with_capacity(payload.len());
         let mut received = Vec::with_capacity(payload.len());
@@ -135,12 +170,32 @@ impl AdaptiveTransceiver {
 
         let mut cursor = 0usize;
         let mut index = 0usize;
+        let mut previous_setting: Option<LinkSetting> = None;
         while cursor < payload.len() {
             let end = (cursor + self.window_payload_bits(window_bits, setting)).min(payload.len());
             let window = &payload[cursor..end];
             cursor = end;
-            let engine = Transceiver::new(self.window_engine(setting, window_bits, index == 0));
+            // Count only switches that take effect on a window (matching
+            // the trace's adjacent-window accounting): a controller move
+            // after the final window changes nothing on the wire.
+            if let Some(telemetry) = &self.telemetry {
+                if previous_setting.is_some_and(|prev| prev != setting) {
+                    telemetry.rung_switches.incr();
+                }
+            }
+            previous_setting = Some(setting);
+            let mut engine = Transceiver::new(self.window_engine(setting, window_bits, index == 0));
+            if let Some(telemetry) = &self.telemetry {
+                engine = engine.with_telemetry(&telemetry.registry);
+            }
             let (report, stats) = engine.transmit_detailed(channel, window)?;
+            // Everything after the window's transmission is adaptation
+            // bookkeeping: observation assembly, trace recording and the
+            // controller's decision.
+            let _adapt = self
+                .telemetry
+                .as_ref()
+                .map_or_else(Span::noop, |t| t.adapt_ns.span());
             let coding = report.coding.expect("framed engine attaches coding stats");
             elapsed += report.elapsed;
             wire_bits += coding.wire_bits;
@@ -354,6 +409,35 @@ mod tests {
             "some window must run coded"
         );
         assert_eq!(summary.trace.windows[0].code, LinkCodeKind::None);
+    }
+
+    #[test]
+    fn telemetry_counts_rung_switches_and_adapt_bookkeeping() {
+        let registry = Registry::new();
+        let payload = test_pattern(448, 5);
+        let mut channel = PhasedLoopback::new((150, 600), 7);
+        let mut controller = ThresholdPolicy::paper_default();
+        let (report, stats) = AdaptiveTransceiver::new(AdaptiveConfig::paper_default())
+            .with_telemetry(&registry)
+            .transmit(&mut channel, &mut controller, &payload)
+            .unwrap();
+        let summary = report.adaptation.as_ref().unwrap();
+        let snap = registry.snapshot();
+        assert_eq!(
+            snap.counter("adapt.rung_switches"),
+            Some(summary.switches as u64),
+            "counter must agree with the recorded trace"
+        );
+        assert_eq!(
+            snap.histogram("phase.adapt_ns").unwrap().count(),
+            summary.trace.windows.len() as u64,
+            "one bookkeeping span per window"
+        );
+        assert_eq!(
+            snap.counter("link.frames_sent"),
+            Some(stats.frames_sent as u64),
+            "per-window engines must share the registry"
+        );
     }
 
     #[test]

@@ -29,6 +29,7 @@ use rand::rngs::SmallRng;
 use rand::Rng;
 use soc_sim::clock::Time;
 use soc_sim::prelude::MemorySystem;
+use soc_sim::telemetry::{Counter, Histogram, Registry, Span};
 
 /// One-line description of a backend's LLC geometry, shared by every
 /// channel's [`ChannelDiagnostics`].
@@ -322,16 +323,70 @@ pub struct LinkStats {
     pub corrected_bits: usize,
 }
 
+/// Cached telemetry handles the engine updates alongside [`LinkStats`]
+/// (`link.*` counters) and the wall-clock phase histograms the sweep
+/// profiler reads (`phase.simulate_ns`, `phase.classify_ns`).
+#[derive(Debug, Clone)]
+struct LinkTelemetry {
+    frames_sent: Counter,
+    sync_failures: Counter,
+    retransmissions: Counter,
+    decode_failures: Counter,
+    corrected_bits: Counter,
+    simulate_ns: Histogram,
+    classify_ns: Histogram,
+}
+
+impl LinkTelemetry {
+    fn new(registry: &Registry) -> Self {
+        LinkTelemetry {
+            frames_sent: registry.counter("link.frames_sent"),
+            sync_failures: registry.counter("link.sync_failures"),
+            retransmissions: registry.counter("link.retransmissions"),
+            decode_failures: registry.counter("link.decode_failures"),
+            corrected_bits: registry.counter("link.corrected_bits"),
+            simulate_ns: registry.histogram("phase.simulate_ns"),
+            classify_ns: registry.histogram("phase.classify_ns"),
+        }
+    }
+}
+
 /// The shared transceiver engine: drives any [`CovertChannel`] end to end.
 #[derive(Debug, Clone, Default)]
 pub struct Transceiver {
     config: TransceiverConfig,
+    telemetry: Option<LinkTelemetry>,
 }
 
 impl Transceiver {
     /// Engine with an explicit configuration.
     pub fn new(config: TransceiverConfig) -> Self {
-        Transceiver { config }
+        Transceiver {
+            config,
+            telemetry: None,
+        }
+    }
+
+    /// Attaches the engine to a telemetry registry: link-level events feed
+    /// the `link.*` counters (mirroring the [`LinkStats`] it returns) and
+    /// the per-frame channel-simulation / classify-decode wall-clock times
+    /// feed the `phase.simulate_ns` / `phase.classify_ns` histograms.
+    #[must_use]
+    pub fn with_telemetry(mut self, registry: &Registry) -> Self {
+        self.telemetry = Some(LinkTelemetry::new(registry));
+        self
+    }
+
+    fn simulate_span(&self) -> Span {
+        self.telemetry
+            .as_ref()
+            .map_or_else(Span::noop, |t| t.simulate_ns.span())
+    }
+
+    fn classify_span(&self) -> Span {
+        self.telemetry
+            .as_ref()
+            .map_or_else(Span::noop, |t| t.classify_ns.span())
     }
 
     /// Engine in framed mode with the reproduction defaults.
@@ -398,6 +453,7 @@ impl Transceiver {
             let frame = self.send_checked(channel, &wire, &mut stats)?;
             elapsed += frame.elapsed;
             wire_bits += wire.len() * self.config.effective_symbol_repeat();
+            let _classify = self.classify_span();
             let outcome = codec.decode(&frame.received);
             stats.corrected_bits += outcome.corrected_bits;
             if outcome.residual_errors > 0 {
@@ -415,6 +471,7 @@ impl Transceiver {
                     let frame = self.send_checked(channel, &wire, &mut stats)?;
                     elapsed += frame.elapsed;
                     wire_bits += wire.len() * self.config.effective_symbol_repeat();
+                    let _classify = self.classify_span();
                     let out_of_retries = attempts >= self.config.max_retries;
                     let body = match deframe_bits(&frame.received, self.config.max_sync_errors) {
                         Ok(body) => body,
@@ -454,6 +511,16 @@ impl Transceiver {
             }
         }
 
+        if let Some(telemetry) = &self.telemetry {
+            // Mirror the per-transmission stats into the shared registry so
+            // sweep-level snapshots see the same causes `LinkStats` reports.
+            telemetry.frames_sent.add(stats.frames_sent as u64);
+            telemetry.sync_failures.add(stats.sync_failures as u64);
+            telemetry.retransmissions.add(stats.retransmissions as u64);
+            telemetry.decode_failures.add(stats.decode_failures as u64);
+            telemetry.corrected_bits.add(stats.corrected_bits as u64);
+        }
+
         let coding = CodingSummary {
             code: self.config.code,
             code_rate: codec.rate(),
@@ -479,7 +546,10 @@ impl Transceiver {
     ) -> Result<FrameResult, ChannelError> {
         let repeat = self.config.effective_symbol_repeat();
         if repeat == 1 {
-            let frame = channel.transmit_frame(wire)?;
+            let frame = {
+                let _simulate = self.simulate_span();
+                channel.transmit_frame(wire)?
+            };
             stats.frames_sent += 1;
             if frame.received.len() != wire.len() {
                 return Err(ChannelError::ReportShape {
@@ -493,7 +563,10 @@ impl Transceiver {
             .iter()
             .flat_map(|&bit| std::iter::repeat_n(bit, repeat))
             .collect();
-        let frame = channel.transmit_frame(&expanded)?;
+        let frame = {
+            let _simulate = self.simulate_span();
+            channel.transmit_frame(&expanded)?
+        };
         stats.frames_sent += 1;
         if frame.received.len() != expanded.len() {
             return Err(ChannelError::ReportShape {
@@ -937,6 +1010,59 @@ mod tests {
             ..good
         };
         assert!(!degenerate.is_usable());
+    }
+
+    #[test]
+    fn telemetry_counters_mirror_link_stats_and_spans_record() {
+        let registry = Registry::new();
+        let payload: Vec<bool> = (0..64).map(|i| i % 2 == 0).collect();
+        let config = TransceiverConfig {
+            frame_payload_bits: 32,
+            warmup_symbols: 0,
+            max_retries: 3,
+            code: LinkCodeKind::Crc8,
+            ..TransceiverConfig::paper_default()
+        };
+        let mut channel = FlakyChannel {
+            dirty_frames: 2,
+            frames_seen: 0,
+        };
+        let (_, stats) = Transceiver::new(config)
+            .with_telemetry(&registry)
+            .transmit_detailed(&mut channel, &payload)
+            .unwrap();
+        let snap = registry.snapshot();
+        assert_eq!(
+            snap.counter("link.frames_sent"),
+            Some(stats.frames_sent as u64)
+        );
+        assert_eq!(
+            snap.counter("link.retransmissions"),
+            Some(stats.retransmissions as u64)
+        );
+        assert_eq!(
+            snap.counter("link.decode_failures"),
+            Some(stats.decode_failures as u64)
+        );
+        assert_eq!(snap.counter("link.sync_failures"), Some(0));
+        let simulate = snap.histogram("phase.simulate_ns").unwrap();
+        assert_eq!(simulate.count(), stats.frames_sent as u64);
+        let classify = snap.histogram("phase.classify_ns").unwrap();
+        assert_eq!(classify.count(), stats.frames_sent as u64);
+    }
+
+    #[test]
+    fn disabled_registry_keeps_the_engine_silent() {
+        let registry = Registry::disabled();
+        let mut channel = LoopbackChannel::perfect();
+        let payload = vec![true; 32];
+        Transceiver::paper_default()
+            .with_telemetry(&registry)
+            .transmit(&mut channel, &payload)
+            .unwrap();
+        let snap = registry.snapshot();
+        assert_eq!(snap.counter_total("link."), 0);
+        assert_eq!(snap.histogram("phase.simulate_ns").unwrap().count(), 0);
     }
 
     #[test]

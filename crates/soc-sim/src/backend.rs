@@ -90,6 +90,16 @@ pub trait MemorySystem {
 
     /// Whether the line is resident in any CPU private cache (diagnostics).
     fn in_cpu_private_caches(&self, paddr: crate::address::PhysAddr) -> bool;
+
+    /// Attaches this backend's instruments to a telemetry registry
+    /// (`llc.*`, `ring.*`, `dram.*` groups on the reference simulator).
+    ///
+    /// Purely observational: attaching never changes simulated timing.
+    /// The default is a no-op for backends with nothing to report (the
+    /// trace replayer serves recorded latencies and simulates nothing).
+    fn attach_telemetry(&mut self, registry: &crate::telemetry::Registry) {
+        let _ = registry;
+    }
 }
 
 impl MemorySystem for Soc {
@@ -162,6 +172,10 @@ impl MemorySystem for Soc {
 
     fn in_cpu_private_caches(&self, paddr: crate::address::PhysAddr) -> bool {
         Soc::in_cpu_private_caches(self, paddr)
+    }
+
+    fn attach_telemetry(&mut self, registry: &crate::telemetry::Registry) {
+        Soc::attach_telemetry(self, registry)
     }
 }
 

@@ -57,6 +57,7 @@ pub mod slice_hash;
 pub mod slm;
 pub mod stats;
 pub mod system;
+pub mod telemetry;
 pub mod topology;
 pub mod trace;
 
@@ -74,6 +75,9 @@ pub mod prelude {
     pub use crate::slice_hash::SliceHash;
     pub use crate::system::{
         AccessOutcome, HitLevel, LatencyConfig, ParallelOutcome, Requester, Soc, SocConfig,
+    };
+    pub use crate::telemetry::{
+        Counter, Gauge, Histogram, HistogramSnapshot, MetricValue, MetricsSnapshot, Registry, Span,
     };
     pub use crate::topology::TopologySpec;
     pub use crate::trace::{Trace, TraceEvent, TraceRecorder, TraceReplayer};

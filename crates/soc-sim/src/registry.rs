@@ -151,6 +151,18 @@ impl BackendSpec {
     pub fn is_replaying(&self) -> bool {
         matches!(self.mode, BuildMode::Replaying(_))
     }
+
+    /// The telemetry metric groups instances of this backend emit once a
+    /// registry is attached (see
+    /// [`MemorySystem::attach_telemetry`]). Simulating backends report the
+    /// full hierarchy; a replayer serves recorded latencies, simulates
+    /// nothing, and therefore emits nothing.
+    pub fn telemetry_groups(&self) -> &'static [&'static str] {
+        match self.mode {
+            BuildMode::Replaying(_) => &[],
+            _ => &["llc", "ring", "dram"],
+        }
+    }
 }
 
 /// A built backend from the registry, driven through [`MemorySystem`].
@@ -263,6 +275,10 @@ impl MemorySystem for BackendInstance {
     fn in_cpu_private_caches(&self, paddr: crate::address::PhysAddr) -> bool {
         delegate!(self, m => m.in_cpu_private_caches(paddr))
     }
+
+    fn attach_telemetry(&mut self, registry: &crate::telemetry::Registry) {
+        delegate!(self, m => m.attach_telemetry(registry))
+    }
 }
 
 /// The string-keyed collection of named backends.
@@ -361,19 +377,30 @@ impl BackendRegistry {
         self.specs.is_empty()
     }
 
-    /// One formatted description line per backend: name, slice count, LLC
-    /// capacity and DRAM generation — what `repro --list-backends` prints.
+    /// One formatted description line per backend: name, slice count, full
+    /// LLC geometry (capacity, sets × ways), DRAM generation and the
+    /// telemetry groups the backend emits — what `repro --list-backends`
+    /// prints. The summary sentence follows on the same line.
     pub fn describe(&self) -> Vec<String> {
         self.specs
             .iter()
             .map(|s| {
                 let config = s.config();
+                let groups = s.telemetry_groups();
+                let telemetry = if groups.is_empty() {
+                    "-".to_string()
+                } else {
+                    groups.join("+")
+                };
                 format!(
-                    "{:<26} {:>2} slices  {:>3} MB LLC  {:<9}  {}",
+                    "{:<26} {:>2} slices  {:>3} MB LLC ({:>4} sets x {:>2} ways)  {:<9}  telemetry {:<12}  {}",
                     s.name(),
                     config.llc.slices(),
                     config.llc.capacity_bytes() / (1024 * 1024),
+                    config.llc.sets_per_slice,
+                    config.llc.ways,
                     config.dram.label(),
+                    telemetry,
                     s.summary(),
                 )
             })
@@ -565,5 +592,49 @@ mod tests {
         assert!(ice.contains("8 slices"), "{ice}");
         assert!(ice.contains("16 MB"), "{ice}");
         assert!(ice.contains("DDR5"), "{ice}");
+    }
+
+    #[test]
+    fn describe_lists_llc_geometry_and_telemetry_groups() {
+        let lines = BackendRegistry::standard().describe();
+        let gen9 = lines
+            .iter()
+            .find(|l| l.contains("kabylake-gen9 "))
+            .expect("gen9 line");
+        assert!(gen9.contains("2048 sets x 16 ways"), "{gen9}");
+        assert!(gen9.contains("telemetry llc+ring+dram"), "{gen9}");
+    }
+
+    #[test]
+    fn telemetry_groups_match_the_build_mode() {
+        let registry = BackendRegistry::standard();
+        let gen9 = registry.get("kabylake-gen9").unwrap();
+        assert_eq!(gen9.telemetry_groups(), &["llc", "ring", "dram"]);
+        let recording = registry.get("trace-replay").unwrap();
+        assert_eq!(recording.telemetry_groups(), &["llc", "ring", "dram"]);
+        let rec = TraceRecorder::new(Soc::new(SocConfig::kaby_lake_noiseless()));
+        let (_, trace) = rec.into_parts();
+        let replaying = BackendSpec::replaying("t", "trace", trace);
+        assert!(replaying.telemetry_groups().is_empty());
+    }
+
+    #[test]
+    fn attach_telemetry_reaches_the_simulator_through_the_delegate() {
+        let registry = crate::telemetry::Registry::new();
+        let mut backend = BackendRegistry::standard()
+            .get("kabylake-gen9")
+            .unwrap()
+            .build(7);
+        backend.attach_telemetry(&registry);
+        // A cold access misses the LLC and goes to DRAM.
+        backend.cpu_access(0, PhysAddr::new(0x40_0000), Time::ZERO);
+        let snapshot = registry.snapshot();
+        assert_eq!(snapshot.counter_total("llc.slice"), 1, "{snapshot:?}");
+        assert!(snapshot.counter("ring.crossings") == Some(1));
+        assert_eq!(
+            snapshot.counter("dram.row_hits").unwrap()
+                + snapshot.counter("dram.row_misses").unwrap(),
+            1
+        );
     }
 }

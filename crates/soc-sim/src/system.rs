@@ -25,8 +25,44 @@ use crate::replacement::ReplacementPolicy;
 use crate::set_assoc::{CacheGeometry, Indexing, SetAssocCache};
 use crate::slm::Slm;
 use crate::stats::{ContentionSnapshot, SocStats};
+use crate::telemetry::{Counter, Histogram, Registry};
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
+
+/// Telemetry handles of the SoC hot paths, created once per
+/// [`Soc::attach_telemetry`] call so the per-access cost is a handful of
+/// relaxed atomic bumps (and exactly one `Option` check when detached).
+#[derive(Debug, Clone)]
+struct SocInstruments {
+    /// Per-slice LLC lookup hits (`llc.slice{i}.hits`).
+    llc_hits: Vec<Counter>,
+    /// Per-slice LLC lookup misses (`llc.slice{i}.misses`).
+    llc_misses: Vec<Counter>,
+    /// Per-slice LLC fill evictions (`llc.slice{i}.evictions`).
+    llc_evictions: Vec<Counter>,
+    /// Lines resident in the target set at fill time (`llc.set_pressure`) —
+    /// a full set means every further fill is a conflict eviction.
+    set_pressure: Histogram,
+    /// Requests that crossed the ring to an LLC slice (`ring.crossings`).
+    ring_crossings: Counter,
+    /// Picoseconds spent queued on the ring (`ring.stall_ps`).
+    ring_stall_ps: Counter,
+    /// Picoseconds spent queued on LLC slice ports (`llc.port_stall_ps`).
+    port_stall_ps: Counter,
+    /// DRAM accesses that stayed in the open row (`dram.row_hits`).
+    dram_row_hits: Counter,
+    /// DRAM accesses that switched rows (`dram.row_misses`).
+    dram_row_misses: Counter,
+    /// Accumulated DRAM channel occupancy in picoseconds (`dram.busy_ps`) —
+    /// generation-specific: DDR5's halved per-line service time shows up
+    /// directly here.
+    dram_busy_ps: Counter,
+}
+
+/// DRAM row-buffer size assumed by the observational row hit/miss tracker
+/// (8 KiB — a typical x8 device row). Telemetry-only; the timing model is
+/// row-agnostic and unaffected.
+const DRAM_ROW_BYTES: u64 = 8 * 1024;
 
 /// Who issued a memory access.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -327,6 +363,10 @@ pub struct Soc {
     rng: SmallRng,
     stats: SocStats,
     next_pid: u32,
+    /// Telemetry handles, present only after [`Soc::attach_telemetry`].
+    instruments: Option<SocInstruments>,
+    /// Open-row tracker of the observational DRAM row hit/miss telemetry.
+    dram_open_row: Option<u64>,
 }
 
 impl Soc {
@@ -357,8 +397,82 @@ impl Soc {
             rng: SmallRng::seed_from_u64(config.seed),
             stats: SocStats::default(),
             next_pid: 1,
+            instruments: None,
+            dram_open_row: None,
             config,
         }
+    }
+
+    /// Attaches this SoC's instruments to `registry`: per-slice LLC
+    /// hit/miss/eviction counters and set-conflict pressure (`llc.*`),
+    /// ring-crossing and stall counters (`ring.*`), and the observational
+    /// DRAM row hit/miss and channel-occupancy counters (`dram.*`).
+    ///
+    /// Attaching is purely observational — no simulated latency, RNG draw
+    /// or replacement decision changes. Attaching again replaces the
+    /// previous registry's handles.
+    pub fn attach_telemetry(&mut self, registry: &Registry) {
+        let slices = self.config.llc.slices();
+        self.instruments = Some(SocInstruments {
+            llc_hits: (0..slices)
+                .map(|i| registry.counter(&format!("llc.slice{i}.hits")))
+                .collect(),
+            llc_misses: (0..slices)
+                .map(|i| registry.counter(&format!("llc.slice{i}.misses")))
+                .collect(),
+            llc_evictions: (0..slices)
+                .map(|i| registry.counter(&format!("llc.slice{i}.evictions")))
+                .collect(),
+            set_pressure: registry.histogram("llc.set_pressure"),
+            ring_crossings: registry.counter("ring.crossings"),
+            ring_stall_ps: registry.counter("ring.stall_ps"),
+            port_stall_ps: registry.counter("llc.port_stall_ps"),
+            dram_row_hits: registry.counter("dram.row_hits"),
+            dram_row_misses: registry.counter("dram.row_misses"),
+            dram_busy_ps: registry.counter("dram.busy_ps"),
+        });
+    }
+
+    /// Notes one LLC lookup (after the shared-level access path decided
+    /// hit vs miss) on the slice serving `paddr`.
+    fn note_llc_lookup(&mut self, paddr: PhysAddr, hit: bool) {
+        if let Some(instruments) = &self.instruments {
+            let slice = self.llc.set_of(paddr).slice;
+            if hit {
+                instruments.llc_hits[slice].incr();
+            } else {
+                instruments.llc_misses[slice].incr();
+            }
+        }
+    }
+
+    /// Notes one ring crossing and its queuing delays.
+    fn note_ring_crossing(&mut self, ring_queue: Time, port_queue: Time) {
+        if let Some(instruments) = &self.instruments {
+            instruments.ring_crossings.incr();
+            instruments.ring_stall_ps.add(ring_queue.as_ps());
+            instruments.port_stall_ps.add(port_queue.as_ps());
+        }
+    }
+
+    /// Notes one DRAM access: open-row hit/miss (observational 8 KiB row
+    /// granularity) and the generation-specific channel occupancy it adds.
+    fn note_dram_access(&mut self, paddr: PhysAddr) {
+        if self.instruments.is_none() {
+            return;
+        }
+        let row = paddr.value() / DRAM_ROW_BYTES;
+        let instruments = self.instruments.as_ref().expect("checked above");
+        if self.dram_open_row == Some(row) {
+            instruments.dram_row_hits.incr();
+        } else {
+            instruments.dram_row_misses.incr();
+        }
+        self.dram_open_row = Some(row);
+        use crate::dram::DramTiming;
+        instruments
+            .dram_busy_ps
+            .add(self.config.dram.channel_service().as_ps());
     }
 
     /// Convenience constructor for the paper's platform.
@@ -485,11 +599,24 @@ impl Soc {
     /// the LLC is not inclusive of it). `from_gpu` selects the allocation
     /// partition when way-partitioning is enabled.
     fn llc_fill_with_back_invalidation(&mut self, paddr: PhysAddr, from_gpu: bool) {
+        if let Some(instruments) = &self.instruments {
+            // Set-conflict pressure: lines already resident in the target
+            // set at fill time. A reading at the associativity limit means
+            // this fill must evict — sustained full-set readings are the
+            // signature of the covert channels' eviction-set traffic.
+            let id = self.llc.set_of(paddr);
+            instruments
+                .set_pressure
+                .record(self.llc.resident_lines(id).len() as u64);
+        }
         let outcome = match self.partition_ways(from_gpu) {
             Some((lo, hi)) => self.llc.fill_within(paddr, &mut self.rng, lo, hi),
             None => self.llc.fill(paddr, &mut self.rng),
         };
         if let Some(victim) = outcome.evicted() {
+            if let Some(instruments) = &self.instruments {
+                instruments.llc_evictions[self.llc.set_of(victim).slice].incr();
+            }
             for core in &mut self.cpu_caches {
                 if core.l1.invalidate(victim) {
                     self.stats.back_invalidations += 1;
@@ -536,6 +663,7 @@ impl Soc {
         let ring_latency = self.ring.transfer(now, CACHE_LINE_SIZE);
         let ring_queue = ring_latency.saturating_sub(Time::from_ns(2)); // informational only
         let port_queue = self.llc.acquire_port(paddr, now + ring_latency);
+        self.note_ring_crossing(ring_queue, port_queue);
         self.maybe_inject_noise_eviction(paddr);
 
         let base = lat.cpu_l2_hit + ring_latency + port_queue + lat.llc_array;
@@ -543,6 +671,7 @@ impl Soc {
 
         if self.llc.access(paddr) {
             self.stats.cpu_llc_hits += 1;
+            self.note_llc_lookup(paddr, true);
             let _ = self.cpu_caches[core].l2.fill(paddr, &mut self.rng);
             let _ = self.cpu_caches[core].l1.fill(paddr, &mut self.rng);
             return AccessOutcome {
@@ -551,10 +680,12 @@ impl Soc {
                 contention_delay: contention,
             };
         }
+        self.note_llc_lookup(paddr, false);
 
         // LLC miss: fetch from DRAM, fill LLC (inclusive) and the private caches.
         let dram_latency = self.dram.access(now + base);
         self.stats.cpu_dram_accesses += 1;
+        self.note_dram_access(paddr);
         self.llc_fill_with_back_invalidation(paddr, false);
         let _ = self.cpu_caches[core].l2.fill(paddr, &mut self.rng);
         let _ = self.cpu_caches[core].l1.fill(paddr, &mut self.rng);
@@ -593,6 +724,7 @@ impl Soc {
         let port_queue = self
             .llc
             .acquire_port(paddr, now + lat.gpu_l3_lookup + ring_latency);
+        self.note_ring_crossing(ring_queue, port_queue);
         self.maybe_inject_noise_eviction(paddr);
 
         let base =
@@ -601,6 +733,7 @@ impl Soc {
 
         if self.llc.access(paddr) {
             self.stats.gpu_llc_hits += 1;
+            self.note_llc_lookup(paddr, true);
             let _ = self.gpu_l3.fill(paddr, &mut self.rng);
             return AccessOutcome {
                 latency: base + jitter,
@@ -608,9 +741,11 @@ impl Soc {
                 contention_delay: contention,
             };
         }
+        self.note_llc_lookup(paddr, false);
 
         let dram_latency = self.dram.access(now + base);
         self.stats.gpu_dram_accesses += 1;
+        self.note_dram_access(paddr);
         // Fill LLC (back-invalidating CPU caches if a victim falls out), then the L3.
         self.llc_fill_with_back_invalidation(paddr, true);
         let _ = self.gpu_l3.fill(paddr, &mut self.rng);
@@ -934,6 +1069,92 @@ mod tests {
         assert_eq!(LlcPartition::even_split().cpu_ways, 8);
         let cfg = SocConfig::kaby_lake_i7_7700k().with_llc_partition(LlcPartition { cpu_ways: 4 });
         assert_eq!(cfg.llc_partition, Some(LlcPartition { cpu_ways: 4 }));
+    }
+
+    #[test]
+    fn telemetry_counts_llc_ring_and_dram_activity() {
+        use crate::telemetry::Registry;
+        let registry = Registry::new();
+        let mut soc = soc();
+        soc.attach_telemetry(&registry);
+        let a = PhysAddr::new(0x40_0000);
+        soc.cpu_access(0, a, Time::ZERO); // miss -> DRAM
+        soc.cpu_access(1, a, Time::from_us(1)); // other core: LLC hit
+        let snap = registry.snapshot();
+        assert_eq!(snap.counter_total("llc.slice"), 2); // one miss + one hit
+        let slice = soc.llc().set_of(a).slice;
+        assert_eq!(snap.counter(&format!("llc.slice{slice}.hits")), Some(1));
+        assert_eq!(snap.counter(&format!("llc.slice{slice}.misses")), Some(1));
+        assert_eq!(snap.counter("ring.crossings"), Some(2));
+        assert_eq!(
+            snap.counter("dram.row_hits").unwrap() + snap.counter("dram.row_misses").unwrap(),
+            1
+        );
+        assert!(snap.counter("dram.busy_ps").unwrap() > 0);
+        assert_eq!(snap.histogram("llc.set_pressure").unwrap().count(), 1);
+    }
+
+    #[test]
+    fn telemetry_counts_evictions_and_row_locality() {
+        use crate::telemetry::Registry;
+        let registry = Registry::new();
+        let mut soc = soc();
+        soc.attach_telemetry(&registry);
+        let ways = soc.config().llc.ways;
+        let set = soc.llc().set_of(PhysAddr::new(0));
+        let conflicts = soc
+            .llc()
+            .enumerate_set_addresses(set, PhysAddr::new(0), ways + 4);
+        let mut t = Time::ZERO;
+        for &c in &conflicts {
+            soc.cpu_access(0, c, t);
+            t += Time::from_us(1);
+        }
+        let snap = registry.snapshot();
+        assert!(snap.counter_total("llc.slice") >= (ways + 4) as u64);
+        assert_eq!(
+            snap.counter(&format!("llc.slice{}.evictions", set.slice)),
+            Some(4)
+        );
+        // Sequential lines within one 8 KiB row produce row hits.
+        let mut rowy = soc;
+        let base = 0x200_0000u64;
+        for i in 0..8u64 {
+            rowy.cpu_access(0, PhysAddr::new(base + i * 64), t);
+            t += Time::from_us(1);
+        }
+        assert!(registry.snapshot().counter("dram.row_hits").unwrap() > 0);
+    }
+
+    #[test]
+    fn telemetry_attachment_never_changes_timing() {
+        use crate::telemetry::Registry;
+        let mut plain = soc();
+        let mut instrumented = soc();
+        instrumented.attach_telemetry(&Registry::new());
+        let mut disabled = soc();
+        disabled.attach_telemetry(&Registry::disabled());
+        for i in 0..256u64 {
+            let a = PhysAddr::new((i % 48) * 64 * 131);
+            let now = Time::from_us(i);
+            let expect = if i % 3 == 0 {
+                plain.gpu_access(a, now)
+            } else {
+                plain.cpu_access((i % 4) as usize, a, now)
+            };
+            let got = if i % 3 == 0 {
+                instrumented.gpu_access(a, now)
+            } else {
+                instrumented.cpu_access((i % 4) as usize, a, now)
+            };
+            let got_disabled = if i % 3 == 0 {
+                disabled.gpu_access(a, now)
+            } else {
+                disabled.cpu_access((i % 4) as usize, a, now)
+            };
+            assert_eq!(expect, got, "attached telemetry must be observational");
+            assert_eq!(expect, got_disabled, "disabled telemetry must be too");
+        }
     }
 
     #[test]

@@ -1,0 +1,819 @@
+//! Workspace-wide telemetry: named counters, gauges, log-scale histograms
+//! and scoped timing spans behind an atomically toggleable registry.
+//!
+//! Every hot layer of the stack (LLC slices, ring, DRAM in this crate; the
+//! transceiver engine and the adaptation policies in `covert`; the sweep
+//! phases in `bench`) registers its instruments against a [`Registry`] and
+//! bumps them through cheap cloneable handles. The registry is shared via
+//! `Arc`, so a handle outlives the call that created it and a snapshot can
+//! be taken from another thread.
+//!
+//! Design constraints, in order:
+//!
+//! 1. **Near-zero cost when disabled.** Every handle holds the registry's
+//!    shared `AtomicBool`; a disabled recording is one relaxed load and a
+//!    branch. [`Span`]s created from a disabled registry do not even read
+//!    the clock.
+//! 2. **Purely observational.** Nothing in this module feeds back into the
+//!    simulation: attaching, enabling or disabling telemetry never changes
+//!    a simulated latency, an RNG draw or a replacement decision — which is
+//!    what lets the CI baseline gate hold with telemetry in any state.
+//! 3. **Mergeable output.** [`MetricsSnapshot`] values aggregate across
+//!    per-sweep-point registries into one document (counters add,
+//!    histograms merge bucket-wise), so a parallel sweep can keep one
+//!    registry per point — no cross-thread contention on the hot counters —
+//!    and still report fleet-wide totals.
+//!
+//! Metric names are dot-separated, `group.instrument` (for example
+//! `llc.slice0.hits`, `ring.stall_ps`, `phase.simulate_ns`); the leading
+//! segment is the *group* used by coarse reporting such as
+//! `repro --list-backends`.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+/// Number of buckets of a log-scale [`Histogram`]: bucket 0 holds exact
+/// zeros, bucket `i >= 1` holds values in `[2^(i-1), 2^i)`, up to bucket 64
+/// for the top of the `u64` range.
+pub const HISTOGRAM_BUCKETS: usize = 65;
+
+fn bucket_of(value: u64) -> usize {
+    (64 - value.leading_zeros()) as usize
+}
+
+/// Inclusive value range covered by a bucket index.
+fn bucket_range(index: usize) -> (u64, u64) {
+    match index {
+        0 => (0, 0),
+        64 => (1 << 63, u64::MAX),
+        i => (1 << (i - 1), (1 << i) - 1),
+    }
+}
+
+#[derive(Debug, Default)]
+struct CounterCell {
+    value: AtomicU64,
+}
+
+#[derive(Debug, Default)]
+struct GaugeCell {
+    bits: AtomicU64,
+}
+
+#[derive(Debug)]
+struct HistogramCell {
+    buckets: [AtomicU64; HISTOGRAM_BUCKETS],
+    count: AtomicU64,
+    sum: AtomicU64,
+    min: AtomicU64,
+    max: AtomicU64,
+}
+
+impl HistogramCell {
+    fn new() -> Self {
+        HistogramCell {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            min: AtomicU64::new(u64::MAX),
+            max: AtomicU64::new(0),
+        }
+    }
+
+    fn record(&self, value: u64) {
+        self.buckets[bucket_of(value)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(value, Ordering::Relaxed);
+        self.min.fetch_min(value, Ordering::Relaxed);
+        self.max.fetch_max(value, Ordering::Relaxed);
+    }
+
+    fn snapshot(&self) -> HistogramSnapshot {
+        let count = self.count.load(Ordering::Relaxed);
+        HistogramSnapshot {
+            buckets: self
+                .buckets
+                .iter()
+                .map(|b| b.load(Ordering::Relaxed))
+                .collect(),
+            count,
+            sum: self.sum.load(Ordering::Relaxed),
+            min: if count == 0 {
+                0
+            } else {
+                self.min.load(Ordering::Relaxed)
+            },
+            max: self.max.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// A monotonically increasing `u64` instrument.
+///
+/// Cloning is cheap (two `Arc`s); all clones observe the same value and the
+/// same enable flag.
+#[derive(Debug, Clone)]
+pub struct Counter {
+    enabled: Arc<AtomicBool>,
+    cell: Arc<CounterCell>,
+}
+
+impl Counter {
+    /// Adds `n` to the counter (no-op while the registry is disabled).
+    #[inline]
+    pub fn add(&self, n: u64) {
+        if self.enabled.load(Ordering::Relaxed) {
+            self.cell.value.fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
+    /// Adds one to the counter (no-op while the registry is disabled).
+    #[inline]
+    pub fn incr(&self) {
+        self.add(1);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.cell.value.load(Ordering::Relaxed)
+    }
+}
+
+/// A last-write-wins `f64` instrument.
+#[derive(Debug, Clone)]
+pub struct Gauge {
+    enabled: Arc<AtomicBool>,
+    cell: Arc<GaugeCell>,
+}
+
+impl Gauge {
+    /// Sets the gauge (no-op while the registry is disabled).
+    #[inline]
+    pub fn set(&self, value: f64) {
+        if self.enabled.load(Ordering::Relaxed) {
+            self.cell.bits.store(value.to_bits(), Ordering::Relaxed);
+        }
+    }
+
+    /// Current value.
+    pub fn get(&self) -> f64 {
+        f64::from_bits(self.cell.bits.load(Ordering::Relaxed))
+    }
+}
+
+/// A log-scale (power-of-two bucketed) `u64` distribution.
+///
+/// Two decades of dynamic range cost nothing extra: bucket index is a
+/// `leading_zeros`, so recording is O(1) with no allocation — suitable for
+/// per-access paths.
+#[derive(Debug, Clone)]
+pub struct Histogram {
+    enabled: Arc<AtomicBool>,
+    cell: Arc<HistogramCell>,
+}
+
+impl Histogram {
+    /// Records one sample (no-op while the registry is disabled).
+    #[inline]
+    pub fn record(&self, value: u64) {
+        if self.enabled.load(Ordering::Relaxed) {
+            self.cell.record(value);
+        }
+    }
+
+    /// Snapshot of the distribution recorded so far.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        self.cell.snapshot()
+    }
+
+    /// Starts a [`Span`] that records its elapsed nanoseconds into this
+    /// histogram when dropped. While the registry is disabled the returned
+    /// span is inert and the clock is never read.
+    pub fn span(&self) -> Span {
+        if !self.enabled.load(Ordering::Relaxed) {
+            return Span::noop();
+        }
+        Span {
+            hist: Some(self.clone()),
+            start: Some(Instant::now()),
+        }
+    }
+}
+
+/// An immutable copy of a [`Histogram`]'s state.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    buckets: Vec<u64>,
+    count: u64,
+    sum: u64,
+    min: u64,
+    max: u64,
+}
+
+impl HistogramSnapshot {
+    /// An empty distribution (the identity of [`HistogramSnapshot::merge`]).
+    pub fn empty() -> Self {
+        HistogramSnapshot {
+            buckets: vec![0; HISTOGRAM_BUCKETS],
+            count: 0,
+            sum: 0,
+            min: 0,
+            max: 0,
+        }
+    }
+
+    /// Reassembles a snapshot from serialized parts (the constructor a disk
+    /// reader uses). `buckets` shorter than [`HISTOGRAM_BUCKETS`] is padded
+    /// with zeros; longer is truncated.
+    pub fn from_parts(buckets: Vec<u64>, sum: u64, min: u64, max: u64) -> Self {
+        let mut buckets = buckets;
+        buckets.resize(HISTOGRAM_BUCKETS, 0);
+        let count = buckets.iter().sum();
+        HistogramSnapshot {
+            buckets,
+            count,
+            sum,
+            min: if count == 0 { 0 } else { min },
+            max,
+        }
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of all recorded samples.
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Smallest recorded sample (0 when empty).
+    pub fn min(&self) -> u64 {
+        self.min
+    }
+
+    /// Largest recorded sample (0 when empty).
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Per-bucket sample counts (length [`HISTOGRAM_BUCKETS`]).
+    pub fn buckets(&self) -> &[u64] {
+        &self.buckets
+    }
+
+    /// Arithmetic mean of the recorded samples (0.0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Estimates the `p`-th percentile (`p` in `[0, 100]`) from the bucket
+    /// boundaries: the answer is the midpoint of the bucket holding the
+    /// requested rank, clamped to the exact observed `[min, max]` range.
+    /// Exact when a bucket holds one distinct value; otherwise within a
+    /// factor-of-two band, which is what a log-scale profile promises.
+    pub fn percentile(&self, p: f64) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        let p = p.clamp(0.0, 100.0);
+        let rank = ((p / 100.0) * self.count as f64).ceil().max(1.0) as u64;
+        let mut cumulative = 0u64;
+        for (index, &n) in self.buckets.iter().enumerate() {
+            cumulative += n;
+            if cumulative >= rank {
+                let (lo, hi) = bucket_range(index);
+                let mid = (lo as f64 + hi as f64) / 2.0;
+                return mid.clamp(self.min as f64, self.max as f64);
+            }
+        }
+        self.max as f64
+    }
+
+    /// Folds `other` into `self` bucket-wise: counts and sums add, the
+    /// min/max range widens. Merging distributions recorded by independent
+    /// registries (one sweep point each) yields exactly the distribution a
+    /// single shared histogram would have recorded.
+    pub fn merge(&mut self, other: &HistogramSnapshot) {
+        for (mine, theirs) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *mine += theirs;
+        }
+        self.sum = self.sum.saturating_add(other.sum);
+        self.max = self.max.max(other.max);
+        self.min = match (self.count, other.count) {
+            (0, _) => other.min,
+            (_, 0) => self.min,
+            _ => self.min.min(other.min),
+        };
+        self.count += other.count;
+    }
+}
+
+/// A scoped RAII timer: measures wall-clock nanoseconds from construction
+/// to drop and records them into a [`Histogram`].
+///
+/// Created via [`Registry::span`]; when the registry is disabled at
+/// creation time the span is inert and never reads the clock.
+#[derive(Debug)]
+pub struct Span {
+    hist: Option<Histogram>,
+    start: Option<Instant>,
+}
+
+impl Span {
+    /// A span that records nothing (for callers without a registry).
+    pub fn noop() -> Self {
+        Span {
+            hist: None,
+            start: None,
+        }
+    }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        if let (Some(hist), Some(start)) = (&self.hist, self.start) {
+            let nanos = start.elapsed().as_nanos().min(u64::MAX as u128) as u64;
+            hist.record(nanos);
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+enum Metric {
+    Counter(Arc<CounterCell>),
+    Gauge(Arc<GaugeCell>),
+    Histogram(Arc<HistogramCell>),
+}
+
+impl Metric {
+    fn kind(&self) -> &'static str {
+        match self {
+            Metric::Counter(_) => "counter",
+            Metric::Gauge(_) => "gauge",
+            Metric::Histogram(_) => "histogram",
+        }
+    }
+}
+
+#[derive(Debug)]
+struct RegistryInner {
+    enabled: Arc<AtomicBool>,
+    metrics: Mutex<BTreeMap<String, Metric>>,
+}
+
+/// A shared, toggleable home for named instruments.
+///
+/// Cloning shares the underlying store (`Arc`); [`Registry::default`] is an
+/// enabled registry. Handle creation takes a lock; recording through a
+/// handle is lock-free, so instrument once at attach time and bump handles
+/// on the hot path.
+#[derive(Debug, Clone)]
+pub struct Registry {
+    inner: Arc<RegistryInner>,
+}
+
+impl Default for Registry {
+    fn default() -> Self {
+        Registry::new()
+    }
+}
+
+impl Registry {
+    /// Creates an enabled registry.
+    pub fn new() -> Self {
+        Registry::with_enabled(true)
+    }
+
+    /// Creates a disabled registry (instruments register but record
+    /// nothing until [`Registry::set_enabled`] flips it on).
+    pub fn disabled() -> Self {
+        Registry::with_enabled(false)
+    }
+
+    /// Creates a registry with the given initial enable state.
+    pub fn with_enabled(enabled: bool) -> Self {
+        Registry {
+            inner: Arc::new(RegistryInner {
+                enabled: Arc::new(AtomicBool::new(enabled)),
+                metrics: Mutex::new(BTreeMap::new()),
+            }),
+        }
+    }
+
+    /// Atomically enables or disables recording for every handle of this
+    /// registry, including handles created earlier.
+    pub fn set_enabled(&self, enabled: bool) {
+        self.inner.enabled.store(enabled, Ordering::Relaxed);
+    }
+
+    /// Whether recording is currently enabled.
+    pub fn is_enabled(&self) -> bool {
+        self.inner.enabled.load(Ordering::Relaxed)
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, BTreeMap<String, Metric>> {
+        // A poisoned registry lock only means another thread panicked while
+        // *registering*; the map itself is still sound to read.
+        match self.inner.metrics.lock() {
+            Ok(guard) => guard,
+            Err(poisoned) => poisoned.into_inner(),
+        }
+    }
+
+    fn register(&self, name: &str, make: impl FnOnce() -> Metric) -> Metric {
+        let mut metrics = self.lock();
+        let metric = metrics.entry(name.to_string()).or_insert_with(make);
+        metric.clone()
+    }
+
+    /// Returns the counter named `name`, creating it on first use.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `name` is already registered as a different instrument
+    /// kind — the two call sites disagree and their data would be garbage.
+    pub fn counter(&self, name: &str) -> Counter {
+        match self.register(name, || Metric::Counter(Arc::new(CounterCell::default()))) {
+            Metric::Counter(cell) => Counter {
+                enabled: Arc::clone(&self.inner.enabled),
+                cell,
+            },
+            other => panic!(
+                "telemetry metric '{name}' is a {}, not a counter",
+                other.kind()
+            ),
+        }
+    }
+
+    /// Returns the gauge named `name`, creating it on first use.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `name` is already registered as a different instrument kind.
+    pub fn gauge(&self, name: &str) -> Gauge {
+        match self.register(name, || Metric::Gauge(Arc::new(GaugeCell::default()))) {
+            Metric::Gauge(cell) => Gauge {
+                enabled: Arc::clone(&self.inner.enabled),
+                cell,
+            },
+            other => panic!(
+                "telemetry metric '{name}' is a {}, not a gauge",
+                other.kind()
+            ),
+        }
+    }
+
+    /// Returns the histogram named `name`, creating it on first use.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `name` is already registered as a different instrument kind.
+    pub fn histogram(&self, name: &str) -> Histogram {
+        match self.register(name, || Metric::Histogram(Arc::new(HistogramCell::new()))) {
+            Metric::Histogram(cell) => Histogram {
+                enabled: Arc::clone(&self.inner.enabled),
+                cell,
+            },
+            other => panic!(
+                "telemetry metric '{name}' is a {}, not a histogram",
+                other.kind()
+            ),
+        }
+    }
+
+    /// Starts a timing span feeding the histogram named `name` (by
+    /// convention a `…_ns` name). Inert — the clock is never read — when
+    /// the registry is disabled at call time.
+    pub fn span(&self, name: &str) -> Span {
+        if !self.is_enabled() {
+            return Span::noop();
+        }
+        Span {
+            hist: Some(self.histogram(name)),
+            start: Some(Instant::now()),
+        }
+    }
+
+    /// An immutable copy of every registered instrument's current value.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let metrics = self.lock();
+        MetricsSnapshot {
+            metrics: metrics
+                .iter()
+                .map(|(name, metric)| {
+                    let value = match metric {
+                        Metric::Counter(c) => MetricValue::Counter(c.value.load(Ordering::Relaxed)),
+                        Metric::Gauge(g) => {
+                            MetricValue::Gauge(f64::from_bits(g.bits.load(Ordering::Relaxed)))
+                        }
+                        Metric::Histogram(h) => MetricValue::Histogram(h.snapshot()),
+                    };
+                    (name.clone(), value)
+                })
+                .collect(),
+        }
+    }
+}
+
+/// One captured metric value inside a [`MetricsSnapshot`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum MetricValue {
+    /// A counter's total.
+    Counter(u64),
+    /// A gauge's last value.
+    Gauge(f64),
+    /// A histogram's full distribution.
+    Histogram(HistogramSnapshot),
+}
+
+/// A point-in-time copy of a [`Registry`]'s contents: the unit that travels
+/// with a sweep row and aggregates into the `--metrics-out` document.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct MetricsSnapshot {
+    metrics: BTreeMap<String, MetricValue>,
+}
+
+impl MetricsSnapshot {
+    /// Builds a snapshot from deserialized `(name, value)` pairs.
+    pub fn from_entries(entries: impl IntoIterator<Item = (String, MetricValue)>) -> Self {
+        MetricsSnapshot {
+            metrics: entries.into_iter().collect(),
+        }
+    }
+
+    /// Number of captured metrics.
+    pub fn len(&self) -> usize {
+        self.metrics.len()
+    }
+
+    /// Whether the snapshot holds no metrics at all.
+    pub fn is_empty(&self) -> bool {
+        self.metrics.is_empty()
+    }
+
+    /// Iterates over `(name, value)` in name order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &MetricValue)> {
+        self.metrics.iter().map(|(k, v)| (k.as_str(), v))
+    }
+
+    /// The captured value of a counter, if one of that name exists.
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        match self.metrics.get(name) {
+            Some(MetricValue::Counter(v)) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// The captured value of a gauge, if one of that name exists.
+    pub fn gauge(&self, name: &str) -> Option<f64> {
+        match self.metrics.get(name) {
+            Some(MetricValue::Gauge(v)) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// The captured distribution of a histogram, if one of that name exists.
+    pub fn histogram(&self, name: &str) -> Option<&HistogramSnapshot> {
+        match self.metrics.get(name) {
+            Some(MetricValue::Histogram(h)) => Some(h),
+            _ => None,
+        }
+    }
+
+    /// The distinct metric groups present (the leading dot-separated name
+    /// segment: `llc.slice0.hits` belongs to group `llc`), in name order.
+    pub fn groups(&self) -> Vec<String> {
+        let mut groups: Vec<String> = Vec::new();
+        for name in self.metrics.keys() {
+            let group = name.split('.').next().unwrap_or(name).to_string();
+            if groups.last() != Some(&group) {
+                groups.push(group);
+            }
+        }
+        groups
+    }
+
+    /// Sum of every counter whose name starts with `prefix` (for group
+    /// totals such as "all `llc.` activity").
+    pub fn counter_total(&self, prefix: &str) -> u64 {
+        self.metrics
+            .iter()
+            .filter(|(name, _)| name.starts_with(prefix))
+            .filter_map(|(_, value)| match value {
+                MetricValue::Counter(v) => Some(*v),
+                _ => None,
+            })
+            .sum()
+    }
+
+    /// Folds `other` into `self`: counters add, histograms merge
+    /// bucket-wise, gauges keep the *other* (later) value. A name only one
+    /// side knows is copied over; a name whose kinds disagree keeps the
+    /// other side's value (last writer wins, mirroring the gauge rule).
+    pub fn merge(&mut self, other: &MetricsSnapshot) {
+        for (name, theirs) in &other.metrics {
+            match (self.metrics.get_mut(name), theirs) {
+                (Some(MetricValue::Counter(mine)), MetricValue::Counter(v)) => {
+                    *mine = mine.saturating_add(*v);
+                }
+                (Some(MetricValue::Histogram(mine)), MetricValue::Histogram(h)) => {
+                    mine.merge(h);
+                }
+                (slot, _) => {
+                    let value = theirs.clone();
+                    match slot {
+                        Some(existing) => *existing = value,
+                        None => {
+                            self.metrics.insert(name.clone(), value);
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_add_only_while_enabled() {
+        let registry = Registry::new();
+        let c = registry.counter("llc.hits");
+        c.incr();
+        c.add(4);
+        registry.set_enabled(false);
+        c.add(100);
+        registry.set_enabled(true);
+        c.incr();
+        assert_eq!(c.get(), 6);
+        assert_eq!(registry.snapshot().counter("llc.hits"), Some(6));
+    }
+
+    #[test]
+    fn handles_share_state_across_clones_and_lookups() {
+        let registry = Registry::new();
+        let a = registry.counter("x");
+        let b = registry.counter("x");
+        let c = a.clone();
+        a.incr();
+        b.incr();
+        c.incr();
+        assert_eq!(registry.snapshot().counter("x"), Some(3));
+    }
+
+    #[test]
+    fn disabled_registry_records_nothing_and_spans_are_inert() {
+        let registry = Registry::disabled();
+        assert!(!registry.is_enabled());
+        let h = registry.histogram("lat");
+        h.record(5);
+        {
+            let _span = registry.span("phase.x_ns");
+        }
+        let snap = registry.snapshot();
+        assert_eq!(snap.histogram("lat").unwrap().count(), 0);
+        // The span histogram was never even registered.
+        assert!(snap.histogram("phase.x_ns").is_none());
+    }
+
+    #[test]
+    fn gauge_keeps_the_last_value() {
+        let registry = Registry::new();
+        let g = registry.gauge("occupancy");
+        g.set(0.25);
+        g.set(0.75);
+        assert_eq!(g.get(), 0.75);
+        assert_eq!(registry.snapshot().gauge("occupancy"), Some(0.75));
+    }
+
+    #[test]
+    #[should_panic(expected = "not a counter")]
+    fn kind_conflicts_panic() {
+        let registry = Registry::new();
+        let _ = registry.histogram("dual");
+        let _ = registry.counter("dual");
+    }
+
+    #[test]
+    fn histogram_tracks_count_sum_min_max() {
+        let registry = Registry::new();
+        let h = registry.histogram("v");
+        for v in [0u64, 1, 3, 8, 1000] {
+            h.record(v);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.count(), 5);
+        assert_eq!(s.sum(), 1012);
+        assert_eq!(s.min(), 0);
+        assert_eq!(s.max(), 1000);
+        assert!((s.mean() - 202.4).abs() < 1e-9);
+        // Bucket 0 holds the zero, bucket 1 holds the 1.
+        assert_eq!(s.buckets()[0], 1);
+        assert_eq!(s.buckets()[1], 1);
+    }
+
+    #[test]
+    fn percentiles_are_monotone_and_clamped() {
+        let registry = Registry::new();
+        let h = registry.histogram("v");
+        for v in 1..=100u64 {
+            h.record(v);
+        }
+        let s = h.snapshot();
+        let p50 = s.percentile(50.0);
+        let p90 = s.percentile(90.0);
+        let p100 = s.percentile(100.0);
+        assert!(p50 <= p90 && p90 <= p100);
+        assert!(p100 <= s.max() as f64);
+        assert!(s.percentile(0.0) >= s.min() as f64);
+        assert_eq!(HistogramSnapshot::empty().percentile(50.0), 0.0);
+    }
+
+    #[test]
+    fn span_records_elapsed_nanoseconds() {
+        let registry = Registry::new();
+        {
+            let _span = registry.span("phase.work_ns");
+            std::thread::sleep(std::time::Duration::from_millis(2));
+        }
+        let s = registry.snapshot();
+        let hist = s.histogram("phase.work_ns").unwrap();
+        assert_eq!(hist.count(), 1);
+        assert!(
+            hist.sum() >= 1_000_000,
+            "slept ~2ms, recorded {}",
+            hist.sum()
+        );
+    }
+
+    #[test]
+    fn merged_histograms_equal_a_shared_one() {
+        let shared = Registry::new();
+        let a = Registry::new();
+        let b = Registry::new();
+        let hs = shared.histogram("v");
+        let ha = a.histogram("v");
+        let hb = b.histogram("v");
+        for v in [1u64, 2, 70, 9000] {
+            hs.record(v);
+            ha.record(v);
+        }
+        for v in [0u64, 512, 512] {
+            hs.record(v);
+            hb.record(v);
+        }
+        let mut merged = a.snapshot();
+        merged.merge(&b.snapshot());
+        assert_eq!(merged, shared.snapshot());
+    }
+
+    #[test]
+    fn snapshot_merge_adds_counters_and_copies_new_names() {
+        let a = Registry::new();
+        let b = Registry::new();
+        a.counter("n").add(2);
+        b.counter("n").add(5);
+        b.counter("only_b").add(1);
+        b.gauge("g").set(3.0);
+        let mut merged = a.snapshot();
+        merged.merge(&b.snapshot());
+        assert_eq!(merged.counter("n"), Some(7));
+        assert_eq!(merged.counter("only_b"), Some(1));
+        assert_eq!(merged.gauge("g"), Some(3.0));
+    }
+
+    #[test]
+    fn groups_and_counter_totals() {
+        let registry = Registry::new();
+        registry.counter("llc.slice0.hits").add(3);
+        registry.counter("llc.slice1.hits").add(4);
+        registry.counter("ring.crossings").add(9);
+        let snap = registry.snapshot();
+        assert_eq!(snap.groups(), vec!["llc".to_string(), "ring".to_string()]);
+        assert_eq!(snap.counter_total("llc."), 7);
+        assert_eq!(snap.counter_total("ring."), 9);
+        assert_eq!(snap.len(), 3);
+        assert!(!snap.is_empty());
+    }
+
+    #[test]
+    fn from_parts_recomputes_count_and_pads() {
+        let mut buckets = vec![0u64; 3];
+        buckets[1] = 2; // two samples of value 1
+        let s = HistogramSnapshot::from_parts(buckets, 2, 1, 1);
+        assert_eq!(s.count(), 2);
+        assert_eq!(s.buckets().len(), HISTOGRAM_BUCKETS);
+        assert_eq!(s.min(), 1);
+        assert_eq!(s.max(), 1);
+    }
+}

@@ -282,6 +282,12 @@ impl<M: MemorySystem> MemorySystem for TraceRecorder<M> {
     fn in_cpu_private_caches(&self, paddr: PhysAddr) -> bool {
         self.inner.in_cpu_private_caches(paddr)
     }
+
+    fn attach_telemetry(&mut self, registry: &crate::telemetry::Registry) {
+        // Recording is transparent: the wrapped backend's instruments are
+        // the recorder's instruments.
+        self.inner.attach_telemetry(registry)
+    }
 }
 
 /// Deterministic replay of a [`Trace`]: serves the recorded outcomes back in

@@ -257,6 +257,84 @@ proptest! {
     }
 }
 
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Percentile estimates from the log-scale telemetry histogram stay
+    /// inside the observed `[min, max]` range, are monotone in `p`, and land
+    /// within the factor-of-two band the bucket geometry promises (for
+    /// positive samples the bucket midpoint is within `[0.75, 1.5]x` of any
+    /// value sharing the bucket).
+    #[test]
+    fn telemetry_percentiles_are_bounded_monotone_and_log_accurate(
+        samples in proptest::collection::vec(1u64..u32::MAX as u64, 1..200),
+    ) {
+        use soc_sim::telemetry::Registry;
+        let registry = Registry::new();
+        let hist = registry.histogram("prop.latency");
+        for &v in &samples {
+            hist.record(v);
+        }
+        let snap = hist.snapshot();
+        prop_assert_eq!(snap.count(), samples.len() as u64);
+        prop_assert_eq!(snap.sum(), samples.iter().sum::<u64>());
+        prop_assert_eq!(snap.min(), *samples.iter().min().unwrap());
+        prop_assert_eq!(snap.max(), *samples.iter().max().unwrap());
+
+        let mut sorted = samples.clone();
+        sorted.sort_unstable();
+        let mut previous = f64::NEG_INFINITY;
+        for p in [0.0, 10.0, 25.0, 50.0, 75.0, 90.0, 99.0, 100.0] {
+            let estimate = snap.percentile(p);
+            prop_assert!(estimate >= snap.min() as f64);
+            prop_assert!(estimate <= snap.max() as f64);
+            prop_assert!(estimate >= previous, "percentile must be monotone in p");
+            previous = estimate;
+            // The exact order statistic at the same rank semantics.
+            let rank = ((p / 100.0) * sorted.len() as f64).ceil().max(1.0) as usize;
+            let exact = sorted[rank - 1] as f64;
+            prop_assert!(
+                estimate >= exact / 2.0 && estimate <= exact * 2.0,
+                "p{p}: estimate {estimate} outside the factor-2 band of {exact}"
+            );
+        }
+    }
+
+    /// Merging per-registry snapshots is exactly equivalent to recording
+    /// every sample into one shared histogram — the property the sweep
+    /// relies on when it folds per-point registries into one document —
+    /// and the empty snapshot is the merge identity.
+    #[test]
+    fn telemetry_histogram_merge_equals_single_recording(
+        // Bounded so the 240-sample total stays far below u64::MAX: the
+        // merge saturates its sum while the live histogram wraps, and the
+        // equivalence only holds while neither overflows.
+        left in proptest::collection::vec(0u64..u64::MAX / 512, 0..120),
+        right in proptest::collection::vec(0u64..u64::MAX / 512, 0..120),
+    ) {
+        use soc_sim::telemetry::{HistogramSnapshot, Registry};
+        let record_all = |values: &[u64]| {
+            let registry = Registry::new();
+            let hist = registry.histogram("prop.merge");
+            for &v in values {
+                hist.record(v);
+            }
+            hist.snapshot()
+        };
+        let mut merged = record_all(&left);
+        merged.merge(&record_all(&right));
+        let combined: Vec<u64> = left.iter().chain(right.iter()).copied().collect();
+        prop_assert_eq!(&merged, &record_all(&combined));
+
+        let mut identity = HistogramSnapshot::empty();
+        identity.merge(&merged);
+        prop_assert_eq!(&identity, &merged);
+        let mut identity_right = merged.clone();
+        identity_right.merge(&HistogramSnapshot::empty());
+        prop_assert_eq!(&identity_right, &merged);
+    }
+}
+
 /// An identical single-stream workload sees a *higher* DRAM latency on the
 /// DDR5 backend (worse first-word latency), while a bursty parallel GPU
 /// workload sees a *lower* total latency (halved channel occupancy) — the

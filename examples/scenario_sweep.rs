@@ -16,11 +16,15 @@
 //!   LLC, an unknown backend name) surface as recorded errors, not aborted
 //!   sweeps;
 //! * `run_streaming` hands each row to a callback the moment it finishes,
-//!   so long grids are observable while they run.
+//!   so long grids are observable while they run;
+//! * every point runs with a private telemetry registry
+//!   (`soc_sim::telemetry`), so each row carries a `MetricsSnapshot` of
+//!   what the memory system and link layer actually did — merged at the
+//!   end into one fleet-wide view.
 
 use bench::{default_grid, ChannelKind, NoiseLevel, SweepPoint, SweepRunner};
 use covert::prelude::TransceiverConfig;
-use soc_sim::prelude::BackendRegistry;
+use soc_sim::prelude::{BackendRegistry, MetricsSnapshot};
 
 fn main() {
     let runner = SweepRunner::with_default_threads();
@@ -54,16 +58,47 @@ fn main() {
             NoiseLevel::Quiet,
         )
     });
+    let mut telemetry = MetricsSnapshot::from_entries(std::iter::empty());
     runner.run_streaming(&grid, |_, result| match &result.outcome {
-        Ok(outcome) => println!(
-            "{:<58} {:>10.1} {:>8.2}% {:>12.0}",
-            result.point.label(),
-            outcome.bandwidth_kbps,
-            outcome.error_rate * 100.0,
-            outcome.symbol_time_ns,
-        ),
+        Ok(outcome) => {
+            if let Some(metrics) = &outcome.metrics {
+                telemetry.merge(metrics);
+            }
+            println!(
+                "{:<58} {:>10.1} {:>8.2}% {:>12.0}",
+                result.point.label(),
+                outcome.bandwidth_kbps,
+                outcome.error_rate * 100.0,
+                outcome.symbol_time_ns,
+            );
+        }
         Err(err) => println!("{:<58} unusable: {err}", result.point.label()),
     });
+    // The merged per-point registries: what the whole grid did to the
+    // memory system, and where the wall-clock went.
+    let llc_total = |suffix: &str| {
+        telemetry
+            .iter()
+            .filter(|(name, _)| name.starts_with("llc.slice") && name.ends_with(suffix))
+            .filter_map(|(name, _)| telemetry.counter(name))
+            .sum::<u64>()
+    };
+    println!(
+        "\nfleet telemetry: {} LLC hits / {} misses, {} ring crossings, {} DRAM row hits / {} misses",
+        llc_total(".hits"),
+        llc_total(".misses"),
+        telemetry.counter("ring.crossings").unwrap_or(0),
+        telemetry.counter("dram.row_hits").unwrap_or(0),
+        telemetry.counter("dram.row_misses").unwrap_or(0),
+    );
+    if let Some(simulate) = telemetry.histogram("phase.simulate_ns") {
+        println!(
+            "simulate phase: {} windows, mean {:.1} ms, p99 {:.1} ms",
+            simulate.count(),
+            simulate.mean() / 1e6,
+            simulate.percentile(99.0) / 1e6,
+        );
+    }
 
     // The same grid cell driven through the framed engine: preamble-guarded
     // frames with bounded retransmission, the mode a real exfiltration tool

@@ -1,0 +1,108 @@
+//! Workspace-level telemetry integration tests: the shared registry under
+//! concurrent writers, per-point metric isolation across the parallel sweep
+//! runner, and the disabled-telemetry overhead guard against the committed
+//! CI baseline.
+
+use bench::{default_grid_for, Baseline, ChannelKind, SweepRunner, DEFAULT_TOLERANCE};
+use soc_sim::prelude::{MetricsSnapshot, Registry};
+
+/// A single registry shared by many threads must not lose counter
+/// increments or histogram samples — the handles are cloned freely across
+/// call sites, so the underlying atomics carry all the consistency.
+#[test]
+fn registry_counts_exactly_under_concurrent_hammering() {
+    let registry = Registry::new();
+    let threads = 8u64;
+    let per_thread = 10_000u64;
+    std::thread::scope(|scope| {
+        for t in 0..threads {
+            let registry = &registry;
+            scope.spawn(move || {
+                let counter = registry.counter("stress.hits");
+                let hist = registry.histogram("stress.latency");
+                for i in 0..per_thread {
+                    counter.incr();
+                    hist.record(t * per_thread + i + 1);
+                }
+            });
+        }
+    });
+    let snapshot = registry.snapshot();
+    assert_eq!(snapshot.counter("stress.hits"), Some(threads * per_thread));
+    let hist = snapshot.histogram("stress.latency").expect("histogram");
+    assert_eq!(hist.count(), threads * per_thread);
+    assert_eq!(hist.min(), 1);
+    assert_eq!(hist.max(), threads * per_thread);
+}
+
+/// Every row of a parallel sweep carries its own per-point snapshot whose
+/// link counters match that row's own outcome — worker threads never bleed
+/// telemetry into each other's registries — and merging the per-row
+/// snapshots reproduces the fleet-wide totals.
+#[test]
+fn parallel_sweep_rows_carry_isolated_per_point_metrics() {
+    let grid = default_grid_for(&["kabylake-gen9"], 32);
+    let results = SweepRunner::new(4).run(&grid);
+    assert!(results.len() > 1);
+    let mut merged = MetricsSnapshot::from_entries(std::iter::empty());
+    let mut total_frames = 0u64;
+    for result in &results {
+        let outcome = result.outcome.as_ref().expect("grid points run");
+        let metrics = outcome.metrics.as_ref().expect("telemetry on by default");
+        assert_eq!(
+            metrics.counter("link.frames_sent"),
+            Some(outcome.frames_sent as u64),
+            "{}: link counter must match the row's own stats",
+            result.point.label()
+        );
+        if result.point.channel == ChannelKind::LlcPrimeProbe {
+            assert!(
+                metrics.counter_total("llc.") > 0,
+                "{}: LLC points must count LLC traffic",
+                result.point.label()
+            );
+        } else {
+            assert!(
+                metrics.counter_total("ring.") + metrics.counter_total("dram.") > 0,
+                "{}: contention points must count ring or DRAM traffic",
+                result.point.label()
+            );
+        }
+        total_frames += outcome.frames_sent as u64;
+        merged.merge(metrics);
+    }
+    assert_eq!(merged.counter("link.frames_sent"), Some(total_frames));
+}
+
+/// The overhead guard the issue demands: with telemetry disabled the quick
+/// classic grid must stay inside the committed baseline's ±15 % goodput
+/// gate. The registry gate is the only telemetry code on the hot path, and
+/// the simulation itself is deterministic, so switching telemetry off must
+/// not move the results at all — and the rows then carry no metrics.
+#[test]
+fn disabled_telemetry_passes_the_baseline_gate() {
+    let path = std::path::Path::new(concat!(env!("CARGO_MANIFEST_DIR"), "/bench/baseline.json"));
+    let baseline = Baseline::load(path).expect("committed baseline loads");
+    let grid = default_grid_for(&["kabylake-gen9"], 64);
+    let results = SweepRunner::with_default_threads()
+        .with_telemetry(false)
+        .run(&grid);
+    for result in &results {
+        let outcome = result.outcome.as_ref().expect("grid points run");
+        assert!(
+            outcome.metrics.is_none(),
+            "{}: disabled telemetry must drop the per-point snapshot",
+            result.point.label()
+        );
+    }
+    let report = baseline.compare(&results, DEFAULT_TOLERANCE);
+    assert!(
+        report.compared > 0,
+        "the baseline must cover the quick classic grid"
+    );
+    assert!(
+        report.passed(),
+        "telemetry-off run regressed {} baseline cell(s)",
+        report.regressions.len()
+    );
+}
