@@ -1,0 +1,88 @@
+//! Simulation-core bench: the per-access trait loop versus the batched
+//! access path over the same mixed workload, on the paper backend and on
+//! the partitioned variant whose conflict tables the batch path leans on.
+//!
+//! `access_batch` is contractually bit-identical to the per-access
+//! reference (see `tests/batched_equivalence.rs`); this bench measures what
+//! that contract costs — the headline is accesses/s per arm, and the gap
+//! between the arms is the dispatch overhead the sweep's hot loop avoids.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use soc_sim::prelude::{
+    access_batch_reference, BackendRegistry, BatchRequest, MemorySystem, PhysAddr, Time,
+};
+use std::hint::black_box;
+
+/// Requests per measured iteration — enough to dwarf the per-iteration
+/// backend clone and stress steady-state cache behaviour.
+const BATCH_LEN: usize = 4096;
+
+/// Mixed deterministic workload: CPU loads from two cores, GPU loads and
+/// flushes over a 4 MB span (revisits lines, so hits and evictions both
+/// occur). A splitmix-style walk keeps it cheap and reproducible.
+fn workload() -> Vec<BatchRequest> {
+    let mut state = 0x9E37_79B9_7F4A_7C15u64;
+    let mut next = move || {
+        state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    };
+    (0..BATCH_LEN)
+        .map(|_| {
+            let word = next();
+            let paddr = PhysAddr::new((word >> 4) % (1 << 22));
+            match word % 4 {
+                0 | 1 => BatchRequest::CpuLoad {
+                    core: ((word >> 2) % 2) as usize,
+                    paddr,
+                },
+                2 => BatchRequest::GpuLoad { paddr },
+                _ => BatchRequest::Flush { paddr },
+            }
+        })
+        .collect()
+}
+
+fn bench_access_paths(c: &mut Criterion) {
+    let registry = BackendRegistry::standard();
+    let requests = workload();
+    let mut group = c.benchmark_group("simcore_access_path");
+    group.sample_size(10);
+    for backend in ["kabylake-gen9", "kabylake-gen9-partitioned"] {
+        let spec = registry.get(backend).expect("standard backend");
+        let pristine = spec.build(7);
+        group.bench_with_input(
+            BenchmarkId::new("per_access", backend),
+            &requests,
+            |b, requests| {
+                b.iter(|| {
+                    let mut soc = pristine.clone();
+                    let mut outcomes = Vec::with_capacity(requests.len());
+                    black_box(access_batch_reference(
+                        &mut soc,
+                        black_box(requests),
+                        Time::ZERO,
+                        &mut outcomes,
+                    ))
+                });
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("batched", backend),
+            &requests,
+            |b, requests| {
+                b.iter(|| {
+                    let mut soc = pristine.clone();
+                    let mut outcomes = Vec::with_capacity(requests.len());
+                    black_box(soc.access_batch(black_box(requests), Time::ZERO, &mut outcomes))
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_access_paths);
+criterion_main!(benches);

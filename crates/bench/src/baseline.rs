@@ -45,6 +45,20 @@ pub struct BaselineCell {
     pub goodput_kbps: Option<f64>,
 }
 
+impl BaselineCell {
+    /// The comparable cell of a fresh sweep row — also how resumed rows
+    /// (which exist only as prior-document JSON, not as [`SweepResult`]s)
+    /// enter the gate.
+    pub fn from_result(result: &SweepResult) -> BaselineCell {
+        BaselineCell {
+            scenario: result.point.label(),
+            bits: result.point.bits as u64,
+            seed: result.point.seed,
+            goodput_kbps: result.outcome.as_ref().ok().map(|o| o.goodput_kbps),
+        }
+    }
+}
+
 /// A parsed baseline document.
 #[derive(Debug, Clone)]
 pub struct Baseline {
@@ -180,16 +194,17 @@ impl Baseline {
     /// artifact of the recording machine; flagging *new* failures is the
     /// gate's job).
     pub fn compare(&self, fresh: &[SweepResult], tolerance: f64) -> BaselineReport {
-        let fresh_cells: Vec<(String, u64, u64, Option<f64>)> = fresh
+        let cells: Vec<BaselineCell> = fresh.iter().map(BaselineCell::from_result).collect();
+        self.compare_cells(&cells, tolerance)
+    }
+
+    /// [`Baseline::compare`] over pre-extracted cells — the form `repro
+    /// --resume` uses, where part of the fresh run exists only as reused
+    /// prior-document rows.
+    pub fn compare_cells(&self, fresh: &[BaselineCell], tolerance: f64) -> BaselineReport {
+        let fresh_cells: Vec<(&str, u64, u64, Option<f64>)> = fresh
             .iter()
-            .map(|r| {
-                (
-                    r.point.label(),
-                    r.point.bits as u64,
-                    r.point.seed,
-                    r.outcome.as_ref().ok().map(|o| o.goodput_kbps),
-                )
-            })
+            .map(|c| (c.scenario.as_str(), c.bits, c.seed, c.goodput_kbps))
             .collect();
         let mut compared = 0;
         let mut regressions = Vec::new();

@@ -8,8 +8,8 @@
 //! repro [--fig4] [--fig7] [--fig8] [--fig9] [--fig10] [--headline]
 //!       [--slice-hash] [--l3] [--ablation] [--sweep] [--all] [--quick]
 //!       [--code <spec>[,<spec>...]] [--policy <name>[,<name>...]]
-//!       [--backend <name>] [--out <path>] [--list-backends]
-//!       [--check-baseline <file>]
+//!       [--backend <name>] [--out <path>] [--resume <prior.json>]
+//!       [--list-backends] [--check-baseline <file>]
 //!       [--metrics-out <path>] [--no-progress] [--no-telemetry]
 //!       [--validate-metrics <path>]
 //!       [--record-trace <path>] [--replay-trace <path>]
@@ -32,6 +32,15 @@
 //! an unknown name exits non-zero listing the known policies. `--out
 //! <path>` streams the sweep rows (classic, coded and adaptive) to disk as
 //! JSON, appending each row the moment its sweep point finishes.
+//!
+//! `--resume <prior.json>` makes the `--sweep` sections incremental: every
+//! row of the prior `--sweep --out` document whose point key (an
+//! order-independent hash over all grid axes) matches a point of the fresh
+//! grid is replayed verbatim — terminal, `--out` file, telemetry aggregate
+//! and baseline gate all see it — and only the remaining points are
+//! simulated. Unchanged reruns thus finish in seconds; after a config
+//! change, exactly the affected cells re-run. A file that is not a sweep
+//! document exits 2; rows that recorded failures are always re-run.
 //!
 //! `--check-baseline <file>` is the CI performance-regression gate: after
 //! the `--sweep` sections finish, every fresh cell is compared against the
@@ -84,6 +93,7 @@ struct Options {
     backend: Option<String>,
     list_backends: bool,
     out: Option<std::path::PathBuf>,
+    resume: Option<std::path::PathBuf>,
     check_baseline: Option<std::path::PathBuf>,
     metrics_out: Option<std::path::PathBuf>,
     no_progress: bool,
@@ -186,6 +196,7 @@ impl Options {
             backend,
             list_backends: has("--list-backends"),
             out: value_of("--out").map(std::path::PathBuf::from),
+            resume: value_of("--resume").map(std::path::PathBuf::from),
             check_baseline: value_of("--check-baseline").map(std::path::PathBuf::from),
             metrics_out: value_of("--metrics-out").map(std::path::PathBuf::from),
             no_progress: has("--no-progress"),
@@ -253,6 +264,35 @@ impl Progress {
             self.section, self.done, self.total, rate, eta
         );
     }
+}
+
+/// One row headed for the terminal, the `--out` document, the telemetry
+/// aggregate and the baseline gate: freshly measured, or replayed verbatim
+/// from the `--resume` document.
+enum SweepRow<'r> {
+    Fresh(&'r SweepResult),
+    Resumed(&'r ResumedRow),
+}
+
+/// Splits a sweep grid into the points whose rows the resume cache already
+/// holds and the points still to simulate (grid order preserved on both
+/// sides).
+fn split_resumed(
+    grid: Vec<SweepPoint>,
+    cache: Option<&mut ResumeCache>,
+) -> (Vec<SweepPoint>, Vec<ResumedRow>) {
+    let Some(cache) = cache else {
+        return (grid, Vec::new());
+    };
+    let mut fresh = Vec::with_capacity(grid.len());
+    let mut reused = Vec::new();
+    for point in grid {
+        match cache.take(&point.key()) {
+            Some(row) => reused.push(row),
+            None => fresh.push(point),
+        }
+    }
+    (fresh, reused)
 }
 
 /// The point `--record-trace` captures: the LLC channel at paper defaults
@@ -588,7 +628,22 @@ fn main() {
                 std::process::exit(1);
             })
         });
-        let mut gate_rows: Vec<SweepResult> = Vec::new();
+        // The resume document likewise: a file that is not a sweep document
+        // is a hard error (exit 2), not a silent full re-run.
+        let mut resume = opts.resume.as_ref().map(|path| {
+            ResumeCache::load(path).unwrap_or_else(|err| {
+                eprintln!("error: --resume {err}");
+                std::process::exit(2);
+            })
+        });
+        if let Some(cache) = &resume {
+            println!(
+                "(resuming: {} reusable rows of {} in the prior document)",
+                cache.len(),
+                cache.total_rows()
+            );
+        }
+        let mut gate_cells: Vec<BaselineCell> = Vec::new();
         let collect_for_gate = baseline.is_some();
         // The main thread carries its own registry for the serialization
         // phase (worker registries never see the JSON writer); its snapshot
@@ -601,23 +656,47 @@ fn main() {
         let json_ns = json_telemetry.histogram("phase.json_ns");
         let mut merged_metrics = MetricsSnapshot::from_entries(std::iter::empty());
         let mut metric_points = 0usize;
-        let mut stream_row = |result: &SweepResult| {
+        let mut fresh_rows = 0usize;
+        let mut resumed_rows = 0usize;
+        let sweep_started = std::time::Instant::now();
+        let mut stream_row = |row: SweepRow| {
             if let (Some(w), Some(path)) = (writer.as_mut(), opts.out.as_ref()) {
                 let _json = json_ns.span();
-                if let Err(err) = w.push(result) {
+                let pushed = match &row {
+                    SweepRow::Fresh(result) => w.push(result),
+                    SweepRow::Resumed(reused) => w.push_raw(&reused.raw),
+                };
+                if let Err(err) = pushed {
                     // A lost result file must fail the run, not just warn —
                     // downstream plotting scripts check the exit code.
                     eprintln!("error: could not write {}: {err}", path.display());
                     std::process::exit(1);
                 }
             }
-            if collect_for_gate {
-                gate_rows.push(result.clone());
-            }
-            if let Ok(outcome) = &result.outcome {
-                if let Some(metrics) = &outcome.metrics {
-                    merged_metrics.merge(metrics);
-                    metric_points += 1;
+            match row {
+                SweepRow::Fresh(result) => {
+                    if collect_for_gate {
+                        gate_cells.push(BaselineCell::from_result(result));
+                    }
+                    if let Ok(outcome) = &result.outcome {
+                        if let Some(metrics) = &outcome.metrics {
+                            merged_metrics.merge(metrics);
+                            metric_points += 1;
+                        }
+                    }
+                    fresh_rows += 1;
+                }
+                SweepRow::Resumed(reused) => {
+                    if collect_for_gate {
+                        gate_cells.push(reused.cell.clone());
+                    }
+                    if let Some(metrics) = &reused.metrics {
+                        if !opts.no_telemetry {
+                            merged_metrics.merge(metrics);
+                            metric_points += 1;
+                        }
+                    }
+                    resumed_rows += 1;
                 }
             }
         };
@@ -627,6 +706,11 @@ fn main() {
         );
         let show_progress = !opts.no_progress;
         let classic_grid = default_grid_for(&backends, if opts.quick { 64 } else { 200 });
+        let (classic_grid, reused) = split_resumed(classic_grid, resume.as_mut());
+        for row in &reused {
+            println!("{:<58} (resumed)", row.cell.scenario);
+            stream_row(SweepRow::Resumed(row));
+        }
         let mut progress = Progress::start(show_progress, "classic sweep", classic_grid.len());
         runner.run_streaming(&classic_grid, |_, result| {
             match &result.outcome {
@@ -640,7 +724,7 @@ fn main() {
                 ),
                 Err(err) => println!("{:<58} unusable: {err}", result.point.label()),
             }
-            stream_row(result);
+            stream_row(SweepRow::Fresh(result));
             progress.tick();
         });
 
@@ -658,6 +742,11 @@ fn main() {
             "scenario", "kb/s", "goodput", "rate", "corrected", "residual", "retx"
         );
         let coded_grid = coded_grid_for(&backends, if opts.quick { 128 } else { 320 }, &opts.codes);
+        let (coded_grid, reused) = split_resumed(coded_grid, resume.as_mut());
+        for row in &reused {
+            println!("{:<64} (resumed)", row.cell.scenario);
+            stream_row(SweepRow::Resumed(row));
+        }
         let mut progress = Progress::start(show_progress, "coded sweep", coded_grid.len());
         runner
             .clone()
@@ -676,7 +765,7 @@ fn main() {
                     ),
                     Err(err) => println!("{:<64} unusable: {err}", result.point.label()),
                 }
-                stream_row(result);
+                stream_row(SweepRow::Fresh(result));
                 progress.tick();
             });
 
@@ -707,6 +796,12 @@ fn main() {
             if opts.quick { 448 } else { 1792 },
             &grid_policies,
         );
+        let (adaptive_grid, reused) = split_resumed(adaptive_grid, resume.as_mut());
+        for row in &reused {
+            println!("{:<68} (resumed)", row.cell.scenario);
+            stream_row(SweepRow::Resumed(row));
+        }
+        let adaptive_resumed = reused.len();
         let mut progress = Progress::start(show_progress, "adaptive sweep", adaptive_grid.len());
         let adaptive_results = runner
             .clone()
@@ -736,11 +831,13 @@ fn main() {
                     }
                     Err(err) => println!("{:<68} unusable: {err}", result.point.label()),
                 }
-                stream_row(result);
+                stream_row(SweepRow::Fresh(result));
                 progress.tick();
             });
         // Per-cell verdict: does the best adaptive policy beat *every*
         // fixed-code configuration of the same (backend, channel) cell?
+        // With resumed rows the fresh results are only a partial view, so
+        // the verdict is skipped (the prior run already reported it).
         let mut cells_won = 0usize;
         let mut cells_total = 0usize;
         for backend in &backends {
@@ -771,7 +868,11 @@ fn main() {
                 }
             }
         }
-        if cells_total > 0 {
+        if adaptive_resumed > 0 {
+            println!(
+                "\n(adaptive-vs-fixed verdict skipped: {adaptive_resumed} rows resumed; see the prior run)"
+            );
+        } else if cells_total > 0 {
             println!(
                 "\nadaptive beats the best fixed code in {cells_won}/{cells_total} backend x channel cells"
             );
@@ -785,6 +886,40 @@ fn main() {
                     eprintln!("error: could not write {}: {err}", path.display());
                     std::process::exit(1);
                 }
+            }
+        }
+        // The headline throughput: simulated rows over the wall-clock of
+        // the sweep sections. Resumed rows are excluded from both sides —
+        // they cost microseconds, and folding them in would turn the number
+        // into a resume-ratio artifact instead of a simulation-speed gauge.
+        let sweep_elapsed = sweep_started.elapsed().as_secs_f64();
+        let rows_per_sec = if fresh_rows > 0 {
+            Some(fresh_rows as f64 / sweep_elapsed.max(1e-9))
+        } else {
+            None
+        };
+        if let Some(rate) = rows_per_sec {
+            match resumed_rows {
+                0 => println!(
+                    "sweep throughput: {fresh_rows} rows in {sweep_elapsed:.2}s ({rate:.1} rows/s)"
+                ),
+                _ => println!(
+                    "sweep throughput: {fresh_rows} fresh rows in {sweep_elapsed:.2}s \
+                     ({rate:.1} rows/s; {resumed_rows} resumed)"
+                ),
+            }
+        } else if resumed_rows > 0 {
+            println!(
+                "sweep throughput: every row resumed ({resumed_rows} rows, nothing simulated)"
+            );
+        }
+        if let Some(cache) = &resume {
+            if !cache.is_empty() {
+                eprintln!(
+                    "note: {} row(s) of the resume file matched no grid point (recorded with \
+                     different flags?)",
+                    cache.len()
+                );
             }
         }
 
@@ -828,7 +963,9 @@ fn main() {
                     "note: --metrics-out {} skipped (telemetry is off or no point finished)",
                     path.display()
                 );
-            } else if let Err(err) = write_metrics_json(path, &merged_metrics, metric_points) {
+            } else if let Err(err) =
+                write_metrics_json(path, &merged_metrics, metric_points, rows_per_sec)
+            {
                 eprintln!("error: could not write {}: {err}", path.display());
                 std::process::exit(1);
             } else {
@@ -846,7 +983,7 @@ fn main() {
                 .as_ref()
                 .expect("baseline implies --check-baseline");
             banner("Baseline regression gate");
-            let report = baseline.compare(&gate_rows, DEFAULT_TOLERANCE);
+            let report = baseline.compare_cells(&gate_cells, DEFAULT_TOLERANCE);
             println!(
                 "compared {} cells against {} (tolerance -{:.0}%); {} fresh-only, {} baseline-only",
                 report.compared,
@@ -890,6 +1027,12 @@ fn main() {
             eprintln!(
                 "note: --backend {name} ignored (it restricts the --sweep grids; the figure \
                  experiments model the paper platform; pass --sweep)"
+            );
+        }
+        if let Some(path) = &opts.resume {
+            eprintln!(
+                "note: --resume {} ignored (it reuses --sweep rows; pass --sweep)",
+                path.display()
             );
         }
         if opts.code_given {

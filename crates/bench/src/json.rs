@@ -165,10 +165,20 @@ pub fn parse_metrics_snapshot(metrics: &JsonValue) -> Result<MetricsSnapshot, St
 /// Serializes the aggregated telemetry of a sweep — `merged` is the
 /// [`MetricsSnapshot::merge`] of `points` per-point snapshots — as the
 /// self-describing [`METRICS_SCHEMA`] document `repro --metrics-out`
-/// writes.
-pub fn metrics_document(merged: &MetricsSnapshot, points: usize) -> String {
+/// writes. `rows_per_sec`, when known, is the sweep's headline throughput:
+/// finished rows over the wall-clock of the sweep sections (resumed rows
+/// excluded from both sides).
+pub fn metrics_document(
+    merged: &MetricsSnapshot,
+    points: usize,
+    rows_per_sec: Option<f64>,
+) -> String {
+    let throughput = match rows_per_sec {
+        Some(rate) => format!("\"rows_per_sec\":{},\n", number(rate)),
+        None => String::new(),
+    };
     format!(
-        "{{\n\"schema\":\"{METRICS_SCHEMA}\",\n\"points\":{points},\n\"metrics\":{}\n}}\n",
+        "{{\n\"schema\":\"{METRICS_SCHEMA}\",\n\"points\":{points},\n{throughput}\"metrics\":{}\n}}\n",
         metrics_json(merged)
     )
 }
@@ -178,8 +188,13 @@ pub fn metrics_document(merged: &MetricsSnapshot, points: usize) -> String {
 /// # Errors
 ///
 /// Propagates filesystem errors from creating or writing the file.
-pub fn write_metrics_json(path: &Path, merged: &MetricsSnapshot, points: usize) -> io::Result<()> {
-    std::fs::write(path, metrics_document(merged, points))
+pub fn write_metrics_json(
+    path: &Path,
+    merged: &MetricsSnapshot,
+    points: usize,
+    rows_per_sec: Option<f64>,
+) -> io::Result<()> {
+    std::fs::write(path, metrics_document(merged, points, rows_per_sec))
 }
 
 fn outcome_fields(out: &mut String, outcome: &SweepOutcome) {
@@ -260,9 +275,10 @@ pub fn sweep_row_json(result: &SweepResult) -> String {
     let mut out = String::new();
     let _ = write!(
         out,
-        "{{\"scenario\":\"{}\",\"backend\":\"{}\",\"channel\":\"{}\",\"noise\":\"{}\",\
-         \"code\":\"{}\",\"policy\":{},\"bits\":{},\"seed\":{},",
+        "{{\"scenario\":\"{}\",\"key\":\"{}\",\"backend\":\"{}\",\"channel\":\"{}\",\
+         \"noise\":\"{}\",\"code\":\"{}\",\"policy\":{},\"bits\":{},\"seed\":{},",
         escape(&point.label()),
+        point.key(),
         escape(&point.backend),
         escape(point.channel.label()),
         escape(point.noise.label()),
@@ -347,10 +363,21 @@ impl SweepJsonWriter {
     ///
     /// Propagates filesystem errors.
     pub fn push(&mut self, result: &SweepResult) -> io::Result<()> {
+        self.push_raw(&sweep_row_json(result))
+    }
+
+    /// Appends one pre-serialized row (a single JSON object, no trailing
+    /// separator) and flushes it — how `repro --resume` carries rows of a
+    /// prior document into the fresh one without re-measuring them.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors.
+    pub fn push_raw(&mut self, row: &str) -> io::Result<()> {
         if self.rows > 0 {
             self.out.write_all(b",\n")?;
         }
-        self.out.write_all(sweep_row_json(result).as_bytes())?;
+        self.out.write_all(row.as_bytes())?;
         self.rows += 1;
         self.out.flush()
     }
@@ -437,6 +464,52 @@ impl JsonValue {
         match self {
             JsonValue::Array(items) => Some(items),
             _ => None,
+        }
+    }
+
+    /// Serializes the value back to compact JSON. Numbers print through the
+    /// same shortest-round-trip formatting the writers use, so a parse →
+    /// serialize trip is value-preserving (if not always byte-identical to
+    /// hand-formatted input).
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        self.write_json(&mut out);
+        out
+    }
+
+    fn write_json(&self, out: &mut String) {
+        match self {
+            JsonValue::Null => out.push_str("null"),
+            JsonValue::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            JsonValue::Number(n) => out.push_str(&number(*n)),
+            JsonValue::String(s) => {
+                out.push('"');
+                out.push_str(&escape(s));
+                out.push('"');
+            }
+            JsonValue::Array(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    item.write_json(out);
+                }
+                out.push(']');
+            }
+            JsonValue::Object(pairs) => {
+                out.push('{');
+                for (i, (key, value)) in pairs.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    out.push('"');
+                    out.push_str(&escape(key));
+                    out.push_str("\":");
+                    value.write_json(out);
+                }
+                out.push('}');
+            }
         }
     }
 }
@@ -1016,7 +1089,7 @@ mod tests {
 
         let dir = std::env::temp_dir();
         let path = dir.join("leaky_buddies_metrics_doc_test.json");
-        write_metrics_json(&path, &merged, points).expect("temp file writable");
+        write_metrics_json(&path, &merged, points, Some(12.5)).expect("temp file writable");
         let body = std::fs::read_to_string(&path).expect("file readable");
         let _ = std::fs::remove_file(&path);
 
@@ -1028,6 +1101,10 @@ mod tests {
         assert_eq!(
             document.get("points").and_then(JsonValue::as_f64),
             Some(points as f64)
+        );
+        assert_eq!(
+            document.get("rows_per_sec").and_then(JsonValue::as_f64),
+            Some(12.5)
         );
         let parsed = parse_metrics_snapshot(document.get("metrics").expect("metrics object"))
             .expect("metrics parse");

@@ -9,15 +9,17 @@
 
 pub mod baseline;
 pub mod json;
+pub mod resume;
 pub mod sweep;
 pub mod tracefile;
 
-pub use baseline::{Baseline, BaselineReport, Regression, DEFAULT_TOLERANCE};
+pub use baseline::{Baseline, BaselineCell, BaselineReport, Regression, DEFAULT_TOLERANCE};
 pub use json::{
     metrics_document, metrics_json, parse_json, parse_metrics_snapshot, sweep_results_to_json,
     sweep_row_json, write_metrics_json, write_sweep_json, JsonValue, SweepJsonWriter,
     METRICS_SCHEMA, SWEEP_SCHEMA,
 };
+pub use resume::{ResumeCache, ResumedRow};
 pub use sweep::{
     adaptive_grid, adaptive_grid_for, coded_grid, coded_grid_for, default_grid, default_grid_for,
     effective_engine, record_point_trace, run_point, run_point_configured, run_point_with_registry,

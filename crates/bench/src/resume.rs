@@ -1,0 +1,246 @@
+//! Resumable sweeps: reuse rows of a prior `--sweep --out` document.
+//!
+//! A sweep row is a pure function of its [`SweepPoint`] — the simulator is
+//! deterministic per seed — so a row measured yesterday is exactly the row
+//! the same point would produce today, as long as the point's configuration
+//! is unchanged. Every row therefore carries its point's
+//! [`SweepPoint::key`]: an order-independent hash over *all* grid axes,
+//! including the ones the scenario label elides. `repro --resume
+//! <prior.json>` loads such a document into a [`ResumeCache`], and the
+//! sweep consults it point by point: a key hit replays the stored row
+//! verbatim (into the terminal, the `--out` document, the telemetry
+//! aggregate and the baseline gate) and only the misses — new cells, new
+//! seeds, changed configurations — are simulated.
+//!
+//! Rows that recorded a failure are *not* reused: an error row may be a
+//! time-budget artifact of the recording machine, and re-running it is the
+//! only way to find out. Rows without a `key` field (documents written
+//! before the field existed) are skipped the same way.
+//!
+//! [`SweepPoint`]: crate::sweep::SweepPoint
+//! [`SweepPoint::key`]: crate::sweep::SweepPoint::key
+
+use crate::baseline::BaselineCell;
+use crate::json::{parse_json, parse_metrics_snapshot, JsonValue, SWEEP_SCHEMA};
+use soc_sim::prelude::MetricsSnapshot;
+use std::collections::HashMap;
+use std::path::Path;
+
+/// One reusable row of a prior sweep document.
+#[derive(Debug, Clone)]
+pub struct ResumedRow {
+    /// The row as a single JSON object, ready for
+    /// [`SweepJsonWriter::push_raw`](crate::json::SweepJsonWriter::push_raw)
+    /// (re-serialized from the parsed document: value-identical to the
+    /// prior file, byte-identical when that file came from the writer).
+    pub raw: String,
+    /// The gate-comparable cell (scenario, bits, seed, goodput).
+    pub cell: BaselineCell,
+    /// The row's telemetry snapshot, if it carried one — merged into the
+    /// fresh run's aggregate so `--metrics-out` still covers every point.
+    pub metrics: Option<MetricsSnapshot>,
+}
+
+/// An indexed prior sweep document (see the module docs).
+#[derive(Debug, Clone, Default)]
+pub struct ResumeCache {
+    rows: HashMap<String, ResumedRow>,
+    total_rows: usize,
+}
+
+impl ResumeCache {
+    /// Parses a `--sweep --out` document into a reuse index.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message for unreadable JSON, a missing or foreign `schema`
+    /// tag, or a malformed `results` array — `repro` exits 2 on any of
+    /// these, because silently re-running everything would defeat the
+    /// point of `--resume`.
+    pub fn parse(text: &str) -> Result<ResumeCache, String> {
+        let document = parse_json(text).map_err(|err| format!("not valid JSON: {err}"))?;
+        let schema = document.get("schema").and_then(JsonValue::as_str);
+        if schema != Some(SWEEP_SCHEMA) {
+            return Err(format!(
+                "schema {schema:?} is not {SWEEP_SCHEMA:?} — not a sweep document"
+            ));
+        }
+        let results = document
+            .get("results")
+            .and_then(JsonValue::as_array)
+            .ok_or_else(|| "document has no 'results' array".to_string())?;
+        let mut rows = HashMap::new();
+        for (index, row) in results.iter().enumerate() {
+            let Some(key) = row.get("key").and_then(JsonValue::as_str) else {
+                continue; // Pre-`key` document: the row cannot be matched.
+            };
+            if row.get("ok").and_then(JsonValue::as_bool) != Some(true) {
+                continue; // Failure rows are re-run, not reused.
+            }
+            let scenario = row
+                .get("scenario")
+                .and_then(JsonValue::as_str)
+                .ok_or_else(|| format!("row {index} has no 'scenario' string"))?
+                .to_string();
+            let number = |field: &str| -> Result<f64, String> {
+                row.get(field)
+                    .and_then(JsonValue::as_f64)
+                    .ok_or_else(|| format!("row {index} ({scenario}) has no '{field}'"))
+            };
+            let cell = BaselineCell {
+                bits: number("bits")? as u64,
+                seed: number("seed")? as u64,
+                goodput_kbps: Some(number("goodput_kbps")?),
+                scenario,
+            };
+            let metrics = match row.get("metrics") {
+                None => None,
+                Some(metrics) => Some(
+                    parse_metrics_snapshot(metrics).map_err(|err| format!("row {index}: {err}"))?,
+                ),
+            };
+            rows.insert(
+                key.to_string(),
+                ResumedRow {
+                    raw: row.to_json(),
+                    cell,
+                    metrics,
+                },
+            );
+        }
+        Ok(ResumeCache {
+            rows,
+            total_rows: results.len(),
+        })
+    }
+
+    /// Reads and parses a prior sweep file.
+    ///
+    /// # Errors
+    ///
+    /// Filesystem errors and [`ResumeCache::parse`] errors, as a message
+    /// naming the file.
+    pub fn load(path: &Path) -> Result<ResumeCache, String> {
+        let text = std::fs::read_to_string(path)
+            .map_err(|err| format!("could not read {}: {err}", path.display()))?;
+        ResumeCache::parse(&text).map_err(|err| format!("{}: {err}", path.display()))
+    }
+
+    /// Takes the reusable row for a point key, consuming it — each prior
+    /// row backs at most one fresh row, so a (pathological) grid with
+    /// duplicate points re-measures the duplicates.
+    pub fn take(&mut self, key: &str) -> Option<ResumedRow> {
+        self.rows.remove(key)
+    }
+
+    /// Reusable rows remaining in the cache.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether no reusable rows remain.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Rows the prior document held in total, including failed and
+    /// key-less rows that were never indexed.
+    pub fn total_rows(&self) -> usize {
+        self.total_rows
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json::sweep_results_to_json;
+    use crate::sweep::{default_grid_for, SweepRunner};
+
+    #[test]
+    fn every_row_of_a_fresh_document_is_reusable_by_its_point_key() {
+        let grid = default_grid_for(&["kabylake-gen9"], 24);
+        let results = SweepRunner::new(2).run(&grid);
+        let document = sweep_results_to_json(&results);
+        let mut cache = ResumeCache::parse(&document).expect("parses");
+        assert_eq!(cache.total_rows(), results.len());
+        assert_eq!(
+            cache.len(),
+            results.iter().filter(|r| r.outcome.is_ok()).count()
+        );
+        for result in results.iter().filter(|r| r.outcome.is_ok()) {
+            let row = cache
+                .take(&result.point.key())
+                .expect("fresh rows index under their point key");
+            assert_eq!(row.cell.scenario, result.point.label());
+            assert_eq!(row.cell.bits, result.point.bits as u64);
+            assert_eq!(row.cell.seed, result.point.seed);
+            let outcome = result.outcome.as_ref().unwrap();
+            assert_eq!(row.cell.goodput_kbps, Some(outcome.goodput_kbps));
+            // The raw row parses back to the same value as the original.
+            let reparsed = parse_json(&row.raw).expect("raw row is valid JSON");
+            assert_eq!(
+                reparsed.get("key").and_then(JsonValue::as_str),
+                Some(result.point.key().as_str())
+            );
+            let metrics = row.metrics.expect("telemetry on by default");
+            assert_eq!(
+                metrics.counter("link.frames_sent"),
+                Some(outcome.frames_sent as u64)
+            );
+        }
+        assert!(cache.is_empty(), "every row taken exactly once");
+    }
+
+    #[test]
+    fn failure_rows_and_keyless_rows_are_not_reused() {
+        let mut point = crate::sweep::SweepPoint::paper_default(
+            "no-such-backend",
+            crate::sweep::ChannelKind::RingContention,
+            crate::sweep::NoiseLevel::Quiet,
+        );
+        point.bits = 16;
+        let results = SweepRunner::new(1).run(std::slice::from_ref(&point));
+        assert!(results[0].outcome.is_err());
+        let mut cache = ResumeCache::parse(&sweep_results_to_json(&results)).expect("parses");
+        assert_eq!(cache.total_rows(), 1);
+        assert!(cache.take(&point.key()).is_none(), "failed rows re-run");
+
+        // A pre-`key` document (the field stripped) indexes nothing.
+        let legacy = sweep_results_to_json(&results).replace("\"key\":", "\"old_key\":");
+        let cache = ResumeCache::parse(&legacy).expect("parses");
+        assert!(cache.is_empty());
+    }
+
+    #[test]
+    fn foreign_documents_are_rejected() {
+        assert!(ResumeCache::parse("{not json").is_err());
+        assert!(ResumeCache::parse("{\"schema\":\"other/v1\",\"results\":[]}").is_err());
+        assert!(
+            ResumeCache::parse(&format!("{{\"schema\":\"{SWEEP_SCHEMA}\"}}")).is_err(),
+            "a document without rows is not resumable"
+        );
+    }
+
+    #[test]
+    fn point_keys_separate_every_axis_the_label_elides() {
+        let base = crate::sweep::SweepPoint::paper_default(
+            "kabylake-gen9",
+            crate::sweep::ChannelKind::LlcPrimeProbe,
+            crate::sweep::NoiseLevel::Quiet,
+        );
+        let mut seeded = base.clone();
+        seeded.seed ^= 0xDEAD;
+        let mut sized = base.clone();
+        sized.bits += 1;
+        let mut turned = base.clone();
+        turned.direction = covert::prelude::Direction::CpuToGpu;
+        let keys = [base.key(), seeded.key(), sized.key(), turned.key()];
+        for (i, a) in keys.iter().enumerate() {
+            assert_eq!(a.len(), 16, "fixed-width hex");
+            for b in &keys[i + 1..] {
+                assert_ne!(a, b, "distinct points must not collide");
+            }
+        }
+        assert_eq!(base.key(), base.clone().key(), "stable across calls");
+    }
+}

@@ -7,11 +7,22 @@
 //! its backend axis is a **registry key** resolved through
 //! [`BackendRegistry`], so grids, JSON rows and the CLI select platforms by
 //! name and a new topology needs no sweep-side plumbing. The [`SweepRunner`]
-//! fans a list of points across OS threads with `std::thread::scope`, builds
-//! an isolated backend + channel per point, and drives it through the shared
-//! [`Transceiver`] engine. [`SweepRunner::run_streaming`] surfaces each row
-//! the moment its point finishes (completion order), so long grids can be
-//! printed, serialized or aborted incrementally.
+//! fans a list of points across OS threads with `std::thread::scope`, gives
+//! every point an isolated backend + channel, and drives it through the
+//! shared [`Transceiver`] engine. [`SweepRunner::run_streaming`] surfaces
+//! each row the moment its point finishes (completion order), so long grids
+//! can be printed, serialized or aborted incrementally.
+//!
+//! Channel setup (backend construction, eviction-set building, warm-up,
+//! calibration) is deterministic in the *cell* axes — backend, channel
+//! family, noise, direction/strategy/set-count (or buffer/work-group
+//! geometry) and seed — and independent of the code, policy and payload
+//! axes. Each worker therefore keeps the last cell's fully calibrated
+//! channel as a cell template and clones it per point instead of
+//! rebuilding it; grids enumerate cells contiguously, so a single slot
+//! per worker captures nearly every reuse. A clone is a value snapshot
+//! (caches, RNGs, calibration), so per-point isolation and bit-identical
+//! results are preserved by construction.
 //!
 //! Failures are data: a point whose channel cannot even be set up (the
 //! custom timer drowning in noise, buffers overflowing a partitioned LLC,
@@ -217,6 +228,41 @@ impl SweepPoint {
             label.push_str(policy.label());
         }
         label
+    }
+
+    /// Stable identity of the row this point produces, as 16 hex digits:
+    /// an FNV-1a 64-bit hash over *every* grid axis (including the ones the
+    /// row label elides — direction, payload size, seed). `repro --resume`
+    /// matches prior rows against a fresh grid by this key, so two points
+    /// share a key exactly when they would produce the same row.
+    pub fn key(&self) -> String {
+        let canonical = format!(
+            "{}|{}|{}|{}|{}|{}|{}|{}|{}|{}|{}|{}",
+            self.backend,
+            self.channel.label(),
+            self.noise.label(),
+            self.code.label(),
+            match self.policy {
+                Some(policy) => policy.label(),
+                None => "-",
+            },
+            self.direction.label(),
+            self.strategy.label(),
+            self.sets_per_role,
+            self.gpu_buffer_bytes,
+            self.workgroups,
+            self.bits,
+            self.seed,
+        );
+        // FNV-1a, 64-bit: tiny, dependency-free and stable across runs —
+        // unlike `DefaultHasher`, whose output the std docs leave free to
+        // change between releases.
+        let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+        for byte in canonical.bytes() {
+            hash ^= u64::from(byte);
+            hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        format!("{hash:016x}")
     }
 }
 
@@ -494,6 +540,171 @@ pub fn record_point_trace(
     }
 }
 
+/// A constructed, warmed-up and calibrated channel for one grid *cell*,
+/// reusable across the code/policy/payload axes that share the cell. The
+/// template is cloned per point — every point still runs on its own value
+/// snapshot of the backend, eviction sets, RNG state and calibration, so
+/// results are bit-identical to rebuilding the channel from scratch.
+#[derive(Debug, Clone)]
+struct CellTemplate {
+    key: String,
+    channel: ChannelTemplate,
+    /// Snapshot of the telemetry the setup phase produced (backend traffic
+    /// during eviction-set construction, warm-up and calibration). Merged
+    /// into every derived point's per-point snapshot so rows carry exactly
+    /// the metrics a from-scratch run would have accumulated.
+    setup_metrics: Option<MetricsSnapshot>,
+}
+
+#[derive(Debug, Clone)]
+enum ChannelTemplate {
+    Llc(Box<LlcChannel<BackendInstance>>),
+    Contention(Box<ContentionChannel<BackendInstance>>),
+}
+
+/// The axes channel setup depends on. Code, policy and payload length are
+/// deliberately absent: they only shape the transmission driven *after*
+/// setup, so points differing in nothing else share one template.
+fn template_key(point: &SweepPoint) -> String {
+    format!(
+        "{}|{:?}|{:?}|{:?}|{:?}|{}|{}|{}|{}",
+        point.backend,
+        point.channel,
+        point.noise,
+        point.direction,
+        point.strategy,
+        point.sets_per_role,
+        point.gpu_buffer_bytes,
+        point.workgroups,
+        point.seed,
+    )
+}
+
+/// Builds and calibrates the channel for a point's cell. Both channel
+/// families cache the calibration internally, so [`finish_point`]'s
+/// `calibrate()` call on a derived clone returns the stored result without
+/// touching the simulation again.
+fn build_template(
+    point: &SweepPoint,
+    registry: &BackendRegistry,
+    telemetry: bool,
+) -> Result<CellTemplate, ChannelError> {
+    let instruments = telemetry.then(Registry::new);
+    let (spec, soc_config) = resolve_backend(point, registry)?;
+    let mut soc = spec.instantiate(soc_config.clone());
+    if let Some(reg) = &instruments {
+        soc.attach_telemetry(reg);
+    }
+    let channel = match point.channel {
+        ChannelKind::LlcPrimeProbe => {
+            let config = llc_channel_config(point, soc_config);
+            let mut channel = LlcChannel::with_backend(soc, config)?;
+            CovertChannel::calibrate(&mut channel)?;
+            ChannelTemplate::Llc(Box::new(channel))
+        }
+        ChannelKind::RingContention => {
+            let config = contention_channel_config(point, soc_config);
+            let mut channel = ContentionChannel::with_backend(soc, config)?;
+            CovertChannel::calibrate(&mut channel)?;
+            ChannelTemplate::Contention(Box::new(channel))
+        }
+    };
+    Ok(CellTemplate {
+        key: template_key(point),
+        channel,
+        setup_metrics: instruments.as_ref().map(Registry::snapshot),
+    })
+}
+
+/// Runs one point on a clone of its cell's template. The clone gets a fresh
+/// per-point registry (the template's instruments still point at the setup
+/// registry); the setup snapshot is merged into the point's snapshot
+/// afterwards, which reproduces the single-registry totals exactly —
+/// counters add and histogram buckets union, and no instrument on these
+/// paths is order-sensitive.
+fn run_point_from_template(
+    point: &SweepPoint,
+    base: &TransceiverConfig,
+    cell: &CellTemplate,
+    telemetry: bool,
+) -> SweepResult {
+    let instruments = telemetry.then(Registry::new);
+    let mut engine = Transceiver::new(effective_engine(point, base));
+    if let Some(reg) = &instruments {
+        engine = engine.with_telemetry(reg);
+    }
+    let payload = test_pattern(point.bits, point.seed ^ 0x5EED);
+    let outcome = match &cell.channel {
+        ChannelTemplate::Llc(template) => {
+            let mut channel = template.clone();
+            if let Some(reg) = &instruments {
+                channel.backend_mut().attach_telemetry(reg);
+            }
+            finish_point(
+                &mut *channel,
+                &engine,
+                point,
+                &payload,
+                instruments.as_ref(),
+            )
+        }
+        ChannelTemplate::Contention(template) => {
+            let mut channel = template.clone();
+            if let Some(reg) = &instruments {
+                channel.backend_mut().attach_telemetry(reg);
+            }
+            finish_point(
+                &mut *channel,
+                &engine,
+                point,
+                &payload,
+                instruments.as_ref(),
+            )
+        }
+    };
+    let outcome = outcome.map(|mut outcome| {
+        if let (Some(setup), Some(metrics)) = (&cell.setup_metrics, outcome.metrics.as_mut()) {
+            let mut merged = setup.clone();
+            merged.merge(metrics);
+            *metrics = merged;
+        }
+        outcome
+    });
+    SweepResult {
+        point: point.clone(),
+        outcome,
+    }
+}
+
+/// Runs one point through a worker's single-slot template cache: reuse the
+/// cached template on a key match, otherwise rebuild it (dropping the stale
+/// one first). A cell whose setup fails is not cached — every point of the
+/// cell reports the setup error as its own row, exactly as the uncached
+/// path would.
+fn run_point_cached(
+    point: &SweepPoint,
+    base: &TransceiverConfig,
+    registry: &BackendRegistry,
+    telemetry: bool,
+    cache: &mut Option<CellTemplate>,
+) -> SweepResult {
+    let key = template_key(point);
+    if cache.as_ref().is_none_or(|cell| cell.key != key) {
+        *cache = None;
+        match build_template(point, registry, telemetry) {
+            Ok(cell) => *cache = Some(cell),
+            Err(err) => {
+                return SweepResult {
+                    point: point.clone(),
+                    outcome: Err(err),
+                }
+            }
+        }
+    }
+    let cell = cache.as_ref().expect("template cached above");
+    run_point_from_template(point, base, cell, telemetry)
+}
+
 /// Fans sweep points across OS threads.
 #[derive(Debug, Clone)]
 pub struct SweepRunner {
@@ -591,25 +802,30 @@ impl SweepRunner {
                 let sender = sender.clone();
                 scope.spawn(|| {
                     let sender = sender;
-                    let engine = Transceiver::new(self.engine);
+                    // Single-slot template cache: grids enumerate cells
+                    // contiguously, so the previous point's template almost
+                    // always serves the next point on the same worker.
+                    let mut cache: Option<CellTemplate> = None;
                     loop {
                         let index = next.fetch_add(1, Ordering::Relaxed);
                         if index >= points.len() {
                             break;
                         }
                         let result = match self.point_budget {
-                            None => run_point_configured(
+                            None => run_point_cached(
                                 &points[index],
-                                &engine,
+                                &self.engine,
                                 &self.registry,
                                 self.telemetry,
+                                &mut cache,
                             ),
                             Some(budget) => run_point_with_budget(
                                 &points[index],
-                                &engine,
+                                &self.engine,
                                 budget,
                                 &self.registry,
                                 self.telemetry,
+                                &mut cache,
                             ),
                         };
                         // A dropped receiver means the callback side is gone;
@@ -639,30 +855,61 @@ impl SweepRunner {
 /// `budget`. Abandonment leaks the worker until it finishes on its own —
 /// the simulation has no preemption points — but the sweep itself proceeds
 /// and the row records the budget violation as data.
+///
+/// The template cache lives with the calling worker, not the detached
+/// thread: on a cache hit the thread gets a clone and the worker keeps its
+/// template even if the point is abandoned; on a miss the whole setup +
+/// transmission runs under the budget and the freshly built template is
+/// shipped back with the row (and simply lost with it on a timeout).
 fn run_point_with_budget(
     point: &SweepPoint,
-    engine: &Transceiver,
+    base: &TransceiverConfig,
     budget: Duration,
     registry: &BackendRegistry,
     telemetry: bool,
+    cache: &mut Option<CellTemplate>,
 ) -> SweepResult {
+    let key = template_key(point);
+    if cache.as_ref().is_none_or(|cell| cell.key != key) {
+        *cache = None;
+    }
+    let reuse = cache.clone();
     let (sender, receiver) = mpsc::channel();
     let worker_point = point.clone();
-    let engine_config = *engine.config();
+    let engine_config = *base;
     let worker_registry = registry.clone();
     std::thread::spawn(move || {
-        let engine = Transceiver::new(engine_config);
+        let outcome = match reuse {
+            Some(cell) => (
+                run_point_from_template(&worker_point, &engine_config, &cell, telemetry),
+                None,
+            ),
+            None => match build_template(&worker_point, &worker_registry, telemetry) {
+                Ok(cell) => {
+                    let row =
+                        run_point_from_template(&worker_point, &engine_config, &cell, telemetry);
+                    (row, Some(cell))
+                }
+                Err(err) => (
+                    SweepResult {
+                        point: worker_point.clone(),
+                        outcome: Err(err),
+                    },
+                    None,
+                ),
+            },
+        };
         // A receiver dropped after timeout makes this send fail; that is the
         // expected fate of an abandoned point.
-        let _ = sender.send(run_point_configured(
-            &worker_point,
-            &engine,
-            &worker_registry,
-            telemetry,
-        ));
+        let _ = sender.send(outcome);
     });
     match receiver.recv_timeout(budget) {
-        Ok(result) => result,
+        Ok((result, built)) => {
+            if built.is_some() {
+                *cache = built;
+            }
+            result
+        }
         Err(_) => SweepResult {
             point: point.clone(),
             outcome: Err(ChannelError::TimeBudgetExceeded {

@@ -1,0 +1,95 @@
+//! End-to-end `repro --resume`: a second sweep over the same grid reuses
+//! every row of the first run's document — byte-identically — and foreign
+//! resume files are rejected with a hard exit.
+//!
+//! Restricted to the trace-replay backend so the sweep serves recorded
+//! latencies instead of simulating the hierarchy; the resume plumbing under
+//! test is identical for every backend.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+fn repro() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_repro"))
+}
+
+fn tmp(name: &str) -> PathBuf {
+    let dir = PathBuf::from(env!("CARGO_TARGET_TMPDIR"));
+    std::fs::create_dir_all(&dir).expect("tmpdir exists");
+    dir.join(name)
+}
+
+#[test]
+fn resume_reuses_every_row_and_rejects_foreign_files() {
+    let first = tmp("resume_e2e_first.json");
+    let second = tmp("resume_e2e_second.json");
+
+    let fresh = repro()
+        .args([
+            "--quick",
+            "--sweep",
+            "--backend",
+            "trace-replay",
+            "--no-progress",
+        ])
+        .arg("--out")
+        .arg(&first)
+        .output()
+        .expect("repro runs");
+    assert!(fresh.status.success(), "fresh sweep failed: {fresh:?}");
+
+    let resumed = repro()
+        .args([
+            "--quick",
+            "--sweep",
+            "--backend",
+            "trace-replay",
+            "--no-progress",
+        ])
+        .arg("--resume")
+        .arg(&first)
+        .arg("--out")
+        .arg(&second)
+        .output()
+        .expect("repro runs");
+    assert!(
+        resumed.status.success(),
+        "resumed sweep failed: {resumed:?}"
+    );
+    let stdout = String::from_utf8_lossy(&resumed.stdout);
+    assert!(
+        stdout.contains("(resuming:"),
+        "missing resume banner in:\n{stdout}"
+    );
+    assert!(
+        stdout.contains("every row resumed"),
+        "some rows were re-simulated:\n{stdout}"
+    );
+
+    // Not just value-identical: the replayed rows are the recorded bytes.
+    let first_doc = std::fs::read(&first).expect("first document");
+    let second_doc = std::fs::read(&second).expect("second document");
+    assert_eq!(first_doc, second_doc, "resumed document diverged");
+
+    // A non-sweep file must abort the run (exit 2), not silently re-sweep.
+    let foreign = tmp("resume_e2e_foreign.json");
+    std::fs::write(&foreign, "{\"schema\":\"other/v1\",\"results\":[]}").unwrap();
+    let rejected = repro()
+        .args([
+            "--quick",
+            "--sweep",
+            "--backend",
+            "trace-replay",
+            "--no-progress",
+        ])
+        .arg("--resume")
+        .arg(&foreign)
+        .output()
+        .expect("repro runs");
+    assert_eq!(rejected.status.code(), Some(2), "foreign file not rejected");
+    let stderr = String::from_utf8_lossy(&rejected.stderr);
+    assert!(
+        stderr.contains("not a sweep document"),
+        "unexpected rejection message:\n{stderr}"
+    );
+}

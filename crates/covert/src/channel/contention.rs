@@ -30,7 +30,7 @@ use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use soc_sim::clock::Time;
 use soc_sim::page_table::PageKind;
-use soc_sim::prelude::{MemorySystem, PhysAddr, Soc, SocConfig};
+use soc_sim::prelude::{AccessOutcome, BatchRequest, MemorySystem, PhysAddr, Soc, SocConfig};
 
 /// Configuration of the contention channel.
 #[derive(Debug, Clone)]
@@ -155,7 +155,11 @@ impl CalibrationResult {
 }
 
 /// A fully set-up contention channel (owns the SoC and both processes).
-#[derive(Debug)]
+///
+/// Cloning snapshots the whole channel — backend, line tables, RNG and
+/// calibration — so a deterministic setup can be paid for once and reused
+/// across runs that share it (the sweep runner's per-cell template cache).
+#[derive(Debug, Clone)]
 pub struct ContentionChannel<M: MemorySystem = Soc> {
     config: ContentionChannelConfig,
     soc: M,
@@ -166,14 +170,25 @@ pub struct ContentionChannel<M: MemorySystem = Soc> {
     cpu_lines: Vec<PhysAddr>,
     /// Trojan lines in pointer-chase order (disjoint LLC sets from the spy's).
     gpu_lines: Vec<PhysAddr>,
-    /// Lines used by the ambient background burst generator.
-    background_lines: Vec<PhysAddr>,
     /// Per-bit GPU window length in lines.
     gpu_window_lines: usize,
     cursor_cpu: usize,
     cursor_gpu: usize,
     calibration: Option<CalibrationResult>,
     rng: SmallRng,
+    /// Precomputed spy batch: one `CpuLoad` per entry of `cpu_lines`, in
+    /// order — a measurement window is a wrapping slice of this table.
+    cpu_batch: Vec<BatchRequest>,
+    /// Precomputed ambient burst: `clflush` + reload pairs over the first
+    /// 96 background lines, on the background core.
+    background_batch: Vec<BatchRequest>,
+    /// Worst-case subslice oversubscription of the trojan's placement
+    /// (fixed once the kernel is launched).
+    oversub: usize,
+    /// Reusable per-bit trojan access sequence (window × iteration factor).
+    gpu_accesses_buf: Vec<PhysAddr>,
+    /// Reusable outcome buffer for batched passes.
+    scratch: Vec<AccessOutcome>,
 }
 
 /// Fraction of the GPU buffer touched per bit window (before the iteration
@@ -270,20 +285,44 @@ impl<M: MemorySystem> ContentionChannel<M> {
 
         let gpu_window_lines = (config.gpu_buffer_lines() / GPU_WINDOW_DIVISOR).max(16) as usize;
 
+        let spy = CpuThread::pinned(0);
+        let background = CpuThread::pinned(2);
+        let cpu_batch = cpu_lines.iter().map(|&a| spy.load_request(a)).collect();
+        let background_batch = background_lines
+            .iter()
+            .take(96)
+            .flat_map(|&a| [BatchRequest::Flush { paddr: a }, background.load_request(a)])
+            .collect();
+        let oversub = gpu
+            .placements()
+            .iter()
+            .fold(std::collections::HashMap::new(), |mut m, p| {
+                *m.entry(p.subslice).or_insert(0usize) += 1;
+                m
+            })
+            .values()
+            .copied()
+            .max()
+            .unwrap_or(1);
+
         let mut channel = ContentionChannel {
             rng: SmallRng::seed_from_u64(config.seed ^ 0x5151_1515),
-            spy: CpuThread::pinned(0),
-            background: CpuThread::pinned(2),
+            spy,
+            background,
             gpu,
             cpu_lines,
             gpu_lines,
-            background_lines,
             gpu_window_lines,
             cursor_cpu: 0,
             cursor_gpu: 0,
             calibration: None,
             soc,
             config,
+            cpu_batch,
+            background_batch,
+            oversub,
+            gpu_accesses_buf: Vec::new(),
+            scratch: Vec::new(),
         };
         channel.warm_up();
         Ok(channel)
@@ -299,6 +338,12 @@ impl<M: MemorySystem> ContentionChannel<M> {
         &self.soc
     }
 
+    /// Mutable access to the backend, e.g. to re-attach a fresh telemetry
+    /// registry after cloning a calibrated channel template.
+    pub fn backend_mut(&mut self) -> &mut M {
+        &mut self.soc
+    }
+
     /// The calibration result, if [`ContentionChannel::calibrate`] has run.
     pub fn calibration(&self) -> Option<&CalibrationResult> {
         self.calibration.as_ref()
@@ -312,46 +357,60 @@ impl<M: MemorySystem> ContentionChannel<M> {
 
     /// Warm both buffers into the LLC (steps 4 and 5 of Figure 6).
     fn warm_up(&mut self) {
-        let cpu_lines = self.cpu_lines.clone();
-        for &a in &cpu_lines {
-            self.spy.load(&mut self.soc, a);
+        let ContentionChannel {
+            spy,
+            gpu,
+            soc,
+            cpu_lines,
+            gpu_lines,
+            ..
+        } = self;
+        for &a in cpu_lines.iter() {
+            spy.load(soc, a);
         }
-        let gpu_lines = self.gpu_lines.clone();
-        self.gpu.synchronize_to(self.spy.now());
-        self.gpu.parallel_load(&mut self.soc, &gpu_lines);
-        self.spy.synchronize_to(self.gpu.now());
+        gpu.synchronize_to(spy.now());
+        gpu.parallel_load(soc, gpu_lines);
+        spy.synchronize_to(gpu.now());
     }
 
-    /// Next window of spy lines (wrapping).
-    fn next_cpu_window(&mut self) -> Vec<PhysAddr> {
-        let n = self.config.cpu_lines_per_bit;
-        let mut out = Vec::with_capacity(n);
-        for _ in 0..n {
-            out.push(self.cpu_lines[self.cursor_cpu]);
-            self.cursor_cpu = (self.cursor_cpu + 1) % self.cpu_lines.len();
-        }
-        out
-    }
-
-    /// Next window of trojan lines (wrapping).
-    fn next_gpu_window(&mut self) -> Vec<PhysAddr> {
-        let n = self.gpu_window_lines;
-        let mut out = Vec::with_capacity(n);
-        for _ in 0..n {
-            out.push(self.gpu_lines[self.cursor_gpu]);
+    /// Fills the reusable trojan access sequence with `iterations` wrapping
+    /// windows of `gpu_window_lines` lines, advancing the trojan cursor.
+    fn fill_gpu_accesses(&mut self, iterations: u32) {
+        let total = self.gpu_window_lines * iterations as usize;
+        self.gpu_accesses_buf.clear();
+        self.gpu_accesses_buf.reserve(total);
+        for _ in 0..total {
+            self.gpu_accesses_buf.push(self.gpu_lines[self.cursor_gpu]);
             self.cursor_gpu = (self.cursor_gpu + 1) % self.gpu_lines.len();
         }
-        out
     }
 
     /// Times one CPU measurement window with no concurrent GPU traffic.
+    ///
+    /// The window is a wrapping slice of the precomputed `cpu_batch` table,
+    /// issued as (at most two) chained batches — timing-identical to the
+    /// per-access loop, with no per-bit allocation.
     fn measure_quiet_window(&mut self) -> u64 {
-        let window = self.next_cpu_window();
-        let before = self.spy.rdtsc();
-        for &a in &window {
-            self.spy.load(&mut self.soc, a);
+        let n = self.config.cpu_lines_per_bit;
+        let len = self.cpu_lines.len();
+        let ContentionChannel {
+            spy,
+            soc,
+            cpu_batch,
+            scratch,
+            cursor_cpu,
+            ..
+        } = self;
+        let before = spy.rdtsc();
+        let mut remaining = n;
+        while remaining > 0 {
+            let take = remaining.min(len - *cursor_cpu);
+            scratch.clear();
+            spy.run_batch(soc, &cpu_batch[*cursor_cpu..*cursor_cpu + take], scratch);
+            *cursor_cpu = (*cursor_cpu + take) % len;
+            remaining -= take;
         }
-        self.spy.rdtsc() - before
+        spy.rdtsc() - before
     }
 
     /// Times one CPU measurement window while the GPU streams `iterations`
@@ -362,27 +421,15 @@ impl<M: MemorySystem> ContentionChannel<M> {
         let t = self.spy.now().max(self.gpu.now());
         self.spy.synchronize_to(t);
         self.gpu.synchronize_to(t);
-        let cpu_window = self.next_cpu_window();
-        let mut gpu_accesses: Vec<PhysAddr> = Vec::new();
-        for _ in 0..iterations {
-            gpu_accesses.extend(self.next_gpu_window());
-        }
+        let n = self.config.cpu_lines_per_bit;
+        let cpu_len = self.cpu_lines.len();
+        let cpu_start = self.cursor_cpu;
+        self.cursor_cpu = (self.cursor_cpu + n) % cpu_len;
+        self.fill_gpu_accesses(iterations);
         // Oversubscribed subslices add dispatch jitter before the trojan's
         // traffic starts flowing.
-        let oversub = self
-            .gpu
-            .placements()
-            .iter()
-            .fold(std::collections::HashMap::new(), |mut m, p| {
-                *m.entry(p.subslice).or_insert(0usize) += 1;
-                m
-            })
-            .values()
-            .copied()
-            .max()
-            .unwrap_or(1);
-        if oversub > 1 {
-            let jitter_ns = self.rng.gen_range(0..(oversub as u64) * 400);
+        if self.oversub > 1 {
+            let jitter_ns = self.rng.gen_range(0..(self.oversub as u64) * 400);
             self.gpu.advance(Time::from_ns(jitter_ns));
         }
 
@@ -390,25 +437,26 @@ impl<M: MemorySystem> ContentionChannel<M> {
         let mut cpu_idx = 0usize;
         let mut gpu_idx = 0usize;
         let before = self.spy.rdtsc();
-        while cpu_idx < cpu_window.len() {
-            let gpu_has_work = gpu_idx < gpu_accesses.len();
+        while cpu_idx < n {
+            let gpu_has_work = gpu_idx < self.gpu_accesses_buf.len();
             if gpu_has_work && self.gpu.now() <= self.spy.now() {
-                let end = (gpu_idx + group).min(gpu_accesses.len());
-                let chunk = &gpu_accesses[gpu_idx..end].to_vec();
-                self.gpu.parallel_load(&mut self.soc, chunk);
+                let end = (gpu_idx + group).min(self.gpu_accesses_buf.len());
+                self.gpu
+                    .parallel_load(&mut self.soc, &self.gpu_accesses_buf[gpu_idx..end]);
                 gpu_idx = end;
             } else {
-                self.spy.load(&mut self.soc, cpu_window[cpu_idx]);
+                let a = self.cpu_lines[(cpu_start + cpu_idx) % cpu_len];
+                self.spy.load(&mut self.soc, a);
                 cpu_idx += 1;
             }
         }
         let cycles = self.spy.rdtsc() - before;
         // Let the trojan finish any residual iterations so both clocks stay
         // roughly aligned for the next bit.
-        while gpu_idx < gpu_accesses.len() {
-            let end = (gpu_idx + group).min(gpu_accesses.len());
-            let chunk = &gpu_accesses[gpu_idx..end].to_vec();
-            self.gpu.parallel_load(&mut self.soc, chunk);
+        while gpu_idx < self.gpu_accesses_buf.len() {
+            let end = (gpu_idx + group).min(self.gpu_accesses_buf.len());
+            self.gpu
+                .parallel_load(&mut self.soc, &self.gpu_accesses_buf[gpu_idx..end]);
             gpu_idx = end;
         }
         cycles
@@ -431,14 +479,16 @@ impl<M: MemorySystem> ContentionChannel<M> {
         // resources would charge the laggard for traffic that has not
         // happened "yet" from its point of view.
         self.gpu.synchronize_to(self.spy.now());
-        let gpu_window = self.next_gpu_window();
+        self.fill_gpu_accesses(1);
         let gpu_start = self.gpu.now();
-        let pass_outcome = self.gpu.parallel_load(&mut self.soc, &gpu_window);
+        let pass_outcome = self
+            .gpu
+            .parallel_load(&mut self.soc, &self.gpu_accesses_buf);
         let gpu_pass_time = self.gpu.now() - gpu_start;
         #[cfg(feature = "debug-trace")]
         eprintln!(
             "calibrate: window={} parallelism={} l3={} llc={} dram={} pass={}",
-            gpu_window.len(),
+            self.gpu_accesses_buf.len(),
             self.gpu.effective_parallelism(),
             pass_outcome.count_at_level(soc_sim::prelude::HitLevel::GpuL3),
             pass_outcome.count_at_level(soc_sim::prelude::HitLevel::Llc),
@@ -497,11 +547,15 @@ impl<M: MemorySystem> ContentionChannel<M> {
         let burst = self.rng.gen_bool(self.config.background_burst_prob);
         if burst {
             self.background.synchronize_to(self.spy.now());
-            let lines = self.background_lines.clone();
-            for &a in lines.iter().take(96) {
-                self.background.clflush(&mut self.soc, a);
-                self.background.load(&mut self.soc, a);
-            }
+            let ContentionChannel {
+                background,
+                soc,
+                background_batch,
+                scratch,
+                ..
+            } = self;
+            scratch.clear();
+            background.run_batch(soc, background_batch, scratch);
         }
 
         let cycles = if bit {

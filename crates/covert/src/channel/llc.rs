@@ -43,7 +43,7 @@ use rand::{Rng, SeedableRng};
 use soc_sim::clock::Time;
 use soc_sim::llc::LlcSetId;
 use soc_sim::page_table::PageKind;
-use soc_sim::prelude::{MemorySystem, PhysAddr, Soc, SocConfig};
+use soc_sim::prelude::{BatchRequest, MemorySystem, PhysAddr, Soc, SocConfig};
 
 pub use crate::channel::engine::DesyncModel;
 
@@ -127,6 +127,12 @@ struct SetResources {
     gpu_lines: Vec<PhysAddr>,
     /// The GPU pollute set that evicts `gpu_lines` from the L3.
     gpu_pollute: Vec<PhysAddr>,
+    /// Precomputed prime batch: `cpu_lines` twice over, on the CPU party's
+    /// core for this direction (two passes make the prime robust against
+    /// LRU interleaving).
+    cpu_prime_batch: Vec<BatchRequest>,
+    /// Precomputed probe batch: `cpu_lines` once, same core.
+    cpu_probe_batch: Vec<BatchRequest>,
 }
 
 /// Timing summary of the last transmitted bit, used for diagnostics and by
@@ -141,7 +147,11 @@ struct PhaseTimes {
 
 /// A fully set-up LLC Prime+Probe channel (owns the simulated SoC and both
 /// attacker processes).
-#[derive(Debug)]
+///
+/// Cloning snapshots the whole channel — backend, eviction sets, RNG and
+/// calibration — so a deterministic setup can be paid for once and reused
+/// across runs that share it (the sweep runner's per-cell template cache).
+#[derive(Debug, Clone)]
 pub struct LlcChannel<M: MemorySystem = Soc> {
     config: LlcChannelConfig,
     soc: M,
@@ -157,6 +167,8 @@ pub struct LlcChannel<M: MemorySystem = Soc> {
     desync: DesyncModel,
     rng: SmallRng,
     calibration: Option<Calibration>,
+    /// Reusable outcome buffer for the batched CPU prime/probe passes.
+    scratch: Vec<soc_sim::prelude::AccessOutcome>,
 }
 
 impl LlcChannel<Soc> {
@@ -266,11 +278,30 @@ impl<M: MemorySystem> LlcChannel<M> {
                 // the whole agreed group (and is what makes the whole-L3
                 // clearing strategy usable at all).
                 gpu_pollute.retain(|a| !agreed.contains(&soc.llc().set_of(*a)));
+                // The CPU party is fixed by the direction (receiver on core 0
+                // for GPU→CPU, sender on core 1 for CPU→GPU), so the prime
+                // and probe request batches can be built once here.
+                let cpu_core = match config.direction {
+                    Direction::GpuToCpu => 0,
+                    Direction::CpuToGpu => 1,
+                };
+                let as_load = |a: &PhysAddr| BatchRequest::CpuLoad {
+                    core: cpu_core,
+                    paddr: *a,
+                };
+                let cpu_probe_batch: Vec<_> = cpu_lines.iter().map(as_load).collect();
+                let cpu_prime_batch: Vec<_> = cpu_lines
+                    .iter()
+                    .chain(cpu_lines.iter())
+                    .map(as_load)
+                    .collect();
                 role_sets.push(SetResources {
                     llc_set,
                     cpu_lines,
                     gpu_lines,
                     gpu_pollute,
+                    cpu_prime_batch,
+                    cpu_probe_batch,
                 });
             }
             sets.push(role_sets);
@@ -287,6 +318,7 @@ impl<M: MemorySystem> LlcChannel<M> {
             soc,
             config,
             calibration: None,
+            scratch: Vec::new(),
         })
     }
 
@@ -298,6 +330,12 @@ impl<M: MemorySystem> LlcChannel<M> {
     /// The backend the channel runs against.
     pub fn backend(&self) -> &M {
         &self.soc
+    }
+
+    /// Mutable access to the backend, e.g. to re-attach a fresh telemetry
+    /// registry after cloning a calibrated channel template.
+    pub fn backend_mut(&mut self) -> &mut M {
+        &mut self.soc
     }
 
     /// The custom-timer characterization used by GPU-side probes.
@@ -347,53 +385,46 @@ impl<M: MemorySystem> LlcChannel<M> {
     /// GPU primes every redundant set of `role`: pollute the L3, then touch
     /// the GPU's lines so they land in the LLC and displace the other side's.
     fn gpu_prime(&mut self, role: SetRole) -> Time {
-        let start = self.gpu.now();
         let parallelism = self.gpu_set_parallelism();
         let role_idx = SetRole::ALL
             .iter()
             .position(|r| *r == role)
             .expect("known role");
-        for i in 0..self.sets[role_idx].len() {
-            let pollute = self.sets[role_idx][i].gpu_pollute.clone();
-            let lines = self.sets[role_idx][i].gpu_lines.clone();
-            self.gpu
-                .parallel_load_with(&mut self.soc, &pollute, parallelism);
-            self.gpu
-                .parallel_load_with(&mut self.soc, &lines, parallelism);
+        let LlcChannel { sets, gpu, soc, .. } = self;
+        let start = gpu.now();
+        for set in &sets[role_idx] {
+            gpu.parallel_load_with(soc, &set.gpu_pollute, parallelism);
+            gpu.parallel_load_with(soc, &set.gpu_lines, parallelism);
         }
-        self.gpu.now() - start
+        gpu.now() - start
     }
 
     /// GPU probes every redundant set of `role` with the custom timer,
     /// returning one observation per set.
     fn gpu_probe(&mut self, role: SetRole) -> (Vec<ProbeObservation>, Time) {
-        let start = self.gpu.now();
         let parallelism = self.gpu_set_parallelism();
         let role_idx = SetRole::ALL
             .iter()
             .position(|r| *r == role)
             .expect("known role");
         let threshold = self.timer_char.llc_memory_threshold();
-        let mut observations = Vec::new();
-        for i in 0..self.sets[role_idx].len() {
-            let pollute = self.sets[role_idx][i].gpu_pollute.clone();
-            let lines = self.sets[role_idx][i].gpu_lines.clone();
+        let LlcChannel { sets, gpu, soc, .. } = self;
+        let start = gpu.now();
+        let mut observations = Vec::with_capacity(sets[role_idx].len());
+        for set in &sets[role_idx] {
             // Push the probe lines out of the L3 first, so the timed accesses
             // observe the LLC (fast, line still ours) or DRAM (slow, evicted).
-            self.gpu
-                .parallel_load_with(&mut self.soc, &pollute, parallelism);
-            let noise = self.soc.timer_noise_factor();
-            let outcome = self
-                .gpu
-                .parallel_load_with(&mut self.soc, &lines, parallelism);
+            gpu.parallel_load_with(soc, &set.gpu_pollute, parallelism);
+            let noise = soc.timer_noise_factor();
+            let outcome = gpu.parallel_load_with(soc, &set.gpu_lines, parallelism);
             let slow = outcome
                 .outcomes
                 .iter()
-                .filter(|o| self.gpu.timer().ticks_for(o.latency, noise) > threshold)
+                .filter(|o| gpu.timer().ticks_for(o.latency, noise) > threshold)
                 .count();
-            observations.push(ProbeObservation::new(slow, lines.len()));
+            observations.push(ProbeObservation::new(slow, set.gpu_lines.len()));
         }
-        (observations, self.gpu.now() - start)
+        (observations, gpu.now() - start)
     }
 
     /// CPU (receiver or sender, depending on direction) primes every
@@ -403,17 +434,23 @@ impl<M: MemorySystem> LlcChannel<M> {
             .iter()
             .position(|r| *r == role)
             .expect("known role");
+        let LlcChannel {
+            sets,
+            soc,
+            cpu_receiver,
+            cpu_sender,
+            scratch,
+            ..
+        } = self;
         let thread = if use_receiver {
-            &mut self.cpu_receiver
+            cpu_receiver
         } else {
-            &mut self.cpu_sender
+            cpu_sender
         };
         let start = thread.now();
-        for i in 0..self.sets[role_idx].len() {
-            let lines = self.sets[role_idx][i].cpu_lines.clone();
-            // Two passes make the prime robust against LRU interleaving.
-            thread.load_all(&mut self.soc, &lines);
-            thread.load_all(&mut self.soc, &lines);
+        for set in &sets[role_idx] {
+            scratch.clear();
+            thread.run_batch(soc, &set.cpu_prime_batch, scratch);
         }
         thread.now() - start
     }
@@ -424,23 +461,40 @@ impl<M: MemorySystem> LlcChannel<M> {
             .iter()
             .position(|r| *r == role)
             .expect("known role");
+        let LlcChannel {
+            sets,
+            soc,
+            cpu_receiver,
+            cpu_sender,
+            scratch,
+            ..
+        } = self;
         let thread = if use_receiver {
-            &mut self.cpu_receiver
+            cpu_receiver
         } else {
-            &mut self.cpu_sender
+            cpu_sender
         };
         let start = thread.now();
-        let mut observations = Vec::new();
-        for i in 0..self.sets[role_idx].len() {
-            let lines = self.sets[role_idx][i].cpu_lines.clone();
+        let mut observations = Vec::with_capacity(sets[role_idx].len());
+        for set in &sets[role_idx] {
+            scratch.clear();
+            let batch_start = thread.now();
+            thread.run_batch(soc, &set.cpu_probe_batch, scratch);
+            // Recover the per-access `rdtsc(); load; rdtsc()` measurement
+            // from the chained outcomes: each load issued at the running
+            // time and took its outcome's latency, and `rdtsc` is a pure
+            // function of local time.
+            let mut at = batch_start;
             let mut slow = 0usize;
-            for &a in &lines {
-                let (cycles, _) = thread.timed_load(&mut self.soc, a);
-                if cycles > CPU_MISS_THRESHOLD_CYCLES {
+            for outcome in scratch.iter() {
+                let before = thread.clock().time_to_cycles(at);
+                let after = thread.clock().time_to_cycles(at + outcome.latency);
+                if after - before > CPU_MISS_THRESHOLD_CYCLES {
                     slow += 1;
                 }
+                at += outcome.latency;
             }
-            observations.push(ProbeObservation::new(slow, lines.len()));
+            observations.push(ProbeObservation::new(slow, set.cpu_lines.len()));
         }
         (observations, thread.now() - start)
     }

@@ -136,13 +136,23 @@ pub fn addresses_in_llc_set<M: MemorySystem>(
 ) -> Result<Vec<PhysAddr>, ChannelError> {
     let llc = soc.llc();
     let mut out = Vec::with_capacity(count);
-    let mut addr = region_base.line_base();
+    // The set index within a slice is `line_number mod sets_per_slice`, so
+    // candidate lines recur with a fixed period and only the slice hash needs
+    // testing per candidate — the attacker's actual shortcut once the page
+    // offset bits are known. Visits the same addresses, in the same ascending
+    // order, as a full line-by-line scan of the region.
+    let sets = llc.config().sets_per_slice as u64;
     let end = region_base.value() + region_len;
-    while out.len() < count && addr.value() + CACHE_LINE_SIZE <= end {
-        if llc.set_of(addr) == set {
-            out.push(addr);
+    if (set.set as u64) < sets {
+        let start_line = region_base.line_base().value() / CACHE_LINE_SIZE;
+        let skew = (set.set as u64 + sets - start_line % sets) % sets;
+        let mut addr = PhysAddr::new((start_line + skew) * CACHE_LINE_SIZE);
+        while out.len() < count && addr.value() + CACHE_LINE_SIZE <= end {
+            if llc.set_of(addr) == set {
+                out.push(addr);
+            }
+            addr = addr.add(sets * CACHE_LINE_SIZE);
         }
-        addr = addr.add(CACHE_LINE_SIZE);
     }
     if out.len() < count {
         return Err(ChannelError::EvictionSetNotFound {

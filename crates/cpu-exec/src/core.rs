@@ -9,7 +9,7 @@
 
 use soc_sim::clock::{ClockDomain, Time};
 use soc_sim::page_table::AddressSpace;
-use soc_sim::prelude::{AccessOutcome, MemorySystem, PhysAddr, VirtAddr};
+use soc_sim::prelude::{AccessOutcome, BatchRequest, MemorySystem, PhysAddr, VirtAddr};
 
 /// Errors from CPU-side operations.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -130,6 +130,35 @@ impl CpuThread {
         (self.local_time - start, outcomes)
     }
 
+    /// Executes a chained batch of requests (loads and flushes) starting at
+    /// this thread's local time, advancing it past the whole batch. One
+    /// [`AccessOutcome`] per load is appended to `outcomes`; the batch
+    /// duration is returned.
+    ///
+    /// Timing-equivalent to issuing each request through
+    /// [`CpuThread::load`] / [`CpuThread::clflush`] in order, but lets the
+    /// backend amortise per-access dispatch over the whole group
+    /// (`BatchRequest::CpuLoad` entries should carry this thread's core).
+    pub fn run_batch<M: MemorySystem>(
+        &mut self,
+        soc: &mut M,
+        requests: &[BatchRequest],
+        outcomes: &mut Vec<AccessOutcome>,
+    ) -> Time {
+        let start = self.local_time;
+        self.local_time = soc.access_batch(requests, start, outcomes);
+        self.local_time - start
+    }
+
+    /// Builds the [`BatchRequest::CpuLoad`] entry for `paddr` on this
+    /// thread's core.
+    pub fn load_request(&self, paddr: PhysAddr) -> BatchRequest {
+        BatchRequest::CpuLoad {
+            core: self.core,
+            paddr,
+        }
+    }
+
     /// Executes `clflush` on the line containing `paddr`.
     pub fn clflush<M: MemorySystem>(&mut self, soc: &mut M, paddr: PhysAddr) {
         let latency = soc.clflush(paddr, self.local_time);
@@ -228,6 +257,27 @@ mod tests {
         t.synchronize_to(Time::ZERO);
         assert_eq!(t.now(), Time::from_us(5));
         assert_eq!(t.rdtsc(), t.clock().time_to_cycles(Time::from_us(5)));
+    }
+
+    #[test]
+    fn run_batch_matches_per_access_loop() {
+        let addrs: Vec<PhysAddr> = (0..16).map(|i| PhysAddr::new(0x20_0000 + i * 64)).collect();
+        // Per-access loop on one SoC…
+        let (mut soc_a, mut ta) = setup();
+        let mut expected = Vec::new();
+        for &a in &addrs {
+            expected.push(ta.load(&mut soc_a, a));
+        }
+        ta.clflush(&mut soc_a, addrs[0]);
+        // …and the same workload as one batch on a fresh, identical SoC.
+        let (mut soc_b, mut tb) = setup();
+        let mut requests: Vec<_> = addrs.iter().map(|&a| tb.load_request(a)).collect();
+        requests.push(BatchRequest::Flush { paddr: addrs[0] });
+        let mut outcomes = Vec::new();
+        let duration = tb.run_batch(&mut soc_b, &requests, &mut outcomes);
+        assert_eq!(outcomes, expected);
+        assert_eq!(tb.now(), ta.now());
+        assert_eq!(duration, ta.now());
     }
 
     #[test]

@@ -22,6 +22,68 @@ use crate::page_table::{AddressSpace, MapError, MappedBuffer, PageKind};
 use crate::stats::{ContentionSnapshot, SocStats};
 use crate::system::{AccessOutcome, ParallelOutcome, Soc, SocConfig};
 
+/// One request of a chained access batch (see
+/// [`MemorySystem::access_batch`]).
+///
+/// Requests execute back-to-back: each runs at the issuing agent's running
+/// local time, which advances by the load's end-to-end latency (or the
+/// flush's instruction latency) before the next request issues — the exact
+/// timing an execution-model loop stepping one access at a time produces.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BatchRequest {
+    /// A CPU load of the line containing `paddr` from core `core`.
+    CpuLoad {
+        /// Issuing core.
+        core: usize,
+        /// Accessed line.
+        paddr: crate::address::PhysAddr,
+    },
+    /// A GPU load of the line containing `paddr`.
+    GpuLoad {
+        /// Accessed line.
+        paddr: crate::address::PhysAddr,
+    },
+    /// A `clflush` of the line containing `paddr` from the CPU side. No
+    /// outcome is produced; only the running time advances.
+    Flush {
+        /// Flushed line.
+        paddr: crate::address::PhysAddr,
+    },
+}
+
+/// The pinned reference semantics of [`MemorySystem::access_batch`]: step
+/// request-by-request through the per-access trait methods, chaining the
+/// running time. Every batched override must stay bit-identical to this
+/// loop — the property tests drive both through the same workload and
+/// compare outcome sequences, and the trace record/replay oracle checks a
+/// batched caller against a per-access recording.
+pub fn access_batch_reference<M: MemorySystem + ?Sized>(
+    mem: &mut M,
+    requests: &[BatchRequest],
+    start: Time,
+    outcomes: &mut Vec<AccessOutcome>,
+) -> Time {
+    let mut now = start;
+    for &request in requests {
+        match request {
+            BatchRequest::CpuLoad { core, paddr } => {
+                let outcome = mem.cpu_access(core, paddr, now);
+                now += outcome.latency;
+                outcomes.push(outcome);
+            }
+            BatchRequest::GpuLoad { paddr } => {
+                let outcome = mem.gpu_access(paddr, now);
+                now += outcome.latency;
+                outcomes.push(outcome);
+            }
+            BatchRequest::Flush { paddr } => {
+                now += mem.clflush(paddr, now);
+            }
+        }
+    }
+    now
+}
+
 /// The memory-hierarchy surface the attacker execution models require.
 ///
 /// Mirrors the [`Soc`] facade one-to-one so `Soc` implements it by
@@ -51,6 +113,29 @@ pub trait MemorySystem {
     /// Executes `clflush` on the line containing `paddr` from the CPU side,
     /// returning the instruction latency.
     fn clflush(&mut self, paddr: crate::address::PhysAddr, now: Time) -> Time;
+
+    /// Executes a chained batch of timed requests starting at `start`,
+    /// appending one [`AccessOutcome`] per *load* to `outcomes` (flushes
+    /// advance the running time but produce no outcome) and returning the
+    /// running time after the last request.
+    ///
+    /// The default implementation steps through the per-access trait
+    /// methods ([`access_batch_reference`]), so interposing wrappers still
+    /// observe every individual operation — a
+    /// [`crate::trace::TraceRecorder`] records the same per-access event
+    /// stream either way, and a [`crate::trace::TraceReplayer`] verifies a
+    /// batched caller against a per-access recording. A backend with a
+    /// faster whole-batch path may override it
+    /// ([`Soc::simulate_burst`]), but the override must stay bit-identical
+    /// to the default.
+    fn access_batch(
+        &mut self,
+        requests: &[BatchRequest],
+        start: Time,
+        outcomes: &mut Vec<AccessOutcome>,
+    ) -> Time {
+        access_batch_reference(self, requests, start, outcomes)
+    }
 
     /// Samples a multiplicative noise factor for the GPU custom timer.
     fn timer_noise_factor(&mut self) -> f64;
@@ -127,6 +212,15 @@ impl MemorySystem for Soc {
 
     fn clflush(&mut self, paddr: crate::address::PhysAddr, now: Time) -> Time {
         Soc::clflush(self, paddr, now)
+    }
+
+    fn access_batch(
+        &mut self,
+        requests: &[BatchRequest],
+        start: Time,
+        outcomes: &mut Vec<AccessOutcome>,
+    ) -> Time {
+        Soc::simulate_burst(self, requests, start, outcomes)
     }
 
     fn timer_noise_factor(&mut self) -> f64 {

@@ -64,7 +64,7 @@ pub mod trace;
 /// Commonly used items, re-exported for convenience.
 pub mod prelude {
     pub use crate::address::{PhysAddr, VirtAddr, CACHE_LINE_SIZE};
-    pub use crate::backend::MemorySystem;
+    pub use crate::backend::{access_batch_reference, BatchRequest, MemorySystem};
     pub use crate::clock::{ClockDomain, SocClocks, Time};
     pub use crate::dram::{Ddr4, Ddr5, DramTiming, DramTimingKind};
     pub use crate::gpu_l3::GpuL3Config;

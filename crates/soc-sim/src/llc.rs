@@ -140,6 +140,47 @@ impl Llc {
         self.slices[slice].access(addr)
     }
 
+    /// Looks up `addr` in an already-resolved slice — the hot-path variant
+    /// for callers that computed [`Llc::set_of`] once and reuse it across
+    /// the lookup, port acquisition, fill and telemetry of one access.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slice` is out of range.
+    pub fn access_in_slice(&mut self, slice: usize, addr: PhysAddr) -> bool {
+        self.slices[slice].access(addr)
+    }
+
+    /// [`Llc::fill`] for an already-resolved slice.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slice` is out of range.
+    pub fn fill_in_slice(
+        &mut self,
+        slice: usize,
+        addr: PhysAddr,
+        rng: &mut SmallRng,
+    ) -> FillOutcome {
+        self.slices[slice].fill(addr, rng)
+    }
+
+    /// [`Llc::fill_within`] for an already-resolved slice.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slice` is out of range or the way range is invalid.
+    pub fn fill_within_in_slice(
+        &mut self,
+        slice: usize,
+        addr: PhysAddr,
+        rng: &mut SmallRng,
+        lo: usize,
+        hi: usize,
+    ) -> FillOutcome {
+        self.slices[slice].fill_within(addr, rng, lo, hi)
+    }
+
     /// Fills the line containing `addr`, returning any evicted line.
     /// The caller is responsible for back-invalidating inclusive upper levels.
     pub fn fill(&mut self, addr: PhysAddr, rng: &mut SmallRng) -> FillOutcome {
@@ -180,13 +221,27 @@ impl Llc {
         addr: PhysAddr,
         rng: &mut SmallRng,
     ) -> Option<PhysAddr> {
-        use rand::Rng;
         let id = self.set_of(addr);
-        let resident = self.slices[id.slice].resident_lines(id.set);
-        if resident.is_empty() {
+        self.evict_random_at(id, rng)
+    }
+
+    /// [`Llc::evict_random_from_set`] for an already-resolved set, without
+    /// materializing the resident-line list (the victim index is drawn
+    /// first, then resolved by walking the set's valid ways).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    pub fn evict_random_at(&mut self, id: LlcSetId, rng: &mut SmallRng) -> Option<PhysAddr> {
+        use rand::Rng;
+        let resident = self.slices[id.slice].resident_count(id.set);
+        if resident == 0 {
             return None;
         }
-        let victim = resident[rng.gen_range(0..resident.len())];
+        let n = rng.gen_range(0..resident);
+        let victim = self.slices[id.slice]
+            .nth_resident(id.set, n)
+            .expect("victim index drawn within the resident count");
         self.slices[id.slice].invalidate(victim);
         Some(victim)
     }
@@ -196,10 +251,29 @@ impl Llc {
         self.slices[id.slice].resident_lines(id.set)
     }
 
+    /// Number of lines resident in an LLC set — the allocation-free form of
+    /// `resident_lines(id).len()`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    pub fn set_occupancy(&self, id: LlcSetId) -> usize {
+        self.slices[id.slice].resident_count(id.set)
+    }
+
     /// Acquires the slice port for `addr` at `now`; returns the queuing delay
     /// caused by port contention.
     pub fn acquire_port(&mut self, addr: PhysAddr, now: Time) -> Time {
         let slice = self.config.hash.slice_of(addr);
+        self.acquire_port_on(slice, now)
+    }
+
+    /// [`Llc::acquire_port`] for an already-resolved slice.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slice` is out of range.
+    pub fn acquire_port_on(&mut self, slice: usize, now: Time) -> Time {
         let service = self.config.port_service;
         self.ports[slice].acquire(now, service)
     }
@@ -242,19 +316,33 @@ impl Llc {
     /// Enumerates `count` line-aligned physical addresses that all map to the
     /// given LLC set, scanning upward from `start`. This is the simulator-side
     /// ground truth the reverse-engineering code is validated against.
+    ///
+    /// Within a slice the set index is `line_number mod sets_per_slice`, so
+    /// the scan steps directly between lines with the right set index and
+    /// only evaluates the slice hash on those — the same addresses a
+    /// line-by-line scan finds, in the same order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id.set` is outside the slice (no address maps to it, so
+    /// the enumeration could never finish).
     pub fn enumerate_set_addresses(
         &self,
         id: LlcSetId,
         start: PhysAddr,
         count: usize,
     ) -> Vec<PhysAddr> {
+        let sets = self.config.sets_per_slice as u64;
+        assert!((id.set as u64) < sets, "set index outside the slice");
         let mut out = Vec::with_capacity(count);
-        let mut addr = start.line_base();
+        let start_line = start.line_base().value() / CACHE_LINE_SIZE;
+        let skew = (id.set as u64 + sets - start_line % sets) % sets;
+        let mut addr = PhysAddr::new((start_line + skew) * CACHE_LINE_SIZE);
         while out.len() < count {
             if self.set_of(addr) == id {
                 out.push(addr);
             }
-            addr = addr.add(CACHE_LINE_SIZE);
+            addr = addr.add(sets * CACHE_LINE_SIZE);
         }
         out
     }

@@ -192,6 +192,42 @@ impl NoiseSchedule {
         self.phases.len() - 1
     }
 
+    /// The phase active at `now` together with the absolute half-open
+    /// window `[start, end)` of simulated time over which that phase
+    /// occurrence holds. The simulator caches the window so the per-access
+    /// phase lookup degenerates to two compares until the next scheduled
+    /// phase boundary (or a backward time jump) invalidates it. The last
+    /// phase of a non-cyclic schedule holds forever, so its window extends
+    /// to the end of time.
+    pub fn phase_window_at(&self, now: Time) -> (usize, Time, Time) {
+        let period = self.period().as_ps();
+        let t = now.as_ps();
+        let last = self.phases.len() - 1;
+        let (cycle_base, mut offset) = if self.cyclic {
+            (t - t % period, t % period)
+        } else if t >= period {
+            let start = period - self.phases[last].duration.as_ps();
+            return (last, Time::from_ps(start), Time::from_ps(u64::MAX));
+        } else {
+            (0, t)
+        };
+        let mut acc = 0u64;
+        for (i, phase) in self.phases.iter().enumerate() {
+            let dur = phase.duration.as_ps();
+            if offset < dur {
+                let end = if !self.cyclic && i == last {
+                    u64::MAX
+                } else {
+                    cycle_base + acc + dur
+                };
+                return (i, Time::from_ps(cycle_base + acc), Time::from_ps(end));
+            }
+            offset -= dur;
+            acc += dur;
+        }
+        unreachable!("offset is always within one period");
+    }
+
     /// The noise configuration active at simulated time `now`.
     pub fn config_at(&self, now: Time) -> &NoiseConfig {
         &self.phases[self.phase_index_at(now)].config

@@ -74,14 +74,7 @@ impl ReplacementState {
     pub fn victim_within(&self, lo: usize, hi: usize, rng: &mut SmallRng) -> usize {
         assert!(lo < hi, "partition way range must be non-empty");
         match self {
-            ReplacementState::Lru(s) => {
-                assert!(hi <= s.mru_order().len(), "partition exceeds associativity");
-                *s.mru_order()
-                    .iter()
-                    .rev()
-                    .find(|w| (lo..hi).contains(*w))
-                    .expect("non-empty range within the set")
-            }
+            ReplacementState::Lru(s) => s.victim_within(lo, hi),
             ReplacementState::TreePlru(_) | ReplacementState::Random { .. } => {
                 rng.gen_range(lo..hi)
             }
@@ -89,37 +82,128 @@ impl ReplacementState {
     }
 }
 
-/// True-LRU state: `order[0]` is the most recently used way.
+/// Associativity up to which [`LruState`] packs the recency stack into one
+/// word (4 bits per way).
+const PACKED_MAX_WAYS: usize = 16;
+
+/// Packed initial stack: nibble `r` holds way `r`, i.e. way 0 is MRU and the
+/// highest way is the first victim — the same order `(0..ways).collect()`
+/// produced.
+const PACKED_INIT: u64 = 0xFEDC_BA98_7654_3210;
+
+const NIBBLE_LSB: u64 = 0x1111_1111_1111_1111;
+const NIBBLE_MSB: u64 = 0x8888_8888_8888_8888;
+
+/// True-LRU state: a recency stack whose front is the most recently used way.
+///
+/// Every modelled cache has at most 16 ways, so the stack is packed into a
+/// single `u64` (nibble `r` = the way holding recency rank `r`, rank 0 being
+/// MRU); a `touch` is a nibble search plus a masked shift instead of a heap
+/// scan and `memmove`. Associativities above 16 fall back to a plain vector.
 #[derive(Debug, Clone)]
 pub struct LruState {
-    order: Vec<usize>,
+    /// Packed stack (always a permutation of `0..16` in nibbles; nibbles at
+    /// ranks `ways..16` keep their initial values and never move).
+    order: u64,
+    ways: u16,
+    /// Fallback stack for `ways > 16`; empty in packed mode.
+    wide: Vec<usize>,
 }
 
 impl LruState {
     /// Creates LRU state for `ways` ways, initially ordered 0..ways.
     pub fn new(ways: usize) -> Self {
         assert!(ways > 0, "a cache set needs at least one way");
+        assert!(ways <= u16::MAX as usize, "associativity out of range");
         LruState {
-            order: (0..ways).collect(),
+            order: PACKED_INIT,
+            ways: ways as u16,
+            wide: if ways <= PACKED_MAX_WAYS {
+                Vec::new()
+            } else {
+                (0..ways).collect()
+            },
         }
     }
 
-    /// Moves `way` to the most-recently-used position.
+    #[inline]
+    fn way_at(&self, rank: usize) -> usize {
+        ((self.order >> (4 * rank)) & 0xF) as usize
+    }
+
+    /// Moves `way` to the most-recently-used position. A `way` outside the
+    /// set is ignored.
+    #[inline]
     pub fn touch(&mut self, way: usize) {
-        if let Some(pos) = self.order.iter().position(|&w| w == way) {
-            let w = self.order.remove(pos);
-            self.order.insert(0, w);
+        let ways = self.ways as usize;
+        if way >= ways {
+            return;
+        }
+        if ways <= PACKED_MAX_WAYS {
+            // Locate the nibble equal to `way` (exactly one exists: the word
+            // stays a permutation of 0..16). XORing the replicated way zeroes
+            // that nibble; the carry trick flags zero nibbles via their MSB,
+            // and the lowest flag is always exact.
+            let diff = self.order ^ (way as u64 * NIBBLE_LSB);
+            let flags = diff.wrapping_sub(NIBBLE_LSB) & !diff & NIBBLE_MSB;
+            let rank = (flags.trailing_zeros() >> 2) as usize;
+            // Rotate ranks 0..=rank right by one nibble: `way` becomes MRU,
+            // everything it outranked slides down one. The shift amount is
+            // 4 * (15 - rank), so it never reaches 64.
+            let mask = u64::MAX >> (60 - 4 * rank as u32);
+            let rotated = ((self.order << 4) | way as u64) & mask;
+            self.order = (self.order & !mask) | rotated;
+        } else if let Some(pos) = self.wide.iter().position(|&w| w == way) {
+            self.wide[..=pos].rotate_right(1);
         }
     }
 
     /// Returns the least-recently-used way.
+    #[inline]
     pub fn victim(&self) -> usize {
-        *self.order.last().expect("non-empty LRU order")
+        let ways = self.ways as usize;
+        if ways <= PACKED_MAX_WAYS {
+            self.way_at(ways - 1)
+        } else {
+            *self.wide.last().expect("non-empty LRU order")
+        }
+    }
+
+    /// Returns the least-recently-used way among ways `[lo, hi)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty or exceeds the associativity.
+    pub fn victim_within(&self, lo: usize, hi: usize) -> usize {
+        assert!(lo < hi, "partition way range must be non-empty");
+        assert!(hi <= self.ways as usize, "partition exceeds associativity");
+        let ways = self.ways as usize;
+        if ways <= PACKED_MAX_WAYS {
+            for rank in (0..ways).rev() {
+                let w = self.way_at(rank);
+                if (lo..hi).contains(&w) {
+                    return w;
+                }
+            }
+            unreachable!("a non-empty way range always holds some way")
+        } else {
+            *self
+                .wide
+                .iter()
+                .rev()
+                .find(|w| (lo..hi).contains(*w))
+                .expect("non-empty range within the set")
+        }
     }
 
     /// Returns the ways ordered from most to least recently used.
-    pub fn mru_order(&self) -> &[usize] {
-        &self.order
+    pub fn mru_order(&self) -> Vec<usize> {
+        let ways = self.ways as usize;
+        if ways <= PACKED_MAX_WAYS {
+            (0..ways).map(|r| self.way_at(r)).collect()
+        } else {
+            self.wide.clone()
+        }
     }
 }
 
@@ -127,11 +211,13 @@ impl LruState {
 ///
 /// The tree has `ways - 1` internal nodes (as documented for the Gen9 GPU L3
 /// in the Intel PRM and cited by the paper); each node bit points towards the
-/// half of the subtree that was *less* recently used.
+/// half of the subtree that was *less* recently used. The nodes live in one
+/// `u64` (bit `i` = node `i` in heap layout, children at `2i + 1` / `2i + 2`),
+/// which caps the associativity at 64 ways — every modelled GPU L3 uses 8 or
+/// 16 — and makes a touch a handful of register operations per tree level.
 #[derive(Debug, Clone)]
 pub struct TreePlruState {
-    /// Node bits, heap layout: node `i` has children `2i + 1` and `2i + 2`.
-    bits: Vec<bool>,
+    bits: u64,
     ways: usize,
 }
 
@@ -140,52 +226,47 @@ impl TreePlruState {
     ///
     /// # Panics
     ///
-    /// Panics if `ways` is not a power of two (tree pLRU requires it).
+    /// Panics if `ways` is not a power of two (tree pLRU requires it) or
+    /// exceeds 64 (the packed node word).
     pub fn new(ways: usize) -> Self {
         assert!(
             ways.is_power_of_two(),
             "tree pLRU requires power-of-two ways"
         );
-        TreePlruState {
-            bits: vec![false; ways.saturating_sub(1)],
-            ways,
-        }
+        assert!(ways <= 64, "tree pLRU supports at most 64 ways");
+        TreePlruState { bits: 0, ways }
     }
 
     /// Number of internal tree nodes (`ways - 1`).
     pub fn node_count(&self) -> usize {
-        self.bits.len()
+        self.ways - 1
     }
 
     /// Records an access to `way`: every node on the path is flipped to point
     /// away from the accessed way.
+    #[inline]
     pub fn touch(&mut self, way: usize) {
         debug_assert!(way < self.ways);
-        if self.ways == 1 {
-            return;
-        }
         let levels = self.ways.trailing_zeros();
-        let mut node = 0usize;
+        let mut node = 0u32;
         for level in (0..levels).rev() {
-            let go_right = (way >> level) & 1 == 1;
+            let go_right = (way as u64 >> level) & 1;
             // Point to the opposite half of the one we just used.
-            self.bits[node] = !go_right;
-            node = 2 * node + 1 + usize::from(go_right);
+            self.bits = (self.bits & !(1 << node)) | ((go_right ^ 1) << node);
+            node = 2 * node + 1 + go_right as u32;
         }
     }
 
     /// Follows the tree bits to the pseudo-least-recently-used way.
+    #[inline]
     pub fn victim(&self) -> usize {
-        if self.ways == 1 {
-            return 0;
-        }
         let levels = self.ways.trailing_zeros();
-        let mut node = 0usize;
+        let mut node = 0u32;
         let mut way = 0usize;
         for _ in 0..levels {
-            let go_right = self.bits[node];
-            way = (way << 1) | usize::from(go_right);
-            node = 2 * node + 1 + usize::from(go_right);
+            let go_right = (self.bits >> node) & 1;
+            way = (way << 1) | go_right as usize;
+            node = 2 * node + 1 + go_right as u32;
         }
         way
     }

@@ -66,18 +66,25 @@ impl FillOutcome {
     }
 }
 
-#[derive(Debug, Clone)]
-struct CacheSet {
-    /// Tag (= line base address) stored in each way, `None` when invalid.
-    lines: Vec<Option<PhysAddr>>,
-    replacement: ReplacementState,
-}
+/// Tag value marking an empty way. Stored tags are line-base addresses
+/// (64-byte aligned, low bits zero), so the all-ones pattern can never
+/// collide with a real line.
+const TAG_INVALID: u64 = u64::MAX;
 
 /// A set-associative, physically indexed, tag-only cache.
+///
+/// Tag state lives in one flat arena (`ways` consecutive `u64` entries per
+/// set) instead of per-set heap nodes: a way scan touches a couple of
+/// contiguous cache lines and compiles to straight word compares, and no
+/// access ever allocates.
 #[derive(Debug, Clone)]
 pub struct SetAssocCache {
     geometry: CacheGeometry,
-    sets: Vec<CacheSet>,
+    /// Flat tag arena, indexed `set * ways + way`; `TAG_INVALID` marks an
+    /// empty way.
+    tags: Vec<u64>,
+    /// Per-set replacement bookkeeping.
+    replacement: Vec<ReplacementState>,
     hits: u64,
     misses: u64,
     evictions: u64,
@@ -92,19 +99,23 @@ impl SetAssocCache {
     pub fn new(geometry: CacheGeometry) -> Self {
         assert!(geometry.sets > 0, "cache needs at least one set");
         assert!(geometry.ways > 0, "cache needs at least one way");
-        let sets = (0..geometry.sets)
-            .map(|_| CacheSet {
-                lines: vec![None; geometry.ways],
-                replacement: geometry.policy.new_state(geometry.ways),
-            })
-            .collect();
         SetAssocCache {
+            tags: vec![TAG_INVALID; geometry.sets * geometry.ways],
+            replacement: (0..geometry.sets)
+                .map(|_| geometry.policy.new_state(geometry.ways))
+                .collect(),
             geometry,
-            sets,
             hits: 0,
             misses: 0,
             evictions: 0,
         }
+    }
+
+    /// The tag slots of set `index` within the arena.
+    #[inline]
+    fn set_tags(&self, index: usize) -> &[u64] {
+        let base = index * self.geometry.ways;
+        &self.tags[base..base + self.geometry.ways]
     }
 
     /// Returns the cache geometry.
@@ -114,23 +125,31 @@ impl SetAssocCache {
 
     /// Computes the set index for a physical address.
     pub fn set_index(&self, addr: PhysAddr) -> usize {
-        match self.geometry.indexing {
-            Indexing::LowOrder => (addr.line_number() as usize) % self.geometry.sets,
+        // Every modelled geometry has power-of-two sets, so the modulo on
+        // the access hot path reduces to a mask; the division survives only
+        // as the fallback for exotic test geometries.
+        let sets = self.geometry.sets;
+        let raw = match self.geometry.indexing {
+            Indexing::LowOrder => addr.line_number() as usize,
             Indexing::AddressBits { lo, hi } => {
                 debug_assert!(
                     lo >= CACHE_LINE_BITS,
                     "index bits must be above the line offset"
                 );
-                (addr.bits(lo, hi) as usize) % self.geometry.sets
+                addr.bits(lo, hi) as usize
             }
+        };
+        if sets.is_power_of_two() {
+            raw & (sets - 1)
+        } else {
+            raw % sets
         }
     }
 
     /// Returns `true` when the line containing `addr` is present.
     pub fn contains(&self, addr: PhysAddr) -> bool {
         let line = addr.line_base();
-        let set = &self.sets[self.set_index(line)];
-        set.lines.contains(&Some(line))
+        self.set_tags(self.set_index(line)).contains(&line.0)
     }
 
     /// Looks up `addr`, updating replacement state and hit statistics.
@@ -138,9 +157,8 @@ impl SetAssocCache {
     pub fn access(&mut self, addr: PhysAddr) -> bool {
         let line = addr.line_base();
         let idx = self.set_index(line);
-        let set = &mut self.sets[idx];
-        if let Some(way) = set.lines.iter().position(|l| *l == Some(line)) {
-            set.replacement.touch(way);
+        if let Some(way) = self.set_tags(idx).iter().position(|&t| t == line.0) {
+            self.replacement[idx].touch(way);
             self.hits += 1;
             true
         } else {
@@ -174,20 +192,23 @@ impl SetAssocCache {
         assert!(lo < hi && hi <= self.geometry.ways, "invalid way partition");
         let line = addr.line_base();
         let idx = self.set_index(line);
-        let set = &mut self.sets[idx];
-        if let Some(way) = set.lines.iter().position(|l| *l == Some(line)) {
-            set.replacement.touch(way);
+        let base = idx * self.geometry.ways;
+        let tags = &mut self.tags[base..base + self.geometry.ways];
+        if let Some(way) = tags.iter().position(|&t| t == line.0) {
+            self.replacement[idx].touch(way);
             return FillOutcome::AlreadyPresent;
         }
-        if let Some(way) = (lo..hi).find(|&w| set.lines[w].is_none()) {
-            set.lines[way] = Some(line);
-            set.replacement.touch(way);
+        if let Some(way) = (lo..hi).find(|&w| tags[w] == TAG_INVALID) {
+            tags[way] = line.0;
+            self.replacement[idx].touch(way);
             return FillOutcome::InsertedClean;
         }
-        let way = set.replacement.victim_within(lo, hi, rng);
-        let evicted = set.lines[way].expect("full partition has no empty way");
-        set.lines[way] = Some(line);
-        set.replacement.touch(way);
+        let way = self.replacement[idx].victim_within(lo, hi, rng);
+        let tags = &mut self.tags[base..base + self.geometry.ways];
+        debug_assert_ne!(tags[way], TAG_INVALID, "full partition has no empty way");
+        let evicted = PhysAddr(tags[way]);
+        tags[way] = line.0;
+        self.replacement[idx].touch(way);
         self.evictions += 1;
         FillOutcome::Evicted(evicted)
     }
@@ -197,9 +218,10 @@ impl SetAssocCache {
     pub fn invalidate(&mut self, addr: PhysAddr) -> bool {
         let line = addr.line_base();
         let idx = self.set_index(line);
-        let set = &mut self.sets[idx];
-        if let Some(way) = set.lines.iter().position(|l| *l == Some(line)) {
-            set.lines[way] = None;
+        let base = idx * self.geometry.ways;
+        let tags = &mut self.tags[base..base + self.geometry.ways];
+        if let Some(way) = tags.iter().position(|&t| t == line.0) {
+            tags[way] = TAG_INVALID;
             true
         } else {
             false
@@ -208,11 +230,7 @@ impl SetAssocCache {
 
     /// Invalidates every line in the cache.
     pub fn invalidate_all(&mut self) {
-        for set in &mut self.sets {
-            for line in &mut set.lines {
-                *line = None;
-            }
-        }
+        self.tags.fill(TAG_INVALID);
     }
 
     /// Returns the lines currently resident in set `index` (valid ways only).
@@ -221,15 +239,43 @@ impl SetAssocCache {
     ///
     /// Panics if `index >= sets`.
     pub fn resident_lines(&self, index: usize) -> Vec<PhysAddr> {
-        self.sets[index].lines.iter().flatten().copied().collect()
+        self.set_tags(index)
+            .iter()
+            .filter(|&&t| t != TAG_INVALID)
+            .map(|&t| PhysAddr(t))
+            .collect()
+    }
+
+    /// Number of valid lines in set `index` — the allocation-free form of
+    /// `resident_lines(index).len()` used on the access hot path.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= sets`.
+    pub fn resident_count(&self, index: usize) -> usize {
+        self.set_tags(index)
+            .iter()
+            .filter(|&&t| t != TAG_INVALID)
+            .count()
+    }
+
+    /// The `n`-th valid line of set `index`, in way order (the line
+    /// `resident_lines(index)[n]` would return, without the allocation).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= sets`.
+    pub fn nth_resident(&self, index: usize, n: usize) -> Option<PhysAddr> {
+        self.set_tags(index)
+            .iter()
+            .filter(|&&t| t != TAG_INVALID)
+            .map(|&t| PhysAddr(t))
+            .nth(n)
     }
 
     /// Number of valid lines across the whole cache.
     pub fn occupancy(&self) -> usize {
-        self.sets
-            .iter()
-            .map(|s| s.lines.iter().filter(|l| l.is_some()).count())
-            .sum()
+        self.tags.iter().filter(|&&t| t != TAG_INVALID).count()
     }
 
     /// (hits, misses, evictions) counters since construction.

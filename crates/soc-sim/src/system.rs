@@ -14,11 +14,12 @@
 //! contention covert channel.
 
 use crate::address::{PhysAddr, CACHE_LINE_SIZE};
+use crate::backend::BatchRequest;
 use crate::clock::{SocClocks, Time};
 use crate::contention::RingBus;
 use crate::dram::{Dram, DramTimingKind};
 use crate::gpu_l3::{GpuL3, GpuL3Config};
-use crate::llc::{Llc, LlcConfig};
+use crate::llc::{Llc, LlcConfig, LlcSetId};
 use crate::noise::{NoiseConfig, NoiseModel, NoiseSchedule};
 use crate::page_table::{AddressSpace, MapError, MappedBuffer, PageKind, PhysFrameAllocator};
 use crate::replacement::ReplacementPolicy;
@@ -134,7 +135,7 @@ impl ParallelOutcome {
 }
 
 /// Fixed-latency parameters of the access paths.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct LatencyConfig {
     /// CPU L1 hit latency.
     pub cpu_l1_hit: Time,
@@ -359,6 +360,16 @@ pub struct Soc {
     /// Index of the active [`NoiseSchedule`] phase the `noise` model was
     /// built from (0 when no schedule is attached).
     noise_phase: usize,
+    /// Absolute `[start, end)` window of simulated time over which
+    /// `noise_phase` holds — the discrete-event fast path of `tune_noise`:
+    /// accesses stamped inside the window skip the schedule walk entirely,
+    /// and the state is re-derived only at the next phase boundary (or on a
+    /// backward time jump). Initially empty so the first access tunes.
+    noise_window: (Time, Time),
+    /// Two-flit ring serialization time, precomputed from the ring clock at
+    /// construction (previously re-derived from the f64 clock rate on every
+    /// shared-level access).
+    ring_serialization: Time,
     frames: PhysFrameAllocator,
     rng: SmallRng,
     stats: SocStats,
@@ -393,6 +404,10 @@ impl Soc {
                 None => config.noise.clone(),
             }),
             noise_phase: 0,
+            noise_window: (Time::ZERO, Time::ZERO),
+            ring_serialization: Time::from_ps(
+                2 * config.clocks.ring.picos_per_cycle().round() as u64,
+            ),
             frames: PhysFrameAllocator::new(config.phys_mem_bytes, config.seed ^ 0x9E37_79B9),
             rng: SmallRng::seed_from_u64(config.seed),
             stats: SocStats::default(),
@@ -434,10 +449,9 @@ impl Soc {
     }
 
     /// Notes one LLC lookup (after the shared-level access path decided
-    /// hit vs miss) on the slice serving `paddr`.
-    fn note_llc_lookup(&mut self, paddr: PhysAddr, hit: bool) {
+    /// hit vs miss) on the already-resolved serving slice.
+    fn note_llc_lookup(&mut self, slice: usize, hit: bool) {
         if let Some(instruments) = &self.instruments {
-            let slice = self.llc.set_of(paddr).slice;
             if hit {
                 instruments.llc_hits[slice].incr();
             } else {
@@ -558,11 +572,18 @@ impl Soc {
     }
 
     /// Re-tunes the noise model to the schedule phase active at `now`.
-    /// Cheap when no schedule is attached or the phase is unchanged; the
-    /// model is only rebuilt on a phase boundary.
+    ///
+    /// Event-driven: the active phase's absolute `[start, end)` window is
+    /// cached, so an access stamped inside it costs two compares. The
+    /// schedule is only walked again when `now` crosses the next phase
+    /// boundary — or jumps backwards, which re-tunes just the same.
     fn tune_noise(&mut self, now: Time) {
         if let Some(schedule) = &self.config.noise_schedule {
-            let phase = schedule.phase_index_at(now);
+            if now >= self.noise_window.0 && now < self.noise_window.1 {
+                return;
+            }
+            let (phase, start, end) = schedule.phase_window_at(now);
+            self.noise_window = (start, end);
             if phase != self.noise_phase {
                 self.noise_phase = phase;
                 self.noise = NoiseModel::new(schedule.phases()[phase].config.clone());
@@ -570,12 +591,9 @@ impl Soc {
         }
     }
 
-    fn maybe_inject_noise_eviction(&mut self, paddr: PhysAddr) {
+    fn maybe_inject_noise_eviction(&mut self, sid: LlcSetId) {
         if self.noise.spurious_eviction(&mut self.rng)
-            && self
-                .llc
-                .evict_random_from_set(paddr, &mut self.rng)
-                .is_some()
+            && self.llc.evict_random_at(sid, &mut self.rng).is_some()
         {
             self.stats.spurious_evictions += 1;
         }
@@ -598,24 +616,28 @@ impl Soc {
     /// the CPU private caches for any victim (but never touching the GPU L3 —
     /// the LLC is not inclusive of it). `from_gpu` selects the allocation
     /// partition when way-partitioning is enabled.
-    fn llc_fill_with_back_invalidation(&mut self, paddr: PhysAddr, from_gpu: bool) {
+    fn llc_fill_with_back_invalidation(&mut self, sid: LlcSetId, paddr: PhysAddr, from_gpu: bool) {
         if let Some(instruments) = &self.instruments {
             // Set-conflict pressure: lines already resident in the target
             // set at fill time. A reading at the associativity limit means
             // this fill must evict — sustained full-set readings are the
             // signature of the covert channels' eviction-set traffic.
-            let id = self.llc.set_of(paddr);
             instruments
                 .set_pressure
-                .record(self.llc.resident_lines(id).len() as u64);
+                .record(self.llc.set_occupancy(sid) as u64);
         }
         let outcome = match self.partition_ways(from_gpu) {
-            Some((lo, hi)) => self.llc.fill_within(paddr, &mut self.rng, lo, hi),
-            None => self.llc.fill(paddr, &mut self.rng),
+            Some((lo, hi)) => {
+                self.llc
+                    .fill_within_in_slice(sid.slice, paddr, &mut self.rng, lo, hi)
+            }
+            None => self.llc.fill_in_slice(sid.slice, paddr, &mut self.rng),
         };
         if let Some(victim) = outcome.evicted() {
             if let Some(instruments) = &self.instruments {
-                instruments.llc_evictions[self.llc.set_of(victim).slice].incr();
+                // The victim came out of the set being filled, so it shares
+                // the fill's slice.
+                instruments.llc_evictions[sid.slice].incr();
             }
             for core in &mut self.cpu_caches {
                 if core.l1.invalidate(victim) {
@@ -637,7 +659,7 @@ impl Soc {
     pub fn cpu_access(&mut self, core: usize, paddr: PhysAddr, now: Time) -> AccessOutcome {
         assert!(core < self.cpu_caches.len(), "core index out of range");
         self.tune_noise(now);
-        let lat = self.config.latencies.clone();
+        let lat = self.config.latencies;
         let jitter = self.noise.latency_jitter(&mut self.rng);
 
         if self.cpu_caches[core].l1.access(paddr) {
@@ -660,18 +682,21 @@ impl Soc {
         }
 
         // Miss in the private caches: go over the ring to the LLC slice.
+        // The serving set is resolved once and reused by the port, lookup,
+        // fill and telemetry steps below.
+        let sid = self.llc.set_of(paddr);
         let ring_latency = self.ring.transfer(now, CACHE_LINE_SIZE);
         let ring_queue = ring_latency.saturating_sub(Time::from_ns(2)); // informational only
-        let port_queue = self.llc.acquire_port(paddr, now + ring_latency);
+        let port_queue = self.llc.acquire_port_on(sid.slice, now + ring_latency);
         self.note_ring_crossing(ring_queue, port_queue);
-        self.maybe_inject_noise_eviction(paddr);
+        self.maybe_inject_noise_eviction(sid);
 
         let base = lat.cpu_l2_hit + ring_latency + port_queue + lat.llc_array;
-        let contention = port_queue + ring_queue.saturating_sub(self.ring_serialization_time());
+        let contention = port_queue + ring_queue.saturating_sub(self.ring_serialization);
 
-        if self.llc.access(paddr) {
+        if self.llc.access_in_slice(sid.slice, paddr) {
             self.stats.cpu_llc_hits += 1;
-            self.note_llc_lookup(paddr, true);
+            self.note_llc_lookup(sid.slice, true);
             let _ = self.cpu_caches[core].l2.fill(paddr, &mut self.rng);
             let _ = self.cpu_caches[core].l1.fill(paddr, &mut self.rng);
             return AccessOutcome {
@@ -680,13 +705,13 @@ impl Soc {
                 contention_delay: contention,
             };
         }
-        self.note_llc_lookup(paddr, false);
+        self.note_llc_lookup(sid.slice, false);
 
         // LLC miss: fetch from DRAM, fill LLC (inclusive) and the private caches.
         let dram_latency = self.dram.access(now + base);
         self.stats.cpu_dram_accesses += 1;
         self.note_dram_access(paddr);
-        self.llc_fill_with_back_invalidation(paddr, false);
+        self.llc_fill_with_back_invalidation(sid, paddr, false);
         let _ = self.cpu_caches[core].l2.fill(paddr, &mut self.rng);
         let _ = self.cpu_caches[core].l1.fill(paddr, &mut self.rng);
         let dram_queue = dram_latency.saturating_sub(self.dram.base_latency());
@@ -697,16 +722,11 @@ impl Soc {
         }
     }
 
-    fn ring_serialization_time(&self) -> Time {
-        // Two 32 B flits for a 64 B line at the ring cycle time.
-        Time::from_ps(2 * self.config.clocks.ring.picos_per_cycle().round() as u64)
-    }
-
     /// Performs a GPU load of the line containing `paddr`, arriving at the
     /// GPU's local time `now`.
     pub fn gpu_access(&mut self, paddr: PhysAddr, now: Time) -> AccessOutcome {
         self.tune_noise(now);
-        let lat = self.config.latencies.clone();
+        let lat = self.config.latencies;
         let jitter = self.noise.latency_jitter(&mut self.rng);
 
         if self.gpu_l3.access(paddr) {
@@ -719,21 +739,22 @@ impl Soc {
         }
 
         // L3 miss: the request crosses the ring to the LLC.
+        let sid = self.llc.set_of(paddr);
         let ring_latency = self.ring.transfer(now + lat.gpu_l3_lookup, CACHE_LINE_SIZE);
         let ring_queue = ring_latency.saturating_sub(Time::from_ns(2));
         let port_queue = self
             .llc
-            .acquire_port(paddr, now + lat.gpu_l3_lookup + ring_latency);
+            .acquire_port_on(sid.slice, now + lat.gpu_l3_lookup + ring_latency);
         self.note_ring_crossing(ring_queue, port_queue);
-        self.maybe_inject_noise_eviction(paddr);
+        self.maybe_inject_noise_eviction(sid);
 
         let base =
             lat.gpu_l3_lookup + ring_latency + port_queue + lat.llc_array + lat.gpu_uncore_extra;
-        let contention = port_queue + ring_queue.saturating_sub(self.ring_serialization_time());
+        let contention = port_queue + ring_queue.saturating_sub(self.ring_serialization);
 
-        if self.llc.access(paddr) {
+        if self.llc.access_in_slice(sid.slice, paddr) {
             self.stats.gpu_llc_hits += 1;
-            self.note_llc_lookup(paddr, true);
+            self.note_llc_lookup(sid.slice, true);
             let _ = self.gpu_l3.fill(paddr, &mut self.rng);
             return AccessOutcome {
                 latency: base + jitter,
@@ -741,13 +762,13 @@ impl Soc {
                 contention_delay: contention,
             };
         }
-        self.note_llc_lookup(paddr, false);
+        self.note_llc_lookup(sid.slice, false);
 
         let dram_latency = self.dram.access(now + base);
         self.stats.gpu_dram_accesses += 1;
         self.note_dram_access(paddr);
         // Fill LLC (back-invalidating CPU caches if a victim falls out), then the L3.
-        self.llc_fill_with_back_invalidation(paddr, true);
+        self.llc_fill_with_back_invalidation(sid, paddr, true);
         let _ = self.gpu_l3.fill(paddr, &mut self.rng);
         let dram_queue = dram_latency.saturating_sub(self.dram.base_latency());
         AccessOutcome {
@@ -792,6 +813,48 @@ impl Soc {
             total_latency: elapsed,
             outcomes,
         }
+    }
+
+    /// Executes a chained batch of timed requests in one call — the batched
+    /// fast path behind [`crate::MemorySystem::access_batch`].
+    ///
+    /// Requests execute back-to-back at a running local time that starts at
+    /// `start` and advances by each load's latency (and each flush's
+    /// instruction latency), exactly as an execution-model loop issuing
+    /// them one at a time would. One [`AccessOutcome`] per *load* is
+    /// appended to `outcomes` (flushes only advance time); the return value
+    /// is the running time after the last request.
+    ///
+    /// Bit-identical to the per-access path by construction: the same
+    /// access routines run in the same order with the same RNG draws — the
+    /// batch only amortizes dispatch, bounds checks and outcome-buffer
+    /// growth across the burst.
+    pub fn simulate_burst(
+        &mut self,
+        requests: &[BatchRequest],
+        start: Time,
+        outcomes: &mut Vec<AccessOutcome>,
+    ) -> Time {
+        outcomes.reserve(requests.len());
+        let mut now = start;
+        for &request in requests {
+            match request {
+                BatchRequest::CpuLoad { core, paddr } => {
+                    let outcome = self.cpu_access(core, paddr, now);
+                    now += outcome.latency;
+                    outcomes.push(outcome);
+                }
+                BatchRequest::GpuLoad { paddr } => {
+                    let outcome = self.gpu_access(paddr, now);
+                    now += outcome.latency;
+                    outcomes.push(outcome);
+                }
+                BatchRequest::Flush { paddr } => {
+                    now += self.clflush(paddr, now);
+                }
+            }
+        }
+        now
     }
 
     /// Executes `clflush` on the line containing `paddr` from a CPU core:

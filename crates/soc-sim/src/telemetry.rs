@@ -24,6 +24,13 @@
 //!    registry per point — no cross-thread contention on the hot counters —
 //!    and still report fleet-wide totals.
 //!
+//! The per-point-registry discipline of (3) is also what keeps (1) honest
+//! under load: instruments are *single-writer*. One thread bumps a given
+//! registry's counters and histograms through plain relaxed load + store
+//! pairs (no read-modify-write, no locked bus cycles); other threads only
+//! read snapshots. Concurrent writers to the same instrument would lose
+//! updates — merge snapshots instead.
+//!
 //! Metric names are dot-separated, `group.instrument` (for example
 //! `llc.slice0.hits`, `ring.stall_ps`, `phase.simulate_ns`); the leading
 //! segment is the *group* used by coarse reporting such as
@@ -41,6 +48,17 @@ pub const HISTOGRAM_BUCKETS: usize = 65;
 
 fn bucket_of(value: u64) -> usize {
     (64 - value.leading_zeros()) as usize
+}
+
+/// Adds `n` to an atomic cell with a relaxed load + store pair rather than a
+/// `fetch_add`. Instruments are single-writer (one simulation thread bumps a
+/// given registry's cells; other threads only read snapshots), so the
+/// read-modify-write atomicity of `fetch_add` — a locked bus cycle per bump
+/// on the per-access hot path — buys nothing here.
+#[inline]
+fn bump(cell: &AtomicU64, n: u64) {
+    let v = cell.load(Ordering::Relaxed);
+    cell.store(v.wrapping_add(n), Ordering::Relaxed);
 }
 
 /// Inclusive value range covered by a bucket index.
@@ -83,11 +101,20 @@ impl HistogramCell {
     }
 
     fn record(&self, value: u64) {
-        self.buckets[bucket_of(value)].fetch_add(1, Ordering::Relaxed);
-        self.count.fetch_add(1, Ordering::Relaxed);
-        self.sum.fetch_add(value, Ordering::Relaxed);
-        self.min.fetch_min(value, Ordering::Relaxed);
-        self.max.fetch_max(value, Ordering::Relaxed);
+        // Single-writer bumps (see the module docs): plain load + store pairs
+        // instead of atomic read-modify-writes, which would cost a locked bus
+        // cycle each on the per-access hot path.
+        bump(&self.buckets[bucket_of(value)], 1);
+        bump(&self.count, 1);
+        bump(&self.sum, value);
+        let min = self.min.load(Ordering::Relaxed);
+        if value < min {
+            self.min.store(value, Ordering::Relaxed);
+        }
+        let max = self.max.load(Ordering::Relaxed);
+        if value > max {
+            self.max.store(value, Ordering::Relaxed);
+        }
     }
 
     fn snapshot(&self) -> HistogramSnapshot {
@@ -122,10 +149,16 @@ pub struct Counter {
 
 impl Counter {
     /// Adds `n` to the counter (no-op while the registry is disabled).
+    ///
+    /// Counters are single-writer: the thread running the simulation bumps
+    /// them, other threads only observe via [`Registry::snapshot`]. Two
+    /// threads adding to the same counter concurrently may lose updates —
+    /// the workspace keeps one registry per sweep point precisely so the hot
+    /// path never needs an atomic read-modify-write.
     #[inline]
     pub fn add(&self, n: u64) {
         if self.enabled.load(Ordering::Relaxed) {
-            self.cell.value.fetch_add(n, Ordering::Relaxed);
+            bump(&self.cell.value, n);
         }
     }
 

@@ -61,6 +61,7 @@ pub trait SeedableRng: Sized {
 }
 
 /// Maps a raw 64-bit word onto `[0, 1)` with 53 bits of precision.
+#[inline]
 fn unit_f64(word: u64) -> f64 {
     (word >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
 }
@@ -77,6 +78,7 @@ macro_rules! int_sample_range {
     ($($t:ty),*) => {$(
         impl SampleRange for Range<$t> {
             type Output = $t;
+            #[inline]
             fn sample<G: RngCore + ?Sized>(self, rng: &mut G) -> $t {
                 assert!(self.start < self.end, "cannot sample from empty range");
                 let span = (self.end - self.start) as u64;
@@ -85,6 +87,7 @@ macro_rules! int_sample_range {
         }
         impl SampleRange for RangeInclusive<$t> {
             type Output = $t;
+            #[inline]
             fn sample<G: RngCore + ?Sized>(self, rng: &mut G) -> $t {
                 let (lo, hi) = (*self.start(), *self.end());
                 assert!(lo <= hi, "cannot sample from empty range");
@@ -99,6 +102,7 @@ int_sample_range!(u8, u16, u32, u64, usize, i32, i64);
 
 impl SampleRange for Range<f64> {
     type Output = f64;
+    #[inline]
     fn sample<G: RngCore + ?Sized>(self, rng: &mut G) -> f64 {
         assert!(self.start < self.end, "cannot sample from empty range");
         self.start + unit_f64(rng.next_u64()) * (self.end - self.start)
@@ -141,6 +145,7 @@ pub mod rngs {
     }
 
     impl RngCore for SmallRng {
+        #[inline]
         fn next_u64(&mut self) -> u64 {
             let result = self.s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
             let t = self.s[1] << 17;
