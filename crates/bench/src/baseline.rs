@@ -18,13 +18,17 @@
 //! parameters) but collides *across* sweep sections — see
 //! [`BaselineCell`].
 
-use crate::json::{parse_json, JsonValue};
+use crate::json::{parse_json, parse_metrics_snapshot, JsonValue};
 use crate::sweep::SweepResult;
+use soc_sim::prelude::{MetricValue, MetricsSnapshot};
 use std::path::Path;
 
 /// Default relative tolerance of the gate: a cell regresses when its fresh
 /// goodput drops below `(1 - 0.15)` of the recorded value.
 pub const DEFAULT_TOLERANCE: f64 = 0.15;
+
+/// Metric movers reported per regressed cell (see [`rank_movers`]).
+pub const MOVERS_TOP_N: usize = 5;
 
 /// One recorded cell of the baseline document.
 ///
@@ -43,6 +47,10 @@ pub struct BaselineCell {
     /// Recorded goodput in kb/s, or `None` for a row that recorded a
     /// failure (failed cells are compared by failure, not by goodput).
     pub goodput_kbps: Option<f64>,
+    /// The row's telemetry snapshot, when it carried one. Powers the
+    /// forensic per-metric diff of a regressed cell; everything else about
+    /// the gate ignores it.
+    pub metrics: Option<MetricsSnapshot>,
 }
 
 impl BaselineCell {
@@ -50,13 +58,104 @@ impl BaselineCell {
     /// (which exist only as prior-document JSON, not as [`SweepResult`]s)
     /// enter the gate.
     pub fn from_result(result: &SweepResult) -> BaselineCell {
+        let outcome = result.outcome.as_ref().ok();
         BaselineCell {
             scenario: result.point.label(),
             bits: result.point.bits as u64,
             seed: result.point.seed,
-            goodput_kbps: result.outcome.as_ref().ok().map(|o| o.goodput_kbps),
+            goodput_kbps: outcome.map(|o| o.goodput_kbps),
+            metrics: outcome.and_then(|o| o.metrics.clone()),
         }
     }
+}
+
+/// One metric whose value moved between the baseline and the fresh run of
+/// a regressed cell (see [`rank_movers`]).
+#[derive(Debug, Clone, PartialEq)]
+pub struct MetricMover {
+    /// Metric name, e.g. `link.retransmissions`.
+    pub name: String,
+    /// The baseline's value (0 when the baseline lacked the metric).
+    pub baseline: f64,
+    /// The fresh run's value (0 when the fresh run lacked the metric).
+    pub fresh: f64,
+    /// Relative change in percent, or `None` when the baseline value was
+    /// zero (a metric appearing from nothing has no finite percent).
+    pub percent: Option<f64>,
+}
+
+impl MetricMover {
+    /// Human-readable report line, e.g.
+    /// `link.retransmissions +210.0 % (29 -> 90)`.
+    pub fn describe(&self) -> String {
+        let (base, fresh) = (fmt_value(self.baseline), fmt_value(self.fresh));
+        match self.percent {
+            Some(percent) => format!("{} {percent:+.1} % ({base} -> {fresh})", self.name),
+            None => format!("{} new ({base} -> {fresh})", self.name),
+        }
+    }
+}
+
+/// Formats a metric value compactly: integers without a fraction, the rest
+/// with three decimals.
+fn fmt_value(value: f64) -> String {
+    if value.fract() == 0.0 && value.abs() < 1e15 {
+        format!("{value:.0}")
+    } else {
+        format!("{value:.3}")
+    }
+}
+
+/// The scalar reading of one captured metric: a counter's total, a gauge's
+/// value, a histogram's sample count.
+fn scalar(value: &MetricValue) -> f64 {
+    match value {
+        MetricValue::Counter(v) => *v as f64,
+        MetricValue::Gauge(v) => *v,
+        MetricValue::Histogram(h) => h.count() as f64,
+    }
+}
+
+/// Diffs two telemetry snapshots and returns the `top` biggest movers,
+/// sorted by magnitude of relative change — metrics that appeared from a
+/// zero baseline (infinite relative change) rank first, by absolute fresh
+/// value. Unchanged metrics are dropped. Counters and gauges diff by
+/// value; histograms by sample count.
+pub fn rank_movers(
+    baseline: &MetricsSnapshot,
+    fresh: &MetricsSnapshot,
+    top: usize,
+) -> Vec<MetricMover> {
+    let mut movers: Vec<MetricMover> = Vec::new();
+    let mut diff = |name: &str, base: f64, new: f64| {
+        if base == new {
+            return;
+        }
+        movers.push(MetricMover {
+            name: name.to_string(),
+            baseline: base,
+            fresh: new,
+            percent: (base != 0.0).then(|| (new - base) / base.abs() * 100.0),
+        });
+    };
+    for (name, value) in fresh.iter() {
+        let base = baseline.get(name).map_or(0.0, scalar);
+        diff(name, base, scalar(value));
+    }
+    for (name, value) in baseline.iter() {
+        if fresh.get(name).is_none() {
+            diff(name, scalar(value), 0.0);
+        }
+    }
+    movers.sort_by(|a, b| {
+        let rank = |m: &MetricMover| m.percent.map_or(f64::INFINITY, f64::abs);
+        rank(b)
+            .total_cmp(&rank(a))
+            .then_with(|| b.fresh.abs().total_cmp(&a.fresh.abs()))
+            .then_with(|| a.name.cmp(&b.name))
+    });
+    movers.truncate(top);
+    movers
 }
 
 /// A parsed baseline document.
@@ -77,14 +176,26 @@ pub struct Regression {
     pub fresh_kbps: Option<f64>,
     /// The relative tolerance the comparison ran with.
     pub tolerance: f64,
+    /// Relative goodput change in percent (always negative for a
+    /// regression); `None` when the fresh run failed outright or the
+    /// baseline goodput was zero.
+    pub percent_delta: Option<f64>,
+    /// The [`MOVERS_TOP_N`] biggest per-metric movers between the two
+    /// runs of this cell — the forensic "what else changed" trail. Empty
+    /// when either side lacks telemetry.
+    pub movers: Vec<MetricMover>,
 }
 
 impl Regression {
-    /// Human-readable report line.
+    /// Human-readable report line, with the relative drop when known.
     pub fn describe(&self) -> String {
+        let delta = self
+            .percent_delta
+            .map(|p| format!(" [{p:+.1} %]"))
+            .unwrap_or_default();
         match self.fresh_kbps {
             Some(fresh) => format!(
-                "{}: goodput {fresh:.1} kb/s fell below {:.1} kb/s ({:.1} kb/s recorded)",
+                "{}: goodput {fresh:.1} kb/s fell below {:.1} kb/s ({:.1} kb/s recorded){delta}",
                 self.scenario,
                 self.baseline_kbps * (1.0 - self.tolerance),
                 self.baseline_kbps
@@ -93,6 +204,21 @@ impl Regression {
                 "{}: fresh run failed (baseline recorded {:.1} kb/s)",
                 self.scenario, self.baseline_kbps
             ),
+        }
+    }
+
+    /// One report line per metric mover, biggest first (see
+    /// [`rank_movers`]).
+    pub fn forensic_lines(&self) -> Vec<String> {
+        self.movers.iter().map(MetricMover::describe).collect()
+    }
+
+    /// How severely this cell regressed, for sorting: the magnitude of the
+    /// relative drop, with outright failures ranked above everything.
+    fn severity(&self) -> f64 {
+        match self.fresh_kbps {
+            None => f64::INFINITY,
+            Some(_) => self.percent_delta.map_or(0.0, f64::abs),
         }
     }
 }
@@ -108,7 +234,8 @@ pub struct BaselineReport {
     /// Baseline cells the fresh run never produced (e.g. a `--backend`
     /// restriction, or a removed grid cell).
     pub unmatched_baseline: usize,
-    /// Every regressed cell, in grid order.
+    /// Every regressed cell, sorted by severity: outright failures first,
+    /// then by magnitude of the relative goodput drop.
     pub regressions: Vec<Regression>,
 }
 
@@ -116,6 +243,23 @@ impl BaselineReport {
     /// Whether the gate passes.
     pub fn passed(&self) -> bool {
         self.regressions.is_empty() && self.compared > 0
+    }
+
+    /// The failure report as GitHub-flavored markdown — the block `repro`
+    /// appends to the CI step summary when the gate fails.
+    pub fn markdown(&self) -> String {
+        let mut out = format!(
+            "### Perf gate: {} regressed cell(s) of {} compared\n\n",
+            self.regressions.len(),
+            self.compared
+        );
+        for regression in &self.regressions {
+            out.push_str(&format!("- **{}**\n", regression.describe()));
+            for line in regression.forensic_lines() {
+                out.push_str(&format!("  - `{line}`\n"));
+            }
+        }
+        out
     }
 }
 
@@ -157,11 +301,19 @@ impl Baseline {
             };
             let bits = number("bits")?;
             let seed = number("seed")?;
+            let metrics = match row.get("metrics") {
+                None => None,
+                Some(metrics) => Some(
+                    parse_metrics_snapshot(metrics)
+                        .map_err(|err| format!("row {index} ({scenario}): {err}"))?,
+                ),
+            };
             cells.push(BaselineCell {
                 scenario,
                 bits,
                 seed,
                 goodput_kbps,
+                metrics,
             });
         }
         Ok(Baseline { cells })
@@ -231,14 +383,30 @@ impl Baseline {
                 None => true,
             };
             if regressed {
+                let percent_delta = fresh_goodput
+                    .filter(|_| base != 0.0)
+                    .map(|fresh| (fresh - base) / base.abs() * 100.0);
+                let movers = match (&cell.metrics, &fresh[index].metrics) {
+                    (Some(recorded), Some(measured)) => {
+                        rank_movers(recorded, measured, MOVERS_TOP_N)
+                    }
+                    _ => Vec::new(),
+                };
                 regressions.push(Regression {
                     scenario: cell.scenario.clone(),
                     baseline_kbps: base,
                     fresh_kbps: fresh_goodput,
                     tolerance,
+                    percent_delta,
+                    movers,
                 });
             }
         }
+        regressions.sort_by(|a, b| {
+            b.severity()
+                .total_cmp(&a.severity())
+                .then_with(|| a.scenario.cmp(&b.scenario))
+        });
         BaselineReport {
             compared,
             unmatched_fresh: fresh_matched.iter().filter(|m| !**m).count(),
@@ -356,6 +524,98 @@ mod tests {
         let report = baseline.compare(&fresh, DEFAULT_TOLERANCE);
         assert!(report.passed(), "{:?}", report.regressions);
         assert_eq!(report.compared, fresh.len() - 1);
+    }
+
+    #[test]
+    fn rank_movers_sorts_by_relative_change_with_new_metrics_first() {
+        let baseline = MetricsSnapshot::from_entries([
+            ("link.retransmissions".to_string(), MetricValue::Counter(29)),
+            ("link.frames_sent".to_string(), MetricValue::Counter(100)),
+            ("adapt.rung".to_string(), MetricValue::Gauge(4.0)),
+            ("sim.steady".to_string(), MetricValue::Counter(7)),
+        ]);
+        let fresh = MetricsSnapshot::from_entries([
+            ("link.retransmissions".to_string(), MetricValue::Counter(90)),
+            ("link.frames_sent".to_string(), MetricValue::Counter(100)),
+            ("adapt.rung".to_string(), MetricValue::Gauge(2.0)),
+            ("sim.steady".to_string(), MetricValue::Counter(7)),
+            ("link.sync_failures".to_string(), MetricValue::Counter(12)),
+        ]);
+        let movers = rank_movers(&baseline, &fresh, 5);
+        let names: Vec<&str> = movers.iter().map(|m| m.name.as_str()).collect();
+        // New-from-zero first, then by |percent|: +210.3 % beats -50 %.
+        assert_eq!(
+            names,
+            ["link.sync_failures", "link.retransmissions", "adapt.rung"]
+        );
+        assert_eq!(movers[0].percent, None);
+        assert!(movers[0].describe().contains("new (0 -> 12)"));
+        let retrans = &movers[1];
+        assert!((retrans.percent.unwrap() - 210.344).abs() < 0.01);
+        assert!(
+            retrans.describe().contains("+210.3 % (29 -> 90)"),
+            "{}",
+            retrans.describe()
+        );
+        assert!(movers[2].describe().contains("-50.0 % (4 -> 2)"));
+        // Unchanged metrics never appear; top-N truncates.
+        assert_eq!(rank_movers(&baseline, &fresh, 1).len(), 1);
+    }
+
+    #[test]
+    fn regressed_cells_carry_ranked_movers_and_sort_by_severity() {
+        let results = small_run();
+        let baseline = Baseline::parse(&sweep_results_to_json(&results)).expect("parses");
+        let mut slower = results.clone();
+        let mut victims = Vec::new();
+        for (index, drop) in slower
+            .iter_mut()
+            .filter(|r| {
+                r.outcome
+                    .as_ref()
+                    .is_ok_and(|o| o.goodput_kbps > 0.0 && o.metrics.is_some())
+            })
+            .zip([0.5, 0.7])
+        {
+            victims.push((index.point.label(), drop));
+            let outcome = index.outcome.as_mut().unwrap();
+            outcome.goodput_kbps *= drop;
+            // Perturb several counters so the forensic diff has movers.
+            let perturbed: Vec<(String, MetricValue)> = outcome
+                .metrics
+                .as_ref()
+                .unwrap()
+                .iter()
+                .map(|(name, value)| {
+                    let value = match value {
+                        MetricValue::Counter(v) => MetricValue::Counter(v * 3 + 1),
+                        other => other.clone(),
+                    };
+                    (name.to_string(), value)
+                })
+                .collect();
+            outcome.metrics = Some(MetricsSnapshot::from_entries(perturbed));
+        }
+        assert_eq!(victims.len(), 2, "need two comparable cells");
+        let report = baseline.compare(&slower, DEFAULT_TOLERANCE);
+        assert_eq!(report.regressions.len(), 2);
+        // Sorted by severity: the -50 % cell outranks the -30 % cell.
+        assert_eq!(report.regressions[0].scenario, victims[0].0);
+        let worst = &report.regressions[0];
+        assert!((worst.percent_delta.unwrap() + 50.0).abs() < 1e-6);
+        assert!(
+            worst.describe().contains("[-50.0 %]"),
+            "{}",
+            worst.describe()
+        );
+        assert!(
+            worst.movers.len() >= 3,
+            "expected ≥3 ranked movers, got {:?}",
+            worst.forensic_lines()
+        );
+        let markdown = report.markdown();
+        assert!(markdown.contains("### Perf gate: 2 regressed cell(s)"));
+        assert!(markdown.contains(&worst.movers[0].name));
     }
 
     #[test]

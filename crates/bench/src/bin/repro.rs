@@ -12,6 +12,7 @@
 //!       [--list-backends] [--check-baseline <file>]
 //!       [--metrics-out <path>] [--no-progress] [--no-telemetry]
 //!       [--validate-metrics <path>]
+//!       [--trace-timeline <path>] [--validate-timeline <path>]
 //!       [--record-trace <path>] [--replay-trace <path>]
 //! ```
 //!
@@ -64,6 +65,22 @@
 //! histograms are all present — the CI smoke step runs it over the artifact
 //! it just produced.
 //!
+//! `--trace-timeline <path>` turns on the cross-layer event timeline for
+//! the `--sweep` sections: every simulated point records noise-phase
+//! transitions, frame verdicts, adaptation decisions and whole-point spans
+//! into a per-point event sink, a small dedicated duplex exchange
+//! contributes the slot-grant track (sweep points never run the duplex
+//! scheduler), and everything is written to `path` as Chrome trace-event
+//! JSON — load it in `chrome://tracing` or Perfetto, one process per
+//! point, one named track per layer (sim, noise, link, adapt, duplex,
+//! sweep). Timeline capture is purely observational: rows, goodput and the
+//! baseline gate are bit-identical with it on or off. Resumed rows were
+//! not simulated, so they contribute no timeline process.
+//! `--validate-timeline <path>` re-parses such a file through the in-repo
+//! JSON parser and exits non-zero unless the document is structurally
+//! sound and names all six layer tracks — the CI smoke step runs it over
+//! the artifact it just produced.
+//!
 //! `--record-trace <path>` records one LLC-channel point (honouring
 //! `--backend`) through a trace recorder and serializes the full access
 //! trace to `path`; `--replay-trace <path>` loads such a file in a fresh
@@ -99,6 +116,8 @@ struct Options {
     no_progress: bool,
     no_telemetry: bool,
     validate_metrics: Option<std::path::PathBuf>,
+    trace_timeline: Option<std::path::PathBuf>,
+    validate_timeline: Option<std::path::PathBuf>,
     record_trace: Option<std::path::PathBuf>,
     replay_trace: Option<std::path::PathBuf>,
 }
@@ -202,6 +221,8 @@ impl Options {
             no_progress: has("--no-progress"),
             no_telemetry: has("--no-telemetry"),
             validate_metrics: value_of("--validate-metrics").map(std::path::PathBuf::from),
+            trace_timeline: value_of("--trace-timeline").map(std::path::PathBuf::from),
+            validate_timeline: value_of("--validate-timeline").map(std::path::PathBuf::from),
             record_trace: value_of("--record-trace").map(std::path::PathBuf::from),
             replay_trace: value_of("--replay-trace").map(std::path::PathBuf::from),
         }
@@ -218,28 +239,59 @@ fn banner(title: &str) {
 /// result rows (`repro --sweep > rows.txt` pipelines keep working). Updates
 /// are throttled to about one line per second plus a final line, so CI logs
 /// stay readable; `--no-progress` silences the reporter entirely.
+///
+/// With `--resume`, rows replayed from the prior document are counted
+/// separately from simulated ones (`replayed/simulated/total`): replayed
+/// rows cost microseconds, and folding them into the rate would wreck the
+/// ETA of the rows actually being simulated.
 struct Progress {
     enabled: bool,
     section: &'static str,
-    total: usize,
+    /// Points this section simulates (excludes replayed rows).
+    simulated_total: usize,
+    /// Rows replayed verbatim from the `--resume` document.
+    replayed: usize,
     done: usize,
     started: std::time::Instant,
     last_print: Option<std::time::Instant>,
 }
 
 impl Progress {
-    fn start(enabled: bool, section: &'static str, total: usize) -> Progress {
-        if enabled {
-            eprintln!("[{section}] 0/{total} points");
-        }
-        Progress {
+    fn start(
+        enabled: bool,
+        section: &'static str,
+        simulated_total: usize,
+        replayed: usize,
+    ) -> Progress {
+        let progress = Progress {
             enabled,
             section,
-            total,
+            simulated_total,
+            replayed,
             done: 0,
             started: std::time::Instant::now(),
             last_print: None,
+        };
+        if enabled {
+            eprintln!("[{section}] {}", progress.tally());
         }
+        progress
+    }
+
+    /// The `replayed/simulated/total` counts; the replayed part only
+    /// appears when `--resume` actually replayed something.
+    fn tally(&self) -> String {
+        if self.replayed == 0 {
+            return format!("{}/{} points", self.done, self.simulated_total);
+        }
+        format!(
+            "{} replayed, {}/{} simulated, {}/{} total",
+            self.replayed,
+            self.done,
+            self.simulated_total,
+            self.replayed + self.done,
+            self.replayed + self.simulated_total
+        )
     }
 
     fn tick(&mut self) {
@@ -247,7 +299,7 @@ impl Progress {
         if !self.enabled {
             return;
         }
-        let finished = self.done >= self.total;
+        let finished = self.done >= self.simulated_total;
         let due = match self.last_print {
             None => true,
             Some(last) => last.elapsed() >= std::time::Duration::from_secs(1),
@@ -256,12 +308,16 @@ impl Progress {
             return;
         }
         self.last_print = Some(std::time::Instant::now());
+        // Rate and ETA cover simulated rows only (see the struct docs).
         let elapsed = self.started.elapsed().as_secs_f64().max(1e-9);
         let rate = self.done as f64 / elapsed;
-        let eta = self.total.saturating_sub(self.done) as f64 / rate.max(1e-9);
+        let eta = self.simulated_total.saturating_sub(self.done) as f64 / rate.max(1e-9);
         eprintln!(
-            "[{}] {}/{} points ({:.1} rows/s, ETA {:.0}s)",
-            self.section, self.done, self.total, rate, eta
+            "[{}] {} ({:.1} rows/s, ETA {:.0}s)",
+            self.section,
+            self.tally(),
+            rate,
+            eta
         );
     }
 }
@@ -389,6 +445,31 @@ fn validate_metrics_mode(path: &std::path::Path) {
     );
 }
 
+/// `--validate-timeline`: re-parses a Chrome-trace timeline document (see
+/// `--trace-timeline`) through the in-repo JSON parser and exits non-zero
+/// unless it is structurally sound and names all six layer tracks. The CI
+/// smoke step runs this over the artifact the quick sweep just wrote.
+fn validate_timeline_mode(path: &std::path::Path) {
+    banner("Timeline document validation");
+    let body = std::fs::read_to_string(path).unwrap_or_else(|err| {
+        eprintln!("error: could not read {}: {err}", path.display());
+        std::process::exit(1);
+    });
+    match validate_timeline(&body) {
+        Ok(summary) => println!(
+            "{} OK: {} events over {} timeline point(s); tracks: {}",
+            path.display(),
+            summary.events,
+            summary.points,
+            summary.tracks.join(", ")
+        ),
+        Err(err) => {
+            eprintln!("error: {}: {err}", path.display());
+            std::process::exit(1);
+        }
+    }
+}
+
 fn replay_trace_mode(path: &std::path::Path) {
     let registry = BackendRegistry::standard();
     banner("Trace replay");
@@ -446,6 +527,10 @@ fn main() {
 
     if let Some(path) = &opts.validate_metrics {
         validate_metrics_mode(path);
+        return;
+    }
+    if let Some(path) = &opts.validate_timeline {
+        validate_timeline_mode(path);
         return;
     }
     if let Some(path) = &opts.record_trace {
@@ -598,13 +683,15 @@ fn main() {
             None => registry.names(),
         };
         banner("Scenario sweep: backend x channel x noise, in parallel");
+        let capture_timeline = opts.trace_timeline.is_some();
         let runner = SweepRunner::with_default_threads()
             .with_point_budget(std::time::Duration::from_secs(if opts.quick {
                 60
             } else {
                 600
             }))
-            .with_telemetry(!opts.no_telemetry);
+            .with_telemetry(!opts.no_telemetry)
+            .with_events(capture_timeline);
         println!(
             "({} worker threads; backends: {})",
             runner.threads(),
@@ -655,6 +742,7 @@ fn main() {
         };
         let json_ns = json_telemetry.histogram("phase.json_ns");
         let mut merged_metrics = MetricsSnapshot::from_entries(std::iter::empty());
+        let mut timeline_points: Vec<TimelinePoint> = Vec::new();
         let mut metric_points = 0usize;
         let mut fresh_rows = 0usize;
         let mut resumed_rows = 0usize;
@@ -682,6 +770,12 @@ fn main() {
                         if let Some(metrics) = &outcome.metrics {
                             merged_metrics.merge(metrics);
                             metric_points += 1;
+                        }
+                        if capture_timeline {
+                            if let Some(events) = &outcome.events {
+                                timeline_points
+                                    .push(TimelinePoint::new(result.point.label(), events.clone()));
+                            }
                         }
                     }
                     fresh_rows += 1;
@@ -711,7 +805,12 @@ fn main() {
             println!("{:<58} (resumed)", row.cell.scenario);
             stream_row(SweepRow::Resumed(row));
         }
-        let mut progress = Progress::start(show_progress, "classic sweep", classic_grid.len());
+        let mut progress = Progress::start(
+            show_progress,
+            "classic sweep",
+            classic_grid.len(),
+            reused.len(),
+        );
         runner.run_streaming(&classic_grid, |_, result| {
             match &result.outcome {
                 Ok(outcome) => println!(
@@ -747,7 +846,8 @@ fn main() {
             println!("{:<64} (resumed)", row.cell.scenario);
             stream_row(SweepRow::Resumed(row));
         }
-        let mut progress = Progress::start(show_progress, "coded sweep", coded_grid.len());
+        let mut progress =
+            Progress::start(show_progress, "coded sweep", coded_grid.len(), reused.len());
         runner
             .clone()
             .with_engine(TransceiverConfig::paper_default())
@@ -802,7 +902,12 @@ fn main() {
             stream_row(SweepRow::Resumed(row));
         }
         let adaptive_resumed = reused.len();
-        let mut progress = Progress::start(show_progress, "adaptive sweep", adaptive_grid.len());
+        let mut progress = Progress::start(
+            show_progress,
+            "adaptive sweep",
+            adaptive_grid.len(),
+            adaptive_resumed,
+        );
         let adaptive_results = runner
             .clone()
             .with_engine(TransceiverConfig::paper_default())
@@ -882,6 +987,76 @@ fn main() {
             let path = opts.out.as_ref().expect("writer implies --out");
             match writer.finish() {
                 Ok(rows) => println!("\nwrote {rows} sweep rows to {}", path.display()),
+                Err(err) => {
+                    eprintln!("error: could not write {}: {err}", path.display());
+                    std::process::exit(1);
+                }
+            }
+        }
+
+        if let Some(path) = &opts.trace_timeline {
+            use covert::prelude::{
+                test_pattern, BanditPolicy, Direction, DuplexConfig, DuplexScheduler, LlcChannel,
+                LlcChannelConfig, SlotAllocation,
+            };
+            banner("Event timeline");
+            // The sweep grids never run the duplex scheduler, so the duplex
+            // track comes from a dedicated small exchange: an LLC channel
+            // each way, quality-weighted slot allocation, a bandit
+            // controller per direction. The asymmetric backlogs make the
+            // allocation shift slots mid-run.
+            let sink = soc_sim::prelude::EventSink::new();
+            let forward_payload = test_pattern(96, 41);
+            let reverse_payload = test_pattern(192, 42);
+            let duplex_result = LlcChannel::new(LlcChannelConfig::paper_default().with_seed(41))
+                .and_then(|mut forward| {
+                    let mut reverse = LlcChannel::new(
+                        LlcChannelConfig::paper_default()
+                            .with_direction(Direction::CpuToGpu)
+                            .with_seed(42),
+                    )?;
+                    DuplexScheduler::new(
+                        DuplexConfig::paper_default()
+                            .with_allocation(SlotAllocation::QualityWeighted),
+                    )
+                    .with_events(&sink)
+                    .run_adaptive(
+                        &mut forward,
+                        &mut reverse,
+                        &forward_payload,
+                        &reverse_payload,
+                        &mut BanditPolicy::paper_default(),
+                        &mut BanditPolicy::paper_default(),
+                    )
+                });
+            match duplex_result {
+                Ok(report) => {
+                    timeline_points.push(TimelinePoint::new(
+                        "duplex / llc both ways / quality-weighted slots",
+                        sink.snapshot(),
+                    ));
+                    println!(
+                        "timeline duplex exchange: {} slots, {:.1} kb/s aggregate",
+                        report.slots.len(),
+                        report.aggregate_goodput_kbps()
+                    );
+                }
+                Err(err) => eprintln!("note: timeline duplex exchange failed: {err}"),
+            }
+            match write_timeline(path, &timeline_points) {
+                Ok(()) => {
+                    let events: usize = timeline_points.iter().map(|p| p.log.len()).sum();
+                    println!(
+                        "wrote event timeline ({} point(s), {events} events) to {}",
+                        timeline_points.len(),
+                        path.display()
+                    );
+                    println!(
+                        "(open in chrome://tracing or Perfetto; check with: repro \
+                         --validate-timeline {})",
+                        path.display()
+                    );
+                }
                 Err(err) => {
                     eprintln!("error: could not write {}: {err}", path.display());
                     std::process::exit(1);
@@ -1002,16 +1177,34 @@ fn main() {
                     );
                 } else {
                     eprintln!(
-                        "error: baseline gate FAILED — {} regressed cell(s):",
+                        "error: baseline gate FAILED — {} regressed cell(s), worst first:",
                         report.regressions.len()
                     );
                     for regression in &report.regressions {
                         eprintln!("  {}", regression.describe());
+                        // The forensic trail: which metrics of this cell
+                        // moved the most against the committed baseline.
+                        for line in regression.forensic_lines() {
+                            eprintln!("      {line}");
+                        }
                     }
                     eprintln!(
                         "(an intended change? refresh with: repro --quick --sweep --out {})",
                         path.display()
                     );
+                    // In CI, the same report lands in the step summary so
+                    // nobody has to dig through the raw log.
+                    if let Ok(summary_path) = std::env::var("GITHUB_STEP_SUMMARY") {
+                        use std::io::Write as _;
+                        let appended = std::fs::OpenOptions::new()
+                            .create(true)
+                            .append(true)
+                            .open(&summary_path)
+                            .and_then(|mut file| file.write_all(report.markdown().as_bytes()));
+                        if let Err(err) = appended {
+                            eprintln!("note: could not append to {summary_path}: {err}");
+                        }
+                    }
                 }
                 std::process::exit(2);
             }
@@ -1055,6 +1248,12 @@ fn main() {
         if let Some(path) = &opts.metrics_out {
             eprintln!(
                 "note: --metrics-out {} ignored (it aggregates --sweep telemetry; pass --sweep)",
+                path.display()
+            );
+        }
+        if let Some(path) = &opts.trace_timeline {
+            eprintln!(
+                "note: --trace-timeline {} ignored (it records --sweep events; pass --sweep)",
                 path.display()
             );
         }

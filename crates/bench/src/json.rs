@@ -52,7 +52,7 @@ pub(crate) fn escape(text: &str) -> String {
 }
 
 /// Formats a float as a JSON number; non-finite values become `null`.
-fn number(value: f64) -> String {
+pub(crate) fn number(value: f64) -> String {
     if value.is_finite() {
         format!("{value}")
     } else {

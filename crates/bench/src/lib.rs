@@ -11,6 +11,7 @@ pub mod baseline;
 pub mod json;
 pub mod resume;
 pub mod sweep;
+pub mod timeline;
 pub mod tracefile;
 
 pub use baseline::{Baseline, BaselineCell, BaselineReport, Regression, DEFAULT_TOLERANCE};
@@ -24,6 +25,9 @@ pub use sweep::{
     adaptive_grid, adaptive_grid_for, coded_grid, coded_grid_for, default_grid, default_grid_for,
     effective_engine, record_point_trace, run_point, run_point_configured, run_point_with_registry,
     ChannelKind, NoiseLevel, SweepOutcome, SweepPoint, SweepResult, SweepRunner,
+};
+pub use timeline::{
+    chrome_trace_json, validate_timeline, write_timeline, TimelinePoint, TimelineSummary,
 };
 pub use tracefile::{parse_trace, read_trace, trace_to_string, write_trace, TRACE_SCHEMA};
 

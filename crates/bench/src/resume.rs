@@ -87,17 +87,18 @@ impl ResumeCache {
                     .and_then(JsonValue::as_f64)
                     .ok_or_else(|| format!("row {index} ({scenario}) has no '{field}'"))
             };
-            let cell = BaselineCell {
-                bits: number("bits")? as u64,
-                seed: number("seed")? as u64,
-                goodput_kbps: Some(number("goodput_kbps")?),
-                scenario,
-            };
             let metrics = match row.get("metrics") {
                 None => None,
                 Some(metrics) => Some(
                     parse_metrics_snapshot(metrics).map_err(|err| format!("row {index}: {err}"))?,
                 ),
+            };
+            let cell = BaselineCell {
+                bits: number("bits")? as u64,
+                seed: number("seed")? as u64,
+                goodput_kbps: Some(number("goodput_kbps")?),
+                metrics: metrics.clone(),
+                scenario,
             };
             rows.insert(
                 key.to_string(),

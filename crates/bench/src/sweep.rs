@@ -301,6 +301,14 @@ pub struct SweepOutcome {
     /// `adapt.*`) and wall-clock phase histograms (`phase.*`). `None` when
     /// the runner was built with [`SweepRunner::with_telemetry`]`(false)`.
     pub metrics: Option<MetricsSnapshot>,
+    /// Timeline event log of the point's private [`EventSink`] — noise
+    /// phase transitions, link frames and retransmissions, adaptation
+    /// windows and probes, plus one whole-point sweep-track span. `None`
+    /// unless the runner was built with [`SweepRunner::with_events`]`(true)`
+    /// (the default is off: event recording is for `--trace-timeline`
+    /// forensics, not routine sweeps). Never serialized into sweep rows,
+    /// so baseline and resume documents are unaffected either way.
+    pub events: Option<EventLog>,
 }
 
 /// One row of a completed sweep: the point and its outcome or failure.
@@ -342,7 +350,7 @@ pub fn run_point_configured(
     registry: &BackendRegistry,
     telemetry: bool,
 ) -> SweepResult {
-    let outcome = run_point_inner(point, engine, registry, telemetry);
+    let outcome = run_point_inner(point, engine, registry, telemetry, false);
     SweepResult {
         point: point.clone(),
         outcome,
@@ -424,15 +432,21 @@ fn run_point_inner(
     engine: &Transceiver,
     registry: &BackendRegistry,
     telemetry: bool,
+    events: bool,
 ) -> Result<SweepOutcome, ChannelError> {
     // Each point gets a *private* registry: points run on arbitrary worker
     // threads, and a shared registry would smear concurrent points'
     // counters together. Aggregation across points is the consumer's job
-    // (`MetricsSnapshot::merge`).
+    // (`MetricsSnapshot::merge`). The event sink is private for the same
+    // reason — and so each row's timeline starts at its own time zero.
     let instruments = telemetry.then(Registry::new);
+    let sink = events.then(EventSink::new);
     let mut engine = Transceiver::new(effective_engine(point, engine.config()));
     if let Some(reg) = &instruments {
         engine = engine.with_telemetry(reg);
+    }
+    if let Some(sink) = &sink {
+        engine = engine.with_events(sink);
     }
     let engine = &engine;
     let (spec, soc_config) = resolve_backend(point, registry)?;
@@ -440,17 +454,34 @@ fn run_point_inner(
     if let Some(reg) = &instruments {
         soc.attach_telemetry(reg);
     }
+    if let Some(sink) = &sink {
+        soc.attach_events(sink);
+    }
     let payload = test_pattern(point.bits, point.seed ^ 0x5EED);
     match point.channel {
         ChannelKind::LlcPrimeProbe => {
             let config = llc_channel_config(point, soc_config);
             let mut channel = LlcChannel::with_backend(soc, config)?;
-            finish_point(&mut channel, engine, point, &payload, instruments.as_ref())
+            finish_point(
+                &mut channel,
+                engine,
+                point,
+                &payload,
+                instruments.as_ref(),
+                sink.as_ref(),
+            )
         }
         ChannelKind::RingContention => {
             let config = contention_channel_config(point, soc_config);
             let mut channel = ContentionChannel::with_backend(soc, config)?;
-            finish_point(&mut channel, engine, point, &payload, instruments.as_ref())
+            finish_point(
+                &mut channel,
+                engine,
+                point,
+                &payload,
+                instruments.as_ref(),
+                sink.as_ref(),
+            )
         }
     }
 }
@@ -464,6 +495,7 @@ fn finish_point<C: CovertChannel>(
     point: &SweepPoint,
     payload: &[bool],
     instruments: Option<&Registry>,
+    events: Option<&EventSink>,
 ) -> Result<SweepOutcome, ChannelError> {
     let calibration = channel.calibrate()?;
     let (report, stats) = match point.policy {
@@ -480,10 +512,29 @@ fn finish_point<C: CovertChannel>(
             if let Some(reg) = instruments {
                 adaptive = adaptive.with_telemetry(reg);
             }
+            if let Some(sink) = events {
+                adaptive = adaptive.with_events(sink);
+            }
             let mut controller = kind.build(LinkSetting::new(point.code, 1));
             adaptive.transmit(channel, controller.as_mut(), payload)?
         }
     };
+    // One whole-point span on the sweep track, covering the transmission
+    // from the row's time zero: the backdrop the other tracks' events sit
+    // on when the timeline is rendered.
+    if let Some(sink) = events {
+        sink.span(
+            EventLayer::Sweep,
+            "point",
+            Time::ZERO,
+            report.elapsed,
+            vec![
+                ("scenario", point.label().into()),
+                ("bits", point.bits.into()),
+                ("goodput_kbps", report.goodput_kbps().into()),
+            ],
+        );
+    }
     let coding = report.coding;
     Ok(SweepOutcome {
         bandwidth_kbps: report.bandwidth_kbps(),
@@ -499,6 +550,7 @@ fn finish_point<C: CovertChannel>(
         diagnostics: channel.diagnostics(),
         adaptation: report.adaptation,
         metrics: instruments.map(Registry::snapshot),
+        events: events.map(EventSink::snapshot),
     })
 }
 
@@ -528,13 +580,27 @@ pub fn record_point_trace(
         ChannelKind::LlcPrimeProbe => {
             let config = llc_channel_config(point, soc_config);
             let mut channel = LlcChannel::with_backend(soc, config)?;
-            let outcome = finish_point(&mut channel, engine, point, &payload, Some(&instruments))?;
+            let outcome = finish_point(
+                &mut channel,
+                engine,
+                point,
+                &payload,
+                Some(&instruments),
+                None,
+            )?;
             Ok((outcome, channel.backend().trace().clone()))
         }
         ChannelKind::RingContention => {
             let config = contention_channel_config(point, soc_config);
             let mut channel = ContentionChannel::with_backend(soc, config)?;
-            let outcome = finish_point(&mut channel, engine, point, &payload, Some(&instruments))?;
+            let outcome = finish_point(
+                &mut channel,
+                engine,
+                point,
+                &payload,
+                Some(&instruments),
+                None,
+            )?;
             Ok((outcome, channel.backend().trace().clone()))
         }
     }
@@ -627,11 +693,16 @@ fn run_point_from_template(
     base: &TransceiverConfig,
     cell: &CellTemplate,
     telemetry: bool,
+    events: bool,
 ) -> SweepResult {
     let instruments = telemetry.then(Registry::new);
+    let sink = events.then(EventSink::new);
     let mut engine = Transceiver::new(effective_engine(point, base));
     if let Some(reg) = &instruments {
         engine = engine.with_telemetry(reg);
+    }
+    if let Some(sink) = &sink {
+        engine = engine.with_events(sink);
     }
     let payload = test_pattern(point.bits, point.seed ^ 0x5EED);
     let outcome = match &cell.channel {
@@ -640,18 +711,8 @@ fn run_point_from_template(
             if let Some(reg) = &instruments {
                 channel.backend_mut().attach_telemetry(reg);
             }
-            finish_point(
-                &mut *channel,
-                &engine,
-                point,
-                &payload,
-                instruments.as_ref(),
-            )
-        }
-        ChannelTemplate::Contention(template) => {
-            let mut channel = template.clone();
-            if let Some(reg) = &instruments {
-                channel.backend_mut().attach_telemetry(reg);
+            if let Some(sink) = &sink {
+                channel.backend_mut().attach_events(sink);
             }
             finish_point(
                 &mut *channel,
@@ -659,6 +720,24 @@ fn run_point_from_template(
                 point,
                 &payload,
                 instruments.as_ref(),
+                sink.as_ref(),
+            )
+        }
+        ChannelTemplate::Contention(template) => {
+            let mut channel = template.clone();
+            if let Some(reg) = &instruments {
+                channel.backend_mut().attach_telemetry(reg);
+            }
+            if let Some(sink) = &sink {
+                channel.backend_mut().attach_events(sink);
+            }
+            finish_point(
+                &mut *channel,
+                &engine,
+                point,
+                &payload,
+                instruments.as_ref(),
+                sink.as_ref(),
             )
         }
     };
@@ -686,6 +765,7 @@ fn run_point_cached(
     base: &TransceiverConfig,
     registry: &BackendRegistry,
     telemetry: bool,
+    events: bool,
     cache: &mut Option<CellTemplate>,
 ) -> SweepResult {
     let key = template_key(point);
@@ -702,7 +782,7 @@ fn run_point_cached(
         }
     }
     let cell = cache.as_ref().expect("template cached above");
-    run_point_from_template(point, base, cell, telemetry)
+    run_point_from_template(point, base, cell, telemetry, events)
 }
 
 /// Fans sweep points across OS threads.
@@ -713,6 +793,7 @@ pub struct SweepRunner {
     point_budget: Option<Duration>,
     registry: BackendRegistry,
     telemetry: bool,
+    events: bool,
 }
 
 impl SweepRunner {
@@ -724,6 +805,7 @@ impl SweepRunner {
             point_budget: None,
             registry: BackendRegistry::standard(),
             telemetry: true,
+            events: false,
         }
     }
 
@@ -773,6 +855,22 @@ impl SweepRunner {
         self.telemetry
     }
 
+    /// Switches per-point timeline event recording on or off (default:
+    /// off). With events on, every point gets a private [`EventSink`]
+    /// threaded through its backend, engine and (for policy points) the
+    /// adaptive transceiver, and the captured [`EventLog`] lands on
+    /// [`SweepOutcome::events`]. Recording is purely observational: the
+    /// measured rows are bit-identical either way.
+    pub fn with_events(mut self, events: bool) -> Self {
+        self.events = events;
+        self
+    }
+
+    /// Whether rows will carry a [`SweepOutcome::events`] log.
+    pub fn events(&self) -> bool {
+        self.events
+    }
+
     /// Worker-thread count.
     pub fn threads(&self) -> usize {
         self.threads
@@ -817,6 +915,7 @@ impl SweepRunner {
                                 &self.engine,
                                 &self.registry,
                                 self.telemetry,
+                                self.events,
                                 &mut cache,
                             ),
                             Some(budget) => run_point_with_budget(
@@ -825,6 +924,7 @@ impl SweepRunner {
                                 budget,
                                 &self.registry,
                                 self.telemetry,
+                                self.events,
                                 &mut cache,
                             ),
                         };
@@ -861,12 +961,14 @@ impl SweepRunner {
 /// template even if the point is abandoned; on a miss the whole setup +
 /// transmission runs under the budget and the freshly built template is
 /// shipped back with the row (and simply lost with it on a timeout).
+#[allow(clippy::too_many_arguments)]
 fn run_point_with_budget(
     point: &SweepPoint,
     base: &TransceiverConfig,
     budget: Duration,
     registry: &BackendRegistry,
     telemetry: bool,
+    events: bool,
     cache: &mut Option<CellTemplate>,
 ) -> SweepResult {
     let key = template_key(point);
@@ -881,13 +983,18 @@ fn run_point_with_budget(
     std::thread::spawn(move || {
         let outcome = match reuse {
             Some(cell) => (
-                run_point_from_template(&worker_point, &engine_config, &cell, telemetry),
+                run_point_from_template(&worker_point, &engine_config, &cell, telemetry, events),
                 None,
             ),
             None => match build_template(&worker_point, &worker_registry, telemetry) {
                 Ok(cell) => {
-                    let row =
-                        run_point_from_template(&worker_point, &engine_config, &cell, telemetry);
+                    let row = run_point_from_template(
+                        &worker_point,
+                        &engine_config,
+                        &cell,
+                        telemetry,
+                        events,
+                    );
                     (row, Some(cell))
                 }
                 Err(err) => (

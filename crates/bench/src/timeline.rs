@@ -1,0 +1,397 @@
+//! Chrome-trace export of cross-layer event timelines.
+//!
+//! Sweep points (and ad-hoc duplex exchanges) captured with
+//! [`crate::SweepRunner::with_events`] each yield an [`EventLog`]. This
+//! module renders a set of those logs as a single [Chrome trace-event
+//! JSON] document that loads
+//! directly into `chrome://tracing` or Perfetto:
+//!
+//! - every captured point becomes one *process* (`pid`), named after its
+//!   sweep scenario label;
+//! - every [`EventLayer`] becomes one *thread* (track) inside that process
+//!   (`tid` = [`EventLayer::track_id`]); all six tracks are declared via
+//!   `thread_name` metadata even when a layer recorded nothing, so traces
+//!   are structurally uniform and trivially validatable;
+//! - events with a duration render as complete events (`ph:"X"`), the rest
+//!   as thread-scoped instants (`ph:"i"`), with timestamps in microseconds
+//!   of simulated time and typed fields carried in `args`.
+//!
+//! The writer emits plain JSON through the same primitives as the sweep
+//! writer, so [`crate::json::parse_json`] round-trips its output —
+//! [`validate_timeline`] leans on that for the CI smoke check.
+//!
+//! [Chrome trace-event JSON]:
+//!     https://docs.google.com/document/d/1CvAClvFfyA5R-PhYUmn5OOQtYMH4h6I0nSsKchNAySU
+
+use std::fmt::Write as _;
+use std::fs;
+use std::io;
+use std::path::Path;
+
+use soc_sim::events::{Event, EventLayer, EventLog, FieldValue};
+use soc_sim::prelude::Time;
+
+use crate::json::{escape, number, parse_json};
+
+/// One process row of an exported timeline: a display label plus the
+/// event log captured for that point.
+#[derive(Debug, Clone)]
+pub struct TimelinePoint {
+    /// Process name shown by the trace viewer (typically the sweep
+    /// scenario label, e.g. `llc-cov/rung3/s7`).
+    pub label: String,
+    /// The events captured for this point.
+    pub log: EventLog,
+}
+
+impl TimelinePoint {
+    /// Bundles a label with a captured log.
+    pub fn new(label: impl Into<String>, log: EventLog) -> Self {
+        TimelinePoint {
+            label: label.into(),
+            log,
+        }
+    }
+}
+
+/// Simulated [`Time`] in Chrome-trace microseconds.
+fn ts_us(at: Time) -> f64 {
+    at.as_ps() as f64 / 1e6
+}
+
+/// Renders one typed field value as a JSON literal.
+fn field_json(value: &FieldValue) -> String {
+    match value {
+        FieldValue::U64(v) => format!("{v}"),
+        FieldValue::F64(v) => number(*v),
+        FieldValue::Str(v) => format!("\"{}\"", escape(v)),
+    }
+}
+
+/// Renders an event's fields as a Chrome-trace `args` object.
+fn args_json(fields: &[(&'static str, FieldValue)]) -> String {
+    let mut out = String::from("{");
+    for (index, (key, value)) in fields.iter().enumerate() {
+        if index > 0 {
+            out.push(',');
+        }
+        let _ = write!(out, "\"{}\":{}", escape(key), field_json(value));
+    }
+    out.push('}');
+    out
+}
+
+/// Renders one recorded event as a trace-event object.
+fn event_json(pid: u64, event: &Event) -> String {
+    let tid = event.layer.track_id();
+    let cat = event.layer.track_name();
+    let name = escape(event.name);
+    let ts = number(ts_us(event.at));
+    let args = args_json(&event.fields);
+    match event.duration {
+        Some(duration) => format!(
+            "{{\"name\":\"{name}\",\"cat\":\"{cat}\",\"ph\":\"X\",\"ts\":{ts},\
+             \"dur\":{dur},\"pid\":{pid},\"tid\":{tid},\"args\":{args}}}",
+            dur = number(ts_us(duration)),
+        ),
+        None => format!(
+            "{{\"name\":\"{name}\",\"cat\":\"{cat}\",\"ph\":\"i\",\"s\":\"t\",\
+             \"ts\":{ts},\"pid\":{pid},\"tid\":{tid},\"args\":{args}}}"
+        ),
+    }
+}
+
+/// Renders a `process_name` / `thread_name` metadata event.
+fn metadata_json(kind: &str, pid: u64, tid: Option<u64>, name: &str) -> String {
+    let tid = tid.map(|t| format!("\"tid\":{t},")).unwrap_or_default();
+    format!(
+        "{{\"name\":\"{kind}\",\"ph\":\"M\",\"pid\":{pid},{tid}\"args\":{{\"name\":\"{}\"}}}}",
+        escape(name)
+    )
+}
+
+/// Serializes captured points as a Chrome trace-event JSON document.
+///
+/// Points become processes in input order (`pid` starts at 1); within each
+/// point, events are sorted by timestamp (stable, so same-instant events
+/// keep their recording order). A point whose ring overflowed gets a
+/// synthetic `ring_dropped` instant on the sweep track so truncation is
+/// visible in the viewer rather than silent.
+pub fn chrome_trace_json(points: &[TimelinePoint]) -> String {
+    let mut entries: Vec<String> = Vec::new();
+    for (index, point) in points.iter().enumerate() {
+        let pid = index as u64 + 1;
+        entries.push(metadata_json("process_name", pid, None, &point.label));
+        for layer in EventLayer::ALL {
+            entries.push(metadata_json(
+                "thread_name",
+                pid,
+                Some(layer.track_id()),
+                layer.track_name(),
+            ));
+        }
+        let mut ordered: Vec<&Event> = point.log.events.iter().collect();
+        ordered.sort_by_key(|event| event.at);
+        entries.extend(ordered.into_iter().map(|event| event_json(pid, event)));
+        if point.log.dropped > 0 {
+            entries.push(format!(
+                "{{\"name\":\"ring_dropped\",\"cat\":\"sweep\",\"ph\":\"i\",\"s\":\"t\",\
+                 \"ts\":0,\"pid\":{pid},\"tid\":{tid},\"args\":{{\"dropped\":{dropped}}}}}",
+                tid = EventLayer::Sweep.track_id(),
+                dropped = point.log.dropped,
+            ));
+        }
+    }
+    let mut out = String::from("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[");
+    for (index, entry) in entries.iter().enumerate() {
+        if index > 0 {
+            out.push(',');
+        }
+        out.push_str(entry);
+    }
+    out.push_str("]}");
+    out
+}
+
+/// Writes [`chrome_trace_json`] output to `path`.
+pub fn write_timeline(path: &Path, points: &[TimelinePoint]) -> io::Result<()> {
+    fs::write(path, chrome_trace_json(points))
+}
+
+/// What [`validate_timeline`] found in a trace document.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TimelineSummary {
+    /// Distinct processes (captured points).
+    pub points: usize,
+    /// Non-metadata events across all points.
+    pub events: usize,
+    /// Distinct track (thread) names, sorted.
+    pub tracks: Vec<String>,
+}
+
+/// Parses a Chrome-trace document and checks its structural invariants:
+/// it must be valid JSON with a `traceEvents` array, every entry needs
+/// `name`/`ph`/`pid`, every non-metadata entry needs a numeric `ts` and a
+/// known track id, and all six layer tracks must be declared. Returns a
+/// summary of what was found, or a description of the first violation.
+pub fn validate_timeline(text: &str) -> Result<TimelineSummary, String> {
+    let doc = parse_json(text).map_err(|e| format!("invalid JSON: {e}"))?;
+    let events = doc
+        .get("traceEvents")
+        .and_then(|v| v.as_array())
+        .ok_or("missing traceEvents array")?;
+    let mut pids = std::collections::BTreeSet::new();
+    let mut tracks = std::collections::BTreeSet::new();
+    let mut count = 0usize;
+    for (index, entry) in events.iter().enumerate() {
+        let name = entry
+            .get("name")
+            .and_then(|v| v.as_str())
+            .ok_or_else(|| format!("event #{index}: missing name"))?;
+        let ph = entry
+            .get("ph")
+            .and_then(|v| v.as_str())
+            .ok_or_else(|| format!("event #{index} ({name}): missing ph"))?;
+        let pid = entry
+            .get("pid")
+            .and_then(|v| v.as_f64())
+            .ok_or_else(|| format!("event #{index} ({name}): missing pid"))?;
+        pids.insert(pid as u64);
+        if ph == "M" {
+            if name == "thread_name" {
+                let track = entry
+                    .get("args")
+                    .and_then(|a| a.get("name"))
+                    .and_then(|v| v.as_str())
+                    .ok_or_else(|| format!("event #{index}: thread_name without args.name"))?;
+                tracks.insert(track.to_string());
+            }
+            continue;
+        }
+        entry
+            .get("ts")
+            .and_then(|v| v.as_f64())
+            .ok_or_else(|| format!("event #{index} ({name}): missing ts"))?;
+        let tid = entry
+            .get("tid")
+            .and_then(|v| v.as_f64())
+            .ok_or_else(|| format!("event #{index} ({name}): missing tid"))?
+            as u64;
+        if !EventLayer::ALL.iter().any(|l| l.track_id() == tid) {
+            return Err(format!("event #{index} ({name}): unknown tid {tid}"));
+        }
+        count += 1;
+    }
+    for layer in EventLayer::ALL {
+        if !tracks.contains(layer.track_name()) {
+            return Err(format!("missing track '{}'", layer.track_name()));
+        }
+    }
+    Ok(TimelineSummary {
+        points: pids.len(),
+        events: count,
+        tracks: tracks.into_iter().collect(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use soc_sim::events::EventSink;
+
+    fn sample_log() -> EventLog {
+        let sink = EventSink::new();
+        sink.span(
+            EventLayer::Link,
+            "frame",
+            Time::from_ns(100),
+            Time::from_ns(40),
+            vec![("attempt", 1u64.into()), ("verdict", "delivered".into())],
+        );
+        sink.instant(
+            EventLayer::Adapt,
+            "rung_switch",
+            Time::from_ns(20),
+            vec![("to_rung", 3u64.into())],
+        );
+        sink.instant(
+            EventLayer::Sim,
+            "quote\"and\\slash",
+            Time::ZERO,
+            vec![("note", "line\nbreak".into())],
+        );
+        sink.snapshot()
+    }
+
+    #[test]
+    fn exporter_escapes_and_round_trips() {
+        let text = chrome_trace_json(&[TimelinePoint::new("llc\"cov", sample_log())]);
+        let doc = parse_json(&text).expect("exporter output must parse");
+        let events = doc.get("traceEvents").unwrap().as_array().unwrap();
+        let process = events
+            .iter()
+            .find(|e| e.get("name").and_then(|v| v.as_str()) == Some("process_name"))
+            .unwrap();
+        assert_eq!(
+            process.get("args").unwrap().get("name").unwrap().as_str(),
+            Some("llc\"cov")
+        );
+        let odd = events
+            .iter()
+            .find(|e| e.get("name").and_then(|v| v.as_str()) == Some("quote\"and\\slash"))
+            .unwrap();
+        assert_eq!(
+            odd.get("args").unwrap().get("note").unwrap().as_str(),
+            Some("line\nbreak")
+        );
+    }
+
+    #[test]
+    fn events_are_ordered_by_timestamp() {
+        let text = chrome_trace_json(&[TimelinePoint::new("p", sample_log())]);
+        let doc = parse_json(&text).unwrap();
+        let ts: Vec<f64> = doc
+            .get("traceEvents")
+            .unwrap()
+            .as_array()
+            .unwrap()
+            .iter()
+            .filter(|e| e.get("ph").and_then(|v| v.as_str()) != Some("M"))
+            .map(|e| e.get("ts").unwrap().as_f64().unwrap())
+            .collect();
+        assert_eq!(ts.len(), 3);
+        assert!(ts.windows(2).all(|w| w[0] <= w[1]), "ts not sorted: {ts:?}");
+        // Recorded out of order (100 ns, 20 ns, 0 ns) — sorted on export.
+        assert_eq!(ts[0], 0.0);
+        assert_eq!(ts[2], 0.1);
+    }
+
+    #[test]
+    fn duration_events_carry_dur_and_instants_carry_scope() {
+        let text = chrome_trace_json(&[TimelinePoint::new("p", sample_log())]);
+        let doc = parse_json(&text).unwrap();
+        let events = doc.get("traceEvents").unwrap().as_array().unwrap();
+        let frame = events
+            .iter()
+            .find(|e| e.get("name").and_then(|v| v.as_str()) == Some("frame"))
+            .unwrap();
+        assert_eq!(frame.get("ph").unwrap().as_str(), Some("X"));
+        assert_eq!(frame.get("dur").unwrap().as_f64(), Some(0.04));
+        let switch = events
+            .iter()
+            .find(|e| e.get("name").and_then(|v| v.as_str()) == Some("rung_switch"))
+            .unwrap();
+        assert_eq!(switch.get("ph").unwrap().as_str(), Some("i"));
+        assert_eq!(switch.get("s").unwrap().as_str(), Some("t"));
+    }
+
+    #[test]
+    fn validate_accepts_exporter_output_and_names_all_tracks() {
+        let text = chrome_trace_json(&[
+            TimelinePoint::new("a", sample_log()),
+            TimelinePoint::new("b", EventLog::default()),
+        ]);
+        let summary = validate_timeline(&text).expect("valid timeline");
+        assert_eq!(summary.points, 2);
+        assert_eq!(summary.events, 3);
+        let expected: Vec<String> = {
+            let mut names: Vec<String> = EventLayer::ALL
+                .iter()
+                .map(|l| l.track_name().to_string())
+                .collect();
+            names.sort();
+            names
+        };
+        assert_eq!(summary.tracks, expected);
+    }
+
+    #[test]
+    fn validate_rejects_broken_documents() {
+        assert!(validate_timeline("not json").is_err());
+        assert!(validate_timeline("{\"traceEvents\":1}").is_err());
+        let err = validate_timeline("{\"traceEvents\":[]}").unwrap_err();
+        assert!(err.contains("missing track"), "{err}");
+    }
+
+    #[test]
+    fn write_timeline_round_trips_via_file() {
+        let path = std::env::temp_dir().join(format!(
+            "timeline-test-{}-{:?}.json",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        write_timeline(&path, &[TimelinePoint::new("file", sample_log())]).unwrap();
+        let text = fs::read_to_string(&path).unwrap();
+        let _ = fs::remove_file(&path);
+        let summary = validate_timeline(&text).expect("written timeline validates");
+        assert_eq!(summary.points, 1);
+        assert_eq!(summary.events, 3);
+    }
+
+    #[test]
+    fn dropped_rings_are_flagged() {
+        let sink = EventSink::with_capacity(2);
+        for i in 0..5u64 {
+            sink.instant(EventLayer::Link, "tick", Time::from_ns(i), vec![]);
+        }
+        let text = chrome_trace_json(&[TimelinePoint::new("p", sink.snapshot())]);
+        let doc = parse_json(&text).unwrap();
+        let dropped = doc
+            .get("traceEvents")
+            .unwrap()
+            .as_array()
+            .unwrap()
+            .iter()
+            .find(|e| e.get("name").and_then(|v| v.as_str()) == Some("ring_dropped"))
+            .expect("ring_dropped instant present");
+        assert_eq!(
+            dropped
+                .get("args")
+                .unwrap()
+                .get("dropped")
+                .unwrap()
+                .as_f64(),
+            Some(3.0)
+        );
+    }
+}

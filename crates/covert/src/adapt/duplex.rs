@@ -30,6 +30,7 @@ use crate::channel::engine::{CovertChannel, LinkStats, Transceiver, TransceiverC
 use crate::error::ChannelError;
 use crate::metrics::TransmissionReport;
 use soc_sim::clock::Time;
+use soc_sim::events::{EventLayer, EventSink};
 
 /// How the scheduler assigns TDD slots to the two directions.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -232,12 +233,27 @@ impl<'p> DirectionState<'p> {
 #[derive(Debug, Clone, Default)]
 pub struct DuplexScheduler {
     config: DuplexConfig,
+    events: Option<EventSink>,
 }
 
 impl DuplexScheduler {
     /// A scheduler with an explicit configuration.
     pub fn new(config: DuplexConfig) -> Self {
-        DuplexScheduler { config }
+        DuplexScheduler {
+            config,
+            events: None,
+        }
+    }
+
+    /// Attaches an event sink: the scheduler records one duplex-track span
+    /// per slot grant (timestamped on the shared slot clock) plus
+    /// starvation-probe instants, and threads the sink into the per-slot
+    /// engines so their frames land on the link track. Purely
+    /// observational — recording never changes slot allocation or timing.
+    #[must_use]
+    pub fn with_events(mut self, sink: &EventSink) -> Self {
+        self.events = Some(sink.clone());
+        self
     }
 
     /// The configuration.
@@ -299,6 +315,7 @@ impl DuplexScheduler {
         R: CovertChannel + ?Sized,
     {
         let slot_bits = self.config.slot_payload_bits.max(1);
+        let events = self.events.as_ref().filter(|sink| sink.is_enabled());
         let mut f = DirectionState::new(forward_payload, forward_controller.initial());
         let mut r = DirectionState::new(reverse_payload, reverse_controller.initial());
         let mut slots = Vec::new();
@@ -360,10 +377,32 @@ impl DuplexScheduler {
                         (Some(fq), Some(rq)) => {
                             if f.remaining() > 0 && index - forward_served >= STARVATION_PROBE_SLOTS
                             {
+                                if let Some(sink) = events {
+                                    sink.instant(
+                                        EventLayer::Duplex,
+                                        "starvation_probe",
+                                        elapsed,
+                                        vec![
+                                            ("slot", index.into()),
+                                            ("direction", SlotDirection::Forward.label().into()),
+                                        ],
+                                    );
+                                }
                                 SlotDirection::Forward
                             } else if r.remaining() > 0
                                 && index - reverse_served >= STARVATION_PROBE_SLOTS
                             {
+                                if let Some(sink) = events {
+                                    sink.instant(
+                                        EventLayer::Duplex,
+                                        "starvation_probe",
+                                        elapsed,
+                                        vec![
+                                            ("slot", index.into()),
+                                            ("direction", SlotDirection::Reverse.label().into()),
+                                        ],
+                                    );
+                                }
                                 SlotDirection::Reverse
                             } else {
                                 let forward_payoff = f.remaining() as f64 * fq.max(0.0);
@@ -400,6 +439,8 @@ impl DuplexScheduler {
                         slot_bits,
                         index,
                         direction,
+                        elapsed,
+                        events,
                     )?;
                     reverse.advance_idle(slot.elapsed);
                     slot
@@ -412,11 +453,27 @@ impl DuplexScheduler {
                         slot_bits,
                         index,
                         direction,
+                        elapsed,
+                        events,
                     )?;
                     forward.advance_idle(slot.elapsed);
                     slot
                 }
             };
+            if let Some(sink) = events {
+                sink.span(
+                    EventLayer::Duplex,
+                    "slot",
+                    elapsed,
+                    slot.elapsed,
+                    vec![
+                        ("slot", slot.index.into()),
+                        ("direction", slot.direction.label().into()),
+                        ("payload_bits", slot.payload_bits.into()),
+                        ("idle", u64::from(slot.idle).into()),
+                    ],
+                );
+            }
             elapsed += slot.elapsed;
             slots.push(slot);
             index += 1;
@@ -436,7 +493,10 @@ impl DuplexScheduler {
 
     /// Serves one slot for one direction: either the next chunk of backlog,
     /// or — when the slot is reserved for a drained direction — an idle
-    /// keep-alive frame whose airtime still counts.
+    /// keep-alive frame whose airtime still counts. `at` is the shared
+    /// slot-clock time the slot starts on, so the engine's link-track
+    /// events line up with the duplex track.
+    #[allow(clippy::too_many_arguments)]
     fn serve_slot<C: CovertChannel + ?Sized>(
         &self,
         channel: &mut C,
@@ -445,6 +505,8 @@ impl DuplexScheduler {
         slot_bits: usize,
         index: usize,
         direction: SlotDirection,
+        at: Time,
+        events: Option<&EventSink>,
     ) -> Result<SlotRecord, ChannelError> {
         let mut engine_config = self.config.base;
         engine_config.framed = true;
@@ -458,7 +520,10 @@ impl DuplexScheduler {
             engine_config.warmup_symbols = 0;
         }
         state.first_slot = false;
-        let engine = Transceiver::new(engine_config);
+        let mut engine = Transceiver::new(engine_config);
+        if let Some(sink) = events {
+            engine = engine.with_events(sink).with_event_base(at);
+        }
 
         if state.remaining() == 0 {
             // Idle reserved slot: the peer holds the slot boundary with an

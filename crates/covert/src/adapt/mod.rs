@@ -207,6 +207,14 @@ pub trait LinkController: Send {
     fn attach_telemetry(&mut self, registry: &soc_sim::telemetry::Registry) {
         let _ = registry;
     }
+
+    /// Attaches the controller to a timeline sink (`adapt`-track events:
+    /// the prober-based policies record probe starts, commits and reverts;
+    /// the bandit records its regime flips). The default is a no-op for
+    /// policies with no internal events worth timestamping.
+    fn attach_events(&mut self, sink: &soc_sim::events::EventSink) {
+        let _ = sink;
+    }
 }
 
 /// The built-in policy families, as a compact configuration value the sweep

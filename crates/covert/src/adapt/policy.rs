@@ -19,6 +19,43 @@
 
 use super::{LinkAction, LinkController, LinkObservation, LinkSetting};
 use crate::metrics::RungEstimate;
+use soc_sim::clock::Time;
+use soc_sim::events::{EventLayer, EventSink, FieldValue};
+
+/// Adapt-track event recording shared by the policies.
+///
+/// The policies have no clock of their own — they only see one
+/// [`LinkObservation`] per window — so the helper accumulates the windows'
+/// `elapsed` into a cumulative link clock and stamps every probe / regime
+/// event on it. The clock matches the window spans the adaptive
+/// transceiver records, so probe events land inside the window that
+/// triggered them on the shared timeline.
+#[derive(Debug, Clone)]
+struct PolicyEvents {
+    sink: EventSink,
+    clock: Time,
+}
+
+impl PolicyEvents {
+    fn new(sink: &EventSink) -> Self {
+        PolicyEvents {
+            sink: sink.clone(),
+            clock: Time::ZERO,
+        }
+    }
+
+    /// Advances the link clock past the window under observation. Must be
+    /// the first thing a policy's `observe` does, so every event emitted
+    /// while judging the window lands at the window's end.
+    fn tick(&mut self, observation: &LinkObservation) {
+        self.clock += observation.elapsed;
+    }
+
+    fn instant(&self, name: &'static str, fields: Vec<(&'static str, FieldValue)>) {
+        self.sink
+            .instant(EventLayer::Adapt, name, self.clock, fields);
+    }
+}
 
 /// Static baseline: holds one setting for the whole transmission.
 #[derive(Debug, Clone)]
@@ -255,6 +292,7 @@ pub struct ThresholdPolicy {
     prober: Prober,
     climb: Option<ClimbTrial>,
     climb_cooldown: usize,
+    events: Option<PolicyEvents>,
 }
 
 impl ThresholdPolicy {
@@ -288,6 +326,7 @@ impl ThresholdPolicy {
             prober: Prober::new(),
             climb: None,
             climb_cooldown: 0,
+            events: None,
         }
     }
 
@@ -306,7 +345,14 @@ impl LinkController for ThresholdPolicy {
         self.ladder[self.rung]
     }
 
+    fn attach_events(&mut self, sink: &EventSink) {
+        self.events = Some(PolicyEvents::new(sink));
+    }
+
     fn observe(&mut self, observation: &LinkObservation) -> LinkAction {
+        if let Some(events) = &mut self.events {
+            events.tick(observation);
+        }
         // An ascent on trial is judged first, on pure goodput: the heavier
         // rung must beat the window that triggered the climb or the policy
         // drops back and tolerates the distress for a while.
@@ -328,6 +374,12 @@ impl LinkController for ThresholdPolicy {
             // bad too and the climb happens one window later.
             if let Some(from) = self.prober.on_bad_window() {
                 self.rung = from;
+                if let Some(ev) = &self.events {
+                    ev.instant(
+                        "probe_revert",
+                        vec![("to_rung", from.into()), ("reason", "distress".into())],
+                    );
+                }
                 return LinkAction::Set(self.ladder[self.rung]);
             }
             if self.rung + 1 < self.ladder.len() && self.climb_cooldown == 0 {
@@ -344,11 +396,20 @@ impl LinkController for ThresholdPolicy {
             ProbeVerdict::Commit => {
                 // The lighter rung carries its weight.
                 self.clean_streak = 0;
+                if let Some(ev) = &self.events {
+                    ev.instant("probe_commit", vec![("rung", self.rung.into())]);
+                }
                 return LinkAction::Hold;
             }
             ProbeVerdict::Revert(from) => {
                 self.rung = from;
                 self.clean_streak = 0;
+                if let Some(ev) = &self.events {
+                    ev.instant(
+                        "probe_revert",
+                        vec![("to_rung", from.into()), ("reason", "slower".into())],
+                    );
+                }
                 return LinkAction::Set(self.ladder[self.rung]);
             }
             ProbeVerdict::Idle => {}
@@ -362,7 +423,14 @@ impl LinkController for ThresholdPolicy {
             self.clean_streak += 1;
             if self.clean_streak >= self.patience && self.rung > 0 && self.prober.ready() {
                 self.clean_streak = 0;
+                let from = self.rung;
                 self.rung = self.prober.start(self.rung, observation.goodput_kbps);
+                if let Some(ev) = &self.events {
+                    ev.instant(
+                        "probe_start",
+                        vec![("from_rung", from.into()), ("to_rung", self.rung.into())],
+                    );
+                }
                 return LinkAction::Set(self.ladder[self.rung]);
             }
             return LinkAction::Hold;
@@ -388,6 +456,7 @@ pub struct AimdPolicy {
     prober: Prober,
     climb: Option<ClimbTrial>,
     climb_cooldown: usize,
+    events: Option<PolicyEvents>,
 }
 
 impl AimdPolicy {
@@ -412,6 +481,7 @@ impl AimdPolicy {
             prober: Prober::new(),
             climb: None,
             climb_cooldown: 0,
+            events: None,
         }
     }
 
@@ -430,7 +500,14 @@ impl LinkController for AimdPolicy {
         self.ladder[self.rung]
     }
 
+    fn attach_events(&mut self, sink: &EventSink) {
+        self.events = Some(PolicyEvents::new(sink));
+    }
+
     fn observe(&mut self, observation: &LinkObservation) -> LinkAction {
+        if let Some(events) = &mut self.events {
+            events.tick(observation);
+        }
         let top = self.ladder.len() - 1;
         // An ascent on trial is judged on pure goodput, like the threshold
         // policy's.
@@ -446,6 +523,12 @@ impl LinkController for AimdPolicy {
             // A blown probe only reverts (see ThresholdPolicy::observe).
             if let Some(from) = self.prober.on_bad_window() {
                 self.rung = from;
+                if let Some(ev) = &self.events {
+                    ev.instant(
+                        "probe_revert",
+                        vec![("to_rung", from.into()), ("reason", "distress".into())],
+                    );
+                }
                 return LinkAction::Set(self.ladder[self.rung]);
             }
             // Multiplicative decrease of the rate: double the rung index
@@ -462,9 +545,20 @@ impl LinkController for AimdPolicy {
             return LinkAction::Set(self.ladder[self.rung]);
         }
         match self.prober.judge(observation) {
-            ProbeVerdict::Commit => return LinkAction::Hold,
+            ProbeVerdict::Commit => {
+                if let Some(ev) = &self.events {
+                    ev.instant("probe_commit", vec![("rung", self.rung.into())]);
+                }
+                return LinkAction::Hold;
+            }
             ProbeVerdict::Revert(from) => {
                 self.rung = from;
+                if let Some(ev) = &self.events {
+                    ev.instant(
+                        "probe_revert",
+                        vec![("to_rung", from.into()), ("reason", "slower".into())],
+                    );
+                }
                 return LinkAction::Set(self.ladder[self.rung]);
             }
             ProbeVerdict::Idle => {}
@@ -474,7 +568,14 @@ impl LinkController for AimdPolicy {
         // gate must not demand retry-free windows).
         if self.rung > 0 && self.prober.ready() {
             // Additive increase: probe lighter.
+            let from = self.rung;
             self.rung = self.prober.start(self.rung, observation.goodput_kbps);
+            if let Some(ev) = &self.events {
+                ev.instant(
+                    "probe_start",
+                    vec![("from_rung", from.into()), ("to_rung", self.rung.into())],
+                );
+            }
             return LinkAction::Set(self.ladder[self.rung]);
         }
         LinkAction::Hold
@@ -606,6 +707,8 @@ pub struct BanditPolicy {
     /// Telemetry counter for regime-bank flips (`adapt.bank_flips`), set
     /// by [`LinkController::attach_telemetry`].
     bank_flips: Option<soc_sim::telemetry::Counter>,
+    /// Adapt-track event recorder, set by [`LinkController::attach_events`].
+    events: Option<PolicyEvents>,
 }
 
 /// One lagged window awaiting possible retroactive reclassification (see
@@ -741,6 +844,7 @@ impl BanditPolicy {
             explore,
             raise_ber: 0.03,
             bank_flips: None,
+            events: None,
         }
     }
 
@@ -886,7 +990,14 @@ impl LinkController for BanditPolicy {
         self.bank_flips = Some(registry.counter("adapt.bank_flips"));
     }
 
+    fn attach_events(&mut self, sink: &EventSink) {
+        self.events = Some(PolicyEvents::new(sink));
+    }
+
     fn observe(&mut self, observation: &LinkObservation) -> LinkAction {
+        if let Some(events) = &mut self.events {
+            events.tick(observation);
+        }
         let g = if observation.goodput_kbps.is_finite() {
             observation.goodput_kbps.max(0.0)
         } else {
@@ -956,6 +1067,16 @@ impl LinkController for BanditPolicy {
         if self.burst_mode != was_burst {
             if let Some(flips) = &self.bank_flips {
                 flips.incr();
+            }
+            if let Some(ev) = &self.events {
+                ev.instant(
+                    "regime_flip",
+                    vec![
+                        ("to", if self.burst_mode { "burst" } else { "calm" }.into()),
+                        ("dirty_rate", self.dirty_rate.into()),
+                        ("window", self.window.into()),
+                    ],
+                );
             }
             // The windows that drove the flip were measured under the new
             // regime but credited to the old bank (classifier lag): unwind

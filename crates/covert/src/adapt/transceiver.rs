@@ -17,6 +17,7 @@ use crate::metrics::{
     AdaptationSummary, AdaptationTrace, CodingSummary, TransmissionReport, WindowRecord,
 };
 use soc_sim::clock::Time;
+use soc_sim::events::{EventLayer, EventSink};
 use soc_sim::telemetry::{Counter, Histogram, Registry, Span};
 
 /// Configuration of the adaptive transceiver.
@@ -73,6 +74,7 @@ struct AdaptTelemetry {
 pub struct AdaptiveTransceiver {
     config: AdaptiveConfig,
     telemetry: Option<AdaptTelemetry>,
+    events: Option<EventSink>,
 }
 
 impl AdaptiveTransceiver {
@@ -81,6 +83,7 @@ impl AdaptiveTransceiver {
         AdaptiveTransceiver {
             config,
             telemetry: None,
+            events: None,
         }
     }
 
@@ -97,6 +100,18 @@ impl AdaptiveTransceiver {
             rung_switches: registry.counter("adapt.rung_switches"),
             adapt_ns: registry.histogram("phase.adapt_ns"),
         });
+        self
+    }
+
+    /// Attaches the adaptation loop to a timeline sink: every window
+    /// becomes an `adapt`-track duration event, applied setting changes
+    /// become `rung_switch` instants at the window boundary they take
+    /// effect on, the sink is threaded into every window's engine (`link`
+    /// track, on the same continuous clock) and into the controller
+    /// ([`LinkController::attach_events`]). Purely observational.
+    #[must_use]
+    pub fn with_events(mut self, sink: &EventSink) -> Self {
+        self.events = Some(sink.clone());
         self
     }
 
@@ -159,6 +174,10 @@ impl AdaptiveTransceiver {
         if let Some(telemetry) = &self.telemetry {
             controller.attach_telemetry(&telemetry.registry);
         }
+        let events = self.events.as_ref().filter(|sink| sink.is_enabled());
+        if let Some(sink) = events {
+            controller.attach_events(sink);
+        }
         let mut setting = clamp_setting(controller.initial());
         let mut sent = Vec::with_capacity(payload.len());
         let mut received = Vec::with_capacity(payload.len());
@@ -178,9 +197,24 @@ impl AdaptiveTransceiver {
             // Count only switches that take effect on a window (matching
             // the trace's adjacent-window accounting): a controller move
             // after the final window changes nothing on the wire.
+            let switched = previous_setting.is_some_and(|prev| prev != setting);
             if let Some(telemetry) = &self.telemetry {
-                if previous_setting.is_some_and(|prev| prev != setting) {
+                if switched {
                     telemetry.rung_switches.incr();
+                }
+            }
+            if let Some(sink) = events {
+                if switched {
+                    sink.instant(
+                        EventLayer::Adapt,
+                        "rung_switch",
+                        elapsed,
+                        vec![
+                            ("from", previous_setting.expect("switched").label().into()),
+                            ("to", setting.label().into()),
+                            ("window", index.into()),
+                        ],
+                    );
                 }
             }
             previous_setting = Some(setting);
@@ -188,6 +222,10 @@ impl AdaptiveTransceiver {
             if let Some(telemetry) = &self.telemetry {
                 engine = engine.with_telemetry(&telemetry.registry);
             }
+            if let Some(sink) = events {
+                engine = engine.with_events(sink).with_event_base(elapsed);
+            }
+            let window_start = elapsed;
             let (report, stats) = engine.transmit_detailed(channel, window)?;
             // Everything after the window's transmission is adaptation
             // bookkeeping: observation assembly, trace recording and the
@@ -233,6 +271,21 @@ impl AdaptiveTransceiver {
             });
             sent.extend_from_slice(&report.sent);
             received.extend_from_slice(&report.received);
+            if let Some(sink) = events {
+                sink.span(
+                    EventLayer::Adapt,
+                    "window",
+                    window_start,
+                    report.elapsed,
+                    vec![
+                        ("window", index.into()),
+                        ("setting", setting.label().into()),
+                        ("goodput_kbps", observation.goodput_kbps.into()),
+                        ("residual_ber", observation.residual_ber.into()),
+                        ("retransmissions", stats.retransmissions.into()),
+                    ],
+                );
+            }
 
             if let LinkAction::Set(next) = controller.observe(&observation) {
                 setting = clamp_setting(next);

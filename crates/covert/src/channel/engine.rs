@@ -28,6 +28,7 @@ use crate::protocol::{deframe_bits, frame_bits, ProbeObservation, FRAME_PREAMBLE
 use rand::rngs::SmallRng;
 use rand::Rng;
 use soc_sim::clock::Time;
+use soc_sim::events::{EventLayer, EventSink};
 use soc_sim::prelude::MemorySystem;
 use soc_sim::telemetry::{Counter, Histogram, Registry, Span};
 
@@ -356,6 +357,13 @@ impl LinkTelemetry {
 pub struct Transceiver {
     config: TransceiverConfig,
     telemetry: Option<LinkTelemetry>,
+    events: Option<EventSink>,
+    /// Simulated-time origin of this transmission on the timeline (the
+    /// engine itself always counts from zero; an outer loop that drives
+    /// several transmissions back to back — the adaptive transceiver's
+    /// windows — sets the running offset so the `link` track stays on one
+    /// continuous clock).
+    event_base: Time,
 }
 
 impl Transceiver {
@@ -364,6 +372,8 @@ impl Transceiver {
         Transceiver {
             config,
             telemetry: None,
+            events: None,
+            event_base: Time::ZERO,
         }
     }
 
@@ -374,6 +384,25 @@ impl Transceiver {
     #[must_use]
     pub fn with_telemetry(mut self, registry: &Registry) -> Self {
         self.telemetry = Some(LinkTelemetry::new(registry));
+        self
+    }
+
+    /// Attaches the engine to a timeline sink (see [`soc_sim::events`]):
+    /// every frame attempt becomes a `link`-track duration event stamped
+    /// with the transmission's running simulated time, and sync failures,
+    /// retransmissions and decode failures become instants at the moment
+    /// they were detected. Purely observational.
+    #[must_use]
+    pub fn with_events(mut self, sink: &EventSink) -> Self {
+        self.events = Some(sink.clone());
+        self
+    }
+
+    /// Sets the simulated-time origin timeline events are stamped against
+    /// (see the `event_base` field).
+    #[must_use]
+    pub fn with_event_base(mut self, base: Time) -> Self {
+        self.event_base = base;
         self
     }
 
@@ -446,6 +475,10 @@ impl Transceiver {
         let mut received = Vec::with_capacity(payload.len());
         let mut elapsed = Time::ZERO;
 
+        // Timeline recording gates on the sink once per transmission; the
+        // hot loops below then pay one `Option` check per would-be event.
+        let events = self.events.as_ref().filter(|sink| sink.is_enabled());
+
         if !self.config.framed {
             // Unframed mode still applies the link code: the whole payload
             // travels as one preamble-less coded frame.
@@ -460,26 +493,88 @@ impl Transceiver {
                 stats.decode_failures += 1;
                 residual_errors += outcome.residual_errors;
             }
+            if let Some(sink) = events {
+                sink.span(
+                    EventLayer::Link,
+                    "raw_block",
+                    self.event_base,
+                    frame.elapsed,
+                    vec![
+                        ("wire_bits", wire_bits.into()),
+                        (
+                            "outcome",
+                            if outcome.residual_errors > 0 {
+                                "decode_failure"
+                            } else {
+                                "delivered"
+                            }
+                            .into(),
+                        ),
+                    ],
+                );
+            }
             received = outcome.payload;
             received.resize(payload.len(), false);
         } else {
-            for chunk in payload.chunks(self.config.frame_payload_bits.max(1)) {
+            for (frame_index, chunk) in payload
+                .chunks(self.config.frame_payload_bits.max(1))
+                .enumerate()
+            {
                 let coded = codec.encode(chunk);
                 let wire = frame_bits(&coded);
                 let mut attempts = 0usize;
                 loop {
+                    let start = self.event_base + elapsed;
                     let frame = self.send_checked(channel, &wire, &mut stats)?;
                     elapsed += frame.elapsed;
+                    let now = self.event_base + elapsed;
                     wire_bits += wire.len() * self.config.effective_symbol_repeat();
+                    // One duration event per frame attempt, stamped with the
+                    // attempt's terminal verdict.
+                    let frame_event = |verdict: &'static str, attempt: usize| {
+                        if let Some(sink) = events {
+                            sink.span(
+                                EventLayer::Link,
+                                "frame",
+                                start,
+                                frame.elapsed,
+                                vec![
+                                    ("frame", frame_index.into()),
+                                    ("attempt", attempt.into()),
+                                    ("outcome", verdict.into()),
+                                ],
+                            );
+                        }
+                    };
+                    let retransmit_event = |attempt: usize| {
+                        if let Some(sink) = events {
+                            sink.instant(
+                                EventLayer::Link,
+                                "retransmission",
+                                now,
+                                vec![("frame", frame_index.into()), ("attempt", attempt.into())],
+                            );
+                        }
+                    };
                     let _classify = self.classify_span();
                     let out_of_retries = attempts >= self.config.max_retries;
                     let body = match deframe_bits(&frame.received, self.config.max_sync_errors) {
                         Ok(body) => body,
                         Err(_) => {
                             stats.sync_failures += 1;
+                            if let Some(sink) = events {
+                                sink.instant(
+                                    EventLayer::Link,
+                                    "sync_failure",
+                                    now,
+                                    vec![("frame", frame_index.into())],
+                                );
+                            }
                             if !out_of_retries {
+                                frame_event("sync_failure", attempts);
                                 attempts += 1;
                                 stats.retransmissions += 1;
+                                retransmit_event(attempts);
                                 continue;
                             }
                             // Out of retries: decode the body best-effort;
@@ -491,14 +586,27 @@ impl Transceiver {
                     let mut outcome = codec.decode(&body);
                     if outcome.residual_errors > 0 {
                         stats.decode_failures += 1;
+                        if let Some(sink) = events {
+                            sink.instant(
+                                EventLayer::Link,
+                                "decode_failure",
+                                now,
+                                vec![
+                                    ("frame", frame_index.into()),
+                                    ("residual_errors", outcome.residual_errors.into()),
+                                ],
+                            );
+                        }
                         // The decoder detected damage it cannot repair:
                         // retransmission is the only remaining recovery.
                         // Repairs made to this discarded attempt do not
                         // count — only accepted frames contribute to
                         // `corrected_bits`.
                         if !out_of_retries {
+                            frame_event("decode_failure", attempts);
                             attempts += 1;
                             stats.retransmissions += 1;
+                            retransmit_event(attempts);
                             continue;
                         }
                         residual_errors += outcome.residual_errors;
@@ -506,6 +614,7 @@ impl Transceiver {
                     stats.corrected_bits += outcome.corrected_bits;
                     outcome.payload.resize(chunk.len(), false);
                     received.extend(outcome.payload);
+                    frame_event("delivered", attempts);
                     break;
                 }
             }

@@ -185,6 +185,16 @@ pub trait MemorySystem {
     fn attach_telemetry(&mut self, registry: &crate::telemetry::Registry) {
         let _ = registry;
     }
+
+    /// Attaches this backend to a cross-layer event timeline sink
+    /// (`sim`/`noise` tracks on the reference simulator; see
+    /// [`crate::events`]).
+    ///
+    /// Purely observational, like [`MemorySystem::attach_telemetry`]. The
+    /// default is a no-op for backends with no event sources of their own.
+    fn attach_events(&mut self, sink: &crate::events::EventSink) {
+        let _ = sink;
+    }
 }
 
 impl MemorySystem for Soc {
@@ -270,6 +280,10 @@ impl MemorySystem for Soc {
 
     fn attach_telemetry(&mut self, registry: &crate::telemetry::Registry) {
         Soc::attach_telemetry(self, registry)
+    }
+
+    fn attach_events(&mut self, sink: &crate::events::EventSink) {
+        Soc::attach_events(self, sink)
     }
 }
 

@@ -1,0 +1,427 @@
+//! Cross-layer event timeline: *what happened when*, not just *how much*.
+//!
+//! [`crate::telemetry`] answers aggregate questions (counters, histograms,
+//! phase spans); this module records the causal sequence those aggregates
+//! flatten away — a noise phase flips, the decoder starts failing, the
+//! adaptation policy probes down a rung, the duplex scheduler reallocates a
+//! slot. Every layer of the workspace pushes typed, sim-clock-stamped
+//! [`Event`]s into a shared [`EventSink`], and `bench` exports the collected
+//! [`EventLog`] as Chrome-trace JSON (one track per [`EventLayer`], loadable
+//! in `ui.perfetto.dev`).
+//!
+//! The sink follows the same near-zero-cost-when-off discipline as
+//! [`telemetry::Registry`](crate::telemetry::Registry):
+//!
+//! * layers hold an `Option<EventSink>`, so a detached layer pays exactly
+//!   one `Option` check per would-be event;
+//! * an attached-but-disabled sink drops events after a single relaxed
+//!   atomic load;
+//! * recording is **purely observational** — no simulated latency, RNG draw
+//!   or replacement decision ever depends on whether a sink is attached.
+//!   The CI perf gate holds the sweep to bit-identity with the timeline
+//!   off, which is the default.
+//!
+//! Storage is a bounded ring: the sink keeps the most recent
+//! [`EventSink::capacity`] events and counts what it had to drop, so a
+//! pathological point cannot grow memory without bound and the export can
+//! say honestly that its view is truncated.
+
+use crate::clock::Time;
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Events a sink retains by default (per sink — the sweep creates one sink
+/// per point). 64 Ki events comfortably covers a quick-sweep point
+/// (hundreds of frames, tens of windows) while bounding a runaway layer.
+pub const DEFAULT_EVENT_CAPACITY: usize = 64 * 1024;
+
+/// The workspace layer an event originated from. One Chrome-trace track
+/// (thread) is rendered per layer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum EventLayer {
+    /// Memory-hierarchy simulator: topology and LLC partition description.
+    Sim,
+    /// Noise model: schedule phase transitions.
+    Noise,
+    /// Link engine ([`Transceiver`]): frames, sync failures,
+    /// retransmissions, decode outcomes.
+    ///
+    /// [`Transceiver`]: ../../covert/channel/struct.Transceiver.html
+    Link,
+    /// Adaptation loop: per-window observations, rung switches, probe
+    /// trials, regime flips.
+    Adapt,
+    /// Duplex scheduler: slot grants and starvation probes.
+    Duplex,
+    /// Sweep harness: whole-point spans.
+    Sweep,
+}
+
+impl EventLayer {
+    /// Every layer, in track order.
+    pub const ALL: [EventLayer; 6] = [
+        EventLayer::Sim,
+        EventLayer::Noise,
+        EventLayer::Link,
+        EventLayer::Adapt,
+        EventLayer::Duplex,
+        EventLayer::Sweep,
+    ];
+
+    /// The track (thread) name the exporter renders for this layer.
+    pub fn track_name(self) -> &'static str {
+        match self {
+            EventLayer::Sim => "sim",
+            EventLayer::Noise => "noise",
+            EventLayer::Link => "link",
+            EventLayer::Adapt => "adapt",
+            EventLayer::Duplex => "duplex",
+            EventLayer::Sweep => "sweep",
+        }
+    }
+
+    /// Stable 1-based track id (Chrome-trace `tid`).
+    pub fn track_id(self) -> u64 {
+        match self {
+            EventLayer::Sim => 1,
+            EventLayer::Noise => 2,
+            EventLayer::Link => 3,
+            EventLayer::Adapt => 4,
+            EventLayer::Duplex => 5,
+            EventLayer::Sweep => 6,
+        }
+    }
+}
+
+/// A typed event argument value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FieldValue {
+    /// An unsigned integer (counts, indices, picosecond durations).
+    U64(u64),
+    /// A floating-point reading (rates, estimates).
+    F64(f64),
+    /// A short label (code names, directions, verdicts).
+    Str(String),
+}
+
+impl From<u64> for FieldValue {
+    fn from(value: u64) -> Self {
+        FieldValue::U64(value)
+    }
+}
+
+impl From<usize> for FieldValue {
+    fn from(value: usize) -> Self {
+        FieldValue::U64(value as u64)
+    }
+}
+
+impl From<f64> for FieldValue {
+    fn from(value: f64) -> Self {
+        FieldValue::F64(value)
+    }
+}
+
+impl From<&str> for FieldValue {
+    fn from(value: &str) -> Self {
+        FieldValue::Str(value.to_string())
+    }
+}
+
+impl From<String> for FieldValue {
+    fn from(value: String) -> Self {
+        FieldValue::Str(value)
+    }
+}
+
+/// One recorded timeline event.
+///
+/// `duration: None` renders as an instant (`ph:"i"`); `Some(d)` renders as a
+/// complete duration event (`ph:"X"`) starting at `at`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Event {
+    /// Originating layer (selects the track).
+    pub layer: EventLayer,
+    /// Event name (static so hot paths never allocate for it).
+    pub name: &'static str,
+    /// Simulated start time.
+    pub at: Time,
+    /// Simulated extent, for duration events.
+    pub duration: Option<Time>,
+    /// Typed arguments, rendered into the Chrome-trace `args` object.
+    pub fields: Vec<(&'static str, FieldValue)>,
+}
+
+/// A point-in-time copy of a sink's contents (see [`EventSink::snapshot`]).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct EventLog {
+    /// Retained events, in recording order.
+    pub events: Vec<Event>,
+    /// Events the ring had to discard (oldest first) to stay within
+    /// capacity. Zero in any healthy run.
+    pub dropped: u64,
+}
+
+impl EventLog {
+    /// Number of retained events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether no events were retained.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Events recorded on the given layer, in order.
+    pub fn layer(&self, layer: EventLayer) -> impl Iterator<Item = &Event> {
+        self.events.iter().filter(move |e| e.layer == layer)
+    }
+}
+
+#[derive(Debug)]
+struct Ring {
+    events: VecDeque<Event>,
+    capacity: usize,
+    dropped: u64,
+}
+
+#[derive(Debug)]
+struct SinkInner {
+    ring: Mutex<Ring>,
+    enabled: AtomicBool,
+}
+
+/// A shared, gated, ring-buffered collector of timeline [`Event`]s.
+///
+/// Cloning is cheap and every clone records into the same ring, so a sink
+/// can fan out across the simulator, the link engine, the adaptation
+/// policies and the duplex scheduler of one sweep point. See the module
+/// docs for the cost discipline.
+#[derive(Debug, Clone)]
+pub struct EventSink {
+    inner: Arc<SinkInner>,
+}
+
+impl EventSink {
+    /// An enabled sink with [`DEFAULT_EVENT_CAPACITY`].
+    pub fn new() -> Self {
+        EventSink::with_capacity(DEFAULT_EVENT_CAPACITY)
+    }
+
+    /// An enabled sink retaining at most `capacity` events (minimum 1).
+    pub fn with_capacity(capacity: usize) -> Self {
+        EventSink {
+            inner: Arc::new(SinkInner {
+                ring: Mutex::new(Ring {
+                    events: VecDeque::new(),
+                    capacity: capacity.max(1),
+                    dropped: 0,
+                }),
+                enabled: AtomicBool::new(true),
+            }),
+        }
+    }
+
+    /// A sink whose gate starts closed: every record call returns after one
+    /// relaxed atomic load.
+    pub fn disabled() -> Self {
+        let sink = EventSink::new();
+        sink.set_enabled(false);
+        sink
+    }
+
+    /// Opens or closes the recording gate (visible to every clone).
+    pub fn set_enabled(&self, enabled: bool) {
+        self.inner.enabled.store(enabled, Ordering::Relaxed);
+    }
+
+    /// Whether the gate is open.
+    pub fn is_enabled(&self) -> bool {
+        self.inner.enabled.load(Ordering::Relaxed)
+    }
+
+    /// Maximum number of events the ring retains.
+    pub fn capacity(&self) -> usize {
+        self.inner
+            .ring
+            .lock()
+            .expect("event ring poisoned")
+            .capacity
+    }
+
+    /// Records an instant event.
+    pub fn instant(
+        &self,
+        layer: EventLayer,
+        name: &'static str,
+        at: Time,
+        fields: Vec<(&'static str, FieldValue)>,
+    ) {
+        self.record(Event {
+            layer,
+            name,
+            at,
+            duration: None,
+            fields,
+        });
+    }
+
+    /// Records a duration event covering `[start, start + duration)`.
+    pub fn span(
+        &self,
+        layer: EventLayer,
+        name: &'static str,
+        start: Time,
+        duration: Time,
+        fields: Vec<(&'static str, FieldValue)>,
+    ) {
+        self.record(Event {
+            layer,
+            name,
+            at: start,
+            duration: Some(duration),
+            fields,
+        });
+    }
+
+    /// Records a fully built event (dropped after one relaxed load when the
+    /// gate is closed; evicts the oldest event when the ring is full).
+    pub fn record(&self, event: Event) {
+        if !self.is_enabled() {
+            return;
+        }
+        let mut ring = self.inner.ring.lock().expect("event ring poisoned");
+        if ring.events.len() == ring.capacity {
+            ring.events.pop_front();
+            ring.dropped += 1;
+        }
+        ring.events.push_back(event);
+    }
+
+    /// Number of events currently retained.
+    pub fn len(&self) -> usize {
+        self.inner
+            .ring
+            .lock()
+            .expect("event ring poisoned")
+            .events
+            .len()
+    }
+
+    /// Whether the ring is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Events evicted so far to stay within capacity.
+    pub fn dropped(&self) -> u64 {
+        self.inner.ring.lock().expect("event ring poisoned").dropped
+    }
+
+    /// Copies the current contents out as an [`EventLog`].
+    pub fn snapshot(&self) -> EventLog {
+        let ring = self.inner.ring.lock().expect("event ring poisoned");
+        EventLog {
+            events: ring.events.iter().cloned().collect(),
+            dropped: ring.dropped,
+        }
+    }
+
+    /// Empties the ring and resets the dropped counter (the gate state is
+    /// untouched).
+    pub fn clear(&self) {
+        let mut ring = self.inner.ring.lock().expect("event ring poisoned");
+        ring.events.clear();
+        ring.dropped = 0;
+    }
+}
+
+impl Default for EventSink {
+    fn default() -> Self {
+        EventSink::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn count_event(sink: &EventSink, n: u64) {
+        sink.instant(
+            EventLayer::Link,
+            "tick",
+            Time::from_ns(n),
+            vec![("n", n.into())],
+        );
+    }
+
+    #[test]
+    fn records_instants_and_spans_in_order() {
+        let sink = EventSink::new();
+        sink.instant(
+            EventLayer::Noise,
+            "phase_transition",
+            Time::from_us(3),
+            vec![],
+        );
+        sink.span(
+            EventLayer::Link,
+            "frame",
+            Time::from_us(1),
+            Time::from_us(2),
+            vec![("index", 0u64.into()), ("outcome", "delivered".into())],
+        );
+        let log = sink.snapshot();
+        assert_eq!(log.len(), 2);
+        assert_eq!(log.events[0].name, "phase_transition");
+        assert_eq!(log.events[0].duration, None);
+        assert_eq!(log.events[1].duration, Some(Time::from_us(2)));
+        assert_eq!(
+            log.events[1].fields[1].1,
+            FieldValue::Str("delivered".into())
+        );
+        assert_eq!(log.layer(EventLayer::Link).count(), 1);
+        assert_eq!(log.dropped, 0);
+    }
+
+    #[test]
+    fn disabled_gate_drops_everything_and_reopens() {
+        let sink = EventSink::disabled();
+        assert!(!sink.is_enabled());
+        count_event(&sink, 1);
+        assert!(sink.is_empty());
+        sink.set_enabled(true);
+        count_event(&sink, 2);
+        assert_eq!(sink.len(), 1);
+    }
+
+    #[test]
+    fn clones_share_one_ring() {
+        let sink = EventSink::new();
+        let clone = sink.clone();
+        count_event(&clone, 1);
+        clone.set_enabled(false);
+        assert!(!sink.is_enabled(), "gate is shared");
+        sink.set_enabled(true);
+        count_event(&sink, 2);
+        assert_eq!(sink.snapshot().len(), 2);
+    }
+
+    #[test]
+    fn ring_keeps_the_most_recent_events_and_counts_drops() {
+        let sink = EventSink::with_capacity(3);
+        for n in 0..5 {
+            count_event(&sink, n);
+        }
+        let log = sink.snapshot();
+        assert_eq!(log.len(), 3);
+        assert_eq!(log.dropped, 2);
+        assert_eq!(log.events[0].at, Time::from_ns(2), "oldest evicted first");
+        assert_eq!(log.events[2].at, Time::from_ns(4));
+        sink.clear();
+        assert!(sink.is_empty());
+        assert_eq!(sink.dropped(), 0);
+    }
+}

@@ -46,6 +46,7 @@ pub mod backend;
 pub mod clock;
 pub mod contention;
 pub mod dram;
+pub mod events;
 pub mod gpu_l3;
 pub mod llc;
 pub mod noise;
@@ -67,6 +68,7 @@ pub mod prelude {
     pub use crate::backend::{access_batch_reference, BatchRequest, MemorySystem};
     pub use crate::clock::{ClockDomain, SocClocks, Time};
     pub use crate::dram::{Ddr4, Ddr5, DramTiming, DramTimingKind};
+    pub use crate::events::{Event, EventLayer, EventLog, EventSink, FieldValue};
     pub use crate::gpu_l3::GpuL3Config;
     pub use crate::llc::{LlcConfig, LlcSetId};
     pub use crate::noise::{NoiseConfig, NoisePhase, NoiseSchedule};

@@ -279,6 +279,10 @@ impl MemorySystem for BackendInstance {
     fn attach_telemetry(&mut self, registry: &crate::telemetry::Registry) {
         delegate!(self, m => m.attach_telemetry(registry))
     }
+
+    fn attach_events(&mut self, sink: &crate::events::EventSink) {
+        delegate!(self, m => m.attach_events(sink))
+    }
 }
 
 /// The string-keyed collection of named backends.

@@ -18,6 +18,7 @@ use crate::backend::BatchRequest;
 use crate::clock::{SocClocks, Time};
 use crate::contention::RingBus;
 use crate::dram::{Dram, DramTimingKind};
+use crate::events::{EventLayer, EventSink};
 use crate::gpu_l3::{GpuL3, GpuL3Config};
 use crate::llc::{Llc, LlcConfig, LlcSetId};
 use crate::noise::{NoiseConfig, NoiseModel, NoiseSchedule};
@@ -376,6 +377,8 @@ pub struct Soc {
     next_pid: u32,
     /// Telemetry handles, present only after [`Soc::attach_telemetry`].
     instruments: Option<SocInstruments>,
+    /// Timeline sink, present only after [`Soc::attach_events`].
+    events: Option<EventSink>,
     /// Open-row tracker of the observational DRAM row hit/miss telemetry.
     dram_open_row: Option<u64>,
 }
@@ -413,6 +416,7 @@ impl Soc {
             stats: SocStats::default(),
             next_pid: 1,
             instruments: None,
+            events: None,
             dram_open_row: None,
             config,
         }
@@ -446,6 +450,47 @@ impl Soc {
             dram_row_misses: registry.counter("dram.row_misses"),
             dram_busy_ps: registry.counter("dram.busy_ps"),
         });
+    }
+
+    /// Attaches this SoC to a timeline sink (see [`crate::events`]): a
+    /// `sim`-track description of the topology (and the LLC way partition,
+    /// when one is configured) is recorded immediately, and every
+    /// [`NoiseSchedule`] phase transition is recorded on the `noise` track
+    /// as it happens.
+    ///
+    /// Like [`Soc::attach_telemetry`], attaching is purely observational —
+    /// no simulated latency, RNG draw or replacement decision changes.
+    /// Attaching again replaces the previous sink.
+    pub fn attach_events(&mut self, sink: &EventSink) {
+        self.events = Some(sink.clone());
+        sink.instant(
+            EventLayer::Sim,
+            "topology",
+            Time::ZERO,
+            vec![
+                ("cpu_cores", self.config.cpu_cores.into()),
+                ("llc_slices", self.config.llc.slices().into()),
+                ("llc_ways", self.config.llc.ways.into()),
+                (
+                    "dram",
+                    crate::dram::DramTiming::label(&self.config.dram).into(),
+                ),
+            ],
+        );
+        if let Some(partition) = self.config.llc_partition {
+            sink.instant(
+                EventLayer::Sim,
+                "llc_partition",
+                Time::ZERO,
+                vec![
+                    ("cpu_ways", partition.cpu_ways.into()),
+                    (
+                        "gpu_ways",
+                        (self.config.llc.ways - partition.cpu_ways).into(),
+                    ),
+                ],
+            );
+        }
     }
 
     /// Notes one LLC lookup (after the shared-level access path decided
@@ -585,8 +630,17 @@ impl Soc {
             let (phase, start, end) = schedule.phase_window_at(now);
             self.noise_window = (start, end);
             if phase != self.noise_phase {
+                let from = self.noise_phase;
                 self.noise_phase = phase;
                 self.noise = NoiseModel::new(schedule.phases()[phase].config.clone());
+                if let Some(events) = &self.events {
+                    events.instant(
+                        EventLayer::Noise,
+                        "phase_transition",
+                        now,
+                        vec![("from", from.into()), ("to", phase.into())],
+                    );
+                }
             }
         }
     }

@@ -597,6 +597,11 @@ impl MetricsSnapshot {
         self.metrics.iter().map(|(k, v)| (k.as_str(), v))
     }
 
+    /// The captured value of any kind under `name`, if one exists.
+    pub fn get(&self, name: &str) -> Option<&MetricValue> {
+        self.metrics.get(name)
+    }
+
     /// The captured value of a counter, if one of that name exists.
     pub fn counter(&self, name: &str) -> Option<u64> {
         match self.metrics.get(name) {

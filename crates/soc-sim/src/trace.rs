@@ -288,6 +288,12 @@ impl<M: MemorySystem> MemorySystem for TraceRecorder<M> {
         // the recorder's instruments.
         self.inner.attach_telemetry(registry)
     }
+
+    fn attach_events(&mut self, sink: &crate::events::EventSink) {
+        // Transparent, like telemetry: the wrapped backend's timeline is
+        // the recorder's timeline.
+        self.inner.attach_events(sink)
+    }
 }
 
 /// Deterministic replay of a [`Trace`]: serves the recorded outcomes back in
