@@ -9,6 +9,7 @@
 //!       [--slice-hash] [--l3] [--ablation] [--sweep] [--all] [--quick]
 //!       [--code <spec>[,<spec>...]] [--policy <name>[,<name>...]]
 //!       [--backend <name>] [--out <path>] [--resume <prior.json>]
+//!       [--scenario <file>]... [--validate-scenario <file>]...
 //!       [--list-backends] [--check-baseline <file>]
 //!       [--metrics-out <path>] [--no-progress] [--no-telemetry]
 //!       [--validate-metrics <path>]
@@ -17,22 +18,40 @@
 //! ```
 //!
 //! With no experiment flag, `--all` is assumed. `--quick` shrinks the bit
-//! counts for a fast smoke run.
+//! counts for a fast smoke run. Unknown flags and bad values exit 2 (see
+//! `--help`).
+//!
+//! The `--sweep` sections are driven by **scenario files** (the versioned
+//! `scenario-v1` schema of the `scenario` crate): named topologies, tuned
+//! adaptation policies and sweep-grid sections, all declared as JSON.
+//! `--scenario <file>` (repeatable) selects the files to run; with no
+//! `--scenario`, the embedded copy of `scenarios/default.json` — the
+//! built-in classic/coded/adaptive grid — runs, bit-identical to the
+//! pre-scenario behaviour. Scenario topologies register as backends next
+//! to the compiled-in presets (visible in `--list-backends`, recordable
+//! with `--record-trace`), and their points carry the topology fingerprint
+//! in their resume keys, so `--resume` against an edited scenario file
+//! re-simulates the affected rows instead of replaying stale ones.
+//! `--validate-scenario <file>` (repeatable) parses and materializes each
+//! file without running anything, then exits: 0 with a per-file summary,
+//! or 1 with the field path of the first error — the CI scenario matrix
+//! runs it over every committed file.
 //!
 //! `--list-backends` prints the backend registry (name, slice count, LLC
-//! capacity, DRAM generation) and exits. `--backend <name>` restricts the
-//! `--sweep` grids to one registry backend; an unknown name exits non-zero
-//! after printing the available keys.
+//! capacity, DRAM generation), including any `--scenario` topologies, and
+//! exits. `--backend <name>` restricts the `--sweep` sections to one
+//! registry backend; an unknown name exits 2 after printing the available
+//! keys.
 //!
-//! `--code` selects the link-code axis of the `--sweep` grid: a
-//! comma-separated list of `none`, `crc8`, `hamming74`, `rs`, `rs(n,k)` or
-//! `rs(n,k,depth)`, or `all` (the default) for every family. `--policy`
-//! selects the link-control policies of the adaptive `--sweep` section
-//! (`threshold`, `aimd`, `bandit`, `fixed`, or `all`; the fixed-code
-//! baselines always run so the adaptive-vs-fixed comparison is complete);
-//! an unknown name exits non-zero listing the known policies. `--out
-//! <path>` streams the sweep rows (classic, coded and adaptive) to disk as
-//! JSON, appending each row the moment its sweep point finishes.
+//! `--code` selects the link-code axis of `coded` sweep sections that do
+//! not pin their own: a comma-separated list of `none`, `crc8`,
+//! `hamming74`, `rs`, `rs(n,k)` or `rs(n,k,depth)`, or `all` (the default)
+//! for every family. `--policy` selects the link-control policies of
+//! `adaptive` sections that do not pin their own (`threshold`, `aimd`,
+//! `bandit`, `fixed`, or `all`; the fixed-code baselines always run so the
+//! adaptive-vs-fixed comparison is complete); an unknown name exits 2
+//! listing the known policies. `--out <path>` streams the sweep rows to
+//! disk as JSON, appending each row the moment its sweep point finishes.
 //!
 //! `--resume <prior.json>` makes the `--sweep` sections incremental: every
 //! row of the prior `--sweep --out` document whose point key (an
@@ -82,16 +101,60 @@
 //! the artifact it just produced.
 //!
 //! `--record-trace <path>` records one LLC-channel point (honouring
-//! `--backend`) through a trace recorder and serializes the full access
-//! trace to `path`; `--replay-trace <path>` loads such a file in a fresh
-//! process, registers it as a `trace-file` backend and re-runs the recorded
-//! point against the replayer, printing both rows side by side.
+//! `--backend`, including scenario topologies) through a trace recorder
+//! and serializes the full access trace to `path`; `--replay-trace <path>`
+//! loads such a file in a fresh process, registers it as a `trace-file`
+//! backend and re-runs the recorded point against the replayer, printing
+//! both rows side by side.
 
 use bench::*;
 use covert::prelude::{LinkCodeKind, PolicyKind, TransceiverConfig};
+use scenario::{Scenario, SectionKind};
 use soc_sim::prelude::{BackendRegistry, BackendSpec, MetricsSnapshot, Registry};
+use std::path::{Path, PathBuf};
 
-struct Options {
+/// The built-in default grid, embedded so `repro --sweep` needs no file on
+/// disk: the committed `scenarios/default.json`, byte for byte.
+const DEFAULT_SCENARIO_TEXT: &str = include_str!("../../../../scenarios/default.json");
+
+const USAGE: &str = "\
+usage: repro [flags]
+
+experiments (default: --all)
+  --fig4 --fig7 --fig8 --fig9 --fig10 --headline
+  --slice-hash --l3 --ablation --sweep --all
+  --quick                 shrink bit counts for a fast smoke run
+
+sweep configuration (require --sweep)
+  --scenario <file>       scenario file to run (repeatable; default: the
+                          embedded scenarios/default.json)
+  --backend <name>        restrict the sweep sections to one backend
+  --code <list>           link codes for coded sections without their own
+                          (none,crc8,hamming74,rs,rs(n,k)[,..] or all)
+  --policy <list>         policies for adaptive sections without their own
+                          (fixed,threshold,aimd,bandit or all)
+  --out <path>            stream sweep rows to a JSON document
+  --resume <prior.json>   reuse matching rows of a prior --out document
+  --check-baseline <file> regression gate against a committed baseline
+  --metrics-out <path>    write the aggregated telemetry document
+  --trace-timeline <path> write a Chrome trace-event timeline
+  --no-progress           silence the stderr progress reporter
+  --no-telemetry          disable per-point telemetry registries
+
+standalone modes (exit after running)
+  --list-backends             print the backend registry (with scenarios)
+  --validate-scenario <file>  parse + materialize a scenario file (repeatable)
+  --validate-metrics <path>   check a metrics document
+  --validate-timeline <path>  check a timeline document
+  --record-trace <path>       record one LLC point's access trace
+  --replay-trace <path>       replay a recorded trace against the oracle
+  --help                      print this text";
+
+/// Every flag, parsed once up front. Flags that select optional axes keep
+/// the given/absent distinction (`Option`) so sections that pin their own
+/// axes are left alone and the "ignored without --sweep" notes only fire
+/// for flags that were actually passed.
+struct Args {
     fig4: bool,
     fig7: bool,
     fig8: bool,
@@ -103,23 +166,29 @@ struct Options {
     ablation: bool,
     sweep: bool,
     quick: bool,
-    codes: Vec<LinkCodeKind>,
-    code_given: bool,
-    policies: Vec<PolicyKind>,
-    policy_given: bool,
+    codes: Option<Vec<LinkCodeKind>>,
+    policies: Option<Vec<PolicyKind>>,
     backend: Option<String>,
     list_backends: bool,
-    out: Option<std::path::PathBuf>,
-    resume: Option<std::path::PathBuf>,
-    check_baseline: Option<std::path::PathBuf>,
-    metrics_out: Option<std::path::PathBuf>,
+    scenarios: Vec<PathBuf>,
+    validate_scenarios: Vec<PathBuf>,
+    out: Option<PathBuf>,
+    resume: Option<PathBuf>,
+    check_baseline: Option<PathBuf>,
+    metrics_out: Option<PathBuf>,
     no_progress: bool,
     no_telemetry: bool,
-    validate_metrics: Option<std::path::PathBuf>,
-    trace_timeline: Option<std::path::PathBuf>,
-    validate_timeline: Option<std::path::PathBuf>,
-    record_trace: Option<std::path::PathBuf>,
-    replay_trace: Option<std::path::PathBuf>,
+    validate_metrics: Option<PathBuf>,
+    trace_timeline: Option<PathBuf>,
+    validate_timeline: Option<PathBuf>,
+    record_trace: Option<PathBuf>,
+    replay_trace: Option<PathBuf>,
+}
+
+/// Prints an error and exits 2 — the contract for every bad flag or value.
+fn die(message: &str) -> ! {
+    eprintln!("error: {message}");
+    std::process::exit(2);
 }
 
 /// Parses a `--code` argument: `all` or a comma-separated list of specs.
@@ -143,89 +212,188 @@ fn parse_policies(spec: &str) -> Result<Vec<PolicyKind>, String> {
         .collect::<Result<Vec<_>, _>>()
 }
 
-impl Options {
-    fn parse() -> Options {
-        let args: Vec<String> = std::env::args().skip(1).collect();
-        let has = |flag: &str| args.iter().any(|a| a == flag);
-        let value_of = |flag: &str| -> Option<String> {
-            args.iter()
-                .position(|a| a == flag)
-                .and_then(|i| args.get(i + 1))
-                .cloned()
+impl Args {
+    fn parse() -> Args {
+        let mut args = Args {
+            fig4: false,
+            fig7: false,
+            fig8: false,
+            fig9: false,
+            fig10: false,
+            headline: false,
+            slice_hash: false,
+            l3: false,
+            ablation: false,
+            sweep: false,
+            quick: false,
+            codes: None,
+            policies: None,
+            backend: None,
+            list_backends: false,
+            scenarios: Vec::new(),
+            validate_scenarios: Vec::new(),
+            out: None,
+            resume: None,
+            check_baseline: None,
+            metrics_out: None,
+            no_progress: false,
+            no_telemetry: false,
+            validate_metrics: None,
+            trace_timeline: None,
+            validate_timeline: None,
+            record_trace: None,
+            replay_trace: None,
         };
-        let any_specific = [
-            "--fig4",
-            "--fig7",
-            "--fig8",
-            "--fig9",
-            "--fig10",
-            "--headline",
-            "--slice-hash",
-            "--l3",
-            "--ablation",
-            "--sweep",
-        ]
-        .iter()
-        .any(|f| has(f));
-        let all = has("--all") || !any_specific;
-        let code_given = has("--code");
-        let codes = match value_of("--code") {
-            None => LinkCodeKind::all().to_vec(),
-            Some(spec) => parse_codes(&spec).unwrap_or_else(|err| {
-                eprintln!("error: {err}");
-                std::process::exit(2);
-            }),
-        };
-        let policy_given = has("--policy");
-        let policies = match value_of("--policy") {
-            None => PolicyKind::ALL.to_vec(),
-            Some(spec) => parse_policies(&spec).unwrap_or_else(|err| {
-                // The known-policy list is part of the parse error.
-                eprintln!("error: {err}");
-                std::process::exit(2);
-            }),
-        };
-        let backend = value_of("--backend");
-        if let Some(name) = &backend {
-            let registry = BackendRegistry::standard();
-            if registry.get(name).is_none() {
-                eprintln!(
-                    "error: unknown backend '{name}'; available: {}",
-                    registry.names().join(", ")
-                );
-                std::process::exit(2);
+        let mut all = false;
+        let mut any_specific = false;
+        let mut raw = std::env::args().skip(1);
+        // Every flag is handled in exactly one match arm; flags that take
+        // a value consume the next argument. Anything unrecognized exits
+        // 2 — a typoed flag silently running the full default suite helps
+        // nobody.
+        while let Some(arg) = raw.next() {
+            let mut value = |flag: &str| -> String {
+                raw.next()
+                    .unwrap_or_else(|| die(&format!("{flag} needs a value")))
+            };
+            match arg.as_str() {
+                "--help" | "-h" => {
+                    println!("{USAGE}");
+                    std::process::exit(0);
+                }
+                "--all" => all = true,
+                "--fig4" => args.fig4 = true,
+                "--fig7" => args.fig7 = true,
+                "--fig8" => args.fig8 = true,
+                "--fig9" => args.fig9 = true,
+                "--fig10" => args.fig10 = true,
+                "--headline" => args.headline = true,
+                "--slice-hash" => args.slice_hash = true,
+                "--l3" => args.l3 = true,
+                "--ablation" => args.ablation = true,
+                "--sweep" => args.sweep = true,
+                "--quick" => args.quick = true,
+                "--code" => {
+                    args.codes =
+                        Some(parse_codes(&value("--code")).unwrap_or_else(|err| die(&err)));
+                }
+                "--policy" => {
+                    // The known-policy list is part of the parse error.
+                    args.policies =
+                        Some(parse_policies(&value("--policy")).unwrap_or_else(|err| die(&err)));
+                }
+                "--backend" => args.backend = Some(value("--backend")),
+                "--list-backends" => args.list_backends = true,
+                "--scenario" => args.scenarios.push(PathBuf::from(value("--scenario"))),
+                "--validate-scenario" => args
+                    .validate_scenarios
+                    .push(PathBuf::from(value("--validate-scenario"))),
+                "--out" => args.out = Some(PathBuf::from(value("--out"))),
+                "--resume" => args.resume = Some(PathBuf::from(value("--resume"))),
+                "--check-baseline" => {
+                    args.check_baseline = Some(PathBuf::from(value("--check-baseline")))
+                }
+                "--metrics-out" => args.metrics_out = Some(PathBuf::from(value("--metrics-out"))),
+                "--no-progress" => args.no_progress = true,
+                "--no-telemetry" => args.no_telemetry = true,
+                "--validate-metrics" => {
+                    args.validate_metrics = Some(PathBuf::from(value("--validate-metrics")))
+                }
+                "--trace-timeline" => {
+                    args.trace_timeline = Some(PathBuf::from(value("--trace-timeline")))
+                }
+                "--validate-timeline" => {
+                    args.validate_timeline = Some(PathBuf::from(value("--validate-timeline")))
+                }
+                "--record-trace" => {
+                    args.record_trace = Some(PathBuf::from(value("--record-trace")))
+                }
+                "--replay-trace" => {
+                    args.replay_trace = Some(PathBuf::from(value("--replay-trace")))
+                }
+                other => die(&format!("unknown flag {other:?} (see repro --help)")),
             }
+            any_specific |= matches!(
+                arg.as_str(),
+                "--fig4"
+                    | "--fig7"
+                    | "--fig8"
+                    | "--fig9"
+                    | "--fig10"
+                    | "--headline"
+                    | "--slice-hash"
+                    | "--l3"
+                    | "--ablation"
+                    | "--sweep"
+            );
         }
-        Options {
-            fig4: all || has("--fig4"),
-            fig7: all || has("--fig7"),
-            fig8: all || has("--fig8"),
-            fig9: all || has("--fig9"),
-            fig10: all || has("--fig10"),
-            headline: all || has("--headline"),
-            slice_hash: all || has("--slice-hash"),
-            l3: all || has("--l3"),
-            ablation: all || has("--ablation"),
-            sweep: all || has("--sweep"),
-            quick: has("--quick"),
-            codes,
-            code_given,
-            policies,
-            policy_given,
-            backend,
-            list_backends: has("--list-backends"),
-            out: value_of("--out").map(std::path::PathBuf::from),
-            resume: value_of("--resume").map(std::path::PathBuf::from),
-            check_baseline: value_of("--check-baseline").map(std::path::PathBuf::from),
-            metrics_out: value_of("--metrics-out").map(std::path::PathBuf::from),
-            no_progress: has("--no-progress"),
-            no_telemetry: has("--no-telemetry"),
-            validate_metrics: value_of("--validate-metrics").map(std::path::PathBuf::from),
-            trace_timeline: value_of("--trace-timeline").map(std::path::PathBuf::from),
-            validate_timeline: value_of("--validate-timeline").map(std::path::PathBuf::from),
-            record_trace: value_of("--record-trace").map(std::path::PathBuf::from),
-            replay_trace: value_of("--replay-trace").map(std::path::PathBuf::from),
+        if all || !any_specific {
+            args.fig4 = true;
+            args.fig7 = true;
+            args.fig8 = true;
+            args.fig9 = true;
+            args.fig10 = true;
+            args.headline = true;
+            args.slice_hash = true;
+            args.l3 = true;
+            args.ablation = true;
+            args.sweep = true;
         }
+        args
+    }
+
+    /// Every sweep-only flag that was given, with what it configures — the
+    /// single "ignored without --sweep" path (see `main`'s else branch).
+    fn sweep_only_flags(&self) -> Vec<(String, &'static str)> {
+        let mut given: Vec<(String, &'static str)> = Vec::new();
+        let mut path_flag = |flag: &str, value: &Option<PathBuf>, purpose: &'static str| {
+            if let Some(path) = value {
+                given.push((format!("{flag} {}", path.display()), purpose));
+            }
+        };
+        path_flag("--out", &self.out, "serializes the --sweep rows");
+        path_flag("--resume", &self.resume, "reuses prior --sweep rows");
+        path_flag(
+            "--check-baseline",
+            &self.check_baseline,
+            "gates the --sweep results",
+        );
+        path_flag(
+            "--metrics-out",
+            &self.metrics_out,
+            "aggregates --sweep telemetry",
+        );
+        path_flag(
+            "--trace-timeline",
+            &self.trace_timeline,
+            "records --sweep events",
+        );
+        if let Some(name) = &self.backend {
+            given.push((
+                format!("--backend {name}"),
+                "restricts the --sweep sections; the figure experiments model the paper platform",
+            ));
+        }
+        if self.codes.is_some() {
+            given.push((
+                "--code".to_string(),
+                "selects the --sweep link-code axis; the figure experiments run the paper's \
+                 fixed configurations",
+            ));
+        }
+        if self.policies.is_some() {
+            given.push((
+                "--policy".to_string(),
+                "selects the --sweep adaptation policies",
+            ));
+        }
+        for path in &self.scenarios {
+            given.push((
+                format!("--scenario {}", path.display()),
+                "declares --sweep sections",
+            ));
+        }
+        given
     }
 }
 
@@ -246,7 +414,7 @@ fn banner(title: &str) {
 /// ETA of the rows actually being simulated.
 struct Progress {
     enabled: bool,
-    section: &'static str,
+    section: String,
     /// Points this section simulates (excludes replayed rows).
     simulated_total: usize,
     /// Rows replayed verbatim from the `--resume` document.
@@ -257,12 +425,7 @@ struct Progress {
 }
 
 impl Progress {
-    fn start(
-        enabled: bool,
-        section: &'static str,
-        simulated_total: usize,
-        replayed: usize,
-    ) -> Progress {
+    fn start(enabled: bool, section: String, simulated_total: usize, replayed: usize) -> Progress {
         let progress = Progress {
             enabled,
             section,
@@ -273,7 +436,7 @@ impl Progress {
             last_print: None,
         };
         if enabled {
-            eprintln!("[{section}] {}", progress.tally());
+            eprintln!("[{}] {}", progress.section, progress.tally());
         }
         progress
     }
@@ -351,6 +514,138 @@ fn split_resumed(
     (fresh, reused)
 }
 
+/// How a section's result rows print: the three table layouts of the
+/// classic, coded and adaptive sweeps. Grid sections borrow whichever
+/// layout fits their axes (any policy → adaptive, framed → coded, else
+/// classic).
+#[derive(Clone, Copy, PartialEq)]
+enum RowStyle {
+    Classic,
+    Coded,
+    Adaptive,
+}
+
+impl RowStyle {
+    fn for_section(section: &MaterializedSection) -> RowStyle {
+        if section.points.iter().any(|p| p.policy.is_some()) {
+            RowStyle::Adaptive
+        } else if section.framed {
+            RowStyle::Coded
+        } else {
+            RowStyle::Classic
+        }
+    }
+
+    /// Width of the scenario-label column (kept per style so the default
+    /// grid's output stays column-identical to the pre-scenario binary).
+    fn label_width(self) -> usize {
+        match self {
+            RowStyle::Classic => 58,
+            RowStyle::Coded => 64,
+            RowStyle::Adaptive => 68,
+        }
+    }
+
+    fn print_header(self) {
+        match self {
+            RowStyle::Classic => println!(
+                "{:<58} {:>12} {:>9} {:>12} {:>8}",
+                "scenario", "kb/s", "error", "symbol (ns)", "quality"
+            ),
+            RowStyle::Coded => println!(
+                "{:<64} {:>10} {:>10} {:>7} {:>9} {:>9} {:>8}",
+                "scenario", "kb/s", "goodput", "rate", "corrected", "residual", "retx"
+            ),
+            RowStyle::Adaptive => println!(
+                "{:<68} {:>10} {:>8} {:>9} {:>16}",
+                "scenario", "goodput", "error", "switches", "final setting"
+            ),
+        }
+    }
+
+    fn print_row(self, result: &SweepResult) {
+        let label = result.point.label();
+        let outcome = match &result.outcome {
+            Ok(outcome) => outcome,
+            Err(err) => {
+                println!(
+                    "{:<width$} unusable: {err}",
+                    label,
+                    width = self.label_width()
+                );
+                return;
+            }
+        };
+        match self {
+            RowStyle::Classic => println!(
+                "{:<58} {:>12.1} {:>8.2}% {:>12.0} {:>8.1}",
+                label,
+                outcome.bandwidth_kbps,
+                outcome.error_rate * 100.0,
+                outcome.symbol_time_ns,
+                outcome.calibration_quality,
+            ),
+            RowStyle::Coded => println!(
+                "{:<64} {:>10.1} {:>10.1} {:>7.2} {:>9} {:>9} {:>8}",
+                label,
+                outcome.bandwidth_kbps,
+                outcome.goodput_kbps,
+                outcome.code_rate,
+                outcome.corrected_bits,
+                outcome.residual_errors,
+                outcome.retransmissions,
+            ),
+            RowStyle::Adaptive => {
+                let (switches, final_setting) = match &outcome.adaptation {
+                    Some(a) => (
+                        a.switches.to_string(),
+                        covert::prelude::LinkSetting::new(a.final_code, a.final_symbol_repeat)
+                            .label(),
+                    ),
+                    None => ("-".into(), "-".into()),
+                };
+                println!(
+                    "{:<68} {:>10.1} {:>7.2}% {:>9} {:>16}",
+                    label,
+                    outcome.goodput_kbps,
+                    outcome.error_rate * 100.0,
+                    switches,
+                    final_setting,
+                );
+            }
+        }
+    }
+}
+
+/// Section banner title, keyed by kind (the classic/coded/adaptive titles
+/// match the pre-scenario binary's).
+fn section_title(kind: SectionKind) -> &'static str {
+    match kind {
+        SectionKind::Classic => "Scenario sweep: backend x channel x noise, in parallel",
+        SectionKind::Coded => "Link-code sweep: raw vs coded goodput (framed engine, quiet noise)",
+        SectionKind::Adaptive => {
+            "Adaptive link control: policies vs fixed codes, phased quiet/burst noise"
+        }
+        SectionKind::Grid => "Grid sweep: explicit axis cross-product",
+    }
+}
+
+/// Distinct values of a per-point label, in first-appearance order.
+fn distinct_labels(
+    points: &[SweepPoint],
+    label: impl Fn(&SweepPoint) -> Option<String>,
+) -> Vec<String> {
+    let mut seen = Vec::new();
+    for point in points {
+        if let Some(l) = label(point) {
+            if !seen.contains(&l) {
+                seen.push(l);
+            }
+        }
+    }
+    seen
+}
+
 /// The point `--record-trace` captures: the LLC channel at paper defaults
 /// on the selected backend, short enough to keep the trace file small.
 fn trace_point(backend: &str, quick: bool) -> SweepPoint {
@@ -360,13 +655,17 @@ fn trace_point(backend: &str, quick: bool) -> SweepPoint {
     point
 }
 
-fn record_trace_mode(path: &std::path::Path, backend: Option<&str>, quick: bool) {
-    let registry = BackendRegistry::standard();
+fn record_trace_mode(
+    path: &std::path::Path,
+    backend: Option<&str>,
+    quick: bool,
+    registry: &BackendRegistry,
+) {
     let point = trace_point(backend.unwrap_or("kabylake-gen9"), quick);
     banner("Trace capture");
     println!("recording {}", point.label());
     let engine = covert::prelude::Transceiver::raw();
-    match record_point_trace(&point, &engine, &registry) {
+    match record_point_trace(&point, &engine, registry) {
         Ok((outcome, trace)) => {
             if let Err(err) = write_trace(path, &point, &trace) {
                 eprintln!("error: could not write {}: {err}", path.display());
@@ -470,10 +769,52 @@ fn validate_timeline_mode(path: &std::path::Path) {
     }
 }
 
-fn replay_trace_mode(path: &std::path::Path) {
-    let registry = BackendRegistry::standard();
+/// `--validate-scenario`: parses and materializes each file without
+/// running anything — schema errors carry field paths, materializer errors
+/// carry `sweeps[i].axis` paths, and CI runs this over every committed
+/// scenario before the smoke sweep. All files are checked even after a
+/// failure so one run reports every broken file.
+fn validate_scenario_mode(paths: &[PathBuf]) {
+    banner("Scenario validation");
+    let mut failed = false;
+    for path in paths {
+        match validate_one_scenario(path) {
+            Ok(line) => println!("{line}"),
+            Err(err) => {
+                eprintln!("error: {err}");
+                failed = true;
+            }
+        }
+    }
+    if failed {
+        std::process::exit(1);
+    }
+}
+
+fn validate_one_scenario(path: &Path) -> Result<String, String> {
+    let scenario = load_scenario(path)?;
+    let at_file = |err: String| format!("{}: {err}", path.display());
+    let registry = scenario_registry(std::slice::from_ref(&scenario)).map_err(at_file)?;
+    let overrides = GridOverrides::default();
+    let quick = materialize_sections(&scenario, &registry, true, &overrides).map_err(at_file)?;
+    let full = materialize_sections(&scenario, &registry, false, &overrides)
+        .map_err(|err| format!("{}: {err}", path.display()))?;
+    let quick_points: usize = quick.iter().map(|s| s.points.len()).sum();
+    let full_points: usize = full.iter().map(|s| s.points.len()).sum();
+    Ok(format!(
+        "{} OK: scenario '{}' — {} topologies, {} policies, {} sections \
+         ({quick_points} quick / {full_points} full points)",
+        path.display(),
+        scenario.name,
+        scenario.topologies.len(),
+        scenario.policies.len(),
+        scenario.sweeps.len(),
+    ))
+}
+
+fn replay_trace_mode(path: &std::path::Path, registry: &BackendRegistry) {
     banner("Trace replay");
-    let (mut point, trace) = read_trace(path, &registry).unwrap_or_else(|err| {
+    let (mut point, trace) = read_trace(path, registry).unwrap_or_else(|err| {
         eprintln!("error: {err}");
         std::process::exit(1);
     });
@@ -489,7 +830,7 @@ fn replay_trace_mode(path: &std::path::Path) {
     // oracle — any divergence from the recorded access sequence aborts with
     // the position of the first mismatch, so a row that prints below is the
     // recorded run, bit for bit.
-    let replay_registry = registry.with_spec(BackendSpec::replaying(
+    let replay_registry = registry.clone().with_spec(BackendSpec::replaying(
         "trace-file",
         "trace loaded from disk",
         trace,
@@ -515,38 +856,65 @@ fn replay_trace_mode(path: &std::path::Path) {
 }
 
 fn main() {
-    let opts = Options::parse();
+    let args = Args::parse();
 
-    if opts.list_backends {
+    if let Some(path) = &args.validate_metrics {
+        validate_metrics_mode(path);
+        return;
+    }
+    if let Some(path) = &args.validate_timeline {
+        validate_timeline_mode(path);
+        return;
+    }
+    if !args.validate_scenarios.is_empty() {
+        validate_scenario_mode(&args.validate_scenarios);
+        return;
+    }
+
+    // The scenario set every sweep-adjacent mode runs against: the files
+    // given with --scenario, or the embedded default grid. Loading happens
+    // before --list-backends and the trace modes so scenario topologies
+    // are visible there too.
+    let scenarios: Vec<Scenario> = if args.scenarios.is_empty() {
+        vec![scenario::parse_scenario(DEFAULT_SCENARIO_TEXT)
+            .expect("the embedded scenarios/default.json must be valid")]
+    } else {
+        args.scenarios
+            .iter()
+            .map(|path| load_scenario(path).unwrap_or_else(|err| die(&err)))
+            .collect()
+    };
+    let registry = scenario_registry(&scenarios).unwrap_or_else(|err| die(&err));
+    if let Some(name) = &args.backend {
+        if registry.get(name).is_none() {
+            die(&format!(
+                "unknown backend '{name}'; available: {}",
+                registry.names().join(", ")
+            ));
+        }
+    }
+
+    if args.list_backends {
         banner("Backend registry");
-        for line in BackendRegistry::standard().describe() {
+        for line in registry.describe() {
             println!("{line}");
         }
         return;
     }
-
-    if let Some(path) = &opts.validate_metrics {
-        validate_metrics_mode(path);
+    if let Some(path) = &args.record_trace {
+        record_trace_mode(path, args.backend.as_deref(), args.quick, &registry);
         return;
     }
-    if let Some(path) = &opts.validate_timeline {
-        validate_timeline_mode(path);
-        return;
-    }
-    if let Some(path) = &opts.record_trace {
-        record_trace_mode(path, opts.backend.as_deref(), opts.quick);
-        return;
-    }
-    if let Some(path) = &opts.replay_trace {
-        replay_trace_mode(path);
+    if let Some(path) = &args.replay_trace {
+        replay_trace_mode(path, &registry);
         return;
     }
 
-    let llc_bits = if opts.quick { 80 } else { 400 };
-    let contention_bits = if opts.quick { 120 } else { 500 };
-    let runs = if opts.quick { 3 } else { 8 };
+    let llc_bits = if args.quick { 80 } else { 400 };
+    let contention_bits = if args.quick { 120 } else { 500 };
+    let runs = if args.quick { 3 } else { 8 };
 
-    if opts.slice_hash {
+    if args.slice_hash {
         banner("Equations (1)/(2): LLC slice-hash recovery (timing only)");
         let result = slice_hash_experiment();
         println!("observed slices        : {}", result.observed_slices);
@@ -555,7 +923,7 @@ fn main() {
         println!("exact match            : {}", result.matches);
     }
 
-    if opts.l3 {
+    if args.l3 {
         banner("Section III-D: GPU L3 reverse engineering");
         let result = l3_experiment();
         println!(
@@ -573,9 +941,9 @@ fn main() {
         );
     }
 
-    if opts.fig4 {
+    if args.fig4 {
         banner("Figure 4: custom timer characterization");
-        let (rows, separable) = fig4_timer_characterization(if opts.quick { 12 } else { 40 });
+        let (rows, separable) = fig4_timer_characterization(if args.quick { 12 } else { 40 });
         println!(
             "{:<8} {:>12} {:>10} {:>12}",
             "class", "mean ticks", "std dev", "approx ns"
@@ -589,7 +957,7 @@ fn main() {
         println!("three levels separable : {separable} (paper: separable)");
     }
 
-    if opts.fig7 {
+    if args.fig7 {
         banner("Figure 7: LLC channel bandwidth per L3 eviction strategy");
         println!(
             "{:<22} {:<12} {:>14} {:>10} {:>14}",
@@ -607,7 +975,7 @@ fn main() {
         }
     }
 
-    if opts.fig8 {
+    if args.fig8 {
         banner("Figure 8: error and bandwidth vs number of redundant LLC sets");
         println!(
             "{:<12} {:>6} {:>14} {:>10}",
@@ -625,7 +993,7 @@ fn main() {
         println!("(paper: GPU-to-CPU 7% @ 1 set -> 2% @ 2 sets, 128 -> 120 kb/s)");
     }
 
-    if opts.fig9 {
+    if args.fig9 {
         banner("Figure 9: iteration factor vs GPU buffer size (CPU buffer 512 KB)");
         println!(
             "{:<16} {:>6} {:>16} {:>16}",
@@ -643,7 +1011,7 @@ fn main() {
         println!("(paper: IF decreases as the GPU buffer grows)");
     }
 
-    if opts.fig10 {
+    if args.fig10 {
         banner("Figure 10: contention channel sweep (bandwidth / error, 95% CI)");
         println!(
             "{:<12} {:>4} {:>4} {:>20} {:>22}",
@@ -664,9 +1032,9 @@ fn main() {
         println!("(paper: 390-402 kb/s, best error 0.82% at 2 MB / 2 work-groups)");
     }
 
-    if opts.ablation {
+    if args.ablation {
         banner("Ablation (Section III-E): GPU thread-level parallelism");
-        for r in parallelism_ablation(if opts.quick { 60 } else { 200 }) {
+        for r in parallelism_ablation(if args.quick { 60 } else { 200 }) {
             println!(
                 "parallel={:<5} bandwidth {:>8.1} kb/s   error {:>5.2}%",
                 r.parallel,
@@ -676,596 +1044,23 @@ fn main() {
         }
     }
 
-    if opts.sweep {
-        let registry = BackendRegistry::standard();
-        let backends: Vec<&str> = match &opts.backend {
-            Some(name) => vec![name.as_str()],
-            None => registry.names(),
-        };
-        banner("Scenario sweep: backend x channel x noise, in parallel");
-        let capture_timeline = opts.trace_timeline.is_some();
-        let runner = SweepRunner::with_default_threads()
-            .with_point_budget(std::time::Duration::from_secs(if opts.quick {
-                60
-            } else {
-                600
-            }))
-            .with_telemetry(!opts.no_telemetry)
-            .with_events(capture_timeline);
-        println!(
-            "({} worker threads; backends: {})",
-            runner.threads(),
-            backends.join(", ")
-        );
-        // Rows stream in completion order — both to the terminal and, with
-        // --out, to the JSON file — so a long grid is observable while it
-        // runs and a killed run keeps every finished row on disk (the JSON
-        // footer is only written at the end; see SweepJsonWriter).
-        let mut writer = opts.out.as_ref().map(|path| {
-            SweepJsonWriter::create(path).unwrap_or_else(|err| {
-                eprintln!("error: could not create {}: {err}", path.display());
-                std::process::exit(1);
-            })
-        });
-        // The baseline loads *before* the sweep runs: a missing or corrupt
-        // baseline file should fail in seconds, not after the full grid.
-        let baseline = opts.check_baseline.as_ref().map(|path| {
-            Baseline::load(path).unwrap_or_else(|err| {
-                eprintln!("error: {err}");
-                std::process::exit(1);
-            })
-        });
-        // The resume document likewise: a file that is not a sweep document
-        // is a hard error (exit 2), not a silent full re-run.
-        let mut resume = opts.resume.as_ref().map(|path| {
-            ResumeCache::load(path).unwrap_or_else(|err| {
-                eprintln!("error: --resume {err}");
-                std::process::exit(2);
-            })
-        });
-        if let Some(cache) = &resume {
-            println!(
-                "(resuming: {} reusable rows of {} in the prior document)",
-                cache.len(),
-                cache.total_rows()
-            );
-        }
-        let mut gate_cells: Vec<BaselineCell> = Vec::new();
-        let collect_for_gate = baseline.is_some();
-        // The main thread carries its own registry for the serialization
-        // phase (worker registries never see the JSON writer); its snapshot
-        // merges into the per-point telemetry before the profile prints.
-        let json_telemetry = if opts.no_telemetry {
-            Registry::disabled()
-        } else {
-            Registry::new()
-        };
-        let json_ns = json_telemetry.histogram("phase.json_ns");
-        let mut merged_metrics = MetricsSnapshot::from_entries(std::iter::empty());
-        let mut timeline_points: Vec<TimelinePoint> = Vec::new();
-        let mut metric_points = 0usize;
-        let mut fresh_rows = 0usize;
-        let mut resumed_rows = 0usize;
-        let sweep_started = std::time::Instant::now();
-        let mut stream_row = |row: SweepRow| {
-            if let (Some(w), Some(path)) = (writer.as_mut(), opts.out.as_ref()) {
-                let _json = json_ns.span();
-                let pushed = match &row {
-                    SweepRow::Fresh(result) => w.push(result),
-                    SweepRow::Resumed(reused) => w.push_raw(&reused.raw),
-                };
-                if let Err(err) = pushed {
-                    // A lost result file must fail the run, not just warn —
-                    // downstream plotting scripts check the exit code.
-                    eprintln!("error: could not write {}: {err}", path.display());
-                    std::process::exit(1);
-                }
-            }
-            match row {
-                SweepRow::Fresh(result) => {
-                    if collect_for_gate {
-                        gate_cells.push(BaselineCell::from_result(result));
-                    }
-                    if let Ok(outcome) = &result.outcome {
-                        if let Some(metrics) = &outcome.metrics {
-                            merged_metrics.merge(metrics);
-                            metric_points += 1;
-                        }
-                        if capture_timeline {
-                            if let Some(events) = &outcome.events {
-                                timeline_points
-                                    .push(TimelinePoint::new(result.point.label(), events.clone()));
-                            }
-                        }
-                    }
-                    fresh_rows += 1;
-                }
-                SweepRow::Resumed(reused) => {
-                    if collect_for_gate {
-                        gate_cells.push(reused.cell.clone());
-                    }
-                    if let Some(metrics) = &reused.metrics {
-                        if !opts.no_telemetry {
-                            merged_metrics.merge(metrics);
-                            metric_points += 1;
-                        }
-                    }
-                    resumed_rows += 1;
-                }
-            }
-        };
-        println!(
-            "{:<58} {:>12} {:>9} {:>12} {:>8}",
-            "scenario", "kb/s", "error", "symbol (ns)", "quality"
-        );
-        let show_progress = !opts.no_progress;
-        let classic_grid = default_grid_for(&backends, if opts.quick { 64 } else { 200 });
-        let (classic_grid, reused) = split_resumed(classic_grid, resume.as_mut());
-        for row in &reused {
-            println!("{:<58} (resumed)", row.cell.scenario);
-            stream_row(SweepRow::Resumed(row));
-        }
-        let mut progress = Progress::start(
-            show_progress,
-            "classic sweep",
-            classic_grid.len(),
-            reused.len(),
-        );
-        runner.run_streaming(&classic_grid, |_, result| {
-            match &result.outcome {
-                Ok(outcome) => println!(
-                    "{:<58} {:>12.1} {:>8.2}% {:>12.0} {:>8.1}",
-                    result.point.label(),
-                    outcome.bandwidth_kbps,
-                    outcome.error_rate * 100.0,
-                    outcome.symbol_time_ns,
-                    outcome.calibration_quality,
-                ),
-                Err(err) => println!("{:<58} unusable: {err}", result.point.label()),
-            }
-            stream_row(SweepRow::Fresh(result));
-            progress.tick();
-        });
-
-        banner("Link-code sweep: raw vs coded goodput (framed engine, quiet noise)");
-        println!(
-            "(codes: {})",
-            opts.codes
-                .iter()
-                .map(|c| c.label())
-                .collect::<Vec<_>>()
-                .join(", ")
-        );
-        println!(
-            "{:<64} {:>10} {:>10} {:>7} {:>9} {:>9} {:>8}",
-            "scenario", "kb/s", "goodput", "rate", "corrected", "residual", "retx"
-        );
-        let coded_grid = coded_grid_for(&backends, if opts.quick { 128 } else { 320 }, &opts.codes);
-        let (coded_grid, reused) = split_resumed(coded_grid, resume.as_mut());
-        for row in &reused {
-            println!("{:<64} (resumed)", row.cell.scenario);
-            stream_row(SweepRow::Resumed(row));
-        }
-        let mut progress =
-            Progress::start(show_progress, "coded sweep", coded_grid.len(), reused.len());
-        runner
-            .clone()
-            .with_engine(TransceiverConfig::paper_default())
-            .run_streaming(&coded_grid, |_, result| {
-                match &result.outcome {
-                    Ok(outcome) => println!(
-                        "{:<64} {:>10.1} {:>10.1} {:>7.2} {:>9} {:>9} {:>8}",
-                        result.point.label(),
-                        outcome.bandwidth_kbps,
-                        outcome.goodput_kbps,
-                        outcome.code_rate,
-                        outcome.corrected_bits,
-                        outcome.residual_errors,
-                        outcome.retransmissions,
-                    ),
-                    Err(err) => println!("{:<64} unusable: {err}", result.point.label()),
-                }
-                stream_row(SweepRow::Fresh(result));
-                progress.tick();
-            });
-
-        banner("Adaptive link control: policies vs fixed codes, phased quiet/burst noise");
-        // The fixed-code baselines always run — the comparison is the point
-        // of the section — plus whatever adaptive policies were selected.
-        let mut grid_policies = vec![PolicyKind::Fixed];
-        grid_policies.extend(
-            opts.policies
-                .iter()
-                .copied()
-                .filter(|p| *p != PolicyKind::Fixed),
-        );
-        println!(
-            "(policies: {})",
-            grid_policies
-                .iter()
-                .map(|p| p.label())
-                .collect::<Vec<_>>()
-                .join(", ")
-        );
-        println!(
-            "{:<68} {:>10} {:>8} {:>9} {:>16}",
-            "scenario", "goodput", "error", "switches", "final setting"
-        );
-        let adaptive_grid = adaptive_grid_for(
-            &backends,
-            if opts.quick { 448 } else { 1792 },
-            &grid_policies,
-        );
-        let (adaptive_grid, reused) = split_resumed(adaptive_grid, resume.as_mut());
-        for row in &reused {
-            println!("{:<68} (resumed)", row.cell.scenario);
-            stream_row(SweepRow::Resumed(row));
-        }
-        let adaptive_resumed = reused.len();
-        let mut progress = Progress::start(
-            show_progress,
-            "adaptive sweep",
-            adaptive_grid.len(),
-            adaptive_resumed,
-        );
-        let adaptive_results = runner
-            .clone()
-            .with_engine(TransceiverConfig::paper_default())
-            .run_streaming(&adaptive_grid, |_, result| {
-                match &result.outcome {
-                    Ok(outcome) => {
-                        let (switches, final_setting) = match &outcome.adaptation {
-                            Some(a) => (
-                                a.switches.to_string(),
-                                covert::prelude::LinkSetting::new(
-                                    a.final_code,
-                                    a.final_symbol_repeat,
-                                )
-                                .label(),
-                            ),
-                            None => ("-".into(), "-".into()),
-                        };
-                        println!(
-                            "{:<68} {:>10.1} {:>7.2}% {:>9} {:>16}",
-                            result.point.label(),
-                            outcome.goodput_kbps,
-                            outcome.error_rate * 100.0,
-                            switches,
-                            final_setting,
-                        );
-                    }
-                    Err(err) => println!("{:<68} unusable: {err}", result.point.label()),
-                }
-                stream_row(SweepRow::Fresh(result));
-                progress.tick();
-            });
-        // Per-cell verdict: does the best adaptive policy beat *every*
-        // fixed-code configuration of the same (backend, channel) cell?
-        // With resumed rows the fresh results are only a partial view, so
-        // the verdict is skipped (the prior run already reported it).
-        let mut cells_won = 0usize;
-        let mut cells_total = 0usize;
-        for backend in &backends {
-            for channel in ChannelKind::ALL {
-                let cell: Vec<_> = adaptive_results
-                    .iter()
-                    .filter(|r| r.point.backend == *backend && r.point.channel == channel)
-                    .collect();
-                let goodput =
-                    |r: &&SweepResult| r.outcome.as_ref().map(|o| o.goodput_kbps).unwrap_or(0.0);
-                let best_fixed = cell
-                    .iter()
-                    .filter(|r| r.point.policy == Some(PolicyKind::Fixed))
-                    .map(goodput)
-                    .fold(f64::NEG_INFINITY, f64::max);
-                let best_adaptive = cell
-                    .iter()
-                    .filter(|r| {
-                        r.point.policy.is_some() && r.point.policy != Some(PolicyKind::Fixed)
-                    })
-                    .map(goodput)
-                    .fold(f64::NEG_INFINITY, f64::max);
-                if best_adaptive.is_finite() && best_fixed.is_finite() {
-                    cells_total += 1;
-                    if best_adaptive > best_fixed {
-                        cells_won += 1;
-                    }
-                }
-            }
-        }
-        if adaptive_resumed > 0 {
-            println!(
-                "\n(adaptive-vs-fixed verdict skipped: {adaptive_resumed} rows resumed; see the prior run)"
-            );
-        } else if cells_total > 0 {
-            println!(
-                "\nadaptive beats the best fixed code in {cells_won}/{cells_total} backend x channel cells"
-            );
-        }
-
-        if let Some(writer) = writer {
-            let path = opts.out.as_ref().expect("writer implies --out");
-            match writer.finish() {
-                Ok(rows) => println!("\nwrote {rows} sweep rows to {}", path.display()),
-                Err(err) => {
-                    eprintln!("error: could not write {}: {err}", path.display());
-                    std::process::exit(1);
-                }
-            }
-        }
-
-        if let Some(path) = &opts.trace_timeline {
-            use covert::prelude::{
-                test_pattern, BanditPolicy, Direction, DuplexConfig, DuplexScheduler, LlcChannel,
-                LlcChannelConfig, SlotAllocation,
-            };
-            banner("Event timeline");
-            // The sweep grids never run the duplex scheduler, so the duplex
-            // track comes from a dedicated small exchange: an LLC channel
-            // each way, quality-weighted slot allocation, a bandit
-            // controller per direction. The asymmetric backlogs make the
-            // allocation shift slots mid-run.
-            let sink = soc_sim::prelude::EventSink::new();
-            let forward_payload = test_pattern(96, 41);
-            let reverse_payload = test_pattern(192, 42);
-            let duplex_result = LlcChannel::new(LlcChannelConfig::paper_default().with_seed(41))
-                .and_then(|mut forward| {
-                    let mut reverse = LlcChannel::new(
-                        LlcChannelConfig::paper_default()
-                            .with_direction(Direction::CpuToGpu)
-                            .with_seed(42),
-                    )?;
-                    DuplexScheduler::new(
-                        DuplexConfig::paper_default()
-                            .with_allocation(SlotAllocation::QualityWeighted),
-                    )
-                    .with_events(&sink)
-                    .run_adaptive(
-                        &mut forward,
-                        &mut reverse,
-                        &forward_payload,
-                        &reverse_payload,
-                        &mut BanditPolicy::paper_default(),
-                        &mut BanditPolicy::paper_default(),
-                    )
-                });
-            match duplex_result {
-                Ok(report) => {
-                    timeline_points.push(TimelinePoint::new(
-                        "duplex / llc both ways / quality-weighted slots",
-                        sink.snapshot(),
-                    ));
-                    println!(
-                        "timeline duplex exchange: {} slots, {:.1} kb/s aggregate",
-                        report.slots.len(),
-                        report.aggregate_goodput_kbps()
-                    );
-                }
-                Err(err) => eprintln!("note: timeline duplex exchange failed: {err}"),
-            }
-            match write_timeline(path, &timeline_points) {
-                Ok(()) => {
-                    let events: usize = timeline_points.iter().map(|p| p.log.len()).sum();
-                    println!(
-                        "wrote event timeline ({} point(s), {events} events) to {}",
-                        timeline_points.len(),
-                        path.display()
-                    );
-                    println!(
-                        "(open in chrome://tracing or Perfetto; check with: repro \
-                         --validate-timeline {})",
-                        path.display()
-                    );
-                }
-                Err(err) => {
-                    eprintln!("error: could not write {}: {err}", path.display());
-                    std::process::exit(1);
-                }
-            }
-        }
-        // The headline throughput: simulated rows over the wall-clock of
-        // the sweep sections. Resumed rows are excluded from both sides —
-        // they cost microseconds, and folding them in would turn the number
-        // into a resume-ratio artifact instead of a simulation-speed gauge.
-        let sweep_elapsed = sweep_started.elapsed().as_secs_f64();
-        let rows_per_sec = if fresh_rows > 0 {
-            Some(fresh_rows as f64 / sweep_elapsed.max(1e-9))
-        } else {
-            None
-        };
-        if let Some(rate) = rows_per_sec {
-            match resumed_rows {
-                0 => println!(
-                    "sweep throughput: {fresh_rows} rows in {sweep_elapsed:.2}s ({rate:.1} rows/s)"
-                ),
-                _ => println!(
-                    "sweep throughput: {fresh_rows} fresh rows in {sweep_elapsed:.2}s \
-                     ({rate:.1} rows/s; {resumed_rows} resumed)"
-                ),
-            }
-        } else if resumed_rows > 0 {
-            println!(
-                "sweep throughput: every row resumed ({resumed_rows} rows, nothing simulated)"
-            );
-        }
-        if let Some(cache) = &resume {
-            if !cache.is_empty() {
-                eprintln!(
-                    "note: {} row(s) of the resume file matched no grid point (recorded with \
-                     different flags?)",
-                    cache.len()
-                );
-            }
-        }
-
-        merged_metrics.merge(&json_telemetry.snapshot());
-        if metric_points > 0 {
-            banner("Sweep profile: where the time goes");
-            println!(
-                "{:<20} {:>10} {:>12} {:>12} {:>12}",
-                "phase", "events", "total ms", "mean us", "p99 us"
-            );
-            for (name, label) in [
-                ("phase.simulate_ns", "simulate"),
-                ("phase.classify_ns", "classify/decode"),
-                ("phase.adapt_ns", "adapt bookkeeping"),
-                ("phase.json_ns", "json serialization"),
-            ] {
-                let Some(hist) = merged_metrics.histogram(name) else {
-                    continue;
-                };
-                if hist.count() == 0 {
-                    continue;
-                }
-                println!(
-                    "{:<20} {:>10} {:>12.1} {:>12.1} {:>12.1}",
-                    label,
-                    hist.count(),
-                    hist.sum() as f64 / 1e6,
-                    hist.mean() / 1e3,
-                    hist.percentile(99.0) / 1e3,
-                );
-            }
-            println!(
-                "(telemetry: {} metrics over {metric_points} points; groups: {})",
-                merged_metrics.len(),
-                merged_metrics.groups().join(", ")
-            );
-        }
-        if let Some(path) = &opts.metrics_out {
-            if metric_points == 0 {
-                eprintln!(
-                    "note: --metrics-out {} skipped (telemetry is off or no point finished)",
-                    path.display()
-                );
-            } else if let Err(err) =
-                write_metrics_json(path, &merged_metrics, metric_points, rows_per_sec)
-            {
-                eprintln!("error: could not write {}: {err}", path.display());
-                std::process::exit(1);
-            } else {
-                println!(
-                    "wrote aggregated telemetry ({} metrics, {metric_points} points) to {}",
-                    merged_metrics.len(),
-                    path.display()
-                );
-            }
-        }
-
-        if let Some(baseline) = baseline {
-            let path = opts
-                .check_baseline
-                .as_ref()
-                .expect("baseline implies --check-baseline");
-            banner("Baseline regression gate");
-            let report = baseline.compare_cells(&gate_cells, DEFAULT_TOLERANCE);
-            println!(
-                "compared {} cells against {} (tolerance -{:.0}%); {} fresh-only, {} baseline-only",
-                report.compared,
-                path.display(),
-                DEFAULT_TOLERANCE * 100.0,
-                report.unmatched_fresh,
-                report.unmatched_baseline,
-            );
-            if report.passed() {
-                println!("baseline gate PASSED");
-            } else {
-                if report.regressions.is_empty() {
-                    eprintln!(
-                        "error: baseline gate compared no cells — grid and baseline are disjoint \
-                         (was the baseline recorded with the same --quick/--backend flags?)"
-                    );
-                } else {
-                    eprintln!(
-                        "error: baseline gate FAILED — {} regressed cell(s), worst first:",
-                        report.regressions.len()
-                    );
-                    for regression in &report.regressions {
-                        eprintln!("  {}", regression.describe());
-                        // The forensic trail: which metrics of this cell
-                        // moved the most against the committed baseline.
-                        for line in regression.forensic_lines() {
-                            eprintln!("      {line}");
-                        }
-                    }
-                    eprintln!(
-                        "(an intended change? refresh with: repro --quick --sweep --out {})",
-                        path.display()
-                    );
-                    // In CI, the same report lands in the step summary so
-                    // nobody has to dig through the raw log.
-                    if let Ok(summary_path) = std::env::var("GITHUB_STEP_SUMMARY") {
-                        use std::io::Write as _;
-                        let appended = std::fs::OpenOptions::new()
-                            .create(true)
-                            .append(true)
-                            .open(&summary_path)
-                            .and_then(|mut file| file.write_all(report.markdown().as_bytes()));
-                        if let Err(err) = appended {
-                            eprintln!("note: could not append to {summary_path}: {err}");
-                        }
-                    }
-                }
-                std::process::exit(2);
-            }
-        }
+    if args.sweep {
+        run_sweep(&args, &scenarios, &registry);
     } else {
-        if let Some(path) = &opts.out {
-            eprintln!(
-                "note: --out {} ignored (it serializes --sweep results; pass --sweep)",
-                path.display()
-            );
-        }
-        if let Some(name) = &opts.backend {
-            eprintln!(
-                "note: --backend {name} ignored (it restricts the --sweep grids; the figure \
-                 experiments model the paper platform; pass --sweep)"
-            );
-        }
-        if let Some(path) = &opts.resume {
-            eprintln!(
-                "note: --resume {} ignored (it reuses --sweep rows; pass --sweep)",
-                path.display()
-            );
-        }
-        if opts.code_given {
-            eprintln!(
-                "note: --code ignored (it selects the --sweep link-code axis; the figure \
-                 experiments run the paper's fixed configurations; pass --sweep)"
-            );
-        }
-        if opts.policy_given {
-            eprintln!(
-                "note: --policy ignored (it selects the --sweep adaptation policies; pass --sweep)"
-            );
-        }
-        if let Some(path) = &opts.check_baseline {
-            eprintln!(
-                "note: --check-baseline {} ignored (it gates the --sweep results; pass --sweep)",
-                path.display()
-            );
-        }
-        if let Some(path) = &opts.metrics_out {
-            eprintln!(
-                "note: --metrics-out {} ignored (it aggregates --sweep telemetry; pass --sweep)",
-                path.display()
-            );
-        }
-        if let Some(path) = &opts.trace_timeline {
-            eprintln!(
-                "note: --trace-timeline {} ignored (it records --sweep events; pass --sweep)",
-                path.display()
-            );
+        // The single "ignored without --sweep" path: every sweep-only flag
+        // that was given gets the same note shape.
+        for (flag, purpose) in args.sweep_only_flags() {
+            eprintln!("note: {flag} ignored ({purpose}; pass --sweep)");
         }
     }
 
-    if opts.headline {
+    if args.headline {
         banner("Headline numbers (abstract / Section V)");
         println!(
             "{:<30} {:>14} {:>10} {:>12} {:>10}",
             "channel", "measured kb/s", "error", "paper kb/s", "paper err"
         );
-        for r in headline(if opts.quick { 120 } else { 400 }) {
+        for r in headline(if args.quick { 120 } else { 400 }) {
             println!(
                 "{:<30} {:>14.1} {:>9.2}% {:>12.1} {:>9.2}%",
                 r.channel,
@@ -1275,5 +1070,490 @@ fn main() {
                 r.paper_error * 100.0
             );
         }
+    }
+}
+
+/// The `--sweep` mode: materializes every scenario's sections against the
+/// registry and runs them in order, streaming rows to the terminal, the
+/// `--out` writer, the telemetry aggregate and the baseline gate.
+fn run_sweep(args: &Args, scenarios: &[Scenario], registry: &BackendRegistry) {
+    let overrides = GridOverrides {
+        backend: args.backend.as_deref(),
+        codes: args.codes.as_deref(),
+        policies: args.policies.as_deref(),
+    };
+    let mut sections: Vec<MaterializedSection> = Vec::new();
+    for scenario in scenarios {
+        sections.extend(
+            materialize_sections(scenario, registry, args.quick, &overrides)
+                .unwrap_or_else(|err| die(&format!("scenario '{}': {err}", scenario.name))),
+        );
+    }
+    let mut swept_backends: Vec<String> = Vec::new();
+    for section in &sections {
+        for point in &section.points {
+            if !swept_backends.contains(&point.backend) {
+                swept_backends.push(point.backend.clone());
+            }
+        }
+    }
+
+    let capture_timeline = args.trace_timeline.is_some();
+    let runner = SweepRunner::with_default_threads()
+        .with_registry(registry.clone())
+        .with_point_budget(std::time::Duration::from_secs(if args.quick {
+            60
+        } else {
+            600
+        }))
+        .with_telemetry(!args.no_telemetry)
+        .with_events(capture_timeline);
+    banner("Scenario-driven sweep");
+    println!(
+        "({} worker threads; scenarios: {}; backends: {})",
+        runner.threads(),
+        scenarios
+            .iter()
+            .map(|s| s.name.as_str())
+            .collect::<Vec<_>>()
+            .join(", "),
+        swept_backends.join(", ")
+    );
+
+    // Rows stream in completion order — both to the terminal and, with
+    // --out, to the JSON file — so a long grid is observable while it
+    // runs and a killed run keeps every finished row on disk (the JSON
+    // footer is only written at the end; see SweepJsonWriter).
+    let mut writer = args.out.as_ref().map(|path| {
+        SweepJsonWriter::create(path).unwrap_or_else(|err| {
+            eprintln!("error: could not create {}: {err}", path.display());
+            std::process::exit(1);
+        })
+    });
+    // The baseline loads *before* the sweep runs: a missing or corrupt
+    // baseline file should fail in seconds, not after the full grid.
+    let baseline = args.check_baseline.as_ref().map(|path| {
+        Baseline::load(path).unwrap_or_else(|err| {
+            eprintln!("error: {err}");
+            std::process::exit(1);
+        })
+    });
+    // The resume document likewise: a file that is not a sweep document
+    // is a hard error (exit 2), not a silent full re-run.
+    let mut resume = args.resume.as_ref().map(|path| {
+        ResumeCache::load(path).unwrap_or_else(|err| {
+            eprintln!("error: --resume {err}");
+            std::process::exit(2);
+        })
+    });
+    if let Some(cache) = &resume {
+        println!(
+            "(resuming: {} reusable rows of {} in the prior document)",
+            cache.len(),
+            cache.total_rows()
+        );
+    }
+    let mut gate_cells: Vec<BaselineCell> = Vec::new();
+    let collect_for_gate = baseline.is_some();
+    // The main thread carries its own registry for the serialization
+    // phase (worker registries never see the JSON writer); its snapshot
+    // merges into the per-point telemetry before the profile prints.
+    let json_telemetry = if args.no_telemetry {
+        Registry::disabled()
+    } else {
+        Registry::new()
+    };
+    let json_ns = json_telemetry.histogram("phase.json_ns");
+    let mut merged_metrics = MetricsSnapshot::from_entries(std::iter::empty());
+    let mut timeline_points: Vec<TimelinePoint> = Vec::new();
+    let mut metric_points = 0usize;
+    let mut fresh_rows = 0usize;
+    let mut resumed_rows = 0usize;
+    let sweep_started = std::time::Instant::now();
+    let mut stream_row = |row: SweepRow| {
+        if let (Some(w), Some(path)) = (writer.as_mut(), args.out.as_ref()) {
+            let _json = json_ns.span();
+            let pushed = match &row {
+                SweepRow::Fresh(result) => w.push(result),
+                SweepRow::Resumed(reused) => w.push_raw(&reused.raw),
+            };
+            if let Err(err) = pushed {
+                // A lost result file must fail the run, not just warn —
+                // downstream plotting scripts check the exit code.
+                eprintln!("error: could not write {}: {err}", path.display());
+                std::process::exit(1);
+            }
+        }
+        match row {
+            SweepRow::Fresh(result) => {
+                if collect_for_gate {
+                    gate_cells.push(BaselineCell::from_result(result));
+                }
+                if let Ok(outcome) = &result.outcome {
+                    if let Some(metrics) = &outcome.metrics {
+                        merged_metrics.merge(metrics);
+                        metric_points += 1;
+                    }
+                    if capture_timeline {
+                        if let Some(events) = &outcome.events {
+                            timeline_points
+                                .push(TimelinePoint::new(result.point.label(), events.clone()));
+                        }
+                    }
+                }
+                fresh_rows += 1;
+            }
+            SweepRow::Resumed(reused) => {
+                if collect_for_gate {
+                    gate_cells.push(reused.cell.clone());
+                }
+                if let Some(metrics) = &reused.metrics {
+                    if !args.no_telemetry {
+                        merged_metrics.merge(metrics);
+                        metric_points += 1;
+                    }
+                }
+                resumed_rows += 1;
+            }
+        }
+    };
+
+    let show_progress = !args.no_progress;
+    for section in &sections {
+        let style = RowStyle::for_section(section);
+        banner(section_title(section.kind));
+        println!(
+            "(scenario '{}', sweeps[{}]: {} section, {} points)",
+            section.scenario,
+            section.index,
+            section.kind.label(),
+            section.points.len()
+        );
+        if section.points.is_empty() {
+            continue;
+        }
+        if style != RowStyle::Classic {
+            let codes = distinct_labels(&section.points, |p| Some(p.code.label()));
+            println!("(codes: {})", codes.join(", "));
+        }
+        if style == RowStyle::Adaptive {
+            let policies =
+                distinct_labels(&section.points, |p| match (&p.policy_params, p.policy) {
+                    (Some(params), _) => Some(params.label()),
+                    (None, Some(policy)) => Some(policy.label().to_string()),
+                    (None, None) => None,
+                });
+            println!("(policies: {})", policies.join(", "));
+        }
+        style.print_header();
+        let (grid, reused) = split_resumed(section.points.clone(), resume.as_mut());
+        for row in &reused {
+            println!(
+                "{:<width$} (resumed)",
+                row.cell.scenario,
+                width = style.label_width()
+            );
+            stream_row(SweepRow::Resumed(row));
+        }
+        let section_resumed = reused.len();
+        let mut progress = Progress::start(
+            show_progress,
+            format!("{} sweep", section.kind.label()),
+            grid.len(),
+            section_resumed,
+        );
+        let section_runner = if section.framed {
+            runner
+                .clone()
+                .with_engine(TransceiverConfig::paper_default())
+        } else {
+            runner.clone()
+        };
+        let results = section_runner.run_streaming(&grid, |_, result| {
+            style.print_row(result);
+            stream_row(SweepRow::Fresh(result));
+            progress.tick();
+        });
+        if section.kind == SectionKind::Adaptive {
+            print_adaptive_verdict(&results, section_resumed);
+        }
+    }
+
+    if let Some(writer) = writer {
+        let path = args.out.as_ref().expect("writer implies --out");
+        match writer.finish() {
+            Ok(rows) => println!("\nwrote {rows} sweep rows to {}", path.display()),
+            Err(err) => {
+                eprintln!("error: could not write {}: {err}", path.display());
+                std::process::exit(1);
+            }
+        }
+    }
+
+    if let Some(path) = &args.trace_timeline {
+        use covert::prelude::{
+            test_pattern, BanditPolicy, Direction, DuplexConfig, DuplexScheduler, LlcChannel,
+            LlcChannelConfig, SlotAllocation,
+        };
+        banner("Event timeline");
+        // The sweep grids never run the duplex scheduler, so the duplex
+        // track comes from a dedicated small exchange: an LLC channel
+        // each way, quality-weighted slot allocation, a bandit
+        // controller per direction. The asymmetric backlogs make the
+        // allocation shift slots mid-run.
+        let sink = soc_sim::prelude::EventSink::new();
+        let forward_payload = test_pattern(96, 41);
+        let reverse_payload = test_pattern(192, 42);
+        let duplex_result = LlcChannel::new(LlcChannelConfig::paper_default().with_seed(41))
+            .and_then(|mut forward| {
+                let mut reverse = LlcChannel::new(
+                    LlcChannelConfig::paper_default()
+                        .with_direction(Direction::CpuToGpu)
+                        .with_seed(42),
+                )?;
+                DuplexScheduler::new(
+                    DuplexConfig::paper_default().with_allocation(SlotAllocation::QualityWeighted),
+                )
+                .with_events(&sink)
+                .run_adaptive(
+                    &mut forward,
+                    &mut reverse,
+                    &forward_payload,
+                    &reverse_payload,
+                    &mut BanditPolicy::paper_default(),
+                    &mut BanditPolicy::paper_default(),
+                )
+            });
+        match duplex_result {
+            Ok(report) => {
+                timeline_points.push(TimelinePoint::new(
+                    "duplex / llc both ways / quality-weighted slots",
+                    sink.snapshot(),
+                ));
+                println!(
+                    "timeline duplex exchange: {} slots, {:.1} kb/s aggregate",
+                    report.slots.len(),
+                    report.aggregate_goodput_kbps()
+                );
+            }
+            Err(err) => eprintln!("note: timeline duplex exchange failed: {err}"),
+        }
+        match write_timeline(path, &timeline_points) {
+            Ok(()) => {
+                let events: usize = timeline_points.iter().map(|p| p.log.len()).sum();
+                println!(
+                    "wrote event timeline ({} point(s), {events} events) to {}",
+                    timeline_points.len(),
+                    path.display()
+                );
+                println!(
+                    "(open in chrome://tracing or Perfetto; check with: repro \
+                     --validate-timeline {})",
+                    path.display()
+                );
+            }
+            Err(err) => {
+                eprintln!("error: could not write {}: {err}", path.display());
+                std::process::exit(1);
+            }
+        }
+    }
+    // The headline throughput: simulated rows over the wall-clock of
+    // the sweep sections. Resumed rows are excluded from both sides —
+    // they cost microseconds, and folding them in would turn the number
+    // into a resume-ratio artifact instead of a simulation-speed gauge.
+    let sweep_elapsed = sweep_started.elapsed().as_secs_f64();
+    let rows_per_sec = if fresh_rows > 0 {
+        Some(fresh_rows as f64 / sweep_elapsed.max(1e-9))
+    } else {
+        None
+    };
+    if let Some(rate) = rows_per_sec {
+        match resumed_rows {
+            0 => println!(
+                "sweep throughput: {fresh_rows} rows in {sweep_elapsed:.2}s ({rate:.1} rows/s)"
+            ),
+            _ => println!(
+                "sweep throughput: {fresh_rows} fresh rows in {sweep_elapsed:.2}s \
+                 ({rate:.1} rows/s; {resumed_rows} resumed)"
+            ),
+        }
+    } else if resumed_rows > 0 {
+        println!("sweep throughput: every row resumed ({resumed_rows} rows, nothing simulated)");
+    }
+    if let Some(cache) = &resume {
+        if !cache.is_empty() {
+            eprintln!(
+                "note: {} row(s) of the resume file matched no grid point (recorded with \
+                 different flags or another scenario?)",
+                cache.len()
+            );
+        }
+    }
+
+    merged_metrics.merge(&json_telemetry.snapshot());
+    if metric_points > 0 {
+        banner("Sweep profile: where the time goes");
+        println!(
+            "{:<20} {:>10} {:>12} {:>12} {:>12}",
+            "phase", "events", "total ms", "mean us", "p99 us"
+        );
+        for (name, label) in [
+            ("phase.simulate_ns", "simulate"),
+            ("phase.classify_ns", "classify/decode"),
+            ("phase.adapt_ns", "adapt bookkeeping"),
+            ("phase.json_ns", "json serialization"),
+        ] {
+            let Some(hist) = merged_metrics.histogram(name) else {
+                continue;
+            };
+            if hist.count() == 0 {
+                continue;
+            }
+            println!(
+                "{:<20} {:>10} {:>12.1} {:>12.1} {:>12.1}",
+                label,
+                hist.count(),
+                hist.sum() as f64 / 1e6,
+                hist.mean() / 1e3,
+                hist.percentile(99.0) / 1e3,
+            );
+        }
+        println!(
+            "(telemetry: {} metrics over {metric_points} points; groups: {})",
+            merged_metrics.len(),
+            merged_metrics.groups().join(", ")
+        );
+    }
+    if let Some(path) = &args.metrics_out {
+        if metric_points == 0 {
+            eprintln!(
+                "note: --metrics-out {} skipped (telemetry is off or no point finished)",
+                path.display()
+            );
+        } else if let Err(err) =
+            write_metrics_json(path, &merged_metrics, metric_points, rows_per_sec)
+        {
+            eprintln!("error: could not write {}: {err}", path.display());
+            std::process::exit(1);
+        } else {
+            println!(
+                "wrote aggregated telemetry ({} metrics, {metric_points} points) to {}",
+                merged_metrics.len(),
+                path.display()
+            );
+        }
+    }
+
+    if let Some(baseline) = baseline {
+        let path = args
+            .check_baseline
+            .as_ref()
+            .expect("baseline implies --check-baseline");
+        banner("Baseline regression gate");
+        let report = baseline.compare_cells(&gate_cells, DEFAULT_TOLERANCE);
+        println!(
+            "compared {} cells against {} (tolerance -{:.0}%); {} fresh-only, {} baseline-only",
+            report.compared,
+            path.display(),
+            DEFAULT_TOLERANCE * 100.0,
+            report.unmatched_fresh,
+            report.unmatched_baseline,
+        );
+        if report.passed() {
+            println!("baseline gate PASSED");
+        } else {
+            if report.regressions.is_empty() {
+                eprintln!(
+                    "error: baseline gate compared no cells — grid and baseline are disjoint \
+                     (was the baseline recorded with the same --quick/--backend/--scenario \
+                     flags?)"
+                );
+            } else {
+                eprintln!(
+                    "error: baseline gate FAILED — {} regressed cell(s), worst first:",
+                    report.regressions.len()
+                );
+                for regression in &report.regressions {
+                    eprintln!("  {}", regression.describe());
+                    // The forensic trail: which metrics of this cell
+                    // moved the most against the committed baseline.
+                    for line in regression.forensic_lines() {
+                        eprintln!("      {line}");
+                    }
+                }
+                eprintln!(
+                    "(an intended change? refresh with: repro --quick --sweep --out {})",
+                    path.display()
+                );
+                // In CI, the same report lands in the step summary so
+                // nobody has to dig through the raw log.
+                if let Ok(summary_path) = std::env::var("GITHUB_STEP_SUMMARY") {
+                    use std::io::Write as _;
+                    let appended = std::fs::OpenOptions::new()
+                        .create(true)
+                        .append(true)
+                        .open(&summary_path)
+                        .and_then(|mut file| file.write_all(report.markdown().as_bytes()));
+                    if let Err(err) = appended {
+                        eprintln!("note: could not append to {summary_path}: {err}");
+                    }
+                }
+            }
+            std::process::exit(2);
+        }
+    }
+}
+
+/// Per-cell verdict of an adaptive section: does the best adaptive policy
+/// beat *every* fixed-code configuration of the same (backend, channel)
+/// cell? With resumed rows the fresh results are only a partial view, so
+/// the verdict is skipped (the prior run already reported it).
+fn print_adaptive_verdict(results: &[SweepResult], resumed: usize) {
+    if resumed > 0 {
+        println!(
+            "\n(adaptive-vs-fixed verdict skipped: {resumed} rows resumed; see the prior run)"
+        );
+        return;
+    }
+    let mut backends: Vec<&str> = Vec::new();
+    for result in results {
+        if !backends.contains(&result.point.backend.as_str()) {
+            backends.push(&result.point.backend);
+        }
+    }
+    let mut cells_won = 0usize;
+    let mut cells_total = 0usize;
+    for backend in &backends {
+        for channel in ChannelKind::ALL {
+            let cell: Vec<_> = results
+                .iter()
+                .filter(|r| r.point.backend == *backend && r.point.channel == channel)
+                .collect();
+            let goodput =
+                |r: &&SweepResult| r.outcome.as_ref().map(|o| o.goodput_kbps).unwrap_or(0.0);
+            let best_fixed = cell
+                .iter()
+                .filter(|r| r.point.policy == Some(PolicyKind::Fixed))
+                .map(goodput)
+                .fold(f64::NEG_INFINITY, f64::max);
+            let best_adaptive = cell
+                .iter()
+                .filter(|r| r.point.policy.is_some() && r.point.policy != Some(PolicyKind::Fixed))
+                .map(goodput)
+                .fold(f64::NEG_INFINITY, f64::max);
+            if best_adaptive.is_finite() && best_fixed.is_finite() {
+                cells_total += 1;
+                if best_adaptive > best_fixed {
+                    cells_won += 1;
+                }
+            }
+        }
+    }
+    if cells_total > 0 {
+        println!(
+            "\nadaptive beats the best fixed code in {cells_won}/{cells_total} backend x channel \
+             cells"
+        );
     }
 }

@@ -10,7 +10,10 @@
 //! [`parse_json`] is the matching reader: a small recursive-descent parser
 //! into [`JsonValue`], used by the CI baseline checker ([`crate::baseline`])
 //! and by the schema round-trip tests that guard the document format
-//! downstream tooling depends on.
+//! downstream tooling depends on. The escape/number/parser layer itself
+//! lives in the workspace-shared [`scenario::json`] module (so the scenario
+//! loader below this crate reads the same dialect); this module re-exports
+//! it and keeps the sweep- and metrics-document writers.
 
 use crate::sweep::{SweepOutcome, SweepResult};
 use soc_sim::prelude::{HistogramSnapshot, MetricValue, MetricsSnapshot};
@@ -18,6 +21,8 @@ use std::fmt::Write as _;
 use std::fs::File;
 use std::io::{self, BufWriter, Write};
 use std::path::Path;
+
+pub use scenario::json::{escape, number, parse_json, JsonValue};
 
 /// Schema tag written into every document; `v4` adds the per-row
 /// `metrics` telemetry object (`v3` added the `policy` column and the
@@ -29,36 +34,6 @@ pub const SWEEP_SCHEMA: &str = "leaky-buddies/sweep-v4";
 /// (`repro --metrics-out <path>`): every per-point [`MetricsSnapshot`] of a
 /// sweep merged into one set of counters and histograms.
 pub const METRICS_SCHEMA: &str = "leaky-buddies/metrics-v1";
-
-/// Escapes a string for a JSON string literal (quotes not included).
-/// Shared with [`crate::tracefile`], whose header line carries the same
-/// caller-controlled strings (registry keys, labels).
-pub(crate) fn escape(text: &str) -> String {
-    let mut out = String::with_capacity(text.len());
-    for c in text.chars() {
-        match c {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            '\n' => out.push_str("\\n"),
-            '\r' => out.push_str("\\r"),
-            '\t' => out.push_str("\\t"),
-            c if (c as u32) < 0x20 => {
-                let _ = write!(out, "\\u{:04x}", c as u32);
-            }
-            c => out.push(c),
-        }
-    }
-    out
-}
-
-/// Formats a float as a JSON number; non-finite values become `null`.
-pub(crate) fn number(value: f64) -> String {
-    if value.is_finite() {
-        format!("{value}")
-    } else {
-        "null".into()
-    }
-}
 
 /// Formats one histogram as a self-describing JSON object. The buckets
 /// array is trailing-zero-trimmed — [`HistogramSnapshot::from_parts`] pads
@@ -403,340 +378,11 @@ impl SweepJsonWriter {
     }
 }
 
-/// A parsed JSON value — the reading half of this module's hand-rolled
-/// serialization (the offline workspace has no serde). Objects preserve key
-/// order as written. Used by the baseline regression checker
-/// ([`crate::baseline`]) and the schema round-trip tests, so the documents
-/// this module emits are guarded by an actual parser rather than substring
-/// checks.
-#[derive(Debug, Clone, PartialEq)]
-pub enum JsonValue {
-    /// `null`.
-    Null,
-    /// `true` / `false`.
-    Bool(bool),
-    /// Any JSON number (parsed as `f64`, which covers every value this
-    /// schema writes).
-    Number(f64),
-    /// A string, unescaped.
-    String(String),
-    /// An array.
-    Array(Vec<JsonValue>),
-    /// An object, as ordered key/value pairs.
-    Object(Vec<(String, JsonValue)>),
-}
-
-impl JsonValue {
-    /// Looks up a key in an object (first match).
-    pub fn get(&self, key: &str) -> Option<&JsonValue> {
-        match self {
-            JsonValue::Object(pairs) => pairs.iter().find(|(k, _)| k == key).map(|(_, v)| v),
-            _ => None,
-        }
-    }
-
-    /// The numeric value, if this is a number.
-    pub fn as_f64(&self) -> Option<f64> {
-        match self {
-            JsonValue::Number(n) => Some(*n),
-            _ => None,
-        }
-    }
-
-    /// The string value, if this is a string.
-    pub fn as_str(&self) -> Option<&str> {
-        match self {
-            JsonValue::String(s) => Some(s),
-            _ => None,
-        }
-    }
-
-    /// The boolean value, if this is a boolean.
-    pub fn as_bool(&self) -> Option<bool> {
-        match self {
-            JsonValue::Bool(b) => Some(*b),
-            _ => None,
-        }
-    }
-
-    /// The elements, if this is an array.
-    pub fn as_array(&self) -> Option<&[JsonValue]> {
-        match self {
-            JsonValue::Array(items) => Some(items),
-            _ => None,
-        }
-    }
-
-    /// Serializes the value back to compact JSON. Numbers print through the
-    /// same shortest-round-trip formatting the writers use, so a parse →
-    /// serialize trip is value-preserving (if not always byte-identical to
-    /// hand-formatted input).
-    pub fn to_json(&self) -> String {
-        let mut out = String::new();
-        self.write_json(&mut out);
-        out
-    }
-
-    fn write_json(&self, out: &mut String) {
-        match self {
-            JsonValue::Null => out.push_str("null"),
-            JsonValue::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
-            JsonValue::Number(n) => out.push_str(&number(*n)),
-            JsonValue::String(s) => {
-                out.push('"');
-                out.push_str(&escape(s));
-                out.push('"');
-            }
-            JsonValue::Array(items) => {
-                out.push('[');
-                for (i, item) in items.iter().enumerate() {
-                    if i > 0 {
-                        out.push(',');
-                    }
-                    item.write_json(out);
-                }
-                out.push(']');
-            }
-            JsonValue::Object(pairs) => {
-                out.push('{');
-                for (i, (key, value)) in pairs.iter().enumerate() {
-                    if i > 0 {
-                        out.push(',');
-                    }
-                    out.push('"');
-                    out.push_str(&escape(key));
-                    out.push_str("\":");
-                    value.write_json(out);
-                }
-                out.push('}');
-            }
-        }
-    }
-}
-
-/// Parses a JSON document.
-///
-/// # Errors
-///
-/// Returns a message naming the byte offset of the first syntax error, or
-/// trailing non-whitespace after the document.
-pub fn parse_json(text: &str) -> Result<JsonValue, String> {
-    let mut parser = JsonParser {
-        bytes: text.as_bytes(),
-        pos: 0,
-    };
-    let value = parser.value()?;
-    parser.skip_whitespace();
-    if parser.pos < parser.bytes.len() {
-        return Err(format!("trailing data at byte {}", parser.pos));
-    }
-    Ok(value)
-}
-
-struct JsonParser<'t> {
-    bytes: &'t [u8],
-    pos: usize,
-}
-
-impl JsonParser<'_> {
-    fn skip_whitespace(&mut self) {
-        while matches!(self.bytes.get(self.pos), Some(b' ' | b'\t' | b'\n' | b'\r')) {
-            self.pos += 1;
-        }
-    }
-
-    fn peek(&mut self) -> Result<u8, String> {
-        self.skip_whitespace();
-        self.bytes
-            .get(self.pos)
-            .copied()
-            .ok_or_else(|| format!("unexpected end of input at byte {}", self.pos))
-    }
-
-    fn expect(&mut self, byte: u8) -> Result<(), String> {
-        if self.peek()? == byte {
-            self.pos += 1;
-            Ok(())
-        } else {
-            Err(format!(
-                "expected '{}' at byte {}",
-                char::from(byte),
-                self.pos
-            ))
-        }
-    }
-
-    fn literal(&mut self, word: &str, value: JsonValue) -> Result<JsonValue, String> {
-        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
-            self.pos += word.len();
-            Ok(value)
-        } else {
-            Err(format!("invalid literal at byte {}", self.pos))
-        }
-    }
-
-    fn value(&mut self) -> Result<JsonValue, String> {
-        match self.peek()? {
-            b'{' => self.object(),
-            b'[' => self.array(),
-            b'"' => Ok(JsonValue::String(self.string()?)),
-            b't' => self.literal("true", JsonValue::Bool(true)),
-            b'f' => self.literal("false", JsonValue::Bool(false)),
-            b'n' => self.literal("null", JsonValue::Null),
-            b'-' | b'0'..=b'9' => self.number(),
-            other => Err(format!(
-                "unexpected character '{}' at byte {}",
-                char::from(other),
-                self.pos
-            )),
-        }
-    }
-
-    fn object(&mut self) -> Result<JsonValue, String> {
-        self.expect(b'{')?;
-        let mut pairs = Vec::new();
-        if self.peek()? == b'}' {
-            self.pos += 1;
-            return Ok(JsonValue::Object(pairs));
-        }
-        loop {
-            self.skip_whitespace();
-            let key = self.string()?;
-            self.expect(b':')?;
-            pairs.push((key, self.value()?));
-            match self.peek()? {
-                b',' => self.pos += 1,
-                b'}' => {
-                    self.pos += 1;
-                    return Ok(JsonValue::Object(pairs));
-                }
-                _ => return Err(format!("expected ',' or '}}' at byte {}", self.pos)),
-            }
-        }
-    }
-
-    fn array(&mut self) -> Result<JsonValue, String> {
-        self.expect(b'[')?;
-        let mut items = Vec::new();
-        if self.peek()? == b']' {
-            self.pos += 1;
-            return Ok(JsonValue::Array(items));
-        }
-        loop {
-            items.push(self.value()?);
-            match self.peek()? {
-                b',' => self.pos += 1,
-                b']' => {
-                    self.pos += 1;
-                    return Ok(JsonValue::Array(items));
-                }
-                _ => return Err(format!("expected ',' or ']' at byte {}", self.pos)),
-            }
-        }
-    }
-
-    fn string(&mut self) -> Result<String, String> {
-        if self.bytes.get(self.pos) != Some(&b'"') {
-            return Err(format!("expected string at byte {}", self.pos));
-        }
-        let start = self.pos;
-        self.pos += 1;
-        let mut out = String::new();
-        loop {
-            let rest = &self.bytes[self.pos..];
-            let next = rest
-                .iter()
-                .position(|&b| b == b'"' || b == b'\\')
-                .ok_or_else(|| format!("unterminated string at byte {start}"))?;
-            out.push_str(
-                std::str::from_utf8(&rest[..next])
-                    .map_err(|_| format!("invalid UTF-8 in string at byte {}", self.pos))?,
-            );
-            self.pos += next;
-            if self.bytes[self.pos] == b'"' {
-                self.pos += 1;
-                return Ok(out);
-            }
-            // Escape sequence.
-            let escape = self
-                .bytes
-                .get(self.pos + 1)
-                .ok_or_else(|| format!("unterminated escape at byte {}", self.pos))?;
-            self.pos += 2;
-            match escape {
-                b'"' => out.push('"'),
-                b'\\' => out.push('\\'),
-                b'/' => out.push('/'),
-                b'n' => out.push('\n'),
-                b'r' => out.push('\r'),
-                b't' => out.push('\t'),
-                b'b' => out.push('\u{8}'),
-                b'f' => out.push('\u{c}'),
-                b'u' => {
-                    let hex = self
-                        .bytes
-                        .get(self.pos..self.pos + 4)
-                        .and_then(|h| std::str::from_utf8(h).ok())
-                        .ok_or_else(|| format!("truncated \\u escape at byte {}", self.pos))?;
-                    let code = u32::from_str_radix(hex, 16)
-                        .map_err(|_| format!("invalid \\u escape at byte {}", self.pos))?;
-                    self.pos += 4;
-                    // The writer never emits surrogate pairs (it escapes only
-                    // control characters); unpaired surrogates map to the
-                    // replacement character rather than failing the parse.
-                    out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
-                }
-                other => {
-                    return Err(format!(
-                        "unknown escape '\\{}' at byte {}",
-                        char::from(*other),
-                        self.pos
-                    ))
-                }
-            }
-        }
-    }
-
-    fn number(&mut self) -> Result<JsonValue, String> {
-        let start = self.pos;
-        if self.bytes.get(self.pos) == Some(&b'-') {
-            self.pos += 1;
-        }
-        while matches!(
-            self.bytes.get(self.pos),
-            Some(b'0'..=b'9' | b'.' | b'e' | b'E' | b'+' | b'-')
-        ) {
-            self.pos += 1;
-        }
-        std::str::from_utf8(&self.bytes[start..self.pos])
-            .ok()
-            .and_then(|s| s.parse::<f64>().ok())
-            .filter(|n| n.is_finite())
-            .map(JsonValue::Number)
-            .ok_or_else(|| format!("invalid number at byte {start}"))
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::sweep::{default_grid, SweepRunner};
     use covert::prelude::LinkCodeKind;
-
-    #[test]
-    fn escape_handles_specials() {
-        assert_eq!(escape("plain"), "plain");
-        assert_eq!(escape("a\"b\\c"), "a\\\"b\\\\c");
-        assert_eq!(escape("x\ny"), "x\\ny");
-        assert_eq!(escape("\u{1}"), "\\u0001");
-    }
-
-    #[test]
-    fn numbers_are_json_safe() {
-        assert_eq!(number(1.5), "1.5");
-        assert_eq!(number(f64::NAN), "null");
-        assert_eq!(number(f64::INFINITY), "null");
-    }
 
     #[test]
     fn document_shape_round_trips_key_facts() {
@@ -866,29 +512,6 @@ mod tests {
         assert!(!json.contains("\"windows\":["));
         // Braces stay balanced with the nested window objects.
         assert_eq!(json.matches('{').count(), json.matches('}').count());
-    }
-
-    #[test]
-    fn parser_handles_values_escapes_and_errors() {
-        let value =
-            parse_json(r#"{"a":[1,-2.5,1e3],"b":"x\n\"A","c":null,"d":[true,false],"e":{}}"#)
-                .expect("parses");
-        assert_eq!(
-            value.get("a").unwrap().as_array().unwrap(),
-            &[
-                JsonValue::Number(1.0),
-                JsonValue::Number(-2.5),
-                JsonValue::Number(1000.0)
-            ]
-        );
-        assert_eq!(value.get("b").unwrap().as_str(), Some("x\n\"A"));
-        assert_eq!(value.get("c"), Some(&JsonValue::Null));
-        assert_eq!(value.get("d").unwrap().as_array().unwrap().len(), 2);
-        assert_eq!(value.get("e"), Some(&JsonValue::Object(vec![])));
-        assert!(value.get("missing").is_none());
-        for broken in ["", "{", "[1,", "{\"a\":}", "tru", "\"unterminated", "1 2"] {
-            assert!(parse_json(broken).is_err(), "{broken:?} must not parse");
-        }
     }
 
     /// The schema round-trip the CI artifact depends on: every row the

@@ -10,6 +10,7 @@
 pub mod baseline;
 pub mod json;
 pub mod resume;
+pub mod scenario_exec;
 pub mod sweep;
 pub mod timeline;
 pub mod tracefile;
@@ -21,6 +22,9 @@ pub use json::{
     METRICS_SCHEMA, SWEEP_SCHEMA,
 };
 pub use resume::{ResumeCache, ResumedRow};
+pub use scenario_exec::{
+    load_scenario, materialize_sections, scenario_registry, GridOverrides, MaterializedSection,
+};
 pub use sweep::{
     adaptive_grid, adaptive_grid_for, coded_grid, coded_grid_for, default_grid, default_grid_for,
     effective_engine, record_point_trace, run_point, run_point_configured, run_point_with_registry,

@@ -1,0 +1,621 @@
+//! Materializing scenario files into backend registries and sweep grids.
+//!
+//! The [`scenario`] crate owns the *schema* — parsing a `scenario-v1`
+//! document into named [`TopologySpec`]s, policy parameter sets and sweep
+//! sections with field-path-precise errors. This module owns the
+//! *execution* side: registering the scenario's topologies into a
+//! [`BackendRegistry`] (so sweep points can name them like any compiled-in
+//! preset) and expanding each sweep section into the [`SweepPoint`]s the
+//! [`SweepRunner`](crate::sweep::SweepRunner) executes.
+//!
+//! Bit-identity is the central contract. A `classic`, `coded` or `adaptive`
+//! section with no axis overrides expands to exactly the rows of the
+//! built-in generators ([`default_grid_for`], [`coded_grid_for`],
+//! [`adaptive_grid_for`](crate::sweep::adaptive_grid_for)) — same order,
+//! same seeds, same
+//! [`SweepPoint::key`]s — which is how `scenarios/default.json` reproduces
+//! `bench/baseline.json` without a single committed-baseline change.
+//!
+//! Points that run on a scenario-defined topology carry its
+//! [`TopologySpec::fingerprint`] in [`SweepPoint::backend_fingerprint`], so
+//! their resume keys change whenever the scenario file's topology does:
+//! `--resume` against an edited scenario re-simulates the affected rows
+//! instead of replaying stale ones.
+//!
+//! [`TopologySpec`]: soc_sim::prelude::TopologySpec
+//! [`TopologySpec::fingerprint`]: soc_sim::prelude::TopologySpec::fingerprint
+
+use crate::sweep::{coded_grid_for, default_grid_for, ChannelKind, NoiseLevel, SweepPoint};
+use covert::prelude::{LinkCodeKind, PolicyKind};
+use scenario::{parse_scenario, NamedPolicy, Scenario, SectionKind, SweepSection};
+use soc_sim::prelude::{BackendRegistry, BackendSpec};
+use std::path::Path;
+
+/// Reads and parses a scenario file, prefixing every error with the path.
+///
+/// # Errors
+///
+/// Filesystem errors and [`parse_scenario`] errors (field-path-precise), as
+/// a message naming the file.
+pub fn load_scenario(path: &Path) -> Result<Scenario, String> {
+    let text = std::fs::read_to_string(path)
+        .map_err(|err| format!("could not read {}: {err}", path.display()))?;
+    parse_scenario(&text).map_err(|err| format!("{}: {err}", path.display()))
+}
+
+/// Builds the backend registry a set of loaded scenarios runs against: the
+/// standard presets plus one [`BackendSpec`] per scenario topology.
+///
+/// # Errors
+///
+/// A scenario topology whose name collides with a built-in backend or with
+/// a topology of another loaded scenario is an error — silently shadowing a
+/// preset would make `--resume` keys and baseline rows ambiguous.
+pub fn scenario_registry(scenarios: &[Scenario]) -> Result<BackendRegistry, String> {
+    let mut registry = BackendRegistry::standard();
+    let builtin: Vec<String> = registry.names().iter().map(|n| n.to_string()).collect();
+    let mut registered: Vec<(String, String)> = Vec::new();
+    for scenario in scenarios {
+        for topology in &scenario.topologies {
+            if builtin.contains(&topology.name) {
+                return Err(format!(
+                    "scenario '{}': topology '{}' collides with the built-in backend of the \
+                     same name",
+                    scenario.name, topology.name
+                ));
+            }
+            if let Some((_, owner)) = registered.iter().find(|(n, _)| *n == topology.name) {
+                return Err(format!(
+                    "scenario '{}': topology '{}' is already defined by scenario '{owner}'",
+                    scenario.name, topology.name
+                ));
+            }
+            registered.push((topology.name.clone(), scenario.name.clone()));
+            registry.register(BackendSpec::from_topology(
+                topology.name.clone(),
+                topology.summary.clone(),
+                topology.spec.clone(),
+            ));
+        }
+    }
+    Ok(registry)
+}
+
+/// CLI-level restrictions applied on top of a scenario's own axes
+/// (`repro --backend/--code/--policy`). Each override only touches sections
+/// that left the corresponding axis at its default — a section that pins
+/// its own codes or policies says exactly what it means, and a global flag
+/// silently rewriting it would make the committed scenario files lie.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct GridOverrides<'a> {
+    /// Restrict every section to this one backend (sections that exclude
+    /// it expand to nothing).
+    pub backend: Option<&'a str>,
+    /// Link codes for `coded` sections without a `codes` axis.
+    pub codes: Option<&'a [LinkCodeKind]>,
+    /// Policies for `adaptive` sections without a `policies` axis (the
+    /// fixed-code baselines always run).
+    pub policies: Option<&'a [PolicyKind]>,
+}
+
+/// One sweep section expanded into runnable points.
+#[derive(Debug, Clone)]
+pub struct MaterializedSection {
+    /// Name of the scenario the section came from.
+    pub scenario: String,
+    /// Index of the section within its scenario's `sweeps` array.
+    pub index: usize,
+    /// What the section materializes into.
+    pub kind: SectionKind,
+    /// Whether the section runs the framed engine
+    /// ([`TransceiverConfig::paper_default`](covert::prelude::TransceiverConfig::paper_default))
+    /// or the raw one.
+    pub framed: bool,
+    /// The expanded grid, in deterministic section order.
+    pub points: Vec<SweepPoint>,
+}
+
+/// A policy axis entry of an adaptive or grid section: a built-in family at
+/// its paper defaults, or a scenario-defined parameter set.
+enum SectionPolicy<'a> {
+    Builtin(PolicyKind),
+    Named(&'a NamedPolicy),
+}
+
+/// Default payload bits per section kind, `(quick, full)` — the values the
+/// pre-scenario `repro` hard-coded for its three sweep sections.
+fn default_bits(kind: SectionKind) -> (usize, usize) {
+    match kind {
+        SectionKind::Classic | SectionKind::Grid => (64, 200),
+        SectionKind::Coded => (128, 320),
+        SectionKind::Adaptive => (448, 1792),
+    }
+}
+
+fn parse_channel(label: &str, path: &str) -> Result<ChannelKind, String> {
+    ChannelKind::ALL
+        .into_iter()
+        .find(|c| c.label() == label)
+        .ok_or_else(|| {
+            let known: Vec<&str> = ChannelKind::ALL.iter().map(|c| c.label()).collect();
+            format!(
+                "{path}: unknown channel {label:?} (known: {})",
+                known.join(", ")
+            )
+        })
+}
+
+fn parse_noise_level(label: &str, path: &str) -> Result<NoiseLevel, String> {
+    NoiseLevel::ALL
+        .into_iter()
+        .find(|n| n.label() == label)
+        .ok_or_else(|| {
+            let known: Vec<&str> = NoiseLevel::ALL.iter().map(|n| n.label()).collect();
+            format!(
+                "{path}: unknown noise level {label:?} (known: {})",
+                known.join(", ")
+            )
+        })
+}
+
+/// Resolves a section's backend axis against the registry: the explicit
+/// list (every name validated) or every registered backend, then the
+/// `--backend` restriction.
+fn section_backends(
+    section: &SweepSection,
+    registry: &BackendRegistry,
+    overrides: &GridOverrides,
+    path: &str,
+) -> Result<Vec<String>, String> {
+    let mut backends: Vec<String> = match &section.backends {
+        Some(names) => {
+            for (i, name) in names.iter().enumerate() {
+                if registry.get(name).is_none() {
+                    return Err(format!(
+                        "{path}.backends[{i}]: unknown backend {name:?} (available: {})",
+                        registry.names().join(", ")
+                    ));
+                }
+            }
+            names.clone()
+        }
+        None => registry.names().iter().map(|n| n.to_string()).collect(),
+    };
+    if let Some(only) = overrides.backend {
+        backends.retain(|b| b == only);
+    }
+    Ok(backends)
+}
+
+/// Resolves a section's policy axis: built-in family labels stay families
+/// (paper-default parameters), scenario-defined names carry their full
+/// parameter set. Name existence was validated at parse time.
+fn section_policies<'a>(
+    names: &[String],
+    scenario: &'a Scenario,
+    path: &str,
+) -> Result<Vec<SectionPolicy<'a>>, String> {
+    names
+        .iter()
+        .enumerate()
+        .map(|(i, name)| {
+            if let Some(kind) = PolicyKind::ALL.iter().find(|k| k.label() == name.as_str()) {
+                return Ok(SectionPolicy::Builtin(*kind));
+            }
+            scenario
+                .policy(name)
+                .map(SectionPolicy::Named)
+                .ok_or_else(|| format!("{path}.policies[{i}]: unknown policy {name:?}"))
+        })
+        .collect()
+}
+
+/// The adaptive expansion, generalized over scenario-defined policies.
+/// With built-in policies and the default code list this reproduces
+/// [`adaptive_grid_for`] exactly (same order, same seeds) — the fixed-code
+/// baselines expand first within each (backend, channel) cell, then every
+/// non-fixed policy in axis order.
+fn adaptive_points(
+    backends: &[String],
+    bits: usize,
+    codes: &[LinkCodeKind],
+    policies: &[SectionPolicy],
+) -> Vec<SweepPoint> {
+    let mut points = Vec::new();
+    for backend in backends {
+        for (cell, channel) in ChannelKind::ALL.into_iter().enumerate() {
+            let cell = cell as u64 + 1;
+            let channel_bits = match channel {
+                ChannelKind::LlcPrimeProbe => bits,
+                ChannelKind::RingContention => bits * 3,
+            };
+            let base = |code: LinkCodeKind| {
+                let mut point =
+                    SweepPoint::paper_default(backend.clone(), channel, NoiseLevel::Phased);
+                point.bits = channel_bits;
+                point.code = code;
+                point.seed = 7 + cell * 131;
+                point
+            };
+            if policies
+                .iter()
+                .any(|p| matches!(p, SectionPolicy::Builtin(PolicyKind::Fixed)))
+            {
+                for &code in codes {
+                    let mut point = base(code);
+                    point.policy = Some(PolicyKind::Fixed);
+                    points.push(point);
+                }
+            }
+            for policy in policies {
+                match policy {
+                    SectionPolicy::Builtin(PolicyKind::Fixed) => {} // expanded above
+                    SectionPolicy::Builtin(kind) => {
+                        let mut point = base(LinkCodeKind::None);
+                        point.policy = Some(*kind);
+                        points.push(point);
+                    }
+                    SectionPolicy::Named(named) => {
+                        points.push(
+                            base(LinkCodeKind::None).with_policy_params(named.params.clone()),
+                        );
+                    }
+                }
+            }
+        }
+    }
+    points
+}
+
+/// The explicit `grid` cross-product: backend × channel × noise × code ×
+/// policy × seed, in that loop order.
+fn grid_points(
+    section: &SweepSection,
+    scenario: &Scenario,
+    backends: &[String],
+    bits: usize,
+    path: &str,
+) -> Result<Vec<SweepPoint>, String> {
+    let channels: Vec<ChannelKind> = match &section.channels {
+        Some(labels) => labels
+            .iter()
+            .enumerate()
+            .map(|(i, l)| parse_channel(l, &format!("{path}.channels[{i}]")))
+            .collect::<Result<_, _>>()?,
+        None => ChannelKind::ALL.to_vec(),
+    };
+    let noise: Vec<NoiseLevel> = match &section.noise {
+        Some(labels) => labels
+            .iter()
+            .enumerate()
+            .map(|(i, l)| parse_noise_level(l, &format!("{path}.noise[{i}]")))
+            .collect::<Result<_, _>>()?,
+        None => vec![NoiseLevel::Quiet, NoiseLevel::Noisy],
+    };
+    let codes: &[LinkCodeKind] = match &section.codes {
+        Some(codes) => codes,
+        None => &[LinkCodeKind::None],
+    };
+    let policies: Vec<Option<SectionPolicy>> = match &section.policies {
+        Some(names) => section_policies(names, scenario, path)?
+            .into_iter()
+            .map(Some)
+            .collect(),
+        None => vec![None],
+    };
+    let seeds: &[u64] = match &section.seeds {
+        Some(seeds) => seeds,
+        None => &[7],
+    };
+    let mut points = Vec::new();
+    for backend in backends {
+        for &channel in &channels {
+            for &level in &noise {
+                for &code in codes {
+                    for policy in &policies {
+                        for &seed in seeds {
+                            let mut point =
+                                SweepPoint::paper_default(backend.clone(), channel, level);
+                            point.bits = bits;
+                            point.code = code;
+                            point.seed = seed;
+                            match policy {
+                                None => {}
+                                Some(SectionPolicy::Builtin(kind)) => point.policy = Some(*kind),
+                                Some(SectionPolicy::Named(named)) => {
+                                    point = point.with_policy_params(named.params.clone());
+                                }
+                            }
+                            points.push(point);
+                        }
+                    }
+                }
+            }
+        }
+    }
+    Ok(points)
+}
+
+/// Expands every sweep section of a scenario into runnable points against
+/// `registry` (normally [`scenario_registry`]'s output).
+///
+/// Points whose backend is a scenario-defined topology are stamped with its
+/// [`TopologySpec::fingerprint`](soc_sim::prelude::TopologySpec::fingerprint)
+/// (see the module docs); registry presets are left unstamped, preserving
+/// every historical point key.
+///
+/// # Errors
+///
+/// Unknown backend names, channel labels or noise labels, with the
+/// `sweeps[i].axis` path of the offending field.
+pub fn materialize_sections(
+    scenario: &Scenario,
+    registry: &BackendRegistry,
+    quick: bool,
+    overrides: &GridOverrides,
+) -> Result<Vec<MaterializedSection>, String> {
+    let mut sections = Vec::with_capacity(scenario.sweeps.len());
+    for (index, section) in scenario.sweeps.iter().enumerate() {
+        let path = format!("sweeps[{index}]");
+        let backends = section_backends(section, registry, overrides, &path)?;
+        let backend_refs: Vec<&str> = backends.iter().map(String::as_str).collect();
+        let (quick_bits, full_bits) = match section.bits {
+            Some(bits) => (bits.quick, bits.full),
+            None => default_bits(section.kind),
+        };
+        let bits = if quick { quick_bits } else { full_bits };
+        let mut points = match section.kind {
+            SectionKind::Classic => default_grid_for(&backend_refs, bits),
+            SectionKind::Coded => {
+                let codes: Vec<LinkCodeKind> = match (&section.codes, overrides.codes) {
+                    (Some(codes), _) => codes.clone(),
+                    (None, Some(codes)) => codes.to_vec(),
+                    (None, None) => LinkCodeKind::all().to_vec(),
+                };
+                coded_grid_for(&backend_refs, bits, &codes)
+            }
+            SectionKind::Adaptive => {
+                let codes: Vec<LinkCodeKind> = section
+                    .codes
+                    .clone()
+                    .unwrap_or_else(|| LinkCodeKind::all().to_vec());
+                let policies: Vec<SectionPolicy> = match &section.policies {
+                    Some(names) => section_policies(names, scenario, &path)?,
+                    None => {
+                        // The fixed-code baselines always run — the
+                        // adaptive-vs-fixed comparison is the point of the
+                        // section — plus the selected (default: all)
+                        // adaptive families.
+                        let selected = overrides.policies.unwrap_or(&PolicyKind::ALL);
+                        let mut kinds = vec![PolicyKind::Fixed];
+                        kinds.extend(selected.iter().copied().filter(|p| *p != PolicyKind::Fixed));
+                        kinds.into_iter().map(SectionPolicy::Builtin).collect()
+                    }
+                };
+                adaptive_points(&backends, bits, &codes, &policies)
+            }
+            SectionKind::Grid => grid_points(section, scenario, &backends, bits, &path)?,
+        };
+        for point in &mut points {
+            point.backend_fingerprint = registry
+                .get(&point.backend)
+                .and_then(BackendSpec::topology_fingerprint);
+        }
+        let framed = match section.kind {
+            SectionKind::Classic => false,
+            SectionKind::Coded | SectionKind::Adaptive => true,
+            SectionKind::Grid => match section.engine.as_deref() {
+                Some("framed") => true,
+                Some(_) => false,
+                None => section.codes.is_some() || section.policies.is_some(),
+            },
+        };
+        sections.push(MaterializedSection {
+            scenario: scenario.name.clone(),
+            index,
+            kind: section.kind,
+            framed,
+            points,
+        });
+    }
+    Ok(sections)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sweep::{adaptive_grid_for, coded_grid_for, default_grid_for};
+
+    const MINIMAL_DEFAULT: &str = r#"{
+        "schema": "leaky-buddies/scenario-v1",
+        "name": "default",
+        "sweeps": [{"kind": "classic"}, {"kind": "coded"}, {"kind": "adaptive"}]
+    }"#;
+
+    fn keys(points: &[SweepPoint]) -> Vec<String> {
+        points.iter().map(SweepPoint::key).collect()
+    }
+
+    #[test]
+    fn bare_sections_reproduce_the_builtin_generators_bit_for_bit() {
+        let scenario = parse_scenario(MINIMAL_DEFAULT).expect("parses");
+        let registry = scenario_registry(std::slice::from_ref(&scenario)).expect("registry");
+        let backends = registry.names();
+        for quick in [true, false] {
+            let sections =
+                materialize_sections(&scenario, &registry, quick, &GridOverrides::default())
+                    .expect("materializes");
+            assert_eq!(sections.len(), 3);
+            let (classic, coded, adaptive) = if quick {
+                (64, 128, 448)
+            } else {
+                (200, 320, 1792)
+            };
+            assert_eq!(
+                keys(&sections[0].points),
+                keys(&default_grid_for(&backends, classic))
+            );
+            assert!(!sections[0].framed);
+            assert_eq!(
+                keys(&sections[1].points),
+                keys(&coded_grid_for(&backends, coded, &LinkCodeKind::all()))
+            );
+            assert!(sections[1].framed);
+            assert_eq!(
+                keys(&sections[2].points),
+                keys(&adaptive_grid_for(&backends, adaptive, &PolicyKind::ALL))
+            );
+            assert!(sections[2].framed);
+        }
+    }
+
+    #[test]
+    fn overrides_mirror_the_cli_flags() {
+        let scenario = parse_scenario(MINIMAL_DEFAULT).expect("parses");
+        let registry = scenario_registry(std::slice::from_ref(&scenario)).expect("registry");
+        let codes = [LinkCodeKind::Crc8];
+        let policies = [PolicyKind::Bandit];
+        let overrides = GridOverrides {
+            backend: Some("kabylake-gen9"),
+            codes: Some(&codes),
+            policies: Some(&policies),
+        };
+        let sections =
+            materialize_sections(&scenario, &registry, true, &overrides).expect("materializes");
+        assert_eq!(
+            keys(&sections[0].points),
+            keys(&default_grid_for(&["kabylake-gen9"], 64))
+        );
+        assert_eq!(
+            keys(&sections[1].points),
+            keys(&coded_grid_for(&["kabylake-gen9"], 128, &codes))
+        );
+        assert_eq!(
+            keys(&sections[2].points),
+            keys(&adaptive_grid_for(
+                &["kabylake-gen9"],
+                448,
+                &[PolicyKind::Fixed, PolicyKind::Bandit]
+            ))
+        );
+    }
+
+    #[test]
+    fn scenario_topologies_register_and_fingerprint_their_points() {
+        let text = r#"{
+            "schema": "leaky-buddies/scenario-v1",
+            "name": "custom",
+            "topologies": [
+                {"name": "wide-llc", "summary": "12-way LLC", "llc": {"ways": 12}}
+            ],
+            "sweeps": [{"kind": "classic", "backends": ["wide-llc", "kabylake-gen9"]}]
+        }"#;
+        let scenario = parse_scenario(text).expect("parses");
+        let registry = scenario_registry(std::slice::from_ref(&scenario)).expect("registry");
+        assert!(registry.get("wide-llc").is_some());
+        let sections = materialize_sections(&scenario, &registry, true, &GridOverrides::default())
+            .expect("materializes");
+        let points = &sections[0].points;
+        assert_eq!(points.len(), 8);
+        let expected = scenario.topologies[0].spec.fingerprint();
+        for point in points {
+            match point.backend.as_str() {
+                "wide-llc" => assert_eq!(point.backend_fingerprint, Some(expected)),
+                _ => assert_eq!(point.backend_fingerprint, None, "presets stay unstamped"),
+            }
+        }
+        // An edited topology must change the fingerprints (and with them
+        // every resume key) of the points that run on it.
+        let edited = text.replace("\"ways\": 12", "\"ways\": 16");
+        let scenario2 = parse_scenario(&edited).expect("parses");
+        let registry2 = scenario_registry(std::slice::from_ref(&scenario2)).expect("registry");
+        let sections2 =
+            materialize_sections(&scenario2, &registry2, true, &GridOverrides::default())
+                .expect("materializes");
+        let (a, b) = (&sections[0].points[0], &sections2[0].points[0]);
+        assert_eq!(a.backend, "wide-llc");
+        assert_ne!(a.key(), b.key());
+    }
+
+    #[test]
+    fn topology_name_collisions_are_rejected() {
+        let shadowing = r#"{
+            "schema": "leaky-buddies/scenario-v1",
+            "name": "bad",
+            "topologies": [{"name": "kabylake-gen9", "summary": "shadow"}],
+            "sweeps": []
+        }"#;
+        let scenario = parse_scenario(shadowing).expect("parses");
+        let err = scenario_registry(std::slice::from_ref(&scenario)).unwrap_err();
+        assert!(err.contains("collides with the built-in backend"), "{err}");
+
+        let one = r#"{
+            "schema": "leaky-buddies/scenario-v1",
+            "name": "one",
+            "topologies": [{"name": "shared", "summary": "a"}],
+            "sweeps": []
+        }"#;
+        let two = one.replace("\"one\"", "\"two\"");
+        let scenarios = [
+            parse_scenario(one).expect("parses"),
+            parse_scenario(&two).expect("parses"),
+        ];
+        let err = scenario_registry(&scenarios).unwrap_err();
+        assert!(err.contains("already defined by scenario 'one'"), "{err}");
+    }
+
+    #[test]
+    fn grid_sections_cross_their_axes_and_validate_labels() {
+        let text = r#"{
+            "schema": "leaky-buddies/scenario-v1",
+            "name": "grid",
+            "policies": [
+                {"name": "eager", "kind": "threshold", "raise_ber": 0.08}
+            ],
+            "sweeps": [{
+                "kind": "grid",
+                "backends": ["kabylake-gen9"],
+                "channels": ["ring-contention"],
+                "noise": ["quiet", "phased"],
+                "codes": ["crc8"],
+                "policies": ["eager", "threshold"],
+                "seeds": [7, 11],
+                "bits": {"quick": 32, "full": 96}
+            }]
+        }"#;
+        let scenario = parse_scenario(text).expect("parses");
+        let registry = scenario_registry(std::slice::from_ref(&scenario)).expect("registry");
+        let sections = materialize_sections(&scenario, &registry, true, &GridOverrides::default())
+            .expect("materializes");
+        let points = &sections[0].points;
+        // 1 backend x 1 channel x 2 noise x 1 code x 2 policies x 2 seeds.
+        assert_eq!(points.len(), 8);
+        assert!(sections[0].framed, "codes/policies imply the framed engine");
+        assert!(points.iter().all(|p| p.bits == 32));
+        assert!(points.iter().all(|p| p.code == LinkCodeKind::Crc8));
+        let tuned = points.iter().filter(|p| p.policy_params.is_some()).count();
+        assert_eq!(tuned, 4, "the scenario-defined policy carries parameters");
+        assert_eq!(points[0].seed, 7);
+        assert_eq!(points[1].seed, 11);
+
+        let bad = text.replace("\"ring-contention\"", "\"ring\"");
+        let scenario = parse_scenario(&bad).expect("parses");
+        let err = materialize_sections(&scenario, &registry, true, &GridOverrides::default())
+            .unwrap_err();
+        assert!(err.starts_with("sweeps[0].channels[0]:"), "{err}");
+        assert!(err.contains("ring-contention"), "{err}");
+
+        let bad = text.replace("\"phased\"", "\"storm\"");
+        let scenario = parse_scenario(&bad).expect("parses");
+        let err = materialize_sections(&scenario, &registry, true, &GridOverrides::default())
+            .unwrap_err();
+        assert!(err.starts_with("sweeps[0].noise[1]:"), "{err}");
+
+        let bad = text.replace("[\"kabylake-gen9\"]", "[\"pentium-3\"]");
+        let scenario = parse_scenario(&bad).expect("parses");
+        let err = materialize_sections(&scenario, &registry, true, &GridOverrides::default())
+            .unwrap_err();
+        assert!(err.starts_with("sweeps[0].backends[0]:"), "{err}");
+        assert!(err.contains("available:"), "{err}");
+    }
+}

@@ -147,6 +147,21 @@ pub struct SweepPoint {
     /// [`AdaptiveTransceiver`] with that policy, recording a per-window
     /// [`AdaptationSummary`] on the outcome.
     pub policy: Option<PolicyKind>,
+    /// Full parameter set for the link-control policy, for points whose
+    /// policy comes from a scenario file rather than a built-in family
+    /// label. When set, the controller is built from these parameters
+    /// (ladder, thresholds, bandit knobs) instead of the family's paper
+    /// defaults, and the parameters join the row identity ([`SweepPoint::key`]
+    /// and [`SweepPoint::label`]) so differently-tuned policies never
+    /// collide. `None` — every built-in grid — changes nothing.
+    pub policy_params: Option<PolicyParams>,
+    /// Fingerprint ([`TopologySpec::fingerprint`]) of the backend topology,
+    /// for points whose backend is defined by a scenario file rather than a
+    /// compiled-in preset. Joins [`SweepPoint::key`] so `--resume` caches
+    /// can never reuse a row simulated under an older version of an edited
+    /// scenario topology. `None` for registry presets, whose identity is
+    /// their name.
+    pub backend_fingerprint: Option<u64>,
     /// LLC channel: transmission direction.
     pub direction: Direction,
     /// LLC channel: L3 eviction strategy.
@@ -177,6 +192,8 @@ impl SweepPoint {
             noise,
             code: LinkCodeKind::None,
             policy: None,
+            policy_params: None,
+            backend_fingerprint: None,
             direction: Direction::GpuToCpu,
             strategy: L3EvictionStrategy::PreciseL3,
             sets_per_role: 2,
@@ -196,6 +213,14 @@ impl SweepPoint {
     /// Replaces the link-control policy.
     pub fn with_policy(mut self, policy: PolicyKind) -> Self {
         self.policy = Some(policy);
+        self
+    }
+
+    /// Attaches a full policy parameter set (scenario-defined policies);
+    /// also sets the policy family to match.
+    pub fn with_policy_params(mut self, params: PolicyParams) -> Self {
+        self.policy = Some(params.kind());
+        self.policy_params = Some(params);
         self
     }
 
@@ -223,9 +248,18 @@ impl SweepPoint {
             label.push_str(" / ");
             label.push_str(&self.code.label());
         }
-        if let Some(policy) = self.policy {
-            label.push_str(" / ");
-            label.push_str(policy.label());
+        match (&self.policy_params, self.policy) {
+            // A parameterized policy prints its full configuration — two
+            // differently-tuned thresholds must be distinguishable rows.
+            (Some(params), _) => {
+                label.push_str(" / ");
+                label.push_str(&params.label());
+            }
+            (None, Some(policy)) => {
+                label.push_str(" / ");
+                label.push_str(policy.label());
+            }
+            (None, None) => {}
         }
         label
     }
@@ -236,7 +270,7 @@ impl SweepPoint {
     /// matches prior rows against a fresh grid by this key, so two points
     /// share a key exactly when they would produce the same row.
     pub fn key(&self) -> String {
-        let canonical = format!(
+        let mut canonical = format!(
             "{}|{}|{}|{}|{}|{}|{}|{}|{}|{}|{}|{}",
             self.backend,
             self.channel.label(),
@@ -254,6 +288,16 @@ impl SweepPoint {
             self.bits,
             self.seed,
         );
+        // Scenario-only axes join the canonical string only when present,
+        // so every pre-scenario grid keeps its historical keys (and with
+        // them its committed baselines and resume caches).
+        if let Some(params) = &self.policy_params {
+            canonical.push_str("|pp:");
+            canonical.push_str(&params.label());
+        }
+        if let Some(fingerprint) = self.backend_fingerprint {
+            canonical.push_str(&format!("|bf:{fingerprint:016x}"));
+        }
         // FNV-1a, 64-bit: tiny, dependency-free and stable across runs —
         // unlike `DefaultHasher`, whose output the std docs leave free to
         // change between releases.
@@ -515,7 +559,10 @@ fn finish_point<C: CovertChannel>(
             if let Some(sink) = events {
                 adaptive = adaptive.with_events(sink);
             }
-            let mut controller = kind.build(LinkSetting::new(point.code, 1));
+            let mut controller = match &point.policy_params {
+                Some(params) => params.build(),
+                None => kind.build(LinkSetting::new(point.code, 1)),
+            };
             adaptive.transmit(channel, controller.as_mut(), payload)?
         }
     };
@@ -1152,6 +1199,60 @@ pub fn adaptive_grid_for(
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn scenario_axes_extend_keys_only_when_present() {
+        // The resume contract: points without scenario axes must keep their
+        // historical keys, and attaching parameters or a backend
+        // fingerprint must change the key (a re-tuned policy or an edited
+        // scenario topology is a different row).
+        let base = SweepPoint::paper_default(
+            "kabylake-gen9",
+            ChannelKind::RingContention,
+            NoiseLevel::Phased,
+        )
+        .with_policy(PolicyKind::Threshold);
+        let defaulted = base
+            .clone()
+            .with_policy_params(PolicyParams::paper_default(PolicyKind::Threshold));
+        assert_ne!(base.key(), defaulted.key());
+        let tuned = base.clone().with_policy_params(PolicyParams::Threshold {
+            ladder: LinkSetting::ladder(),
+            raise_ber: 0.08,
+            clear_ber: 0.004,
+            patience: 2,
+        });
+        assert_ne!(defaulted.key(), tuned.key());
+        assert_ne!(defaulted.label(), tuned.label());
+        let mut fingerprinted = base.clone();
+        fingerprinted.backend_fingerprint = Some(TopologySpec::kaby_lake_gen9().fingerprint());
+        assert_ne!(base.key(), fingerprinted.key());
+        // The fingerprint is resume metadata, not display: labels match.
+        assert_eq!(base.label(), fingerprinted.label());
+    }
+
+    #[test]
+    fn parameterized_policy_points_run_their_custom_controller() {
+        let mut point = SweepPoint::paper_default(
+            "kabylake-gen9",
+            ChannelKind::RingContention,
+            NoiseLevel::Phased,
+        )
+        .with_policy_params(PolicyParams::paper_default(PolicyKind::Threshold));
+        point.bits = 448;
+        let custom = SweepRunner::new(1).run(std::slice::from_ref(&point));
+        let outcome = custom[0].outcome.as_ref().expect("custom policy runs");
+        let summary = outcome.adaptation.as_ref().expect("adaptive summary");
+        assert!(!summary.trace.windows.is_empty());
+        // The paper-default parameter set reproduces the built-in family's
+        // rows bit-identically (same constructor calibrations).
+        let mut builtin = point.clone();
+        builtin.policy_params = None;
+        let baseline = SweepRunner::new(1).run(std::slice::from_ref(&builtin));
+        let expect = baseline[0].outcome.as_ref().unwrap();
+        assert_eq!(outcome.goodput_kbps, expect.goodput_kbps);
+        assert_eq!(outcome.error_rate, expect.error_rate);
+    }
 
     #[test]
     fn default_grid_covers_every_registry_backend_and_channel() {

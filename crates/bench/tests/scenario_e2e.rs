@@ -1,0 +1,108 @@
+//! End-to-end proof that `scenarios/default.json` IS the committed default
+//! grid: every quick point the scenario materializes keys into a row of
+//! `bench/baseline.json`, the baseline holds no rows the scenario does not
+//! produce, and re-simulating one point per section from scratch lands on
+//! the recorded goodput exactly.
+
+use std::path::PathBuf;
+
+use bench::{
+    materialize_sections, run_point_configured, scenario_registry, BaselineCell, ResumeCache,
+};
+use covert::prelude::{Transceiver, TransceiverConfig};
+use scenario::parse_scenario;
+
+fn repo_path(rel: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .join(rel)
+}
+
+#[test]
+fn default_scenario_covers_the_committed_baseline_exactly() {
+    let text = std::fs::read_to_string(repo_path("scenarios/default.json"))
+        .expect("scenarios/default.json is committed");
+    let scenario = parse_scenario(&text).expect("default scenario parses");
+    let scenarios = [scenario];
+    let registry = scenario_registry(&scenarios).expect("default scenario registers");
+    let sections = materialize_sections(&scenarios[0], &registry, true, &Default::default())
+        .expect("default scenario materializes its quick grid");
+    assert_eq!(sections.len(), 3, "default scenario ships three sections");
+
+    let mut cache = ResumeCache::load(&repo_path("bench/baseline.json"))
+        .expect("bench/baseline.json loads as a keyed row document");
+
+    // Every materialized point must key into a baseline row…
+    let mut covered = 0usize;
+    for section in &sections {
+        for point in &section.points {
+            let key = point.key();
+            assert!(
+                cache.take(&key).is_some(),
+                "scenario point {:?} (key {key}) has no row in bench/baseline.json",
+                point.label(),
+            );
+            covered += 1;
+        }
+    }
+    // …and no baseline row may be left unclaimed: the scenario file and the
+    // committed baseline describe exactly the same grid.
+    assert!(
+        cache.is_empty(),
+        "bench/baseline.json holds {} rows the default scenario never materializes",
+        cache.len(),
+    );
+    assert_eq!(
+        covered,
+        cache.total_rows(),
+        "every baseline row was claimed"
+    );
+}
+
+#[test]
+fn default_scenario_points_reproduce_recorded_goodput() {
+    let text = std::fs::read_to_string(repo_path("scenarios/default.json"))
+        .expect("scenarios/default.json is committed");
+    let scenario = parse_scenario(&text).expect("default scenario parses");
+    let scenarios = [scenario];
+    let registry = scenario_registry(&scenarios).expect("default scenario registers");
+    let sections = materialize_sections(&scenarios[0], &registry, true, &Default::default())
+        .expect("default scenario materializes its quick grid");
+
+    let mut cache = ResumeCache::load(&repo_path("bench/baseline.json"))
+        .expect("bench/baseline.json loads as a keyed row document");
+
+    // One point per section keeps the debug-mode runtime bounded while still
+    // exercising the raw and framed engines; the full-grid value check is
+    // the release gate (`repro --sweep --check-baseline`).
+    for section in &sections {
+        let point = section
+            .points
+            .first()
+            .expect("each default section materializes at least one point");
+        let recorded = cache
+            .take(&point.key())
+            .expect("covered by the coverage test above");
+        let engine = if section.framed {
+            Transceiver::new(TransceiverConfig::paper_default())
+        } else {
+            Transceiver::raw()
+        };
+        let fresh = run_point_configured(point, &engine, &registry, false);
+        let cell = BaselineCell::from_result(&fresh);
+        assert_eq!(
+            cell.scenario,
+            recorded.cell.scenario,
+            "row label drifted for key {}",
+            point.key()
+        );
+        assert_eq!(cell.bits, recorded.cell.bits);
+        assert_eq!(cell.seed, recorded.cell.seed);
+        assert_eq!(
+            cell.goodput_kbps,
+            recorded.cell.goodput_kbps,
+            "goodput of {:?} no longer matches bench/baseline.json bit-for-bit",
+            point.label(),
+        );
+    }
+}

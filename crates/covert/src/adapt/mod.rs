@@ -287,6 +287,199 @@ impl std::fmt::Display for PolicyKind {
     }
 }
 
+/// A fully-specified policy configuration: the family plus every knob its
+/// constructor takes, as a plain value that can be parsed from a scenario
+/// file, compared, validated *without* panicking, and built into a
+/// [`LinkController`] on demand.
+///
+/// [`PolicyKind`] names a family and builds its paper-default calibration;
+/// `PolicyParams` is the family *with explicit parameters* — what a
+/// scenario's `policies` section defines when it wants a custom ladder or a
+/// different band.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PolicyParams {
+    /// Static setting for the whole transmission.
+    Fixed {
+        /// The operating point the policy is pinned to.
+        setting: LinkSetting,
+    },
+    /// Hysteresis bands on the residual error rate
+    /// (see [`ThresholdPolicy::new`]).
+    Threshold {
+        /// Robustness ladder the policy walks.
+        ladder: Vec<LinkSetting>,
+        /// Residual-BER above which a window reads as distressed.
+        raise_ber: f64,
+        /// Residual-BER below which a window reads as clean.
+        clear_ber: f64,
+        /// Clean windows required before a descent probe.
+        patience: usize,
+    },
+    /// Additive-increase / multiplicative-decrease probing
+    /// (see [`AimdPolicy::new`]).
+    Aimd {
+        /// Robustness ladder the policy walks.
+        ladder: Vec<LinkSetting>,
+        /// Residual-BER above which a window reads as distressed.
+        raise_ber: f64,
+    },
+    /// Goodput bandit with per-rung EWMA estimates
+    /// (see [`BanditPolicy::new`]).
+    Bandit {
+        /// Robustness ladder the policy walks.
+        ladder: Vec<LinkSetting>,
+        /// Per-window decay of the evidence sums, in `(0, 1]`.
+        decay: f64,
+        /// Optimism coefficient (relative to the best current estimate).
+        explore: f64,
+    },
+}
+
+impl PolicyParams {
+    /// The paper-default calibration of `kind` — the parameters
+    /// [`PolicyKind::build`] uses, spelled out.
+    pub fn paper_default(kind: PolicyKind) -> Self {
+        match kind {
+            PolicyKind::Fixed => PolicyParams::Fixed {
+                setting: LinkSetting::lightest(),
+            },
+            PolicyKind::Threshold => PolicyParams::Threshold {
+                ladder: LinkSetting::ladder(),
+                raise_ber: 0.03,
+                clear_ber: 0.004,
+                patience: 2,
+            },
+            PolicyKind::Aimd => PolicyParams::Aimd {
+                ladder: LinkSetting::ladder(),
+                raise_ber: 0.03,
+            },
+            PolicyKind::Bandit => PolicyParams::Bandit {
+                ladder: LinkSetting::ladder(),
+                decay: 0.98,
+                explore: 0.08,
+            },
+        }
+    }
+
+    /// The family these parameters configure.
+    pub fn kind(&self) -> PolicyKind {
+        match self {
+            PolicyParams::Fixed { .. } => PolicyKind::Fixed,
+            PolicyParams::Threshold { .. } => PolicyKind::Threshold,
+            PolicyParams::Aimd { .. } => PolicyKind::Aimd,
+            PolicyParams::Bandit { .. } => PolicyKind::Bandit,
+        }
+    }
+
+    /// Checks the same invariants the policy constructors assert, as a
+    /// `Result` — the messages match the constructor panic messages so a
+    /// scenario-file error reads the same as a programming error would.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first violated invariant.
+    pub fn validate(&self) -> Result<(), String> {
+        let ladder = match self {
+            PolicyParams::Fixed { .. } => return Ok(()),
+            PolicyParams::Threshold { ladder, .. }
+            | PolicyParams::Aimd { ladder, .. }
+            | PolicyParams::Bandit { ladder, .. } => ladder,
+        };
+        if ladder.is_empty() {
+            return Err("ladder needs at least one setting".to_string());
+        }
+        match self {
+            PolicyParams::Threshold {
+                raise_ber,
+                clear_ber,
+                ..
+            } => {
+                if clear_ber > raise_ber {
+                    return Err(format!(
+                        "hysteresis band is inverted: clear {clear_ber} > raise {raise_ber}"
+                    ));
+                }
+            }
+            PolicyParams::Bandit { decay, explore, .. } => {
+                if !(*decay > 0.0 && *decay <= 1.0) {
+                    return Err("decay must be in (0, 1]".to_string());
+                }
+                if explore.partial_cmp(&0.0) != Some(std::cmp::Ordering::Greater) {
+                    return Err("explore must be positive".to_string());
+                }
+            }
+            PolicyParams::Fixed { .. } | PolicyParams::Aimd { .. } => {}
+        }
+        Ok(())
+    }
+
+    /// Builds the controller these parameters describe.
+    ///
+    /// # Panics
+    ///
+    /// Panics on invalid parameters — call [`PolicyParams::validate`] first
+    /// when the values came from user input.
+    pub fn build(&self) -> Box<dyn LinkController> {
+        match self {
+            PolicyParams::Fixed { setting } => Box::new(FixedPolicy::new(*setting)),
+            PolicyParams::Threshold {
+                ladder,
+                raise_ber,
+                clear_ber,
+                patience,
+            } => Box::new(ThresholdPolicy::new(
+                ladder.clone(),
+                *raise_ber,
+                *clear_ber,
+                *patience,
+            )),
+            PolicyParams::Aimd { ladder, raise_ber } => {
+                Box::new(AimdPolicy::new(ladder.clone(), *raise_ber))
+            }
+            PolicyParams::Bandit {
+                ladder,
+                decay,
+                explore,
+            } => Box::new(BanditPolicy::new(ladder.clone(), *decay, *explore)),
+        }
+    }
+
+    /// Deterministic one-line label carrying every parameter, for sweep-row
+    /// keys and reports: two parameter sets collide only if they are equal.
+    pub fn label(&self) -> String {
+        let rungs = |ladder: &[LinkSetting]| {
+            ladder
+                .iter()
+                .map(LinkSetting::label)
+                .collect::<Vec<_>>()
+                .join("/")
+        };
+        match self {
+            PolicyParams::Fixed { setting } => format!("fixed[{}]", setting.label()),
+            PolicyParams::Threshold {
+                ladder,
+                raise_ber,
+                clear_ber,
+                patience,
+            } => format!(
+                "threshold[raise={raise_ber},clear={clear_ber},patience={patience},ladder={}]",
+                rungs(ladder)
+            ),
+            PolicyParams::Aimd { ladder, raise_ber } => {
+                format!("aimd[raise={raise_ber},ladder={}]", rungs(ladder))
+            }
+            PolicyParams::Bandit {
+                ladder,
+                decay,
+                explore,
+            } => format!(
+                "bandit[decay={decay},explore={explore},ladder={}]",
+                rungs(ladder)
+            ),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -331,6 +524,66 @@ mod tests {
         }
         let err = PolicyKind::parse("genie").unwrap_err();
         assert!(err.contains("threshold") && err.contains("aimd"), "{err}");
+    }
+
+    #[test]
+    fn policy_params_validate_mirrors_constructor_panics() {
+        for kind in PolicyKind::ALL {
+            let params = PolicyParams::paper_default(kind);
+            assert_eq!(params.kind(), kind);
+            assert_eq!(params.validate(), Ok(()));
+            // The defaults build without panicking and report their family.
+            assert_eq!(params.build().name(), kind.label());
+        }
+        let empty = PolicyParams::Aimd {
+            ladder: Vec::new(),
+            raise_ber: 0.03,
+        };
+        assert_eq!(
+            empty.validate().unwrap_err(),
+            "ladder needs at least one setting"
+        );
+        let inverted = PolicyParams::Threshold {
+            ladder: LinkSetting::ladder(),
+            raise_ber: 0.004,
+            clear_ber: 0.03,
+            patience: 2,
+        };
+        assert!(inverted
+            .validate()
+            .unwrap_err()
+            .contains("hysteresis band is inverted"));
+        let bad_decay = PolicyParams::Bandit {
+            ladder: LinkSetting::ladder(),
+            decay: 0.0,
+            explore: 0.08,
+        };
+        assert_eq!(bad_decay.validate().unwrap_err(), "decay must be in (0, 1]");
+        let bad_explore = PolicyParams::Bandit {
+            ladder: LinkSetting::ladder(),
+            decay: 0.98,
+            explore: 0.0,
+        };
+        assert_eq!(
+            bad_explore.validate().unwrap_err(),
+            "explore must be positive"
+        );
+    }
+
+    #[test]
+    fn policy_params_labels_distinguish_parameter_sets() {
+        let a = PolicyParams::paper_default(PolicyKind::Bandit);
+        let b = PolicyParams::Bandit {
+            ladder: LinkSetting::ladder(),
+            decay: 0.9,
+            explore: 0.08,
+        };
+        assert_ne!(a.label(), b.label());
+        assert!(a.label().starts_with("bandit["), "{}", a.label());
+        let fixed = PolicyParams::Fixed {
+            setting: LinkSetting::new(LinkCodeKind::Hamming74, 2),
+        };
+        assert_eq!(fixed.label(), "fixed[hamming74 x2]");
     }
 
     #[test]

@@ -44,7 +44,7 @@ pub mod prelude {
     pub use crate::adapt::{
         AdaptiveConfig, AdaptiveTransceiver, AimdPolicy, BanditPolicy, DuplexConfig, DuplexReport,
         DuplexScheduler, FixedPolicy, LinkAction, LinkController, LinkObservation, LinkSetting,
-        PolicyKind, SlotAllocation, SlotDirection, SlotRecord, ThresholdPolicy,
+        PolicyKind, PolicyParams, SlotAllocation, SlotDirection, SlotRecord, ThresholdPolicy,
     };
     pub use crate::channel::contention::{
         CalibrationResult, ContentionChannel, ContentionChannelConfig,

@@ -1,0 +1,29 @@
+//! Declarative scenario files for the Leaky Buddies reproduction.
+//!
+//! Two layers live here, both usable below the bench crate:
+//!
+//! - [`json`] — the workspace's hand-rolled JSON writer/parser (the offline
+//!   build has no serde). Extracted from `bench::json` so every crate can
+//!   read and write the same documents; `bench` re-exports it for
+//!   compatibility.
+//! - [`schema`] — the versioned `scenario-v1` schema: named
+//!   [`TopologySpec`](soc_sim::prelude::TopologySpec)s, noise schedules,
+//!   sweep-grid sections and adapt-policy ladders, parsed with
+//!   field-path-precise errors (`topologies[2].llc.ways: …`) so a typo in a
+//!   scenario file points at the offending field, not at a byte offset.
+//!
+//! The `repro` binary loads scenario files at startup (`--scenario <file>`),
+//! registers their topologies into the backend registry and materializes
+//! their sweep sections; `scenarios/default.json` in the repository root is
+//! the built-in default grid expressed in this schema.
+
+#![warn(missing_docs)]
+
+pub mod json;
+pub mod schema;
+
+pub use json::{escape, number, parse_json, JsonValue};
+pub use schema::{
+    parse_scenario, scenario_to_json, topology_to_json, NamedPolicy, NamedTopology, Scenario,
+    SectionBits, SectionKind, SweepSection, SCENARIO_SCHEMA,
+};

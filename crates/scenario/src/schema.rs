@@ -1,0 +1,1669 @@
+//! The versioned `scenario-v1` schema.
+//!
+//! A scenario file is a JSON document (`"schema": "leaky-buddies/scenario-v1"`)
+//! carrying three kinds of declarations:
+//!
+//! * **`topologies`** — named [`TopologySpec`]s over the full builder axis
+//!   set (clocks, CPU cache geometry, LLC geometry/replacement/slice hash,
+//!   GPU L3, fixed latencies, DRAM generation, way-partitioning, physical
+//!   memory, seed, ambient noise and [`NoiseSchedule`] phase programs).
+//!   A topology starts from a named `base` preset and states only deltas.
+//! * **`policies`** — named adapt-policy configurations
+//!   ([`PolicyParams`]): a policy family plus its ladder and knobs.
+//! * **`sweeps`** — sweep sections the harness materializes into grid
+//!   points: `classic` / `coded` / `adaptive` sections reproduce the
+//!   built-in generators over a backend selection, and `grid` sections
+//!   state an explicit backend × channel × noise × code × policy × seed
+//!   cross-product.
+//!
+//! Every parse error is **field-path-precise**: a bad value reports the
+//! JSON path of the offending field and what it held
+//! (`topologies[0].llc.sets_per_slice: must be a power of two …`), and
+//! unknown or duplicate fields are rejected at the path where they appear,
+//! so a typo'd key can never be silently ignored.
+//!
+//! The parser and the canonical serializers ([`scenario_to_json`],
+//! [`topology_to_json`]) are exact inverses: integers and floats round-trip
+//! bit-identically (64-bit values may be written as `"0x…"` strings, floats
+//! use the shortest round-trip decimal form), which the scenario crate's
+//! property tests pin down via [`TopologySpec::fingerprint`].
+
+use crate::json::{parse_json, JsonValue};
+use covert::adapt::{LinkSetting, PolicyKind, PolicyParams};
+use covert::code::LinkCodeKind;
+use soc_sim::clock::{ClockDomain, SocClocks, Time};
+use soc_sim::dram::DramTimingKind;
+use soc_sim::gpu_l3::GpuL3Config;
+use soc_sim::noise::{NoiseConfig, NoisePhase, NoiseSchedule};
+use soc_sim::replacement::ReplacementPolicy;
+use soc_sim::slice_hash::SliceHash;
+use soc_sim::system::{CpuCacheConfig, LatencyConfig, LlcPartition};
+use soc_sim::topology::TopologySpec;
+
+/// Schema identifier every scenario file must carry in its `"schema"` field.
+pub const SCENARIO_SCHEMA: &str = "leaky-buddies/scenario-v1";
+
+/// Largest integer a JSON number can carry exactly (2^53). Values above it
+/// must be written as `"0x…"` (or decimal) strings.
+const MAX_SAFE_INTEGER: f64 = 9_007_199_254_740_992.0;
+
+/// A parsed scenario file: named topologies, named policies and the sweep
+/// sections to materialize.
+#[derive(Debug, Clone)]
+pub struct Scenario {
+    /// Scenario name (reports and logs).
+    pub name: String,
+    /// One-line description.
+    pub description: String,
+    /// User-defined topologies, to be registered as sweep backends.
+    pub topologies: Vec<NamedTopology>,
+    /// User-defined adapt-policy configurations.
+    pub policies: Vec<NamedPolicy>,
+    /// Sweep sections, in file order.
+    pub sweeps: Vec<SweepSection>,
+}
+
+impl Scenario {
+    /// Looks up a scenario-defined policy by name.
+    pub fn policy(&self, name: &str) -> Option<&NamedPolicy> {
+        self.policies.iter().find(|p| p.name == name)
+    }
+
+    /// Looks up a scenario-defined topology by name.
+    pub fn topology(&self, name: &str) -> Option<&NamedTopology> {
+        self.topologies.iter().find(|t| t.name == name)
+    }
+}
+
+/// A named [`TopologySpec`] a scenario registers as a sweep backend.
+#[derive(Debug, Clone)]
+pub struct NamedTopology {
+    /// Backend registry key.
+    pub name: String,
+    /// One-line description (shown by `--list-backends`).
+    pub summary: String,
+    /// The topology itself.
+    pub spec: TopologySpec,
+}
+
+/// A named adapt-policy configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NamedPolicy {
+    /// Name sweep sections reference the policy by. Must not shadow a
+    /// built-in family label (`fixed`, `threshold`, `aimd`, `bandit`).
+    pub name: String,
+    /// The full parameter set.
+    pub params: PolicyParams,
+}
+
+/// What a sweep section materializes into.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SectionKind {
+    /// The classic per-channel grid (raw engine, quiet/noisy ambient
+    /// levels) — the built-in default-sweep generator.
+    Classic,
+    /// The framed-engine link-code comparison grid.
+    Coded,
+    /// The adaptive-policy grid under phased noise.
+    Adaptive,
+    /// An explicit backend × channel × noise × code × policy × seed
+    /// cross-product.
+    Grid,
+}
+
+impl SectionKind {
+    /// The label used in scenario files.
+    pub fn label(self) -> &'static str {
+        match self {
+            SectionKind::Classic => "classic",
+            SectionKind::Coded => "coded",
+            SectionKind::Adaptive => "adaptive",
+            SectionKind::Grid => "grid",
+        }
+    }
+
+    fn parse(text: &str, path: &str) -> Result<Self, String> {
+        match text {
+            "classic" => Ok(SectionKind::Classic),
+            "coded" => Ok(SectionKind::Coded),
+            "adaptive" => Ok(SectionKind::Adaptive),
+            "grid" => Ok(SectionKind::Grid),
+            other => Err(format!(
+                "{path}: unknown section kind {other:?} (expected classic, coded, adaptive or grid)"
+            )),
+        }
+    }
+}
+
+/// Per-section payload-size override: the bit counts used in `--quick` and
+/// full runs respectively.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SectionBits {
+    /// Payload bits per point under `--quick`.
+    pub quick: usize,
+    /// Payload bits per point in a full run.
+    pub full: usize,
+}
+
+/// One sweep section. `None` on an axis means "the kind's default": every
+/// registered backend, the built-in bit counts, all channels, and so on —
+/// which is how `scenarios/default.json` reproduces the built-in grids
+/// without restating them.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SweepSection {
+    /// What the section materializes into.
+    pub kind: SectionKind,
+    /// Backend names (`None` = every registered backend, including the
+    /// scenario's own topologies).
+    pub backends: Option<Vec<String>>,
+    /// Channel labels (`grid` sections only; `None` = every channel).
+    pub channels: Option<Vec<String>>,
+    /// Noise-level labels (`grid` sections only; `None` = quiet + noisy).
+    pub noise: Option<Vec<String>>,
+    /// Link codes (`coded`/`adaptive`/`grid`; `None` = the kind's default).
+    pub codes: Option<Vec<LinkCodeKind>>,
+    /// Policy names — built-in family labels or scenario-defined names
+    /// (`adaptive`/`grid`; `None` = every built-in family).
+    pub policies: Option<Vec<String>>,
+    /// Payload-size override.
+    pub bits: Option<SectionBits>,
+    /// Simulation seeds (`grid` sections only; `None` = the default seed).
+    pub seeds: Option<Vec<u64>>,
+    /// Engine override for `grid` sections: `"raw"` or `"framed"`
+    /// (`None` = framed when the section has codes or policies, raw
+    /// otherwise).
+    pub engine: Option<String>,
+}
+
+// ---------------------------------------------------------------------------
+// Low-level helpers: typed access with field-path errors.
+// ---------------------------------------------------------------------------
+
+fn type_name(value: &JsonValue) -> &'static str {
+    match value {
+        JsonValue::Null => "null",
+        JsonValue::Bool(_) => "bool",
+        JsonValue::Number(_) => "number",
+        JsonValue::String(_) => "string",
+        JsonValue::Array(_) => "array",
+        JsonValue::Object(_) => "object",
+    }
+}
+
+fn join(path: &str, key: &str) -> String {
+    if path.is_empty() {
+        key.to_string()
+    } else {
+        format!("{path}.{key}")
+    }
+}
+
+fn as_str<'a>(value: &'a JsonValue, path: &str) -> Result<&'a str, String> {
+    value
+        .as_str()
+        .ok_or_else(|| format!("{path}: expected a string, got {}", type_name(value)))
+}
+
+fn as_array<'a>(value: &'a JsonValue, path: &str) -> Result<&'a [JsonValue], String> {
+    value
+        .as_array()
+        .ok_or_else(|| format!("{path}: expected an array, got {}", type_name(value)))
+}
+
+fn as_bool(value: &JsonValue, path: &str) -> Result<bool, String> {
+    value
+        .as_bool()
+        .ok_or_else(|| format!("{path}: expected true or false, got {}", type_name(value)))
+}
+
+fn as_f64(value: &JsonValue, path: &str) -> Result<f64, String> {
+    value
+        .as_f64()
+        .ok_or_else(|| format!("{path}: expected a number, got {}", type_name(value)))
+}
+
+/// A 64-bit unsigned integer: a JSON number (integral, `0..=2^53`) or a
+/// string in decimal or `0x…` hexadecimal — the exact form for values a
+/// double cannot carry (slice-hash masks, seeds).
+fn as_u64(value: &JsonValue, path: &str) -> Result<u64, String> {
+    match value {
+        JsonValue::Number(n) => {
+            if n.fract() != 0.0 || *n < 0.0 || *n > MAX_SAFE_INTEGER {
+                Err(format!(
+                    "{path}: expected a non-negative integer up to 2^53 \
+                     (use a \"0x…\" string beyond that), got {n}"
+                ))
+            } else {
+                Ok(*n as u64)
+            }
+        }
+        JsonValue::String(s) => {
+            let text = s.trim();
+            let parsed =
+                if let Some(hex) = text.strip_prefix("0x").or_else(|| text.strip_prefix("0X")) {
+                    u64::from_str_radix(hex, 16)
+                } else {
+                    text.parse::<u64>()
+                };
+            parsed.map_err(|_| format!("{path}: {text:?} is not a decimal or 0x-hex integer"))
+        }
+        other => Err(format!(
+            "{path}: expected an integer (number or \"0x…\" string), got {}",
+            type_name(other)
+        )),
+    }
+}
+
+fn as_usize(value: &JsonValue, path: &str) -> Result<usize, String> {
+    as_u64(value, path).map(|v| v as usize)
+}
+
+/// One parsed JSON object with its path, duplicate-key and unknown-key
+/// checking done up front.
+struct Fields<'a> {
+    entries: &'a [(String, JsonValue)],
+    path: String,
+}
+
+impl<'a> Fields<'a> {
+    fn new(value: &'a JsonValue, path: &str, allowed: &[&str]) -> Result<Self, String> {
+        let JsonValue::Object(entries) = value else {
+            return Err(format!(
+                "{path}: expected an object, got {}",
+                type_name(value)
+            ));
+        };
+        for (i, (key, _)) in entries.iter().enumerate() {
+            if entries[..i].iter().any(|(k, _)| k == key) {
+                return Err(format!("{}: duplicate field", join(path, key)));
+            }
+            if !allowed.contains(&key.as_str()) {
+                return Err(format!(
+                    "{}: unknown field (expected one of: {})",
+                    join(path, key),
+                    allowed.join(", ")
+                ));
+            }
+        }
+        Ok(Fields {
+            entries,
+            path: path.to_string(),
+        })
+    }
+
+    fn get(&self, key: &str) -> Option<&'a JsonValue> {
+        self.entries.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+    }
+
+    fn at(&self, key: &str) -> String {
+        join(&self.path, key)
+    }
+
+    fn require(&self, key: &str) -> Result<&'a JsonValue, String> {
+        self.get(key)
+            .ok_or_else(|| format!("{}: missing required field", self.at(key)))
+    }
+
+    fn str_field(&self, key: &str) -> Result<Option<&'a str>, String> {
+        self.get(key).map(|v| as_str(v, &self.at(key))).transpose()
+    }
+
+    fn usize_field(&self, key: &str) -> Result<Option<usize>, String> {
+        self.get(key)
+            .map(|v| as_usize(v, &self.at(key)))
+            .transpose()
+    }
+
+    fn u64_field(&self, key: &str) -> Result<Option<u64>, String> {
+        self.get(key).map(|v| as_u64(v, &self.at(key))).transpose()
+    }
+
+    fn f64_field(&self, key: &str) -> Result<Option<f64>, String> {
+        self.get(key).map(|v| as_f64(v, &self.at(key))).transpose()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Topology parsing.
+// ---------------------------------------------------------------------------
+
+fn parse_replacement(text: &str, path: &str) -> Result<ReplacementPolicy, String> {
+    match text {
+        "lru" => Ok(ReplacementPolicy::Lru),
+        "tree-plru" => Ok(ReplacementPolicy::TreePlru),
+        "random" => Ok(ReplacementPolicy::Random),
+        other => Err(format!(
+            "{path}: unknown replacement policy {other:?} (expected lru, tree-plru or random)"
+        )),
+    }
+}
+
+fn replacement_label(policy: ReplacementPolicy) -> &'static str {
+    match policy {
+        ReplacementPolicy::Lru => "lru",
+        ReplacementPolicy::TreePlru => "tree-plru",
+        ReplacementPolicy::Random => "random",
+    }
+}
+
+fn parse_noise(value: &JsonValue, path: &str) -> Result<NoiseConfig, String> {
+    if let Some(preset) = value.as_str() {
+        return match preset {
+            "quiet" => Ok(NoiseConfig::quiet_system()),
+            "none" => Ok(NoiseConfig::none()),
+            "noisy" => Ok(NoiseConfig::noisy_system()),
+            "calm" => Ok(NoiseConfig::calm_system()),
+            "burst" => Ok(NoiseConfig::burst_system()),
+            other => Err(format!(
+                "{path}: unknown noise preset {other:?} \
+                 (expected quiet, none, noisy, calm or burst — or an object)"
+            )),
+        };
+    }
+    let fields = Fields::new(
+        value,
+        path,
+        &[
+            "latency_jitter_ps",
+            "spurious_eviction_prob",
+            "timer_rate_jitter",
+        ],
+    )?;
+    let base = NoiseConfig::none();
+    Ok(NoiseConfig {
+        latency_jitter_ps: fields
+            .f64_field("latency_jitter_ps")?
+            .unwrap_or(base.latency_jitter_ps),
+        spurious_eviction_prob: fields
+            .f64_field("spurious_eviction_prob")?
+            .unwrap_or(base.spurious_eviction_prob),
+        timer_rate_jitter: fields
+            .f64_field("timer_rate_jitter")?
+            .unwrap_or(base.timer_rate_jitter),
+    })
+}
+
+fn parse_noise_schedule(value: &JsonValue, path: &str) -> Result<Option<NoiseSchedule>, String> {
+    if matches!(value, JsonValue::Null) {
+        return Ok(None);
+    }
+    let fields = Fields::new(value, path, &["cyclic", "phases"])?;
+    let cyclic = fields
+        .get("cyclic")
+        .map(|v| as_bool(v, &fields.at("cyclic")))
+        .transpose()?
+        .unwrap_or(true);
+    let phases_value = fields.require("phases")?;
+    let phases_path = fields.at("phases");
+    let items = as_array(phases_value, &phases_path)?;
+    let mut phases = Vec::with_capacity(items.len());
+    for (i, item) in items.iter().enumerate() {
+        let phase_path = format!("{phases_path}[{i}]");
+        let phase = Fields::new(item, &phase_path, &["duration_ps", "duration_us", "noise"])?;
+        let duration = match (phase.get("duration_ps"), phase.get("duration_us")) {
+            (Some(_), Some(_)) => {
+                return Err(format!(
+                    "{phase_path}: give duration_ps or duration_us, not both"
+                ))
+            }
+            (Some(ps), None) => Time::from_ps(as_u64(ps, &phase.at("duration_ps"))?),
+            (None, Some(us)) => Time::from_us(as_u64(us, &phase.at("duration_us"))?),
+            (None, None) => {
+                return Err(format!(
+                    "{phase_path}: missing duration (duration_ps or duration_us)"
+                ))
+            }
+        };
+        let noise = parse_noise(phase.require("noise")?, &phase.at("noise"))?;
+        phases.push(NoisePhase {
+            duration,
+            config: noise,
+        });
+    }
+    if !phases.iter().any(|p| p.duration > Time::ZERO) {
+        return Err(format!(
+            "{phases_path}: a noise schedule needs at least one phase with positive duration"
+        ));
+    }
+    Ok(Some(NoiseSchedule::new(phases, cyclic)))
+}
+
+fn parse_slice_hash(value: &JsonValue, path: &str) -> Result<SliceHash, String> {
+    if let Some(preset) = value.as_str() {
+        return match preset {
+            "kabylake-4slice" => Ok(SliceHash::kaby_lake_i7_7700k()),
+            "icelake-8slice" => Ok(SliceHash::icelake_8slice()),
+            other => Err(format!(
+                "{path}: unknown slice-hash preset {other:?} \
+                 (expected kabylake-4slice or icelake-8slice — or {{\"masks\": […]}})"
+            )),
+        };
+    }
+    let fields = Fields::new(value, path, &["masks"])?;
+    let masks_value = fields.require("masks")?;
+    let masks_path = fields.at("masks");
+    let items = as_array(masks_value, &masks_path)?;
+    if items.is_empty() || items.len() > 6 {
+        return Err(format!(
+            "{masks_path}: a slice hash takes between 1 and 6 masks, got {}",
+            items.len()
+        ));
+    }
+    let mut masks = Vec::with_capacity(items.len());
+    for (i, item) in items.iter().enumerate() {
+        let mask = as_u64(item, &format!("{masks_path}[{i}]"))?;
+        if mask == 0 {
+            return Err(format!("{masks_path}[{i}]: a hash mask cannot be zero"));
+        }
+        masks.push(mask);
+    }
+    Ok(SliceHash::new(masks))
+}
+
+fn parse_gpu_l3(value: &JsonValue, path: &str, base: &GpuL3Config) -> Result<GpuL3Config, String> {
+    if let Some(preset) = value.as_str() {
+        return match preset {
+            "gen9" => Ok(GpuL3Config::gen9()),
+            "gen11" => Ok(GpuL3Config::gen11_class()),
+            other => Err(format!(
+                "{path}: unknown GPU L3 preset {other:?} (expected gen9 or gen11 — or an object)"
+            )),
+        };
+    }
+    let fields = Fields::new(
+        value,
+        path,
+        &[
+            "banks",
+            "sub_banks",
+            "sets_per_bank",
+            "data_capacity_bytes",
+            "replacement",
+        ],
+    )?;
+    Ok(GpuL3Config {
+        banks: fields.usize_field("banks")?.unwrap_or(base.banks),
+        sub_banks: fields.usize_field("sub_banks")?.unwrap_or(base.sub_banks),
+        sets_per_bank: fields
+            .usize_field("sets_per_bank")?
+            .unwrap_or(base.sets_per_bank),
+        data_capacity_bytes: fields
+            .u64_field("data_capacity_bytes")?
+            .unwrap_or(base.data_capacity_bytes),
+        policy: fields
+            .str_field("replacement")?
+            .map(|s| parse_replacement(s, &fields.at("replacement")))
+            .transpose()?
+            .unwrap_or(base.policy),
+    })
+}
+
+fn parse_clocks(value: &JsonValue, path: &str, base: &SocClocks) -> Result<SocClocks, String> {
+    let fields = Fields::new(
+        value,
+        path,
+        &[
+            "cpu_ghz",
+            "gpu_ghz",
+            "ring_ghz",
+            "cpu_ps_per_cycle",
+            "gpu_ps_per_cycle",
+            "ring_ps_per_cycle",
+        ],
+    )?;
+    let domain = |name: &str, current: &ClockDomain| -> Result<ClockDomain, String> {
+        let ghz_key = format!("{name}_ghz");
+        let ps_key = format!("{name}_ps_per_cycle");
+        match (fields.get(&ghz_key), fields.get(&ps_key)) {
+            (Some(_), Some(_)) => Err(format!(
+                "{}: give {ghz_key} or {ps_key}, not both",
+                join(&fields.path, &ps_key)
+            )),
+            (Some(ghz), None) => {
+                let path = fields.at(&ghz_key);
+                let value = as_f64(ghz, &path)?;
+                if value > 0.0 {
+                    Ok(ClockDomain::from_ghz(name, value))
+                } else {
+                    Err(format!("{path}: frequency must be positive, got {value}"))
+                }
+            }
+            (None, Some(ps)) => {
+                let path = fields.at(&ps_key);
+                let value = as_f64(ps, &path)?;
+                if value > 0.0 {
+                    Ok(ClockDomain::from_picos_per_cycle(name, value))
+                } else {
+                    Err(format!("{path}: cycle time must be positive, got {value}"))
+                }
+            }
+            (None, None) => Ok(current.clone()),
+        }
+    };
+    Ok(SocClocks {
+        cpu: domain("cpu", &base.cpu)?,
+        gpu: domain("gpu", &base.gpu)?,
+        ring: domain("ring", &base.ring)?,
+    })
+}
+
+fn parse_latencies(
+    value: &JsonValue,
+    path: &str,
+    base: &LatencyConfig,
+) -> Result<LatencyConfig, String> {
+    let fields = Fields::new(
+        value,
+        path,
+        &[
+            "cpu_l1_hit_ps",
+            "cpu_l2_hit_ps",
+            "llc_array_ps",
+            "gpu_l3_hit_ps",
+            "gpu_l3_lookup_ps",
+            "gpu_uncore_extra_ps",
+            "clflush_ps",
+            "gpu_issue_overhead_ps",
+        ],
+    )?;
+    let time = |key: &str, current: Time| -> Result<Time, String> {
+        Ok(fields.u64_field(key)?.map_or(current, Time::from_ps))
+    };
+    Ok(LatencyConfig {
+        cpu_l1_hit: time("cpu_l1_hit_ps", base.cpu_l1_hit)?,
+        cpu_l2_hit: time("cpu_l2_hit_ps", base.cpu_l2_hit)?,
+        llc_array: time("llc_array_ps", base.llc_array)?,
+        gpu_l3_hit: time("gpu_l3_hit_ps", base.gpu_l3_hit)?,
+        gpu_l3_lookup: time("gpu_l3_lookup_ps", base.gpu_l3_lookup)?,
+        gpu_uncore_extra: time("gpu_uncore_extra_ps", base.gpu_uncore_extra)?,
+        clflush: time("clflush_ps", base.clflush)?,
+        gpu_issue_overhead: time("gpu_issue_overhead_ps", base.gpu_issue_overhead)?,
+    })
+}
+
+fn base_topology(name: &str, path: &str) -> Result<TopologySpec, String> {
+    match name {
+        "kabylake-gen9" => Ok(TopologySpec::kaby_lake_gen9()),
+        "gen11-class" => Ok(TopologySpec::gen11_class()),
+        "icelake-8slice" => Ok(TopologySpec::icelake_8slice()),
+        other => Err(format!(
+            "{path}: unknown base preset {other:?} \
+             (expected kabylake-gen9, gen11-class or icelake-8slice)"
+        )),
+    }
+}
+
+const TOPOLOGY_FIELDS: &[&str] = &[
+    "name",
+    "summary",
+    "base",
+    "clocks",
+    "cpu_cores",
+    "cpu_caches",
+    "llc",
+    "slice_hash",
+    "gpu_l3",
+    "latencies",
+    "dram",
+    "partition",
+    "phys_mem_bytes",
+    "seed",
+    "noise",
+    "noise_schedule",
+];
+
+/// Parses one topology object (`base` preset + overrides) into a
+/// [`TopologySpec`], without the surrounding name/summary.
+fn parse_topology_spec(fields: &Fields<'_>) -> Result<TopologySpec, String> {
+    let mut spec = match fields.str_field("base")? {
+        Some(base) => base_topology(base, &fields.at("base"))?,
+        None => TopologySpec::kaby_lake_gen9(),
+    };
+    if let Some(clocks) = fields.get("clocks") {
+        let parsed = parse_clocks(clocks, &fields.at("clocks"), spec.clocks())?;
+        spec = spec.with_clocks(parsed);
+    }
+    if let Some(cores) = fields.usize_field("cpu_cores")? {
+        spec = spec.with_cpu_cores(cores);
+    }
+    if let Some(caches) = fields.get("cpu_caches") {
+        let path = fields.at("cpu_caches");
+        let cache_fields =
+            Fields::new(caches, &path, &["l1_sets", "l1_ways", "l2_sets", "l2_ways"])?;
+        let base = *spec.cpu_caches();
+        spec = spec.with_cpu_caches(CpuCacheConfig {
+            l1_sets: cache_fields.usize_field("l1_sets")?.unwrap_or(base.l1_sets),
+            l1_ways: cache_fields.usize_field("l1_ways")?.unwrap_or(base.l1_ways),
+            l2_sets: cache_fields.usize_field("l2_sets")?.unwrap_or(base.l2_sets),
+            l2_ways: cache_fields.usize_field("l2_ways")?.unwrap_or(base.l2_ways),
+        });
+    }
+    if let Some(llc) = fields.get("llc") {
+        let path = fields.at("llc");
+        let llc_fields = Fields::new(
+            llc,
+            &path,
+            &["sets_per_slice", "ways", "replacement", "port_service_ps"],
+        )?;
+        let sets = llc_fields
+            .usize_field("sets_per_slice")?
+            .unwrap_or_else(|| spec.llc_sets_per_slice());
+        let ways = llc_fields
+            .usize_field("ways")?
+            .unwrap_or_else(|| spec.llc_ways());
+        spec = spec.with_llc_geometry(sets, ways);
+        if let Some(replacement) = llc_fields.str_field("replacement")? {
+            spec = spec.with_llc_policy(parse_replacement(
+                replacement,
+                &llc_fields.at("replacement"),
+            )?);
+        }
+        if let Some(port) = llc_fields.u64_field("port_service_ps")? {
+            spec = spec.with_llc_port_service_ps(port);
+        }
+    }
+    if let Some(hash) = fields.get("slice_hash") {
+        spec = spec.with_slice_hash(parse_slice_hash(hash, &fields.at("slice_hash"))?);
+    }
+    if let Some(gpu_l3) = fields.get("gpu_l3") {
+        let parsed = parse_gpu_l3(gpu_l3, &fields.at("gpu_l3"), spec.gpu_l3())?;
+        spec = spec.with_gpu_l3(parsed);
+    }
+    if let Some(latencies) = fields.get("latencies") {
+        let parsed = parse_latencies(latencies, &fields.at("latencies"), spec.latencies())?;
+        spec = spec.with_latencies(parsed);
+    }
+    if let Some(dram) = fields.str_field("dram")? {
+        spec = spec.with_dram(match dram {
+            "ddr4" => DramTimingKind::Ddr4,
+            "ddr5" => DramTimingKind::Ddr5,
+            other => {
+                return Err(format!(
+                    "{}: unknown DRAM generation {other:?} (expected ddr4 or ddr5)",
+                    fields.at("dram")
+                ))
+            }
+        });
+    }
+    if let Some(partition) = fields.get("partition") {
+        let path = fields.at("partition");
+        match partition {
+            JsonValue::Null => {
+                // Explicitly no partition — already the builder default, and
+                // `with_partition` has no inverse; base presets without a
+                // partition stay partition-free.
+                if spec.llc_partition().is_some() {
+                    return Err(format!(
+                        "{path}: cannot clear the base preset's partition \
+                         (start from an unpartitioned base instead)"
+                    ));
+                }
+            }
+            other => {
+                let part_fields = Fields::new(other, &path, &["cpu_ways"])?;
+                let cpu_ways = as_usize(
+                    part_fields.require("cpu_ways")?,
+                    &part_fields.at("cpu_ways"),
+                )?;
+                spec = spec.with_partition(LlcPartition { cpu_ways });
+            }
+        }
+    }
+    if let Some(bytes) = fields.u64_field("phys_mem_bytes")? {
+        spec = spec.with_phys_mem(bytes);
+    }
+    if let Some(seed) = fields.u64_field("seed")? {
+        spec = spec.with_seed(seed);
+    }
+    if let Some(noise) = fields.get("noise") {
+        spec = spec.with_noise(parse_noise(noise, &fields.at("noise"))?);
+    }
+    if let Some(schedule) = fields.get("noise_schedule") {
+        if let Some(parsed) = parse_noise_schedule(schedule, &fields.at("noise_schedule"))? {
+            spec = spec.with_noise_schedule(parsed);
+        }
+    }
+    Ok(spec)
+}
+
+fn parse_named_topology(value: &JsonValue, path: &str) -> Result<NamedTopology, String> {
+    let fields = Fields::new(value, path, TOPOLOGY_FIELDS)?;
+    let name = as_str(fields.require("name")?, &fields.at("name"))?;
+    if name.trim().is_empty() {
+        return Err(format!("{}: must not be empty", fields.at("name")));
+    }
+    let summary = fields.str_field("summary")?.unwrap_or("").to_string();
+    let spec = parse_topology_spec(&fields)?;
+    spec.validate()
+        .map_err(|message| format!("{path}.{message}"))?;
+    Ok(NamedTopology {
+        name: name.to_string(),
+        summary,
+        spec,
+    })
+}
+
+// ---------------------------------------------------------------------------
+// Policy parsing.
+// ---------------------------------------------------------------------------
+
+fn parse_link_setting(value: &JsonValue, path: &str) -> Result<LinkSetting, String> {
+    if let Some(code) = value.as_str() {
+        let kind = LinkCodeKind::parse(code).map_err(|e| format!("{path}: {e}"))?;
+        return Ok(LinkSetting::new(kind, 1));
+    }
+    let fields = Fields::new(value, path, &["code", "repeat"])?;
+    let code = as_str(fields.require("code")?, &fields.at("code"))?;
+    let kind = LinkCodeKind::parse(code).map_err(|e| format!("{}: {e}", fields.at("code")))?;
+    let repeat = fields.usize_field("repeat")?.unwrap_or(1);
+    if repeat == 0 {
+        return Err(format!(
+            "{}: the symbol-repeat factor must be at least 1",
+            fields.at("repeat")
+        ));
+    }
+    Ok(LinkSetting::new(kind, repeat))
+}
+
+fn parse_ladder(fields: &Fields<'_>) -> Result<Vec<LinkSetting>, String> {
+    let Some(ladder_value) = fields.get("ladder") else {
+        return Ok(LinkSetting::ladder());
+    };
+    let path = fields.at("ladder");
+    let items = as_array(ladder_value, &path)?;
+    if items.is_empty() {
+        return Err(format!("{path}: ladder needs at least one setting"));
+    }
+    items
+        .iter()
+        .enumerate()
+        .map(|(i, item)| parse_link_setting(item, &format!("{path}[{i}]")))
+        .collect()
+}
+
+fn parse_named_policy(value: &JsonValue, path: &str) -> Result<NamedPolicy, String> {
+    let fields = Fields::new(
+        value,
+        path,
+        &[
+            "name",
+            "kind",
+            "ladder",
+            "code",
+            "repeat",
+            "raise_ber",
+            "clear_ber",
+            "patience",
+            "decay",
+            "explore",
+        ],
+    )?;
+    let name = as_str(fields.require("name")?, &fields.at("name"))?;
+    if name.trim().is_empty() {
+        return Err(format!("{}: must not be empty", fields.at("name")));
+    }
+    if PolicyKind::ALL.iter().any(|k| k.label() == name) {
+        return Err(format!(
+            "{}: {name:?} shadows a built-in policy family; pick another name",
+            fields.at("name")
+        ));
+    }
+    let kind_text = as_str(fields.require("kind")?, &fields.at("kind"))?;
+    let kind = PolicyKind::parse(kind_text).map_err(|e| format!("{}: {e}", fields.at("kind")))?;
+    let applicable: &[&str] = match kind {
+        PolicyKind::Fixed => &["name", "kind", "code", "repeat"],
+        PolicyKind::Threshold => &[
+            "name",
+            "kind",
+            "ladder",
+            "raise_ber",
+            "clear_ber",
+            "patience",
+        ],
+        PolicyKind::Aimd => &["name", "kind", "ladder", "raise_ber"],
+        PolicyKind::Bandit => &["name", "kind", "ladder", "decay", "explore"],
+    };
+    for (key, _) in fields.entries {
+        if !applicable.contains(&key.as_str()) {
+            return Err(format!(
+                "{}: not a parameter of the {:?} policy family (it takes: {})",
+                fields.at(key),
+                kind.label(),
+                applicable[2..].join(", ")
+            ));
+        }
+    }
+    let params = match kind {
+        PolicyKind::Fixed => {
+            let code = fields
+                .str_field("code")?
+                .map(|s| LinkCodeKind::parse(s).map_err(|e| format!("{}: {e}", fields.at("code"))))
+                .transpose()?
+                .unwrap_or(LinkCodeKind::None);
+            let repeat = fields.usize_field("repeat")?.unwrap_or(1);
+            PolicyParams::Fixed {
+                setting: LinkSetting::new(code, repeat.max(1)),
+            }
+        }
+        PolicyKind::Threshold => PolicyParams::Threshold {
+            ladder: parse_ladder(&fields)?,
+            raise_ber: fields.f64_field("raise_ber")?.unwrap_or(0.03),
+            clear_ber: fields.f64_field("clear_ber")?.unwrap_or(0.004),
+            patience: fields.usize_field("patience")?.unwrap_or(2),
+        },
+        PolicyKind::Aimd => PolicyParams::Aimd {
+            ladder: parse_ladder(&fields)?,
+            raise_ber: fields.f64_field("raise_ber")?.unwrap_or(0.03),
+        },
+        PolicyKind::Bandit => PolicyParams::Bandit {
+            ladder: parse_ladder(&fields)?,
+            decay: fields.f64_field("decay")?.unwrap_or(0.98),
+            explore: fields.f64_field("explore")?.unwrap_or(0.08),
+        },
+    };
+    params.validate().map_err(|e| format!("{path}: {e}"))?;
+    Ok(NamedPolicy {
+        name: name.to_string(),
+        params,
+    })
+}
+
+// ---------------------------------------------------------------------------
+// Sweep-section parsing.
+// ---------------------------------------------------------------------------
+
+/// A selection field: absent or `"all"` means `None` (the kind's default),
+/// an array of strings is an explicit list.
+fn parse_selection(fields: &Fields<'_>, key: &str) -> Result<Option<Vec<String>>, String> {
+    let Some(value) = fields.get(key) else {
+        return Ok(None);
+    };
+    let path = fields.at(key);
+    if let Some(text) = value.as_str() {
+        return if text == "all" {
+            Ok(None)
+        } else {
+            Err(format!(
+                "{path}: expected \"all\" or an array of names, got {text:?}"
+            ))
+        };
+    }
+    let items = as_array(value, &path)?;
+    if items.is_empty() {
+        return Err(format!("{path}: an explicit list must not be empty"));
+    }
+    let mut names = Vec::with_capacity(items.len());
+    for (i, item) in items.iter().enumerate() {
+        let name = as_str(item, &format!("{path}[{i}]"))?;
+        if name.trim().is_empty() {
+            return Err(format!("{path}[{i}]: must not be empty"));
+        }
+        names.push(name.to_string());
+    }
+    Ok(Some(names))
+}
+
+fn parse_sweep_section(
+    value: &JsonValue,
+    path: &str,
+    policy_names: &[String],
+) -> Result<SweepSection, String> {
+    let fields = Fields::new(
+        value,
+        path,
+        &[
+            "kind", "backends", "channels", "noise", "codes", "policies", "bits", "seeds", "engine",
+        ],
+    )?;
+    let kind_text = as_str(fields.require("kind")?, &fields.at("kind"))?;
+    let kind = SectionKind::parse(kind_text, &fields.at("kind"))?;
+    // Axes that only make sense on some section kinds are rejected on the
+    // others, with the path of the stray field.
+    let grid_only: &[&str] = &["channels", "noise", "seeds", "engine"];
+    if kind != SectionKind::Grid {
+        for key in grid_only {
+            if fields.get(key).is_some() {
+                return Err(format!(
+                    "{}: only grid sections take an explicit {key} axis \
+                     ({} sections use the built-in generator's)",
+                    fields.at(key),
+                    kind.label()
+                ));
+            }
+        }
+    }
+    if kind == SectionKind::Classic {
+        for key in ["codes", "policies"] {
+            if fields.get(key).is_some() {
+                return Err(format!(
+                    "{}: classic sections run the raw engine (uncoded, no policy); \
+                     use a coded, adaptive or grid section",
+                    fields.at(key)
+                ));
+            }
+        }
+    }
+    if kind == SectionKind::Coded && fields.get("policies").is_some() {
+        return Err(format!(
+            "{}: coded sections compare fixed codes; use an adaptive or grid section",
+            fields.at("policies")
+        ));
+    }
+    let backends = parse_selection(&fields, "backends")?;
+    let channels = parse_selection(&fields, "channels")?;
+    let noise = parse_selection(&fields, "noise")?;
+    let codes = match parse_selection(&fields, "codes")? {
+        None => None,
+        Some(labels) => {
+            let path = fields.at("codes");
+            let mut kinds = Vec::with_capacity(labels.len());
+            for (i, label) in labels.iter().enumerate() {
+                kinds.push(LinkCodeKind::parse(label).map_err(|e| format!("{path}[{i}]: {e}"))?);
+            }
+            Some(kinds)
+        }
+    };
+    let policies = parse_selection(&fields, "policies")?;
+    if let Some(policies) = &policies {
+        let path = fields.at("policies");
+        for (i, name) in policies.iter().enumerate() {
+            let builtin = PolicyKind::ALL.iter().any(|k| k.label() == name.as_str());
+            if !builtin && !policy_names.contains(name) {
+                let mut known: Vec<&str> = PolicyKind::ALL.iter().map(|k| k.label()).collect();
+                known.extend(policy_names.iter().map(String::as_str));
+                return Err(format!(
+                    "{path}[{i}]: unknown policy {name:?} (known: {})",
+                    known.join(", ")
+                ));
+            }
+        }
+    }
+    let bits = match fields.get("bits") {
+        None => None,
+        Some(value) => {
+            let path = fields.at("bits");
+            let bits_fields = Fields::new(value, &path, &["quick", "full"])?;
+            let quick = as_usize(bits_fields.require("quick")?, &bits_fields.at("quick"))?;
+            let full = as_usize(bits_fields.require("full")?, &bits_fields.at("full"))?;
+            if quick == 0 {
+                return Err(format!(
+                    "{}: bit counts must be at least 1",
+                    bits_fields.at("quick")
+                ));
+            }
+            if full == 0 {
+                return Err(format!(
+                    "{}: bit counts must be at least 1",
+                    bits_fields.at("full")
+                ));
+            }
+            Some(SectionBits { quick, full })
+        }
+    };
+    let seeds = match fields.get("seeds") {
+        None => None,
+        Some(value) => {
+            let path = fields.at("seeds");
+            let items = as_array(value, &path)?;
+            if items.is_empty() {
+                return Err(format!("{path}: an explicit seed list must not be empty"));
+            }
+            let mut seeds = Vec::with_capacity(items.len());
+            for (i, item) in items.iter().enumerate() {
+                seeds.push(as_u64(item, &format!("{path}[{i}]"))?);
+            }
+            Some(seeds)
+        }
+    };
+    let engine = match fields.str_field("engine")? {
+        None => None,
+        Some(text @ ("raw" | "framed")) => Some(text.to_string()),
+        Some(other) => {
+            return Err(format!(
+                "{}: unknown engine {other:?} (expected raw or framed)",
+                fields.at("engine")
+            ))
+        }
+    };
+    Ok(SweepSection {
+        kind,
+        backends,
+        channels,
+        noise,
+        codes,
+        policies,
+        bits,
+        seeds,
+        engine,
+    })
+}
+
+// ---------------------------------------------------------------------------
+// Whole-document parsing.
+// ---------------------------------------------------------------------------
+
+/// Parses and validates a `scenario-v1` document.
+///
+/// # Errors
+///
+/// Returns a field-path-precise message: JSON syntax errors carry the byte
+/// offset, everything above that the dotted path of the offending field
+/// (`topologies[0].llc.ways: …`).
+pub fn parse_scenario(text: &str) -> Result<Scenario, String> {
+    let doc = parse_json(text).map_err(|e| format!("not valid JSON: {e}"))?;
+    let fields = Fields::new(
+        &doc,
+        "",
+        &[
+            "schema",
+            "name",
+            "description",
+            "topologies",
+            "policies",
+            "sweeps",
+        ],
+    )?;
+    let schema = as_str(fields.require("schema")?, "schema")?;
+    if schema != SCENARIO_SCHEMA {
+        return Err(format!(
+            "schema: expected {SCENARIO_SCHEMA:?}, got {schema:?}"
+        ));
+    }
+    let name = as_str(fields.require("name")?, "name")?;
+    if name.trim().is_empty() {
+        return Err("name: must not be empty".to_string());
+    }
+    let description = fields.str_field("description")?.unwrap_or("").to_string();
+
+    let mut topologies = Vec::new();
+    if let Some(value) = fields.get("topologies") {
+        for (i, item) in as_array(value, "topologies")?.iter().enumerate() {
+            let topology = parse_named_topology(item, &format!("topologies[{i}]"))?;
+            if topologies
+                .iter()
+                .any(|t: &NamedTopology| t.name == topology.name)
+            {
+                return Err(format!(
+                    "topologies[{i}].name: duplicate topology name {:?}",
+                    topology.name
+                ));
+            }
+            topologies.push(topology);
+        }
+    }
+
+    let mut policies: Vec<NamedPolicy> = Vec::new();
+    if let Some(value) = fields.get("policies") {
+        for (i, item) in as_array(value, "policies")?.iter().enumerate() {
+            let policy = parse_named_policy(item, &format!("policies[{i}]"))?;
+            if policies.iter().any(|p| p.name == policy.name) {
+                return Err(format!(
+                    "policies[{i}].name: duplicate policy name {:?}",
+                    policy.name
+                ));
+            }
+            policies.push(policy);
+        }
+    }
+    let policy_names: Vec<String> = policies.iter().map(|p| p.name.clone()).collect();
+
+    let mut sweeps = Vec::new();
+    if let Some(value) = fields.get("sweeps") {
+        for (i, item) in as_array(value, "sweeps")?.iter().enumerate() {
+            sweeps.push(parse_sweep_section(
+                item,
+                &format!("sweeps[{i}]"),
+                &policy_names,
+            )?);
+        }
+    }
+
+    Ok(Scenario {
+        name: name.to_string(),
+        description,
+        topologies,
+        policies,
+        sweeps,
+    })
+}
+
+// ---------------------------------------------------------------------------
+// Canonical serialization.
+// ---------------------------------------------------------------------------
+
+fn num(value: impl Into<f64>) -> JsonValue {
+    JsonValue::Number(value.into())
+}
+
+fn usize_num(value: usize) -> JsonValue {
+    JsonValue::Number(value as f64)
+}
+
+/// A `u64` as JSON: a plain number when a double carries it exactly, a
+/// `"0x…"` string otherwise.
+fn u64_value(value: u64) -> JsonValue {
+    if (value as f64) <= MAX_SAFE_INTEGER && (value as f64) as u64 == value {
+        JsonValue::Number(value as f64)
+    } else {
+        JsonValue::String(format!("{value:#x}"))
+    }
+}
+
+fn string(value: &str) -> JsonValue {
+    JsonValue::String(value.to_string())
+}
+
+fn object(entries: Vec<(&str, JsonValue)>) -> JsonValue {
+    JsonValue::Object(
+        entries
+            .into_iter()
+            .map(|(k, v)| (k.to_string(), v))
+            .collect(),
+    )
+}
+
+fn noise_to_json(noise: &NoiseConfig) -> JsonValue {
+    object(vec![
+        ("latency_jitter_ps", num(noise.latency_jitter_ps)),
+        ("spurious_eviction_prob", num(noise.spurious_eviction_prob)),
+        ("timer_rate_jitter", num(noise.timer_rate_jitter)),
+    ])
+}
+
+/// Canonical JSON form of a [`TopologySpec`]: every axis written explicitly
+/// (no `base` reference), so parsing it back reproduces the spec
+/// bit-identically regardless of preset defaults.
+pub fn topology_to_json(spec: &TopologySpec) -> JsonValue {
+    let clocks = spec.clocks();
+    let caches = spec.cpu_caches();
+    let gpu_l3 = spec.gpu_l3();
+    let lat = spec.latencies();
+    let mut entries = vec![
+        (
+            "clocks",
+            object(vec![
+                ("cpu_ps_per_cycle", num(clocks.cpu.picos_per_cycle())),
+                ("gpu_ps_per_cycle", num(clocks.gpu.picos_per_cycle())),
+                ("ring_ps_per_cycle", num(clocks.ring.picos_per_cycle())),
+            ]),
+        ),
+        ("cpu_cores", usize_num(spec.cpu_cores())),
+        (
+            "cpu_caches",
+            object(vec![
+                ("l1_sets", usize_num(caches.l1_sets)),
+                ("l1_ways", usize_num(caches.l1_ways)),
+                ("l2_sets", usize_num(caches.l2_sets)),
+                ("l2_ways", usize_num(caches.l2_ways)),
+            ]),
+        ),
+        (
+            "llc",
+            object(vec![
+                ("sets_per_slice", usize_num(spec.llc_sets_per_slice())),
+                ("ways", usize_num(spec.llc_ways())),
+                ("replacement", string(replacement_label(spec.llc_policy()))),
+                ("port_service_ps", u64_value(spec.llc_port_service_ps())),
+            ]),
+        ),
+        (
+            "slice_hash",
+            object(vec![(
+                "masks",
+                JsonValue::Array(
+                    spec.slice_hash()
+                        .masks()
+                        .iter()
+                        .map(|m| JsonValue::String(format!("{m:#x}")))
+                        .collect(),
+                ),
+            )]),
+        ),
+        (
+            "gpu_l3",
+            object(vec![
+                ("banks", usize_num(gpu_l3.banks)),
+                ("sub_banks", usize_num(gpu_l3.sub_banks)),
+                ("sets_per_bank", usize_num(gpu_l3.sets_per_bank)),
+                ("data_capacity_bytes", u64_value(gpu_l3.data_capacity_bytes)),
+                ("replacement", string(replacement_label(gpu_l3.policy))),
+            ]),
+        ),
+        (
+            "latencies",
+            object(vec![
+                ("cpu_l1_hit_ps", u64_value(lat.cpu_l1_hit.as_ps())),
+                ("cpu_l2_hit_ps", u64_value(lat.cpu_l2_hit.as_ps())),
+                ("llc_array_ps", u64_value(lat.llc_array.as_ps())),
+                ("gpu_l3_hit_ps", u64_value(lat.gpu_l3_hit.as_ps())),
+                ("gpu_l3_lookup_ps", u64_value(lat.gpu_l3_lookup.as_ps())),
+                (
+                    "gpu_uncore_extra_ps",
+                    u64_value(lat.gpu_uncore_extra.as_ps()),
+                ),
+                ("clflush_ps", u64_value(lat.clflush.as_ps())),
+                (
+                    "gpu_issue_overhead_ps",
+                    u64_value(lat.gpu_issue_overhead.as_ps()),
+                ),
+            ]),
+        ),
+        (
+            "dram",
+            string(match spec.dram() {
+                DramTimingKind::Ddr4 => "ddr4",
+                DramTimingKind::Ddr5 => "ddr5",
+            }),
+        ),
+        (
+            "partition",
+            match spec.llc_partition() {
+                Some(partition) => object(vec![("cpu_ways", usize_num(partition.cpu_ways))]),
+                None => JsonValue::Null,
+            },
+        ),
+        ("phys_mem_bytes", u64_value(spec.phys_mem_bytes())),
+        ("seed", JsonValue::String(format!("{:#x}", spec.seed()))),
+        ("noise", noise_to_json(spec.noise())),
+    ];
+    entries.push((
+        "noise_schedule",
+        match spec.noise_schedule() {
+            None => JsonValue::Null,
+            Some(schedule) => object(vec![
+                ("cyclic", JsonValue::Bool(schedule.is_cyclic())),
+                (
+                    "phases",
+                    JsonValue::Array(
+                        schedule
+                            .phases()
+                            .iter()
+                            .map(|phase| {
+                                object(vec![
+                                    ("duration_ps", u64_value(phase.duration.as_ps())),
+                                    ("noise", noise_to_json(&phase.config)),
+                                ])
+                            })
+                            .collect(),
+                    ),
+                ),
+            ]),
+        },
+    ));
+    object(entries)
+}
+
+fn link_setting_to_json(setting: &LinkSetting) -> JsonValue {
+    object(vec![
+        ("code", string(&setting.code.label())),
+        ("repeat", usize_num(setting.symbol_repeat)),
+    ])
+}
+
+fn ladder_to_json(ladder: &[LinkSetting]) -> JsonValue {
+    JsonValue::Array(ladder.iter().map(link_setting_to_json).collect())
+}
+
+fn policy_to_json(policy: &NamedPolicy) -> JsonValue {
+    let mut entries = vec![
+        ("name", string(&policy.name)),
+        ("kind", string(policy.params.kind().label())),
+    ];
+    match &policy.params {
+        PolicyParams::Fixed { setting } => {
+            entries.push(("code", string(&setting.code.label())));
+            entries.push(("repeat", usize_num(setting.symbol_repeat)));
+        }
+        PolicyParams::Threshold {
+            ladder,
+            raise_ber,
+            clear_ber,
+            patience,
+        } => {
+            entries.push(("ladder", ladder_to_json(ladder)));
+            entries.push(("raise_ber", num(*raise_ber)));
+            entries.push(("clear_ber", num(*clear_ber)));
+            entries.push(("patience", usize_num(*patience)));
+        }
+        PolicyParams::Aimd { ladder, raise_ber } => {
+            entries.push(("ladder", ladder_to_json(ladder)));
+            entries.push(("raise_ber", num(*raise_ber)));
+        }
+        PolicyParams::Bandit {
+            ladder,
+            decay,
+            explore,
+        } => {
+            entries.push(("ladder", ladder_to_json(ladder)));
+            entries.push(("decay", num(*decay)));
+            entries.push(("explore", num(*explore)));
+        }
+    }
+    object(entries)
+}
+
+fn names_array(names: &[String]) -> JsonValue {
+    JsonValue::Array(names.iter().map(|n| string(n)).collect())
+}
+
+fn section_to_json(section: &SweepSection) -> JsonValue {
+    let mut entries = vec![("kind", string(section.kind.label()))];
+    if let Some(backends) = &section.backends {
+        entries.push(("backends", names_array(backends)));
+    }
+    if let Some(channels) = &section.channels {
+        entries.push(("channels", names_array(channels)));
+    }
+    if let Some(noise) = &section.noise {
+        entries.push(("noise", names_array(noise)));
+    }
+    if let Some(codes) = &section.codes {
+        entries.push((
+            "codes",
+            JsonValue::Array(codes.iter().map(|c| string(&c.label())).collect()),
+        ));
+    }
+    if let Some(policies) = &section.policies {
+        entries.push(("policies", names_array(policies)));
+    }
+    if let Some(bits) = &section.bits {
+        entries.push((
+            "bits",
+            object(vec![
+                ("quick", usize_num(bits.quick)),
+                ("full", usize_num(bits.full)),
+            ]),
+        ));
+    }
+    if let Some(seeds) = &section.seeds {
+        entries.push((
+            "seeds",
+            JsonValue::Array(seeds.iter().map(|s| u64_value(*s)).collect()),
+        ));
+    }
+    if let Some(engine) = &section.engine {
+        entries.push(("engine", string(engine)));
+    }
+    object(entries)
+}
+
+/// Canonical JSON document for a [`Scenario`] — the exact inverse of
+/// [`parse_scenario`].
+pub fn scenario_to_json(scenario: &Scenario) -> String {
+    let topologies = JsonValue::Array(
+        scenario
+            .topologies
+            .iter()
+            .map(|t| {
+                let mut entries = vec![
+                    ("name".to_string(), string(&t.name)),
+                    ("summary".to_string(), string(&t.summary)),
+                ];
+                let JsonValue::Object(spec_entries) = topology_to_json(&t.spec) else {
+                    unreachable!("topology_to_json returns an object");
+                };
+                entries.extend(spec_entries);
+                JsonValue::Object(entries)
+            })
+            .collect(),
+    );
+    let doc = object(vec![
+        ("schema", string(SCENARIO_SCHEMA)),
+        ("name", string(&scenario.name)),
+        ("description", string(&scenario.description)),
+        ("topologies", topologies),
+        (
+            "policies",
+            JsonValue::Array(scenario.policies.iter().map(policy_to_json).collect()),
+        ),
+        (
+            "sweeps",
+            JsonValue::Array(scenario.sweeps.iter().map(section_to_json).collect()),
+        ),
+    ]);
+    doc.to_json()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn minimal(extra: &str) -> String {
+        format!(
+            "{{\"schema\":\"{SCENARIO_SCHEMA}\",\"name\":\"t\"{}{extra}}}",
+            if extra.is_empty() { "" } else { "," }
+        )
+    }
+
+    #[test]
+    fn minimal_scenario_parses() {
+        let scenario = parse_scenario(&minimal("")).unwrap();
+        assert_eq!(scenario.name, "t");
+        assert!(scenario.topologies.is_empty());
+        assert!(scenario.policies.is_empty());
+        assert!(scenario.sweeps.is_empty());
+    }
+
+    #[test]
+    fn schema_field_is_enforced() {
+        let err = parse_scenario("{\"schema\":\"nope\",\"name\":\"t\"}").unwrap_err();
+        assert!(err.starts_with("schema:"), "{err}");
+        let err = parse_scenario("{\"name\":\"t\"}").unwrap_err();
+        assert_eq!(err, "schema: missing required field");
+        let err = parse_scenario("{").unwrap_err();
+        assert!(err.starts_with("not valid JSON:"), "{err}");
+    }
+
+    #[test]
+    fn unknown_and_duplicate_fields_report_their_path() {
+        let err = parse_scenario(&minimal("\"scheme\":1")).unwrap_err();
+        assert!(err.starts_with("scheme: unknown field"), "{err}");
+        let err =
+            parse_scenario(&minimal("\"topologies\":[{\"name\":\"a\",\"sed\":1}]")).unwrap_err();
+        assert!(err.starts_with("topologies[0].sed: unknown field"), "{err}");
+        let err = parse_scenario(&minimal("\"name\":\"again\"")).unwrap_err();
+        assert_eq!(err, "name: duplicate field");
+    }
+
+    #[test]
+    fn topology_overrides_apply_on_the_base_preset() {
+        let scenario = parse_scenario(&minimal(
+            "\"topologies\":[{\"name\":\"kabylake-12way\",\"summary\":\"s\",\
+             \"base\":\"kabylake-gen9\",\"llc\":{\"ways\":12},\"seed\":\"0x2a\"}]",
+        ))
+        .unwrap();
+        let spec = &scenario.topologies[0].spec;
+        assert_eq!(spec.llc_ways(), 12);
+        assert_eq!(spec.llc_sets_per_slice(), 2048);
+        assert_eq!(spec.seed(), 0x2a);
+        assert_eq!(scenario.topology("kabylake-12way").unwrap().summary, "s");
+    }
+
+    #[test]
+    fn invalid_topologies_report_the_field_path() {
+        let err = parse_scenario(&minimal(
+            "\"topologies\":[{\"name\":\"broken\",\"llc\":{\"sets_per_slice\":1000}}]",
+        ))
+        .unwrap_err();
+        assert!(
+            err.starts_with("topologies[0].llc.sets_per_slice:"),
+            "{err}"
+        );
+        assert!(err.contains("power of two"), "{err}");
+        assert!(err.contains("1000"), "{err}");
+        let err = parse_scenario(&minimal(
+            "\"topologies\":[{\"name\":\"b\",\"dram\":\"ddr3\"}]",
+        ))
+        .unwrap_err();
+        assert!(err.starts_with("topologies[0].dram:"), "{err}");
+    }
+
+    #[test]
+    fn noise_schedules_parse_with_presets_and_durations() {
+        let scenario = parse_scenario(&minimal(
+            "\"topologies\":[{\"name\":\"stormy\",\"noise_schedule\":{\"cyclic\":true,\
+             \"phases\":[{\"duration_us\":60,\"noise\":\"calm\"},\
+             {\"duration_us\":20,\"noise\":{\"latency_jitter_ps\":9000,\
+             \"spurious_eviction_prob\":0.12,\"timer_rate_jitter\":0.15}}]}}]",
+        ))
+        .unwrap();
+        let schedule = scenario.topologies[0].spec.noise_schedule().unwrap();
+        assert_eq!(schedule.phases().len(), 2);
+        assert!(schedule.is_cyclic());
+        assert_eq!(schedule.phases()[0].config, NoiseConfig::calm_system());
+        assert_eq!(schedule.phases()[1].config, NoiseConfig::burst_system());
+        // All-zero-duration schedules are rejected with the phases path.
+        let err = parse_scenario(&minimal(
+            "\"topologies\":[{\"name\":\"z\",\"noise_schedule\":{\
+             \"phases\":[{\"duration_ps\":0,\"noise\":\"calm\"}]}}]",
+        ))
+        .unwrap_err();
+        assert!(
+            err.starts_with("topologies[0].noise_schedule.phases:"),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn policies_parse_and_reject_shadowing_and_misfit_parameters() {
+        let scenario = parse_scenario(&minimal(
+            "\"policies\":[{\"name\":\"storm\",\"kind\":\"threshold\",\
+             \"raise_ber\":0.05,\"patience\":3}]",
+        ))
+        .unwrap();
+        let policy = scenario.policy("storm").unwrap();
+        assert_eq!(
+            policy.params,
+            PolicyParams::Threshold {
+                ladder: LinkSetting::ladder(),
+                raise_ber: 0.05,
+                clear_ber: 0.004,
+                patience: 3,
+            }
+        );
+        let err = parse_scenario(&minimal(
+            "\"policies\":[{\"name\":\"bandit\",\"kind\":\"bandit\"}]",
+        ))
+        .unwrap_err();
+        assert!(err.contains("shadows a built-in"), "{err}");
+        let err = parse_scenario(&minimal(
+            "\"policies\":[{\"name\":\"p\",\"kind\":\"aimd\",\"decay\":0.5}]",
+        ))
+        .unwrap_err();
+        assert!(err.starts_with("policies[0].decay:"), "{err}");
+        let err = parse_scenario(&minimal(
+            "\"policies\":[{\"name\":\"p\",\"kind\":\"threshold\",\
+             \"raise_ber\":0.001,\"clear_ber\":0.01}]",
+        ))
+        .unwrap_err();
+        assert!(err.contains("hysteresis band is inverted"), "{err}");
+    }
+
+    #[test]
+    fn sweep_sections_validate_kind_axes_and_policy_references() {
+        let scenario = parse_scenario(&minimal(
+            "\"policies\":[{\"name\":\"storm\",\"kind\":\"bandit\"}],\
+             \"sweeps\":[{\"kind\":\"classic\"},\
+             {\"kind\":\"adaptive\",\"policies\":[\"bandit\",\"storm\"]},\
+             {\"kind\":\"grid\",\"backends\":[\"kabylake-gen9\"],\
+              \"channels\":[\"llc-gpu-to-cpu\"],\"noise\":[\"quiet\"],\
+              \"codes\":[\"hamming74\"],\"seeds\":[7,\"0x83\"],\
+              \"bits\":{\"quick\":32,\"full\":96},\"engine\":\"framed\"}]",
+        ))
+        .unwrap();
+        assert_eq!(scenario.sweeps.len(), 3);
+        assert_eq!(scenario.sweeps[0].kind, SectionKind::Classic);
+        assert_eq!(
+            scenario.sweeps[1].policies.as_deref(),
+            Some(&["bandit".to_string(), "storm".to_string()][..])
+        );
+        let grid = &scenario.sweeps[2];
+        assert_eq!(grid.codes.as_deref(), Some(&[LinkCodeKind::Hamming74][..]));
+        assert_eq!(grid.seeds.as_deref(), Some(&[7, 0x83][..]));
+        assert_eq!(
+            grid.bits,
+            Some(SectionBits {
+                quick: 32,
+                full: 96
+            })
+        );
+
+        let err = parse_scenario(&minimal(
+            "\"sweeps\":[{\"kind\":\"classic\",\"codes\":[\"crc8\"]}]",
+        ))
+        .unwrap_err();
+        assert!(err.starts_with("sweeps[0].codes:"), "{err}");
+        let err = parse_scenario(&minimal("\"sweeps\":[{\"kind\":\"coded\",\"seeds\":[1]}]"))
+            .unwrap_err();
+        assert!(err.starts_with("sweeps[0].seeds:"), "{err}");
+        let err = parse_scenario(&minimal(
+            "\"sweeps\":[{\"kind\":\"adaptive\",\"policies\":[\"genie\"]}]",
+        ))
+        .unwrap_err();
+        assert!(err.starts_with("sweeps[0].policies[0]:"), "{err}");
+        assert!(err.contains("storm") || err.contains("bandit"), "{err}");
+    }
+
+    #[test]
+    fn canonical_serialization_round_trips_topologies_bit_exactly() {
+        let original = TopologySpec::icelake_8slice()
+            .with_llc_geometry(1024, 12)
+            .with_llc_port_service_ps(1_250)
+            .with_partition(LlcPartition { cpu_ways: 5 })
+            .with_noise(NoiseConfig::calm_system())
+            .with_noise_schedule(NoiseSchedule::calm_burst(Time::from_us(40)))
+            .with_seed(0xDEAD_BEEF_F00D_u64);
+        let scenario = Scenario {
+            name: "round".to_string(),
+            description: String::new(),
+            topologies: vec![NamedTopology {
+                name: "custom".to_string(),
+                summary: "round trip".to_string(),
+                spec: original.clone(),
+            }],
+            policies: vec![NamedPolicy {
+                name: "storm".to_string(),
+                params: PolicyParams::Bandit {
+                    ladder: LinkSetting::ladder(),
+                    decay: 0.9,
+                    explore: 0.25,
+                },
+            }],
+            sweeps: vec![SweepSection {
+                kind: SectionKind::Grid,
+                backends: Some(vec!["custom".to_string()]),
+                channels: Some(vec!["llc-gpu-to-cpu".to_string()]),
+                noise: None,
+                codes: Some(vec![LinkCodeKind::rs_default()]),
+                policies: Some(vec!["storm".to_string()]),
+                bits: Some(SectionBits {
+                    quick: 16,
+                    full: 64,
+                }),
+                seeds: Some(vec![7, u64::MAX]),
+                engine: Some("framed".to_string()),
+            }],
+        };
+        let json = scenario_to_json(&scenario);
+        let reparsed = parse_scenario(&json).unwrap();
+        assert_eq!(
+            reparsed.topologies[0].spec.fingerprint(),
+            original.fingerprint()
+        );
+        assert_eq!(reparsed.policies, scenario.policies);
+        assert_eq!(reparsed.sweeps, scenario.sweeps);
+        // Fixed point: serializing the reparsed scenario is byte-identical.
+        assert_eq!(scenario_to_json(&reparsed), json);
+    }
+
+    #[test]
+    fn u64_values_round_trip_through_strings_beyond_2_53() {
+        let spec = TopologySpec::kaby_lake_gen9().with_seed(u64::MAX);
+        let json = topology_to_json(&spec).to_json();
+        assert!(json.contains("0xffffffffffffffff"), "{json}");
+        let err = as_u64(&JsonValue::Number(1e16), "seed").unwrap_err();
+        assert!(err.contains("2^53"), "{err}");
+        assert_eq!(as_u64(&JsonValue::String("0x2A".into()), "x"), Ok(42));
+        assert_eq!(as_u64(&JsonValue::String("42".into()), "x"), Ok(42));
+    }
+}

@@ -1,0 +1,314 @@
+//! Property-based tests of the `scenario-v1` schema: randomly generated
+//! documents round-trip through the canonical serializer, equivalent
+//! spellings converge to the same canonical form, and randomly corrupted
+//! axis values are rejected with the exact field path of the corruption.
+
+use proptest::prelude::*;
+use scenario::{parse_scenario, scenario_to_json};
+
+const CHANNELS: &[&str] = &["llc-prime-probe", "ring-contention"];
+const NOISE_LEVELS: &[&str] = &["noiseless", "quiet", "noisy", "phased"];
+const CODES: &[&str] = &["none", "crc8", "hamming74", "rs", "rs(12,8,4)"];
+const POLICIES: &[&str] = &["fixed", "threshold", "aimd", "bandit"];
+const NOISE_PRESETS: &[&str] = &["quiet", "none", "noisy", "calm", "burst"];
+
+/// Non-empty subset of `items` selected by bitmask, in item order.
+fn subset<'a>(mask: u8, items: &[&'a str]) -> Vec<&'a str> {
+    let picked: Vec<&str> = items
+        .iter()
+        .enumerate()
+        .filter(|(i, _)| mask & (1 << i) != 0)
+        .map(|(_, s)| *s)
+        .collect();
+    if picked.is_empty() {
+        vec![items[0]]
+    } else {
+        picked
+    }
+}
+
+fn quoted_list(items: &[&str]) -> String {
+    items
+        .iter()
+        .map(|s| format!("{s:?}"))
+        .collect::<Vec<_>>()
+        .join(", ")
+}
+
+/// JSON spelling of a u64: plain number up to 2^53, hex string beyond
+/// (the schema's required encoding for values JSON doubles cannot hold).
+fn json_u64(value: u64) -> String {
+    if value <= (1u64 << 53) {
+        value.to_string()
+    } else {
+        format!("\"0x{value:x}\"")
+    }
+}
+
+/// A grid section exercising every declarable axis.
+fn grid_section(
+    channels: &[&str],
+    noise: &[&str],
+    codes: &[&str],
+    seeds: &[u64],
+    bits: Option<(usize, usize)>,
+    engine: Option<&str>,
+) -> String {
+    let mut body = format!(
+        "{{ \"kind\": \"grid\", \"channels\": [{}], \"noise\": [{}], \"codes\": [{}], \
+         \"seeds\": [{}]",
+        quoted_list(channels),
+        quoted_list(noise),
+        quoted_list(codes),
+        seeds
+            .iter()
+            .map(|s| json_u64(*s))
+            .collect::<Vec<_>>()
+            .join(", "),
+    );
+    if let Some((quick, full)) = bits {
+        body.push_str(&format!(
+            ", \"bits\": {{ \"quick\": {quick}, \"full\": {full} }}"
+        ));
+    }
+    if let Some(engine) = engine {
+        body.push_str(&format!(", \"engine\": {engine:?}"));
+    }
+    body.push_str(" }");
+    body
+}
+
+fn document(name: &str, topologies: &str, policies: &str, sweeps: &str) -> String {
+    format!(
+        "{{ \"schema\": \"leaky-buddies/scenario-v1\", \"name\": {name:?}, \
+         \"topologies\": [{topologies}], \"policies\": [{policies}], \"sweeps\": [{sweeps}] }}"
+    )
+}
+
+/// parse → serialize → parse → serialize reaches a fixed point: the
+/// canonical form is stable, so the serializer and parser are exact
+/// inverses on everything the document expresses.
+fn assert_canonical_fixed_point(text: &str) {
+    let first =
+        parse_scenario(text).unwrap_or_else(|err| panic!("seed document rejected: {err}\n{text}"));
+    let canonical = scenario_to_json(&first);
+    let second = parse_scenario(&canonical)
+        .unwrap_or_else(|err| panic!("canonical form rejected: {err}\n{canonical}"));
+    prop_assert_eq!(
+        scenario_to_json(&second),
+        canonical,
+        "canonical form is not a serializer fixed point"
+    );
+    prop_assert_eq!(first.name, second.name);
+    prop_assert_eq!(first.topologies.len(), second.topologies.len());
+    prop_assert_eq!(first.policies.len(), second.policies.len());
+    prop_assert_eq!(first.sweeps.len(), second.sweeps.len());
+}
+
+proptest! {
+    /// Grid sections with arbitrary axis subsets, seeds, bit counts and
+    /// engine choices round-trip through the canonical serializer.
+    #[test]
+    fn grid_sections_round_trip(
+        channel_mask in 1u8..4,
+        noise_mask in 1u8..16,
+        code_mask in 1u8..32,
+        seeds in proptest::collection::vec(any::<u64>(), 1..4),
+        quick_bits in 1usize..1000,
+        full_bits in 1usize..10_000,
+        with_bits in any::<bool>(),
+        engine_pick in 0u8..3,
+    ) {
+        let engine = match engine_pick {
+            0 => None,
+            1 => Some("raw"),
+            _ => Some("framed"),
+        };
+        let section = grid_section(
+            &subset(channel_mask, CHANNELS),
+            &subset(noise_mask, NOISE_LEVELS),
+            &subset(code_mask, CODES),
+            &seeds,
+            with_bits.then_some((quick_bits, full_bits)),
+            engine,
+        );
+        let text = document("grid-roundtrip", "", "", &section);
+        assert_canonical_fixed_point(&text);
+    }
+
+    /// Topology overrides — LLC geometry, way partitioning, noise presets
+    /// and schedules — survive the canonical round-trip. The canonical form
+    /// spells every axis explicitly (no `base` reference), so this also
+    /// proves base-relative and fully-explicit spellings converge.
+    #[test]
+    fn topology_overrides_round_trip(
+        ways in 2usize..32,
+        partition_num in 0usize..40,
+        noise_pick in 0usize..5,
+        phase_a_us in 1u64..20_000,
+        phase_b_us in 1u64..20_000,
+        cyclic in any::<bool>(),
+        with_schedule in any::<bool>(),
+        seed in any::<u64>(),
+    ) {
+        // A valid partition leaves both sides at least one way; skew the
+        // random draw into range and drop it entirely at 0.
+        let partition = match partition_num % (ways + 2) {
+            0 => String::new(),
+            p if p < ways => format!(", \"partition\": {{ \"cpu_ways\": {p} }}"),
+            _ => String::new(),
+        };
+        let schedule = if with_schedule {
+            format!(
+                ", \"noise_schedule\": {{ \"cyclic\": {cyclic}, \"phases\": [ \
+                 {{ \"duration_us\": {phase_a_us}, \"noise\": \"calm\" }}, \
+                 {{ \"duration_us\": {phase_b_us}, \"noise\": \"burst\" }} ] }}"
+            )
+        } else {
+            String::new()
+        };
+        let topology = format!(
+            "{{ \"name\": \"random-part\", \"summary\": \"generated\", \
+             \"base\": \"kabylake-gen9\", \"llc\": {{ \"ways\": {ways} }}, \
+             \"seed\": {}, \"noise\": {:?}{partition}{schedule} }}",
+            json_u64(seed),
+            NOISE_PRESETS[noise_pick],
+        );
+        let text = document("topology-roundtrip", &topology, "", "{ \"kind\": \"classic\" }");
+        assert_canonical_fixed_point(&text);
+    }
+
+    /// Named policies of every family, with random tuning, round-trip.
+    #[test]
+    fn named_policies_round_trip(
+        family in 0usize..4,
+        raise in 0.0011f64..0.5,
+        clear_frac in 0.01f64..1.0,
+        patience in 1usize..10,
+        decay_steps in 1u32..100,
+        explore in 0.001f64..2.0,
+    ) {
+        // Derived values keep the invariants the schema enforces
+        // (clear <= raise, decay in (0, 1]) while still spanning the range.
+        let clear = raise * clear_frac;
+        let decay = f64::from(decay_steps) / 100.0;
+        let policy = match POLICIES[family] {
+            "fixed" => "{ \"name\": \"p\", \"kind\": \"fixed\", \"code\": \"hamming74\" }"
+                .to_string(),
+            "threshold" => format!(
+                "{{ \"name\": \"p\", \"kind\": \"threshold\", \"raise_ber\": {raise}, \
+                 \"clear_ber\": {clear}, \"patience\": {patience} }}"
+            ),
+            "aimd" => format!("{{ \"name\": \"p\", \"kind\": \"aimd\", \"raise_ber\": {raise} }}"),
+            _ => format!(
+                "{{ \"name\": \"p\", \"kind\": \"bandit\", \"decay\": {decay}, \
+                 \"explore\": {explore} }}"
+            ),
+        };
+        let section = "{ \"kind\": \"adaptive\", \"policies\": [\"p\", \"threshold\"] }";
+        let text = document("policy-roundtrip", "", &policy, section);
+        assert_canonical_fixed_point(&text);
+    }
+
+    /// `"axis": "all"` and an omitted axis mean the same thing, so both
+    /// spellings converge to the identical canonical document.
+    #[test]
+    fn all_selection_converges_to_omission(kind_pick in 0usize..2, axis_pick in 0usize..2) {
+        let kind = ["coded", "adaptive"][kind_pick];
+        let axis = match (kind, axis_pick) {
+            ("coded", _) => "codes",
+            (_, 0) => "policies",
+            _ => "backends",
+        };
+        let spelled = document(
+            "all-vs-omitted",
+            "",
+            "",
+            &format!("{{ \"kind\": {kind:?}, \"{axis}\": \"all\" }}"),
+        );
+        let omitted = document("all-vs-omitted", "", "", &format!("{{ \"kind\": {kind:?} }}"));
+        let spelled = parse_scenario(&spelled).expect("spelled form parses");
+        let omitted = parse_scenario(&omitted).expect("omitted form parses");
+        prop_assert_eq!(scenario_to_json(&spelled), scenario_to_json(&omitted));
+    }
+
+    /// A corrupted link-code label anywhere in a grid section's `codes`
+    /// array is rejected, and the error names that exact element:
+    /// `sweeps[0].codes[i]`.
+    #[test]
+    fn corrupted_code_labels_report_their_exact_path(
+        code_mask in 1u8..32,
+        corrupt_at_raw in any::<usize>(),
+        garbage_pick in 0usize..4,
+    ) {
+        let mut codes: Vec<String> =
+            subset(code_mask, CODES).iter().map(|s| s.to_string()).collect();
+        let corrupt_at = corrupt_at_raw % codes.len();
+        let garbage = ["turbo-code", "rs(", "hamming75", ""][garbage_pick];
+        codes[corrupt_at] = garbage.to_string();
+        let section = format!(
+            "{{ \"kind\": \"grid\", \"codes\": [{}] }}",
+            codes
+                .iter()
+                .map(|s| format!("{s:?}"))
+                .collect::<Vec<_>>()
+                .join(", ")
+        );
+        let text = document("corrupted-code", "", "", &section);
+        let err = parse_scenario(&text).expect_err("corrupted code label must be rejected");
+        let expected = format!("sweeps[0].codes[{corrupt_at}]");
+        prop_assert!(
+            err.contains(&expected),
+            "error {:?} does not name {:?}",
+            err,
+            expected
+        );
+    }
+
+    /// A section referencing an undefined policy is rejected with the
+    /// sweeps path, whatever the unknown name is.
+    #[test]
+    fn unknown_policy_references_report_the_sweeps_path(
+        suffix in 1u32..1_000_000,
+        position_raw in any::<usize>(),
+    ) {
+        let unknown = format!("nonexistent-{suffix}");
+        let mut policies: Vec<String> = vec!["threshold".into(), "bandit".into()];
+        let position = position_raw % (policies.len() + 1);
+        policies.insert(position, unknown.clone());
+        let section = format!(
+            "{{ \"kind\": \"adaptive\", \"policies\": [{}] }}",
+            policies
+                .iter()
+                .map(|s| format!("{s:?}"))
+                .collect::<Vec<_>>()
+                .join(", ")
+        );
+        let text = document("unknown-policy", "", "", &section);
+        let err = parse_scenario(&text).expect_err("unknown policy must be rejected");
+        prop_assert!(
+            err.contains("sweeps[0].policies") && err.contains(&unknown),
+            "error {:?} does not carry the path and the offending name",
+            err
+        );
+    }
+
+    /// Zero bit counts are rejected with the exact bits field path.
+    #[test]
+    fn zero_bit_counts_report_their_field(quick_is_zero in any::<bool>(), other in 1usize..500) {
+        let (quick, full) = if quick_is_zero { (0, other) } else { (other, 0) };
+        let field = if quick_is_zero { "quick" } else { "full" };
+        let section = format!(
+            "{{ \"kind\": \"grid\", \"bits\": {{ \"quick\": {quick}, \"full\": {full} }} }}"
+        );
+        let text = document("zero-bits", "", "", &section);
+        let err = parse_scenario(&text).expect_err("zero bits must be rejected");
+        let expected = format!("sweeps[0].bits.{field}");
+        prop_assert!(
+            err.contains(&expected),
+            "error {:?} does not name {:?}",
+            err,
+            expected
+        );
+    }
+}

@@ -154,6 +154,25 @@ impl ClockDomain {
         Self::from_ghz(name, mhz / 1_000.0)
     }
 
+    /// Creates a clock domain from an exact cycle duration in picoseconds —
+    /// the bit-exact inverse of [`ClockDomain::picos_per_cycle`], for
+    /// serializers that must reconstruct a domain without a float division
+    /// round trip.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `picos` is not strictly positive and finite.
+    pub fn from_picos_per_cycle(name: &str, picos: f64) -> Self {
+        assert!(
+            picos.is_finite() && picos > 0.0,
+            "cycle time must be positive"
+        );
+        ClockDomain {
+            name: name.to_string(),
+            picos_per_cycle: picos,
+        }
+    }
+
     /// Returns the clock domain name (e.g. `"cpu"`).
     pub fn name(&self) -> &str {
         &self.name

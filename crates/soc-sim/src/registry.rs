@@ -24,6 +24,7 @@ use crate::system::{LlcPartition, Soc, SocConfig};
 use crate::topology::TopologySpec;
 use crate::trace::{Trace, TraceRecorder, TraceReplayer};
 use crate::MemorySystem;
+use std::borrow::Cow;
 use std::sync::Arc;
 
 /// How a spec turns its configuration into a running backend.
@@ -46,23 +47,54 @@ enum BuildMode {
 /// transmissions, bounded so a long sweep point cannot balloon memory.
 const RECORDING_CAPACITY: usize = 1 << 16;
 
+/// Where a spec's [`TopologySpec`] comes from: a preset function (the
+/// built-in backends — `Copy`-cheap and reproducible) or a materialized
+/// value (scenario-file topologies registered at run time).
+#[derive(Debug, Clone)]
+enum TopologySource {
+    /// A preset function producing the spec on demand.
+    Preset(fn() -> TopologySpec),
+    /// A concrete spec value, e.g. parsed from a scenario file.
+    Value(Arc<TopologySpec>),
+}
+
 /// One named backend: a registry key plus the topology it builds.
 #[derive(Debug, Clone)]
 pub struct BackendSpec {
-    name: &'static str,
-    summary: &'static str,
-    topology: fn() -> TopologySpec,
+    name: Cow<'static, str>,
+    summary: Cow<'static, str>,
+    topology: TopologySource,
     mode: BuildMode,
 }
 
 impl BackendSpec {
     /// A new plain-simulator spec: `topology` is a function producing the
     /// [`TopologySpec`] so the spec stays `Copy`-cheap and reproducible.
-    pub fn new(name: &'static str, summary: &'static str, topology: fn() -> TopologySpec) -> Self {
+    pub fn new(
+        name: impl Into<Cow<'static, str>>,
+        summary: impl Into<Cow<'static, str>>,
+        topology: fn() -> TopologySpec,
+    ) -> Self {
         BackendSpec {
-            name,
-            summary,
-            topology,
+            name: name.into(),
+            summary: summary.into(),
+            topology: TopologySource::Preset(topology),
+            mode: BuildMode::Soc,
+        }
+    }
+
+    /// A plain-simulator spec built from a concrete [`TopologySpec`] value —
+    /// the constructor scenario files use to register topologies that exist
+    /// only as parsed data, with no preset function to point at.
+    pub fn from_topology(
+        name: impl Into<Cow<'static, str>>,
+        summary: impl Into<Cow<'static, str>>,
+        topology: TopologySpec,
+    ) -> Self {
+        BackendSpec {
+            name: name.into(),
+            summary: summary.into(),
+            topology: TopologySource::Value(Arc::new(topology)),
             mode: BuildMode::Soc,
         }
     }
@@ -70,8 +102,8 @@ impl BackendSpec {
     /// A spec whose builds wrap the simulator in a bounded
     /// [`TraceRecorder`].
     pub fn recording(
-        name: &'static str,
-        summary: &'static str,
+        name: impl Into<Cow<'static, str>>,
+        summary: impl Into<Cow<'static, str>>,
         topology: fn() -> TopologySpec,
     ) -> Self {
         BackendSpec {
@@ -86,7 +118,11 @@ impl BackendSpec {
     /// stored topology function is never consulted. Replay is a strict
     /// oracle: a driver whose access sequence diverges from the recording
     /// panics with the position of the first mismatch.
-    pub fn replaying(name: &'static str, summary: &'static str, trace: Trace) -> Self {
+    pub fn replaying(
+        name: impl Into<Cow<'static, str>>,
+        summary: impl Into<Cow<'static, str>>,
+        trace: Trace,
+    ) -> Self {
         BackendSpec {
             mode: BuildMode::Replaying(Arc::new(trace)),
             // Placeholder — every configuration query on a replaying spec
@@ -96,20 +132,37 @@ impl BackendSpec {
     }
 
     /// Registry key (also the label sweep rows and JSON use).
-    pub fn name(&self) -> &'static str {
-        self.name
+    pub fn name(&self) -> &str {
+        &self.name
     }
 
     /// One-line human-readable description.
-    pub fn summary(&self) -> &'static str {
-        self.summary
+    pub fn summary(&self) -> &str {
+        &self.summary
     }
 
     /// The declarative topology this backend is built from. For a
     /// replaying spec this is a placeholder — use [`BackendSpec::config`],
     /// which resolves against the trace's recorded configuration.
     pub fn topology(&self) -> TopologySpec {
-        (self.topology)()
+        match &self.topology {
+            TopologySource::Preset(f) => f(),
+            TopologySource::Value(spec) => (**spec).clone(),
+        }
+    }
+
+    /// The topology fingerprint of a value-built spec (see
+    /// [`BackendSpec::from_topology`] and [`TopologySpec::fingerprint`]),
+    /// `None` for preset-function and replaying specs. Sweep resume keys
+    /// fold this in so a cached row goes stale the moment the scenario file
+    /// that defined the backend changes its topology.
+    pub fn topology_fingerprint(&self) -> Option<u64> {
+        match (&self.topology, &self.mode) {
+            (TopologySource::Value(spec), BuildMode::Soc | BuildMode::Recording) => {
+                Some(spec.fingerprint())
+            }
+            _ => None,
+        }
     }
 
     /// The assembled configuration: the topology's build for simulating
@@ -296,45 +349,36 @@ impl BackendRegistry {
     pub fn standard() -> Self {
         BackendRegistry {
             specs: vec![
-                BackendSpec {
-                    name: "kabylake-gen9",
-                    summary: "paper platform: i7-7700k + Gen9, 4-slice 8 MB LLC, DDR4",
-                    topology: TopologySpec::kaby_lake_gen9,
-                    mode: BuildMode::Soc,
-                },
-                BackendSpec {
-                    name: "kabylake-gen9-partitioned",
-                    summary: "paper platform with the Section VI way-partitioned LLC mitigation",
-                    topology: || {
-                        TopologySpec::kaby_lake_gen9().with_partition(LlcPartition::even_split())
-                    },
-                    mode: BuildMode::Soc,
-                },
-                BackendSpec {
-                    name: "gen11-class",
-                    summary: "Gen11-class scale-up: 16 MB LLC (4 slices), doubled GPU L3",
-                    topology: TopologySpec::gen11_class,
-                    mode: BuildMode::Soc,
-                },
-                BackendSpec {
-                    name: "icelake-8slice",
-                    summary: "Ice Lake-class: 8-slice hash (3 equations), 16 MB LLC, DDR5",
-                    topology: TopologySpec::icelake_8slice,
-                    mode: BuildMode::Soc,
-                },
-                BackendSpec {
-                    name: "kabylake-ddr5",
-                    summary: "paper platform on DDR5-4800 memory (latency/bandwidth trade)",
-                    topology: || TopologySpec::kaby_lake_gen9().with_dram(DramTimingKind::Ddr5),
-                    mode: BuildMode::Soc,
-                },
-                BackendSpec {
-                    name: "trace-replay",
-                    summary:
-                        "paper platform under a trace recorder (replayable regression capture)",
-                    topology: TopologySpec::kaby_lake_gen9,
-                    mode: BuildMode::Recording,
-                },
+                BackendSpec::new(
+                    "kabylake-gen9",
+                    "paper platform: i7-7700k + Gen9, 4-slice 8 MB LLC, DDR4",
+                    TopologySpec::kaby_lake_gen9,
+                ),
+                BackendSpec::new(
+                    "kabylake-gen9-partitioned",
+                    "paper platform with the Section VI way-partitioned LLC mitigation",
+                    || TopologySpec::kaby_lake_gen9().with_partition(LlcPartition::even_split()),
+                ),
+                BackendSpec::new(
+                    "gen11-class",
+                    "Gen11-class scale-up: 16 MB LLC (4 slices), doubled GPU L3",
+                    TopologySpec::gen11_class,
+                ),
+                BackendSpec::new(
+                    "icelake-8slice",
+                    "Ice Lake-class: 8-slice hash (3 equations), 16 MB LLC, DDR5",
+                    TopologySpec::icelake_8slice,
+                ),
+                BackendSpec::new(
+                    "kabylake-ddr5",
+                    "paper platform on DDR5-4800 memory (latency/bandwidth trade)",
+                    || TopologySpec::kaby_lake_gen9().with_dram(DramTimingKind::Ddr5),
+                ),
+                BackendSpec::recording(
+                    "trace-replay",
+                    "paper platform under a trace recorder (replayable regression capture)",
+                    TopologySpec::kaby_lake_gen9,
+                ),
             ],
         }
     }
@@ -367,8 +411,8 @@ impl BackendRegistry {
     }
 
     /// All registry keys, in registry order.
-    pub fn names(&self) -> Vec<&'static str> {
-        self.specs.iter().map(|s| s.name).collect()
+    pub fn names(&self) -> Vec<&str> {
+        self.specs.iter().map(|s| s.name()).collect()
     }
 
     /// Number of registered backends.
@@ -540,6 +584,32 @@ mod tests {
             "replaced"
         );
         let mut built = registry.get("custom-topology").unwrap().build(3);
+        roundtrip(&mut built);
+    }
+
+    #[test]
+    fn value_built_specs_register_carry_fingerprints_and_serve_the_trait() {
+        let topology = crate::topology::TopologySpec::kaby_lake_gen9().with_llc_geometry(2048, 12);
+        let name = format!("{}-12way", "kabylake"); // an owned, run-time name
+        let mut registry = BackendRegistry::standard();
+        registry.register(BackendSpec::from_topology(
+            name,
+            "a 12-way variant parsed from data".to_string(),
+            topology.clone(),
+        ));
+        let spec = registry.get("kabylake-12way").expect("registered");
+        assert_eq!(spec.config().llc.ways, 12);
+        assert_eq!(spec.topology_fingerprint(), Some(topology.fingerprint()));
+        // Preset-function specs have no fingerprint: their topology is code,
+        // not data that can change under a cache.
+        assert_eq!(
+            registry
+                .get("kabylake-gen9")
+                .unwrap()
+                .topology_fingerprint(),
+            None
+        );
+        let mut built = spec.build(3);
         roundtrip(&mut built);
     }
 

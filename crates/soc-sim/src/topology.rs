@@ -194,9 +194,105 @@ impl TopologySpec {
         self
     }
 
+    /// Sets the LLC port service time in picoseconds (the serialization
+    /// quantum ring-contention timing is built on).
+    pub fn with_llc_port_service_ps(mut self, picos: u64) -> Self {
+        self.llc_port_service_ps = picos;
+        self
+    }
+
     /// Number of LLC slices this spec describes (implied by the hash).
     pub fn slice_count(&self) -> usize {
         self.slice_hash.slice_count()
+    }
+
+    /// The clock domains.
+    pub fn clocks(&self) -> &SocClocks {
+        &self.clocks
+    }
+
+    /// Number of CPU cores.
+    pub fn cpu_cores(&self) -> usize {
+        self.cpu_cores
+    }
+
+    /// The per-core private-cache geometry.
+    pub fn cpu_caches(&self) -> &CpuCacheConfig {
+        &self.cpu_caches
+    }
+
+    /// LLC sets per slice.
+    pub fn llc_sets_per_slice(&self) -> usize {
+        self.llc_sets_per_slice
+    }
+
+    /// LLC associativity.
+    pub fn llc_ways(&self) -> usize {
+        self.llc_ways
+    }
+
+    /// The LLC replacement policy.
+    pub fn llc_policy(&self) -> ReplacementPolicy {
+        self.llc_policy
+    }
+
+    /// The slice-selection hash.
+    pub fn slice_hash(&self) -> &SliceHash {
+        &self.slice_hash
+    }
+
+    /// The LLC port service time in picoseconds.
+    pub fn llc_port_service_ps(&self) -> u64 {
+        self.llc_port_service_ps
+    }
+
+    /// The GPU L3 configuration.
+    pub fn gpu_l3(&self) -> &GpuL3Config {
+        &self.gpu_l3
+    }
+
+    /// The fixed access-path latencies.
+    pub fn latencies(&self) -> &LatencyConfig {
+        &self.latencies
+    }
+
+    /// The ambient-noise configuration.
+    pub fn noise(&self) -> &NoiseConfig {
+        &self.noise
+    }
+
+    /// The time-varying noise program, when one is attached.
+    pub fn noise_schedule(&self) -> Option<&NoiseSchedule> {
+        self.noise_schedule.as_ref()
+    }
+
+    /// The LLC way-partition, when the mitigation is enabled.
+    pub fn llc_partition(&self) -> Option<LlcPartition> {
+        self.llc_partition
+    }
+
+    /// Physical memory size in bytes.
+    pub fn phys_mem_bytes(&self) -> u64 {
+        self.phys_mem_bytes
+    }
+
+    /// The simulation seed.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// A 64-bit FNV-1a digest over the spec's complete debug rendering —
+    /// every axis, including noise schedules and latencies, feeds the hash.
+    /// Sweep resume caches store this for scenario-defined backends so a
+    /// row simulated under one topology is never reused after the scenario
+    /// file changes the topology out from under it.
+    pub fn fingerprint(&self) -> u64 {
+        let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+        for byte in format!("{self:?}").bytes() {
+            hash ^= u64::from(byte);
+            hash = hash.wrapping_mul(0x100_0000_01b3);
+        }
+        hash
     }
 
     /// Total LLC capacity in bytes this spec describes.
@@ -219,19 +315,39 @@ impl TopologySpec {
     ///
     /// # Errors
     ///
-    /// Describes the first invalid axis found.
+    /// Describes the first invalid axis found; every message names the
+    /// offending field and the value it carried, so a scenario-file typo
+    /// points at the field to fix.
     pub fn validate(&self) -> Result<(), String> {
         if !self.llc_sets_per_slice.is_power_of_two() {
             return Err(format!(
-                "LLC sets per slice must be a power of two, got {}",
+                "llc.sets_per_slice: must be a power of two (the set index is a bit field), got {}",
                 self.llc_sets_per_slice
             ));
         }
         if self.llc_ways == 0 {
-            return Err("LLC needs at least one way".into());
+            return Err("llc.ways: the LLC needs at least one way, got 0".into());
+        }
+        if self.llc_policy == ReplacementPolicy::TreePlru && !self.llc_ways.is_power_of_two() {
+            return Err(format!(
+                "llc.ways: tree-pLRU replacement requires a power-of-two way count, got {}",
+                self.llc_ways
+            ));
         }
         if self.cpu_cores == 0 {
-            return Err("SoC needs at least one CPU core".into());
+            return Err("cpu_cores: the SoC needs at least one CPU core, got 0".into());
+        }
+        if let Some(partition) = self.llc_partition {
+            if partition.cpu_ways == 0 || partition.cpu_ways >= self.llc_ways {
+                return Err(format!(
+                    "partition.cpu_ways: must leave both sides at least one way, \
+                     got {} of {} ways",
+                    partition.cpu_ways, self.llc_ways
+                ));
+            }
+        }
+        if self.phys_mem_bytes == 0 {
+            return Err("phys_mem_bytes: must be positive, got 0".into());
         }
         Ok(())
     }
@@ -346,5 +462,85 @@ mod tests {
         let _ = TopologySpec::kaby_lake_gen9()
             .with_llc_geometry(1000, 16)
             .build_config();
+    }
+
+    #[test]
+    fn validate_names_the_offending_field_and_value() {
+        let sets = TopologySpec::kaby_lake_gen9()
+            .with_llc_geometry(1000, 16)
+            .validate()
+            .unwrap_err();
+        assert!(sets.starts_with("llc.sets_per_slice:"), "{sets}");
+        assert!(sets.contains("1000"), "{sets}");
+        let ways = TopologySpec::kaby_lake_gen9()
+            .with_llc_geometry(2048, 0)
+            .validate()
+            .unwrap_err();
+        assert!(ways.starts_with("llc.ways:"), "{ways}");
+        let plru = TopologySpec::kaby_lake_gen9()
+            .with_llc_geometry(2048, 12)
+            .with_llc_policy(ReplacementPolicy::TreePlru)
+            .validate()
+            .unwrap_err();
+        assert!(
+            plru.starts_with("llc.ways:") && plru.contains("12"),
+            "{plru}"
+        );
+        let cores = TopologySpec::kaby_lake_gen9()
+            .with_cpu_cores(0)
+            .validate()
+            .unwrap_err();
+        assert!(cores.starts_with("cpu_cores:"), "{cores}");
+        let partition = TopologySpec::kaby_lake_gen9()
+            .with_partition(LlcPartition { cpu_ways: 16 })
+            .validate()
+            .unwrap_err();
+        assert!(partition.starts_with("partition.cpu_ways:"), "{partition}");
+        assert!(partition.contains("16"), "{partition}");
+        let mem = TopologySpec::kaby_lake_gen9()
+            .with_phys_mem(0)
+            .validate()
+            .unwrap_err();
+        assert!(mem.starts_with("phys_mem_bytes:"), "{mem}");
+        assert_eq!(TopologySpec::kaby_lake_gen9().validate(), Ok(()));
+    }
+
+    #[test]
+    fn getters_expose_every_builder_axis() {
+        let spec = TopologySpec::kaby_lake_gen9()
+            .with_llc_port_service_ps(1_250)
+            .with_seed(17);
+        assert_eq!(spec.cpu_cores(), 4);
+        assert_eq!(spec.llc_sets_per_slice(), 2048);
+        assert_eq!(spec.llc_ways(), 16);
+        assert_eq!(spec.llc_policy(), ReplacementPolicy::Lru);
+        assert_eq!(spec.llc_port_service_ps(), 1_250);
+        assert_eq!(spec.phys_mem_bytes(), 8 * 1024 * 1024 * 1024);
+        assert_eq!(spec.seed(), 17);
+        assert!(spec.llc_partition().is_none());
+        assert!(spec.noise_schedule().is_none());
+        assert_eq!(spec.slice_hash().slice_count(), 4);
+        assert!((spec.clocks().cpu.frequency_ghz() - 4.2).abs() < 1e-9);
+    }
+
+    #[test]
+    fn fingerprint_tracks_every_axis() {
+        let base = TopologySpec::kaby_lake_gen9();
+        assert_eq!(
+            base.fingerprint(),
+            TopologySpec::kaby_lake_gen9().fingerprint()
+        );
+        let tweaks = [
+            TopologySpec::kaby_lake_gen9().with_llc_geometry(4096, 16),
+            TopologySpec::kaby_lake_gen9().with_seed(1),
+            TopologySpec::kaby_lake_gen9().with_dram(DramTimingKind::Ddr5),
+            TopologySpec::kaby_lake_gen9().with_noise(NoiseConfig::none()),
+            TopologySpec::kaby_lake_gen9().with_llc_port_service_ps(999),
+            TopologySpec::kaby_lake_gen9()
+                .with_noise_schedule(NoiseSchedule::calm_burst(crate::clock::Time::from_us(50))),
+        ];
+        for tweak in &tweaks {
+            assert_ne!(base.fingerprint(), tweak.fingerprint());
+        }
     }
 }
